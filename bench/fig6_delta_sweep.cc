@@ -1,0 +1,73 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Figure 6 — "Variation of lock throughput as a function of δin and δout."
+// 64 threads, 8 locks, 64 signatures, siglen 2. Overhead is highest when
+// the program does nothing but lock/unlock (δin=δout=0) and is absorbed as
+// the time between critical sections grows.
+
+#include "bench/bench_util.h"
+#include "src/benchlib/synth_history.h"
+#include "src/benchlib/workload.h"
+
+namespace dimmunix {
+namespace {
+
+WorkloadResult RunPoint(WorkloadMode mode, std::int64_t din, std::int64_t dout, Runtime* rt) {
+  WorkloadParams params;
+  params.threads = FullScale() ? 64 : 16;
+  params.locks = 8;
+  params.delta_in_us = din;
+  params.delta_out_us = dout;
+  params.duration = PointDuration();
+  params.mode = mode;
+  params.runtime = rt;
+  return RunWorkload(params);
+}
+
+Runtime* MakeImmunizedRuntime() {
+  Config config;
+  config.default_match_depth = 4;
+  config.yield_timeout = std::chrono::milliseconds(50);
+  auto* rt = new Runtime(config);  // leaked deliberately: lives to process end
+  SynthHistoryParams sigs;
+  sigs.signatures = 64;
+  GenerateSyntheticHistory(&rt->history(), &rt->stacks(), sigs);
+  rt->engine().NotifyHistoryChanged();
+  return rt;
+}
+
+}  // namespace
+}  // namespace dimmunix
+
+int main() {
+  using namespace dimmunix;
+  PrintHeader("Figure 6: lock throughput vs. delta_in and delta_out",
+              "throughput falls with growing deltas for BOTH curves; the gap between "
+              "baseline and Dimmunix shrinks as deltas grow (overhead absorbed); "
+              "largest relative gap at delta=0");
+  const std::vector<std::int64_t> deltas = {0, 1, 10, 100, 1000, 10000};
+
+  std::printf("-- sweep delta_in (delta_out = 1000 us) --\n");
+  std::printf("%9s | %14s %14s | %8s\n", "din[us]", "base ops/ms", "dimx ops/ms", "ovhd %");
+  for (std::int64_t din : deltas) {
+    const WorkloadResult baseline = RunPoint(WorkloadMode::kBaseline, din, 1000, nullptr);
+    Runtime* rt = MakeImmunizedRuntime();
+    const WorkloadResult dimx = RunPoint(WorkloadMode::kDimmunix, din, 1000, rt);
+    std::printf("%9lld | %14.2f %14.2f | %+7.2f%%\n", static_cast<long long>(din),
+                baseline.ops_per_sec / 1000.0, dimx.ops_per_sec / 1000.0,
+                OverheadPercent(baseline.ops_per_sec, dimx.ops_per_sec));
+  }
+
+  std::printf("-- sweep delta_out (delta_in = 1 us) --\n");
+  std::printf("%9s | %14s %14s | %8s\n", "dout[us]", "base ops/ms", "dimx ops/ms", "ovhd %");
+  for (std::int64_t dout : deltas) {
+    const WorkloadResult baseline = RunPoint(WorkloadMode::kBaseline, 1, dout, nullptr);
+    Runtime* rt = MakeImmunizedRuntime();
+    const WorkloadResult dimx = RunPoint(WorkloadMode::kDimmunix, 1, dout, rt);
+    std::printf("%9lld | %14.2f %14.2f | %+7.2f%%\n", static_cast<long long>(dout),
+                baseline.ops_per_sec / 1000.0, dimx.ops_per_sec / 1000.0,
+                OverheadPercent(baseline.ops_per_sec, dimx.ops_per_sec));
+  }
+  std::printf("shape check: overhead largest at delta=0, absorbed at >= 1 ms.\n");
+  return 0;
+}

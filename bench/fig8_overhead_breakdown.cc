@@ -1,0 +1,84 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Figure 8 — "Breakdown of overhead": selectively disable parts of Dimmunix
+// (§7.2.2): base instrumentation only, + data-structure lookups/updates,
+// then full avoidance. The paper finds the bulk of pthreads overhead in the
+// instrumentation, and of Java overhead in the data-structure updates.
+// 64 sigs, siglen 2, 8 locks, δin=1µs, δout=1ms, threads 8..1024.
+
+#include "bench/bench_util.h"
+#include "src/benchlib/synth_history.h"
+#include "src/benchlib/workload.h"
+
+namespace dimmunix {
+namespace {
+
+double RunStage(EngineStage stage, int threads, std::int64_t din, std::int64_t dout) {
+  Config config;
+  config.stage = stage;
+  config.default_match_depth = 4;
+  config.yield_timeout = std::chrono::milliseconds(50);
+  Runtime rt(config);
+  SynthHistoryParams sigs;
+  sigs.signatures = 64;
+  GenerateSyntheticHistory(&rt.history(), &rt.stacks(), sigs);
+  rt.engine().NotifyHistoryChanged();
+
+  WorkloadParams params;
+  params.threads = threads;
+  params.locks = 8;
+  params.delta_in_us = din;
+  params.delta_out_us = dout;
+  params.duration = PointDuration();
+  params.mode = WorkloadMode::kDimmunix;
+  params.runtime = &rt;
+  return RunWorkload(params).ops_per_sec;
+}
+
+void RunSeries(const char* label, std::int64_t din, std::int64_t dout,
+               const std::vector<int>& thread_counts) {
+  std::printf("-- %s (din=%lldus dout=%lldus) --\n", label, static_cast<long long>(din),
+              static_cast<long long>(dout));
+  std::printf("%7s | %10s | %8s %8s %8s\n", "threads", "base op/s", "instr%", "+data%",
+              "+avoid%");
+  for (int threads : thread_counts) {
+    WorkloadParams base_params;
+    base_params.threads = threads;
+    base_params.locks = 8;
+    base_params.delta_in_us = din;
+    base_params.delta_out_us = dout;
+    base_params.duration = PointDuration();
+    const double baseline = RunWorkload(base_params).ops_per_sec;
+
+    const double instr = RunStage(EngineStage::kInstrumentationOnly, threads, din, dout);
+    const double data = RunStage(EngineStage::kDataStructures, threads, din, dout);
+    const double full = RunStage(EngineStage::kFull, threads, din, dout);
+    std::printf("%7d | %10.0f | %+7.2f%% %+7.2f%% %+7.2f%%\n", threads, baseline,
+                OverheadPercent(baseline, instr), OverheadPercent(baseline, data),
+                OverheadPercent(baseline, full));
+  }
+}
+
+}  // namespace
+}  // namespace dimmunix
+
+int main() {
+  using namespace dimmunix;
+  PrintHeader("Figure 8: breakdown of Dimmunix overhead by stage",
+              "stacked overhead: instrumentation < +data structures < +avoidance; "
+              "total stays bounded (Java: <= ~25% at 1024 threads; pthreads lower)");
+  std::vector<int> thread_counts = {8, 16, 32, 64};
+  if (FullScale()) {
+    thread_counts = {8, 16, 32, 64, 128, 256, 512, 1024};
+  }
+  // Paper parameters: with 1 ms between critical sections the engine cost is
+  // absorbed (on a single core every stage is equally CPU-bound — expect ~0%).
+  RunSeries("paper parameters", 1, 1000, thread_counts);
+  // Stress series: with no inter-section delay the per-operation engine cost
+  // dominates, exposing the stacked stage costs the paper's 8-core testbed
+  // showed at its paper parameters.
+  RunSeries("delta=0 stress (exposes per-op stage cost)", 0, 0, {2, 4, 8});
+  std::printf("shape check: in the stress series each stage adds overhead on top of "
+              "the previous one.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// §7.4 — "Resource Utilization": memory overhead of the immunized workload
+// (paper: 6-25 MB for the pthreads implementation across 2-1024 threads,
+// 8-32 locks, 64 two-thread signatures), history footprint (paper: 200-1000
+// bytes per signature), and CPU time of the monitor (paper: "virtually
+// zero").
+//
+// Each configuration runs in a forked child; the child reports its peak RSS
+// (getrusage) through a temp file, so measurements do not contaminate each
+// other.
+
+#include <sys/resource.h>
+
+#include <fstream>
+
+#include "bench/bench_util.h"
+#include "src/benchlib/synth_history.h"
+#include "src/benchlib/trial.h"
+#include "src/benchlib/workload.h"
+
+namespace dimmunix {
+namespace {
+
+long PeakRssKb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+long MeasureChildRss(bool dimmunix_mode, int threads, int locks) {
+  const std::string rss_file = TempFile("rss");
+  TrialResult result = RunTrial(
+      [&] {
+        WorkloadParams params;
+        params.threads = threads;
+        params.locks = locks;
+        params.delta_in_us = 1;
+        params.delta_out_us = 1000;
+        params.duration = std::chrono::milliseconds(300);
+        Runtime* rt = nullptr;
+        if (dimmunix_mode) {
+          Config config;
+          config.default_match_depth = 4;
+          rt = new Runtime(config);
+          SynthHistoryParams sigs;
+          sigs.signatures = 64;
+          GenerateSyntheticHistory(&rt->history(), &rt->stacks(), sigs);
+          rt->engine().NotifyHistoryChanged();
+          params.mode = WorkloadMode::kDimmunix;
+          params.runtime = rt;
+        }
+        (void)RunWorkload(params);
+        std::ofstream out(rss_file, std::ios::trunc);
+        out << PeakRssKb() << "\n";
+        return 0;
+      },
+      std::chrono::seconds(30));
+  long rss = 0;
+  std::ifstream in(rss_file);
+  in >> rss;
+  std::remove(rss_file.c_str());
+  return result.completed ? rss : -1;
+}
+
+}  // namespace
+}  // namespace dimmunix
+
+int main() {
+  using namespace dimmunix;
+  PrintHeader("Section 7.4: resource utilization",
+              "pthreads memory overhead 6-25 MB across 2-1024 threads with 64 two-thread "
+              "signatures; history ~200-1000 bytes/signature; CPU overhead ~0");
+
+  std::printf("-- memory (peak RSS of the workload process) --\n");
+  std::printf("%7s %6s | %10s %10s | %10s\n", "threads", "locks", "base KiB", "dimx KiB",
+              "delta KiB");
+  std::vector<std::pair<int, int>> configs = {{2, 8}, {16, 8}, {64, 32}};
+  if (FullScale()) {
+    configs.push_back({256, 32});
+    configs.push_back({1024, 32});
+  }
+  for (auto [threads, locks] : configs) {
+    const long base = MeasureChildRss(false, threads, locks);
+    const long dimx = MeasureChildRss(true, threads, locks);
+    std::printf("%7d %6d | %10ld %10ld | %10ld\n", threads, locks, base, dimx, dimx - base);
+  }
+
+  std::printf("-- history footprint on disk --\n");
+  {
+    StackTable table(10);
+    History history(&table);
+    SynthHistoryParams sigs;
+    sigs.signatures = 64;
+    sigs.stack_depth = 10;
+    GenerateSyntheticHistory(&history, &table, sigs);
+    const std::string path = TempFile("hist");
+    history.Save(path);
+    const auto bytes = std::filesystem::file_size(path);
+    std::printf("64 signatures -> %ju bytes (%.0f bytes/signature; paper: 200-1000)\n",
+                static_cast<uintmax_t>(bytes), static_cast<double>(bytes) / 64.0);
+    std::remove(path.c_str());
+  }
+
+  std::printf("-- monitor CPU --\n");
+  {
+    Config config;
+    config.monitor_period = std::chrono::milliseconds(100);
+    Runtime rt(config);
+    struct rusage before {};
+    getrusage(RUSAGE_SELF, &before);
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    struct rusage after {};
+    getrusage(RUSAGE_SELF, &after);
+    const double cpu_ms =
+        (after.ru_utime.tv_sec - before.ru_utime.tv_sec) * 1000.0 +
+        (after.ru_utime.tv_usec - before.ru_utime.tv_usec) / 1000.0 +
+        (after.ru_stime.tv_sec - before.ru_stime.tv_sec) * 1000.0 +
+        (after.ru_stime.tv_usec - before.ru_stime.tv_usec) / 1000.0;
+    std::printf("idle monitor over 1 s wall time: %.1f ms CPU (paper: virtually zero)\n",
+                cpu_ms);
+  }
+  return 0;
+}

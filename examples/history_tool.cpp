@@ -1,0 +1,83 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// history_tool — inspect and edit Dimmunix history files (§8: vendors can
+// ship signatures as "patches"; users can disable signatures that cause
+// functionality loss).
+//
+//   $ ./history_tool show app.dimmunix
+//   $ ./history_tool disable app.dimmunix 2
+//   $ ./history_tool enable app.dimmunix 2
+//   $ ./history_tool merge dst.dimmunix src.dimmunix   # vendor-shipped sigs
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/signature/history.h"
+#include "src/stack/stack_table.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: history_tool show <file>\n"
+               "       history_tool disable <file> <index>\n"
+               "       history_tool enable <file> <index>\n"
+               "       history_tool merge <dst> <src>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  dimmunix::StackTable stacks(16);
+  dimmunix::History history(&stacks);
+  const char* command = argv[1];
+  const char* path = argv[2];
+  if (!history.Load(path)) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+
+  if (std::strcmp(command, "show") == 0) {
+    std::printf("%zu signature(s) in %s\n", history.size(), path);
+    history.ForEach([&](int index, const dimmunix::Signature& sig) {
+      std::printf("[%d] %s depth=%d avoided=%llu aborts=%llu%s\n", index,
+                  sig.kind == dimmunix::SignatureKind::kStarvation ? "starvation" : "deadlock",
+                  sig.match_depth, static_cast<unsigned long long>(sig.avoidance_count),
+                  static_cast<unsigned long long>(sig.abort_count),
+                  sig.disabled ? " DISABLED" : "");
+      for (dimmunix::StackId id : sig.stacks) {
+        std::printf("      %s\n", stacks.Describe(id).c_str());
+      }
+    });
+    return 0;
+  }
+  if (std::strcmp(command, "disable") == 0 || std::strcmp(command, "enable") == 0) {
+    if (argc < 4) {
+      return Usage();
+    }
+    const int index = std::atoi(argv[3]);
+    if (index < 0 || static_cast<std::size_t>(index) >= history.size()) {
+      std::fprintf(stderr, "no signature %d\n", index);
+      return 1;
+    }
+    history.SetDisabled(index, std::strcmp(command, "disable") == 0);
+    return history.Save(path) ? 0 : 1;
+  }
+  if (std::strcmp(command, "merge") == 0) {
+    if (argc < 4) {
+      return Usage();
+    }
+    const std::size_t before = history.size();
+    if (!history.Load(argv[3])) {
+      std::fprintf(stderr, "cannot read %s\n", argv[3]);
+      return 1;
+    }
+    std::printf("merged %zu new signature(s)\n", history.size() - before);
+    return history.Save(path) ? 0 : 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,71 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Message broker example: the ActiveMQ #336 scenario (listener churn racing
+// active dispatch) running continuously under deadlock immunity — the
+// "band-aid while the vendor fixes the bug" use case of §8.
+//
+//   $ ./message_broker [seconds]
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "src/apps/activemq.h"
+#include "src/apps/exploits.h"
+#include "src/benchlib/trial.h"
+
+int main(int argc, char** argv) {
+  const int seconds = argc > 1 ? std::atoi(argv[1]) : 3;
+  const std::string history =
+      (std::filesystem::temp_directory_path() / "broker.dimmunix").string();
+  std::remove(history.c_str());
+
+  // Capture the signature with the vendor's exploit first.
+  const dimmunix::Exploit& exploit = dimmunix::FindExploit("activemq-336");
+  dimmunix::TrialResult first = dimmunix::RunTrial(
+      [&] {
+        dimmunix::Config config;
+        config.history_path = history;
+        config.monitor_period = std::chrono::milliseconds(20);
+        dimmunix::Runtime runtime(config);
+        exploit.run(runtime);
+        return 0;
+      },
+      std::chrono::seconds(2));
+  std::printf("exploit run: %s\n", first.deadlocked ? "deadlocked, signature saved" : "completed");
+
+  dimmunix::Config config;
+  config.history_path = history;
+  dimmunix::Runtime runtime(config);
+  dimmunix::BrokerSession session(runtime);
+  dimmunix::BrokerConsumer* consumer = session.CreateConsumer();
+
+  std::atomic<bool> stop{false};
+  std::atomic<long> dispatched{0};
+  std::thread dispatcher([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      session.DispatchOne("tick");
+      dispatched.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread subscriber([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      consumer->SetListener([](const std::string&) {});
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  stop.store(true);
+  dispatcher.join();
+  subscriber.join();
+
+  const auto& stats = runtime.engine().stats();
+  std::printf("dispatched %ld messages (%zu delivered) in %ds\n", dispatched.load(),
+              consumer->received(), seconds);
+  std::printf("immunity: %llu yields kept the broker deadlock-free\n",
+              static_cast<unsigned long long>(stats.yields.load()));
+  std::remove(history.c_str());
+  return 0;
+}

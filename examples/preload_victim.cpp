@@ -1,0 +1,52 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// preload_victim — an ordinary pthreads program with an AB-BA deadlock,
+// built with NO Dimmunix linkage. Used to demonstrate the LD_PRELOAD shim:
+//
+//   $ DIMMUNIX_HISTORY=/tmp/victim.hist DIMMUNIX_TAU_MS=20 \
+//     LD_PRELOAD=build/src/interpose/libdimmunix_preload.so ./preload_victim
+//
+// Run 1 deadlocks (kill it; the signature is already on disk). Run 2 under
+// the same command completes: the binary acquired immunity without being
+// recompiled or even restarted from a different build.
+
+#include <pthread.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace {
+
+pthread_mutex_t g_a = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t g_b = PTHREAD_MUTEX_INITIALIZER;
+
+void* LockAthenB(void*) {
+  pthread_mutex_lock(&g_a);
+  usleep(100 * 1000);
+  pthread_mutex_lock(&g_b);
+  pthread_mutex_unlock(&g_b);
+  pthread_mutex_unlock(&g_a);
+  return nullptr;
+}
+
+void* LockBthenA(void*) {
+  pthread_mutex_lock(&g_b);
+  usleep(100 * 1000);
+  pthread_mutex_lock(&g_a);
+  pthread_mutex_unlock(&g_a);
+  pthread_mutex_unlock(&g_b);
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_t t1;
+  pthread_t t2;
+  pthread_create(&t1, nullptr, LockAthenB, nullptr);
+  pthread_create(&t2, nullptr, LockBthenA, nullptr);
+  pthread_join(t1, nullptr);
+  pthread_join(t2, nullptr);
+  std::printf("completed without deadlock\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Quickstart: watch a program develop deadlock immunity.
+//
+// Incarnation 1 (a forked child): two threads lock A/B in opposite orders
+// and deadlock. The monitor detects the cycle, saves its signature to the
+// history file, and the "user" restarts the program (the parent kills the
+// hung child — recovery is restart-based, §3).
+//
+// Incarnation 2 (this process): the same code runs with the signature in
+// history; the dangerous interleaving is avoided by yielding one thread,
+// and the program completes.
+//
+//   $ ./quickstart
+//   incarnation 1: deadlocked (as expected); signature captured
+//   incarnation 2: completed; yields=1  -> the program is now immune
+
+#include <cstdio>
+#include <filesystem>
+#include <latch>
+#include <thread>
+
+#include "src/benchlib/trial.h"
+#include "src/stack/annotation.h"
+#include "src/sync/mutex.h"
+
+namespace {
+
+// The buggy code: classic AB-BA.
+void TransferAthenB(dimmunix::Mutex& a, dimmunix::Mutex& b) {
+  DIMMUNIX_FRAME();
+  std::lock_guard<dimmunix::Mutex> ga(a);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::lock_guard<dimmunix::Mutex> gb(b);
+}
+
+void TransferBthenA(dimmunix::Mutex& a, dimmunix::Mutex& b) {
+  DIMMUNIX_FRAME();
+  std::lock_guard<dimmunix::Mutex> gb(b);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::lock_guard<dimmunix::Mutex> ga(a);
+}
+
+int RunScenario(const std::string& history_path) {
+  dimmunix::Config config;
+  config.history_path = history_path;
+  config.monitor_period = std::chrono::milliseconds(20);
+  dimmunix::Runtime runtime(config);
+  dimmunix::Mutex a(runtime);
+  dimmunix::Mutex b(runtime);
+  std::latch start(2);
+  std::thread t1([&] {
+    start.arrive_and_wait();
+    TransferAthenB(a, b);
+  });
+  std::thread t2([&] {
+    start.arrive_and_wait();
+    TransferBthenA(a, b);
+  });
+  t1.join();
+  t2.join();
+  return static_cast<int>(runtime.engine().stats().yields.load());
+}
+
+}  // namespace
+
+int main() {
+  const std::string history =
+      (std::filesystem::temp_directory_path() / "quickstart.dimmunix").string();
+  std::remove(history.c_str());
+
+  // Incarnation 1, isolated in a child process because it will hang.
+  dimmunix::TrialResult first = dimmunix::RunTrial(
+      [&] { return RunScenario(history); }, std::chrono::seconds(2));
+  if (first.deadlocked) {
+    std::printf("incarnation 1: deadlocked (as expected); signature captured\n");
+  } else {
+    std::printf("incarnation 1: completed unexpectedly (lucky interleaving)\n");
+  }
+
+  // Incarnation 2: immune.
+  const int yields = RunScenario(history);
+  std::printf("incarnation 2: completed; yields=%d  -> the program is now immune\n", yields);
+  std::remove(history.c_str());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/apps/activemq.h"
+
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+
+// --- Bug #336 ----------------------------------------------------------------
+
+BrokerSession::BrokerSession(Runtime& runtime) : runtime_(runtime), monitor_(runtime) {}
+
+BrokerConsumer* BrokerSession::CreateConsumer() {
+  DIMMUNIX_FRAME();
+  std::lock_guard<RecursiveMutex> session_guard(monitor_);
+  consumers_.push_back(std::unique_ptr<BrokerConsumer>(new BrokerConsumer(runtime_, this)));
+  return consumers_.back().get();
+}
+
+void BrokerSession::DispatchOne(const std::string& message) {
+  DIMMUNIX_FRAME();  // active dispatch: session -> consumer
+  std::lock_guard<RecursiveMutex> session_guard(monitor_);
+  if (pause_in_dispatch) {
+    pause_in_dispatch();
+  }
+  for (auto& consumer : consumers_) {
+    DIMMUNIX_NAMED_FRAME("BrokerSession::DispatchOne/push");
+    std::lock_guard<RecursiveMutex> consumer_guard(consumer->monitor_);
+    consumer->Push(message);
+  }
+}
+
+BrokerConsumer::BrokerConsumer(Runtime& runtime, BrokerSession* session)
+    : session_(session), monitor_(runtime) {}
+
+void BrokerConsumer::SetListener(std::function<void(const std::string&)> listener) {
+  DIMMUNIX_FRAME();  // listener creation: consumer -> session
+  std::lock_guard<RecursiveMutex> consumer_guard(monitor_);
+  if (pause_in_set_listener) {
+    pause_in_set_listener();
+  }
+  DIMMUNIX_NAMED_FRAME("BrokerConsumer::SetListener/drainToListener");
+  std::lock_guard<RecursiveMutex> session_guard(session_->monitor_);
+  listener_ = std::move(listener);
+  while (!buffered_.empty()) {
+    listener_(buffered_.front());
+    buffered_.pop_front();
+    received_.fetch_add(1);
+  }
+}
+
+void BrokerConsumer::Push(const std::string& message) {
+  // Caller (the session) already holds both monitors in dispatch order.
+  if (listener_) {
+    listener_(message);
+    received_.fetch_add(1);
+  } else {
+    buffered_.push_back(message);
+  }
+}
+
+// --- Bug #575 ----------------------------------------------------------------
+
+BrokerQueue::BrokerQueue(Runtime& runtime) : queue_m_(runtime), subscription_m_(runtime) {}
+
+void BrokerQueue::DropEventInner() {
+  if (pause_in_drop) {
+    pause_in_drop();
+  }
+  DIMMUNIX_NAMED_FRAME("BrokerQueue::DropEventInner/notify_subscription");
+  std::lock_guard<RecursiveMutex> sub_guard(subscription_m_);
+  ++drops_;
+}
+
+void BrokerQueue::DropEventOnOverflow() {
+  DIMMUNIX_FRAME();  // pattern 1 of 3
+  std::lock_guard<RecursiveMutex> queue_guard(queue_m_);
+  DropEventInner();
+}
+
+void BrokerQueue::DropEventOnExpiry() {
+  DIMMUNIX_FRAME();  // pattern 2 of 3
+  std::lock_guard<RecursiveMutex> queue_guard(queue_m_);
+  DropEventInner();
+}
+
+void BrokerQueue::DropEventOnPurge() {
+  DIMMUNIX_FRAME();  // pattern 3 of 3
+  std::lock_guard<RecursiveMutex> queue_guard(queue_m_);
+  DropEventInner();
+}
+
+void BrokerQueue::SubscriptionAdd() {
+  DIMMUNIX_FRAME();  // PrefetchSubscription.add: subscription -> queue
+  std::lock_guard<RecursiveMutex> sub_guard(subscription_m_);
+  if (pause_in_add) {
+    pause_in_add();
+  }
+  DIMMUNIX_NAMED_FRAME("BrokerQueue::SubscriptionAdd/enqueue");
+  std::lock_guard<RecursiveMutex> queue_guard(queue_m_);
+  ++adds_;
+}
+
+}  // namespace dimmunix

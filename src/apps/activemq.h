@@ -1,0 +1,105 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// MiniBroker — reproduces the two Apache ActiveMQ deadlocks of Table 1.
+//
+//   AMQ 3.1 bug #336: "Listener creation and active dispatching of messages
+//   to consumer". The dispatcher thread holds the session monitor while
+//   pushing a message into a consumer (session -> consumer); a client thread
+//   installing a listener locks the consumer and then the session
+//   (consumer -> session). Because dispatch runs in a loop, the avoided
+//   pattern is re-encountered continuously — Table 1 reports ~1.8·10^5
+//   yields per trial for this bug.
+//
+//   AMQ 4.0 bug #575: "Queue.dropEvent() and PrefetchSubscription.add()".
+//   Queue eviction locks the queue then the subscription; adding a
+//   subscription locks the subscription then the queue. The paper counts
+//   three distinct patterns (three call paths into dropEvent); it could
+//   reproduce only one — we model that one plus the two extra entry points
+//   so the pattern count is inspectable.
+
+#ifndef DIMMUNIX_APPS_ACTIVEMQ_H_
+#define DIMMUNIX_APPS_ACTIVEMQ_H_
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sync/mutex.h"
+
+namespace dimmunix {
+
+// --- Bug #336 --------------------------------------------------------------
+
+class BrokerConsumer;
+
+class BrokerSession {
+ public:
+  explicit BrokerSession(Runtime& runtime);
+
+  BrokerConsumer* CreateConsumer();
+  // Dispatch one message to every consumer: session -> consumer monitors.
+  void DispatchOne(const std::string& message);
+
+  RecursiveMutex& monitor() { return monitor_; }
+  std::function<void()> pause_in_dispatch;  // holding the session monitor
+
+ private:
+  friend class BrokerConsumer;
+  Runtime& runtime_;
+  RecursiveMutex monitor_;
+  std::vector<std::unique_ptr<BrokerConsumer>> consumers_;
+};
+
+class BrokerConsumer {
+ public:
+  BrokerConsumer(Runtime& runtime, BrokerSession* session);
+
+  // Install a message listener: consumer -> session monitors (bug #336).
+  void SetListener(std::function<void(const std::string&)> listener);
+  void Push(const std::string& message);  // called by the session
+  std::size_t received() const { return received_.load(); }
+
+  std::function<void()> pause_in_set_listener;  // holding the consumer monitor
+
+ private:
+  friend class BrokerSession;
+  BrokerSession* session_;
+  RecursiveMutex monitor_;
+  std::function<void(const std::string&)> listener_;
+  std::deque<std::string> buffered_;
+  std::atomic<std::size_t> received_{0};
+};
+
+// --- Bug #575 --------------------------------------------------------------
+
+class BrokerQueue {
+ public:
+  explicit BrokerQueue(Runtime& runtime);
+
+  // Three distinct call paths into the eviction logic (three patterns).
+  void DropEventOnOverflow();  // queue -> subscription
+  void DropEventOnExpiry();    // queue -> subscription
+  void DropEventOnPurge();     // queue -> subscription
+  // PrefetchSubscription.add(): subscription -> queue.
+  void SubscriptionAdd();
+
+  std::function<void()> pause_in_drop;  // holding the queue monitor
+  std::function<void()> pause_in_add;   // holding the subscription monitor
+  int drops() const { return drops_; }
+  int adds() const { return adds_; }
+
+ private:
+  void DropEventInner();
+
+  RecursiveMutex queue_m_;
+  RecursiveMutex subscription_m_;
+  int drops_ = 0;
+  int adds_ = 0;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_APPS_ACTIVEMQ_H_

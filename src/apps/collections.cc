@@ -1,0 +1,157 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/apps/collections.h"
+
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+
+// --- SyncVector ---------------------------------------------------------------
+
+void SyncVector::Add(int value) {
+  DIMMUNIX_FRAME();
+  std::lock_guard<RecursiveMutex> guard(monitor_);
+  items_.push_back(value);
+}
+
+std::size_t SyncVector::Size() const {
+  DIMMUNIX_FRAME();
+  std::lock_guard<RecursiveMutex> guard(monitor_);
+  return items_.size();
+}
+
+void SyncVector::AddAll(SyncVector& other) {
+  DIMMUNIX_FRAME();  // Vector.addAll
+  std::lock_guard<RecursiveMutex> self_guard(monitor_);
+  if (pause_in_add_all) {
+    pause_in_add_all();
+  }
+  DIMMUNIX_NAMED_FRAME("SyncVector::AddAll/iterate_source");
+  std::lock_guard<RecursiveMutex> other_guard(other.monitor_);
+  items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+}
+
+// --- SyncHashtable --------------------------------------------------------------
+
+void SyncHashtable::Put(int key, SyncHashtable* value) {
+  DIMMUNIX_FRAME();
+  std::lock_guard<RecursiveMutex> guard(monitor_);
+  entries_.emplace_back(key, value);
+}
+
+bool SyncHashtable::Equals(SyncHashtable& other) {
+  DIMMUNIX_FRAME();  // Hashtable.equals
+  std::lock_guard<RecursiveMutex> self_guard(monitor_);
+  if (pause_in_equals) {
+    pause_in_equals();
+  }
+  // Comparing values requires each value's monitor — when h1 is a member of
+  // h2 and vice versa, two concurrent equals() calls lock in inverse order.
+  DIMMUNIX_NAMED_FRAME("SyncHashtable::Equals/compare_values");
+  std::lock_guard<RecursiveMutex> other_guard(other.monitor_);
+  return entries_.size() == other.entries_.size();
+}
+
+// --- SyncStringBuffer ------------------------------------------------------------
+
+void SyncStringBuffer::Set(std::string value) {
+  DIMMUNIX_FRAME();
+  std::lock_guard<RecursiveMutex> guard(monitor_);
+  value_ = std::move(value);
+}
+
+std::string SyncStringBuffer::Get() const {
+  DIMMUNIX_FRAME();
+  std::lock_guard<RecursiveMutex> guard(monitor_);
+  return value_;
+}
+
+void SyncStringBuffer::Append(SyncStringBuffer& other) {
+  DIMMUNIX_FRAME();  // StringBuffer.append(StringBuffer)
+  std::lock_guard<RecursiveMutex> self_guard(monitor_);
+  if (pause_in_append) {
+    pause_in_append();
+  }
+  DIMMUNIX_NAMED_FRAME("SyncStringBuffer::Append/read_source");
+  std::lock_guard<RecursiveMutex> other_guard(other.monitor_);
+  value_ += other.value_;
+}
+
+// --- PrintWriter / CharArrayWriter -------------------------------------------------
+
+void SyncCharArrayWriter::Append(const std::string& text) {
+  DIMMUNIX_FRAME();
+  std::lock_guard<RecursiveMutex> guard(monitor_);
+  buffer_ += text;
+}
+
+void SyncCharArrayWriter::WriteTo(SyncPrintWriter& out) {
+  DIMMUNIX_FRAME();  // CharArrayWriter.writeTo(w): buffer -> writer
+  std::lock_guard<RecursiveMutex> self_guard(monitor_);
+  if (pause_in_write_to) {
+    pause_in_write_to();
+  }
+  DIMMUNIX_NAMED_FRAME("SyncCharArrayWriter::WriteTo/flush");
+  std::lock_guard<RecursiveMutex> out_guard(out.monitor_);
+  out.output_ += buffer_;
+}
+
+void SyncPrintWriter::Write(SyncCharArrayWriter& source) {
+  DIMMUNIX_FRAME();  // PrintWriter.write: writer -> buffer
+  std::lock_guard<RecursiveMutex> self_guard(monitor_);
+  if (pause_in_write) {
+    pause_in_write();
+  }
+  DIMMUNIX_NAMED_FRAME("SyncPrintWriter::Write/read_source");
+  std::lock_guard<RecursiveMutex> source_guard(source.monitor_);
+  output_ += source.buffer_;
+}
+
+std::string SyncPrintWriter::Output() const {
+  DIMMUNIX_FRAME();
+  std::lock_guard<RecursiveMutex> guard(monitor_);
+  return output_;
+}
+
+// --- BeanContextSupport --------------------------------------------------------------
+
+void BeanContextSupport::Add(int child) {
+  DIMMUNIX_FRAME();
+  std::lock_guard<RecursiveMutex> guard(children_m_);
+  children_.push_back(child);
+}
+
+void BeanContextSupport::PropertyChange() {
+  DIMMUNIX_FRAME();  // propertyChange: global -> children
+  std::lock_guard<RecursiveMutex> global_guard(global_m_);
+  if (pause_in_property_change) {
+    pause_in_property_change();
+  }
+  DIMMUNIX_NAMED_FRAME("BeanContextSupport::PropertyChange/notify_children");
+  std::lock_guard<RecursiveMutex> children_guard(children_m_);
+  ++property_changes_;
+}
+
+void BeanContextSupport::Remove(int child) {
+  DIMMUNIX_FRAME();  // remove: children -> global
+  std::lock_guard<RecursiveMutex> children_guard(children_m_);
+  if (pause_in_remove) {
+    pause_in_remove();
+  }
+  DIMMUNIX_NAMED_FRAME("BeanContextSupport::Remove/fire_hierarchy_event");
+  std::lock_guard<RecursiveMutex> global_guard(global_m_);
+  for (auto it = children_.begin(); it != children_.end(); ++it) {
+    if (*it == child) {
+      children_.erase(it);
+      break;
+    }
+  }
+}
+
+std::size_t BeanContextSupport::ChildCount() const {
+  DIMMUNIX_FRAME();
+  std::lock_guard<RecursiveMutex> guard(children_m_);
+  return children_.size();
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,132 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Synchronized collection classes reproducing the JDK 1.6 "invitations to
+// deadlock" of Table 2 (§7.1.2). Each class is thread-safe in isolation —
+// exactly like java.util.Vector and friends — yet two perfectly legal
+// concurrent calls can deadlock *inside* the library:
+//
+//   SyncVector:       v1.AddAll(v2)  ||  v2.AddAll(v1)
+//   SyncHashtable:    h1.Equals(h2)  ||  h2.Equals(h1)   (mutual members)
+//   SyncStringBuffer: s1.Append(s2)  ||  s2.Append(s1)
+//   PrintWriter:      w.Write(...)   ||  CharArrayWriter::WriteTo(w)
+//   BeanContext:      ctx.PropertyChange() || ctx.Remove(child)
+//
+// All monitors are reentrant (Java synchronized semantics).
+
+#ifndef DIMMUNIX_APPS_COLLECTIONS_H_
+#define DIMMUNIX_APPS_COLLECTIONS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sync/mutex.h"
+
+namespace dimmunix {
+
+class SyncVector {
+ public:
+  explicit SyncVector(Runtime& runtime) : monitor_(runtime) {}
+
+  void Add(int value);
+  std::size_t Size() const;
+  // v.AddAll(other): locks v's monitor, then other's (the JDK's iteration
+  // over `other` happens under both).
+  void AddAll(SyncVector& other);
+
+  std::function<void()> pause_in_add_all;  // holding own monitor only
+
+ private:
+  mutable RecursiveMutex monitor_;
+  std::vector<int> items_;
+};
+
+class SyncHashtable {
+ public:
+  explicit SyncHashtable(Runtime& runtime) : monitor_(runtime) {}
+
+  void Put(int key, SyncHashtable* value);
+  // h.Equals(foo): locks h, then each value's monitor while comparing.
+  bool Equals(SyncHashtable& other);
+
+  std::function<void()> pause_in_equals;
+
+ private:
+  mutable RecursiveMutex monitor_;
+  std::vector<std::pair<int, SyncHashtable*>> entries_;
+};
+
+class SyncStringBuffer {
+ public:
+  explicit SyncStringBuffer(Runtime& runtime) : monitor_(runtime) {}
+
+  void Set(std::string value);
+  std::string Get() const;
+  // s.Append(other): locks s, then other (other.ToStringLocked()).
+  void Append(SyncStringBuffer& other);
+
+  std::function<void()> pause_in_append;
+
+ private:
+  mutable RecursiveMutex monitor_;
+  std::string value_;
+};
+
+class SyncPrintWriter;
+
+class SyncCharArrayWriter {
+ public:
+  explicit SyncCharArrayWriter(Runtime& runtime) : monitor_(runtime) {}
+
+  void Append(const std::string& text);
+  // writer.WriteTo(w): locks the char buffer, then the PrintWriter.
+  void WriteTo(SyncPrintWriter& out);
+
+  std::function<void()> pause_in_write_to;
+
+ private:
+  friend class SyncPrintWriter;
+  mutable RecursiveMutex monitor_;
+  std::string buffer_;
+};
+
+class SyncPrintWriter {
+ public:
+  explicit SyncPrintWriter(Runtime& runtime) : monitor_(runtime) {}
+
+  // w.Write(buffer): locks the PrintWriter, then the source buffer.
+  void Write(SyncCharArrayWriter& source);
+  std::string Output() const;
+
+  std::function<void()> pause_in_write;
+
+ private:
+  friend class SyncCharArrayWriter;
+  mutable RecursiveMutex monitor_;
+  std::string output_;
+};
+
+class BeanContextSupport {
+ public:
+  explicit BeanContextSupport(Runtime& runtime) : children_m_(runtime), global_m_(runtime) {}
+
+  void Add(int child);
+  // propertyChange(): global hierarchy lock, then the children monitor.
+  void PropertyChange();
+  // remove(): children monitor, then the global hierarchy lock.
+  void Remove(int child);
+  std::size_t ChildCount() const;
+
+  std::function<void()> pause_in_property_change;  // holding global lock
+  std::function<void()> pause_in_remove;           // holding children lock
+
+ private:
+  mutable RecursiveMutex children_m_;
+  RecursiveMutex global_m_;
+  std::vector<int> children_;
+  int property_changes_ = 0;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_APPS_COLLECTIONS_H_

@@ -1,0 +1,61 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/apps/hawknl.h"
+
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+
+MiniHawkNl::MiniHawkNl(Runtime& runtime) : runtime_(runtime), lib_m_(runtime) {}
+
+int MiniHawkNl::Open() {
+  DIMMUNIX_FRAME();  // nlOpen
+  std::lock_guard<Mutex> lib_guard(lib_m_);
+  sockets_.push_back(std::make_unique<Socket>(runtime_));
+  return static_cast<int>(sockets_.size() - 1);
+}
+
+void MiniHawkNl::Close(int socket) {
+  DIMMUNIX_FRAME();  // nlClose: socket lock, then library lock
+  Socket& s = *sockets_[static_cast<std::size_t>(socket)];
+  s.m.lock();
+  if (pause_in_close) {
+    pause_in_close();
+  }
+  {
+    DIMMUNIX_NAMED_FRAME("MiniHawkNl::Close/deregister");
+    std::lock_guard<Mutex> lib_guard(lib_m_);
+    s.open = false;
+  }
+  s.m.unlock();
+}
+
+void MiniHawkNl::Shutdown() {
+  DIMMUNIX_FRAME();  // nlShutdown: library lock, then the socket lock —
+                     // re-taken per socket, as the real teardown loop does.
+  for (auto& socket : sockets_) {
+    std::lock_guard<Mutex> lib_guard(lib_m_);
+    if (pause_in_shutdown) {
+      pause_in_shutdown();
+    }
+    if (pause_per_socket) {
+      pause_per_socket();  // models the per-socket teardown I/O
+    }
+    DIMMUNIX_NAMED_FRAME("MiniHawkNl::Shutdown/close_socket");
+    std::lock_guard<Mutex> socket_guard(socket->m);
+    socket->open = false;
+  }
+}
+
+int MiniHawkNl::open_sockets() const {
+  std::lock_guard<Mutex> lib_guard(lib_m_);
+  int open = 0;
+  for (const auto& socket : sockets_) {
+    if (socket->open) {
+      ++open;
+    }
+  }
+  return open;
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,48 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// MiniHawkNL — reproduces the HawkNL 1.6b3 deadlock of Table 1:
+// nlShutdown() called concurrently with nlClose(). Shutdown walks the socket
+// table holding the global library lock and takes each socket's lock;
+// nlClose takes the socket lock and then the library lock to deregister the
+// socket. Table 1 reports 10 yields per trial — the shutdown/close pattern
+// is re-encountered once per open socket (we open 10).
+
+#ifndef DIMMUNIX_APPS_HAWKNL_H_
+#define DIMMUNIX_APPS_HAWKNL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sync/mutex.h"
+
+namespace dimmunix {
+
+class MiniHawkNl {
+ public:
+  explicit MiniHawkNl(Runtime& runtime);
+
+  int Open();              // returns a socket handle
+  void Close(int socket);  // socket lock -> library lock
+  void Shutdown();         // library lock -> every socket lock
+  int open_sockets() const;
+
+  std::function<void()> pause_in_close;     // holding socket lock
+  std::function<void()> pause_in_shutdown;  // holding library lock
+  std::function<void()> pause_per_socket;   // per socket closed by Shutdown
+
+ private:
+  struct Socket {
+    explicit Socket(Runtime& runtime) : m(runtime) {}
+    Mutex m;
+    bool open = true;
+  };
+
+  Runtime& runtime_;
+  mutable Mutex lib_m_;
+  std::vector<std::unique_ptr<Socket>> sockets_;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_APPS_HAWKNL_H_

@@ -1,0 +1,97 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/apps/jdbc.h"
+
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+
+JdbcStatement::JdbcStatement(Runtime& runtime, JdbcConnection* conn, std::string sql)
+    : runtime_(runtime), conn_(conn), sql_(std::move(sql)), monitor_(runtime) {}
+
+std::string JdbcStatement::GetWarnings() {
+  DIMMUNIX_FRAME();  // PreparedStatement.getWarnings (bug #2147)
+  std::lock_guard<RecursiveMutex> stmt_guard(monitor_);
+  if (pause) {
+    pause();
+  }
+  DIMMUNIX_NAMED_FRAME("JdbcStatement::GetWarnings/checkClosed");
+  std::lock_guard<RecursiveMutex> conn_guard(conn_->monitor_);
+  return conn_->closed_ ? "connection closed" : "";
+}
+
+std::vector<int> JdbcStatement::ExecuteQuery() {
+  DIMMUNIX_FRAME();  // (Prepared)Statement.executeQuery (bugs #31136, #17709)
+  std::lock_guard<RecursiveMutex> stmt_guard(monitor_);
+  if (pause) {
+    pause();
+  }
+  DIMMUNIX_NAMED_FRAME("JdbcStatement::ExecuteQuery/serverRoundTrip");
+  std::lock_guard<RecursiveMutex> conn_guard(conn_->monitor_);
+  return conn_->RunOnServer(sql_);
+}
+
+void JdbcStatement::Close() {
+  DIMMUNIX_FRAME();  // Statement.close (bug #14972)
+  std::lock_guard<RecursiveMutex> stmt_guard(monitor_);
+  if (closed_) {
+    return;
+  }
+  if (pause) {
+    pause();
+  }
+  DIMMUNIX_NAMED_FRAME("JdbcStatement::Close/deregister");
+  std::lock_guard<RecursiveMutex> conn_guard(conn_->monitor_);
+  closed_ = true;
+}
+
+JdbcConnection::JdbcConnection(Runtime& runtime) : runtime_(runtime), monitor_(runtime) {}
+
+JdbcStatement* JdbcConnection::PrepareStatement(const std::string& sql) {
+  DIMMUNIX_FRAME();  // Connection.prepareStatement (bugs #14972, #17709)
+  std::lock_guard<RecursiveMutex> conn_guard(monitor_);
+  if (pause) {
+    pause();
+  }
+  // The connector scans open statements while preparing a new one (the
+  // conn -> stmt half of bugs #14972 and #17709).
+  for (auto& open : statements_) {
+    DIMMUNIX_NAMED_FRAME("JdbcConnection::PrepareStatement/checkOpenResults");
+    std::lock_guard<RecursiveMutex> stmt_guard(open->monitor_);
+    if (open->closed_) {
+      continue;
+    }
+  }
+  auto stmt = std::make_unique<JdbcStatement>(runtime_, this, sql);
+  JdbcStatement* raw = stmt.get();
+  {
+    DIMMUNIX_NAMED_FRAME("JdbcConnection::PrepareStatement/registerStatement");
+    std::lock_guard<RecursiveMutex> stmt_guard(raw->monitor_);
+    statements_.push_back(std::move(stmt));
+  }
+  return raw;
+}
+
+void JdbcConnection::Close() {
+  DIMMUNIX_FRAME();  // Connection.close (bugs #2147, #31136)
+  std::lock_guard<RecursiveMutex> conn_guard(monitor_);
+  if (closed_) {
+    return;
+  }
+  if (pause) {
+    pause();
+  }
+  for (auto& stmt : statements_) {
+    DIMMUNIX_NAMED_FRAME("JdbcConnection::Close/closeStatement");
+    std::lock_guard<RecursiveMutex> stmt_guard(stmt->monitor_);
+    stmt->closed_ = true;
+  }
+  closed_ = true;
+}
+
+std::vector<int> JdbcConnection::RunOnServer(const std::string& sql) {
+  ++round_trips_;
+  return {static_cast<int>(sql.size())};
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,87 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// MiniJdbc — reproduces the four MySQL 5.0 JDBC connector deadlocks of
+// Table 1. The connector's Connection and Statement objects are Java
+// synchronized classes (reentrant monitors); the bugs are lock-order
+// inversions between a connection monitor and a statement monitor reached
+// through different API pairs:
+//
+//   #2147  PreparedStatement.getWarnings()  (stmt -> conn)
+//          vs Connection.close()            (conn -> stmt)
+//   #14972 Connection.prepareStatement()    (conn -> stmt)
+//          vs Statement.close()             (stmt -> conn)
+//   #31136 PreparedStatement.executeQuery() (stmt -> conn)
+//          vs Connection.close()            (conn -> stmt)
+//   #17709 Statement.executeQuery()         (stmt -> conn)
+//          vs Connection.prepareStatement() (conn -> stmt)
+//
+// Each entry point is a distinct annotated call site, so each bug produces
+// its own deadlock signature even though they share the two monitors.
+
+#ifndef DIMMUNIX_APPS_JDBC_H_
+#define DIMMUNIX_APPS_JDBC_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sync/mutex.h"
+
+namespace dimmunix {
+
+class JdbcConnection;
+
+class JdbcStatement {
+ public:
+  JdbcStatement(Runtime& runtime, JdbcConnection* conn, std::string sql);
+
+  // stmt -> conn paths.
+  std::string GetWarnings();                   // bug #2147's first half
+  std::vector<int> ExecuteQuery();             // bugs #31136 / #17709's first half
+  void Close();                                // bug #14972's first half
+
+  RecursiveMutex& monitor() { return monitor_; }
+  bool closed() const { return closed_; }
+
+  // Exploit hook: runs while holding the statement monitor, before taking
+  // the connection monitor.
+  std::function<void()> pause;
+
+ private:
+  friend class JdbcConnection;
+  Runtime& runtime_;
+  JdbcConnection* conn_;
+  std::string sql_;
+  RecursiveMutex monitor_;
+  bool closed_ = false;
+};
+
+class JdbcConnection {
+ public:
+  explicit JdbcConnection(Runtime& runtime);
+
+  // conn -> stmt paths.
+  JdbcStatement* PrepareStatement(const std::string& sql);  // #14972 / #17709 second half
+  void Close();                                             // #2147 / #31136 second half
+
+  RecursiveMutex& monitor() { return monitor_; }
+  bool closed() const { return closed_; }
+  int server_round_trips() const { return round_trips_; }
+  // Called by statements with the connection monitor held.
+  std::vector<int> RunOnServer(const std::string& sql);
+
+  std::function<void()> pause;  // runs holding conn monitor, before stmt monitors
+
+ private:
+  friend class JdbcStatement;
+  Runtime& runtime_;
+  RecursiveMutex monitor_;
+  std::vector<std::unique_ptr<JdbcStatement>> statements_;
+  bool closed_ = false;
+  int round_trips_ = 0;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_APPS_JDBC_H_

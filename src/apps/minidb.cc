@@ -1,0 +1,71 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/apps/minidb.h"
+
+#include <algorithm>
+
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+
+MiniDb::MiniDb(Runtime& runtime) : runtime_(runtime), catalog_m_(runtime) {}
+
+void MiniDb::CreateTable(const std::string& name) {
+  std::lock_guard<Mutex> guard(catalog_m_);
+  tables_.emplace(name, std::make_unique<Table>(runtime_));
+}
+
+MiniDb::Table& MiniDb::Find(const std::string& name) {
+  std::lock_guard<Mutex> guard(catalog_m_);
+  return *tables_.at(name);
+}
+
+void MiniDb::Insert(const std::string& table, int value) {
+  DIMMUNIX_FRAME();
+  Table& t = Find(table);
+  t.data_m.lock();  // row store first...
+  t.rows.push_back(value);
+  if (pause_) {
+    pause_();
+  }
+  {
+    DIMMUNIX_NAMED_FRAME("MiniDb::Insert/index_update");
+    t.index_m.lock();  // ...then the index
+  }
+  t.index.insert(std::upper_bound(t.index.begin(), t.index.end(), value), value);
+  t.index_m.unlock();
+  t.data_m.unlock();
+}
+
+void MiniDb::Truncate(const std::string& table) {
+  DIMMUNIX_FRAME();
+  Table& t = Find(table);
+  t.index_m.lock();  // the bug: index first, data second — inverse of Insert
+  t.index.clear();
+  if (pause_) {
+    pause_();
+  }
+  {
+    DIMMUNIX_NAMED_FRAME("MiniDb::Truncate/data_drop");
+    t.data_m.lock();
+  }
+  t.rows.clear();
+  t.data_m.unlock();
+  t.index_m.unlock();
+}
+
+std::size_t MiniDb::Count(const std::string& table) {
+  DIMMUNIX_FRAME();
+  Table& t = Find(table);
+  std::lock_guard<Mutex> guard(t.data_m);
+  return t.rows.size();
+}
+
+bool MiniDb::IndexContains(const std::string& table, int value) {
+  DIMMUNIX_FRAME();
+  Table& t = Find(table);
+  std::lock_guard<Mutex> guard(t.index_m);
+  return std::binary_search(t.index.begin(), t.index.end(), value);
+}
+
+}  // namespace dimmunix

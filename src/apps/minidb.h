@@ -1,0 +1,59 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// MiniDb — a miniature storage engine reproducing the locking structure of
+// MySQL bug #37080 (Table 1, MySQL 6.0.4): INSERT and TRUNCATE running in
+// two different threads deadlock because INSERT takes the table's data lock
+// and then its index lock, while TRUNCATE rebuilds the index first (index
+// lock, then data lock).
+
+#ifndef DIMMUNIX_APPS_MINIDB_H_
+#define DIMMUNIX_APPS_MINIDB_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sync/mutex.h"
+
+namespace dimmunix {
+
+class MiniDb {
+ public:
+  explicit MiniDb(Runtime& runtime);
+
+  void CreateTable(const std::string& name);
+
+  // INSERT: data lock -> index lock.
+  void Insert(const std::string& table, int value);
+  // TRUNCATE: index lock -> data lock (the bug: inverse order).
+  void Truncate(const std::string& table);
+  // SELECT COUNT(*): data lock only.
+  std::size_t Count(const std::string& table);
+  // Point lookup through the index: index lock only.
+  bool IndexContains(const std::string& table, int value);
+
+  // Test/exploit hook: invoked while holding the first of the two locks.
+  void SetMidOperationPause(std::function<void()> pause) { pause_ = std::move(pause); }
+
+ private:
+  struct Table {
+    explicit Table(Runtime& runtime) : data_m(runtime), index_m(runtime) {}
+    Mutex data_m;
+    Mutex index_m;
+    std::vector<int> rows;
+    std::vector<int> index;  // sorted copy of rows
+  };
+
+  Table& Find(const std::string& name);
+
+  Runtime& runtime_;
+  Mutex catalog_m_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::function<void()> pause_;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_APPS_MINIDB_H_

@@ -1,0 +1,44 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Timing helpers used by the bug exploits. §7.1.1: "We used timing loops to
+// generate 'exploits', i.e. test cases that deterministically reproduced the
+// deadlocks." Each exploit holds its first lock for a window long enough
+// that two threads started together always overlap, turning the race into a
+// deterministic deadlock (without Dimmunix) or a deterministic avoidance
+// (with it).
+
+#ifndef DIMMUNIX_APPS_PAUSE_H_
+#define DIMMUNIX_APPS_PAUSE_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+
+namespace dimmunix {
+
+// How long an exploit thread keeps its first lock before requesting the
+// second one. Generous enough to be deterministic on a loaded single core.
+inline constexpr std::chrono::milliseconds kExploitHoldWindow{50};
+
+inline void ExploitHold() { std::this_thread::sleep_for(kExploitHoldWindow); }
+
+// For exploits that loop over the buggy operation (ActiveMQ #336/#575): the
+// first overlap must be wide enough to deadlock deterministically, but later
+// iterations only exist to re-encounter the avoided pattern, so they hold
+// briefly.
+inline std::function<void()> MakeDecayingPause() {
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  return [calls] {
+    if (calls->fetch_add(1) == 0) {
+      std::this_thread::sleep_for(kExploitHoldWindow);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  };
+}
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_APPS_PAUSE_H_

@@ -1,0 +1,58 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/apps/sqlite_rlock.h"
+
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+
+SqliteRecursiveLock::SqliteRecursiveLock(Runtime& runtime)
+    : state_m_(runtime), main_m_(runtime) {}
+
+void SqliteRecursiveLock::Enter() {
+  DIMMUNIX_FRAME();  // sqlite3_mutex_enter
+  state_m_.lock();
+  if (count_ > 0 && owner_ == std::this_thread::get_id()) {
+    ++count_;
+    state_m_.unlock();
+    return;
+  }
+  if (pause) {
+    pause();
+  }
+  {
+    DIMMUNIX_NAMED_FRAME("SqliteRecursiveLock::Enter/acquire_main");
+    main_m_.lock();
+  }
+  owner_ = std::this_thread::get_id();
+  count_ = 1;
+  state_m_.unlock();
+}
+
+void SqliteRecursiveLock::EnterFromBusyHandler() {
+  DIMMUNIX_FRAME();  // the inverted path: grabs the main mutex first
+  main_m_.lock();
+  if (pause) {
+    pause();
+  }
+  {
+    DIMMUNIX_NAMED_FRAME("SqliteRecursiveLock::EnterFromBusyHandler/update_state");
+    state_m_.lock();
+  }
+  owner_ = std::this_thread::get_id();
+  count_ = 1;
+  state_m_.unlock();
+}
+
+void SqliteRecursiveLock::Leave() {
+  DIMMUNIX_FRAME();
+  state_m_.lock();
+  if (--count_ <= 0) {
+    count_ = 0;
+    owner_ = std::thread::id{};
+    main_m_.unlock();
+  }
+  state_m_.unlock();
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,44 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// SQLite 3.3.0 bug #1672 (Table 1): "Deadlock in the custom recursive lock
+// implementation". SQLite built its own recursive mutex out of two plain
+// mutexes — one protecting the recursion bookkeeping (owner, count) and the
+// main mutex providing exclusion. The Enter path takes bookkeeping -> main
+// while a concurrent Leave path can take main-side state -> bookkeeping,
+// deadlocking the two halves of the *same* abstraction.
+
+#ifndef DIMMUNIX_APPS_SQLITE_RLOCK_H_
+#define DIMMUNIX_APPS_SQLITE_RLOCK_H_
+
+#include <functional>
+#include <thread>
+
+#include "src/sync/mutex.h"
+
+namespace dimmunix {
+
+// The buggy hand-rolled recursive lock.
+class SqliteRecursiveLock {
+ public:
+  explicit SqliteRecursiveLock(Runtime& runtime);
+
+  // Enter: bookkeeping lock -> main lock (when not already the owner).
+  void Enter();
+  // Busy-handler path: main lock -> bookkeeping lock (the inversion).
+  void EnterFromBusyHandler();
+  void Leave();
+
+  int recursion_count() const { return count_; }
+
+  std::function<void()> pause;  // exploit hook: held first lock, not second
+
+ private:
+  Mutex state_m_;  // guards owner_/count_
+  Mutex main_m_;   // provides the actual exclusion
+  std::thread::id owner_{};
+  int count_ = 0;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_APPS_SQLITE_RLOCK_H_

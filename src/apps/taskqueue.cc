@@ -1,0 +1,91 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/apps/taskqueue.h"
+
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+
+TaskQueue::TaskQueue(Runtime& runtime) : runtime_(runtime), queue_m_(runtime) {}
+
+int TaskQueue::Submit() {
+  DIMMUNIX_FRAME();
+  std::lock_guard<RecursiveMutex> queue_guard(queue_m_);
+  tasks_.push_back(std::make_unique<Task>(runtime_));
+  return static_cast<int>(tasks_.size() - 1);
+}
+
+void TaskQueue::CancelInner(int task) {
+  // Deregister from the queue while still holding the task monitor — the
+  // task -> queue half of the inversion.
+  if (pause_in_cancel) {
+    pause_in_cancel();
+  }
+  DIMMUNIX_NAMED_FRAME("TaskQueue::CancelInner/deregister");
+  std::lock_guard<RecursiveMutex> queue_guard(queue_m_);
+  tasks_[static_cast<std::size_t>(task)]->canceled = true;
+}
+
+// Ten-deep wrapper chains: the paper's two patterns for this bug required
+// matching depth 10 to tell apart.
+#define TQ_CHAIN(prefix, level, next)                   \
+  do {                                                  \
+    DIMMUNIX_NAMED_FRAME(prefix #level);                \
+    next;                                               \
+  } while (0)
+
+void TaskQueue::CancelFromUser(int task) {
+  DIMMUNIX_FRAME();
+  Task& t = *tasks_[static_cast<std::size_t>(task)];
+  std::lock_guard<RecursiveMutex> task_guard(t.m);
+  TQ_CHAIN("TaskQueue::user/", 1,
+    TQ_CHAIN("TaskQueue::user/", 2,
+      TQ_CHAIN("TaskQueue::user/", 3,
+        TQ_CHAIN("TaskQueue::user/", 4,
+          TQ_CHAIN("TaskQueue::user/", 5,
+            TQ_CHAIN("TaskQueue::user/", 6,
+              TQ_CHAIN("TaskQueue::user/", 7,
+                TQ_CHAIN("TaskQueue::user/", 8, CancelInner(task)))))))));
+}
+
+void TaskQueue::CancelFromTimer(int task) {
+  DIMMUNIX_FRAME();
+  Task& t = *tasks_[static_cast<std::size_t>(task)];
+  std::lock_guard<RecursiveMutex> task_guard(t.m);
+  TQ_CHAIN("TaskQueue::timer/", 1,
+    TQ_CHAIN("TaskQueue::timer/", 2,
+      TQ_CHAIN("TaskQueue::timer/", 3,
+        TQ_CHAIN("TaskQueue::timer/", 4,
+          TQ_CHAIN("TaskQueue::timer/", 5,
+            TQ_CHAIN("TaskQueue::timer/", 6,
+              TQ_CHAIN("TaskQueue::timer/", 7,
+                TQ_CHAIN("TaskQueue::timer/", 8, CancelInner(task)))))))));
+}
+
+#undef TQ_CHAIN
+
+void TaskQueue::Shutdown() {
+  DIMMUNIX_FRAME();  // queue -> every task
+  std::lock_guard<RecursiveMutex> queue_guard(queue_m_);
+  if (pause_in_shutdown) {
+    pause_in_shutdown();
+  }
+  for (auto& task : tasks_) {
+    DIMMUNIX_NAMED_FRAME("TaskQueue::Shutdown/cancel_task");
+    std::lock_guard<RecursiveMutex> task_guard(task->m);
+    task->canceled = true;
+  }
+}
+
+int TaskQueue::live_tasks() const {
+  std::lock_guard<RecursiveMutex> queue_guard(queue_m_);
+  int live = 0;
+  for (const auto& task : tasks_) {
+    if (!task->canceled) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,58 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// TaskQueue — reproduces Limewire 4.17.9 bug #1449 (Table 1): "HsqlDB
+// TaskQueue cancel and shutdown()". The embedded HsqlDB's TaskQueue
+// deadlocks when a task cancel (task monitor -> queue monitor) races a
+// database shutdown (queue monitor -> task monitors). Table 1 notes *two*
+// deadlock patterns for this bug at matching depth 10: cancel can reach the
+// queue monitor through two distinct deep call chains (timer expiry and user
+// cancel), and the paper's signatures needed 10 frames to separate them. We
+// model both chains with ten-deep annotated wrappers.
+
+#ifndef DIMMUNIX_APPS_TASKQUEUE_H_
+#define DIMMUNIX_APPS_TASKQUEUE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sync/mutex.h"
+
+namespace dimmunix {
+
+class TaskQueue {
+ public:
+  explicit TaskQueue(Runtime& runtime);
+
+  int Submit();  // returns task id
+
+  // Pattern 1: user-initiated cancel (task -> queue), 10-deep call chain.
+  void CancelFromUser(int task);
+  // Pattern 2: timer-initiated cancel (task -> queue), a different 10-deep
+  // call chain.
+  void CancelFromTimer(int task);
+  // shutdown(): queue -> every task.
+  void Shutdown();
+
+  int live_tasks() const;
+
+  std::function<void()> pause_in_cancel;    // holding the task monitor
+  std::function<void()> pause_in_shutdown;  // holding the queue monitor
+
+ private:
+  struct Task {
+    explicit Task(Runtime& runtime) : m(runtime) {}
+    RecursiveMutex m;
+    bool canceled = false;
+  };
+
+  void CancelInner(int task);  // common tail: assumes task monitor held
+
+  Runtime& runtime_;
+  mutable RecursiveMutex queue_m_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_APPS_TASKQUEUE_H_

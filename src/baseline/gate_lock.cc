@@ -1,0 +1,95 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/baseline/gate_lock.h"
+
+#include <numeric>
+
+namespace dimmunix {
+namespace {
+
+// Tiny union-find over dense indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+GateLockAvoider::GateLockAvoider(const History& history, const StackTable& stacks) {
+  // Collect the distinct positions (innermost frames) per signature.
+  std::vector<std::vector<Frame>> signature_positions;
+  history.ForEach([&](int, const Signature& sig) {
+    std::vector<Frame> positions;
+    for (StackId id : sig.stacks) {
+      const StackEntry& entry = stacks.Get(id);
+      if (!entry.frames.empty()) {
+        positions.push_back(entry.frames.front());
+      }
+    }
+    if (!positions.empty()) {
+      signature_positions.push_back(std::move(positions));
+    }
+  });
+
+  // Dense-index the positions.
+  std::unordered_map<Frame, std::size_t> index_of;
+  for (const auto& positions : signature_positions) {
+    for (Frame f : positions) {
+      index_of.emplace(f, index_of.size());
+    }
+  }
+
+  // Signatures sharing a position merge into one gate component.
+  UnionFind uf(index_of.size());
+  for (const auto& positions : signature_positions) {
+    for (std::size_t i = 1; i < positions.size(); ++i) {
+      uf.Union(index_of[positions[0]], index_of[positions[i]]);
+    }
+  }
+
+  std::unordered_map<std::size_t, std::size_t> gate_of_root;
+  for (const auto& [frame, idx] : index_of) {
+    const std::size_t root = uf.Find(idx);
+    auto it = gate_of_root.find(root);
+    if (it == gate_of_root.end()) {
+      it = gate_of_root.emplace(root, gates_.size()).first;
+      gates_.push_back(std::make_unique<std::recursive_mutex>());
+    }
+    gate_of_position_.emplace(frame, it->second);
+  }
+}
+
+GateLockAvoider::Guard::Guard(GateLockAvoider& avoider, Frame position) {
+  auto it = avoider.gate_of_position_.find(position);
+  if (it == avoider.gate_of_position_.end()) {
+    return;
+  }
+  avoider_ = &avoider;
+  gate_ = avoider.gates_[it->second].get();
+  avoider.gated_.fetch_add(1, std::memory_order_relaxed);
+  if (!gate_->try_lock()) {
+    avoider.contended_.fetch_add(1, std::memory_order_relaxed);
+    gate_->lock();
+  }
+}
+
+GateLockAvoider::Guard::~Guard() {
+  if (gate_ != nullptr) {
+    gate_->unlock();
+  }
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,80 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Gate-lock deadlock avoidance — the comparison baseline of Figure 9.
+//
+// Nir-Buchbinder et al. [17] "discovers deadlocks at runtime, then wraps the
+// corresponding parts of the code in one 'gate lock'; in subsequent
+// executions, the gate lock must be acquired prior to entering the code
+// block." Unlike Dimmunix, the technique does not use call stacks: a code
+// *position* (the innermost frame of each stack in a known deadlock) is
+// enough to force serialization, which is why it serializes all executions
+// through those positions — "even in the case of execution patterns that do
+// not lead to deadlock" (§4).
+//
+// Construction: each signature in the history contributes the set of
+// innermost frames of its stacks; signatures whose position sets intersect
+// must share one gate (their serialization requirements interact), so gates
+// are the union-find components over positions. The paper observes 45 gates
+// for 64 history signatures in the Figure 9 microbenchmark.
+
+#ifndef DIMMUNIX_BASELINE_GATE_LOCK_H_
+#define DIMMUNIX_BASELINE_GATE_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/signature/history.h"
+#include "src/stack/frame.h"
+#include "src/stack/stack_table.h"
+
+namespace dimmunix {
+
+class GateLockAvoider {
+ public:
+  // Builds gates from the innermost frames of every signature in `history`.
+  GateLockAvoider(const History& history, const StackTable& stacks);
+
+  GateLockAvoider(const GateLockAvoider&) = delete;
+  GateLockAvoider& operator=(const GateLockAvoider&) = delete;
+
+  // Scoped "enter the gated code block" guard. If `position` is guarded by
+  // a gate, acquires it (recursively); otherwise a no-op.
+  class Guard {
+   public:
+    Guard(GateLockAvoider& avoider, Frame position);
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    std::recursive_mutex* gate_ = nullptr;
+    GateLockAvoider* avoider_ = nullptr;
+  };
+
+  std::size_t gate_count() const { return gates_.size(); }
+  // Gate acquisitions that had to wait — each is a needless serialization of
+  // an execution that Dimmunix's stack matching would have let run (the
+  // baseline's "false positives" in the Figure 9 comparison).
+  std::uint64_t contended_acquisitions() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_gated_acquisitions() const {
+    return gated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Guard;
+
+  std::vector<std::unique_ptr<std::recursive_mutex>> gates_;
+  std::unordered_map<Frame, std::size_t> gate_of_position_;
+  std::atomic<std::uint64_t> contended_{0};
+  std::atomic<std::uint64_t> gated_{0};
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_BASELINE_GATE_LOCK_H_

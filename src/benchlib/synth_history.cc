@@ -1,0 +1,43 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/benchlib/synth_history.h"
+
+#include <random>
+#include <vector>
+
+#include "src/benchlib/workload.h"
+#include "src/stack/frame.h"
+
+namespace dimmunix {
+
+int GenerateSyntheticHistory(History* history, StackTable* stacks,
+                             const SynthHistoryParams& params) {
+  std::mt19937 rng(params.seed);
+  int added_count = 0;
+  for (int s = 0; s < params.signatures; ++s) {
+    std::vector<StackId> sig_stacks;
+    sig_stacks.reserve(static_cast<std::size_t>(params.signature_size));
+    for (int k = 0; k < params.signature_size; ++k) {
+      std::vector<Frame> frames;
+      frames.reserve(static_cast<std::size_t>(params.stack_depth));
+      // Innermost first: lock site, then tower levels 1..depth-1 — the same
+      // shape the workload's capture produces.
+      const int sites = params.site_choices > 0 ? params.site_choices : params.branching;
+      frames.push_back(FrameFromName(
+          LockSiteFrameName(static_cast<int>(rng() % static_cast<std::uint32_t>(sites)))));
+      for (int level = 1; level < params.stack_depth; ++level) {
+        frames.push_back(FrameFromName(TowerFrameName(
+            level, static_cast<int>(rng() % static_cast<std::uint32_t>(params.branching)))));
+      }
+      sig_stacks.push_back(stacks->Intern(frames));
+    }
+    bool added = false;
+    history->Add(SignatureKind::kDeadlock, std::move(sig_stacks), params.match_depth, &added);
+    if (added) {
+      ++added_count;
+    }
+  }
+  return added_count;
+}
+
+}  // namespace dimmunix

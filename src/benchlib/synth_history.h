@@ -1,0 +1,41 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Synthetic deadlock histories (§7.2.1, §7.2.2).
+//
+// "Since we had insufficient real deadlock signatures, we synthesized
+// additional ones as random combinations of real program stacks with which
+// the target system performs synchronization. From the point of view of
+// avoidance overhead, synthesized signatures have the same effect as real
+// ones." And for the microbenchmark: "We also wrote a tool that generates
+// synthetic deadlock history files containing H signatures, all of size S."
+
+#ifndef DIMMUNIX_BENCHLIB_SYNTH_HISTORY_H_
+#define DIMMUNIX_BENCHLIB_SYNTH_HISTORY_H_
+
+#include <cstdint>
+
+#include "src/signature/history.h"
+#include "src/stack/stack_table.h"
+
+namespace dimmunix {
+
+struct SynthHistoryParams {
+  int signatures = 64;    // H
+  int signature_size = 2; // S (threads per deadlock)
+  int stack_depth = 10;   // frames per stack (the workload's tower height)
+  int branching = 3;      // must match the workload's branching
+  int site_choices = 0;   // distinct lock sites; 0 = same as branching
+  int match_depth = 4;    // matching depth stored on each signature
+  std::uint32_t seed = 42;
+};
+
+// Adds `signatures` random signatures made of workload-shaped stacks to
+// `history`. Returns the number actually added (duplicates are skipped by
+// History). The caller must invoke AvoidanceEngine::NotifyHistoryChanged()
+// afterwards if an engine is already attached.
+int GenerateSyntheticHistory(History* history, StackTable* stacks,
+                             const SynthHistoryParams& params);
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_BENCHLIB_SYNTH_HISTORY_H_

@@ -1,0 +1,48 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/benchlib/trial.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <thread>
+
+namespace dimmunix {
+
+TrialResult RunTrial(const std::function<int()>& body, Duration timeout) {
+  TrialResult result;
+  const MonoTime start = Now();
+  const pid_t pid = fork();
+  if (pid < 0) {
+    return result;  // fork failure: reported as neither completed nor deadlocked
+  }
+  if (pid == 0) {
+    // Child. _exit (not exit) so no parent-owned atexit handlers run twice.
+    const int code = body();
+    _exit(code);
+  }
+  const MonoTime deadline = start + timeout;
+  for (;;) {
+    int status = 0;
+    const pid_t done = waitpid(pid, &status, WNOHANG);
+    if (done == pid) {
+      result.completed = WIFEXITED(status);
+      result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+      result.elapsed = Now() - start;
+      return result;
+    }
+    if (Now() >= deadline) {
+      kill(pid, SIGKILL);
+      waitpid(pid, &status, 0);
+      result.deadlocked = true;
+      result.elapsed = Now() - start;
+      return result;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,37 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Fork-isolated trial runner.
+//
+// §7.1.1 runs each exploit repeatedly: the unprotected configurations
+// deadlock (the process hangs and must be killed), the immunized
+// configuration completes. Deadlock recovery is "most likely done via
+// restart" (§3) — fork-per-trial reproduces exactly that lifecycle, and the
+// persistent history file carries the immunity from one trial (process
+// incarnation) to the next.
+
+#ifndef DIMMUNIX_BENCHLIB_TRIAL_H_
+#define DIMMUNIX_BENCHLIB_TRIAL_H_
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace dimmunix {
+
+struct TrialResult {
+  bool completed = false;   // child exited on its own
+  bool deadlocked = false;  // child had to be killed (timeout)
+  int exit_code = -1;
+  Duration elapsed{};
+};
+
+// Forks; the child runs `body` and exits with its return value. The parent
+// waits up to `timeout`, killing the child (SIGKILL) if it is still alive —
+// which the caller interprets as a deadlock.
+TrialResult RunTrial(const std::function<int()>& body, Duration timeout);
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_BENCHLIB_TRIAL_H_

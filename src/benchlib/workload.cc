@@ -1,0 +1,164 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/benchlib/workload.h"
+
+#include <atomic>
+#include <latch>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/stack/annotation.h"
+#include "src/sync/mutex.h"
+#include "src/sync/raw_mutex.h"
+
+namespace dimmunix {
+
+std::string TowerFrameName(int level, int choice) {
+  return "bench::tower_L" + std::to_string(level) + "_F" + std::to_string(choice);
+}
+
+std::string LockSiteFrameName(int choice) {
+  return "bench::lock_site_F" + std::to_string(choice);
+}
+
+namespace {
+
+// Pre-resolved frame ids for the call tower, built once per (depth,
+// branching) shape.
+struct FrameTower {
+  FrameTower(int depth, int branching, int site_choices) {
+    if (site_choices <= 0) {
+      site_choices = branching;
+    }
+    lock_sites.reserve(static_cast<std::size_t>(site_choices));
+    for (int c = 0; c < site_choices; ++c) {
+      lock_sites.push_back(FrameFromName(LockSiteFrameName(c)));
+    }
+    levels.resize(static_cast<std::size_t>(depth));
+    for (int l = 1; l < depth; ++l) {
+      for (int c = 0; c < branching; ++c) {
+        levels[static_cast<std::size_t>(l)].push_back(FrameFromName(TowerFrameName(l, c)));
+      }
+    }
+  }
+  std::vector<Frame> lock_sites;
+  std::vector<std::vector<Frame>> levels;  // levels[1..depth-1]
+};
+
+}  // namespace
+
+WorkloadResult RunWorkload(const WorkloadParams& params) {
+  const int nt = params.threads;
+  const int nl = params.locks;
+  FrameTower tower(params.stack_depth, params.branching, params.site_choices);
+
+  // Lock arrays per mode. The baseline and gate-lock modes use the same
+  // RawMutex primitive the instrumented Mutex wraps, so the comparison
+  // isolates Dimmunix's added work.
+  std::vector<std::unique_ptr<RawMutex>> raw_locks;
+  std::vector<std::unique_ptr<Mutex>> dim_locks;
+  if (params.mode == WorkloadMode::kDimmunix) {
+    for (int i = 0; i < nl; ++i) {
+      dim_locks.push_back(std::make_unique<Mutex>(*params.runtime));
+    }
+  } else {
+    for (int i = 0; i < nl; ++i) {
+      raw_locks.push_back(std::make_unique<RawMutex>());
+    }
+  }
+
+  const std::uint64_t yields_before =
+      params.mode == WorkloadMode::kDimmunix
+          ? params.runtime->engine().stats().yields.load(std::memory_order_relaxed)
+          : 0;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  std::latch ready(nt + 1);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(params.seed + static_cast<std::uint32_t>(t) * 7919u);
+      ready.arrive_and_wait();
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int lock_index = static_cast<int>(rng() % static_cast<std::uint32_t>(nl));
+        // Build a random call tower, outermost level first.
+        for (int level = params.stack_depth - 1; level >= 1; --level) {
+          const auto& choices = tower.levels[static_cast<std::size_t>(level)];
+          PushAnnotatedFrame(choices[rng() % choices.size()]);
+        }
+        const Frame site = tower.lock_sites[rng() % tower.lock_sites.size()];
+        PushAnnotatedFrame(site);
+
+        const auto hold = [&] {
+          if (params.sleep_inside) {
+            std::this_thread::sleep_for(std::chrono::microseconds(params.delta_in_us));
+          } else {
+            BusySpinMicros(params.delta_in_us);
+          }
+        };
+        switch (params.mode) {
+          case WorkloadMode::kBaseline: {
+            RawMutex& m = *raw_locks[static_cast<std::size_t>(lock_index)];
+            m.Lock();
+            hold();
+            m.Unlock();
+            break;
+          }
+          case WorkloadMode::kDimmunix: {
+            Mutex& m = *dim_locks[static_cast<std::size_t>(lock_index)];
+            m.lock();
+            hold();
+            m.unlock();
+            break;
+          }
+          case WorkloadMode::kGateLocks: {
+            GateLockAvoider::Guard gate(*params.gates, site);
+            RawMutex& m = *raw_locks[static_cast<std::size_t>(lock_index)];
+            m.Lock();
+            hold();
+            m.Unlock();
+            break;
+          }
+        }
+
+        for (int level = 0; level < params.stack_depth; ++level) {
+          PopAnnotatedFrame();
+        }
+        ++ops;
+        if (params.sleep_outside) {
+          std::this_thread::sleep_for(std::chrono::microseconds(params.delta_out_us));
+        } else {
+          BusySpinMicros(params.delta_out_us);
+        }
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+
+  ready.arrive_and_wait();
+  const MonoTime start = Now();
+  std::this_thread::sleep_for(params.duration);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const double elapsed = std::chrono::duration<double>(Now() - start).count();
+
+  WorkloadResult result;
+  result.lock_ops = total_ops.load();
+  result.elapsed_sec = elapsed;
+  result.ops_per_sec = elapsed > 0 ? static_cast<double>(result.lock_ops) / elapsed : 0.0;
+  if (params.mode == WorkloadMode::kDimmunix) {
+    result.yields =
+        params.runtime->engine().stats().yields.load(std::memory_order_relaxed) - yields_before;
+  }
+  return result;
+}
+
+}  // namespace dimmunix

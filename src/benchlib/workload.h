@@ -1,0 +1,75 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// The §7.2.2 synchronization microbenchmark.
+//
+// "a synchronization-intensive microbenchmark that creates Nt threads and
+// has them synchronize on locks from a total of Nl locks shared among the
+// threads; a lock is held for δin time before being released and a new lock
+// is requested after δout time; the delays are implemented as busy loops...
+// The threads call multiple functions within the microbenchmark so as to
+// build up different call stacks; which function is called at each level is
+// chosen randomly, thus generating a uniformly distributed selection of call
+// stacks."
+//
+// Modes:
+//   kBaseline   — same RawMutex primitive, no engine (the "Baseline" series)
+//   kDimmunix   — instrumented dimmunix::Mutex through a Runtime
+//   kGateLocks  — baseline locks guarded by a GateLockAvoider (Figure 9)
+
+#ifndef DIMMUNIX_BENCHLIB_WORKLOAD_H_
+#define DIMMUNIX_BENCHLIB_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/baseline/gate_lock.h"
+#include "src/common/clock.h"
+#include "src/core/runtime.h"
+
+namespace dimmunix {
+
+enum class WorkloadMode { kBaseline, kDimmunix, kGateLocks };
+
+struct WorkloadParams {
+  WorkloadMode mode = WorkloadMode::kBaseline;
+  int threads = 64;          // Nt
+  int locks = 8;             // Nl
+  std::int64_t delta_in_us = 1;     // δin
+  std::int64_t delta_out_us = 1000; // δout
+  int stack_depth = 10;      // D: call-tower height above the lock site
+  int branching = 3;         // distinct callees per tower level
+  // Distinct lock call sites (innermost frames); 0 = same as `branching`.
+  // Figure 9 uses ~100 so the gate-lock baseline's union-find yields tens of
+  // gates, as in the paper (45 gates for 64 signatures).
+  int site_choices = 0;
+  // δin/δout as sleeps instead of busy loops. On a single-core host a
+  // busy-loop workload is CPU-bound and hides blocking costs entirely;
+  // sleeping models "computation elsewhere" and makes serialization (gate
+  // locks, FP yields) visible in throughput, which is what Figure 9
+  // measures.
+  bool sleep_inside = false;
+  bool sleep_outside = false;
+  Duration duration = std::chrono::milliseconds(500);
+  std::uint32_t seed = 1;
+  Runtime* runtime = nullptr;          // required for kDimmunix
+  GateLockAvoider* gates = nullptr;    // required for kGateLocks
+};
+
+struct WorkloadResult {
+  std::uint64_t lock_ops = 0;
+  double ops_per_sec = 0.0;
+  std::uint64_t yields = 0;  // engine yields during the run (kDimmunix only)
+  double elapsed_sec = 0.0;
+};
+
+WorkloadResult RunWorkload(const WorkloadParams& params);
+
+// The workload's frame-naming scheme, shared with the synthetic-history
+// generator so that generated signatures refer to stacks the workload can
+// actually produce.
+std::string TowerFrameName(int level, int choice);
+std::string LockSiteFrameName(int choice);
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_BENCHLIB_WORKLOAD_H_

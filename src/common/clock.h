@@ -1,0 +1,43 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Monotonic time helpers plus the busy-wait primitive used by the §7.2.2
+// microbenchmark (δin/δout are "implemented as busy loops, thus simulating
+// computation done inside and outside the critical sections").
+
+#ifndef DIMMUNIX_COMMON_CLOCK_H_
+#define DIMMUNIX_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dimmunix {
+
+using MonoClock = std::chrono::steady_clock;
+using MonoTime = MonoClock::time_point;
+using Duration = MonoClock::duration;
+
+inline MonoTime Now() { return MonoClock::now(); }
+
+inline std::int64_t ToMicros(Duration d) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
+
+inline std::int64_t ToMillis(Duration d) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
+}
+
+// Spins for approximately `micros` microseconds of wall time. Zero returns
+// immediately. Used to simulate in/out-of-critical-section computation.
+inline void BusySpinMicros(std::int64_t micros) {
+  if (micros <= 0) {
+    return;
+  }
+  const MonoTime deadline = Now() + std::chrono::microseconds(micros);
+  while (Now() < deadline) {
+    // Tight loop; intentionally no yield so the delay models computation.
+  }
+}
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_COMMON_CLOCK_H_

@@ -1,0 +1,73 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/common/config.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace dimmunix {
+namespace {
+
+const char* Getenv(const char* name) { return std::getenv(name); }
+
+bool EnvBool(const char* name, bool fallback) {
+  const char* v = Getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  std::string_view s(v);
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+long EnvLong(const char* name, long fallback) {
+  const char* v = Getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  if (end == v) {
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Config Config::FromEnvironment() { return FromEnvironment(Config{}); }
+
+Config Config::FromEnvironment(Config base) {
+  if (const char* h = Getenv("DIMMUNIX_HISTORY"); h != nullptr && *h != '\0') {
+    base.history_path = h;
+  }
+  base.monitor_period =
+      std::chrono::milliseconds(EnvLong("DIMMUNIX_TAU_MS", base.monitor_period.count()));
+  base.default_match_depth =
+      static_cast<int>(EnvLong("DIMMUNIX_DEPTH", base.default_match_depth));
+  base.max_match_depth = static_cast<int>(EnvLong("DIMMUNIX_MAX_DEPTH", base.max_match_depth));
+  base.calibration_enabled = EnvBool("DIMMUNIX_CALIBRATION", base.calibration_enabled);
+  base.yield_timeout =
+      std::chrono::milliseconds(EnvLong("DIMMUNIX_YIELD_TIMEOUT_MS", base.yield_timeout.count()));
+  base.ignore_yield_decisions = EnvBool("DIMMUNIX_IGNORE_YIELDS", base.ignore_yield_decisions);
+  if (const char* m = Getenv("DIMMUNIX_IMMUNITY"); m != nullptr) {
+    std::string_view s(m);
+    if (s == "strong") {
+      base.immunity = ImmunityMode::kStrong;
+    } else if (s == "weak") {
+      base.immunity = ImmunityMode::kWeak;
+    }
+  }
+  if (const char* st = Getenv("DIMMUNIX_STAGE"); st != nullptr) {
+    std::string_view s(st);
+    if (s == "instr") {
+      base.stage = EngineStage::kInstrumentationOnly;
+    } else if (s == "data") {
+      base.stage = EngineStage::kDataStructures;
+    } else if (s == "full") {
+      base.stage = EngineStage::kFull;
+    }
+  }
+  return base;
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,98 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Runtime configuration for the Dimmunix engine. Every tunable named in the
+// paper is represented here with the paper's default:
+//   - τ (monitor wakeup period, §5.2)            -> monitor_period
+//   - fixed matching depth 4 (§5.5)              -> default_match_depth
+//   - NA = 20 calibration avoidances per depth   -> calibration_na
+//   - NT = 10^4 recalibration threshold          -> calibration_nt
+//   - weak vs. strong immunity (§5.4)            -> immunity
+//   - 200 msec yield upper bound (§5.7)          -> yield_timeout
+//
+// Config can be populated programmatically or from DIMMUNIX_* environment
+// variables (used by the LD_PRELOAD shim, where no code runs before main).
+
+#ifndef DIMMUNIX_COMMON_CONFIG_H_
+#define DIMMUNIX_COMMON_CONFIG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace dimmunix {
+
+// §5.4: weak immunity breaks induced starvation and continues; strong
+// immunity requests a program restart on starvation, guaranteeing no pattern
+// in history ever reoccurs.
+enum class ImmunityMode { kWeak, kStrong };
+
+// What the monitor does when it finds a *deadlock* cycle (recovery is
+// orthogonal to Dimmunix, §3; these hooks exist so tests and the trial
+// harness can observe/recover).
+enum class DeadlockAction {
+  kReport,       // save signature, invoke hook, leave threads deadlocked
+  kBreakVictim,  // additionally cancel one victim's pending acquisition
+};
+
+// Staged-disable knobs for the Figure 8 overhead breakdown.
+enum class EngineStage {
+  kInstrumentationOnly,  // intercept lock ops, emit events, never consult history
+  kDataStructures,       // + maintain Allowed sets / lock map, never yield
+  kFull,                 // + avoidance (production behavior)
+};
+
+struct Config {
+  // Master switch: false turns every engine entry point into an immediate
+  // return (used as the "uninstrumented baseline" in app-level benchmarks).
+  bool enabled = true;
+
+  // --- Monitor -------------------------------------------------------------
+  std::chrono::milliseconds monitor_period{100};  // τ
+  bool start_monitor = true;                      // false: tests drive the monitor manually
+
+  // --- Matching / calibration ----------------------------------------------
+  int default_match_depth = 4;    // fixed depth when calibration is off
+  int max_match_depth = 10;       // D: deepest suffix ever compared
+  bool calibration_enabled = false;
+  int calibration_na = 20;        // NA: avoidances per depth rung
+  int calibration_nt = 10000;     // NT: avoidances before recalibration
+
+  // --- Avoidance -----------------------------------------------------------
+  ImmunityMode immunity = ImmunityMode::kWeak;
+  DeadlockAction deadlock_action = DeadlockAction::kReport;
+  EngineStage stage = EngineStage::kFull;
+  std::chrono::milliseconds yield_timeout{200};  // §5.7 upper bound on a yield
+  // After this many timed-out yields a signature is considered "too risky to
+  // avoid" and is automatically disabled (§5.7). <= 0 disables the feature.
+  int auto_disable_aborts = 64;
+  // Table 1's middle configuration: run full instrumentation + detection but
+  // ignore YIELD decisions (never actually pause threads).
+  bool ignore_yield_decisions = false;
+  // Guard the shared avoidance state with the generalized Peterson filter
+  // lock (§5.6) instead of a TAS spin lock.
+  bool use_peterson_guard = false;
+  // Maximum threads that may simultaneously run through the engine when the
+  // Peterson guard is selected (slot count of the filter lock).
+  int peterson_slots = 64;
+
+  // --- History -------------------------------------------------------------
+  std::string history_path;       // empty = in-memory only
+  bool load_history_on_init = true;
+  bool save_history_on_update = true;
+
+  // --- FP probes (§5.5 retrospective analysis) ------------------------------
+  std::chrono::milliseconds fp_probe_window{50};
+  int fp_probe_max_ops = 64;
+
+  // Reads DIMMUNIX_* environment variables over the current values:
+  //   DIMMUNIX_HISTORY, DIMMUNIX_TAU_MS, DIMMUNIX_DEPTH, DIMMUNIX_MAX_DEPTH,
+  //   DIMMUNIX_IMMUNITY (weak|strong), DIMMUNIX_CALIBRATION (0|1),
+  //   DIMMUNIX_YIELD_TIMEOUT_MS, DIMMUNIX_IGNORE_YIELDS (0|1),
+  //   DIMMUNIX_STAGE (instr|data|full).
+  static Config FromEnvironment();
+  static Config FromEnvironment(Config base);
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_COMMON_CONFIG_H_

@@ -1,0 +1,58 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dimmunix {
+namespace {
+
+LogLevel ParseLevel() {
+  const char* v = std::getenv("DIMMUNIX_LOG");
+  if (v == nullptr) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(v, "error") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(v, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(v, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  return LogLevel::kWarn;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GlobalLogLevel() {
+  static const LogLevel level = ParseLevel();
+  return level;
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(GlobalLogLevel());
+}
+
+void LogLine(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "dimmunix %s %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,48 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Minimal leveled logger. Dimmunix runs inside arbitrary host processes, so
+// the logger writes to stderr only, never allocates at static-init time, and
+// is gated by DIMMUNIX_LOG (error|warn|info|debug, default warn).
+
+#ifndef DIMMUNIX_COMMON_LOGGING_H_
+#define DIMMUNIX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dimmunix {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// Currently enabled level (read once from the environment).
+LogLevel GlobalLogLevel();
+
+// True if `level` messages should be emitted.
+bool LogEnabled(LogLevel level);
+
+// Writes one formatted line ("dimmunix <LEVEL> <msg>\n") to stderr.
+void LogLine(LogLevel level, const std::string& msg);
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define DIMMUNIX_LOG(level)                                  \
+  if (!::dimmunix::LogEnabled(::dimmunix::LogLevel::level)) { \
+  } else                                                     \
+    ::dimmunix::log_internal::LogMessage(::dimmunix::LogLevel::level).stream()
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_COMMON_LOGGING_H_

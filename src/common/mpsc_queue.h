@@ -1,0 +1,95 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Unbounded lock-free multi-producer single-consumer queue.
+//
+// This is the "async event queue" of Figure 1: every instrumented lock
+// operation enqueues an event from an application thread (producer) and the
+// monitor thread periodically drains the queue (single consumer). The
+// algorithm is the classic Vyukov intrusive MPSC queue adapted to own its
+// nodes: producers only ever touch the head with one atomic exchange, so an
+// enqueue is wait-free for practical purposes; the consumer pops in FIFO
+// order.
+//
+// Ordering guarantee (required by §5.2): events enqueued by the same thread
+// appear in program order, and the exchange/acquire pairing makes an event
+// visible to the consumer together with everything that happened-before its
+// enqueue. In particular a `release` of lock L enqueued by thread A is
+// drained before the `acquired` of L enqueued by thread B, because B's
+// acquisition of L happens-after A's release of L.
+
+#ifndef DIMMUNIX_COMMON_MPSC_QUEUE_H_
+#define DIMMUNIX_COMMON_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+namespace dimmunix {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    // Drain any remaining nodes, then the stub.
+    while (Pop().has_value()) {
+    }
+    delete tail_;
+  }
+
+  // Producer side. Thread-safe, callable concurrently from any thread.
+  void Push(T value) {
+    Node* node = new Node(std::move(value));
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    // Between the exchange and this store the queue is momentarily
+    // "disconnected"; the consumer observes next == nullptr and treats the
+    // queue as empty, which is safe (the element becomes visible on the next
+    // drain).
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  // Consumer side. Only one thread may call Pop/Empty.
+  std::optional<T> Pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      return std::nullopt;
+    }
+    T value = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    return value;
+  }
+
+  // Consumer side: true if a subsequent Pop() would (currently) return an
+  // element.
+  bool Empty() const { return tail_->next.load(std::memory_order_acquire) == nullptr; }
+
+  // Approximate number of elements ever pushed; used only for stats.
+  std::size_t ApproxPushed() const { return pushed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    T value{};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  std::atomic<Node*> head_;  // producers push here
+  Node* tail_;               // consumer pops here (dummy/stub node)
+  std::atomic<std::size_t> pushed_{0};
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_COMMON_MPSC_QUEUE_H_

@@ -1,0 +1,56 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/common/peterson_lock.h"
+
+#include <cassert>
+#include <thread>
+
+namespace dimmunix {
+
+PetersonLock::PetersonLock(std::size_t slots)
+    : n_(slots),
+      level_(std::make_unique<std::atomic<int>[]>(slots)),
+      victim_(std::make_unique<std::atomic<int>[]>(slots)) {
+  for (std::size_t i = 0; i < n_; ++i) {
+    level_[i].store(-1, std::memory_order_relaxed);
+    victim_[i].store(-1, std::memory_order_relaxed);
+  }
+}
+
+void PetersonLock::Lock(std::size_t slot) {
+  assert(slot < n_);
+  const int me = static_cast<int>(slot);
+  for (std::size_t l = 0; l < n_ - 1; ++l) {
+    level_[slot].store(static_cast<int>(l), std::memory_order_seq_cst);
+    victim_[l].store(me, std::memory_order_seq_cst);
+    // Wait while some other thread is at my level or higher and I am the
+    // victim of this level.
+    int spins = 0;
+    for (;;) {
+      if (victim_[l].load(std::memory_order_seq_cst) != me) {
+        break;
+      }
+      bool other_at_level = false;
+      for (std::size_t k = 0; k < n_; ++k) {
+        if (k != slot && level_[k].load(std::memory_order_seq_cst) >= static_cast<int>(l)) {
+          other_at_level = true;
+          break;
+        }
+      }
+      if (!other_at_level) {
+        break;
+      }
+      if (++spins >= 16) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+void PetersonLock::Unlock(std::size_t slot) {
+  assert(slot < n_);
+  level_[slot].store(-1, std::memory_order_seq_cst);
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,646 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/core/avoidance.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/stack/capture.h"
+
+namespace dimmunix {
+
+AvoidanceEngine::AvoidanceEngine(const Config& config, StackTable* stacks, History* history,
+                                 EventQueue* queue)
+    : config_(config),
+      stacks_(stacks),
+      history_(history),
+      queue_(queue),
+      use_peterson_(config.use_peterson_guard),
+      peterson_guard_(static_cast<std::size_t>(std::max(2, config.peterson_slots))) {
+  stacks_->AddNewStackObserver([this](const StackEntry& entry) { OnNewStack(entry); });
+}
+
+void AvoidanceEngine::GuardLock(ThreadId thread) {
+  if (use_peterson_) {
+    assert(static_cast<std::size_t>(thread) < peterson_guard_.slots() &&
+           "peterson guard requires thread ids < peterson_slots");
+    peterson_guard_.Lock(static_cast<std::size_t>(thread));
+  } else {
+    spin_guard_.Lock();
+  }
+}
+
+void AvoidanceEngine::GuardUnlock(ThreadId thread) {
+  if (use_peterson_) {
+    peterson_guard_.Unlock(static_cast<std::size_t>(thread));
+  } else {
+    spin_guard_.Unlock();
+  }
+}
+
+AvoidanceEngine::StackSlot& AvoidanceEngine::SlotFor(StackId id) {
+  while (stack_slots_.size() <= static_cast<std::size_t>(id)) {
+    stack_slots_.emplace_back();
+  }
+  return stack_slots_[static_cast<std::size_t>(id)];
+}
+
+void AvoidanceEngine::RemoveTuple(StackId stack, ThreadId thread, LockId lock) {
+  auto& tuples = SlotFor(stack).tuples;
+  for (auto it = tuples.begin(); it != tuples.end(); ++it) {
+    if (it->thread == thread && it->lock == lock) {
+      tuples.erase(it);
+      return;
+    }
+  }
+}
+
+void AvoidanceEngine::RefreshSigCacheLocked() {
+  const std::uint64_t version = history_->version();
+  if (version == cached_history_version_) {
+    return;
+  }
+  cached_history_version_ = version;
+  sig_cache_.clear();
+  history_->ForEach([this](int index, const Signature& sig) {
+    if (sig.disabled) {
+      return;
+    }
+    SigCacheEntry entry;
+    entry.index = index;
+    entry.depth = sig.match_depth;
+    entry.sig_stacks = sig.stacks;
+    entry.candidates.resize(sig.stacks.size());
+    sig_cache_.push_back(std::move(entry));
+  });
+  // Resolve candidates outside the History lock (MatchingAtDepth takes the
+  // stack-table lock).
+  for (SigCacheEntry& entry : sig_cache_) {
+    for (std::size_t j = 0; j < entry.sig_stacks.size(); ++j) {
+      entry.candidates[j] = stacks_->MatchingAtDepth(entry.sig_stacks[j], entry.depth);
+    }
+  }
+}
+
+void AvoidanceEngine::OnNewStack(const StackEntry& entry) {
+  // Called by StackTable::Intern (no table lock held). Keep per-signature
+  // candidate lists incremental so matching stays O(1) in the number of
+  // interned stacks.
+  GuardLock(registry_.RegisterCurrentThread());
+  for (SigCacheEntry& sig : sig_cache_) {
+    for (std::size_t j = 0; j < sig.sig_stacks.size(); ++j) {
+      if (stacks_->MatchesAtDepth(entry.id, sig.sig_stacks[j], sig.depth)) {
+        auto& cands = sig.candidates[j];
+        if (std::find(cands.begin(), cands.end(), entry.id) == cands.end()) {
+          cands.push_back(entry.id);
+        }
+      }
+    }
+  }
+  GuardUnlock(registry_.RegisterCurrentThread());
+}
+
+bool AvoidanceEngine::CoverPositions(const SigCacheEntry& sig, std::size_t pos,
+                                     std::vector<AllowedTuple>& chosen,
+                                     std::vector<StackId>& chosen_stacks,
+                                     std::unordered_set<ThreadId>& used_threads,
+                                     std::unordered_set<LockId>& used_locks, ThreadId requester,
+                                     LockId req_lock, bool& requester_used) {
+  if (pos == sig.sig_stacks.size()) {
+    return requester_used;  // a valid instance must include the new allow edge
+  }
+  // Prune: if the requester has not been placed yet and no remaining
+  // position could take it, this branch can still succeed only via later
+  // positions — handled naturally by the recursion.
+  for (StackId candidate : sig.candidates[pos]) {
+    const auto& tuples = SlotFor(candidate).tuples;
+    for (const AllowedTuple& tuple : tuples) {
+      if (used_threads.count(tuple.thread) > 0 || used_locks.count(tuple.lock) > 0) {
+        continue;
+      }
+      const bool is_requester = (tuple.thread == requester && tuple.lock == req_lock);
+      used_threads.insert(tuple.thread);
+      used_locks.insert(tuple.lock);
+      chosen.push_back(tuple);
+      chosen_stacks.push_back(candidate);
+      if (is_requester) {
+        requester_used = true;
+      }
+      if (CoverPositions(sig, pos + 1, chosen, chosen_stacks, used_threads, used_locks, requester,
+                         req_lock, requester_used)) {
+        return true;
+      }
+      if (is_requester) {
+        requester_used = false;
+      }
+      chosen.pop_back();
+      chosen_stacks.pop_back();
+      used_threads.erase(tuple.thread);
+      used_locks.erase(tuple.lock);
+    }
+  }
+  return false;
+}
+
+std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::FindInstantiation(ThreadId thread,
+                                                                               LockId lock,
+                                                                               StackId stack) {
+  (void)stack;  // the tentative tuple is already present in the Allowed sets
+  RefreshSigCacheLocked();
+  for (const SigCacheEntry& sig : sig_cache_) {
+    // Fast reject (§5.6): "in most cases, at least one of these sets is
+    // empty, meaning there is no thread holding a lock in that stack
+    // configuration, so the signature is not instantiated."
+    bool possible = true;
+    for (std::size_t j = 0; j < sig.sig_stacks.size(); ++j) {
+      bool any = false;
+      for (StackId candidate : sig.candidates[j]) {
+        if (!SlotFor(candidate).tuples.empty()) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        possible = false;
+        break;
+      }
+    }
+    if (!possible) {
+      continue;
+    }
+    std::vector<AllowedTuple> chosen;
+    std::vector<StackId> chosen_stacks;
+    std::unordered_set<ThreadId> used_threads;
+    std::unordered_set<LockId> used_locks;
+    bool requester_used = false;
+    if (!CoverPositions(sig, 0, chosen, chosen_stacks, used_threads, used_locks, thread, lock,
+                        requester_used)) {
+      continue;
+    }
+    MatchResult result;
+    result.signature_index = sig.index;
+    result.depth = sig.depth;
+    // Deepest depth at which this same cover still matches — used by the
+    // calibration fast-path (§5.5).
+    int deepest = stacks_->max_depth();
+    for (std::size_t j = 0; j < chosen.size(); ++j) {
+      deepest = std::min(deepest,
+                         stacks_->DeepestMatchDepth(chosen_stacks[j], sig.sig_stacks[j]));
+    }
+    result.deepest = std::max(deepest, sig.depth);
+    for (std::size_t j = 0; j < chosen.size(); ++j) {
+      if (chosen[j].thread == thread && chosen[j].lock == lock) {
+        continue;  // the requester itself
+      }
+      result.others.push_back(YieldCause{chosen[j].thread, chosen[j].lock, chosen_stacks[j]});
+    }
+    return result;
+  }
+  return std::nullopt;
+}
+
+RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock,
+                                         std::optional<MonoTime> deadline) {
+  if (!config_.enabled) {
+    return RequestDecision::kGo;
+  }
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  ThreadSlot& slot = registry_.Slot(thread);
+
+  if (config_.stage == EngineStage::kInstrumentationOnly) {
+    // Figure 8 stage 1: intercept + capture + events only.
+    const StackId stack = stacks_->Intern(CaptureStack());
+    slot.pending_stack = stack;
+    slot.pending_lock = lock;
+    Event ev;
+    ev.type = EventType::kAllow;
+    ev.thread = thread;
+    ev.lock = lock;
+    ev.stack = stack;
+    queue_->Push(ev);
+    stats_.gos.fetch_add(1, std::memory_order_relaxed);
+    return RequestDecision::kGo;
+  }
+
+  const StackId stack = stacks_->Intern(CaptureStack());
+
+  for (;;) {
+    if (slot.acquisition_canceled.load(std::memory_order_acquire)) {
+      slot.acquisition_canceled.store(false, std::memory_order_release);
+      stats_.broken_acquisitions.fetch_add(1, std::memory_order_relaxed);
+      return RequestDecision::kBroken;
+    }
+
+    GuardLock(thread);
+
+    // Reentrant acquisition can never deadlock; skip avoidance (§6: a thread
+    // re-entering a monitor returns immediately).
+    auto owner_it = lock_owners_.find(lock);
+    if (owner_it != lock_owners_.end() && owner_it->second.thread == thread) {
+      GuardUnlock(thread);
+      stats_.reentrant_acquisitions.fetch_add(1, std::memory_order_relaxed);
+      return RequestDecision::kReentrant;
+    }
+
+    Event request_ev;
+    request_ev.type = EventType::kRequest;
+    request_ev.thread = thread;
+    request_ev.lock = lock;
+    request_ev.stack = stack;
+    queue_->Push(request_ev);
+
+    // Tentatively add the allow edge to the RAG cache (§5.4).
+    SlotFor(stack).tuples.push_back(AllowedTuple{thread, lock, false});
+    slot.pending_stack = stack;
+    slot.pending_lock = lock;
+
+    std::optional<MatchResult> match;
+    if (config_.stage == EngineStage::kFull && !slot.skip_avoidance_once) {
+      match = FindInstantiation(thread, lock, stack);
+    }
+
+    if (!match.has_value() || config_.ignore_yield_decisions) {
+      if (match.has_value()) {
+        // Table 1's middle configuration: the decision is computed and
+        // counted but not enforced.
+        stats_.yields.fetch_add(1, std::memory_order_relaxed);
+      }
+      slot.skip_avoidance_once = false;
+      // Keep the allow edge; drop any yield edges we still carried (§5.4).
+      if (slot.yielding) {
+        slot.yielding = false;
+        slot.yield_causes.clear();
+        yielding_threads_.erase(thread);
+      }
+      GuardUnlock(thread);
+      Event allow_ev;
+      allow_ev.type = EventType::kAllow;
+      allow_ev.thread = thread;
+      allow_ev.lock = lock;
+      allow_ev.stack = stack;
+      queue_->Push(allow_ev);
+      stats_.gos.fetch_add(1, std::memory_order_relaxed);
+      return RequestDecision::kGo;
+    }
+
+    // YIELD: flip the allow edge into a request edge and pause (§5.4).
+    RemoveTuple(stack, thread, lock);
+    slot.yielding = true;
+    slot.yield_causes = match->others;
+    yielding_threads_.insert(thread);
+    {
+      std::lock_guard<std::mutex> park_guard(slot.park_m);
+      slot.wake_pending = false;
+    }
+    GuardUnlock(thread);
+
+    Event yield_ev;
+    yield_ev.type = EventType::kYield;
+    yield_ev.thread = thread;
+    yield_ev.lock = lock;
+    yield_ev.stack = stack;
+    yield_ev.causes = match->others;
+    queue_->Push(yield_ev);
+
+    Event avoided_ev;
+    avoided_ev.type = EventType::kAvoided;
+    avoided_ev.thread = thread;
+    avoided_ev.lock = lock;
+    avoided_ev.stack = stack;
+    avoided_ev.signature_index = match->signature_index;
+    avoided_ev.match_depth = match->depth;
+    avoided_ev.deepest_match_depth = match->deepest;
+    avoided_ev.causes = match->others;
+    avoided_ev.causes.push_back(YieldCause{thread, lock, stack});
+    queue_->Push(avoided_ev);
+
+    history_->RecordAvoidance(match->signature_index);
+    last_avoided_.store(match->signature_index, std::memory_order_relaxed);
+    stats_.yields.fetch_add(1, std::memory_order_relaxed);
+    if (match->deepest >= stacks_->max_depth()) {
+      stats_.depth_true_yields.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.depth_fp_yields.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    const int park_result = Park(slot, deadline);
+
+    GuardLock(thread);
+    slot.yielding = false;
+    slot.yield_causes.clear();
+    yielding_threads_.erase(thread);
+    GuardUnlock(thread);
+
+    Event wake_ev;
+    wake_ev.type = EventType::kWake;
+    wake_ev.thread = thread;
+    wake_ev.lock = lock;
+    wake_ev.stack = stack;
+    queue_->Push(wake_ev);
+    stats_.wakes.fetch_add(1, std::memory_order_relaxed);
+
+    if (park_result == 1) {
+      // §5.7: the system-wide bound on how long avoidance may hold a thread.
+      stats_.yield_timeouts.fetch_add(1, std::memory_order_relaxed);
+      history_->RecordAbort(match->signature_index);
+      if (config_.auto_disable_aborts > 0 &&
+          history_->Get(match->signature_index).abort_count >=
+              static_cast<std::uint64_t>(config_.auto_disable_aborts)) {
+        history_->SetDisabled(match->signature_index, true);
+        stats_.signatures_disabled.fetch_add(1, std::memory_order_relaxed);
+        NotifyHistoryChanged();
+        DIMMUNIX_LOG(kWarn) << "signature " << match->signature_index
+                            << " auto-disabled: too risky to avoid (abort bound reached)";
+      }
+      // Proceed despite the danger: the thread is released from the yield.
+      GuardLock(thread);
+      SlotFor(stack).tuples.push_back(AllowedTuple{thread, lock, false});
+      slot.pending_stack = stack;
+      slot.pending_lock = lock;
+      GuardUnlock(thread);
+      Event allow_ev;
+      allow_ev.type = EventType::kAllow;
+      allow_ev.thread = thread;
+      allow_ev.lock = lock;
+      allow_ev.stack = stack;
+      queue_->Push(allow_ev);
+      stats_.gos.fetch_add(1, std::memory_order_relaxed);
+      return RequestDecision::kGo;
+    }
+    if (park_result == 2) {
+      stats_.broken_acquisitions.fetch_add(1, std::memory_order_relaxed);
+      return RequestDecision::kBroken;
+    }
+    if (park_result == 3) {
+      return RequestDecision::kTimedOut;
+    }
+    // Woken (or starvation-broken): retry the request from scratch.
+  }
+}
+
+bool AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock) {
+  if (!config_.enabled) {
+    return true;
+  }
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  ThreadSlot& slot = registry_.Slot(thread);
+  const StackId stack = stacks_->Intern(CaptureStack());
+
+  GuardLock(thread);
+  auto owner_it = lock_owners_.find(lock);
+  if (owner_it != lock_owners_.end() && owner_it->second.thread == thread) {
+    GuardUnlock(thread);
+    stats_.reentrant_acquisitions.fetch_add(1, std::memory_order_relaxed);
+    return true;  // reentrant trylock: caller resolves against lock kind
+  }
+  SlotFor(stack).tuples.push_back(AllowedTuple{thread, lock, false});
+  slot.pending_stack = stack;
+  slot.pending_lock = lock;
+  std::optional<MatchResult> match;
+  if (config_.stage == EngineStage::kFull) {
+    match = FindInstantiation(thread, lock, stack);
+  }
+  if (match.has_value() && !config_.ignore_yield_decisions) {
+    RemoveTuple(stack, thread, lock);
+    GuardUnlock(thread);
+    stats_.yields.fetch_add(1, std::memory_order_relaxed);
+    history_->RecordAvoidance(match->signature_index);
+    last_avoided_.store(match->signature_index, std::memory_order_relaxed);
+    return false;  // report "busy" instead of entering the dangerous pattern
+  }
+  GuardUnlock(thread);
+  Event allow_ev;
+  allow_ev.type = EventType::kAllow;
+  allow_ev.thread = thread;
+  allow_ev.lock = lock;
+  allow_ev.stack = stack;
+  queue_->Push(allow_ev);
+  stats_.gos.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void AvoidanceEngine::Acquired(ThreadId thread, LockId lock) {
+  if (!config_.enabled) {
+    return;
+  }
+  ThreadSlot& slot = registry_.Slot(thread);
+  GuardLock(thread);
+  auto owner_it = lock_owners_.find(lock);
+  StackId stack = slot.pending_stack;
+  if (owner_it != lock_owners_.end() && owner_it->second.thread == thread) {
+    // Reentrant acquisition.
+    ++owner_it->second.count;
+    stack = owner_it->second.stack;
+    for (auto& held : slot.held) {
+      if (held.lock == lock) {
+        ++held.count;
+        break;
+      }
+    }
+  } else {
+    lock_owners_[lock] = LockOwnerInfo{thread, stack, 1};
+    slot.held.push_back(ThreadSlot::Held{lock, stack, 1});
+    // Allow edge -> hold edge in the RAG cache.
+    auto& tuples = SlotFor(stack).tuples;
+    bool found = false;
+    for (auto& tuple : tuples) {
+      if (tuple.thread == thread && tuple.lock == lock) {
+        tuple.held = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // Stage kInstrumentationOnly does not maintain tuples; kFull always
+      // will have inserted one.
+      if (config_.stage != EngineStage::kInstrumentationOnly) {
+        tuples.push_back(AllowedTuple{thread, lock, true});
+      }
+    }
+  }
+  GuardUnlock(thread);
+  Event ev;
+  ev.type = EventType::kAcquired;
+  ev.thread = thread;
+  ev.lock = lock;
+  ev.stack = stack;
+  queue_->Push(ev);
+  stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AvoidanceEngine::WakeYieldersOf(ThreadId thread, LockId lock, StackId stack) {
+  // Wake every thread whose yieldCause contains (thread, lock, stack) — the
+  // Java version's yieldLock[Ti].notifyAll() (§6).
+  for (ThreadId yielder : yielding_threads_) {
+    ThreadSlot& yslot = registry_.Slot(yielder);
+    bool matches = false;
+    for (const YieldCause& cause : yslot.yield_causes) {
+      if (cause.thread == thread && cause.lock == lock &&
+          (cause.stack == stack || stack == kInvalidStackId)) {
+        matches = true;
+        break;
+      }
+    }
+    if (matches) {
+      std::lock_guard<std::mutex> park_guard(yslot.park_m);
+      yslot.wake_pending = true;
+      yslot.park_cv.notify_all();
+    }
+  }
+}
+
+void AvoidanceEngine::Release(ThreadId thread, LockId lock) {
+  if (!config_.enabled) {
+    return;
+  }
+  ThreadSlot& slot = registry_.Slot(thread);
+  StackId stack = kInvalidStackId;
+  bool final_release = false;
+  GuardLock(thread);
+  auto owner_it = lock_owners_.find(lock);
+  if (owner_it != lock_owners_.end() && owner_it->second.thread == thread) {
+    stack = owner_it->second.stack;
+    if (--owner_it->second.count <= 0) {
+      final_release = true;
+      lock_owners_.erase(owner_it);
+    }
+  }
+  for (auto it = slot.held.begin(); it != slot.held.end(); ++it) {
+    if (it->lock == lock) {
+      if (--it->count <= 0) {
+        slot.held.erase(it);
+      }
+      break;
+    }
+  }
+  if (final_release) {
+    RemoveTuple(stack, thread, lock);
+    // Lock conditions changed in a way that could let yielders make
+    // progress (§5.1: "Dimmunix reschedules the paused thread T whenever
+    // lock conditions change").
+    WakeYieldersOf(thread, lock, stack);
+  }
+  GuardUnlock(thread);
+  Event ev;
+  ev.type = EventType::kRelease;
+  ev.thread = thread;
+  ev.lock = lock;
+  ev.stack = stack;
+  queue_->Push(ev);
+  stats_.releases.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AvoidanceEngine::CancelRequest(ThreadId thread, LockId lock) {
+  if (!config_.enabled) {
+    return;
+  }
+  ThreadSlot& slot = registry_.Slot(thread);
+  GuardLock(thread);
+  const StackId stack = slot.pending_stack;
+  if (stack != kInvalidStackId) {
+    RemoveTuple(stack, thread, lock);
+  }
+  GuardUnlock(thread);
+  Event ev;
+  ev.type = EventType::kCancel;
+  ev.thread = thread;
+  ev.lock = lock;
+  ev.stack = stack;
+  queue_->Push(ev);
+  stats_.trylock_cancels.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AvoidanceEngine::BreakYield(ThreadId thread) {
+  if (!registry_.Contains(thread)) {
+    return;  // synthetic/stale id from the event stream
+  }
+  ThreadSlot& slot = registry_.Slot(thread);
+  GuardLock(thread);
+  slot.skip_avoidance_once = true;
+  GuardUnlock(thread);
+  std::lock_guard<std::mutex> park_guard(slot.park_m);
+  slot.wake_pending = true;
+  slot.park_cv.notify_all();
+}
+
+void AvoidanceEngine::CancelAcquisition(ThreadId thread) {
+  if (!registry_.Contains(thread)) {
+    return;  // synthetic/stale id from the event stream
+  }
+  ThreadSlot& slot = registry_.Slot(thread);
+  slot.acquisition_canceled.store(true, std::memory_order_release);
+  // The victim may be blocked in the raw mutex (canceler registered by the
+  // sync layer) or parked in a yield (woken via its parking lot; Park
+  // re-checks the canceled flag without consuming a wake).
+  std::function<void()> canceler;
+  {
+    std::lock_guard<std::mutex> guard(slot.canceler_m);
+    canceler = slot.acquisition_canceler;
+  }
+  if (canceler) {
+    canceler();
+  }
+  {
+    std::lock_guard<std::mutex> park_guard(slot.park_m);
+    slot.park_cv.notify_all();
+  }
+}
+
+void AvoidanceEngine::NotifyHistoryChanged() {
+  history_dirty_.fetch_add(1, std::memory_order_release);
+  // The cache version check happens under the guard in FindInstantiation;
+  // invalidate by resetting the cached version.
+  GuardLock(registry_.RegisterCurrentThread());
+  cached_history_version_ = ~0ULL;
+  GuardUnlock(registry_.RegisterCurrentThread());
+}
+
+int AvoidanceEngine::Park(ThreadSlot& slot, std::optional<MonoTime> deadline) {
+  std::unique_lock<std::mutex> park_guard(slot.park_m);
+  MonoTime bound = Now() + config_.yield_timeout;
+  bool deadline_is_nearest = false;
+  if (deadline.has_value() && *deadline < bound) {
+    bound = *deadline;
+    deadline_is_nearest = true;
+  }
+  while (!slot.wake_pending) {
+    if (slot.acquisition_canceled.load(std::memory_order_acquire)) {
+      slot.acquisition_canceled.store(false, std::memory_order_release);
+      return 2;
+    }
+    if (slot.park_cv.wait_until(park_guard, bound) == std::cv_status::timeout) {
+      if (!slot.wake_pending) {
+        return deadline_is_nearest ? 3 : 1;
+      }
+      break;
+    }
+  }
+  slot.wake_pending = false;
+  return 0;
+}
+
+ThreadId AvoidanceEngine::LockOwner(LockId lock) const {
+  auto* self = const_cast<AvoidanceEngine*>(this);
+  const ThreadId me = self->registry_.RegisterCurrentThread();
+  self->GuardLock(me);
+  auto it = lock_owners_.find(lock);
+  const ThreadId owner = (it == lock_owners_.end()) ? kInvalidThreadId : it->second.thread;
+  self->GuardUnlock(me);
+  return owner;
+}
+
+std::size_t AvoidanceEngine::AllowedCount(StackId id) const {
+  auto* self = const_cast<AvoidanceEngine*>(this);
+  const ThreadId me = self->registry_.RegisterCurrentThread();
+  self->GuardLock(me);
+  std::size_t n = 0;
+  if (static_cast<std::size_t>(id) < stack_slots_.size()) {
+    n = stack_slots_[static_cast<std::size_t>(id)].tuples.size();
+  }
+  self->GuardUnlock(me);
+  return n;
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,188 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// The avoidance side of Dimmunix (§5.4): the request / acquired / release /
+// cancel methods invoked by the lock instrumentation, the "RAG cache"
+// (per-stack Allowed sets + a lock-owner map), signature-instantiation
+// matching, and the yield parking/waking machinery.
+//
+// Everything here runs on the application's critical path; the expensive
+// work (cycle detection, history file I/O, calibration verdicts) is done
+// asynchronously by the monitor, which consumes the events this class
+// enqueues.
+
+#ifndef DIMMUNIX_CORE_AVOIDANCE_H_
+#define DIMMUNIX_CORE_AVOIDANCE_H_
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/config.h"
+#include "src/common/peterson_lock.h"
+#include "src/common/spin_lock.h"
+#include "src/core/stats.h"
+#include "src/core/thread_registry.h"
+#include "src/event/event_queue.h"
+#include "src/signature/history.h"
+#include "src/stack/stack_table.h"
+
+namespace dimmunix {
+
+// Outcome of the blocking request protocol.
+enum class RequestDecision {
+  kGo,         // safe (w.r.t. history) to block waiting for the lock
+  kReentrant,  // the caller already owns the lock; skip avoidance
+  kBroken,     // acquisition canceled by deadlock recovery
+  kTimedOut,   // the caller-supplied deadline expired while yielding
+};
+
+class AvoidanceEngine {
+ public:
+  AvoidanceEngine(const Config& config, StackTable* stacks, History* history, EventQueue* queue);
+
+  AvoidanceEngine(const AvoidanceEngine&) = delete;
+  AvoidanceEngine& operator=(const AvoidanceEngine&) = delete;
+
+  // --- Instrumentation entry points -----------------------------------------
+
+  // Blocking request: decides GO vs YIELD against the history; on YIELD the
+  // calling thread is parked and the request transparently retried after
+  // wake-up. Returns only with a final decision. `deadline` (optional)
+  // bounds the total time spent yielding (used by timed lock acquisition).
+  RequestDecision Request(ThreadId thread, LockId lock,
+                          std::optional<MonoTime> deadline = std::nullopt);
+
+  // Nonblocking request for trylock: returns false ("busy") instead of
+  // yielding when the acquisition would instantiate a signature.
+  bool RequestNonblocking(ThreadId thread, LockId lock);
+
+  // The lock was actually acquired / released by `thread`.
+  void Acquired(ThreadId thread, LockId lock);
+  void Release(ThreadId thread, LockId lock);
+
+  // Rolls back a granted request whose underlying acquisition did not happen
+  // (trylock contention, timedlock timeout) — the pthreads `cancel` event of
+  // §6.
+  void CancelRequest(ThreadId thread, LockId lock);
+
+  // --- Monitor entry points ---------------------------------------------------
+
+  // Breaks induced starvation (§3): wakes `thread` from its yield and lets
+  // it pursue its most recently requested lock, skipping avoidance once.
+  void BreakYield(ThreadId thread);
+
+  // Deadlock recovery support: cancels `thread`'s in-flight underlying
+  // acquisition via the canceler registered by the sync layer (no-op if the
+  // thread is not cancellably blocked).
+  void CancelAcquisition(ThreadId thread);
+
+  // The history changed (signature added / disabled / depth changed):
+  // invalidate the matching caches.
+  void NotifyHistoryChanged();
+
+  // --- Introspection -----------------------------------------------------------
+
+  ThreadRegistry& registry() { return registry_; }
+  EngineStats& stats() { return stats_; }
+  const Config& config() const { return config_; }
+  // Index of the most recently avoided signature, -1 if none yet. Supports
+  // the §5.7 "disable the last avoided signature" user workflow (the
+  // pop-up-blocker analogy).
+  int last_avoided_signature() const {
+    return last_avoided_.load(std::memory_order_relaxed);
+  }
+  // Owner of `lock`, if tracked (kInvalidThreadId when free).
+  ThreadId LockOwner(LockId lock) const;
+  // Number of (thread, lock) tuples currently in stack `id`'s Allowed set.
+  std::size_t AllowedCount(StackId id) const;
+
+ private:
+  struct AllowedTuple {
+    ThreadId thread = kInvalidThreadId;
+    LockId lock = kInvalidLockId;
+    bool held = false;  // allow edge (false) vs hold edge (true)
+  };
+
+  // Per interned stack: the paper's Allowed set ("handles to all the threads
+  // that are permitted to wait for locks while having call stack S;
+  // Allowed includes those threads that have acquired and still hold the
+  // locks", §5.6).
+  struct StackSlot {
+    std::vector<AllowedTuple> tuples;
+  };
+
+  struct LockOwnerInfo {
+    ThreadId thread = kInvalidThreadId;
+    StackId stack = kInvalidStackId;
+    int count = 0;
+  };
+
+  // Cached, pre-resolved view of one active signature.
+  struct SigCacheEntry {
+    int index = -1;  // position in History
+    int depth = 4;
+    std::vector<StackId> sig_stacks;
+    // candidates[j] = interned stacks matching sig_stacks[j] at `depth`.
+    std::vector<std::vector<StackId>> candidates;
+  };
+
+  struct MatchResult {
+    int signature_index = -1;
+    int depth = 0;
+    int deepest = 0;                  // deepest depth the same cover matches at
+    std::vector<YieldCause> others;   // the signature instance minus the requester
+  };
+
+  // Engine guard: one mechanism chosen at construction (§5.6 uses a
+  // generalized Peterson algorithm; we support it and a TAS spin lock).
+  void GuardLock(ThreadId thread);
+  void GuardUnlock(ThreadId thread);
+
+  StackSlot& SlotFor(StackId id);  // grows stack_slots_; guard held
+  void RemoveTuple(StackId stack, ThreadId thread, LockId lock);  // guard held
+  void RefreshSigCacheLocked();
+  void OnNewStack(const StackEntry& entry);
+
+  // Searches for an instantiation of any cached signature that includes the
+  // tentative tuple (thread, lock, stack). Guard held.
+  std::optional<MatchResult> FindInstantiation(ThreadId thread, LockId lock, StackId stack);
+  bool CoverPositions(const SigCacheEntry& sig, std::size_t pos,
+                      std::vector<AllowedTuple>& chosen, std::vector<StackId>& chosen_stacks,
+                      std::unordered_set<ThreadId>& used_threads,
+                      std::unordered_set<LockId>& used_locks, ThreadId requester, LockId req_lock,
+                      bool& requester_used);
+
+  // Parks the calling thread until woken, canceled, or timed out.
+  // Returns: 0 woken, 1 timeout(yield bound), 2 broken, 3 deadline.
+  int Park(ThreadSlot& slot, std::optional<MonoTime> deadline);
+  void WakeYieldersOf(ThreadId thread, LockId lock, StackId stack);  // guard held
+
+  const Config config_;
+  StackTable* stacks_;
+  History* history_;
+  EventQueue* queue_;
+  ThreadRegistry registry_;
+  EngineStats stats_;
+
+  const bool use_peterson_;
+  PetersonLock peterson_guard_;
+  SpinLock spin_guard_;
+
+  // --- State below is guarded by the engine guard ---------------------------
+  std::deque<StackSlot> stack_slots_;  // indexed by StackId
+  std::unordered_map<LockId, LockOwnerInfo> lock_owners_;
+  std::unordered_set<ThreadId> yielding_threads_;
+  std::vector<SigCacheEntry> sig_cache_;
+  std::uint64_t cached_history_version_ = ~0ULL;
+  std::atomic<std::uint64_t> history_dirty_{1};
+  std::atomic<int> last_avoided_{-1};
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_CORE_AVOIDANCE_H_

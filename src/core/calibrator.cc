@@ -1,0 +1,88 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/core/calibrator.h"
+
+#include <algorithm>
+
+namespace dimmunix {
+
+void Calibrator::OnAvoided(const Event& event,
+                           const std::unordered_map<ThreadId, std::vector<LockId>>& held_seed,
+                           MonoTime now) {
+  Probe probe;
+  probe.signature_index = event.signature_index;
+  probe.depth = event.match_depth;
+  probe.deepest = event.deepest_match_depth;
+  probe.deadline = now + config_.fp_probe_window;
+  for (const YieldCause& cause : event.causes) {
+    probe.involved.insert(cause.thread);
+  }
+  for (ThreadId thread : probe.involved) {
+    auto it = held_seed.find(thread);
+    if (it != held_seed.end()) {
+      probe.held[thread] = it->second;
+    }
+  }
+  probes_.push_back(std::move(probe));
+}
+
+void Calibrator::OnLockOp(const Event& event) {
+  for (Probe& probe : probes_) {
+    if (probe.involved.find(event.thread) == probe.involved.end()) {
+      continue;
+    }
+    auto& held = probe.held[event.thread];
+    if (event.type == EventType::kAcquired) {
+      for (LockId h : held) {
+        probe.pairs[event.thread].emplace_back(h, event.lock);
+      }
+      held.push_back(event.lock);
+      ++probe.ops_seen;
+    } else if (event.type == EventType::kRelease) {
+      held.erase(std::remove(held.begin(), held.end(), event.lock), held.end());
+      ++probe.ops_seen;
+    }
+  }
+}
+
+bool Calibrator::HasInversion(const Probe& probe) {
+  // Inversion: thread A produced the ordered pair (x, y) and a *different*
+  // thread B produced (y, x).
+  for (const auto& [thread_a, pairs_a] : probe.pairs) {
+    for (const auto& [x, y] : pairs_a) {
+      for (const auto& [thread_b, pairs_b] : probe.pairs) {
+        if (thread_b == thread_a) {
+          continue;
+        }
+        for (const auto& [u, v] : pairs_b) {
+          if (u == y && v == x) {
+            return true;
+          }
+        }
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<ProbeVerdict> Calibrator::Expire(MonoTime now) {
+  std::vector<ProbeVerdict> verdicts;
+  for (auto it = probes_.begin(); it != probes_.end();) {
+    const bool window_over = now >= it->deadline;
+    const bool saturated = it->ops_seen >= config_.fp_probe_max_ops;
+    if (!window_over && !saturated) {
+      ++it;
+      continue;
+    }
+    ProbeVerdict verdict;
+    verdict.signature_index = it->signature_index;
+    verdict.depth = it->depth;
+    verdict.deepest = it->deepest;
+    verdict.false_positive = !HasInversion(*it);
+    verdicts.push_back(verdict);
+    it = probes_.erase(it);
+  }
+  return verdicts;
+}
+
+}  // namespace dimmunix

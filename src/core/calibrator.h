@@ -1,0 +1,85 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Retrospective false-positive analysis (§5.5).
+//
+// "After deciding to avoid a given signature X, Dimmunix performs a
+// retrospective analysis: all lock operations performed by threads involved
+// in the potential deadlock are logged to the monitor thread, along with
+// lock operations performed by the blocked thread after it was released from
+// the yield. The monitor thread then looks for lock inversions in this log;
+// if none are found, the avoidance was likely a FP."
+//
+// Implementation: every kAvoided event opens a *probe* listing the involved
+// threads. While a probe is open, the calibrator shadows the acquired /
+// release events of the involved threads (it also seeds each thread's held
+// set from the monitor's RAG, so locks taken before the probe opened still
+// participate in inversion detection). A lock inversion exists when one
+// involved thread acquired y while holding x and another acquired x while
+// holding y. When the probe's window expires, the verdict (FP or true
+// positive) is reported for the signature/depth the avoidance used.
+
+#ifndef DIMMUNIX_CORE_CALIBRATOR_H_
+#define DIMMUNIX_CORE_CALIBRATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/config.h"
+#include "src/event/event.h"
+
+namespace dimmunix {
+
+struct ProbeVerdict {
+  int signature_index = -1;
+  int depth = 0;
+  int deepest = 0;
+  bool false_positive = false;
+};
+
+class Calibrator {
+ public:
+  explicit Calibrator(const Config& config) : config_(config) {}
+
+  // Opens a probe for an avoidance. `held_seed` provides, per involved
+  // thread, the locks it currently holds according to the RAG.
+  void OnAvoided(const Event& event,
+                 const std::unordered_map<ThreadId, std::vector<LockId>>& held_seed,
+                 MonoTime now);
+
+  // Feeds a lock-operation event (kAcquired / kRelease) to open probes.
+  void OnLockOp(const Event& event);
+
+  // Returns the verdicts of probes whose window ended or which collected
+  // the maximum number of operations.
+  std::vector<ProbeVerdict> Expire(MonoTime now);
+
+  std::size_t open_probes() const { return probes_.size(); }
+
+ private:
+  struct Probe {
+    int signature_index = -1;
+    int depth = 0;
+    int deepest = 0;
+    MonoTime deadline;
+    int ops_seen = 0;
+    std::unordered_set<ThreadId> involved;
+    // Current held-set per involved thread (seeded + updated from events).
+    std::unordered_map<ThreadId, std::vector<LockId>> held;
+    // Ordered (held, acquired) pairs per thread.
+    std::unordered_map<ThreadId, std::vector<std::pair<LockId, LockId>>> pairs;
+  };
+
+  static bool HasInversion(const Probe& probe);
+
+  const Config config_;
+  std::deque<Probe> probes_;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_CORE_CALIBRATOR_H_

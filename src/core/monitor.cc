@@ -1,0 +1,236 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/core/monitor.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace dimmunix {
+
+Monitor::Monitor(const Config& config, StackTable* stacks, History* history, EventQueue* queue,
+                 AvoidanceEngine* engine)
+    : config_(config),
+      stacks_(stacks),
+      history_(history),
+      queue_(queue),
+      engine_(engine),
+      calibrator_(config) {}
+
+Monitor::~Monitor() { Stop(); }
+
+void Monitor::Start() {
+  if (running_) {
+    return;
+  }
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Monitor::Stop() {
+  if (!running_) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(stop_m_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  running_ = false;
+  // Final drain so no detected state is lost at shutdown.
+  RunOnce();
+}
+
+void Monitor::Loop() {
+  std::unique_lock<std::mutex> stop_guard(stop_m_);
+  while (!stop_requested_) {
+    stop_guard.unlock();
+    RunOnce();
+    stop_guard.lock();
+    stop_cv_.wait_for(stop_guard, config_.monitor_period, [this] { return stop_requested_; });
+  }
+}
+
+void Monitor::RunOnce() {
+  std::lock_guard<std::mutex> run_guard(run_m_);
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  DrainEvents();
+  HandleDeadlocks();
+  HandleStarvations();
+  HandleCalibration();
+}
+
+void Monitor::DrainEvents() {
+  const bool probes_enabled = config_.calibration_enabled;
+  while (auto event = queue_->Pop()) {
+    stats_.events_processed.fetch_add(1, std::memory_order_relaxed);
+    if (event->type == EventType::kAvoided) {
+      if (probes_enabled) {
+        std::unordered_map<ThreadId, std::vector<LockId>> held_seed;
+        for (const YieldCause& cause : event->causes) {
+          held_seed[cause.thread] = rag_.HeldLocks(cause.thread);
+        }
+        calibrator_.OnAvoided(*event, held_seed, Now());
+        stats_.fp_probes_opened.fetch_add(1, std::memory_order_relaxed);
+        // Calibration ladder bookkeeping (§5.5).
+        const int sig = event->signature_index;
+        bool ladder_done = false;
+        bool recalibrate = false;
+        int new_depth = -1;
+        history_->Mutate(sig, [&](Signature& s) {
+          if (s.calibration.calibrating()) {
+            ladder_done = s.calibration.RecordAvoidance(event->deepest_match_depth);
+            new_depth = s.calibration.current_depth();
+            s.match_depth = new_depth;
+          } else {
+            recalibrate = s.calibration.CountTowardRecalibration();
+            if (recalibrate) {
+              s.calibration.Restart();
+              new_depth = s.calibration.current_depth();
+              s.match_depth = new_depth;
+            }
+          }
+        });
+        if (new_depth > 0) {
+          engine_->NotifyHistoryChanged();
+        }
+        if (ladder_done) {
+          DIMMUNIX_LOG(kInfo) << "calibration complete for signature " << sig << ": depth "
+                              << new_depth;
+        }
+      }
+      continue;
+    }
+    if (event->type == EventType::kAcquired || event->type == EventType::kRelease) {
+      calibrator_.OnLockOp(*event);
+    }
+    rag_.Apply(*event);
+  }
+}
+
+int Monitor::ArchiveSignature(SignatureKind kind, const std::vector<StackId>& stacks,
+                              bool* added) {
+  // Drop invalid labels (e.g. a hold edge whose stack was never seen — can
+  // happen only for events predating engine startup).
+  std::vector<StackId> clean;
+  clean.reserve(stacks.size());
+  for (StackId id : stacks) {
+    if (id != kInvalidStackId) {
+      clean.push_back(id);
+    }
+  }
+  if (clean.empty()) {
+    *added = false;
+    return -1;
+  }
+  const int initial_depth = config_.calibration_enabled ? 1 : config_.default_match_depth;
+  const int index = history_->Add(kind, std::move(clean), initial_depth, added);
+  if (*added) {
+    stats_.signatures_saved.fetch_add(1, std::memory_order_relaxed);
+    if (config_.calibration_enabled) {
+      history_->Mutate(index, [&](Signature& s) {
+        s.calibration =
+            CalibrationState(config_.max_match_depth, config_.calibration_na,
+                             config_.calibration_nt);
+        s.match_depth = s.calibration.current_depth();
+      });
+    }
+    PersistHistory();
+    engine_->NotifyHistoryChanged();
+  }
+  return index;
+}
+
+void Monitor::PersistHistory() {
+  if (!config_.history_path.empty() && config_.save_history_on_update) {
+    history_->Save(config_.history_path);
+  }
+}
+
+void Monitor::HandleDeadlocks() {
+  for (const DeadlockCycle& cycle : rag_.DetectDeadlocks()) {
+    stats_.deadlocks_detected.fetch_add(1, std::memory_order_relaxed);
+    bool added = false;
+    const int index = ArchiveSignature(SignatureKind::kDeadlock, cycle.stacks, &added);
+    DIMMUNIX_LOG(kInfo) << "deadlock detected: " << cycle.threads.size()
+                        << " thread(s); signature " << index << (added ? " (new)" : " (known)");
+    if (deadlock_hook_) {
+      deadlock_hook_(cycle, index);
+    }
+    if (config_.deadlock_action == DeadlockAction::kBreakVictim && !cycle.threads.empty()) {
+      engine_->CancelAcquisition(cycle.threads.front());
+    }
+  }
+}
+
+void Monitor::HandleStarvations() {
+  for (const StarvationCycle& cycle : rag_.DetectStarvations()) {
+    stats_.starvations_detected.fetch_add(1, std::memory_order_relaxed);
+    bool added = false;
+    const int index = ArchiveSignature(SignatureKind::kStarvation, cycle.stacks, &added);
+    DIMMUNIX_LOG(kInfo) << "induced starvation detected (starved thread " << cycle.starved
+                        << "); signature " << index;
+    if (starvation_hook_) {
+      starvation_hook_(cycle, index);
+    }
+    if (config_.immunity == ImmunityMode::kStrong) {
+      // §5.4: "In strong immunity mode, the program is restarted every time
+      // a starvation is encountered."
+      stats_.restarts_requested.fetch_add(1, std::memory_order_relaxed);
+      if (restart_hook_) {
+        restart_hook_();
+      }
+    } else {
+      // Weak immunity: break the starvation by releasing the yielding
+      // thread that holds the most locks (§3).
+      const ThreadId victim =
+          cycle.break_victim != kInvalidThreadId ? cycle.break_victim : cycle.starved;
+      engine_->BreakYield(victim);
+      stats_.starvations_broken.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Monitor::HandleCalibration() {
+  for (const ProbeVerdict& verdict : calibrator_.Expire(Now())) {
+    if (verdict.false_positive) {
+      stats_.false_positives.fetch_add(1, std::memory_order_relaxed);
+      history_->RecordFalsePositive(verdict.signature_index);
+    } else {
+      stats_.true_positives.fetch_add(1, std::memory_order_relaxed);
+    }
+    bool obsolete = false;
+    history_->Mutate(verdict.signature_index, [&](Signature& s) {
+      s.calibration.RecordVerdict(verdict.depth, verdict.deepest, verdict.false_positive);
+      // §8: "any signatures that encounter 100% false positive rate after
+      // this recalibration can be automatically discarded as obsolete."
+      // Checked on every verdict once the ladder settled, so lagging probe
+      // windows still count.
+      if (!s.disabled && !s.calibration.calibrating()) {
+        const int chosen = s.calibration.current_depth();
+        const bool enough_data =
+            s.calibration.avoid_count(chosen) >= static_cast<std::uint32_t>(config_.calibration_na);
+        if (enough_data && s.calibration.FpRate(chosen) >= 1.0) {
+          s.disabled = true;
+          obsolete = true;
+        }
+      }
+    });
+    if (obsolete) {
+      stats_.signatures_discarded.fetch_add(1, std::memory_order_relaxed);
+      engine_->NotifyHistoryChanged();
+      PersistHistory();
+      DIMMUNIX_LOG(kInfo) << "signature " << verdict.signature_index
+                          << " discarded as obsolete (100% FP after recalibration)";
+    }
+  }
+}
+
+void Monitor::SetDeadlockHook(DeadlockHook hook) { deadlock_hook_ = std::move(hook); }
+void Monitor::SetStarvationHook(StarvationHook hook) { starvation_hook_ = std::move(hook); }
+void Monitor::SetRestartHook(RestartHook hook) { restart_hook_ = std::move(hook); }
+
+}  // namespace dimmunix

@@ -1,0 +1,91 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// The monitor thread (Figure 1, §5.2): wakes every τ milliseconds, drains
+// the lock-free event queue, updates the RAG, searches for deadlock and
+// yield cycles, archives their signatures to the persistent history, breaks
+// induced starvation, and runs calibration bookkeeping — all outside the
+// application's critical path.
+
+#ifndef DIMMUNIX_CORE_MONITOR_H_
+#define DIMMUNIX_CORE_MONITOR_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "src/common/config.h"
+#include "src/core/avoidance.h"
+#include "src/core/calibrator.h"
+#include "src/core/stats.h"
+#include "src/event/event_queue.h"
+#include "src/rag/rag.h"
+#include "src/signature/history.h"
+
+namespace dimmunix {
+
+class Monitor {
+ public:
+  Monitor(const Config& config, StackTable* stacks, History* history, EventQueue* queue,
+          AvoidanceEngine* engine);
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  // Starts/stops the background thread. Tests that want deterministic
+  // behavior leave it stopped and call RunOnce() themselves.
+  void Start();
+  void Stop();
+
+  // One monitor iteration: drain events, detect, archive, break starvation,
+  // expire calibration probes. Safe to call when the thread is not running.
+  void RunOnce();
+
+  // Hooks (§3: "Dimmunix can provide a hook in the monitor thread for
+  // programs to define more sophisticated deadlock recovery methods; the
+  // hook can be invoked right after the deadlock signature is saved").
+  using DeadlockHook = std::function<void(const DeadlockCycle&, int signature_index)>;
+  using StarvationHook = std::function<void(const StarvationCycle&, int signature_index)>;
+  using RestartHook = std::function<void()>;  // strong immunity
+  void SetDeadlockHook(DeadlockHook hook);
+  void SetStarvationHook(StarvationHook hook);
+  void SetRestartHook(RestartHook hook);
+
+  MonitorStats& stats() { return stats_; }
+  Rag& rag() { return rag_; }  // single-threaded access: tests drive RunOnce themselves
+  Calibrator& calibrator() { return calibrator_; }
+
+ private:
+  void Loop();
+  void DrainEvents();
+  void HandleDeadlocks();
+  void HandleStarvations();
+  void HandleCalibration();
+  int ArchiveSignature(SignatureKind kind, const std::vector<StackId>& stacks, bool* added);
+  void PersistHistory();
+
+  const Config config_;
+  StackTable* stacks_;
+  History* history_;
+  EventQueue* queue_;
+  AvoidanceEngine* engine_;
+  Rag rag_;
+  Calibrator calibrator_;
+  MonitorStats stats_;
+
+  DeadlockHook deadlock_hook_;
+  StarvationHook starvation_hook_;
+  RestartHook restart_hook_;
+
+  std::mutex run_m_;  // serializes RunOnce vs. the background loop
+  std::mutex stop_m_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_CORE_MONITOR_H_

@@ -1,0 +1,74 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/core/runtime.h"
+
+#include "src/common/logging.h"
+
+namespace dimmunix {
+
+Runtime::Runtime(Config config) : config_(std::move(config)) {
+  stacks_ = std::make_unique<StackTable>(config_.max_match_depth);
+  history_ = std::make_unique<History>(stacks_.get());
+  queue_ = std::make_unique<EventQueue>();
+  if (config_.load_history_on_init && !config_.history_path.empty()) {
+    history_->Load(config_.history_path);
+  }
+  engine_ = std::make_unique<AvoidanceEngine>(config_, stacks_.get(), history_.get(),
+                                              queue_.get());
+  monitor_ = std::make_unique<Monitor>(config_, stacks_.get(), history_.get(), queue_.get(),
+                                       engine_.get());
+  if (config_.start_monitor) {
+    monitor_->Start();
+  }
+}
+
+Runtime::~Runtime() { monitor_->Stop(); }
+
+Runtime& Runtime::Global() {
+  // Leaked intentionally: the global runtime must outlive all host-program
+  // threads, including those still running at static destruction time.
+  static Runtime* instance = new Runtime(Config::FromEnvironment());
+  return *instance;
+}
+
+int Runtime::DisableLastAvoidedSignature() {
+  const int index = engine_->last_avoided_signature();
+  if (index < 0) {
+    return -1;
+  }
+  history_->SetDisabled(index, true);
+  engine_->NotifyHistoryChanged();
+  if (!config_.history_path.empty()) {
+    history_->Save(config_.history_path);
+  }
+  DIMMUNIX_LOG(kInfo) << "signature " << index << " disabled by user request";
+  return index;
+}
+
+void Runtime::RestartCalibrationAfterUpgrade() {
+  if (!config_.calibration_enabled) {
+    return;
+  }
+  const std::size_t count = history_->size();
+  for (std::size_t i = 0; i < count; ++i) {
+    history_->Mutate(static_cast<int>(i), [&](Signature& s) {
+      s.calibration = CalibrationState(config_.max_match_depth, config_.calibration_na,
+                                       config_.calibration_nt);
+      s.match_depth = s.calibration.current_depth();
+    });
+  }
+  engine_->NotifyHistoryChanged();
+  DIMMUNIX_LOG(kInfo) << "calibration restarted for " << count << " signature(s) after upgrade";
+}
+
+bool Runtime::ReloadHistory() {
+  if (config_.history_path.empty()) {
+    return false;
+  }
+  const bool ok = history_->Load(config_.history_path);
+  engine_->NotifyHistoryChanged();
+  DIMMUNIX_LOG(kInfo) << "history reloaded from " << config_.history_path;
+  return ok;
+}
+
+}  // namespace dimmunix

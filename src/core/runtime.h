@@ -1,0 +1,84 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Runtime — the public facade of the Dimmunix library.
+//
+// A Runtime owns one complete immunity system: stack table, persistent
+// history, event queue, avoidance engine, and monitor thread. Most programs
+// use a single process-wide runtime (Runtime::Global(), configured from
+// DIMMUNIX_* environment variables); tests and benchmarks construct isolated
+// instances.
+//
+// Typical embedding (see src/sync for ready-made lock types):
+//
+//   dimmunix::Config cfg;
+//   cfg.history_path = "app.dimmunix";
+//   dimmunix::Runtime rt(cfg);
+//   dimmunix::sync::Mutex a(rt), b(rt);   // instrumented locks
+//   ...
+//
+// The runtime loads the history at startup ("the deadlock history is loaded
+// from disk into memory at startup time", §5.4) and the monitor persists
+// every new signature immediately.
+
+#ifndef DIMMUNIX_CORE_RUNTIME_H_
+#define DIMMUNIX_CORE_RUNTIME_H_
+
+#include <memory>
+
+#include "src/common/config.h"
+#include "src/core/avoidance.h"
+#include "src/core/monitor.h"
+#include "src/event/event_queue.h"
+#include "src/signature/history.h"
+#include "src/stack/stack_table.h"
+
+namespace dimmunix {
+
+class Runtime {
+ public:
+  explicit Runtime(Config config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Process-wide instance, configured from the environment on first use.
+  static Runtime& Global();
+
+  // Registers the calling thread (idempotent) and returns its id.
+  ThreadId RegisterCurrentThread() { return engine_->registry().RegisterCurrentThread(); }
+
+  // §8: hot-reload the history after a vendor shipped new signatures ("the
+  // target program need not even be restarted").
+  bool ReloadHistory();
+
+  // §5.7 user workflow ("the same way s/he would enable pop-ups for a given
+  // site"): disables the most recently avoided signature so it is never
+  // avoided again. Returns the signature index, or -1 if nothing was ever
+  // avoided.
+  int DisableLastAvoidedSignature();
+
+  // §8: "the calibration of matching precision is therefore re-enabled after
+  // every upgrade for all signatures". Restarts every signature's
+  // calibration ladder (no-op unless calibration is enabled).
+  void RestartCalibrationAfterUpgrade();
+
+  const Config& config() const { return config_; }
+  StackTable& stacks() { return *stacks_; }
+  History& history() { return *history_; }
+  EventQueue& events() { return *queue_; }
+  AvoidanceEngine& engine() { return *engine_; }
+  Monitor& monitor() { return *monitor_; }
+
+ private:
+  Config config_;
+  std::unique_ptr<StackTable> stacks_;
+  std::unique_ptr<History> history_;
+  std::unique_ptr<EventQueue> queue_;
+  std::unique_ptr<AvoidanceEngine> engine_;
+  std::unique_ptr<Monitor> monitor_;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_CORE_RUNTIME_H_

@@ -1,0 +1,50 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Engine-wide counters surfaced to benchmarks (yields/second in Figure 5,
+// FP counts in Figure 9) and to tests.
+
+#ifndef DIMMUNIX_CORE_STATS_H_
+#define DIMMUNIX_CORE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dimmunix {
+
+struct EngineStats {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> gos{0};
+  std::atomic<std::uint64_t> yields{0};
+  std::atomic<std::uint64_t> wakes{0};
+  std::atomic<std::uint64_t> yield_timeouts{0};
+  std::atomic<std::uint64_t> reentrant_acquisitions{0};
+  std::atomic<std::uint64_t> acquisitions{0};
+  std::atomic<std::uint64_t> releases{0};
+  std::atomic<std::uint64_t> trylock_cancels{0};
+  std::atomic<std::uint64_t> broken_acquisitions{0};
+  std::atomic<std::uint64_t> signatures_disabled{0};
+  // Figure 9 accounting: a yield whose signature cover still matches at the
+  // maximum depth is a depth-true positive; one that matches only at the
+  // (shallower) configured depth is a depth-false positive.
+  std::atomic<std::uint64_t> depth_true_yields{0};
+  std::atomic<std::uint64_t> depth_fp_yields{0};
+};
+
+struct MonitorStats {
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> events_processed{0};
+  std::atomic<std::uint64_t> deadlocks_detected{0};
+  std::atomic<std::uint64_t> starvations_detected{0};
+  std::atomic<std::uint64_t> signatures_saved{0};
+  std::atomic<std::uint64_t> starvations_broken{0};
+  std::atomic<std::uint64_t> restarts_requested{0};
+  std::atomic<std::uint64_t> fp_probes_opened{0};
+  std::atomic<std::uint64_t> false_positives{0};
+  std::atomic<std::uint64_t> true_positives{0};
+  // Signatures auto-disabled as obsolete after a 100%-FP recalibration (§8).
+  std::atomic<std::uint64_t> signatures_discarded{0};
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_CORE_STATS_H_

@@ -1,0 +1,65 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/core/thread_registry.h"
+
+namespace dimmunix {
+namespace {
+
+// A thread may interact with several runtimes (tests instantiate isolated
+// engines); the cache is a tiny linear map from registry uid to id. Keyed
+// by uid, not pointer: a new registry can reuse a destroyed one's address.
+struct TlsEntry {
+  std::uint64_t registry_uid;
+  ThreadId id;
+};
+
+thread_local std::vector<TlsEntry> tls_ids;
+
+std::uint64_t NextRegistryUid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ThreadRegistry::ThreadRegistry() : uid_(NextRegistryUid()) {}
+
+ThreadId ThreadRegistry::RegisterCurrentThread() {
+  for (const TlsEntry& entry : tls_ids) {
+    if (entry.registry_uid == uid_) {
+      return entry.id;
+    }
+  }
+  ThreadId id;
+  {
+    std::lock_guard<SpinLock> guard(lock_);
+    id = static_cast<ThreadId>(slots_.size());
+    auto slot = std::make_unique<ThreadSlot>();
+    slot->id = id;
+    slots_.push_back(std::move(slot));
+  }
+  tls_ids.push_back(TlsEntry{uid_, id});
+  return id;
+}
+
+ThreadSlot& ThreadRegistry::Slot(ThreadId id) {
+  std::lock_guard<SpinLock> guard(lock_);
+  return *slots_[static_cast<std::size_t>(id)];
+}
+
+const ThreadSlot& ThreadRegistry::Slot(ThreadId id) const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return *slots_[static_cast<std::size_t>(id)];
+}
+
+bool ThreadRegistry::Contains(ThreadId id) const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return id >= 0 && static_cast<std::size_t>(id) < slots_.size();
+}
+
+std::size_t ThreadRegistry::size() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return slots_.size();
+}
+
+}  // namespace dimmunix

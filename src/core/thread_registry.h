@@ -1,0 +1,89 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Dense per-runtime thread identities and per-thread engine state.
+//
+// §5.6: "we achieve O(1) lookup of thread and lock nodes, because they are
+// kept in a preallocated vector ... data structures necessary for avoidance
+// and detection are themselves embedded in the thread and lock nodes. For
+// example, the set yieldCause containing all of a thread T's yield edges is
+// directly accessible from the thread node T." ThreadSlot is that node; it
+// also carries the parking lot used to implement yields (the Java version's
+// per-thread yieldLock[T] object, §6).
+
+#ifndef DIMMUNIX_CORE_THREAD_REGISTRY_H_
+#define DIMMUNIX_CORE_THREAD_REGISTRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/spin_lock.h"
+#include "src/event/event.h"
+
+namespace dimmunix {
+
+struct ThreadSlot {
+  ThreadId id = kInvalidThreadId;
+
+  // --- Parking lot (yield implementation; §6 yieldLock[T]) -----------------
+  std::mutex park_m;
+  std::condition_variable park_cv;
+  bool wake_pending = false;  // guarded by park_m
+
+  // --- Avoidance state (guarded by the engine guard) ------------------------
+  std::vector<YieldCause> yield_causes;  // yieldCause[T]
+  bool yielding = false;
+  bool skip_avoidance_once = false;  // set when starvation is broken for T
+  StackId pending_stack = kInvalidStackId;  // stack captured at Request time
+  LockId pending_lock = kInvalidLockId;
+
+  struct Held {
+    LockId lock = kInvalidLockId;
+    StackId stack = kInvalidStackId;
+    int count = 0;
+  };
+  std::vector<Held> held;
+
+  // --- Deadlock-recovery support --------------------------------------------
+  // The sync layer registers a canceler while blocked on the underlying
+  // mutex, so the monitor can break a deadlock victim out (guarded by
+  // canceler_m).
+  std::mutex canceler_m;
+  std::function<void()> acquisition_canceler;
+  std::atomic<bool> acquisition_canceled{false};
+};
+
+class ThreadRegistry {
+ public:
+  ThreadRegistry();
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+  // Returns the calling thread's id in this registry, registering it on
+  // first use. O(1) after the first call (thread-local cache).
+  ThreadId RegisterCurrentThread();
+
+  ThreadSlot& Slot(ThreadId id);
+  const ThreadSlot& Slot(ThreadId id) const;
+
+  // True when `id` names a registered thread. Monitor-side operations can
+  // receive ids from stale or synthetic events and must check first.
+  bool Contains(ThreadId id) const;
+
+  std::size_t size() const;
+
+ private:
+  // Distinguishes registry instances even when a new registry reuses a
+  // destroyed one's address — the thread-local id cache is keyed by this.
+  const std::uint64_t uid_;
+  mutable SpinLock lock_;
+  std::deque<std::unique_ptr<ThreadSlot>> slots_;  // stable addresses
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_CORE_THREAD_REGISTRY_H_

@@ -1,0 +1,73 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// The events exchanged between the avoidance instrumentation (producers) and
+// the monitor thread (consumer) over the lock-free queue of Figure 1.
+//
+// The paper names request, go/allow, yield, acquired, release, plus the
+// `cancel` event introduced for pthreads trylock/timedlock rollback (§6).
+// We add `kAvoided` — the notification that an avoidance took place, which
+// carries the data the calibration's retrospective false-positive analysis
+// needs (§5.5) — and `kWake`, which tells the monitor a previously yielding
+// thread resumed (so yield edges can be retired from the RAG).
+
+#ifndef DIMMUNIX_EVENT_EVENT_H_
+#define DIMMUNIX_EVENT_EVENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stack/stack_table.h"
+
+namespace dimmunix {
+
+// Dense thread index assigned by the ThreadRegistry.
+using ThreadId = std::int32_t;
+constexpr ThreadId kInvalidThreadId = -1;
+
+// Execution-scoped lock identity (address of the instrumented lock object or
+// a synthetic id).
+using LockId = std::uint64_t;
+constexpr LockId kInvalidLockId = 0;
+
+enum class EventType : std::uint8_t {
+  kRequest,   // thread asked for a lock (before the GO/YIELD decision)
+  kAllow,     // GO: thread is allowed to block waiting for the lock
+  kAcquired,  // thread now holds the lock
+  kRelease,   // thread released the lock (final release for reentrant locks)
+  kYield,     // thread was paused; payload lists the yield causes
+  kWake,      // thread resumed from a yield (retry follows)
+  kCancel,    // trylock/timedlock rollback of a prior request/allow
+  kAvoided,   // avoidance bookkeeping for calibration (§5.5)
+  kThreadExit,
+};
+
+// One cause of a yield: "thread `thread` holds / is allowed to wait for lock
+// `lock` having call stack `stack`".
+struct YieldCause {
+  ThreadId thread = kInvalidThreadId;
+  LockId lock = kInvalidLockId;
+  StackId stack = kInvalidStackId;
+
+  friend bool operator==(const YieldCause&, const YieldCause&) = default;
+};
+
+struct Event {
+  EventType type = EventType::kRequest;
+  ThreadId thread = kInvalidThreadId;
+  LockId lock = kInvalidLockId;
+  StackId stack = kInvalidStackId;
+  std::uint64_t seq = 0;  // global enqueue order tiebreaker (stats only)
+
+  // kYield: the causes; kAvoided: the involved threads are cause.thread.
+  std::vector<YieldCause> causes;
+
+  // kAvoided payload: which signature was avoided, the depth the match used,
+  // and the deepest depth at which the match would still have held.
+  std::int32_t signature_index = -1;
+  std::int32_t match_depth = 0;
+  std::int32_t deepest_match_depth = 0;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_EVENT_EVENT_H_

@@ -1,0 +1,40 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// The async event queue of Figure 1: an MPSC queue of Events with a global
+// sequence stamp.
+
+#ifndef DIMMUNIX_EVENT_EVENT_QUEUE_H_
+#define DIMMUNIX_EVENT_EVENT_QUEUE_H_
+
+#include <atomic>
+#include <optional>
+
+#include "src/common/mpsc_queue.h"
+#include "src/event/event.h"
+
+namespace dimmunix {
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  // Producer side (any application thread).
+  void Push(Event event) {
+    event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    queue_.Push(std::move(event));
+  }
+
+  // Consumer side (monitor thread only).
+  std::optional<Event> Pop() { return queue_.Pop(); }
+  bool Empty() const { return queue_.Empty(); }
+
+  std::uint64_t total_pushed() const { return next_seq_.load(std::memory_order_relaxed); }
+
+ private:
+  MpscQueue<Event> queue_;
+  std::atomic<std::uint64_t> next_seq_{0};
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_EVENT_EVENT_QUEUE_H_

@@ -1,0 +1,157 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// LD_PRELOAD pthread interposition — the "modified thread library" form of
+// Dimmunix (§6) for unmodified Linux binaries:
+//
+//   LD_PRELOAD=libdimmunix_preload.so DIMMUNIX_HISTORY=app.hist ./app
+//
+// pthread_mutex_{lock,trylock,timedlock,unlock} are wrapped with the
+// avoidance protocol; call stacks come from backtrace() with
+// module-relative offsets, so signatures survive ASLR and re-runs. The
+// engine's own internal synchronization (std::mutex, condvars) also reaches
+// these symbols, so a thread-local reentrancy guard routes internal calls
+// straight to the real implementation.
+//
+// Unlike the library form (src/sync), a blocked pthread acquisition cannot
+// be cancelled — like the paper's NPTL implementation, recovery from an
+// actual deadlock is restart-based; the value added is detection +
+// signature persistence + avoidance on the next run.
+
+#include <dlfcn.h>
+#include <pthread.h>
+#include <time.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/runtime.h"
+
+namespace {
+
+using LockFn = int (*)(pthread_mutex_t*);
+using TimedLockFn = int (*)(pthread_mutex_t*, const struct timespec*);
+
+LockFn real_lock = nullptr;
+LockFn real_trylock = nullptr;
+LockFn real_unlock = nullptr;
+TimedLockFn real_timedlock = nullptr;
+
+std::atomic<bool> initialized{false};
+// Set while this thread is inside a wrapper (or inside runtime
+// construction): nested pthread_mutex_* calls go straight through.
+thread_local bool tls_in_hook = false;
+
+void ResolveReal() {
+  real_lock = reinterpret_cast<LockFn>(dlsym(RTLD_NEXT, "pthread_mutex_lock"));
+  real_trylock = reinterpret_cast<LockFn>(dlsym(RTLD_NEXT, "pthread_mutex_trylock"));
+  real_unlock = reinterpret_cast<LockFn>(dlsym(RTLD_NEXT, "pthread_mutex_unlock"));
+  real_timedlock = reinterpret_cast<TimedLockFn>(dlsym(RTLD_NEXT, "pthread_mutex_timedlock"));
+}
+
+__attribute__((constructor)) void PreloadInit() {
+  ResolveReal();
+  initialized.store(true, std::memory_order_release);
+}
+
+dimmunix::Runtime* TryRuntime() {
+  if (!initialized.load(std::memory_order_acquire) || tls_in_hook) {
+    return nullptr;
+  }
+  tls_in_hook = true;
+  dimmunix::Runtime* runtime = &dimmunix::Runtime::Global();
+  tls_in_hook = false;
+  return runtime;
+}
+
+}  // namespace
+
+extern "C" int pthread_mutex_lock(pthread_mutex_t* mutex) {
+  if (real_lock == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_lock(mutex);
+  }
+  tls_in_hook = true;
+  const dimmunix::ThreadId tid = runtime->RegisterCurrentThread();
+  const dimmunix::LockId lock = reinterpret_cast<dimmunix::LockId>(mutex);
+  const dimmunix::RequestDecision decision = runtime->engine().Request(tid, lock);
+  tls_in_hook = false;
+  const int rc = real_lock(mutex);
+  tls_in_hook = true;
+  if (rc == 0) {
+    runtime->engine().Acquired(tid, lock);
+  } else if (decision == dimmunix::RequestDecision::kGo) {
+    runtime->engine().CancelRequest(tid, lock);
+  }
+  tls_in_hook = false;
+  return rc;
+}
+
+extern "C" int pthread_mutex_trylock(pthread_mutex_t* mutex) {
+  if (real_trylock == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_trylock(mutex);
+  }
+  tls_in_hook = true;
+  const dimmunix::ThreadId tid = runtime->RegisterCurrentThread();
+  const dimmunix::LockId lock = reinterpret_cast<dimmunix::LockId>(mutex);
+  if (!runtime->engine().RequestNonblocking(tid, lock)) {
+    tls_in_hook = false;
+    return EBUSY;  // dangerous pattern: report contention instead
+  }
+  tls_in_hook = false;
+  const int rc = real_trylock(mutex);
+  tls_in_hook = true;
+  if (rc == 0) {
+    runtime->engine().Acquired(tid, lock);
+  } else {
+    runtime->engine().CancelRequest(tid, lock);  // §6 cancel event
+  }
+  tls_in_hook = false;
+  return rc;
+}
+
+extern "C" int pthread_mutex_timedlock(pthread_mutex_t* mutex, const struct timespec* abstime) {
+  if (real_timedlock == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_timedlock(mutex, abstime);
+  }
+  tls_in_hook = true;
+  const dimmunix::ThreadId tid = runtime->RegisterCurrentThread();
+  const dimmunix::LockId lock = reinterpret_cast<dimmunix::LockId>(mutex);
+  const dimmunix::RequestDecision decision = runtime->engine().Request(tid, lock);
+  tls_in_hook = false;
+  const int rc = real_timedlock(mutex, abstime);
+  tls_in_hook = true;
+  if (rc == 0) {
+    runtime->engine().Acquired(tid, lock);
+  } else if (decision == dimmunix::RequestDecision::kGo) {
+    runtime->engine().CancelRequest(tid, lock);  // timeout rollback (§6)
+  }
+  tls_in_hook = false;
+  return rc;
+}
+
+extern "C" int pthread_mutex_unlock(pthread_mutex_t* mutex) {
+  if (real_unlock == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_unlock(mutex);
+  }
+  tls_in_hook = true;
+  const dimmunix::ThreadId tid = runtime->RegisterCurrentThread();
+  runtime->engine().Release(tid, reinterpret_cast<dimmunix::LockId>(mutex));
+  tls_in_hook = false;
+  return real_unlock(mutex);
+}

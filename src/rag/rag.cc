@@ -1,0 +1,327 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/rag/rag.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace dimmunix {
+
+void Rag::Apply(const Event& event) {
+  switch (event.type) {
+    case EventType::kRequest: {
+      ThreadNode& t = Thread(event.thread);
+      t.wait = ThreadNode::Wait::kRequest;
+      t.wait_lock = event.lock;
+      t.wait_stack = event.stack;
+      touched_waiters_.insert(event.thread);
+      break;
+    }
+    case EventType::kAllow: {
+      ThreadNode& t = Thread(event.thread);
+      t.wait = ThreadNode::Wait::kAllow;
+      t.wait_lock = event.lock;
+      t.wait_stack = event.stack;
+      // A GO decision retires any yield edges the thread still had (§5.4).
+      if (!t.yields.empty()) {
+        t.yields.clear();
+      }
+      touched_waiters_.insert(event.thread);
+      break;
+    }
+    case EventType::kAcquired: {
+      ThreadNode& t = Thread(event.thread);
+      t.wait = ThreadNode::Wait::kNone;
+      t.wait_lock = kInvalidLockId;
+      LockNode& l = Lock(event.lock);
+      if (l.holder == event.thread) {
+        ++l.count;  // reentrant re-acquisition
+      } else {
+        l.holder = event.thread;
+        l.holder_stack = event.stack;
+        l.count = 1;
+        t.held.push_back(event.lock);
+      }
+      break;
+    }
+    case EventType::kRelease: {
+      auto lock_it = locks_.find(event.lock);
+      if (lock_it == locks_.end()) {
+        break;
+      }
+      LockNode& l = lock_it->second;
+      if (l.holder != event.thread) {
+        break;  // stale event (e.g. release drained after a restart)
+      }
+      if (--l.count <= 0) {
+        auto thread_it = threads_.find(event.thread);
+        if (thread_it != threads_.end()) {
+          auto& held = thread_it->second.held;
+          held.erase(std::remove(held.begin(), held.end(), event.lock), held.end());
+        }
+        l.holder = kInvalidThreadId;
+        l.holder_stack = kInvalidStackId;
+        l.count = 0;
+      }
+      break;
+    }
+    case EventType::kYield: {
+      ThreadNode& t = Thread(event.thread);
+      // The tentative allow edge is flipped back into a request edge (§5.4).
+      t.wait = ThreadNode::Wait::kRequest;
+      t.wait_lock = event.lock;
+      t.wait_stack = event.stack;
+      t.yields = event.causes;
+      t.in_reported_starvation = false;
+      touched_yielders_.insert(event.thread);
+      // A new yield can complete a cycle through *other* threads' yields too.
+      for (const YieldCause& cause : event.causes) {
+        touched_yielders_.insert(cause.thread);
+      }
+      break;
+    }
+    case EventType::kWake: {
+      ThreadNode& t = Thread(event.thread);
+      t.yields.clear();
+      t.in_reported_starvation = false;
+      break;
+    }
+    case EventType::kCancel: {
+      ThreadNode& t = Thread(event.thread);
+      t.wait = ThreadNode::Wait::kNone;
+      t.wait_lock = kInvalidLockId;
+      t.yields.clear();
+      t.in_reported_deadlock = false;
+      t.in_reported_starvation = false;
+      break;
+    }
+    case EventType::kThreadExit: {
+      auto it = threads_.find(event.thread);
+      if (it != threads_.end()) {
+        for (LockId lock : it->second.held) {
+          auto lock_it = locks_.find(lock);
+          if (lock_it != locks_.end() && lock_it->second.holder == event.thread) {
+            lock_it->second = LockNode{};
+          }
+        }
+        threads_.erase(it);
+      }
+      break;
+    }
+    case EventType::kAvoided:
+      break;  // consumed by the calibrator, not the graph
+  }
+}
+
+ThreadId Rag::WaitSuccessor(ThreadId thread) const {
+  auto it = threads_.find(thread);
+  if (it == threads_.end() || it->second.wait == ThreadNode::Wait::kNone) {
+    return kInvalidThreadId;
+  }
+  auto lock_it = locks_.find(it->second.wait_lock);
+  if (lock_it == locks_.end()) {
+    return kInvalidThreadId;
+  }
+  return lock_it->second.holder;
+}
+
+std::vector<DeadlockCycle> Rag::DetectDeadlocks() {
+  std::vector<DeadlockCycle> result;
+  // Colored DFS over the wait-for projection (thread -> holder of waited
+  // lock). Out-degree is at most one, so the DFS degenerates into chain
+  // walking with an on-path set.
+  for (ThreadId start : touched_waiters_) {
+    std::vector<ThreadId> path;
+    std::unordered_map<ThreadId, std::size_t> on_path;
+    ThreadId current = start;
+    while (current != kInvalidThreadId) {
+      auto seen = on_path.find(current);
+      if (seen != on_path.end()) {
+        // Cycle: path[seen->second..end].
+        DeadlockCycle cycle;
+        bool already_reported = true;
+        for (std::size_t i = seen->second; i < path.size(); ++i) {
+          ThreadId tid = path[i];
+          const ThreadNode& node = threads_.at(tid);
+          cycle.threads.push_back(tid);
+          cycle.locks.push_back(node.wait_lock);
+          already_reported = already_reported && node.in_reported_deadlock;
+        }
+        // Hold-edge labels: the stack with which each waited lock was
+        // acquired by its current holder.
+        for (LockId lock : cycle.locks) {
+          const LockNode& l = locks_.at(lock);
+          cycle.stacks.push_back(l.holder_stack);
+        }
+        if (!already_reported) {
+          for (ThreadId tid : cycle.threads) {
+            threads_.at(tid).in_reported_deadlock = true;
+          }
+          result.push_back(std::move(cycle));
+        }
+        break;
+      }
+      auto it = threads_.find(current);
+      if (it == threads_.end() || it->second.wait == ThreadNode::Wait::kNone) {
+        break;
+      }
+      on_path.emplace(current, path.size());
+      path.push_back(current);
+      current = WaitSuccessor(current);
+    }
+  }
+  touched_waiters_.clear();
+  return result;
+}
+
+void Rag::AppendSuccessors(ThreadId thread, std::vector<ThreadId>* out) const {
+  auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return;
+  }
+  for (const YieldCause& cause : it->second.yields) {
+    out->push_back(cause.thread);
+  }
+  ThreadId via_wait = WaitSuccessor(thread);
+  if (via_wait != kInvalidThreadId) {
+    out->push_back(via_wait);
+  }
+}
+
+void Rag::BuildPredecessors(std::unordered_map<ThreadId, std::vector<ThreadId>>* preds) const {
+  for (const auto& [tid, node] : threads_) {
+    std::vector<ThreadId> succs;
+    AppendSuccessors(tid, &succs);
+    for (ThreadId s : succs) {
+      (*preds)[s].push_back(tid);
+    }
+  }
+}
+
+std::vector<StarvationCycle> Rag::DetectStarvations() {
+  std::vector<StarvationCycle> result;
+  if (touched_yielders_.empty()) {
+    return result;
+  }
+  std::unordered_map<ThreadId, std::vector<ThreadId>> preds;
+  bool preds_built = false;
+
+  for (ThreadId start : touched_yielders_) {
+    auto it = threads_.find(start);
+    if (it == threads_.end() || it->second.yields.empty() ||
+        it->second.in_reported_starvation) {
+      continue;
+    }
+    // R = nodes reachable from `start` beginning with its yield edges.
+    std::vector<ThreadId> frontier;
+    for (const YieldCause& cause : it->second.yields) {
+      frontier.push_back(cause.thread);
+    }
+    std::unordered_set<ThreadId> reached;
+    while (!frontier.empty()) {
+      ThreadId t = frontier.back();
+      frontier.pop_back();
+      if (t == kInvalidThreadId || !reached.insert(t).second) {
+        continue;
+      }
+      AppendSuccessors(t, &frontier);
+    }
+    if (reached.empty()) {
+      continue;
+    }
+    // Back-reachability: which nodes can reach `start`?
+    if (!preds_built) {
+      BuildPredecessors(&preds);
+      preds_built = true;
+    }
+    std::unordered_set<ThreadId> reaches_start;
+    std::vector<ThreadId> rev{start};
+    while (!rev.empty()) {
+      ThreadId t = rev.back();
+      rev.pop_back();
+      auto pit = preds.find(t);
+      if (pit == preds.end()) {
+        continue;
+      }
+      for (ThreadId p : pit->second) {
+        if (reaches_start.insert(p).second) {
+          rev.push_back(p);
+        }
+      }
+    }
+    bool starved = true;
+    for (ThreadId t : reached) {
+      if (t != start && reaches_start.find(t) == reaches_start.end()) {
+        starved = false;
+        break;
+      }
+    }
+    if (!starved) {
+      continue;
+    }
+    // Build the report over the entanglement R ∪ {start}.
+    StarvationCycle cycle;
+    cycle.starved = start;
+    reached.insert(start);
+    int best_held = -1;
+    for (ThreadId t : reached) {
+      auto node_it = threads_.find(t);
+      if (node_it == threads_.end()) {
+        continue;
+      }
+      const ThreadNode& node = node_it->second;
+      cycle.threads.push_back(t);
+      node_it->second.in_reported_starvation = true;
+      // Yield-edge labels inside the entanglement.
+      for (const YieldCause& cause : node.yields) {
+        if (reached.count(cause.thread) > 0) {
+          cycle.stacks.push_back(cause.stack);
+        }
+      }
+      // Hold-edge labels of locks held by entangled threads.
+      for (LockId lock : node.held) {
+        auto lock_it = locks_.find(lock);
+        if (lock_it != locks_.end() && lock_it->second.holder == t) {
+          cycle.stacks.push_back(lock_it->second.holder_stack);
+        }
+      }
+      // Victim choice (§3): among *yielding* threads, the one holding the
+      // most locks is released to pursue its most recent request.
+      if (!node.yields.empty() && static_cast<int>(node.held.size()) > best_held) {
+        best_held = static_cast<int>(node.held.size());
+        cycle.break_victim = t;
+      }
+    }
+    std::sort(cycle.stacks.begin(), cycle.stacks.end());
+    result.push_back(std::move(cycle));
+  }
+  touched_yielders_.clear();
+  return result;
+}
+
+bool Rag::HasWaitEdge(ThreadId thread) const {
+  auto it = threads_.find(thread);
+  return it != threads_.end() && it->second.wait != ThreadNode::Wait::kNone;
+}
+
+bool Rag::HoldsAnyLock(ThreadId thread) const { return HeldLockCount(thread) > 0; }
+
+int Rag::HeldLockCount(ThreadId thread) const {
+  auto it = threads_.find(thread);
+  return it == threads_.end() ? 0 : static_cast<int>(it->second.held.size());
+}
+
+std::vector<LockId> Rag::HeldLocks(ThreadId thread) const {
+  auto it = threads_.find(thread);
+  return it == threads_.end() ? std::vector<LockId>{} : it->second.held;
+}
+
+std::size_t Rag::yield_edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [tid, node] : threads_) {
+    n += node.yields.size();
+  }
+  return n;
+}
+
+}  // namespace dimmunix

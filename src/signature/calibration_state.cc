@@ -1,0 +1,106 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/signature/calibration_state.h"
+
+#include <algorithm>
+
+namespace dimmunix {
+
+CalibrationState::CalibrationState()
+    : calibrating_(false),
+      avoid_(static_cast<std::size_t>(max_depth_), 0),
+      fp_(static_cast<std::size_t>(max_depth_), 0) {}
+
+CalibrationState::CalibrationState(int max_depth, int na, int nt)
+    : max_depth_(std::max(1, max_depth)),
+      na_(std::max(1, na)),
+      nt_(std::max(1, nt)),
+      calibrating_(true),
+      avoid_(static_cast<std::size_t>(max_depth_), 0),
+      fp_(static_cast<std::size_t>(max_depth_), 0) {}
+
+bool CalibrationState::RecordAvoidance(int deepest) {
+  if (!calibrating_) {
+    return false;
+  }
+  deepest = std::clamp(deepest, current_depth_, max_depth_);
+  for (int d = current_depth_; d <= deepest; ++d) {
+    ++avoid_[static_cast<std::size_t>(d - 1)];
+  }
+  if (++avoidances_at_rung_ >= na_) {
+    avoidances_at_rung_ = 0;
+    // Skip rungs that already collected enough samples via the deepest-match
+    // crediting — "the calibration can run fewer than NA iterations at the
+    // larger depths".
+    do {
+      ++current_depth_;
+    } while (current_depth_ <= max_depth_ &&
+             avoid_[static_cast<std::size_t>(current_depth_ - 1)] >=
+                 static_cast<std::uint32_t>(na_));
+    if (current_depth_ > max_depth_) {
+      ChooseDepth();
+      return true;
+    }
+  }
+  return false;
+}
+
+void CalibrationState::RecordVerdict(int depth, int deepest, bool false_positive) {
+  if (!false_positive) {
+    return;
+  }
+  depth = std::clamp(depth, 1, max_depth_);
+  deepest = std::clamp(deepest, depth, max_depth_);
+  for (int d = depth; d <= deepest; ++d) {
+    ++fp_[static_cast<std::size_t>(d - 1)];
+  }
+}
+
+bool CalibrationState::CountTowardRecalibration() {
+  if (calibrating_) {
+    return false;
+  }
+  if (++post_calibration_avoidances_ >= nt_) {
+    return true;
+  }
+  return false;
+}
+
+void CalibrationState::Restart() {
+  calibrating_ = true;
+  current_depth_ = 1;
+  avoidances_at_rung_ = 0;
+  post_calibration_avoidances_ = 0;
+  std::fill(avoid_.begin(), avoid_.end(), 0u);
+  std::fill(fp_.begin(), fp_.end(), 0u);
+}
+
+double CalibrationState::FpRate(int depth) const {
+  const std::uint32_t a = avoid_[static_cast<std::size_t>(depth - 1)];
+  if (a == 0) {
+    return -1.0;
+  }
+  return static_cast<double>(fp_[static_cast<std::size_t>(depth - 1)]) / a;
+}
+
+void CalibrationState::ChooseDepth() {
+  calibrating_ = false;
+  // Smallest depth with the lowest observed FP rate (FPmin can be non-zero;
+  // several depths can tie — pick the smallest for generality).
+  double best = 2.0;  // rates are <= 1
+  int chosen = 1;
+  for (int d = 1; d <= max_depth_; ++d) {
+    const double rate = FpRate(d);
+    if (rate < 0) {
+      continue;
+    }
+    if (rate < best) {
+      best = rate;
+      chosen = d;
+    }
+  }
+  current_depth_ = chosen;
+  post_calibration_avoidances_ = 0;
+}
+
+}  // namespace dimmunix

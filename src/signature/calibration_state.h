@@ -1,0 +1,84 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Per-signature matching-depth calibration (§5.5).
+//
+// When a signature X is created, its matching depth starts at 1 and stays
+// there for the first NA avoidances of X, then moves to 2 for the next NA
+// avoidances, and so on up to the maximum depth. For each depth the
+// retrospective analysis (see src/core/calibrator.h) classifies avoidances
+// as true or false positives. When the ladder completes, the smallest depth
+// exhibiting the lowest FP rate becomes X's matching depth ("choosing the
+// smallest depth gives us the most general pattern"). After NT further
+// avoidances a recalibration is triggered, in case program conditions have
+// changed.
+//
+// The speed-up from the paper is implemented too: when an avoidance (or FP)
+// at depth k would also have happened at depths k+1..deepest, the counters
+// of those depths are credited as well, "allowing the calibration to run
+// fewer than NA iterations at the larger depths".
+
+#ifndef DIMMUNIX_SIGNATURE_CALIBRATION_STATE_H_
+#define DIMMUNIX_SIGNATURE_CALIBRATION_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dimmunix {
+
+class CalibrationState {
+ public:
+  // Default state: fixed-depth matching, ladder inactive, counters sized so
+  // stray verdicts are safely absorbed.
+  CalibrationState();
+  CalibrationState(int max_depth, int na, int nt);
+
+  // True while the ladder is still climbing (depth not yet chosen).
+  bool calibrating() const { return calibrating_; }
+
+  // The depth avoidance should currently match at: the ladder rung while
+  // calibrating, the chosen depth afterwards.
+  int current_depth() const { return current_depth_; }
+
+  // Records one avoidance observed at the current rung `k`, which would also
+  // have matched at every depth up to `deepest` (>= k). Advances the rung
+  // when it has accumulated NA avoidances; completes the ladder at max
+  // depth. Returns true if this call completed calibration.
+  bool RecordAvoidance(int deepest);
+
+  // Records the retrospective verdict for an avoidance taken at rung `k`
+  // that would also have matched up to `deepest`: false_positive credits the
+  // FP counters of k..deepest.
+  void RecordVerdict(int depth, int deepest, bool false_positive);
+
+  // Post-calibration: counts an avoidance toward the NT recalibration
+  // threshold; returns true when recalibration should start (the caller then
+  // calls Restart()).
+  bool CountTowardRecalibration();
+
+  void Restart();
+
+  // FP rate per depth d (1-based); -1 when no data.
+  double FpRate(int depth) const;
+  std::uint32_t avoid_count(int depth) const {
+    return avoid_[static_cast<std::size_t>(depth - 1)];
+  }
+  std::uint32_t fp_count(int depth) const { return fp_[static_cast<std::size_t>(depth - 1)]; }
+  int max_depth() const { return max_depth_; }
+
+ private:
+  void ChooseDepth();
+
+  int max_depth_ = 10;
+  int na_ = 20;
+  int nt_ = 10000;
+  bool calibrating_ = false;
+  int current_depth_ = 1;
+  int avoidances_at_rung_ = 0;
+  int post_calibration_avoidances_ = 0;
+  std::vector<std::uint32_t> avoid_;  // per depth, 1-based at index d-1
+  std::vector<std::uint32_t> fp_;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_SIGNATURE_CALIBRATION_STATE_H_

@@ -1,0 +1,238 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/signature/history.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace dimmunix {
+
+History::History(StackTable* table) : table_(table) {}
+
+int History::AddLocked(SignatureKind kind, std::vector<StackId> stacks, int match_depth,
+                       bool* added) {
+  std::sort(stacks.begin(), stacks.end());
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    if (signatures_[i].stacks == stacks) {
+      if (added != nullptr) {
+        *added = false;
+      }
+      return static_cast<int>(i);
+    }
+  }
+  Signature sig;
+  sig.kind = kind;
+  sig.stacks = std::move(stacks);
+  sig.match_depth = match_depth;
+  signatures_.push_back(std::move(sig));
+  ++version_;
+  if (added != nullptr) {
+    *added = true;
+  }
+  return static_cast<int>(signatures_.size() - 1);
+}
+
+int History::Add(SignatureKind kind, std::vector<StackId> stacks, int match_depth, bool* added) {
+  std::lock_guard<SpinLock> guard(lock_);
+  return AddLocked(kind, std::move(stacks), match_depth, added);
+}
+
+std::size_t History::size() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return signatures_.size();
+}
+
+void History::ForEach(const std::function<void(int, const Signature&)>& fn) const {
+  std::lock_guard<SpinLock> guard(lock_);
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    fn(static_cast<int>(i), signatures_[i]);
+  }
+}
+
+Signature History::Get(int index) const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return signatures_[static_cast<std::size_t>(index)];
+}
+
+void History::SetDisabled(int index, bool disabled) {
+  std::lock_guard<SpinLock> guard(lock_);
+  Signature& sig = signatures_[static_cast<std::size_t>(index)];
+  if (sig.disabled != disabled) {
+    sig.disabled = disabled;
+    ++version_;
+  }
+}
+
+void History::SetMatchDepth(int index, int depth) {
+  std::lock_guard<SpinLock> guard(lock_);
+  Signature& sig = signatures_[static_cast<std::size_t>(index)];
+  if (sig.match_depth != depth) {
+    sig.match_depth = depth;
+    ++version_;
+  }
+}
+
+void History::RecordAvoidance(int index) {
+  std::lock_guard<SpinLock> guard(lock_);
+  ++signatures_[static_cast<std::size_t>(index)].avoidance_count;
+}
+
+void History::RecordAbort(int index) {
+  std::lock_guard<SpinLock> guard(lock_);
+  ++signatures_[static_cast<std::size_t>(index)].abort_count;
+}
+
+void History::RecordFalsePositive(int index) {
+  std::lock_guard<SpinLock> guard(lock_);
+  ++signatures_[static_cast<std::size_t>(index)].fp_count;
+}
+
+void History::Mutate(int index, const std::function<void(Signature&)>& fn) {
+  std::lock_guard<SpinLock> guard(lock_);
+  fn(signatures_[static_cast<std::size_t>(index)]);
+  ++version_;
+}
+
+std::uint64_t History::version() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return version_;
+}
+
+namespace {
+
+constexpr char kHeader[] = "# dimmunix history v1";
+
+}  // namespace
+
+bool History::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return true;  // no history yet — empty immune system
+  }
+  std::string line;
+  SignatureKind kind = SignatureKind::kDeadlock;
+  int depth = 4;
+  bool disabled = false;
+  std::uint64_t avoided = 0;
+  std::uint64_t aborts = 0;
+  std::vector<std::vector<Frame>> pending_stacks;
+  bool in_signature = false;
+  int loaded = 0;
+
+  auto flush = [&]() {
+    if (pending_stacks.empty()) {
+      return;
+    }
+    std::vector<StackId> ids;
+    ids.reserve(pending_stacks.size());
+    for (const auto& frames : pending_stacks) {
+      ids.push_back(table_->Intern(frames));
+    }
+    std::lock_guard<SpinLock> guard(lock_);
+    bool added = false;
+    int index = AddLocked(kind, std::move(ids), depth, &added);
+    if (added) {
+      Signature& sig = signatures_[static_cast<std::size_t>(index)];
+      sig.disabled = disabled;
+      sig.avoidance_count = avoided;
+      sig.abort_count = aborts;
+      ++loaded;
+    }
+    pending_stacks.clear();
+  };
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "sig") {
+      kind = SignatureKind::kDeadlock;
+      depth = 4;
+      disabled = false;
+      avoided = 0;
+      aborts = 0;
+      in_signature = true;
+      std::string field;
+      while (ls >> field) {
+        auto eq = field.find('=');
+        if (eq == std::string::npos) {
+          continue;
+        }
+        std::string key = field.substr(0, eq);
+        std::string value = field.substr(eq + 1);
+        if (key == "kind") {
+          kind = (value == "starvation") ? SignatureKind::kStarvation : SignatureKind::kDeadlock;
+        } else if (key == "depth") {
+          depth = std::max(1, std::atoi(value.c_str()));
+        } else if (key == "disabled") {
+          disabled = (value == "1");
+        } else if (key == "avoided") {
+          avoided = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "aborts") {
+          aborts = std::strtoull(value.c_str(), nullptr, 10);
+        }
+      }
+    } else if (tok == "stack" && in_signature) {
+      std::vector<Frame> frames;
+      std::string frame_tok;
+      while (ls >> frame_tok) {
+        frames.push_back(std::strtoull(frame_tok.c_str(), nullptr, 16));
+      }
+      if (!frames.empty()) {
+        pending_stacks.push_back(std::move(frames));
+      }
+    } else if (tok == "end") {
+      flush();
+      in_signature = false;
+    } else {
+      DIMMUNIX_LOG(kWarn) << "history: skipping unrecognized line: " << line;
+    }
+  }
+  flush();
+  DIMMUNIX_LOG(kInfo) << "history: loaded " << loaded << " signature(s) from " << path;
+  return true;
+}
+
+bool History::Save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      DIMMUNIX_LOG(kError) << "history: cannot write " << tmp;
+      return false;
+    }
+    out << kHeader << "\n";
+    std::lock_guard<SpinLock> guard(lock_);
+    for (const Signature& sig : signatures_) {
+      out << "sig kind=" << (sig.kind == SignatureKind::kStarvation ? "starvation" : "deadlock")
+          << " depth=" << sig.match_depth << " disabled=" << (sig.disabled ? 1 : 0)
+          << " avoided=" << sig.avoidance_count << " aborts=" << sig.abort_count << "\n";
+      for (StackId id : sig.stacks) {
+        out << "stack";
+        const StackEntry& entry = table_->Get(id);
+        for (Frame frame : entry.frames) {
+          char buf[24];
+          std::snprintf(buf, sizeof(buf), " %" PRIx64, frame);
+          out << buf;
+        }
+        out << "\n";
+      }
+      out << "end\n";
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    DIMMUNIX_LOG(kError) << "history: rename to " << path << " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,99 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Deadlock signatures and the persistent history (§5.3, §5.4).
+//
+// A signature is a *multiset* of call stacks — one per thread blocked in the
+// detected deadlock/starvation — plus a matching depth. Signatures contain
+// no thread or lock identities ("this ensures that signatures preserve the
+// generality of a deadlock pattern and are fully portable from one execution
+// to the next").
+//
+// The history is loaded from disk at startup, shared read-only among all
+// application threads, and mutated only by the monitor thread (§5.4). Writes
+// go through an internal lock so the avoidance path can take consistent
+// snapshots; persistence is a human-readable versioned text format written
+// atomically (tmp + rename).
+
+#ifndef DIMMUNIX_SIGNATURE_HISTORY_H_
+#define DIMMUNIX_SIGNATURE_HISTORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/spin_lock.h"
+#include "src/signature/calibration_state.h"
+#include "src/stack/stack_table.h"
+
+namespace dimmunix {
+
+enum class SignatureKind : std::uint8_t { kDeadlock, kStarvation };
+
+struct Signature {
+  SignatureKind kind = SignatureKind::kDeadlock;
+  std::vector<StackId> stacks;  // sorted: a canonical multiset
+  int match_depth = 4;          // suffix length used during matching (§5.5)
+  bool disabled = false;        // §5.7 "allow users to disable signatures"
+  std::uint64_t avoidance_count = 0;
+  std::uint64_t abort_count = 0;  // yields aborted by the §5.7 timeout bound
+  std::uint64_t fp_count = 0;     // retrospective false positives (§5.5)
+  CalibrationState calibration;
+};
+
+class History {
+ public:
+  // `table` interns the stacks of loaded signatures; must outlive History.
+  explicit History(StackTable* table);
+
+  History(const History&) = delete;
+  History& operator=(const History&) = delete;
+
+  // Adds a signature unless an identical stack multiset is already present
+  // ("duplicate signatures are disallowed"). Returns the signature index,
+  // and sets *added to whether a new entry was created.
+  int Add(SignatureKind kind, std::vector<StackId> stacks, int match_depth, bool* added);
+
+  std::size_t size() const;
+
+  // Snapshot accessors -------------------------------------------------------
+  // Calls `fn(index, signature)` for every signature under the history lock.
+  // `fn` must be short and must not re-enter History.
+  void ForEach(const std::function<void(int, const Signature&)>& fn) const;
+  Signature Get(int index) const;
+
+  // Mutators (monitor thread / tools) ----------------------------------------
+  void SetDisabled(int index, bool disabled);
+  void SetMatchDepth(int index, int depth);
+  void RecordAvoidance(int index);
+  void RecordAbort(int index);
+  void RecordFalsePositive(int index);
+  // Applies `fn` to the signature under the lock (calibration updates).
+  void Mutate(int index, const std::function<void(Signature&)>& fn);
+
+  // Monotonically increases whenever the set of *active* signatures or any
+  // matching depth changes; the avoidance engine uses it to refresh its
+  // per-signature candidate caches.
+  std::uint64_t version() const;
+
+  // Persistence ---------------------------------------------------------------
+  // Loads (merging) signatures from `path`. Missing file is not an error
+  // (returns true with nothing loaded). Malformed content is skipped with a
+  // warning; returns false only on I/O failure of an existing file.
+  bool Load(const std::string& path);
+  // Atomically writes the whole history to `path`.
+  bool Save(const std::string& path) const;
+
+ private:
+  int AddLocked(SignatureKind kind, std::vector<StackId> stacks, int match_depth, bool* added);
+
+  StackTable* table_;
+  mutable SpinLock lock_;
+  std::vector<Signature> signatures_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_SIGNATURE_HISTORY_H_

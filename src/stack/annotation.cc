@@ -1,0 +1,26 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+namespace {
+
+std::vector<Frame>& MutableStack() {
+  thread_local std::vector<Frame> stack;
+  return stack;
+}
+
+}  // namespace
+
+const std::vector<Frame>& ThreadAnnotationStack() { return MutableStack(); }
+
+void PushAnnotatedFrame(Frame frame) { MutableStack().push_back(frame); }
+
+void PopAnnotatedFrame() {
+  auto& stack = MutableStack();
+  if (!stack.empty()) {
+    stack.pop_back();
+  }
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,50 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/stack/capture.h"
+
+#include <dlfcn.h>
+#include <execinfo.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/hash.h"
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+
+std::vector<Frame> CaptureStack(int skip) {
+  const std::vector<Frame>& annotated = ThreadAnnotationStack();
+  if (!annotated.empty()) {
+    // Annotation stack is outermost-first; the signature wants the suffix of
+    // the call flow, so reverse it.
+    std::vector<Frame> frames(annotated.rbegin(), annotated.rend());
+    if (frames.size() > static_cast<std::size_t>(kMaxCapturedFrames)) {
+      frames.resize(kMaxCapturedFrames);
+    }
+    return frames;
+  }
+  return CaptureNativeStack(skip + 1);
+}
+
+std::vector<Frame> CaptureNativeStack(int skip) {
+  void* addrs[kMaxCapturedFrames + 8];
+  const int n = backtrace(addrs, kMaxCapturedFrames + 8);
+  std::vector<Frame> frames;
+  frames.reserve(static_cast<std::size_t>(std::max(0, n - skip)));
+  for (int i = skip; i < n && frames.size() < kMaxCapturedFrames; ++i) {
+    Dl_info info{};
+    std::uint64_t module_hash = 0;
+    std::uint64_t offset = reinterpret_cast<std::uint64_t>(addrs[i]);
+    if (dladdr(addrs[i], &info) != 0 && info.dli_fbase != nullptr) {
+      offset -= reinterpret_cast<std::uint64_t>(info.dli_fbase);
+      if (info.dli_fname != nullptr) {
+        module_hash = Fnv1a64(info.dli_fname, std::char_traits<char>::length(info.dli_fname));
+      }
+    }
+    frames.push_back(FrameFromModuleOffset(module_hash, offset));
+  }
+  return frames;
+}
+
+}  // namespace dimmunix

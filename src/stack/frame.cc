@@ -1,0 +1,59 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/stack/frame.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/hash.h"
+#include "src/common/spin_lock.h"
+
+namespace dimmunix {
+namespace {
+
+// Global frame -> name registry, for diagnostics only. Guarded by a spin
+// lock; reads take the lock too (symbolization is never on the hot path).
+SpinLock& RegistryLock() {
+  static SpinLock lock;
+  return lock;
+}
+
+std::unordered_map<Frame, std::string>& Registry() {
+  static auto* map = new std::unordered_map<Frame, std::string>();
+  return *map;
+}
+
+}  // namespace
+
+Frame FrameFromName(const std::string& name) {
+  Frame frame = Fnv1a64(name);
+  if (frame == kInvalidFrame) {
+    frame = 1;  // avoid colliding with the sentinel
+  }
+  std::lock_guard<SpinLock> guard(RegistryLock());
+  Registry().emplace(frame, name);
+  return frame;
+}
+
+Frame FrameFromModuleOffset(std::uint64_t module_hash, std::uint64_t offset) {
+  Frame frame = HashCombine(module_hash, offset);
+  if (frame == kInvalidFrame) {
+    frame = 1;
+  }
+  return frame;
+}
+
+std::string FrameName(Frame frame) {
+  {
+    std::lock_guard<SpinLock> guard(RegistryLock());
+    auto it = Registry().find(frame);
+    if (it != Registry().end()) {
+      return it->second;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(frame));
+  return buf;
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,161 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/stack/stack_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/hash.h"
+
+namespace dimmunix {
+
+StackTable::StackTable(int max_depth) : max_depth_(std::max(1, max_depth)) {
+  by_depth_.resize(static_cast<std::size_t>(max_depth_));
+}
+
+std::uint64_t StackTable::SuffixHash(const std::vector<Frame>& frames, int depth) const {
+  const std::size_t n = std::min(frames.size(), static_cast<std::size_t>(depth));
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h = HashCombine(h, frames[i]);
+  }
+  // Mix in the effective length so that a 2-frame stack does not collide
+  // with a 5-frame stack sharing its top 2 frames when compared at depth 2 —
+  // they *should* collide there; but at depth 5 the 2-frame stack hashes its
+  // whole content, and we must not let it alias a genuinely 5-deep suffix.
+  return HashCombine(h, n);
+}
+
+StackId StackTable::Intern(const std::vector<Frame>& frames) {
+  const std::uint64_t full = Fnv1a64(frames.data(), frames.size() * sizeof(Frame));
+  const StackEntry* created = nullptr;
+  StackId result = kInvalidStackId;
+  {
+    std::lock_guard<SpinLock> guard(lock_);
+    auto it = by_full_hash_.find(full);
+    if (it != by_full_hash_.end()) {
+      for (StackId id : it->second) {
+        if (entries_[static_cast<std::size_t>(id)].frames == frames) {
+          return id;
+        }
+      }
+    }
+    StackEntry entry;
+    entry.id = static_cast<StackId>(entries_.size());
+    entry.frames = frames;
+    entry.full_hash = full;
+    entry.depth_hash.resize(static_cast<std::size_t>(max_depth_));
+    for (int d = 1; d <= max_depth_; ++d) {
+      entry.depth_hash[static_cast<std::size_t>(d - 1)] = SuffixHash(frames, d);
+    }
+    entries_.push_back(std::move(entry));
+    const StackEntry& stored = entries_.back();
+    by_full_hash_[full].push_back(stored.id);
+    for (int d = 1; d <= max_depth_; ++d) {
+      by_depth_[static_cast<std::size_t>(d - 1)][stored.depth_hash[static_cast<std::size_t>(d - 1)]]
+          .push_back(stored.id);
+    }
+    created = &stored;
+    result = stored.id;
+  }
+  if (created != nullptr) {
+    for (const auto& observer : observers_) {
+      observer(*created);
+    }
+  }
+  return result;
+}
+
+const StackEntry& StackTable::Get(StackId id) const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return entries_[static_cast<std::size_t>(id)];
+}
+
+std::vector<StackId> StackTable::MatchingAtDepth(StackId id, int depth) const {
+  depth = std::clamp(depth, 1, max_depth_);
+  std::lock_guard<SpinLock> guard(lock_);
+  const StackEntry& entry = entries_[static_cast<std::size_t>(id)];
+  const std::uint64_t h = entry.depth_hash[static_cast<std::size_t>(depth - 1)];
+  const auto& index = by_depth_[static_cast<std::size_t>(depth - 1)];
+  auto it = index.find(h);
+  if (it == index.end()) {
+    return {};
+  }
+  // Verify frames (hash collisions are possible in principle).
+  std::vector<StackId> out;
+  out.reserve(it->second.size());
+  const std::size_t n = std::min(entry.frames.size(), static_cast<std::size_t>(depth));
+  for (StackId candidate : it->second) {
+    const StackEntry& other = entries_[static_cast<std::size_t>(candidate)];
+    const std::size_t m = std::min(other.frames.size(), static_cast<std::size_t>(depth));
+    if (m == n && std::equal(entry.frames.begin(), entry.frames.begin() + static_cast<long>(n),
+                             other.frames.begin())) {
+      out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+bool StackTable::MatchesAtDepth(StackId a, StackId b, int depth) const {
+  if (a == b) {
+    return true;
+  }
+  depth = std::clamp(depth, 1, max_depth_);
+  std::lock_guard<SpinLock> guard(lock_);
+  const StackEntry& ea = entries_[static_cast<std::size_t>(a)];
+  const StackEntry& eb = entries_[static_cast<std::size_t>(b)];
+  const std::size_t n = std::min(ea.frames.size(), static_cast<std::size_t>(depth));
+  const std::size_t m = std::min(eb.frames.size(), static_cast<std::size_t>(depth));
+  if (n != m) {
+    return false;
+  }
+  if (ea.depth_hash[static_cast<std::size_t>(depth - 1)] !=
+      eb.depth_hash[static_cast<std::size_t>(depth - 1)]) {
+    return false;
+  }
+  return std::equal(ea.frames.begin(), ea.frames.begin() + static_cast<long>(n),
+                    eb.frames.begin());
+}
+
+int StackTable::DeepestMatchDepth(StackId a, StackId b) const {
+  if (a == b) {
+    return max_depth_;
+  }
+  int deepest = 0;
+  for (int d = 1; d <= max_depth_; ++d) {
+    if (MatchesAtDepth(a, b, d)) {
+      deepest = d;
+    } else {
+      break;
+    }
+  }
+  return deepest;
+}
+
+void StackTable::AddNewStackObserver(NewStackObserver observer) {
+  // Observers are registered at engine construction, before concurrent use.
+  observers_.push_back(std::move(observer));
+}
+
+std::size_t StackTable::size() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return entries_.size();
+}
+
+std::string StackTable::Describe(StackId id) const {
+  std::vector<Frame> frames;
+  {
+    std::lock_guard<SpinLock> guard(lock_);
+    frames = entries_[static_cast<std::size_t>(id)].frames;
+  }
+  std::string out;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i > 0) {
+      out += ';';
+    }
+    out += FrameName(frames[i]);
+  }
+  return out;
+}
+
+}  // namespace dimmunix

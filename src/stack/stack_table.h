@@ -1,0 +1,100 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Interned call stacks with per-depth suffix hashes.
+//
+// §5.6: "Dimmunix uses a hash table to map raw call stacks to our own call
+// stack objects. Matching a call stack consists of hashing the raw call
+// stack and finding the corresponding metadata object S."
+//
+// Every distinct call stack observed by the engine (and every stack loaded
+// from the signature history) is interned exactly once and given a dense
+// StackId. For each interned stack we precompute the hash of its top-d
+// frames for d = 1..max_depth, and maintain, per depth, an index from suffix
+// hash to the stacks sharing that suffix. That index is what makes
+// "find all live stacks matching signature stack S at depth d" an O(1)
+// lookup instead of a scan.
+
+#ifndef DIMMUNIX_STACK_STACK_TABLE_H_
+#define DIMMUNIX_STACK_STACK_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/spin_lock.h"
+#include "src/stack/frame.h"
+
+namespace dimmunix {
+
+using StackId = std::int32_t;
+constexpr StackId kInvalidStackId = -1;
+
+// Immutable after interning; stable address (entries live in a deque).
+struct StackEntry {
+  StackId id = kInvalidStackId;
+  std::vector<Frame> frames;          // innermost first
+  std::uint64_t full_hash = 0;        // hash over all frames
+  std::vector<std::uint64_t> depth_hash;  // depth_hash[d-1] = hash of top-d frames
+};
+
+class StackTable {
+ public:
+  explicit StackTable(int max_depth);
+
+  StackTable(const StackTable&) = delete;
+  StackTable& operator=(const StackTable&) = delete;
+
+  // Interns `frames`, returning the existing id when already present.
+  // Thread-safe. Invokes any registered new-stack observers (outside no
+  // internal locks) when a genuinely new stack is created.
+  StackId Intern(const std::vector<Frame>& frames);
+
+  // Entry accessor; the returned reference is valid forever.
+  const StackEntry& Get(StackId id) const;
+
+  // All interned stacks whose top-min(d,len) frames hash-match `entry` at
+  // depth d. The result includes `entry` itself.
+  std::vector<StackId> MatchingAtDepth(StackId id, int depth) const;
+
+  // True iff stacks `a` and `b` match when compared at depth d (§5.5): their
+  // top-min(d, len) frames are identical and the shorter stack is only
+  // accepted when it is entirely contained, i.e. both are truncated at the
+  // same effective depth.
+  bool MatchesAtDepth(StackId a, StackId b, int depth) const;
+
+  // The deepest depth (<= max_depth) at which `a` still matches `b`;
+  // 0 if they do not even match at depth 1. Used by the calibration
+  // fast-path (§5.5: "analyzes whether it would have performed avoidance had
+  // the depth been k+1, k+2, ...").
+  int DeepestMatchDepth(StackId a, StackId b) const;
+
+  // Observer invoked for every newly interned stack (after insertion).
+  // Used by the engine to keep per-signature candidate lists incremental.
+  using NewStackObserver = std::function<void(const StackEntry&)>;
+  void AddNewStackObserver(NewStackObserver observer);
+
+  int max_depth() const { return max_depth_; }
+  std::size_t size() const;
+
+  // Diagnostic: "frame0;frame1;..." with symbolized names.
+  std::string Describe(StackId id) const;
+
+ private:
+  std::uint64_t SuffixHash(const std::vector<Frame>& frames, int depth) const;
+
+  const int max_depth_;
+  mutable SpinLock lock_;
+  std::deque<StackEntry> entries_;
+  // full hash -> candidate ids (collision chain).
+  std::unordered_map<std::uint64_t, std::vector<StackId>> by_full_hash_;
+  // per depth d (1-based): suffix hash -> ids sharing that suffix.
+  std::vector<std::unordered_map<std::uint64_t, std::vector<StackId>>> by_depth_;
+  std::vector<NewStackObserver> observers_;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_STACK_STACK_TABLE_H_

@@ -1,0 +1,37 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/sync/cond_var.h"
+
+namespace dimmunix {
+
+void CondVar::Wait(Mutex& m) {
+  std::unique_lock<std::mutex> internal(internal_m_);
+  // Classic two-lock condvar: holding internal_m_ across the mutex release
+  // closes the lost-wakeup window, because notifiers must take internal_m_
+  // before signaling.
+  m.Unlock();
+  cv_.wait(internal);
+  internal.unlock();
+  (void)m.Lock();
+}
+
+bool CondVar::WaitFor(Mutex& m, Duration timeout) {
+  std::unique_lock<std::mutex> internal(internal_m_);
+  m.Unlock();
+  const std::cv_status status = cv_.wait_for(internal, timeout);
+  internal.unlock();
+  (void)m.Lock();
+  return status != std::cv_status::timeout;
+}
+
+void CondVar::NotifyOne() {
+  std::lock_guard<std::mutex> internal(internal_m_);
+  cv_.notify_one();
+}
+
+void CondVar::NotifyAll() {
+  std::lock_guard<std::mutex> internal(internal_m_);
+  cv_.notify_all();
+}
+
+}  // namespace dimmunix

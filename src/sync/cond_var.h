@@ -1,0 +1,50 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Condition variable paired with dimmunix::Mutex ("locks associated with
+// conditional variables are also instrumented", §6). Wait() releases the
+// instrumented mutex through the full Dimmunix path (emitting the release
+// event), sleeps, and re-acquires through the full path (running avoidance
+// on the way back in).
+
+#ifndef DIMMUNIX_SYNC_COND_VAR_H_
+#define DIMMUNIX_SYNC_COND_VAR_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/clock.h"
+#include "src/sync/mutex.h"
+
+namespace dimmunix {
+
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `m` and sleeps; re-acquires `m` before returning.
+  // `m` must be held by the caller.
+  void Wait(Mutex& m);
+
+  template <typename Predicate>
+  void Wait(Mutex& m, Predicate pred) {
+    while (!pred()) {
+      Wait(m);
+    }
+  }
+
+  // Returns false on timeout (the mutex is re-acquired either way).
+  bool WaitFor(Mutex& m, Duration timeout);
+
+  void NotifyOne();
+  void NotifyAll();
+
+ private:
+  std::mutex internal_m_;
+  std::condition_variable cv_;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_SYNC_COND_VAR_H_

@@ -1,0 +1,164 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Functional tests of the mini applications (no deadlocks here — the
+// deadlock behavior is exercised by exploits_test).
+
+#include "src/apps/collections.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/activemq.h"
+#include "src/apps/hawknl.h"
+#include "src/apps/jdbc.h"
+#include "src/apps/minidb.h"
+#include "src/apps/sqlite_rlock.h"
+#include "src/apps/taskqueue.h"
+
+namespace dimmunix {
+namespace {
+
+Config TestConfig() {
+  Config config;
+  config.start_monitor = false;
+  return config;
+}
+
+TEST(MiniDbTest, InsertCountTruncate) {
+  Runtime rt(TestConfig());
+  MiniDb db(rt);
+  db.CreateTable("t");
+  db.Insert("t", 3);
+  db.Insert("t", 1);
+  db.Insert("t", 2);
+  EXPECT_EQ(db.Count("t"), 3u);
+  EXPECT_TRUE(db.IndexContains("t", 2));
+  EXPECT_FALSE(db.IndexContains("t", 9));
+  db.Truncate("t");
+  EXPECT_EQ(db.Count("t"), 0u);
+  EXPECT_FALSE(db.IndexContains("t", 2));
+}
+
+TEST(SqliteRecursiveLockTest, ReentrantEnter) {
+  Runtime rt(TestConfig());
+  SqliteRecursiveLock lock(rt);
+  lock.Enter();
+  lock.Enter();  // reentrant
+  EXPECT_EQ(lock.recursion_count(), 2);
+  lock.Leave();
+  lock.Leave();
+  EXPECT_EQ(lock.recursion_count(), 0);
+}
+
+TEST(HawkNlTest, OpenCloseShutdown) {
+  Runtime rt(TestConfig());
+  MiniHawkNl nl(rt);
+  const int s0 = nl.Open();
+  nl.Open();
+  EXPECT_EQ(nl.open_sockets(), 2);
+  nl.Close(s0);
+  EXPECT_EQ(nl.open_sockets(), 1);
+  nl.Shutdown();
+  EXPECT_EQ(nl.open_sockets(), 0);
+}
+
+TEST(JdbcTest, StatementLifecycle) {
+  Runtime rt(TestConfig());
+  JdbcConnection conn(rt);
+  JdbcStatement* stmt = conn.PrepareStatement("SELECT 1");
+  EXPECT_EQ(stmt->GetWarnings(), "");
+  EXPECT_EQ(stmt->ExecuteQuery().size(), 1u);
+  stmt->Close();
+  EXPECT_TRUE(stmt->closed());
+  conn.Close();
+  EXPECT_TRUE(conn.closed());
+  EXPECT_EQ(conn.server_round_trips(), 1);
+}
+
+TEST(TaskQueueTest, SubmitCancelShutdown) {
+  Runtime rt(TestConfig());
+  TaskQueue queue(rt);
+  const int t0 = queue.Submit();
+  const int t1 = queue.Submit();
+  EXPECT_EQ(queue.live_tasks(), 2);
+  queue.CancelFromUser(t0);
+  EXPECT_EQ(queue.live_tasks(), 1);
+  queue.CancelFromTimer(t1);
+  EXPECT_EQ(queue.live_tasks(), 0);
+  queue.Shutdown();
+}
+
+TEST(BrokerTest, DispatchBuffersUntilListener) {
+  Runtime rt(TestConfig());
+  BrokerSession session(rt);
+  BrokerConsumer* consumer = session.CreateConsumer();
+  session.DispatchOne("before");
+  EXPECT_EQ(consumer->received(), 0u);  // buffered
+  consumer->SetListener([](const std::string&) {});
+  EXPECT_EQ(consumer->received(), 1u);  // drained on install
+  session.DispatchOne("after");
+  EXPECT_EQ(consumer->received(), 2u);
+}
+
+TEST(BrokerQueueTest, DropAndAddCount) {
+  Runtime rt(TestConfig());
+  BrokerQueue queue(rt);
+  queue.DropEventOnOverflow();
+  queue.DropEventOnExpiry();
+  queue.DropEventOnPurge();
+  queue.SubscriptionAdd();
+  EXPECT_EQ(queue.drops(), 3);
+  EXPECT_EQ(queue.adds(), 1);
+}
+
+TEST(CollectionsTest, VectorAddAll) {
+  Runtime rt(TestConfig());
+  SyncVector v1(rt);
+  SyncVector v2(rt);
+  v1.Add(1);
+  v2.Add(2);
+  v2.Add(3);
+  v1.AddAll(v2);
+  EXPECT_EQ(v1.Size(), 3u);
+}
+
+TEST(CollectionsTest, HashtableEquals) {
+  Runtime rt(TestConfig());
+  SyncHashtable h1(rt);
+  SyncHashtable h2(rt);
+  h1.Put(1, &h2);
+  h2.Put(2, &h1);
+  EXPECT_TRUE(h1.Equals(h2));
+}
+
+TEST(CollectionsTest, StringBufferAppend) {
+  Runtime rt(TestConfig());
+  SyncStringBuffer s1(rt);
+  SyncStringBuffer s2(rt);
+  s1.Set("foo");
+  s2.Set("bar");
+  s1.Append(s2);
+  EXPECT_EQ(s1.Get(), "foobar");
+}
+
+TEST(CollectionsTest, PrintWriterRoundtrip) {
+  Runtime rt(TestConfig());
+  SyncPrintWriter w(rt);
+  SyncCharArrayWriter buffer(rt);
+  buffer.Append("hello");
+  buffer.WriteTo(w);
+  w.Write(buffer);
+  EXPECT_EQ(w.Output(), "hellohello");
+}
+
+TEST(CollectionsTest, BeanContext) {
+  Runtime rt(TestConfig());
+  BeanContextSupport ctx(rt);
+  ctx.Add(1);
+  ctx.Add(2);
+  ctx.PropertyChange();
+  ctx.Remove(1);
+  EXPECT_EQ(ctx.ChildCount(), 1u);
+}
+
+}  // namespace
+}  // namespace dimmunix

@@ -1,0 +1,96 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/common/mpsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace dimmunix {
+namespace {
+
+TEST(MpscQueueTest, EmptyOnConstruction) {
+  MpscQueue<int> queue;
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(MpscQueueTest, FifoSingleProducer) {
+  MpscQueue<int> queue;
+  for (int i = 0; i < 100; ++i) {
+    queue.Push(i);
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto value = queue.Pop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(MpscQueueTest, MoveOnlyPayload) {
+  MpscQueue<std::unique_ptr<int>> queue;
+  queue.Push(std::make_unique<int>(7));
+  auto out = queue.Pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 7);
+}
+
+// §5.2 requires per-producer ordering: events enqueued by the same thread
+// must be drained in program order.
+TEST(MpscQueueTest, PerProducerOrderPreservedUnderContention) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 10000;
+  MpscQueue<std::pair<int, int>> queue;  // (producer, seq)
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.Push({p, i});
+      }
+    });
+  }
+  std::map<int, int> next_expected;
+  int drained = 0;
+  // Consume concurrently with production.
+  while (drained < kProducers * kPerProducer) {
+    auto item = queue.Pop();
+    if (!item.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    auto [producer, seq] = *item;
+    EXPECT_EQ(seq, next_expected[producer]) << "producer " << producer;
+    next_expected[producer] = seq + 1;
+    ++drained;
+  }
+  for (auto& thread : producers) {
+    thread.join();
+  }
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(MpscQueueTest, DrainAfterProducersFinish) {
+  MpscQueue<int> queue;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 8; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        queue.Push(i);
+      }
+    });
+  }
+  for (auto& thread : producers) {
+    thread.join();
+  }
+  int count = 0;
+  while (queue.Pop().has_value()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 8000);
+}
+
+}  // namespace
+}  // namespace dimmunix

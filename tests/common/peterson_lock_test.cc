@@ -1,0 +1,76 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/common/peterson_lock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dimmunix {
+namespace {
+
+TEST(PetersonLockTest, SingleThreadLockUnlock) {
+  PetersonLock lock(4);
+  lock.Lock(0);
+  lock.Unlock(0);
+  lock.Lock(3);
+  lock.Unlock(3);
+}
+
+TEST(PetersonLockTest, TwoThreadMutualExclusion) {
+  PetersonLock lock(2);
+  long counter = 0;
+  constexpr int kIters = 20000;
+  std::thread t0([&] {
+    for (int i = 0; i < kIters; ++i) {
+      lock.Lock(0);
+      ++counter;
+      lock.Unlock(0);
+    }
+  });
+  std::thread t1([&] {
+    for (int i = 0; i < kIters; ++i) {
+      lock.Lock(1);
+      ++counter;
+      lock.Unlock(1);
+    }
+  });
+  t0.join();
+  t1.join();
+  EXPECT_EQ(counter, 2L * kIters);
+}
+
+// The filter lock must exclude among n > 2 threads too (§5.6 uses the
+// n-thread generalization to guard the shared Allowed sets).
+TEST(PetersonLockTest, NThreadMutualExclusionAndNoLostUpdates) {
+  constexpr int kThreads = 6;
+  constexpr int kIters = 3000;
+  PetersonLock lock(kThreads);
+  long counter = 0;
+  std::atomic<int> inside{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.Lock(static_cast<std::size_t>(t));
+        if (inside.fetch_add(1) != 0) {
+          violation.store(true);
+        }
+        ++counter;
+        inside.fetch_sub(1);
+        lock.Unlock(static_cast<std::size_t>(t));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace dimmunix

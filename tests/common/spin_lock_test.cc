@@ -1,0 +1,62 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/common/spin_lock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dimmunix {
+namespace {
+
+TEST(SpinLockTest, LockUnlockSingleThread) {
+  SpinLock lock;
+  lock.Lock();
+  lock.Unlock();
+  lock.Lock();
+  lock.Unlock();
+}
+
+TEST(SpinLockTest, TryLockFailsWhileHeld) {
+  SpinLock lock;
+  lock.Lock();
+  EXPECT_FALSE(lock.TryLock());
+  lock.Unlock();
+  EXPECT_TRUE(lock.TryLock());
+  lock.Unlock();
+}
+
+TEST(SpinLockTest, WorksWithLockGuard) {
+  SpinLock lock;
+  {
+    std::lock_guard<SpinLock> guard(lock);
+    EXPECT_FALSE(lock.TryLock());
+  }
+  EXPECT_TRUE(lock.TryLock());
+  lock.Unlock();
+}
+
+TEST(SpinLockTest, MutualExclusionCounter) {
+  SpinLock lock;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.Lock();
+        ++counter;
+        lock.Unlock();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace dimmunix

@@ -1,0 +1,136 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/core/calibrator.h"
+
+#include <gtest/gtest.h>
+
+namespace dimmunix {
+namespace {
+
+Config ProbeConfig() {
+  Config config;
+  config.fp_probe_window = std::chrono::milliseconds(50);
+  config.fp_probe_max_ops = 16;
+  return config;
+}
+
+Event AvoidedEvent(int sig, int depth, int deepest, std::vector<ThreadId> involved) {
+  Event event;
+  event.type = EventType::kAvoided;
+  event.signature_index = sig;
+  event.match_depth = depth;
+  event.deepest_match_depth = deepest;
+  for (ThreadId t : involved) {
+    event.causes.push_back(YieldCause{t, 0, 0});
+  }
+  return event;
+}
+
+Event LockOp(EventType type, ThreadId t, LockId l) {
+  Event event;
+  event.type = type;
+  event.thread = t;
+  event.lock = l;
+  return event;
+}
+
+TEST(CalibratorTest, NoInversionIsFalsePositive) {
+  Calibrator calibrator(ProbeConfig());
+  const MonoTime t0 = Now();
+  calibrator.OnAvoided(AvoidedEvent(3, 2, 5, {1, 2}), {}, t0);
+  // Thread 1 takes X then Y; thread 2 also takes X then Y: same order, no
+  // inversion -> the avoidance prevented nothing.
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 1, 10));
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 1, 20));
+  calibrator.OnLockOp(LockOp(EventType::kRelease, 1, 20));
+  calibrator.OnLockOp(LockOp(EventType::kRelease, 1, 10));
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 2, 10));
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 2, 20));
+  auto verdicts = calibrator.Expire(t0 + std::chrono::milliseconds(60));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].false_positive);
+  EXPECT_EQ(verdicts[0].signature_index, 3);
+  EXPECT_EQ(verdicts[0].depth, 2);
+  EXPECT_EQ(verdicts[0].deepest, 5);
+}
+
+TEST(CalibratorTest, InversionIsTruePositive) {
+  Calibrator calibrator(ProbeConfig());
+  const MonoTime t0 = Now();
+  calibrator.OnAvoided(AvoidedEvent(0, 1, 1, {1, 2}), {}, t0);
+  // Thread 1: X then Y. Thread 2: Y then X — a real lock inversion, the
+  // avoidance was justified.
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 1, 10));
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 1, 20));
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 2, 20));
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 2, 10));
+  auto verdicts = calibrator.Expire(t0 + std::chrono::milliseconds(60));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].false_positive);
+}
+
+TEST(CalibratorTest, HeldSeedParticipatesInInversions) {
+  Calibrator calibrator(ProbeConfig());
+  const MonoTime t0 = Now();
+  // Thread 1 already holds lock 10 when the probe opens (seeded from the
+  // RAG); thread 2 already holds 20.
+  std::unordered_map<ThreadId, std::vector<LockId>> seed;
+  seed[1] = {10};
+  seed[2] = {20};
+  calibrator.OnAvoided(AvoidedEvent(0, 1, 1, {1, 2}), seed, t0);
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 1, 20));  // (10, 20) under hold
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 2, 10));  // (20, 10) under hold
+  auto verdicts = calibrator.Expire(t0 + std::chrono::milliseconds(60));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].false_positive);  // inversion across the seed
+}
+
+TEST(CalibratorTest, UninvolvedThreadsAreIgnored) {
+  Calibrator calibrator(ProbeConfig());
+  const MonoTime t0 = Now();
+  calibrator.OnAvoided(AvoidedEvent(0, 1, 1, {1, 2}), {}, t0);
+  // Inversion pattern, but produced by threads 8 and 9 (not involved).
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 8, 10));
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 8, 20));
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 9, 20));
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 9, 10));
+  auto verdicts = calibrator.Expire(t0 + std::chrono::milliseconds(60));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].false_positive);
+}
+
+TEST(CalibratorTest, ProbeSaturatesAtMaxOps) {
+  Config config = ProbeConfig();
+  config.fp_probe_max_ops = 4;
+  Calibrator calibrator(config);
+  const MonoTime t0 = Now();
+  calibrator.OnAvoided(AvoidedEvent(0, 1, 1, {1}), {}, t0);
+  for (int i = 0; i < 4; ++i) {
+    calibrator.OnLockOp(LockOp(EventType::kAcquired, 1, static_cast<LockId>(100 + i)));
+  }
+  // Window not yet over, but the probe saturated.
+  auto verdicts = calibrator.Expire(t0 + std::chrono::milliseconds(1));
+  EXPECT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(calibrator.open_probes(), 0u);
+}
+
+TEST(CalibratorTest, ProbesAreIndependent) {
+  Calibrator calibrator(ProbeConfig());
+  const MonoTime t0 = Now();
+  calibrator.OnAvoided(AvoidedEvent(0, 1, 1, {1, 2}), {}, t0);
+  calibrator.OnAvoided(AvoidedEvent(1, 2, 2, {3, 4}), {}, t0);
+  EXPECT_EQ(calibrator.open_probes(), 2u);
+  // Inversion only among {3, 4}.
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 3, 1));
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 3, 2));
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 4, 2));
+  calibrator.OnLockOp(LockOp(EventType::kAcquired, 4, 1));
+  auto verdicts = calibrator.Expire(t0 + std::chrono::milliseconds(60));
+  ASSERT_EQ(verdicts.size(), 2u);
+  // Order matches probe creation order.
+  EXPECT_TRUE(verdicts[0].false_positive);
+  EXPECT_FALSE(verdicts[1].false_positive);
+}
+
+}  // namespace
+}  // namespace dimmunix

@@ -1,0 +1,189 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Signature-instantiation matching edge cases (§5.3, §5.4): multiset
+// signatures (repeated stacks), signatures wider than two threads,
+// starvation signatures avoided like deadlock signatures, and cache
+// refresh on history changes.
+
+#include <gtest/gtest.h>
+
+#include <latch>
+#include <thread>
+
+#include "src/core/runtime.h"
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+namespace {
+
+Config TestConfig() {
+  Config config;
+  config.start_monitor = false;
+  config.default_match_depth = 1;
+  return config;
+}
+
+StackId Intern(Runtime& rt, const char* name) {
+  return rt.stacks().Intern({FrameFromName(name)});
+}
+
+// Acquires `lock` under frame `name` on the current thread.
+void Hold(Runtime& rt, const char* name, LockId lock) {
+  const ThreadId tid = rt.RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName(name));
+  ASSERT_EQ(rt.engine().Request(tid, lock), RequestDecision::kGo);
+  rt.engine().Acquired(tid, lock);
+}
+
+// True if a trylock-style request under `name` for `lock` is refused
+// (i.e. the pattern would be dangerous), run on a fresh thread.
+bool RefusedOnFreshThread(Runtime& rt, const char* name, LockId lock) {
+  bool refused = false;
+  std::thread t([&] {
+    const ThreadId tid = rt.RegisterCurrentThread();
+    ScopedFrame frame(FrameFromName(name));
+    if (!rt.engine().RequestNonblocking(tid, lock)) {
+      refused = true;
+    } else {
+      rt.engine().CancelRequest(tid, lock);
+    }
+  });
+  t.join();
+  return refused;
+}
+
+TEST(MatchingTest, MultisetSignatureRequiresBothInstances) {
+  // {same, same}: two different threads holding different locks with the
+  // SAME call stack (§5.3: "different threads may have acquired different
+  // locks while having the same call stack, by virtue of executing the same
+  // code").
+  Runtime rt(TestConfig());
+  bool added = false;
+  const StackId s = Intern(rt, "same");
+  rt.history().Add(SignatureKind::kDeadlock, {s, s}, 1, &added);
+  rt.engine().NotifyHistoryChanged();
+
+  // Only this thread holds a lock with stack "same": a second tuple is
+  // missing, so a request from a fresh thread on a DIFFERENT stack is fine,
+  // and even a "same"-stack request on the same lock is fine...
+  Hold(rt, "same", 100);
+  EXPECT_FALSE(RefusedOnFreshThread(rt, "other", 200));
+  EXPECT_FALSE(RefusedOnFreshThread(rt, "same", 100));  // same lock: no instance
+  // ...but a "same"-stack request on a different lock completes the
+  // multiset: refused.
+  EXPECT_TRUE(RefusedOnFreshThread(rt, "same", 200));
+}
+
+TEST(MatchingTest, ThreeThreadSignatureNeedsAllThreeTuples) {
+  Runtime rt(TestConfig());
+  bool added = false;
+  rt.history().Add(SignatureKind::kDeadlock,
+                   {Intern(rt, "ring1"), Intern(rt, "ring2"), Intern(rt, "ring3")}, 1, &added);
+  rt.engine().NotifyHistoryChanged();
+
+  Hold(rt, "ring1", 100);
+  // Two of three positions filled: not yet dangerous.
+  EXPECT_FALSE(RefusedOnFreshThread(rt, "ring3", 300));
+  // Fill position 2 from another thread that *keeps* its hold.
+  std::latch held(1);
+  std::latch release(1);
+  std::thread holder([&] {
+    const ThreadId tid = rt.RegisterCurrentThread();
+    ScopedFrame frame(FrameFromName("ring2"));
+    ASSERT_EQ(rt.engine().Request(tid, 200), RequestDecision::kGo);
+    rt.engine().Acquired(tid, 200);
+    held.count_down();
+    release.wait();
+    rt.engine().Release(tid, 200);
+  });
+  held.wait();
+  // All three positions can now be covered: refused.
+  EXPECT_TRUE(RefusedOnFreshThread(rt, "ring3", 300));
+  release.count_down();
+  holder.join();
+  // Holder released: safe again.
+  EXPECT_FALSE(RefusedOnFreshThread(rt, "ring3", 300));
+}
+
+TEST(MatchingTest, StarvationSignaturesAreAvoidedLikeDeadlocks) {
+  // §5.2: "Dimmunix uses the same logic to avoid both deadlock patterns and
+  // induced starvation patterns."
+  Runtime rt(TestConfig());
+  bool added = false;
+  rt.history().Add(SignatureKind::kStarvation, {Intern(rt, "stA"), Intern(rt, "stB")}, 1,
+                   &added);
+  rt.engine().NotifyHistoryChanged();
+  Hold(rt, "stA", 100);
+  EXPECT_TRUE(RefusedOnFreshThread(rt, "stB", 200));
+}
+
+TEST(MatchingTest, SignatureAddedMidRunIsPickedUp) {
+  // The engine's candidate caches must refresh when the monitor archives a
+  // new signature (NotifyHistoryChanged) — including for stacks interned
+  // *before* the signature existed.
+  Runtime rt(TestConfig());
+  Hold(rt, "lateA", 100);
+  EXPECT_FALSE(RefusedOnFreshThread(rt, "lateB", 200));
+  bool added = false;
+  rt.history().Add(SignatureKind::kDeadlock, {Intern(rt, "lateA"), Intern(rt, "lateB")}, 1,
+                   &added);
+  rt.engine().NotifyHistoryChanged();
+  EXPECT_TRUE(RefusedOnFreshThread(rt, "lateB", 200));
+}
+
+TEST(MatchingTest, NewStackInternedAfterCacheBuildIsMatched) {
+  // Inverse of the above: the signature exists first; a runtime stack that
+  // suffix-matches it is interned only later (the new-stack observer path).
+  Runtime rt(TestConfig());
+  bool added = false;
+  // Signature stacks are 2 frames deep; matching depth 2.
+  const StackId sa = rt.stacks().Intern(
+      {FrameFromName("obsSite"), FrameFromName("obsCallerA")});
+  const StackId sb = rt.stacks().Intern(
+      {FrameFromName("obsSite2"), FrameFromName("obsCallerB")});
+  rt.history().Add(SignatureKind::kDeadlock, {sa, sb}, 2, &added);
+  rt.engine().NotifyHistoryChanged();
+  // Force a cache build with an unrelated request.
+  Hold(rt, "unrelatedWarmup", 900);
+
+  // Now produce the matching stacks for the first time.
+  std::thread holder([&] {
+    const ThreadId tid = rt.RegisterCurrentThread();
+    ScopedFrame outer(FrameFromName("obsCallerA"));
+    ScopedFrame inner(FrameFromName("obsSite"));
+    ASSERT_EQ(rt.engine().Request(tid, 100), RequestDecision::kGo);
+    rt.engine().Acquired(tid, 100);
+  });
+  holder.join();
+  bool refused = false;
+  std::thread requester([&] {
+    const ThreadId tid = rt.RegisterCurrentThread();
+    ScopedFrame outer(FrameFromName("obsCallerB"));
+    ScopedFrame inner(FrameFromName("obsSite2"));
+    refused = !rt.engine().RequestNonblocking(tid, 200);
+  });
+  requester.join();
+  EXPECT_TRUE(refused);
+}
+
+TEST(MatchingTest, HoldEdgesAndAllowEdgesBothInstantiate) {
+  // §5.4: "checking for signature instantiation takes into consideration
+  // allow edges in addition to hold edges, because an allow edge represents
+  // a commitment by a thread to block waiting for a lock."
+  Runtime rt(TestConfig());
+  bool added = false;
+  rt.history().Add(SignatureKind::kDeadlock, {Intern(rt, "alA"), Intern(rt, "alB")}, 1, &added);
+  rt.engine().NotifyHistoryChanged();
+  // Thread 1 is merely ALLOWED to wait (request granted, never acquired).
+  std::thread allower([&] {
+    const ThreadId tid = rt.RegisterCurrentThread();
+    ScopedFrame frame(FrameFromName("alA"));
+    ASSERT_EQ(rt.engine().Request(tid, 100), RequestDecision::kGo);
+    // no Acquired: the thread is "blocked" on lock 100
+  });
+  allower.join();
+  EXPECT_TRUE(RefusedOnFreshThread(rt, "alB", 200));
+}
+
+}  // namespace
+}  // namespace dimmunix

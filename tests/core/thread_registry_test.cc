@@ -1,0 +1,63 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/core/thread_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace dimmunix {
+namespace {
+
+TEST(ThreadRegistryTest, IdsAreDenseFromZero) {
+  ThreadRegistry registry;
+  EXPECT_EQ(registry.RegisterCurrentThread(), 0);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ThreadRegistryTest, RegistrationIsIdempotent) {
+  ThreadRegistry registry;
+  const ThreadId first = registry.RegisterCurrentThread();
+  const ThreadId second = registry.RegisterCurrentThread();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ThreadRegistryTest, DistinctThreadsGetDistinctIds) {
+  ThreadRegistry registry;
+  std::set<ThreadId> ids;
+  std::mutex m;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      const ThreadId id = registry.RegisterCurrentThread();
+      std::lock_guard<std::mutex> guard(m);
+      ids.insert(id);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(registry.size(), 8u);
+}
+
+TEST(ThreadRegistryTest, IndependentRegistriesIndependentIds) {
+  ThreadRegistry a;
+  ThreadRegistry b;
+  EXPECT_EQ(a.RegisterCurrentThread(), 0);
+  EXPECT_EQ(b.RegisterCurrentThread(), 0);  // separate id spaces
+}
+
+TEST(ThreadRegistryTest, SlotIsStableAndOwned) {
+  ThreadRegistry registry;
+  const ThreadId id = registry.RegisterCurrentThread();
+  ThreadSlot& slot = registry.Slot(id);
+  EXPECT_EQ(slot.id, id);
+  EXPECT_EQ(&slot, &registry.Slot(id));
+}
+
+}  // namespace
+}  // namespace dimmunix

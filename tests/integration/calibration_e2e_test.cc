@@ -1,0 +1,130 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Calibration end to end (§5.5): real threads repeatedly re-encounter an
+// avoided pattern that is a *genuine* AB-BA deadlock; the monitor's
+// retrospective probes observe the lock inversion (true positives), the
+// ladder completes, and — crucially — the signature is NOT discarded as
+// obsolete. A companion test drives a pure-FP pattern and checks that the
+// §8 obsolete-discard *does* retire it.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/stack/annotation.h"
+#include "src/sync/mutex.h"
+
+namespace dimmunix {
+namespace {
+
+Config CalConfig() {
+  Config config;
+  config.monitor_period = std::chrono::milliseconds(5);
+  config.calibration_enabled = true;
+  config.calibration_na = 2;
+  config.max_match_depth = 3;
+  // Wide enough to observe the woken thread's inverse-order acquisitions.
+  config.fp_probe_window = std::chrono::milliseconds(150);
+  config.yield_timeout = std::chrono::milliseconds(100);
+  return config;
+}
+
+int SeedCalibratingSignature(Runtime& rt, const char* fa, const char* fb) {
+  bool added = false;
+  const int index = rt.history().Add(
+      SignatureKind::kDeadlock,
+      {rt.stacks().Intern({FrameFromName(fa)}), rt.stacks().Intern({FrameFromName(fb)})}, 1,
+      &added);
+  rt.history().Mutate(index, [&](Signature& s) {
+    s.calibration = CalibrationState(rt.config().max_match_depth, rt.config().calibration_na,
+                                     rt.config().calibration_nt);
+    s.match_depth = s.calibration.current_depth();
+  });
+  rt.engine().NotifyHistoryChanged();
+  return index;
+}
+
+TEST(CalibrationE2eTest, TruePositivePatternSurvivesCalibration) {
+  Runtime rt(CalConfig());
+  const int index = SeedCalibratingSignature(rt, "cal_holdA", "cal_holdB");
+  Mutex a(rt);
+  Mutex b(rt);
+
+  // Each round is a real AB-BA near-miss: main takes A then B; the worker
+  // takes B then A. The avoidance pauses the worker at its first lock; once
+  // main finishes, the worker proceeds through the inverse order, giving
+  // the probe its lock inversion.
+  for (int round = 0; round < 8; ++round) {
+    {
+      ScopedFrame frame(FrameFromName("cal_holdA"));
+      ASSERT_EQ(a.Lock(), LockResult::kOk);
+    }
+    std::thread worker([&] {
+      {
+        ScopedFrame frame(FrameFromName("cal_holdB"));
+        ASSERT_EQ(b.Lock(), LockResult::kOk);  // avoided while main holds A
+      }
+      ASSERT_EQ(a.Lock(), LockResult::kOk);  // inverse order: (B, A)
+      a.Unlock();
+      b.Unlock();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_EQ(b.Lock(), LockResult::kOk);  // main: (A, B)
+    b.Unlock();
+    a.Unlock();
+    worker.join();
+  }
+  // Let outstanding probes expire and be judged.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  rt.monitor().RunOnce();
+
+  const Signature sig = rt.history().Get(index);
+  EXPECT_GE(rt.engine().stats().yields.load(), 6u);
+  EXPECT_FALSE(sig.calibration.calibrating()) << "ladder should have completed";
+  EXPECT_FALSE(sig.disabled) << "a genuinely dangerous pattern must not be discarded";
+  EXPECT_GE(rt.monitor().stats().fp_probes_opened.load(), 6u);
+  EXPECT_GE(rt.monitor().stats().true_positives.load(), 1u);
+  EXPECT_EQ(rt.monitor().stats().false_positives.load() +
+                rt.monitor().stats().true_positives.load(),
+            rt.monitor().stats().fp_probes_opened.load());
+}
+
+TEST(CalibrationE2eTest, PureFalsePositivePatternIsDiscardedAsObsolete) {
+  Config config = CalConfig();
+  config.fp_probe_window = std::chrono::milliseconds(10);
+  Runtime rt(config);
+  const int index = SeedCalibratingSignature(rt, "fp_holdA", "fp_reqB");
+  Mutex a(rt);
+  Mutex b(rt);
+
+  // The "pattern" never actually inverts: main holds A; the worker merely
+  // takes B and releases it. Every avoidance is a false positive.
+  for (int round = 0; round < 6; ++round) {
+    {
+      ScopedFrame frame(FrameFromName("fp_holdA"));
+      ASSERT_EQ(a.Lock(), LockResult::kOk);
+    }
+    std::thread worker([&] {
+      ScopedFrame frame(FrameFromName("fp_reqB"));
+      ASSERT_EQ(b.Lock(), LockResult::kOk);
+      b.Unlock();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a.Unlock();
+    worker.join();
+    if (rt.history().Get(index).disabled) {
+      break;
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  rt.monitor().RunOnce();
+
+  const Signature sig = rt.history().Get(index);
+  EXPECT_FALSE(sig.calibration.calibrating());
+  EXPECT_TRUE(sig.disabled) << "100%-FP signature should be auto-discarded (§8)";
+  EXPECT_GE(rt.monitor().stats().signatures_discarded.load(), 1u);
+  EXPECT_GE(rt.monitor().stats().false_positives.load(), 2u);
+}
+
+}  // namespace
+}  // namespace dimmunix

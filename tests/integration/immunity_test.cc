@@ -1,0 +1,227 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// End-to-end deadlock immunity (§3, §7.1): the three-configuration protocol
+// of the paper's evaluation, fork-isolated so deadlocked incarnations can be
+// killed like real restarts.
+//
+//   1. unprotected      -> deadlocks
+//   2. full Dimmunix, yields ignored -> still deadlocks (instrumentation
+//      timing does not mask the bug)
+//   3. full Dimmunix with history    -> completes
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <latch>
+#include <thread>
+
+#include "src/benchlib/trial.h"
+#include "src/stack/annotation.h"
+#include "src/sync/mutex.h"
+
+namespace dimmunix {
+namespace {
+
+constexpr auto kTrialTimeout = std::chrono::seconds(2);
+
+void LockInOrder(Mutex& first, Mutex& second, const Frame frame) {
+  ScopedFrame scope(frame);
+  std::lock_guard<Mutex> g1(first);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  std::lock_guard<Mutex> g2(second);
+}
+
+// Runs the canonical AB-BA scenario; returns the engine yield count.
+int RunScenario(const Config& base) {
+  Config config = base;
+  config.monitor_period = std::chrono::milliseconds(10);
+  Runtime rt(config);
+  Mutex a(rt);
+  Mutex b(rt);
+  static const Frame f1 = FrameFromName("immunity::path1");
+  static const Frame f2 = FrameFromName("immunity::path2");
+  std::latch start(2);
+  std::thread t1([&] {
+    start.arrive_and_wait();
+    LockInOrder(a, b, f1);
+  });
+  std::thread t2([&] {
+    start.arrive_and_wait();
+    LockInOrder(b, a, f2);
+  });
+  t1.join();
+  t2.join();
+  return static_cast<int>(rt.engine().stats().yields.load());
+}
+
+class ImmunityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    history_ = (std::filesystem::temp_directory_path() /
+                ("immunity_" + std::to_string(::getpid()) + ".hist"))
+                   .string();
+    std::remove(history_.c_str());
+  }
+  void TearDown() override { std::remove(history_.c_str()); }
+  std::string history_;
+};
+
+TEST_F(ImmunityTest, FullThreeConfigurationProtocol) {
+  // Config 1: unprotected (no history file, avoidance finds nothing) — the
+  // exploit deadlocks deterministically.
+  TrialResult unprotected = RunTrial(
+      [&] {
+        Config config;
+        RunScenario(config);
+        return 0;
+      },
+      kTrialTimeout);
+  EXPECT_TRUE(unprotected.deadlocked) << "exploit should deadlock without immunity";
+
+  // Capture the signature: run with a history file; the monitor saves the
+  // cycle before the child is killed.
+  TrialResult capture = RunTrial(
+      [&] {
+        Config config;
+        config.history_path = history_;
+        RunScenario(config);
+        return 0;
+      },
+      kTrialTimeout);
+  EXPECT_TRUE(capture.deadlocked);
+  ASSERT_TRUE(std::filesystem::exists(history_)) << "signature must be persisted";
+
+  // Config 2: full instrumentation, yields ignored — deadlock still occurs
+  // (§7.1.1: "timing changes introduced by the instrumentation did not
+  // affect the deadlock").
+  TrialResult ignored = RunTrial(
+      [&] {
+        Config config;
+        config.history_path = history_;
+        config.ignore_yield_decisions = true;
+        RunScenario(config);
+        return 0;
+      },
+      kTrialTimeout);
+  EXPECT_TRUE(ignored.deadlocked);
+
+  // Config 3: full Dimmunix with the signature in history — completes, with
+  // at least one yield.
+  TrialResult immune = RunTrial(
+      [&] {
+        Config config;
+        config.history_path = history_;
+        const int yields = RunScenario(config);
+        return yields > 0 ? 0 : 3;
+      },
+      kTrialTimeout);
+  EXPECT_TRUE(immune.completed) << "immunized run must complete";
+  EXPECT_EQ(immune.exit_code, 0) << "immunized run must actually yield";
+}
+
+TEST_F(ImmunityTest, ImmunityPersistsAcrossManyIncarnations) {
+  // Capture once...
+  TrialResult capture = RunTrial(
+      [&] {
+        Config config;
+        config.history_path = history_;
+        RunScenario(config);
+        return 0;
+      },
+      kTrialTimeout);
+  ASSERT_TRUE(capture.deadlocked);
+  // ...then every subsequent incarnation completes (strong regression
+  // of the "resistance against future occurrences" property).
+  for (int incarnation = 0; incarnation < 3; ++incarnation) {
+    TrialResult run = RunTrial(
+        [&] {
+          Config config;
+          config.history_path = history_;
+          RunScenario(config);
+          return 0;
+        },
+        kTrialTimeout);
+    EXPECT_TRUE(run.completed) << "incarnation " << incarnation;
+  }
+}
+
+TEST_F(ImmunityTest, HotReloadImmunizesRunningProcess) {
+  // §8: "it can be 'patched' against deadlock bugs by simply inserting the
+  // corresponding bug's signature into the deadlock history and asking
+  // Dimmunix to reload the history."
+  // First capture a signature into the file.
+  TrialResult capture = RunTrial(
+      [&] {
+        Config config;
+        config.history_path = history_;
+        RunScenario(config);
+        return 0;
+      },
+      kTrialTimeout);
+  ASSERT_TRUE(capture.deadlocked);
+
+  // A fresh runtime starts with load disabled (empty immune system)...
+  TrialResult hot = RunTrial(
+      [&] {
+        Config config;
+        config.history_path = history_;
+        config.load_history_on_init = false;
+        config.monitor_period = std::chrono::milliseconds(10);
+        Runtime rt(config);
+        if (rt.history().size() != 0) {
+          return 4;
+        }
+        // ...the vendor ships the signature; reload without restarting.
+        if (!rt.ReloadHistory() || rt.history().size() == 0) {
+          return 5;
+        }
+        Mutex a(rt);
+        Mutex b(rt);
+        std::latch start(2);
+        std::thread t1([&] {
+          start.arrive_and_wait();
+          LockInOrder(a, b, FrameFromName("immunity::path1"));
+        });
+        std::thread t2([&] {
+          start.arrive_and_wait();
+          LockInOrder(b, a, FrameFromName("immunity::path2"));
+        });
+        t1.join();
+        t2.join();
+        return 0;
+      },
+      kTrialTimeout);
+  EXPECT_TRUE(hot.completed);
+  EXPECT_EQ(hot.exit_code, 0);
+}
+
+TEST_F(ImmunityTest, DeadlockFreeProgramIsNeverPerturbed) {
+  // §5.7: "a program that never deadlocks will have a perpetually empty
+  // history, which means no avoidance will ever be done."
+  Config config;
+  config.history_path = history_;
+  config.start_monitor = false;
+  Runtime rt(config);
+  Mutex a(rt);
+  Mutex b(rt);
+  // Consistent lock order: no deadlock possible.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        std::lock_guard<Mutex> ga(a);
+        std::lock_guard<Mutex> gb(b);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  rt.monitor().RunOnce();
+  EXPECT_EQ(rt.history().size(), 0u);
+  EXPECT_EQ(rt.engine().stats().yields.load(), 0u);
+}
+
+}  // namespace
+}  // namespace dimmunix

@@ -1,0 +1,75 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// End-to-end test of the LD_PRELOAD pthread interposition shim (§6): an
+// unmodified pthreads binary (examples/preload_victim) deadlocks on its
+// first run; the shim's monitor persists the signature; the second run of
+// the very same binary completes. No recompilation, no source access.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/benchlib/trial.h"
+
+namespace dimmunix {
+namespace {
+
+#ifndef PRELOAD_SO_PATH
+#define PRELOAD_SO_PATH ""
+#endif
+#ifndef VICTIM_PATH
+#define VICTIM_PATH ""
+#endif
+
+TrialResult RunVictim(const std::string& history) {
+  return RunTrial(
+      [&] {
+        setenv("LD_PRELOAD", PRELOAD_SO_PATH, 1);
+        setenv("DIMMUNIX_HISTORY", history.c_str(), 1);
+        setenv("DIMMUNIX_TAU_MS", "20", 1);
+        execl(VICTIM_PATH, VICTIM_PATH, static_cast<char*>(nullptr));
+        return 127;  // exec failed
+      },
+      std::chrono::seconds(3));
+}
+
+TEST(PreloadTest, UnmodifiedBinaryAcquiresImmunity) {
+  ASSERT_TRUE(std::filesystem::exists(PRELOAD_SO_PATH));
+  ASSERT_TRUE(std::filesystem::exists(VICTIM_PATH));
+  const std::string history =
+      (std::filesystem::temp_directory_path() /
+       ("preload_" + std::to_string(::getpid()) + ".hist"))
+          .string();
+  std::remove(history.c_str());
+
+  // Run 1: the victim deadlocks; the shim's monitor captures the signature
+  // before the harness kills the process.
+  TrialResult first = RunVictim(history);
+  EXPECT_TRUE(first.deadlocked) << "victim should deadlock on first run";
+  EXPECT_TRUE(std::filesystem::exists(history)) << "signature must be persisted";
+
+  // Run 2: same binary, same command — now immune.
+  TrialResult second = RunVictim(history);
+  EXPECT_TRUE(second.completed) << "immunized victim must complete";
+  EXPECT_EQ(second.exit_code, 0);
+  std::remove(history.c_str());
+}
+
+TEST(PreloadTest, ShimIsHarmlessOnDeadlockFreePrograms) {
+  // /bin/true under the shim: loads, runs, exits 0.
+  TrialResult result = RunTrial(
+      [&] {
+        setenv("LD_PRELOAD", PRELOAD_SO_PATH, 1);
+        execl("/bin/true", "/bin/true", static_cast<char*>(nullptr));
+        return 127;
+      },
+      std::chrono::seconds(3));
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.exit_code, 0);
+}
+
+}  // namespace
+}  // namespace dimmunix

@@ -1,0 +1,94 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// In-process deadlock recovery through the §3 resolution hook: with
+// DeadlockAction::kBreakVictim the monitor cancels one victim's pending
+// acquisition, whose Lock() returns kBroken — the application-level handler
+// then backs out, letting the other thread finish.
+
+#include <gtest/gtest.h>
+
+#include <latch>
+#include <thread>
+
+#include "src/stack/annotation.h"
+#include "src/sync/mutex.h"
+
+namespace dimmunix {
+namespace {
+
+TEST(RecoveryTest, BreakVictimUnwindsRealDeadlock) {
+  Config config;
+  config.monitor_period = std::chrono::milliseconds(10);
+  config.deadlock_action = DeadlockAction::kBreakVictim;
+  Runtime rt(config);
+  Mutex a(rt);
+  Mutex b(rt);
+
+  std::atomic<int> completed{0};
+  std::atomic<int> broken{0};
+  std::latch start(2);
+
+  auto body = [&](Mutex& first, Mutex& second, const char* frame_name) {
+    ScopedFrame frame(FrameFromName(frame_name));
+    start.arrive_and_wait();
+    ASSERT_EQ(first.Lock(), LockResult::kOk);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    const LockResult result = second.Lock();
+    if (result == LockResult::kOk) {
+      second.Unlock();
+      completed.fetch_add(1);
+    } else if (result == LockResult::kBroken) {
+      broken.fetch_add(1);  // application-level back-out
+    }
+    first.Unlock();
+  };
+
+  std::thread t1([&] { body(a, b, "recovery::t1"); });
+  std::thread t2([&] { body(b, a, "recovery::t2"); });
+  t1.join();
+  t2.join();
+
+  // One thread was broken out, the other completed.
+  EXPECT_EQ(broken.load(), 1);
+  EXPECT_EQ(completed.load(), 1);
+  EXPECT_GE(rt.monitor().stats().deadlocks_detected.load(), 1u);
+  EXPECT_GE(rt.engine().stats().broken_acquisitions.load(), 1u);
+  // And the signature was archived: the program is immune from now on.
+  EXPECT_GE(rt.history().size(), 1u);
+}
+
+TEST(RecoveryTest, HookObservesCycleBeforeRecovery) {
+  Config config;
+  config.monitor_period = std::chrono::milliseconds(10);
+  config.deadlock_action = DeadlockAction::kBreakVictim;
+  Runtime rt(config);
+  Mutex a(rt);
+  Mutex b(rt);
+
+  std::atomic<int> hook_threads{0};
+  rt.monitor().SetDeadlockHook([&](const DeadlockCycle& cycle, int index) {
+    hook_threads.store(static_cast<int>(cycle.threads.size()));
+    EXPECT_GE(index, 0);
+  });
+
+  std::latch start(2);
+  auto body = [&](Mutex& first, Mutex& second, const char* frame_name) {
+    ScopedFrame frame(FrameFromName(frame_name));
+    start.arrive_and_wait();
+    (void)first.Lock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    const LockResult result = second.Lock();
+    if (result == LockResult::kOk) {
+      second.Unlock();
+    }
+    first.Unlock();
+  };
+  std::thread t1([&] { body(a, b, "hook::t1"); });
+  std::thread t2([&] { body(b, a, "hook::t2"); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(hook_threads.load(), 2);
+}
+
+}  // namespace
+}  // namespace dimmunix

@@ -1,0 +1,82 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Property sweeps for the calibration ladder (§5.5): for randomized verdict
+// profiles, the chosen depth is always the smallest depth among those with
+// the minimal observed FP rate.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/signature/calibration_state.h"
+
+namespace dimmunix {
+namespace {
+
+struct CalibSweep {
+  unsigned seed;
+  int max_depth;
+  int na;
+};
+
+class CalibrationProperty : public ::testing::TestWithParam<CalibSweep> {};
+
+TEST_P(CalibrationProperty, ChoosesSmallestMinRateDepth) {
+  const CalibSweep params = GetParam();
+  std::mt19937 rng(params.seed);
+  // Random per-depth FP probability profile.
+  std::vector<double> fp_prob(static_cast<std::size_t>(params.max_depth));
+  for (double& p : fp_prob) {
+    p = static_cast<double>(rng() % 100) / 100.0;
+  }
+
+  CalibrationState state(params.max_depth, params.na, 1000000);
+  // Drive the ladder: every avoidance is observed at the current rung only
+  // (deepest == rung) so rungs fill sequentially and rates stay exact.
+  while (state.calibrating()) {
+    const int depth = state.current_depth();
+    const bool fp =
+        (static_cast<double>(rng() % 1000) / 1000.0) < fp_prob[static_cast<std::size_t>(depth - 1)];
+    state.RecordVerdict(depth, depth, fp);
+    state.RecordAvoidance(depth);
+  }
+
+  // Reference: smallest depth with minimal observed (not theoretical) rate.
+  double best_rate = 2.0;
+  int best_depth = 1;
+  for (int d = 1; d <= params.max_depth; ++d) {
+    const double rate = state.FpRate(d);
+    if (rate >= 0 && rate < best_rate) {
+      best_rate = rate;
+      best_depth = d;
+    }
+  }
+  EXPECT_EQ(state.current_depth(), best_depth);
+  EXPECT_DOUBLE_EQ(state.FpRate(state.current_depth()), best_rate);
+}
+
+TEST_P(CalibrationProperty, LadderAlwaysTerminates) {
+  const CalibSweep params = GetParam();
+  std::mt19937 rng(params.seed ^ 0xbeefu);
+  CalibrationState state(params.max_depth, params.na, 1000000);
+  int steps = 0;
+  const int bound = params.max_depth * params.na + 1;
+  while (state.calibrating()) {
+    // Random deepest-credit: may skip rungs but never stall.
+    const int deepest =
+        state.current_depth() +
+        static_cast<int>(rng() % static_cast<unsigned>(params.max_depth));
+    state.RecordAvoidance(deepest);
+    ASSERT_LE(++steps, bound) << "calibration ladder failed to terminate";
+  }
+  EXPECT_GE(state.current_depth(), 1);
+  EXPECT_LE(state.current_depth(), params.max_depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CalibrationProperty,
+                         ::testing::Values(CalibSweep{21, 10, 20}, CalibSweep{22, 5, 10},
+                                           CalibSweep{23, 8, 5}, CalibSweep{24, 3, 30},
+                                           CalibSweep{25, 16, 8}, CalibSweep{26, 10, 1}));
+
+}  // namespace
+}  // namespace dimmunix

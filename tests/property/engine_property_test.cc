@@ -1,0 +1,126 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Engine-level invariants under randomized workloads:
+//
+//  1. Never-false-history (§5.7): deadlock-free random workloads leave the
+//     history empty and trigger no yields, across many schedules.
+//  2. Immunity (§3): for randomized AB-BA scenarios over random lock pairs
+//     and frame sets, a seeded signature makes the scenario complete.
+//  3. Conservation: every acquisition is eventually released; the engine's
+//     Allowed sets drain to empty.
+
+#include <gtest/gtest.h>
+
+#include <latch>
+#include <random>
+#include <thread>
+
+#include "src/stack/annotation.h"
+#include "src/sync/mutex.h"
+
+namespace dimmunix {
+namespace {
+
+struct EngineSweep {
+  unsigned seed;
+  int threads;
+  int locks;
+  int iterations;
+};
+
+class EngineProperty : public ::testing::TestWithParam<EngineSweep> {};
+
+TEST_P(EngineProperty, DeadlockFreeWorkloadIsNeverPerturbed) {
+  const EngineSweep params = GetParam();
+  Config config;
+  config.start_monitor = false;
+  Runtime rt(config);
+  std::vector<std::unique_ptr<Mutex>> locks;
+  for (int i = 0; i < params.locks; ++i) {
+    locks.push_back(std::make_unique<Mutex>(rt));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < params.threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(params.seed + static_cast<unsigned>(t));
+      for (int i = 0; i < params.iterations; ++i) {
+        // Locks always taken in ascending index order: deadlock-free.
+        int first = static_cast<int>(rng() % static_cast<unsigned>(params.locks));
+        int second = static_cast<int>(rng() % static_cast<unsigned>(params.locks));
+        if (first > second) {
+          std::swap(first, second);
+        }
+        ScopedFrame frame(FrameFromName("engine_prop_" + std::to_string(rng() % 4)));
+        std::lock_guard<Mutex> g1(*locks[static_cast<std::size_t>(first)]);
+        if (second != first) {
+          std::lock_guard<Mutex> g2(*locks[static_cast<std::size_t>(second)]);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  rt.monitor().RunOnce();
+  EXPECT_EQ(rt.history().size(), 0u) << "no deadlock -> no signature, ever";
+  EXPECT_EQ(rt.engine().stats().yields.load(), 0u);
+  EXPECT_EQ(rt.monitor().stats().deadlocks_detected.load(), 0u);
+  // Conservation: everything released.
+  EXPECT_EQ(rt.engine().stats().acquisitions.load(), rt.engine().stats().releases.load());
+}
+
+TEST_P(EngineProperty, SeededSignatureImmunizesRandomAbBaPairs) {
+  const EngineSweep params = GetParam();
+  std::mt19937 rng(params.seed * 977u + 5u);
+  Config config;
+  config.start_monitor = false;
+  config.default_match_depth = 1;
+  Runtime rt(config);
+
+  // Random frame pair for the two code paths.
+  const std::string fa = "prop_pathA_" + std::to_string(rng() % 1000);
+  const std::string fb = "prop_pathB_" + std::to_string(rng() % 1000);
+  bool added = false;
+  rt.history().Add(SignatureKind::kDeadlock,
+                   {rt.stacks().Intern({FrameFromName(fa)}),
+                    rt.stacks().Intern({FrameFromName(fb)})},
+                   1, &added);
+  ASSERT_TRUE(added);
+  rt.engine().NotifyHistoryChanged();
+
+  for (int round = 0; round < 3; ++round) {
+    Mutex a(rt);
+    Mutex b(rt);
+    std::latch start(2);
+    std::thread t1([&] {
+      ScopedFrame frame(FrameFromName(fa));
+      start.arrive_and_wait();
+      std::lock_guard<Mutex> g1(a);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      std::lock_guard<Mutex> g2(b);
+    });
+    std::thread t2([&] {
+      ScopedFrame frame(FrameFromName(fb));
+      start.arrive_and_wait();
+      std::lock_guard<Mutex> g1(b);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      std::lock_guard<Mutex> g2(a);
+    });
+    // With the signature seeded, the pair must complete (this join would
+    // hang forever on a real deadlock; gtest's per-test timeout plus the
+    // deterministic hold windows make this a real regression check).
+    t1.join();
+    t2.join();
+  }
+  EXPECT_GE(rt.engine().stats().yields.load(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineProperty,
+                         ::testing::Values(EngineSweep{11, 2, 2, 150},
+                                           EngineSweep{12, 4, 3, 100},
+                                           EngineSweep{13, 3, 5, 120},
+                                           EngineSweep{14, 6, 4, 60},
+                                           EngineSweep{15, 2, 8, 200}));
+
+}  // namespace
+}  // namespace dimmunix

@@ -1,0 +1,66 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Randomized stress properties of the event queue: no loss, no duplication,
+// per-producer FIFO — under varying producer counts and batch sizes.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/event/event_queue.h"
+
+namespace dimmunix {
+namespace {
+
+struct QueueParams {
+  int producers;
+  int per_producer;
+};
+
+class QueueProperty : public ::testing::TestWithParam<QueueParams> {};
+
+TEST_P(QueueProperty, NoLossNoDuplicationPerProducerFifo) {
+  const QueueParams params = GetParam();
+  EventQueue queue;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < params.producers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < params.per_producer; ++i) {
+        Event event;
+        event.type = EventType::kRequest;
+        event.thread = static_cast<ThreadId>(p);
+        event.lock = static_cast<LockId>(i + 1);
+        queue.Push(event);
+      }
+    });
+  }
+  std::vector<LockId> next(static_cast<std::size_t>(params.producers), 1);
+  std::size_t drained = 0;
+  const std::size_t expected =
+      static_cast<std::size_t>(params.producers) * static_cast<std::size_t>(params.per_producer);
+  while (drained < expected) {
+    auto event = queue.Pop();
+    if (!event.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    auto& expected_lock = next[static_cast<std::size_t>(event->thread)];
+    ASSERT_EQ(event->lock, expected_lock) << "per-producer FIFO violated";
+    ++expected_lock;
+    ++drained;
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.total_pushed(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QueueProperty,
+                         ::testing::Values(QueueParams{1, 20000}, QueueParams{2, 10000},
+                                           QueueParams{4, 5000}, QueueParams{8, 2500},
+                                           QueueParams{16, 1000}));
+
+}  // namespace
+}  // namespace dimmunix

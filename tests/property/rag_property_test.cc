@@ -1,0 +1,168 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Property: the RAG's incremental deadlock detection agrees with a
+// brute-force wait-for-graph cycle search over randomized schedules of
+// acquire / release / block operations.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "src/rag/rag.h"
+
+namespace dimmunix {
+namespace {
+
+struct RagSweep {
+  unsigned seed;
+  int threads;
+  int locks;
+  int steps;
+};
+
+class RagProperty : public ::testing::TestWithParam<RagSweep> {};
+
+// Shadow model of the schedule.
+struct Model {
+  struct Thread {
+    std::set<LockId> held;
+    LockId waiting = kInvalidLockId;
+    bool deadlocked = false;
+  };
+  std::vector<Thread> threads;
+  std::unordered_map<LockId, int> owner;  // lock -> thread (-1 free)
+
+  explicit Model(int n) : threads(static_cast<std::size_t>(n)) {}
+
+  // Brute force: is `start` on a wait-for cycle?
+  bool OnCycle(int start) const {
+    int current = start;
+    std::set<int> seen;
+    while (true) {
+      const Thread& t = threads[static_cast<std::size_t>(current)];
+      if (t.waiting == kInvalidLockId) {
+        return false;
+      }
+      auto it = owner.find(t.waiting);
+      if (it == owner.end() || it->second < 0) {
+        return false;
+      }
+      current = it->second;
+      if (current == start) {
+        return true;
+      }
+      if (!seen.insert(current).second) {
+        return false;  // cycle not through start
+      }
+    }
+  }
+};
+
+Event Ev(EventType type, ThreadId t, LockId l, StackId s) {
+  Event event;
+  event.type = type;
+  event.thread = t;
+  event.lock = l;
+  event.stack = s;
+  return event;
+}
+
+TEST_P(RagProperty, DetectionMatchesBruteForce) {
+  const RagSweep params = GetParam();
+  std::mt19937 rng(params.seed);
+  Rag rag;
+  Model model(params.threads);
+  std::set<int> rag_deadlocked;
+  std::set<int> ref_deadlocked;
+
+  for (int step = 0; step < params.steps; ++step) {
+    // Pick a runnable thread.
+    std::vector<int> runnable;
+    for (int t = 0; t < params.threads; ++t) {
+      const auto& thread = model.threads[static_cast<std::size_t>(t)];
+      if (thread.waiting == kInvalidLockId && !thread.deadlocked) {
+        runnable.push_back(t);
+      }
+    }
+    if (runnable.empty()) {
+      break;  // everything deadlocked — a fine end state
+    }
+    const int t = runnable[rng() % runnable.size()];
+    auto& thread = model.threads[static_cast<std::size_t>(t)];
+    const LockId lock = 1 + rng() % static_cast<unsigned>(params.locks);
+    const StackId stack = static_cast<StackId>(rng() % 5);
+    const auto owner_it = model.owner.find(lock);
+    const int owner = owner_it == model.owner.end() ? -1 : owner_it->second;
+
+    const unsigned action = rng() % 3;
+    if (action == 0 && !thread.held.empty()) {
+      // Release a random held lock.
+      auto it = thread.held.begin();
+      std::advance(it, static_cast<long>(rng() % thread.held.size()));
+      const LockId released = *it;
+      thread.held.erase(it);
+      model.owner[released] = -1;
+      rag.Apply(Ev(EventType::kRelease, t, released, stack));
+      // A release can unblock a waiter in the model.
+      for (int w = 0; w < params.threads; ++w) {
+        auto& waiter = model.threads[static_cast<std::size_t>(w)];
+        if (waiter.waiting == released && !waiter.deadlocked) {
+          waiter.waiting = kInvalidLockId;
+          waiter.held.insert(released);
+          model.owner[released] = w;
+          rag.Apply(Ev(EventType::kAcquired, w, released, stack));
+          break;
+        }
+      }
+    } else if (owner < 0) {
+      // Acquire a free lock.
+      if (thread.held.count(lock) > 0) {
+        continue;  // model keeps locks non-reentrant here
+      }
+      thread.held.insert(lock);
+      model.owner[lock] = t;
+      rag.Apply(Ev(EventType::kRequest, t, lock, stack));
+      rag.Apply(Ev(EventType::kAllow, t, lock, stack));
+      rag.Apply(Ev(EventType::kAcquired, t, lock, stack));
+    } else if (owner != t) {
+      // Block on a held lock.
+      thread.waiting = lock;
+      rag.Apply(Ev(EventType::kRequest, t, lock, stack));
+      rag.Apply(Ev(EventType::kAllow, t, lock, stack));
+      if (model.OnCycle(t)) {
+        // Reference: every thread on the cycle is deadlocked.
+        int current = t;
+        do {
+          model.threads[static_cast<std::size_t>(current)].deadlocked = true;
+          ref_deadlocked.insert(current);
+          current = model.owner.at(
+              model.threads[static_cast<std::size_t>(current)].waiting);
+        } while (current != t);
+      }
+    }
+
+    for (const DeadlockCycle& cycle : rag.DetectDeadlocks()) {
+      for (ThreadId tid : cycle.threads) {
+        rag_deadlocked.insert(static_cast<int>(tid));
+      }
+    }
+  }
+  // One final drain.
+  for (const DeadlockCycle& cycle : rag.DetectDeadlocks()) {
+    for (ThreadId tid : cycle.threads) {
+      rag_deadlocked.insert(static_cast<int>(tid));
+    }
+  }
+  EXPECT_EQ(rag_deadlocked, ref_deadlocked) << "seed " << params.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RagProperty,
+                         ::testing::Values(RagSweep{101, 4, 4, 400}, RagSweep{102, 6, 3, 600},
+                                           RagSweep{103, 3, 6, 500}, RagSweep{104, 8, 8, 800},
+                                           RagSweep{105, 5, 2, 300}, RagSweep{106, 2, 2, 200},
+                                           RagSweep{107, 10, 5, 1000},
+                                           RagSweep{108, 7, 7, 700}));
+
+}  // namespace
+}  // namespace dimmunix

@@ -1,0 +1,102 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/signature/calibration_state.h"
+
+#include <gtest/gtest.h>
+
+namespace dimmunix {
+namespace {
+
+TEST(CalibrationStateTest, StartsAtDepthOneAndCalibrating) {
+  CalibrationState state(10, 20, 10000);
+  EXPECT_TRUE(state.calibrating());
+  EXPECT_EQ(state.current_depth(), 1);
+}
+
+TEST(CalibrationStateTest, LadderAdvancesAfterNaAvoidances) {
+  CalibrationState state(3, 5, 100);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(state.RecordAvoidance(1));
+    EXPECT_EQ(state.current_depth(), 1);
+  }
+  EXPECT_FALSE(state.RecordAvoidance(1));  // 5th: rung advances
+  EXPECT_EQ(state.current_depth(), 2);
+}
+
+TEST(CalibrationStateTest, DeepestCreditSkipsRungs) {
+  // §5.5 fast-path: avoidances at depth k that would also match at k+1, k+2
+  // credit those rungs, so the ladder "runs fewer than NA iterations at the
+  // larger depths".
+  CalibrationState state(3, 5, 100);
+  for (int i = 0; i < 5; ++i) {
+    state.RecordAvoidance(3);  // credits depths 1..3 each time
+  }
+  // All rungs already have >= NA avoidances: ladder completes immediately.
+  EXPECT_FALSE(state.calibrating());
+}
+
+TEST(CalibrationStateTest, ChoosesSmallestDepthWithMinFpRate) {
+  CalibrationState state(3, 2, 100);
+  // Depth 1: 2 avoidances, both FPs.
+  state.RecordVerdict(1, 1, true);
+  state.RecordAvoidance(1);
+  state.RecordVerdict(1, 1, true);
+  state.RecordAvoidance(1);
+  // Depth 2: 2 avoidances, one FP.
+  state.RecordVerdict(2, 2, true);
+  state.RecordAvoidance(2);
+  state.RecordVerdict(2, 2, false);
+  state.RecordAvoidance(2);
+  // Depth 3: 2 avoidances, no FPs -> rate 0, smallest such depth is 3.
+  state.RecordVerdict(3, 3, false);
+  state.RecordAvoidance(3);
+  state.RecordVerdict(3, 3, false);
+  EXPECT_TRUE(state.RecordAvoidance(3));  // ladder completes
+  EXPECT_FALSE(state.calibrating());
+  EXPECT_EQ(state.current_depth(), 3);
+}
+
+TEST(CalibrationStateTest, TieBreaksTowardSmallestDepth) {
+  // "multiple depths can have the same FPmin rate; choosing the smallest
+  // depth gives us the most general pattern."
+  CalibrationState state(3, 1, 100);
+  state.RecordVerdict(1, 3, false);
+  // One avoidance crediting all rungs completes the whole ladder.
+  EXPECT_TRUE(state.RecordAvoidance(3));
+  EXPECT_EQ(state.current_depth(), 1);
+}
+
+TEST(CalibrationStateTest, FpVerdictPropagatesToDeeperRungs) {
+  CalibrationState state(5, 100, 100);
+  state.RecordVerdict(2, 4, true);
+  EXPECT_EQ(state.fp_count(2), 1u);
+  EXPECT_EQ(state.fp_count(3), 1u);
+  EXPECT_EQ(state.fp_count(4), 1u);
+  EXPECT_EQ(state.fp_count(5), 0u);
+  EXPECT_EQ(state.fp_count(1), 0u);
+}
+
+TEST(CalibrationStateTest, RecalibrationAfterNt) {
+  CalibrationState state(2, 1, 3);
+  state.RecordAvoidance(2);  // completes the ladder (credits both rungs)
+  ASSERT_FALSE(state.calibrating());
+  EXPECT_FALSE(state.CountTowardRecalibration());
+  EXPECT_FALSE(state.CountTowardRecalibration());
+  EXPECT_TRUE(state.CountTowardRecalibration());  // NT = 3 reached
+  state.Restart();
+  EXPECT_TRUE(state.calibrating());
+  EXPECT_EQ(state.current_depth(), 1);
+  EXPECT_EQ(state.avoid_count(1), 0u);
+}
+
+TEST(CalibrationStateTest, FpRateReportsMinusOneWithoutData) {
+  CalibrationState state(4, 5, 100);
+  EXPECT_LT(state.FpRate(3), 0.0);
+  state.RecordAvoidance(1);
+  EXPECT_DOUBLE_EQ(state.FpRate(1), 0.0);
+  state.RecordVerdict(1, 1, true);
+  EXPECT_DOUBLE_EQ(state.FpRate(1), 1.0);
+}
+
+}  // namespace
+}  // namespace dimmunix

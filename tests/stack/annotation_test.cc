@@ -1,0 +1,62 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/stack/annotation.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dimmunix {
+namespace {
+
+TEST(AnnotationTest, EmptyByDefault) { EXPECT_TRUE(ThreadAnnotationStack().empty()); }
+
+TEST(AnnotationTest, ScopedFramePushesAndPops) {
+  const Frame f = FrameFromName("outer@file:1");
+  {
+    ScopedFrame scope(f);
+    ASSERT_EQ(ThreadAnnotationStack().size(), 1u);
+    EXPECT_EQ(ThreadAnnotationStack().back(), f);
+  }
+  EXPECT_TRUE(ThreadAnnotationStack().empty());
+}
+
+TEST(AnnotationTest, NestingOrderIsOutermostFirst) {
+  const Frame outer = FrameFromName("outer@file:1");
+  const Frame inner = FrameFromName("inner@file:2");
+  ScopedFrame a(outer);
+  {
+    ScopedFrame b(inner);
+    ASSERT_EQ(ThreadAnnotationStack().size(), 2u);
+    EXPECT_EQ(ThreadAnnotationStack()[0], outer);
+    EXPECT_EQ(ThreadAnnotationStack()[1], inner);
+  }
+  EXPECT_EQ(ThreadAnnotationStack().size(), 1u);
+}
+
+TEST(AnnotationTest, MacroCapturesFunctionAndLine) {
+  DIMMUNIX_FRAME();
+  ASSERT_EQ(ThreadAnnotationStack().size(), 1u);
+  const std::string name = FrameName(ThreadAnnotationStack()[0]);
+  // Inside a gtest body __func__ is "TestBody"; the file:line part is ours.
+  EXPECT_NE(name.find("TestBody"), std::string::npos) << name;
+  EXPECT_NE(name.find("annotation_test.cc"), std::string::npos) << name;
+}
+
+TEST(AnnotationTest, PerThreadIsolation) {
+  const Frame f = FrameFromName("main-thread@x:1");
+  ScopedFrame scope(f);
+  std::thread other([] { EXPECT_TRUE(ThreadAnnotationStack().empty()); });
+  other.join();
+  EXPECT_EQ(ThreadAnnotationStack().size(), 1u);
+}
+
+TEST(AnnotationTest, FrameNamesAreDeterministic) {
+  // Signatures must be portable across executions (§5.3): the frame id is a
+  // pure function of the position string.
+  EXPECT_EQ(FrameFromName("Foo::Bar@baz.cc:17"), FrameFromName("Foo::Bar@baz.cc:17"));
+  EXPECT_NE(FrameFromName("Foo::Bar@baz.cc:17"), FrameFromName("Foo::Bar@baz.cc:18"));
+}
+
+}  // namespace
+}  // namespace dimmunix

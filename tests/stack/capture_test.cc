@@ -1,0 +1,53 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/stack/capture.h"
+
+#include <gtest/gtest.h>
+
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+namespace {
+
+TEST(CaptureTest, AnnotatedStackWinsAndIsInnermostFirst) {
+  const Frame outer = FrameFromName("cap_outer@t:1");
+  const Frame inner = FrameFromName("cap_inner@t:2");
+  ScopedFrame a(outer);
+  ScopedFrame b(inner);
+  const std::vector<Frame> stack = CaptureStack();
+  ASSERT_EQ(stack.size(), 2u);
+  EXPECT_EQ(stack[0], inner);  // most recent frame first (suffix matching)
+  EXPECT_EQ(stack[1], outer);
+}
+
+TEST(CaptureTest, NativeFallbackProducesFrames) {
+  ASSERT_TRUE(ThreadAnnotationStack().empty());
+  const std::vector<Frame> stack = CaptureStack();
+  EXPECT_FALSE(stack.empty());
+  EXPECT_LE(stack.size(), static_cast<std::size_t>(kMaxCapturedFrames));
+}
+
+TEST(CaptureTest, NativeCaptureIsStableAtSameCallSite) {
+  auto capture_here = []() { return CaptureNativeStack(0); };
+  const auto a = capture_here();
+  const auto b = capture_here();
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  // Same call site, same process: the innermost frame (the unwinder's
+  // immediate caller) is identical; outer frames may differ because the
+  // optimizer inlines the helper at each call site.
+  EXPECT_EQ(a[0], b[0]);
+}
+
+TEST(CaptureTest, DeepAnnotationIsTruncated) {
+  std::vector<std::unique_ptr<ScopedFrame>> frames;
+  for (int i = 0; i < kMaxCapturedFrames + 10; ++i) {
+    frames.push_back(
+        std::make_unique<ScopedFrame>(FrameFromName("deep@f:" + std::to_string(i))));
+  }
+  const std::vector<Frame> stack = CaptureStack();
+  EXPECT_EQ(stack.size(), static_cast<std::size_t>(kMaxCapturedFrames));
+}
+
+}  // namespace
+}  // namespace dimmunix

@@ -1,0 +1,98 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/sync/cond_var.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dimmunix {
+namespace {
+
+Config TestConfig() {
+  Config config;
+  config.start_monitor = false;
+  return config;
+}
+
+TEST(CondVarTest, WaitNotifyOne) {
+  Runtime rt(TestConfig());
+  Mutex m(rt);
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    (void)m.Lock();
+    cv.Wait(m, [&] { return ready; });
+    EXPECT_TRUE(ready);
+    m.Unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  (void)m.Lock();
+  ready = true;
+  m.Unlock();
+  cv.NotifyOne();
+  waiter.join();
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Runtime rt(TestConfig());
+  Mutex m(rt);
+  CondVar cv;
+  bool go = false;
+  int woken = 0;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      (void)m.Lock();
+      cv.Wait(m, [&] { return go; });
+      ++woken;
+      m.Unlock();
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  (void)m.Lock();
+  go = true;
+  m.Unlock();
+  cv.NotifyAll();
+  for (auto& waiter : waiters) {
+    waiter.join();
+  }
+  EXPECT_EQ(woken, 4);
+}
+
+TEST(CondVarTest, WaitForTimesOut) {
+  Runtime rt(TestConfig());
+  Mutex m(rt);
+  CondVar cv;
+  (void)m.Lock();
+  const MonoTime start = Now();
+  EXPECT_FALSE(cv.WaitFor(m, std::chrono::milliseconds(30)));
+  EXPECT_GE(Now() - start, std::chrono::milliseconds(25));
+  m.Unlock();
+}
+
+TEST(CondVarTest, MutexReleasedDuringWait) {
+  Runtime rt(TestConfig());
+  Mutex m(rt);
+  CondVar cv;
+  bool observed_free = false;
+  bool done = false;
+  std::thread waiter([&] {
+    (void)m.Lock();
+    cv.Wait(m, [&] { return done; });
+    m.Unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // While the waiter sleeps in Wait, the mutex must be acquirable.
+  if (m.TryLock()) {
+    observed_free = true;
+    done = true;
+    m.Unlock();
+  }
+  cv.NotifyAll();
+  waiter.join();
+  EXPECT_TRUE(observed_free);
+}
+
+}  // namespace
+}  // namespace dimmunix
