@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# One-command verification gate: configure + build (warnings are errors) +
+# full ctest run. Later PRs run this before merging.
+#
+#   scripts/check.sh              # fresh build in build-check/
+#   BUILD_DIR=build scripts/check.sh   # reuse an existing tree
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-check}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD_DIR}" -S . -DDIMMUNIX_WERROR=ON
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

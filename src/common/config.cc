@@ -57,6 +57,9 @@ Config Config::FromEnvironment(Config base) {
       base.immunity = ImmunityMode::kWeak;
     }
   }
+  if (const char* c = Getenv("DIMMUNIX_CONTROL"); c != nullptr && *c != '\0') {
+    base.control_socket_path = c;
+  }
   if (const char* st = Getenv("DIMMUNIX_STAGE"); st != nullptr) {
     std::string_view s(st);
     if (s == "instr") {

@@ -84,11 +84,17 @@ struct Config {
   std::chrono::milliseconds fp_probe_window{50};
   int fp_probe_max_ops = 64;
 
+  // --- Control plane ---------------------------------------------------------
+  // Non-empty: the runtime listens on this UNIX-domain socket for `dimctl`
+  // commands (status/history/disable/reload/...). Empty = no control server.
+  std::string control_socket_path;
+
   // Reads DIMMUNIX_* environment variables over the current values:
   //   DIMMUNIX_HISTORY, DIMMUNIX_TAU_MS, DIMMUNIX_DEPTH, DIMMUNIX_MAX_DEPTH,
   //   DIMMUNIX_IMMUNITY (weak|strong), DIMMUNIX_CALIBRATION (0|1),
   //   DIMMUNIX_YIELD_TIMEOUT_MS, DIMMUNIX_IGNORE_YIELDS (0|1),
-  //   DIMMUNIX_STAGE (instr|data|full).
+  //   DIMMUNIX_STAGE (instr|data|full),
+  //   DIMMUNIX_CONTROL (control-socket path, e.g. /tmp/app.dimmunix.sock).
   static Config FromEnvironment();
   static Config FromEnvironment(Config base);
 };

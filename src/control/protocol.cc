@@ -1,0 +1,350 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/control/protocol.h"
+
+#include <unistd.h>
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "src/core/runtime.h"
+
+namespace dimmunix {
+namespace control {
+namespace {
+
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') {
+      ++i;
+    }
+    if (i > start) {
+      tokens.push_back(line.substr(start, i - start));
+    }
+  }
+  return tokens;
+}
+
+bool ParseInt(std::string_view token, int* out) {
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool SetError(std::string* error, std::string message) {
+  if (error != nullptr) {
+    *error = std::move(message);
+  }
+  return false;
+}
+
+std::string Err(const std::string& reason) { return "err " + reason + "\n"; }
+
+const char* KindName(SignatureKind kind) {
+  return kind == SignatureKind::kDeadlock ? "deadlock" : "starvation";
+}
+
+const char* ImmunityName(ImmunityMode mode) {
+  return mode == ImmunityMode::kStrong ? "strong" : "weak";
+}
+
+const char* StageName(EngineStage stage) {
+  switch (stage) {
+    case EngineStage::kInstrumentationOnly:
+      return "instr";
+    case EngineStage::kDataStructures:
+      return "data";
+    case EngineStage::kFull:
+      return "full";
+  }
+  return "full";
+}
+
+std::string DoStatus(Runtime& rt) {
+  const EngineStatsSnapshot engine = rt.engine().stats().Snapshot();
+  const MonitorStatsSnapshot monitor = rt.monitor().stats().Snapshot();
+  std::size_t disabled = 0;
+  rt.history().ForEach([&](int, const Signature& s) { disabled += s.disabled ? 1 : 0; });
+  std::ostringstream out;
+  out << "ok\n";
+  out << "pid=" << ::getpid() << "\n";
+  out << "enabled=" << (rt.config().enabled ? 1 : 0) << "\n";
+  out << "immunity=" << ImmunityName(rt.config().immunity) << "\n";
+  out << "stage=" << StageName(rt.config().stage) << "\n";
+  out << "history_path=" << rt.config().history_path << "\n";
+  out << "signatures=" << rt.history().size() << "\n";
+  out << "signatures_disabled=" << disabled << "\n";
+  out << "last_avoided=" << rt.engine().last_avoided_signature() << "\n";
+  out << "avoidance_yields=" << engine.yields << "\n";
+  out << "lock_requests=" << engine.requests << "\n";
+  out << "monitor_batches=" << monitor.batches << "\n";
+  out << "deadlocks_detected=" << monitor.deadlocks_detected << "\n";
+  out << "starvations_detected=" << monitor.starvations_detected << "\n";
+  return out.str();
+}
+
+std::string DoStats(Runtime& rt) {
+  const EngineStatsSnapshot e = rt.engine().stats().Snapshot();
+  const MonitorStatsSnapshot m = rt.monitor().stats().Snapshot();
+  std::ostringstream out;
+  out << "ok\n";
+  out << "engine.requests=" << e.requests << "\n";
+  out << "engine.gos=" << e.gos << "\n";
+  out << "engine.yields=" << e.yields << "\n";
+  out << "engine.wakes=" << e.wakes << "\n";
+  out << "engine.yield_timeouts=" << e.yield_timeouts << "\n";
+  out << "engine.reentrant_acquisitions=" << e.reentrant_acquisitions << "\n";
+  out << "engine.acquisitions=" << e.acquisitions << "\n";
+  out << "engine.releases=" << e.releases << "\n";
+  out << "engine.trylock_cancels=" << e.trylock_cancels << "\n";
+  out << "engine.broken_acquisitions=" << e.broken_acquisitions << "\n";
+  out << "engine.signatures_disabled=" << e.signatures_disabled << "\n";
+  out << "engine.depth_true_yields=" << e.depth_true_yields << "\n";
+  out << "engine.depth_fp_yields=" << e.depth_fp_yields << "\n";
+  out << "monitor.batches=" << m.batches << "\n";
+  out << "monitor.events_processed=" << m.events_processed << "\n";
+  out << "monitor.deadlocks_detected=" << m.deadlocks_detected << "\n";
+  out << "monitor.starvations_detected=" << m.starvations_detected << "\n";
+  out << "monitor.signatures_saved=" << m.signatures_saved << "\n";
+  out << "monitor.starvations_broken=" << m.starvations_broken << "\n";
+  out << "monitor.restarts_requested=" << m.restarts_requested << "\n";
+  out << "monitor.fp_probes_opened=" << m.fp_probes_opened << "\n";
+  out << "monitor.false_positives=" << m.false_positives << "\n";
+  out << "monitor.true_positives=" << m.true_positives << "\n";
+  out << "monitor.signatures_discarded=" << m.signatures_discarded << "\n";
+  return out.str();
+}
+
+std::string DoHistory(Runtime& rt) {
+  // Copy under the history lock, format outside: History::lock_ sits on the
+  // application's lock-acquisition hot path and must not be held across
+  // per-signature stream formatting.
+  std::vector<Signature> signatures;
+  signatures.reserve(rt.history().size());
+  rt.history().ForEach([&](int, const Signature& s) { signatures.push_back(s); });
+  std::ostringstream out;
+  out << "ok\n";
+  for (std::size_t index = 0; index < signatures.size(); ++index) {
+    const Signature& s = signatures[index];
+    out << "sig " << index << " kind=" << KindName(s.kind) << " stacks=" << s.stacks.size()
+        << " depth=" << s.match_depth << " disabled=" << (s.disabled ? 1 : 0)
+        << " avoidance=" << s.avoidance_count << " abort=" << s.abort_count
+        << " fp=" << s.fp_count << " calibrating=" << (s.calibration.calibrating() ? 1 : 0)
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string DoRag(Runtime& rt) {
+  const RagSnapshot snap = rt.monitor().SnapshotRag();
+  std::ostringstream out;
+  out << "ok\n";
+  out << "threads=" << snap.threads.size() << "\n";
+  out << "locks=" << snap.lock_count << "\n";
+  out << "yield_edges=" << snap.yield_edge_count << "\n";
+  for (const RagThreadInfo& t : snap.threads) {
+    out << "thread " << t.id << " waiting=" << (t.waiting ? 1 : 0);
+    if (t.waiting) {
+      out << " wait_lock=" << t.wait_lock;
+    }
+    out << " held=" << t.held.size() << " yields=" << t.yield_edges;
+    if (!t.held.empty()) {
+      out << " held_locks=";
+      for (std::size_t i = 0; i < t.held.size(); ++i) {
+        out << (i == 0 ? "" : ",") << t.held[i];
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string DoConfig(Runtime& rt) {
+  const Config& c = rt.config();
+  std::ostringstream out;
+  out << "ok\n";
+  out << "enabled=" << (c.enabled ? 1 : 0) << "\n";
+  out << "monitor_period_ms=" << c.monitor_period.count() << "\n";
+  out << "default_match_depth=" << c.default_match_depth << "\n";
+  out << "max_match_depth=" << c.max_match_depth << "\n";
+  out << "calibration_enabled=" << (c.calibration_enabled ? 1 : 0) << "\n";
+  out << "calibration_na=" << c.calibration_na << "\n";
+  out << "calibration_nt=" << c.calibration_nt << "\n";
+  out << "immunity=" << ImmunityName(c.immunity) << "\n";
+  out << "stage=" << StageName(c.stage) << "\n";
+  out << "yield_timeout_ms=" << c.yield_timeout.count() << "\n";
+  out << "auto_disable_aborts=" << c.auto_disable_aborts << "\n";
+  out << "ignore_yield_decisions=" << (c.ignore_yield_decisions ? 1 : 0) << "\n";
+  out << "use_peterson_guard=" << (c.use_peterson_guard ? 1 : 0) << "\n";
+  out << "history_path=" << c.history_path << "\n";
+  out << "control_socket_path=" << c.control_socket_path << "\n";
+  return out.str();
+}
+
+std::string DoSetDisabled(Runtime& rt, int index, bool disabled) {
+  if (!rt.SetSignatureDisabled(index, disabled)) {
+    return Err("signature index out of range");
+  }
+  std::ostringstream out;
+  out << "ok\nindex=" << index << "\ndisabled=" << (disabled ? 1 : 0) << "\n";
+  return out.str();
+}
+
+std::string DoDisableLast(Runtime& rt) {
+  const int index = rt.DisableLastAvoidedSignature();
+  if (index < 0) {
+    return Err("no signature has been avoided yet");
+  }
+  const Signature sig = rt.history().Get(index);
+  std::ostringstream out;
+  out << "ok\nindex=" << index << "\navoidance=" << sig.avoidance_count << "\n";
+  return out.str();
+}
+
+std::string DoReload(Runtime& rt) {
+  if (rt.config().history_path.empty()) {
+    return Err("no history file configured");
+  }
+  const bool ok = rt.ReloadHistory();
+  std::ostringstream out;
+  out << "ok\nreloaded=" << (ok ? 1 : 0) << "\nsignatures=" << rt.history().size() << "\n";
+  return out.str();
+}
+
+std::string DoSetDepth(Runtime& rt, int index, int depth) {
+  if (!rt.SetSignatureMatchDepth(index, depth)) {
+    return Err("signature index or depth out of range");
+  }
+  std::ostringstream out;
+  out << "ok\nindex=" << index << "\ndepth=" << depth << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string HelpText() {
+  return
+      "status                  runtime summary\n"
+      "stats                   engine + monitor counters\n"
+      "history                 per-signature state\n"
+      "disable <idx>           disable a signature\n"
+      "enable <idx>            re-enable a signature\n"
+      "disable-last            disable the most recently avoided signature\n"
+      "reload                  hot-reload the history file\n"
+      "set-depth <idx> <d>     override a signature's matching depth\n"
+      "rag                     thread/lock/yield-edge snapshot\n"
+      "config                  effective configuration\n"
+      "help                    this text\n";
+}
+
+std::optional<Request> ParseRequest(std::string_view line, std::string* error) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  const std::vector<std::string_view> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    SetError(error, "empty command");
+    return std::nullopt;
+  }
+  const std::string_view name = tokens[0];
+  Request request;
+  std::size_t want_args = 0;
+  if (name == "status") {
+    request.kind = CommandKind::kStatus;
+  } else if (name == "stats") {
+    request.kind = CommandKind::kStats;
+  } else if (name == "history") {
+    request.kind = CommandKind::kHistory;
+  } else if (name == "disable") {
+    request.kind = CommandKind::kDisable;
+    want_args = 1;
+  } else if (name == "enable") {
+    request.kind = CommandKind::kEnable;
+    want_args = 1;
+  } else if (name == "disable-last") {
+    request.kind = CommandKind::kDisableLast;
+  } else if (name == "reload") {
+    request.kind = CommandKind::kReload;
+  } else if (name == "set-depth") {
+    request.kind = CommandKind::kSetDepth;
+    want_args = 2;
+  } else if (name == "rag") {
+    request.kind = CommandKind::kRag;
+  } else if (name == "config") {
+    request.kind = CommandKind::kConfig;
+  } else if (name == "help") {
+    request.kind = CommandKind::kHelp;
+  } else {
+    SetError(error, "unknown command '" + std::string(name) + "' (try 'help')");
+    return std::nullopt;
+  }
+  if (tokens.size() - 1 != want_args) {
+    SetError(error, "command '" + std::string(name) + "' expects " + std::to_string(want_args) +
+                        " argument(s)");
+    return std::nullopt;
+  }
+  if (want_args >= 1) {
+    if (!ParseInt(tokens[1], &request.index) || request.index < 0) {
+      SetError(error, "invalid signature index '" + std::string(tokens[1]) + "'");
+      return std::nullopt;
+    }
+  }
+  if (want_args >= 2) {
+    if (!ParseInt(tokens[2], &request.depth) || request.depth < 1) {
+      SetError(error, "invalid depth '" + std::string(tokens[2]) + "'");
+      return std::nullopt;
+    }
+  }
+  return request;
+}
+
+std::string ExecuteRequest(Runtime& runtime, const Request& request) {
+  switch (request.kind) {
+    case CommandKind::kStatus:
+      return DoStatus(runtime);
+    case CommandKind::kStats:
+      return DoStats(runtime);
+    case CommandKind::kHistory:
+      return DoHistory(runtime);
+    case CommandKind::kDisable:
+      return DoSetDisabled(runtime, request.index, true);
+    case CommandKind::kEnable:
+      return DoSetDisabled(runtime, request.index, false);
+    case CommandKind::kDisableLast:
+      return DoDisableLast(runtime);
+    case CommandKind::kReload:
+      return DoReload(runtime);
+    case CommandKind::kSetDepth:
+      return DoSetDepth(runtime, request.index, request.depth);
+    case CommandKind::kRag:
+      return DoRag(runtime);
+    case CommandKind::kConfig:
+      return DoConfig(runtime);
+    case CommandKind::kHelp:
+      return "ok\n" + HelpText();
+  }
+  return Err("unhandled command");
+}
+
+std::string HandleLine(Runtime& runtime, std::string_view line) {
+  std::string error;
+  const std::optional<Request> request = ParseRequest(line, &error);
+  if (!request.has_value()) {
+    return Err(error);
+  }
+  return ExecuteRequest(runtime, *request);
+}
+
+}  // namespace control
+}  // namespace dimmunix

@@ -1,0 +1,80 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Control-plane protocol: the line-oriented request/response language spoken
+// over the UNIX-domain control socket (src/control/server.h) and by the
+// `dimctl` CLI (tools/dimctl.cc).
+//
+// A request is a single text line: a command name plus space-separated
+// arguments. The reply is one or more lines; the first is either "ok" or
+// "err <reason>", payload lines follow as "key=value" pairs (or one record
+// per line for listing commands), and the server closes the connection after
+// the reply — one command per connection.
+//
+// Commands (§5.7 pop-up-blocker workflow, §8 upgrade workflow):
+//   status                  one-screen summary of the runtime
+//   stats                   every engine + monitor counter
+//   history                 one line per signature (kind/depth/disabled/...)
+//   disable <idx>           disable signature <idx> (never avoided again)
+//   enable <idx>            re-enable signature <idx>
+//   disable-last            disable the most recently avoided signature
+//   reload                  hot-reload the history file (§8)
+//   set-depth <idx> <d>     override signature <idx>'s matching depth
+//   rag                     monitor-side thread/lock/yield-edge snapshot
+//   config                  effective configuration
+//   help                    list commands
+//
+// This layer is deliberately socket-free: parsing, execution against a
+// Runtime, and formatting are pure functions, unit-tested without any I/O.
+
+#ifndef DIMMUNIX_CONTROL_PROTOCOL_H_
+#define DIMMUNIX_CONTROL_PROTOCOL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dimmunix {
+
+class Runtime;
+
+namespace control {
+
+enum class CommandKind {
+  kStatus,
+  kStats,
+  kHistory,
+  kDisable,
+  kEnable,
+  kDisableLast,
+  kReload,
+  kSetDepth,
+  kRag,
+  kConfig,
+  kHelp,
+};
+
+struct Request {
+  CommandKind kind = CommandKind::kStatus;
+  int index = -1;  // disable / enable / set-depth
+  int depth = -1;  // set-depth
+};
+
+// Parses one request line (trailing "\r\n" tolerated). On failure returns
+// nullopt and, when `error` is non-null, stores a human-readable reason.
+std::optional<Request> ParseRequest(std::string_view line, std::string* error);
+
+// Executes `request` against `runtime` and returns the complete reply text
+// (newline-terminated). Signature indices are bounds-checked here; an
+// out-of-range index yields an "err" reply, never undefined behavior.
+std::string ExecuteRequest(Runtime& runtime, const Request& request);
+
+// Convenience: parse + execute, turning parse errors into "err ..." replies.
+std::string HandleLine(Runtime& runtime, std::string_view line);
+
+// The "help" payload (also the command list asserted by unit tests).
+std::string HelpText();
+
+}  // namespace control
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_CONTROL_PROTOCOL_H_

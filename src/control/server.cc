@@ -1,0 +1,198 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/control/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/control/protocol.h"
+
+namespace dimmunix {
+namespace control {
+namespace {
+
+// Request lines are tiny; anything longer than this is malformed.
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+void CloseIfOpen(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    // MSG_NOSIGNAL: a client that disconnected before reading the reply must
+    // yield EPIPE here, not a process-killing SIGPIPE — this server runs
+    // inside the application being protected.
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ControlServer::ControlServer(Runtime* runtime, std::string socket_path)
+    : runtime_(runtime), socket_path_(std::move(socket_path)) {}
+
+ControlServer::~ControlServer() { Stop(); }
+
+bool ControlServer::Start() {
+  if (running()) {
+    return true;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    DIMMUNIX_LOG(kWarn) << "control socket path too long (" << socket_path_.size()
+                        << " bytes): " << socket_path_;
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  // A socket file may already exist: stale (crashed predecessor — replace
+  // it) or live (another process, e.g. the parent that this child inherited
+  // DIMMUNIX_CONTROL from — leave it alone or we would hijack and then
+  // orphan the parent's control plane).
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    const bool live =
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0;
+    ::close(probe);
+    if (live) {
+      DIMMUNIX_LOG(kWarn) << "control socket " << socket_path_
+                          << " is in use by a live server; not starting";
+      return false;
+    }
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    DIMMUNIX_LOG(kWarn) << "control socket() failed: " << std::strerror(errno);
+    return false;
+  }
+  // Replace a stale socket left by a crashed predecessor.
+  ::unlink(socket_path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    DIMMUNIX_LOG(kWarn) << "control bind/listen on " << socket_path_
+                        << " failed: " << std::strerror(errno);
+    CloseIfOpen(listen_fd_);
+    return false;
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    DIMMUNIX_LOG(kWarn) << "control stop pipe failed: " << std::strerror(errno);
+    CloseIfOpen(listen_fd_);
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  DIMMUNIX_LOG(kInfo) << "control server listening on " << socket_path_;
+  return true;
+}
+
+void ControlServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Wake the poll() in the accept loop.
+  const char byte = 0;
+  (void)!::write(stop_pipe_[1], &byte, 1);
+  thread_.join();
+  CloseIfOpen(listen_fd_);
+  CloseIfOpen(stop_pipe_[0]);
+  CloseIfOpen(stop_pipe_[1]);
+  ::unlink(socket_path_.c_str());
+}
+
+void ControlServer::Loop() {
+  while (running()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {stop_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      DIMMUNIX_LOG(kWarn) << "control poll() failed: " << std::strerror(errno);
+      return;
+    }
+    if (fds[1].revents != 0 || !running()) {
+      return;
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void ControlServer::ServeConnection(int fd) {
+  // A slow or silent client must not wedge the single-threaded accept loop
+  // (and thus Stop()): the *whole connection* gets one 5-second deadline,
+  // enforced by shrinking SO_RCVTIMEO to the time remaining before each
+  // read — a drip-feeding client cannot reset the clock.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  // Symmetrically, a client that sends a request but never drains the reply
+  // must not block the loop in send() once the socket buffer fills.
+  timeval send_timeout{/*tv_sec=*/5, /*tv_usec=*/0};
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout, sizeof(send_timeout));
+  std::string line;
+  char buf[256];
+  while (line.find('\n') == std::string::npos && line.size() < kMaxRequestBytes) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return;  // connection deadline exhausted
+    }
+    timeval timeout{};
+    timeout.tv_sec = static_cast<time_t>(remaining.count() / 1000000);
+    timeout.tv_usec = static_cast<suseconds_t>(remaining.count() % 1000000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // client went away or timed out
+    }
+    if (n == 0) {
+      break;  // EOF: treat what we have as the request line
+    }
+    line.append(buf, static_cast<std::size_t>(n));
+  }
+  if (const std::size_t nl = line.find('\n'); nl != std::string::npos) {
+    line.resize(nl);
+  } else if (line.size() >= kMaxRequestBytes) {
+    WriteAll(fd, "err request line too long\n");
+    return;
+  }
+  WriteAll(fd, HandleLine(*runtime_, line));
+}
+
+}  // namespace control
+}  // namespace dimmunix

@@ -1,0 +1,67 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// The control server: a UNIX-domain stream socket plus one background accept
+// thread, turning the in-process operator methods on Runtime (§5.7 disable
+// workflow, §8 history hot-reload) into operations reachable from outside
+// the process — essential in the LD_PRELOAD deployment mode, where no
+// application code can call into Dimmunix.
+//
+// Connection model: one command per connection. The client sends a single
+// request line (see src/control/protocol.h), the server replies and closes.
+// The accept loop multiplexes the listening socket against an internal stop
+// pipe with poll(2), so Stop() never races a blocking accept.
+//
+// Lifecycle is owned by Runtime: the server starts when
+// Config::control_socket_path is set (env: DIMMUNIX_CONTROL) and stops —
+// removing the socket file — before the monitor shuts down.
+
+#ifndef DIMMUNIX_CONTROL_SERVER_H_
+#define DIMMUNIX_CONTROL_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace dimmunix {
+
+class Runtime;
+
+namespace control {
+
+class ControlServer {
+ public:
+  // `runtime` must outlive the server.
+  ControlServer(Runtime* runtime, std::string socket_path);
+  ~ControlServer();
+
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  // Binds + listens on the socket path (an existing stale socket file is
+  // replaced) and starts the accept thread. Returns false — with a warning
+  // logged — if the socket cannot be created; the runtime stays fully
+  // functional without its control plane.
+  bool Start();
+
+  // Stops the accept thread and unlinks the socket file. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void Loop();
+  void ServeConnection(int fd);
+
+  Runtime* runtime_;
+  const std::string socket_path_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace control
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_CONTROL_SERVER_H_

@@ -63,6 +63,11 @@ void Monitor::RunOnce() {
   HandleCalibration();
 }
 
+RagSnapshot Monitor::SnapshotRag() {
+  std::lock_guard<std::mutex> run_guard(run_m_);
+  return rag_.Snapshot();
+}
+
 void Monitor::DrainEvents() {
   const bool probes_enabled = config_.calibration_enabled;
   while (auto event = queue_->Pop()) {

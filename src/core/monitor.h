@@ -52,6 +52,11 @@ class Monitor {
   void SetStarvationHook(StarvationHook hook);
   void SetRestartHook(RestartHook hook);
 
+  // Control-plane snapshot hook: copies the RAG's observable state while the
+  // monitor iteration lock is held, so it is safe to call from any thread
+  // even while the background loop is running.
+  RagSnapshot SnapshotRag();
+
   MonitorStats& stats() { return stats_; }
   Rag& rag() { return rag_; }  // single-threaded access: tests drive RunOnce themselves
   Calibrator& calibrator() { return calibrator_; }

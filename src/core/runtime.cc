@@ -20,9 +20,20 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
   if (config_.start_monitor) {
     monitor_->Start();
   }
+  if (!config_.control_socket_path.empty()) {
+    control_ = std::make_unique<control::ControlServer>(this, config_.control_socket_path);
+    if (!control_->Start()) {
+      control_.reset();  // degraded but functional: no control plane
+    }
+  }
 }
 
-Runtime::~Runtime() { monitor_->Stop(); }
+Runtime::~Runtime() {
+  // The control server executes commands against the live runtime; it must
+  // be fully stopped before any component is torn down.
+  control_.reset();
+  monitor_->Stop();
+}
 
 Runtime& Runtime::Global() {
   // Leaked intentionally: the global runtime must outlive all host-program
@@ -38,11 +49,40 @@ int Runtime::DisableLastAvoidedSignature() {
   }
   history_->SetDisabled(index, true);
   engine_->NotifyHistoryChanged();
+  PersistHistory();
+  DIMMUNIX_LOG(kInfo) << "signature " << index << " disabled by user request";
+  return index;
+}
+
+bool Runtime::SetSignatureDisabled(int index, bool disabled) {
+  if (index < 0 || static_cast<std::size_t>(index) >= history_->size()) {
+    return false;
+  }
+  history_->SetDisabled(index, disabled);
+  engine_->NotifyHistoryChanged();
+  PersistHistory();
+  DIMMUNIX_LOG(kInfo) << "signature " << index << (disabled ? " disabled" : " enabled")
+                      << " by operator request";
+  return true;
+}
+
+bool Runtime::SetSignatureMatchDepth(int index, int depth) {
+  if (index < 0 || static_cast<std::size_t>(index) >= history_->size() || depth < 1 ||
+      depth > config_.max_match_depth) {
+    return false;
+  }
+  history_->SetMatchDepth(index, depth);
+  engine_->NotifyHistoryChanged();
+  PersistHistory();
+  DIMMUNIX_LOG(kInfo) << "signature " << index << " matching depth set to " << depth
+                      << " by operator request";
+  return true;
+}
+
+void Runtime::PersistHistory() {
   if (!config_.history_path.empty()) {
     history_->Save(config_.history_path);
   }
-  DIMMUNIX_LOG(kInfo) << "signature " << index << " disabled by user request";
-  return index;
 }
 
 void Runtime::RestartCalibrationAfterUpgrade() {

@@ -26,6 +26,7 @@
 #include <memory>
 
 #include "src/common/config.h"
+#include "src/control/server.h"
 #include "src/core/avoidance.h"
 #include "src/core/monitor.h"
 #include "src/event/event_queue.h"
@@ -63,20 +64,32 @@ class Runtime {
   // calibration ladder (no-op unless calibration is enabled).
   void RestartCalibrationAfterUpgrade();
 
+  // Operator-facing signature mutations (control plane, tools). Both are
+  // bounds-checked: false on an out-of-range index (or depth < 1 / > max);
+  // on success the engine caches refresh and the history file (if any) is
+  // persisted.
+  bool SetSignatureDisabled(int index, bool disabled);
+  bool SetSignatureMatchDepth(int index, int depth);
+
   const Config& config() const { return config_; }
   StackTable& stacks() { return *stacks_; }
   History& history() { return *history_; }
   EventQueue& events() { return *queue_; }
   AvoidanceEngine& engine() { return *engine_; }
   Monitor& monitor() { return *monitor_; }
+  // Null unless Config::control_socket_path was set and the socket came up.
+  control::ControlServer* control_server() { return control_.get(); }
 
  private:
+  void PersistHistory();
+
   Config config_;
   std::unique_ptr<StackTable> stacks_;
   std::unique_ptr<History> history_;
   std::unique_ptr<EventQueue> queue_;
   std::unique_ptr<AvoidanceEngine> engine_;
   std::unique_ptr<Monitor> monitor_;
+  std::unique_ptr<control::ControlServer> control_;
 };
 
 }  // namespace dimmunix

@@ -1,7 +1,12 @@
 // Copyright (c) dimmunix-cpp authors. MIT license.
 //
 // Engine-wide counters surfaced to benchmarks (yields/second in Figure 5,
-// FP counts in Figure 9) and to tests.
+// FP counts in Figure 9), to tests, and to the control plane.
+//
+// Each counter is individually atomic, and Snapshot() materializes a plain
+// struct of simultaneous loads so readers on other threads (notably the
+// control server's `stats` command) work with one coherent copy instead of
+// re-loading fields at different instants.
 
 #ifndef DIMMUNIX_CORE_STATS_H_
 #define DIMMUNIX_CORE_STATS_H_
@@ -10,6 +15,37 @@
 #include <cstdint>
 
 namespace dimmunix {
+
+// Plain-value copies of the counters, safe to pass across threads.
+struct EngineStatsSnapshot {
+  std::uint64_t requests = 0;
+  std::uint64_t gos = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t wakes = 0;
+  std::uint64_t yield_timeouts = 0;
+  std::uint64_t reentrant_acquisitions = 0;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t trylock_cancels = 0;
+  std::uint64_t broken_acquisitions = 0;
+  std::uint64_t signatures_disabled = 0;
+  std::uint64_t depth_true_yields = 0;
+  std::uint64_t depth_fp_yields = 0;
+};
+
+struct MonitorStatsSnapshot {
+  std::uint64_t batches = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t deadlocks_detected = 0;
+  std::uint64_t starvations_detected = 0;
+  std::uint64_t signatures_saved = 0;
+  std::uint64_t starvations_broken = 0;
+  std::uint64_t restarts_requested = 0;
+  std::uint64_t fp_probes_opened = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t true_positives = 0;
+  std::uint64_t signatures_discarded = 0;
+};
 
 struct EngineStats {
   std::atomic<std::uint64_t> requests{0};
@@ -28,6 +64,24 @@ struct EngineStats {
   // (shallower) configured depth is a depth-false positive.
   std::atomic<std::uint64_t> depth_true_yields{0};
   std::atomic<std::uint64_t> depth_fp_yields{0};
+
+  EngineStatsSnapshot Snapshot() const {
+    EngineStatsSnapshot s;
+    s.requests = requests.load(std::memory_order_relaxed);
+    s.gos = gos.load(std::memory_order_relaxed);
+    s.yields = yields.load(std::memory_order_relaxed);
+    s.wakes = wakes.load(std::memory_order_relaxed);
+    s.yield_timeouts = yield_timeouts.load(std::memory_order_relaxed);
+    s.reentrant_acquisitions = reentrant_acquisitions.load(std::memory_order_relaxed);
+    s.acquisitions = acquisitions.load(std::memory_order_relaxed);
+    s.releases = releases.load(std::memory_order_relaxed);
+    s.trylock_cancels = trylock_cancels.load(std::memory_order_relaxed);
+    s.broken_acquisitions = broken_acquisitions.load(std::memory_order_relaxed);
+    s.signatures_disabled = signatures_disabled.load(std::memory_order_relaxed);
+    s.depth_true_yields = depth_true_yields.load(std::memory_order_relaxed);
+    s.depth_fp_yields = depth_fp_yields.load(std::memory_order_relaxed);
+    return s;
+  }
 };
 
 struct MonitorStats {
@@ -43,6 +97,22 @@ struct MonitorStats {
   std::atomic<std::uint64_t> true_positives{0};
   // Signatures auto-disabled as obsolete after a 100%-FP recalibration (§8).
   std::atomic<std::uint64_t> signatures_discarded{0};
+
+  MonitorStatsSnapshot Snapshot() const {
+    MonitorStatsSnapshot s;
+    s.batches = batches.load(std::memory_order_relaxed);
+    s.events_processed = events_processed.load(std::memory_order_relaxed);
+    s.deadlocks_detected = deadlocks_detected.load(std::memory_order_relaxed);
+    s.starvations_detected = starvations_detected.load(std::memory_order_relaxed);
+    s.signatures_saved = signatures_saved.load(std::memory_order_relaxed);
+    s.starvations_broken = starvations_broken.load(std::memory_order_relaxed);
+    s.restarts_requested = restarts_requested.load(std::memory_order_relaxed);
+    s.fp_probes_opened = fp_probes_opened.load(std::memory_order_relaxed);
+    s.false_positives = false_positives.load(std::memory_order_relaxed);
+    s.true_positives = true_positives.load(std::memory_order_relaxed);
+    s.signatures_discarded = signatures_discarded.load(std::memory_order_relaxed);
+    return s;
+  }
 };
 
 }  // namespace dimmunix

@@ -16,6 +16,12 @@
 // be cancelled — like the paper's NPTL implementation, recovery from an
 // actual deadlock is restart-based; the value added is detection +
 // signature persistence + avoidance on the next run.
+//
+// Setting DIMMUNIX_CONTROL=/path.sock additionally opens the control socket
+// (src/control): Runtime::Global() is built from Config::FromEnvironment(),
+// so a preloaded, unmodified binary can be driven live with `dimctl`
+// (status / history / disable-last / reload / ...), which is the only way to
+// reach those operations in this deployment mode.
 
 #include <dlfcn.h>
 #include <pthread.h>

@@ -324,4 +324,23 @@ std::size_t Rag::yield_edge_count() const {
   return n;
 }
 
+RagSnapshot Rag::Snapshot() const {
+  RagSnapshot snap;
+  snap.lock_count = locks_.size();
+  snap.threads.reserve(threads_.size());
+  for (const auto& [tid, node] : threads_) {
+    RagThreadInfo info;
+    info.id = tid;
+    info.waiting = node.wait != ThreadNode::Wait::kNone;
+    info.wait_lock = info.waiting ? node.wait_lock : kInvalidLockId;
+    info.held = node.held;
+    info.yield_edges = node.yields.size();
+    snap.yield_edge_count += info.yield_edges;
+    snap.threads.push_back(std::move(info));
+  }
+  std::sort(snap.threads.begin(), snap.threads.end(),
+            [](const RagThreadInfo& a, const RagThreadInfo& b) { return a.id < b.id; });
+  return snap;
+}
+
 }  // namespace dimmunix

@@ -52,6 +52,23 @@ struct DeadlockCycle {
   std::vector<StackId> stacks;  // hold-edge labels, one per lock on the cycle
 };
 
+// Per-thread slice of a RAG snapshot (control plane `rag` command).
+struct RagThreadInfo {
+  ThreadId id = kInvalidThreadId;
+  bool waiting = false;            // has a request/allow edge out
+  LockId wait_lock = kInvalidLockId;
+  std::vector<LockId> held;        // locks currently held
+  std::size_t yield_edges = 0;     // yield edges out of this thread
+};
+
+// A point-in-time copy of the graph's observable state, detached from the
+// monitor thread so it can be formatted and shipped over the control socket.
+struct RagSnapshot {
+  std::vector<RagThreadInfo> threads;
+  std::size_t lock_count = 0;
+  std::size_t yield_edge_count = 0;
+};
+
 // A detected induced-starvation condition (yield cycle).
 struct StarvationCycle {
   ThreadId starved = kInvalidThreadId;   // the thread whose yields are all trapped
@@ -87,6 +104,11 @@ class Rag {
   std::size_t thread_count() const { return threads_.size(); }
   std::size_t lock_count() const { return locks_.size(); }
   std::size_t yield_edge_count() const;
+
+  // Detached copy of the observable state; must be called from the monitor
+  // thread (or with the monitor quiescent) like every other accessor here —
+  // Monitor::SnapshotRag() provides the serialized entry point.
+  RagSnapshot Snapshot() const;
 
  private:
   struct ThreadNode {

@@ -2,6 +2,8 @@
 
 #include "src/signature/history.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -133,15 +135,26 @@ bool History::Load(const std::string& path) {
     for (const auto& frames : pending_stacks) {
       ids.push_back(table_->Intern(frames));
     }
+    // A hand-edited file may claim a depth beyond what the stack table can
+    // ever compare at; cap it so the reported depth equals the effective one.
+    depth = std::min(depth, table_->max_depth());
     std::lock_guard<SpinLock> guard(lock_);
     bool added = false;
     int index = AddLocked(kind, std::move(ids), depth, &added);
+    Signature& sig = signatures_[static_cast<std::size_t>(index)];
     if (added) {
-      Signature& sig = signatures_[static_cast<std::size_t>(index)];
       sig.disabled = disabled;
       sig.avoidance_count = avoided;
       sig.abort_count = aborts;
       ++loaded;
+    } else if (sig.disabled != disabled || sig.match_depth != depth) {
+      // Reload of a known signature (§8 hot-reload, operator-edited file):
+      // the file is authoritative for the operator-facing knobs — disabled
+      // state and matching depth — but live counters are never rolled back
+      // to the file's stale values.
+      sig.disabled = disabled;
+      sig.match_depth = depth;
+      ++version_;
     }
     pending_stacks.clear();
   };
@@ -202,7 +215,12 @@ bool History::Load(const std::string& path) {
 }
 
 bool History::Save(const std::string& path) const {
-  const std::string tmp = path + ".tmp";
+  // Saves can race: the monitor persists after archiving while an operator
+  // disable (control thread) persists too. Serialize the whole
+  // write-tmp-then-rename sequence; a per-process tmp name additionally
+  // keeps concurrent *processes* sharing one history file from interleaving.
+  std::lock_guard<std::mutex> save_guard(save_m_);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) {

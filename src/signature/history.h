@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -82,7 +83,8 @@ class History {
   // (returns true with nothing loaded). Malformed content is skipped with a
   // warning; returns false only on I/O failure of an existing file.
   bool Load(const std::string& path);
-  // Atomically writes the whole history to `path`.
+  // Atomically writes the whole history to `path`. Thread-safe: concurrent
+  // saves (monitor thread vs. control-plane operations) are serialized.
   bool Save(const std::string& path) const;
 
  private:
@@ -90,6 +92,7 @@ class History {
 
   StackTable* table_;
   mutable SpinLock lock_;
+  mutable std::mutex save_m_;  // serializes Save() (file I/O stays off lock_)
   std::vector<Signature> signatures_;
   std::uint64_t version_ = 0;
 };

@@ -31,9 +31,11 @@ TEST(ConfigTest, EnvironmentOverrides) {
   setenv("DIMMUNIX_YIELD_TIMEOUT_MS", "75", 1);
   setenv("DIMMUNIX_IGNORE_YIELDS", "1", 1);
   setenv("DIMMUNIX_STAGE", "data", 1);
+  setenv("DIMMUNIX_CONTROL", "/tmp/test.sock", 1);
 
   Config config = Config::FromEnvironment();
   EXPECT_EQ(config.history_path, "/tmp/test.hist");
+  EXPECT_EQ(config.control_socket_path, "/tmp/test.sock");
   EXPECT_EQ(config.monitor_period.count(), 25);
   EXPECT_EQ(config.default_match_depth, 6);
   EXPECT_EQ(config.immunity, ImmunityMode::kStrong);
@@ -50,6 +52,12 @@ TEST(ConfigTest, EnvironmentOverrides) {
   unsetenv("DIMMUNIX_YIELD_TIMEOUT_MS");
   unsetenv("DIMMUNIX_IGNORE_YIELDS");
   unsetenv("DIMMUNIX_STAGE");
+  unsetenv("DIMMUNIX_CONTROL");
+}
+
+TEST(ConfigTest, ControlSocketDefaultsToDisabled) {
+  Config config = Config::FromEnvironment();
+  EXPECT_TRUE(config.control_socket_path.empty());
 }
 
 TEST(ConfigTest, MalformedEnvironmentFallsBack) {

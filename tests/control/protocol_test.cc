@@ -1,0 +1,203 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Unit tests for the control-plane protocol layer: request parsing (valid,
+// malformed, unknown), bounds-checked execution against a Runtime, and the
+// reply format contract (first line "ok"/"err ...", key=value payload).
+// Everything here is socket-free by design.
+
+#include "src/control/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/core/runtime.h"
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+namespace control {
+namespace {
+
+Config TestConfig() {
+  Config config;
+  config.start_monitor = false;
+  config.default_match_depth = 1;
+  return config;
+}
+
+int SeedSignature(Runtime& rt, const char* fa, const char* fb) {
+  bool added = false;
+  const int index = rt.history().Add(
+      SignatureKind::kDeadlock,
+      {rt.stacks().Intern({FrameFromName(fa)}), rt.stacks().Intern({FrameFromName(fb)})}, 1,
+      &added);
+  rt.engine().NotifyHistoryChanged();
+  return index;
+}
+
+// One avoidance of the {holdX, reqY} signature (same idiom as runtime_test).
+void TriggerAvoidance(Runtime& rt) {
+  const ThreadId main_tid = rt.RegisterCurrentThread();
+  {
+    ScopedFrame frame(FrameFromName("holdX"));
+    ASSERT_EQ(rt.engine().Request(main_tid, 500), RequestDecision::kGo);
+    rt.engine().Acquired(main_tid, 500);
+  }
+  std::thread other([&] {
+    const ThreadId tid = rt.RegisterCurrentThread();
+    ScopedFrame frame(FrameFromName("reqY"));
+    EXPECT_FALSE(rt.engine().RequestNonblocking(tid, 600));
+  });
+  other.join();
+  rt.engine().Release(main_tid, 500);
+}
+
+TEST(ProtocolParseTest, SimpleCommands) {
+  std::string error;
+  EXPECT_EQ(ParseRequest("status", &error)->kind, CommandKind::kStatus);
+  EXPECT_EQ(ParseRequest("stats", &error)->kind, CommandKind::kStats);
+  EXPECT_EQ(ParseRequest("history", &error)->kind, CommandKind::kHistory);
+  EXPECT_EQ(ParseRequest("disable-last", &error)->kind, CommandKind::kDisableLast);
+  EXPECT_EQ(ParseRequest("reload", &error)->kind, CommandKind::kReload);
+  EXPECT_EQ(ParseRequest("rag", &error)->kind, CommandKind::kRag);
+  EXPECT_EQ(ParseRequest("config", &error)->kind, CommandKind::kConfig);
+  EXPECT_EQ(ParseRequest("help", &error)->kind, CommandKind::kHelp);
+}
+
+TEST(ProtocolParseTest, ArgumentsAndFraming) {
+  std::string error;
+  const auto disable = ParseRequest("disable 7", &error);
+  ASSERT_TRUE(disable.has_value());
+  EXPECT_EQ(disable->kind, CommandKind::kDisable);
+  EXPECT_EQ(disable->index, 7);
+
+  // Trailing CRLF and extra whitespace are tolerated.
+  const auto enable = ParseRequest("  enable \t 3\r\n", &error);
+  ASSERT_TRUE(enable.has_value());
+  EXPECT_EQ(enable->kind, CommandKind::kEnable);
+  EXPECT_EQ(enable->index, 3);
+
+  const auto depth = ParseRequest("set-depth 2 5", &error);
+  ASSERT_TRUE(depth.has_value());
+  EXPECT_EQ(depth->index, 2);
+  EXPECT_EQ(depth->depth, 5);
+}
+
+TEST(ProtocolParseTest, MalformedCommands) {
+  std::string error;
+  EXPECT_FALSE(ParseRequest("", &error).has_value());
+  EXPECT_EQ(error, "empty command");
+  EXPECT_FALSE(ParseRequest("   \r\n", &error).has_value());
+
+  EXPECT_FALSE(ParseRequest("frobnicate", &error).has_value());
+  EXPECT_NE(error.find("unknown command"), std::string::npos);
+
+  EXPECT_FALSE(ParseRequest("disable", &error).has_value());         // missing arg
+  EXPECT_FALSE(ParseRequest("disable 1 2", &error).has_value());     // extra arg
+  EXPECT_FALSE(ParseRequest("disable x", &error).has_value());       // non-numeric
+  EXPECT_FALSE(ParseRequest("disable -4", &error).has_value());      // negative
+  EXPECT_FALSE(ParseRequest("disable 1x", &error).has_value());      // trailing junk
+  EXPECT_FALSE(ParseRequest("set-depth 1", &error).has_value());     // missing depth
+  EXPECT_FALSE(ParseRequest("set-depth 1 0", &error).has_value());   // depth < 1
+  EXPECT_FALSE(ParseRequest("status extra", &error).has_value());    // no args allowed
+}
+
+TEST(ProtocolExecuteTest, StatusAndHistoryReflectRuntimeState) {
+  Runtime rt(TestConfig());
+  const int index = SeedSignature(rt, "holdX", "reqY");
+  TriggerAvoidance(rt);
+
+  const std::string status = HandleLine(rt, "status");
+  EXPECT_EQ(status.rfind("ok\n", 0), 0u);
+  EXPECT_NE(status.find("signatures=1\n"), std::string::npos);
+  EXPECT_NE(status.find("last_avoided=" + std::to_string(index) + "\n"), std::string::npos);
+
+  const std::string history = HandleLine(rt, "history");
+  EXPECT_EQ(history.rfind("ok\n", 0), 0u);
+  EXPECT_NE(history.find("sig 0 kind=deadlock"), std::string::npos);
+  EXPECT_NE(history.find("disabled=0"), std::string::npos);
+  EXPECT_NE(history.find("avoidance=1"), std::string::npos);
+}
+
+TEST(ProtocolExecuteTest, DisableEnableRoundTrip) {
+  Runtime rt(TestConfig());
+  const int index = SeedSignature(rt, "holdX", "reqY");
+
+  EXPECT_EQ(HandleLine(rt, "disable " + std::to_string(index)).rfind("ok\n", 0), 0u);
+  EXPECT_TRUE(rt.history().Get(index).disabled);
+  EXPECT_NE(HandleLine(rt, "history").find("disabled=1"), std::string::npos);
+
+  EXPECT_EQ(HandleLine(rt, "enable " + std::to_string(index)).rfind("ok\n", 0), 0u);
+  EXPECT_FALSE(rt.history().Get(index).disabled);
+}
+
+TEST(ProtocolExecuteTest, SignatureIndicesAreBoundsChecked) {
+  Runtime rt(TestConfig());
+  SeedSignature(rt, "holdX", "reqY");
+  // One signature: index 1 is out of range; so is any huge index.
+  EXPECT_EQ(HandleLine(rt, "disable 1").rfind("err ", 0), 0u);
+  EXPECT_EQ(HandleLine(rt, "enable 1000000").rfind("err ", 0), 0u);
+  EXPECT_EQ(HandleLine(rt, "set-depth 1 2").rfind("err ", 0), 0u);
+  // Depth beyond max_match_depth is rejected too.
+  EXPECT_EQ(HandleLine(rt, "set-depth 0 99").rfind("err ", 0), 0u);
+}
+
+TEST(ProtocolExecuteTest, SetDepthChangesMatchingDepth) {
+  Runtime rt(TestConfig());
+  const int index = SeedSignature(rt, "holdX", "reqY");
+  const std::string reply = HandleLine(rt, "set-depth " + std::to_string(index) + " 3");
+  EXPECT_EQ(reply.rfind("ok\n", 0), 0u);
+  EXPECT_EQ(rt.history().Get(index).match_depth, 3);
+}
+
+TEST(ProtocolExecuteTest, DisableLastRequiresAnAvoidance) {
+  Runtime rt(TestConfig());
+  SeedSignature(rt, "holdX", "reqY");
+  EXPECT_EQ(HandleLine(rt, "disable-last").rfind("err ", 0), 0u);  // nothing avoided yet
+  TriggerAvoidance(rt);
+  const std::string reply = HandleLine(rt, "disable-last");
+  EXPECT_EQ(reply.rfind("ok\n", 0), 0u);
+  EXPECT_NE(reply.find("index=0\n"), std::string::npos);
+  EXPECT_NE(reply.find("avoidance=1\n"), std::string::npos);
+  EXPECT_TRUE(rt.history().Get(0).disabled);
+}
+
+TEST(ProtocolExecuteTest, ReloadWithoutHistoryPathIsAnError) {
+  Runtime rt(TestConfig());
+  EXPECT_EQ(HandleLine(rt, "reload").rfind("err ", 0), 0u);
+}
+
+TEST(ProtocolExecuteTest, RagSnapshotShowsHeldLocks) {
+  Runtime rt(TestConfig());
+  const ThreadId tid = rt.RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("holder"));
+  ASSERT_EQ(rt.engine().Request(tid, 42), RequestDecision::kGo);
+  rt.engine().Acquired(tid, 42);
+  rt.monitor().RunOnce();  // drain events into the RAG
+
+  const std::string reply = HandleLine(rt, "rag");
+  EXPECT_EQ(reply.rfind("ok\n", 0), 0u);
+  EXPECT_NE(reply.find("locks=1\n"), std::string::npos);
+  EXPECT_NE(reply.find("held_locks=42"), std::string::npos);
+  rt.engine().Release(tid, 42);
+}
+
+TEST(ProtocolExecuteTest, MalformedLinesBecomeErrReplies) {
+  Runtime rt(TestConfig());
+  EXPECT_EQ(HandleLine(rt, "frobnicate").rfind("err unknown command", 0), 0u);
+  EXPECT_EQ(HandleLine(rt, "").rfind("err ", 0), 0u);
+}
+
+TEST(ProtocolExecuteTest, HelpListsEveryCommand) {
+  Runtime rt(TestConfig());
+  const std::string reply = HandleLine(rt, "help");
+  EXPECT_EQ(reply.rfind("ok\n", 0), 0u);
+  for (const char* cmd : {"status", "stats", "history", "disable", "enable", "disable-last",
+                          "reload", "set-depth", "rag", "config"}) {
+    EXPECT_NE(reply.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+}  // namespace
+}  // namespace control
+}  // namespace dimmunix

@@ -1,0 +1,254 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Integration tests for the control server: a live Runtime exposes its UNIX
+// control socket, an avoidance is provoked, and the §5.7 pop-up-blocker flow
+// (disable-last, then history showing disabled=1) is driven entirely over
+// the socket — first with a raw client, then through the real `dimctl`
+// binary, exactly as an operator would.
+
+#include "src/control/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "src/control/protocol.h"
+#include "src/core/runtime.h"
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+namespace control {
+namespace {
+
+#ifndef DIMCTL_PATH
+#define DIMCTL_PATH ""
+#endif
+
+std::string TempSocket(const char* tag) {
+  // Keep it short: sun_path allows ~107 bytes.
+  return "/tmp/dimx_" + std::string(tag) + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+Config TestConfig(const std::string& socket_path) {
+  Config config;
+  config.start_monitor = false;
+  config.default_match_depth = 1;
+  config.control_socket_path = socket_path;
+  return config;
+}
+
+// Raw one-shot client: connect, send `line`, read the reply until EOF.
+std::string Roundtrip(const std::string& socket_path, const std::string& line) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "<socket failed>";
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "<connect failed>";
+  }
+  const std::string request = line + "\n";
+  (void)!::write(fd, request.data(), request.size());
+  ::shutdown(fd, SHUT_WR);
+  std::string reply;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+int SeedSignature(Runtime& rt, const char* fa, const char* fb) {
+  bool added = false;
+  const int index = rt.history().Add(
+      SignatureKind::kDeadlock,
+      {rt.stacks().Intern({FrameFromName(fa)}), rt.stacks().Intern({FrameFromName(fb)})}, 1,
+      &added);
+  rt.engine().NotifyHistoryChanged();
+  return index;
+}
+
+void TriggerAvoidance(Runtime& rt) {
+  const ThreadId main_tid = rt.RegisterCurrentThread();
+  {
+    ScopedFrame frame(FrameFromName("holdX"));
+    ASSERT_EQ(rt.engine().Request(main_tid, 500), RequestDecision::kGo);
+    rt.engine().Acquired(main_tid, 500);
+  }
+  std::thread other([&] {
+    const ThreadId tid = rt.RegisterCurrentThread();
+    ScopedFrame frame(FrameFromName("reqY"));
+    EXPECT_FALSE(rt.engine().RequestNonblocking(tid, 600));
+  });
+  other.join();
+  rt.engine().Release(main_tid, 500);
+}
+
+// True when a fresh {holdX-held, reqY-requested} pattern is still refused.
+bool PatternIsAvoided(Runtime& rt) {
+  const ThreadId main_tid = rt.RegisterCurrentThread();
+  bool avoided = false;
+  {
+    ScopedFrame frame(FrameFromName("holdX"));
+    EXPECT_EQ(rt.engine().Request(main_tid, 500), RequestDecision::kGo);
+    rt.engine().Acquired(main_tid, 500);
+  }
+  std::thread other([&] {
+    const ThreadId tid = rt.RegisterCurrentThread();
+    ScopedFrame frame(FrameFromName("reqY"));
+    if (rt.engine().RequestNonblocking(tid, 600)) {
+      rt.engine().CancelRequest(tid, 600);
+    } else {
+      avoided = true;
+    }
+  });
+  other.join();
+  rt.engine().Release(main_tid, 500);
+  return avoided;
+}
+
+TEST(ControlServerTest, StartsWithRuntimeAndAnswersStatus) {
+  const std::string sock = TempSocket("status");
+  Runtime rt(TestConfig(sock));
+  ASSERT_NE(rt.control_server(), nullptr);
+  EXPECT_TRUE(rt.control_server()->running());
+  EXPECT_TRUE(std::filesystem::exists(sock));
+
+  const std::string reply = Roundtrip(sock, "status");
+  EXPECT_EQ(reply.rfind("ok\n", 0), 0u);
+  EXPECT_NE(reply.find("pid=" + std::to_string(::getpid()) + "\n"), std::string::npos);
+}
+
+TEST(ControlServerTest, SocketFileIsRemovedOnShutdown) {
+  const std::string sock = TempSocket("cleanup");
+  {
+    Runtime rt(TestConfig(sock));
+    ASSERT_TRUE(std::filesystem::exists(sock));
+  }
+  EXPECT_FALSE(std::filesystem::exists(sock));
+}
+
+TEST(ControlServerTest, ReplacesStaleSocketFile) {
+  const std::string sock = TempSocket("stale");
+  {
+    Runtime first(TestConfig(sock));  // leaves no file, but simulate a crash:
+  }
+  // Create a stale file where the socket will go.
+  FILE* f = std::fopen(sock.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  Runtime rt(TestConfig(sock));
+  ASSERT_NE(rt.control_server(), nullptr);
+  EXPECT_EQ(Roundtrip(sock, "status").rfind("ok\n", 0), 0u);
+}
+
+TEST(ControlServerTest, UnusableSocketPathDegradesGracefully) {
+  Config config;
+  config.start_monitor = false;
+  config.control_socket_path = "/nonexistent-dir/deep/ctl.sock";
+  Runtime rt(config);
+  EXPECT_EQ(rt.control_server(), nullptr);  // runtime still works, no control plane
+  EXPECT_GE(rt.RegisterCurrentThread(), 0);
+}
+
+TEST(ControlServerTest, MalformedAndOversizedRequests) {
+  const std::string sock = TempSocket("bad");
+  Runtime rt(TestConfig(sock));
+  EXPECT_EQ(Roundtrip(sock, "frobnicate").rfind("err unknown command", 0), 0u);
+  EXPECT_EQ(Roundtrip(sock, "disable 999").rfind("err ", 0), 0u);
+  const std::string huge(8192, 'x');
+  EXPECT_EQ(Roundtrip(sock, huge).rfind("err ", 0), 0u);
+}
+
+TEST(ControlServerTest, ServesManySequentialConnections) {
+  const std::string sock = TempSocket("seq");
+  Runtime rt(TestConfig(sock));
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(Roundtrip(sock, "status").rfind("ok\n", 0), 0u);
+  }
+}
+
+// The acceptance-criterion flow, raw-socket edition: provoke an avoidance,
+// `disable-last` over the socket, `history` shows disabled=1 with the
+// recorded avoidance count, and the signature stops being avoided.
+TEST(ControlServerTest, DisableLastOverSocketStopsAvoidance) {
+  const std::string sock = TempSocket("flow");
+  const std::string history_path = "/tmp/dimx_flow_" + std::to_string(::getpid()) + ".hist";
+  std::remove(history_path.c_str());
+  Config config = TestConfig(sock);
+  config.history_path = history_path;
+  Runtime rt(config);
+  SeedSignature(rt, "holdX", "reqY");
+  TriggerAvoidance(rt);
+  ASSERT_TRUE(PatternIsAvoided(rt));  // still live before the operator acts
+
+  const std::string disable_reply = Roundtrip(sock, "disable-last");
+  EXPECT_EQ(disable_reply.rfind("ok\n", 0), 0u);
+  EXPECT_NE(disable_reply.find("index=0\n"), std::string::npos);
+
+  const std::string history = Roundtrip(sock, "history");
+  EXPECT_NE(history.find("disabled=1"), std::string::npos);
+  // Two avoidances recorded: the provoked one plus the PatternIsAvoided probe.
+  EXPECT_NE(history.find("avoidance=2"), std::string::npos);
+
+  EXPECT_FALSE(PatternIsAvoided(rt));  // "the menu is usable again"
+  EXPECT_TRUE(std::filesystem::exists(history_path));  // persisted for next run
+  std::remove(history_path.c_str());
+}
+
+// Same flow, but driven by the real dimctl binary — no manual steps.
+TEST(ControlServerTest, DimctlDisableLastAgainstLiveProcess) {
+  ASSERT_TRUE(std::filesystem::exists(DIMCTL_PATH));
+  const std::string sock = TempSocket("ctl");
+  Runtime rt(TestConfig(sock));
+  SeedSignature(rt, "holdX", "reqY");
+  TriggerAvoidance(rt);
+
+  const std::string base = std::string(DIMCTL_PATH) + " -s " + sock + " ";
+  auto run = [&](const std::string& cmd, int* exit_code) {
+    FILE* pipe = ::popen((base + cmd + " 2>&1").c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string output;
+    char buf[512];
+    while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      output += buf;
+    }
+    const int status = ::pclose(pipe);
+    *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return output;
+  };
+
+  int code = -1;
+  const std::string disable_out = run("disable-last", &code);
+  EXPECT_EQ(code, 0) << disable_out;
+  EXPECT_NE(disable_out.find("index=0"), std::string::npos) << disable_out;
+  EXPECT_NE(disable_out.find("avoidance=1"), std::string::npos) << disable_out;
+
+  const std::string history_out = run("history", &code);
+  EXPECT_EQ(code, 0) << history_out;
+  EXPECT_NE(history_out.find("disabled=1"), std::string::npos) << history_out;
+  EXPECT_NE(history_out.find("avoidance=1"), std::string::npos) << history_out;
+
+  EXPECT_FALSE(PatternIsAvoided(rt));
+
+  // err replies surface as exit code 2.
+  const std::string err_out = run("disable 999", &code);
+  EXPECT_EQ(code, 2) << err_out;
+}
+
+}  // namespace
+}  // namespace control
+}  // namespace dimmunix

@@ -1,0 +1,170 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// dimctl — command-line client for the Dimmunix control socket.
+//
+//   dimctl -s /tmp/app.sock status
+//   dimctl -s /tmp/app.sock history
+//   dimctl -s /tmp/app.sock disable-last
+//   DIMMUNIX_CONTROL=/tmp/app.sock dimctl reload
+//
+// The socket path comes from -s/--socket or the DIMMUNIX_CONTROL environment
+// variable — the same variable that makes an LD_PRELOAD'ed target process
+// open the socket, so an operator can drive both sides with one setting.
+//
+// Protocol (src/control/protocol.h): one request line per connection; the
+// reply's first line is "ok" or "err <reason>". dimctl prints the payload
+// (the reply minus the leading status line for "ok"; the full reply for
+// errors, to stderr) and exits 0 on ok, 2 on an "err" reply, 1 on usage or
+// connection problems.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/control/protocol.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: dimctl [-s SOCKET] COMMAND [ARGS...]\n"
+               "       (socket defaults to $DIMMUNIX_CONTROL)\n\ncommands:\n%s",
+               dimmunix::control::HelpText().c_str());
+}
+
+int Connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "dimctl: bad socket path '%s'\n", path.c_str());
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "dimctl: socket(): %s\n", std::strerror(errno));
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "dimctl: connect(%s): %s\n", path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: report a vanished server as an error, not SIGPIPE.
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  if (const char* env = std::getenv("DIMMUNIX_CONTROL"); env != nullptr) {
+    socket_path = env;
+  }
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    const std::string flag = argv[arg];
+    if ((flag == "-s" || flag == "--socket") && arg + 1 < argc) {
+      socket_path = argv[arg + 1];
+      arg += 2;
+    } else if (flag == "-h" || flag == "--help") {
+      Usage();
+      return 0;
+    } else {
+      Usage();
+      return 1;
+    }
+  }
+  if (arg >= argc) {
+    Usage();
+    return 1;
+  }
+  std::string request;
+  for (int i = arg; i < argc; ++i) {
+    if (!request.empty()) {
+      request += ' ';
+    }
+    request += argv[i];
+  }
+
+  // Reject malformed commands locally for a friendlier message (the server
+  // would refuse them identically).
+  std::string parse_error;
+  if (!dimmunix::control::ParseRequest(request, &parse_error).has_value()) {
+    std::fprintf(stderr, "dimctl: %s\n", parse_error.c_str());
+    return 1;
+  }
+
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "dimctl: no socket (use -s or set DIMMUNIX_CONTROL)\n");
+    return 1;
+  }
+  const int fd = Connect(socket_path);
+  if (fd < 0) {
+    return 1;
+  }
+  if (!SendAll(fd, request + "\n")) {
+    std::fprintf(stderr, "dimctl: write: %s\n", std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      std::fprintf(stderr, "dimctl: read: %s\n", std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+    if (n == 0) {
+      break;
+    }
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const bool ok = reply.rfind("ok", 0) == 0 && (reply.size() == 2 || reply[2] == '\n');
+  if (ok) {
+    const std::size_t payload = reply.find('\n');
+    const std::string body =
+        payload == std::string::npos ? std::string() : reply.substr(payload + 1);
+    if (body.empty()) {
+      std::printf("ok\n");
+    } else {
+      std::fputs(body.c_str(), stdout);
+    }
+    return 0;
+  }
+  std::fputs(reply.c_str(), stderr);
+  if (!reply.empty() && reply.back() != '\n') {
+    std::fputc('\n', stderr);
+  }
+  return 2;
+}
