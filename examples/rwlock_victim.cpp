@@ -1,0 +1,54 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// rwlock_victim — an ordinary pthreads program with a reader-writer
+// deadlock (writer-vs-writer through a reader), built with NO Dimmunix
+// linkage. Used to demonstrate the rwlock side of the LD_PRELOAD shim:
+//
+//   $ DIMMUNIX_HISTORY=/tmp/v.hist DIMMUNIX_TAU_MS=20
+//     LD_PRELOAD=build/libdimmunix_preload.so ./rwlock_victim
+//
+// Each thread write-locks its own table and then read-locks the other; in
+// opposite orders the shared requests deadlock against the exclusive holds.
+// Run 1 deadlocks (kill it; the signature is already on disk). Run 2 under
+// the same command completes.
+
+#include <pthread.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace {
+
+pthread_rwlock_t g_table_a = PTHREAD_RWLOCK_INITIALIZER;
+pthread_rwlock_t g_table_b = PTHREAD_RWLOCK_INITIALIZER;
+
+void* UpdateAJoinB(void*) {
+  pthread_rwlock_wrlock(&g_table_a);
+  usleep(100 * 1000);
+  pthread_rwlock_rdlock(&g_table_b);
+  pthread_rwlock_unlock(&g_table_b);
+  pthread_rwlock_unlock(&g_table_a);
+  return nullptr;
+}
+
+void* UpdateBJoinA(void*) {
+  pthread_rwlock_wrlock(&g_table_b);
+  usleep(100 * 1000);
+  pthread_rwlock_rdlock(&g_table_a);
+  pthread_rwlock_unlock(&g_table_a);
+  pthread_rwlock_unlock(&g_table_b);
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_t t1;
+  pthread_t t2;
+  pthread_create(&t1, nullptr, UpdateAJoinB, nullptr);
+  pthread_create(&t2, nullptr, UpdateBJoinA, nullptr);
+  pthread_join(t1, nullptr);
+  pthread_join(t2, nullptr);
+  std::printf("completed without deadlock\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/apps/rwlock_cycle.h"
+
+#include <shared_mutex>
+
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+
+RwlockCycle::RwlockCycle(Runtime& runtime)
+    : table_a_(runtime), table_b_(runtime), upgrade_token_(runtime) {}
+
+void RwlockCycle::PauseIfSet() {
+  if (pause_between_locks) {
+    pause_between_locks();
+  }
+}
+
+void RwlockCycle::UpdateAJoinB() {
+  DIMMUNIX_FRAME();  // update A, then join against B
+  std::lock_guard<SharedMutex> write_a(table_a_);
+  PauseIfSet();
+  DIMMUNIX_NAMED_FRAME("RwlockCycle::UpdateAJoinB/join_b");
+  std::shared_lock<SharedMutex> read_b(table_b_);
+}
+
+void RwlockCycle::UpdateBJoinA() {
+  DIMMUNIX_FRAME();  // update B, then join against A
+  std::lock_guard<SharedMutex> write_b(table_b_);
+  PauseIfSet();
+  DIMMUNIX_NAMED_FRAME("RwlockCycle::UpdateBJoinA/join_a");
+  std::shared_lock<SharedMutex> read_a(table_a_);
+}
+
+void RwlockCycle::UpgradeViaToken() {
+  DIMMUNIX_FRAME();  // take the upgrade token, then drain readers of A
+  std::lock_guard<Mutex> token(upgrade_token_);
+  PauseIfSet();
+  DIMMUNIX_NAMED_FRAME("RwlockCycle::UpgradeViaToken/drain_readers");
+  std::lock_guard<SharedMutex> write_a(table_a_);
+}
+
+void RwlockCycle::ReadThenToken() {
+  DIMMUNIX_FRAME();  // read A, then serialize on the token
+  std::shared_lock<SharedMutex> read_a(table_a_);
+  PauseIfSet();
+  DIMMUNIX_NAMED_FRAME("RwlockCycle::ReadThenToken/take_token");
+  std::lock_guard<Mutex> token(upgrade_token_);
+}
+
+void RwlockCycle::ReadOnly() {
+  DIMMUNIX_FRAME();
+  std::shared_lock<SharedMutex> read_a(table_a_);
+  PauseIfSet();
+}
+
+}  // namespace dimmunix

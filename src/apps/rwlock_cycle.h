@@ -1,0 +1,59 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Reader-writer deadlock scenarios — the rwlock workloads the modified
+// libthr of §6 targets, rebuilt on sync::SharedMutex so the acquisition
+// port sees every edge with its mode.
+//
+// Two bugs:
+//  * Writer-vs-writer through a reader: each path write-locks its own table
+//    and then read-locks the other (a report that joins two tables). Two
+//    concurrent paths in opposite order deadlock: each shared request
+//    conflicts with the other thread's exclusive hold.
+//  * Upgrade deadlock (the SQLite RESERVED-lock shape): writers serialize
+//    upgrades through a token mutex and then drain readers by write-locking
+//    the data lock, while a reader path holding a read lock goes on to need
+//    the token. Upgrade waits for the reader to drain; the reader waits for
+//    the token — a mixed rwlock+mutex cycle with a shared hold edge in it.
+//
+// Plus a reader-only workload which must be completely invisible to the
+// engine: reader-reader coexistence yields nothing and never forms a cycle.
+
+#ifndef DIMMUNIX_APPS_RWLOCK_CYCLE_H_
+#define DIMMUNIX_APPS_RWLOCK_CYCLE_H_
+
+#include <functional>
+
+#include "src/sync/shared_mutex.h"
+
+namespace dimmunix {
+
+class RwlockCycle {
+ public:
+  explicit RwlockCycle(Runtime& runtime);
+
+  // --- Writer-vs-writer-through-reader --------------------------------------
+  void UpdateAJoinB();  // wrlock(table A) -> rdlock(table B)
+  void UpdateBJoinA();  // wrlock(table B) -> rdlock(table A)
+
+  // --- Upgrade deadlock ------------------------------------------------------
+  void UpgradeViaToken();  // lock(token) -> wrlock(table A): drain readers
+  void ReadThenToken();    // rdlock(table A) -> lock(token)
+
+  // --- Control ----------------------------------------------------------------
+  void ReadOnly();  // rdlock(table A) read section; never conflicts
+
+  // Exploit hook: runs while holding the first lock of each path, before
+  // requesting the second (widens the deadlock window deterministically).
+  std::function<void()> pause_between_locks;
+
+ private:
+  void PauseIfSet();
+
+  SharedMutex table_a_;
+  SharedMutex table_b_;
+  Mutex upgrade_token_;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_APPS_RWLOCK_CYCLE_H_

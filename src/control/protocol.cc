@@ -156,13 +156,14 @@ std::string DoRag(Runtime& rt) {
   for (const RagThreadInfo& t : snap.threads) {
     out << "thread " << t.id << " waiting=" << (t.waiting ? 1 : 0);
     if (t.waiting) {
-      out << " wait_lock=" << t.wait_lock;
+      out << " wait_lock=" << t.wait_lock << " wait_mode=" << AcquireModeTag(t.wait_mode);
     }
     out << " held=" << t.held.size() << " yields=" << t.yield_edges;
     if (!t.held.empty()) {
+      // Each hold is tagged with its mode: 123:X (exclusive) / 456:S (shared).
       out << " held_locks=";
       for (std::size_t i = 0; i < t.held.size(); ++i) {
-        out << (i == 0 ? "" : ",") << t.held[i];
+        out << (i == 0 ? "" : ",") << t.held[i].lock << ':' << AcquireModeTag(t.held[i].mode);
       }
     }
     out << "\n";

@@ -19,7 +19,9 @@
 //   disable-last            disable the most recently avoided signature
 //   reload                  hot-reload the history file (§8)
 //   set-depth <idx> <d>     override signature <idx>'s matching depth
-//   rag                     monitor-side thread/lock/yield-edge snapshot
+//   rag                     monitor-side thread/lock/yield-edge snapshot;
+//                           wait/hold modes are tagged X (exclusive) or
+//                           S (shared), e.g. "held_locks=140…:S"
 //   config                  effective configuration
 //   help                    list commands
 //

@@ -1,0 +1,46 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/core/acquire.h"
+
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace dimmunix {
+
+AcquireOp::~AcquireOp() {
+  if (settled_ || !Granted()) {
+    return;
+  }
+  // A granted acquisition was abandoned without Commit or Cancel. Rolling
+  // back is always safe (the allow edge is retracted); the adapter is buggy.
+  assert(false && "AcquireOp dropped without Commit() or Cancel()");
+  DIMMUNIX_LOG(kWarn) << "AcquireOp for lock " << lock_
+                      << " dropped without Commit/Cancel; rolling back";
+  Cancel();
+}
+
+void AcquireOp::Commit() {
+  assert(!settled_ && "Commit() on an already-settled AcquireOp");
+  if (settled_) {
+    return;
+  }
+  settled_ = true;
+  engine_->Acquired(thread_, lock_, mode_);
+}
+
+void AcquireOp::Cancel() {
+  assert(!settled_ && "Cancel() on an already-settled AcquireOp");
+  if (settled_) {
+    return;
+  }
+  settled_ = true;
+  if (decision_ != RequestDecision::kGo) {
+    // Reentrant grants added no request edge; kBroken/kTimedOut/kBusy were
+    // already rolled back by the engine. Nothing is standing.
+    return;
+  }
+  engine_->CancelRequest(thread_, lock_, mode_);
+}
+
+}  // namespace dimmunix

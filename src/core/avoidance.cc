@@ -47,13 +47,25 @@ AvoidanceEngine::StackSlot& AvoidanceEngine::SlotFor(StackId id) {
   return stack_slots_[static_cast<std::size_t>(id)];
 }
 
-void AvoidanceEngine::RemoveTuple(StackId stack, ThreadId thread, LockId lock) {
+void AvoidanceEngine::RemoveTuple(StackId stack, ThreadId thread, LockId lock, bool held) {
+  // Prefer the edge kind being retired: during an upgrade a thread can have
+  // both a shared hold tuple and an exclusive allow tuple for the same lock
+  // in the same slot, and retiring the wrong one would corrupt matching.
   auto& tuples = SlotFor(stack).tuples;
+  auto fallback = tuples.end();
   for (auto it = tuples.begin(); it != tuples.end(); ++it) {
     if (it->thread == thread && it->lock == lock) {
-      tuples.erase(it);
-      return;
+      if (it->held == held) {
+        tuples.erase(it);
+        return;
+      }
+      if (fallback == tuples.end()) {
+        fallback = it;
+      }
     }
+  }
+  if (fallback != tuples.end()) {
+    tuples.erase(fallback);
   }
 }
 
@@ -106,8 +118,8 @@ bool AvoidanceEngine::CoverPositions(const SigCacheEntry& sig, std::size_t pos,
                                      std::vector<AllowedTuple>& chosen,
                                      std::vector<StackId>& chosen_stacks,
                                      std::unordered_set<ThreadId>& used_threads,
-                                     std::unordered_set<LockId>& used_locks, ThreadId requester,
-                                     LockId req_lock, bool& requester_used) {
+                                     UsedLocks& used_locks, ThreadId requester, LockId req_lock,
+                                     bool& requester_used) {
   if (pos == sig.sig_stacks.size()) {
     return requester_used;  // a valid instance must include the new allow edge
   }
@@ -117,12 +129,12 @@ bool AvoidanceEngine::CoverPositions(const SigCacheEntry& sig, std::size_t pos,
   for (StackId candidate : sig.candidates[pos]) {
     const auto& tuples = SlotFor(candidate).tuples;
     for (const AllowedTuple& tuple : tuples) {
-      if (used_threads.count(tuple.thread) > 0 || used_locks.count(tuple.lock) > 0) {
+      if (used_threads.count(tuple.thread) > 0 || !used_locks.CanUse(tuple.lock, tuple.mode)) {
         continue;
       }
       const bool is_requester = (tuple.thread == requester && tuple.lock == req_lock);
       used_threads.insert(tuple.thread);
-      used_locks.insert(tuple.lock);
+      used_locks.Push(tuple.lock, tuple.mode);
       chosen.push_back(tuple);
       chosen_stacks.push_back(candidate);
       if (is_requester) {
@@ -138,7 +150,7 @@ bool AvoidanceEngine::CoverPositions(const SigCacheEntry& sig, std::size_t pos,
       chosen.pop_back();
       chosen_stacks.pop_back();
       used_threads.erase(tuple.thread);
-      used_locks.erase(tuple.lock);
+      used_locks.Pop(tuple.lock);
     }
   }
   return false;
@@ -173,7 +185,7 @@ std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::FindInstantiation(T
     std::vector<AllowedTuple> chosen;
     std::vector<StackId> chosen_stacks;
     std::unordered_set<ThreadId> used_threads;
-    std::unordered_set<LockId> used_locks;
+    UsedLocks used_locks;
     bool requester_used = false;
     if (!CoverPositions(sig, 0, chosen, chosen_stacks, used_threads, used_locks, thread, lock,
                         requester_used)) {
@@ -194,14 +206,15 @@ std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::FindInstantiation(T
       if (chosen[j].thread == thread && chosen[j].lock == lock) {
         continue;  // the requester itself
       }
-      result.others.push_back(YieldCause{chosen[j].thread, chosen[j].lock, chosen_stacks[j]});
+      result.others.push_back(
+          YieldCause{chosen[j].thread, chosen[j].lock, chosen_stacks[j], chosen[j].mode});
     }
     return result;
   }
   return std::nullopt;
 }
 
-RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock,
+RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMode mode,
                                          std::optional<MonoTime> deadline) {
   if (!config_.enabled) {
     return RequestDecision::kGo;
@@ -219,6 +232,7 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock,
     ev.thread = thread;
     ev.lock = lock;
     ev.stack = stack;
+    ev.mode = mode;
     queue_->Push(ev);
     stats_.gos.fetch_add(1, std::memory_order_relaxed);
     return RequestDecision::kGo;
@@ -236,9 +250,14 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock,
     GuardLock(thread);
 
     // Reentrant acquisition can never deadlock; skip avoidance (§6: a thread
-    // re-entering a monitor returns immediately).
+    // re-entering a monitor returns immediately). An exclusive owner
+    // re-requesting in any mode and a shared holder re-requesting shared are
+    // reentrant; a shared holder requesting exclusive is an *upgrade* and
+    // runs the full protocol — upgrade cycles are exactly the rwlock
+    // deadlocks the engine must see.
     auto owner_it = lock_owners_.find(lock);
-    if (owner_it != lock_owners_.end() && owner_it->second.thread == thread) {
+    if (owner_it != lock_owners_.end() && owner_it->second.HolderFor(thread) != nullptr &&
+        (owner_it->second.mode == AcquireMode::kExclusive || mode == AcquireMode::kShared)) {
       GuardUnlock(thread);
       stats_.reentrant_acquisitions.fetch_add(1, std::memory_order_relaxed);
       return RequestDecision::kReentrant;
@@ -249,10 +268,11 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock,
     request_ev.thread = thread;
     request_ev.lock = lock;
     request_ev.stack = stack;
+    request_ev.mode = mode;
     queue_->Push(request_ev);
 
     // Tentatively add the allow edge to the RAG cache (§5.4).
-    SlotFor(stack).tuples.push_back(AllowedTuple{thread, lock, false});
+    SlotFor(stack).tuples.push_back(AllowedTuple{thread, lock, false, mode});
     slot.pending_stack = stack;
     slot.pending_lock = lock;
 
@@ -280,13 +300,14 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock,
       allow_ev.thread = thread;
       allow_ev.lock = lock;
       allow_ev.stack = stack;
+      allow_ev.mode = mode;
       queue_->Push(allow_ev);
       stats_.gos.fetch_add(1, std::memory_order_relaxed);
       return RequestDecision::kGo;
     }
 
     // YIELD: flip the allow edge into a request edge and pause (§5.4).
-    RemoveTuple(stack, thread, lock);
+    RemoveTuple(stack, thread, lock, /*held=*/false);
     slot.yielding = true;
     slot.yield_causes = match->others;
     yielding_threads_.insert(thread);
@@ -301,6 +322,7 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock,
     yield_ev.thread = thread;
     yield_ev.lock = lock;
     yield_ev.stack = stack;
+    yield_ev.mode = mode;
     yield_ev.causes = match->others;
     queue_->Push(yield_ev);
 
@@ -309,11 +331,12 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock,
     avoided_ev.thread = thread;
     avoided_ev.lock = lock;
     avoided_ev.stack = stack;
+    avoided_ev.mode = mode;
     avoided_ev.signature_index = match->signature_index;
     avoided_ev.match_depth = match->depth;
     avoided_ev.deepest_match_depth = match->deepest;
     avoided_ev.causes = match->others;
-    avoided_ev.causes.push_back(YieldCause{thread, lock, stack});
+    avoided_ev.causes.push_back(YieldCause{thread, lock, stack, mode});
     queue_->Push(avoided_ev);
 
     history_->RecordAvoidance(match->signature_index);
@@ -338,6 +361,7 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock,
     wake_ev.thread = thread;
     wake_ev.lock = lock;
     wake_ev.stack = stack;
+    wake_ev.mode = mode;
     queue_->Push(wake_ev);
     stats_.wakes.fetch_add(1, std::memory_order_relaxed);
 
@@ -356,7 +380,7 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock,
       }
       // Proceed despite the danger: the thread is released from the yield.
       GuardLock(thread);
-      SlotFor(stack).tuples.push_back(AllowedTuple{thread, lock, false});
+      SlotFor(stack).tuples.push_back(AllowedTuple{thread, lock, false, mode});
       slot.pending_stack = stack;
       slot.pending_lock = lock;
       GuardUnlock(thread);
@@ -365,6 +389,7 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock,
       allow_ev.thread = thread;
       allow_ev.lock = lock;
       allow_ev.stack = stack;
+      allow_ev.mode = mode;
       queue_->Push(allow_ev);
       stats_.gos.fetch_add(1, std::memory_order_relaxed);
       return RequestDecision::kGo;
@@ -380,9 +405,10 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock,
   }
 }
 
-bool AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock) {
+RequestDecision AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock,
+                                                    AcquireMode mode) {
   if (!config_.enabled) {
-    return true;
+    return RequestDecision::kGo;
   }
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   ThreadSlot& slot = registry_.Slot(thread);
@@ -390,12 +416,13 @@ bool AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock) {
 
   GuardLock(thread);
   auto owner_it = lock_owners_.find(lock);
-  if (owner_it != lock_owners_.end() && owner_it->second.thread == thread) {
+  if (owner_it != lock_owners_.end() && owner_it->second.HolderFor(thread) != nullptr &&
+      (owner_it->second.mode == AcquireMode::kExclusive || mode == AcquireMode::kShared)) {
     GuardUnlock(thread);
     stats_.reentrant_acquisitions.fetch_add(1, std::memory_order_relaxed);
-    return true;  // reentrant trylock: caller resolves against lock kind
+    return RequestDecision::kReentrant;  // caller resolves against lock kind
   }
-  SlotFor(stack).tuples.push_back(AllowedTuple{thread, lock, false});
+  SlotFor(stack).tuples.push_back(AllowedTuple{thread, lock, false, mode});
   slot.pending_stack = stack;
   slot.pending_lock = lock;
   std::optional<MatchResult> match;
@@ -403,12 +430,12 @@ bool AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock) {
     match = FindInstantiation(thread, lock, stack);
   }
   if (match.has_value() && !config_.ignore_yield_decisions) {
-    RemoveTuple(stack, thread, lock);
+    RemoveTuple(stack, thread, lock, /*held=*/false);
     GuardUnlock(thread);
     stats_.yields.fetch_add(1, std::memory_order_relaxed);
     history_->RecordAvoidance(match->signature_index);
     last_avoided_.store(match->signature_index, std::memory_order_relaxed);
-    return false;  // report "busy" instead of entering the dangerous pattern
+    return RequestDecision::kBusy;  // refuse to enter the dangerous pattern
   }
   GuardUnlock(thread);
   Event allow_ev;
@@ -416,12 +443,13 @@ bool AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock) {
   allow_ev.thread = thread;
   allow_ev.lock = lock;
   allow_ev.stack = stack;
+  allow_ev.mode = mode;
   queue_->Push(allow_ev);
   stats_.gos.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  return RequestDecision::kGo;
 }
 
-void AvoidanceEngine::Acquired(ThreadId thread, LockId lock) {
+void AvoidanceEngine::Acquired(ThreadId thread, LockId lock, AcquireMode mode) {
   if (!config_.enabled) {
     return;
   }
@@ -429,10 +457,22 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock) {
   GuardLock(thread);
   auto owner_it = lock_owners_.find(lock);
   StackId stack = slot.pending_stack;
-  if (owner_it != lock_owners_.end() && owner_it->second.thread == thread) {
-    // Reentrant acquisition.
-    ++owner_it->second.count;
-    stack = owner_it->second.stack;
+  LockHolder* holder =
+      owner_it != lock_owners_.end() ? owner_it->second.HolderFor(thread) : nullptr;
+  if (holder != nullptr) {
+    // Reentrant acquisition (exclusive re-lock or recursive shared hold).
+    ++holder->count;
+    stack = holder->stack;
+    if (mode == AcquireMode::kExclusive && owner_it->second.mode == AcquireMode::kShared) {
+      // A committed upgrade: the raw layer only grants exclusive over our
+      // own shared hold when no other holder exists, so promote the entry
+      // and retire the upgrade request's allow tuple — otherwise the owner
+      // set stays kShared and the tuple lingers as a phantom allow edge.
+      owner_it->second.mode = AcquireMode::kExclusive;
+      if (slot.pending_stack != kInvalidStackId) {
+        RemoveTuple(slot.pending_stack, thread, lock, /*held=*/false);
+      }
+    }
     for (auto& held : slot.held) {
       if (held.lock == lock) {
         ++held.count;
@@ -440,7 +480,15 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock) {
       }
     }
   } else {
-    lock_owners_[lock] = LockOwnerInfo{thread, stack, 1};
+    if (owner_it == lock_owners_.end() || mode == AcquireMode::kExclusive) {
+      // Free lock, or an exclusive grant (an exclusive grant implies every
+      // previous holder is gone; replace defensively if events raced).
+      lock_owners_[lock] = LockOwnerInfo{mode, {LockHolder{thread, stack, 1}}};
+    } else {
+      // Additional shared holder joins the owner set.
+      owner_it->second.mode = AcquireMode::kShared;
+      owner_it->second.holders.push_back(LockHolder{thread, stack, 1});
+    }
     slot.held.push_back(ThreadSlot::Held{lock, stack, 1});
     // Allow edge -> hold edge in the RAG cache.
     auto& tuples = SlotFor(stack).tuples;
@@ -456,7 +504,7 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock) {
       // Stage kInstrumentationOnly does not maintain tuples; kFull always
       // will have inserted one.
       if (config_.stage != EngineStage::kInstrumentationOnly) {
-        tuples.push_back(AllowedTuple{thread, lock, true});
+        tuples.push_back(AllowedTuple{thread, lock, true, mode});
       }
     }
   }
@@ -466,6 +514,7 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock) {
   ev.thread = thread;
   ev.lock = lock;
   ev.stack = stack;
+  ev.mode = mode;
   queue_->Push(ev);
   stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
 }
@@ -497,14 +546,23 @@ void AvoidanceEngine::Release(ThreadId thread, LockId lock) {
   }
   ThreadSlot& slot = registry_.Slot(thread);
   StackId stack = kInvalidStackId;
+  AcquireMode mode = AcquireMode::kExclusive;
   bool final_release = false;
   GuardLock(thread);
   auto owner_it = lock_owners_.find(lock);
-  if (owner_it != lock_owners_.end() && owner_it->second.thread == thread) {
-    stack = owner_it->second.stack;
-    if (--owner_it->second.count <= 0) {
-      final_release = true;
-      lock_owners_.erase(owner_it);
+  if (owner_it != lock_owners_.end()) {
+    LockOwnerInfo& info = owner_it->second;
+    mode = info.mode;
+    if (LockHolder* holder = info.HolderFor(thread); holder != nullptr) {
+      stack = holder->stack;
+      if (--holder->count <= 0) {
+        // This thread's hold ends (other shared holders may remain).
+        final_release = true;
+        info.holders.erase(info.holders.begin() + (holder - info.holders.data()));
+        if (info.holders.empty()) {
+          lock_owners_.erase(owner_it);
+        }
+      }
     }
   }
   for (auto it = slot.held.begin(); it != slot.held.end(); ++it) {
@@ -516,7 +574,7 @@ void AvoidanceEngine::Release(ThreadId thread, LockId lock) {
     }
   }
   if (final_release) {
-    RemoveTuple(stack, thread, lock);
+    RemoveTuple(stack, thread, lock, /*held=*/true);
     // Lock conditions changed in a way that could let yielders make
     // progress (§5.1: "Dimmunix reschedules the paused thread T whenever
     // lock conditions change").
@@ -528,11 +586,12 @@ void AvoidanceEngine::Release(ThreadId thread, LockId lock) {
   ev.thread = thread;
   ev.lock = lock;
   ev.stack = stack;
+  ev.mode = mode;
   queue_->Push(ev);
   stats_.releases.fetch_add(1, std::memory_order_relaxed);
 }
 
-void AvoidanceEngine::CancelRequest(ThreadId thread, LockId lock) {
+void AvoidanceEngine::CancelRequest(ThreadId thread, LockId lock, AcquireMode mode) {
   if (!config_.enabled) {
     return;
   }
@@ -540,7 +599,7 @@ void AvoidanceEngine::CancelRequest(ThreadId thread, LockId lock) {
   GuardLock(thread);
   const StackId stack = slot.pending_stack;
   if (stack != kInvalidStackId) {
-    RemoveTuple(stack, thread, lock);
+    RemoveTuple(stack, thread, lock, /*held=*/false);
   }
   GuardUnlock(thread);
   Event ev;
@@ -548,6 +607,7 @@ void AvoidanceEngine::CancelRequest(ThreadId thread, LockId lock) {
   ev.thread = thread;
   ev.lock = lock;
   ev.stack = stack;
+  ev.mode = mode;
   queue_->Push(ev);
   stats_.trylock_cancels.fetch_add(1, std::memory_order_relaxed);
 }
@@ -626,9 +686,25 @@ ThreadId AvoidanceEngine::LockOwner(LockId lock) const {
   const ThreadId me = self->registry_.RegisterCurrentThread();
   self->GuardLock(me);
   auto it = lock_owners_.find(lock);
-  const ThreadId owner = (it == lock_owners_.end()) ? kInvalidThreadId : it->second.thread;
+  const ThreadId owner =
+      (it == lock_owners_.end() || it->second.mode != AcquireMode::kExclusive ||
+       it->second.holders.empty())
+          ? kInvalidThreadId
+          : it->second.holders.front().thread;
   self->GuardUnlock(me);
   return owner;
+}
+
+std::size_t AvoidanceEngine::SharedHolderCount(LockId lock) const {
+  auto* self = const_cast<AvoidanceEngine*>(this);
+  const ThreadId me = self->registry_.RegisterCurrentThread();
+  self->GuardLock(me);
+  auto it = lock_owners_.find(lock);
+  const std::size_t n = (it == lock_owners_.end() || it->second.mode != AcquireMode::kShared)
+                            ? 0
+                            : it->second.holders.size();
+  self->GuardUnlock(me);
+  return n;
 }
 
 std::size_t AvoidanceEngine::AllowedCount(StackId id) const {

@@ -33,12 +33,13 @@
 
 namespace dimmunix {
 
-// Outcome of the blocking request protocol.
+// Outcome of the request protocol (blocking and nonblocking forms).
 enum class RequestDecision {
   kGo,         // safe (w.r.t. history) to block waiting for the lock
   kReentrant,  // the caller already owns the lock; skip avoidance
   kBroken,     // acquisition canceled by deadlock recovery
   kTimedOut,   // the caller-supplied deadline expired while yielding
+  kBusy,       // nonblocking only: acquiring would instantiate a signature
 };
 
 class AvoidanceEngine {
@@ -49,26 +50,38 @@ class AvoidanceEngine {
   AvoidanceEngine& operator=(const AvoidanceEngine&) = delete;
 
   // --- Instrumentation entry points -----------------------------------------
+  //
+  // Callers outside src/core must not invoke these directly: the
+  // acquisition-port API (src/core/acquire.h, Runtime::BeginAcquire) owns
+  // the full request/allow/yield/acquired/cancel sequence and is the only
+  // sanctioned adapter surface. Tests drive them directly to pin down
+  // engine semantics.
 
   // Blocking request: decides GO vs YIELD against the history; on YIELD the
   // calling thread is parked and the request transparently retried after
   // wake-up. Returns only with a final decision. `deadline` (optional)
   // bounds the total time spent yielding (used by timed lock acquisition).
   RequestDecision Request(ThreadId thread, LockId lock,
+                          AcquireMode mode = AcquireMode::kExclusive,
                           std::optional<MonoTime> deadline = std::nullopt);
 
-  // Nonblocking request for trylock: returns false ("busy") instead of
-  // yielding when the acquisition would instantiate a signature.
-  bool RequestNonblocking(ThreadId thread, LockId lock);
+  // Nonblocking request for trylock: returns kBusy instead of yielding when
+  // the acquisition would instantiate a signature (kGo / kReentrant
+  // otherwise).
+  RequestDecision RequestNonblocking(ThreadId thread, LockId lock,
+                                     AcquireMode mode = AcquireMode::kExclusive);
 
-  // The lock was actually acquired / released by `thread`.
-  void Acquired(ThreadId thread, LockId lock);
+  // The lock was actually acquired / released by `thread`. A lock has one
+  // exclusive owner XOR n shared holders; Release infers the mode the lock
+  // is held in (pthread_rwlock_unlock does not say which side it undoes).
+  void Acquired(ThreadId thread, LockId lock, AcquireMode mode = AcquireMode::kExclusive);
   void Release(ThreadId thread, LockId lock);
 
   // Rolls back a granted request whose underlying acquisition did not happen
   // (trylock contention, timedlock timeout) — the pthreads `cancel` event of
   // §6.
-  void CancelRequest(ThreadId thread, LockId lock);
+  void CancelRequest(ThreadId thread, LockId lock,
+                     AcquireMode mode = AcquireMode::kExclusive);
 
   // --- Monitor entry points ---------------------------------------------------
 
@@ -96,8 +109,12 @@ class AvoidanceEngine {
   int last_avoided_signature() const {
     return last_avoided_.load(std::memory_order_relaxed);
   }
-  // Owner of `lock`, if tracked (kInvalidThreadId when free).
+  // Exclusive owner of `lock`, if tracked (kInvalidThreadId when free or
+  // held in shared mode).
   ThreadId LockOwner(LockId lock) const;
+  // Number of threads currently holding `lock` in shared mode (0 when free
+  // or exclusively owned).
+  std::size_t SharedHolderCount(LockId lock) const;
   // Number of (thread, lock) tuples currently in stack `id`'s Allowed set.
   std::size_t AllowedCount(StackId id) const;
 
@@ -106,6 +123,7 @@ class AvoidanceEngine {
     ThreadId thread = kInvalidThreadId;
     LockId lock = kInvalidLockId;
     bool held = false;  // allow edge (false) vs hold edge (true)
+    AcquireMode mode = AcquireMode::kExclusive;
   };
 
   // Per interned stack: the paper's Allowed set ("handles to all the threads
@@ -116,10 +134,53 @@ class AvoidanceEngine {
     std::vector<AllowedTuple> tuples;
   };
 
-  struct LockOwnerInfo {
+  // Mode-aware owner set: one exclusive owner XOR n shared holders, each
+  // holder with its acquisition stack and a reentrancy count.
+  struct LockHolder {
     ThreadId thread = kInvalidThreadId;
     StackId stack = kInvalidStackId;
     int count = 0;
+  };
+  struct LockOwnerInfo {
+    AcquireMode mode = AcquireMode::kExclusive;
+    std::vector<LockHolder> holders;  // size 1 when mode == kExclusive
+
+    LockHolder* HolderFor(ThreadId thread) {
+      for (LockHolder& h : holders) {
+        if (h.thread == thread) {
+          return &h;
+        }
+      }
+      return nullptr;
+    }
+  };
+
+  // Lock-usage bookkeeping for signature instantiation covers: a lock may be
+  // reused across tuples only while every use (existing and new) is shared —
+  // a reader-writer cycle legitimately visits one rwlock once per holder.
+  struct UsedLocks {
+    struct Use {
+      int count = 0;
+      bool exclusive = false;  // only ever true while count == 1
+    };
+    std::unordered_map<LockId, Use> uses;
+
+    bool CanUse(LockId lock, AcquireMode mode) const {
+      auto it = uses.find(lock);
+      return it == uses.end() ||
+             (!it->second.exclusive && mode == AcquireMode::kShared);
+    }
+    void Push(LockId lock, AcquireMode mode) {
+      Use& use = uses[lock];
+      ++use.count;
+      use.exclusive = use.exclusive || mode == AcquireMode::kExclusive;
+    }
+    void Pop(LockId lock) {
+      auto it = uses.find(lock);
+      if (it != uses.end() && --it->second.count <= 0) {
+        uses.erase(it);
+      }
+    }
   };
 
   // Cached, pre-resolved view of one active signature.
@@ -144,7 +205,9 @@ class AvoidanceEngine {
   void GuardUnlock(ThreadId thread);
 
   StackSlot& SlotFor(StackId id);  // grows stack_slots_; guard held
-  void RemoveTuple(StackId stack, ThreadId thread, LockId lock);  // guard held
+  // Removes (thread, lock)'s tuple from `stack`'s slot, preferring the edge
+  // kind being retired (held: hold edge; !held: allow edge). Guard held.
+  void RemoveTuple(StackId stack, ThreadId thread, LockId lock, bool held);  // guard held
   void RefreshSigCacheLocked();
   void OnNewStack(const StackEntry& entry);
 
@@ -153,9 +216,8 @@ class AvoidanceEngine {
   std::optional<MatchResult> FindInstantiation(ThreadId thread, LockId lock, StackId stack);
   bool CoverPositions(const SigCacheEntry& sig, std::size_t pos,
                       std::vector<AllowedTuple>& chosen, std::vector<StackId>& chosen_stacks,
-                      std::unordered_set<ThreadId>& used_threads,
-                      std::unordered_set<LockId>& used_locks, ThreadId requester, LockId req_lock,
-                      bool& requester_used);
+                      std::unordered_set<ThreadId>& used_threads, UsedLocks& used_locks,
+                      ThreadId requester, LockId req_lock, bool& requester_used);
 
   // Parks the calling thread until woken, canceled, or timed out.
   // Returns: 0 woken, 1 timeout(yield bound), 2 broken, 3 deadline.

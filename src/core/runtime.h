@@ -24,9 +24,11 @@
 #define DIMMUNIX_CORE_RUNTIME_H_
 
 #include <memory>
+#include <optional>
 
 #include "src/common/config.h"
 #include "src/control/server.h"
+#include "src/core/acquire.h"
 #include "src/core/avoidance.h"
 #include "src/core/monitor.h"
 #include "src/event/event_queue.h"
@@ -48,6 +50,31 @@ class Runtime {
 
   // Registers the calling thread (idempotent) and returns its id.
   ThreadId RegisterCurrentThread() { return engine_->registry().RegisterCurrentThread(); }
+
+  // --- Acquisition port (src/core/acquire.h) --------------------------------
+  //
+  // The only sanctioned way for lock adapters (sync types, interposition
+  // shims) to run the avoidance protocol. Registers the calling thread,
+  // runs request -> GO/YIELD, and returns the move-only handle that owes
+  // exactly one Commit() or Cancel() when granted.
+
+  // Blocking protocol; `deadline` (optional) bounds time spent yielding.
+  AcquireOp BeginAcquire(LockId lock, AcquireMode mode,
+                         std::optional<MonoTime> deadline = std::nullopt) {
+    const ThreadId tid = RegisterCurrentThread();
+    return AcquireOp(engine_.get(), tid, lock, mode, engine_->Request(tid, lock, mode, deadline));
+  }
+
+  // Nonblocking protocol for trylock adapters: Decision() == kBusy instead
+  // of a yield when acquiring would instantiate a signature.
+  AcquireOp TryBeginAcquire(LockId lock, AcquireMode mode) {
+    const ThreadId tid = RegisterCurrentThread();
+    return AcquireOp(engine_.get(), tid, lock, mode, engine_->RequestNonblocking(tid, lock, mode));
+  }
+
+  // The calling thread released `lock`. Mode is inferred from the owner set
+  // (pthread_rwlock_unlock does not say which side it undoes).
+  void EndRelease(LockId lock) { engine_->Release(RegisterCurrentThread(), lock); }
 
   // §8: hot-reload the history after a vendor shipped new signatures ("the
   // target program need not even be restarted").

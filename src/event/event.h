@@ -29,6 +29,18 @@ constexpr ThreadId kInvalidThreadId = -1;
 using LockId = std::uint64_t;
 constexpr LockId kInvalidLockId = 0;
 
+// How a lock is being requested or held. Exclusive is the pthread-mutex
+// semantics the paper's protocol was written for; shared is the rwlock
+// reader side. Two shared holds of the same lock never conflict, so
+// shared-shared edges are ignored by cycle detection and a lock may appear
+// once per shared holder in a signature instantiation.
+enum class AcquireMode : std::uint8_t { kExclusive, kShared };
+
+// One-letter tag used by the control plane and logs ("X"/"S").
+inline char AcquireModeTag(AcquireMode mode) {
+  return mode == AcquireMode::kShared ? 'S' : 'X';
+}
+
 enum class EventType : std::uint8_t {
   kRequest,   // thread asked for a lock (before the GO/YIELD decision)
   kAllow,     // GO: thread is allowed to block waiting for the lock
@@ -42,11 +54,13 @@ enum class EventType : std::uint8_t {
 };
 
 // One cause of a yield: "thread `thread` holds / is allowed to wait for lock
-// `lock` having call stack `stack`".
+// `lock` having call stack `stack`" — in `mode` (a shared hold of the same
+// lock is a different edge than an exclusive one).
 struct YieldCause {
   ThreadId thread = kInvalidThreadId;
   LockId lock = kInvalidLockId;
   StackId stack = kInvalidStackId;
+  AcquireMode mode = AcquireMode::kExclusive;
 
   friend bool operator==(const YieldCause&, const YieldCause&) = default;
 };
@@ -56,6 +70,7 @@ struct Event {
   ThreadId thread = kInvalidThreadId;
   LockId lock = kInvalidLockId;
   StackId stack = kInvalidStackId;
+  AcquireMode mode = AcquireMode::kExclusive;  // request/hold mode of `lock`
   std::uint64_t seq = 0;  // global enqueue order tiebreaker (stats only)
 
   // kYield: the causes; kAvoided: the involved threads are cause.thread.

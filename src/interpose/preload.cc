@@ -5,12 +5,19 @@
 //
 //   LD_PRELOAD=libdimmunix_preload.so DIMMUNIX_HISTORY=app.hist ./app
 //
-// pthread_mutex_{lock,trylock,timedlock,unlock} are wrapped with the
-// avoidance protocol; call stacks come from backtrace() with
-// module-relative offsets, so signatures survive ASLR and re-runs. The
-// engine's own internal synchronization (std::mutex, condvars) also reaches
-// these symbols, so a thread-local reentrancy guard routes internal calls
-// straight to the real implementation.
+// pthread_mutex_{lock,trylock,timedlock,unlock} and
+// pthread_rwlock_{rdlock,tryrdlock,timedrdlock,wrlock,trywrlock,timedwrlock,
+// unlock} are wrapped with the avoidance protocol through the acquisition
+// port (src/core/acquire.h): every wrapper is a thin adapter that runs
+// Runtime::BeginAcquire / TryBeginAcquire in the right AcquireMode
+// (exclusive for mutexes and write locks, shared for read locks), calls the
+// real pthread function, and settles the AcquireOp with Commit or Cancel.
+// rwlock_unlock releases by lock identity alone — the engine's owner set
+// knows which side the thread holds. Call stacks come from backtrace()
+// with module-relative offsets, so signatures survive ASLR and re-runs.
+// The engine's own internal synchronization (std::mutex, condvars) also
+// reaches these symbols, so a thread-local reentrancy guard routes internal
+// calls straight to the real implementation.
 //
 // Unlike the library form (src/sync), a blocked pthread acquisition cannot
 // be cancelled — like the paper's NPTL implementation, recovery from an
@@ -27,7 +34,9 @@
 #include <pthread.h>
 #include <time.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -35,24 +44,44 @@
 
 namespace {
 
-using LockFn = int (*)(pthread_mutex_t*);
-using TimedLockFn = int (*)(pthread_mutex_t*, const struct timespec*);
+using MutexFn = int (*)(pthread_mutex_t*);
+using MutexTimedFn = int (*)(pthread_mutex_t*, const struct timespec*);
+using RwlockFn = int (*)(pthread_rwlock_t*);
+using RwlockTimedFn = int (*)(pthread_rwlock_t*, const struct timespec*);
 
-LockFn real_lock = nullptr;
-LockFn real_trylock = nullptr;
-LockFn real_unlock = nullptr;
-TimedLockFn real_timedlock = nullptr;
+MutexFn real_lock = nullptr;
+MutexFn real_trylock = nullptr;
+MutexFn real_unlock = nullptr;
+MutexTimedFn real_timedlock = nullptr;
+
+RwlockFn real_rdlock = nullptr;
+RwlockFn real_tryrdlock = nullptr;
+RwlockFn real_wrlock = nullptr;
+RwlockFn real_trywrlock = nullptr;
+RwlockFn real_rwunlock = nullptr;
+RwlockTimedFn real_timedrdlock = nullptr;
+RwlockTimedFn real_timedwrlock = nullptr;
 
 std::atomic<bool> initialized{false};
 // Set while this thread is inside a wrapper (or inside runtime
-// construction): nested pthread_mutex_* calls go straight through.
+// construction): nested pthread_mutex_*/pthread_rwlock_* calls go straight
+// through.
 thread_local bool tls_in_hook = false;
 
 void ResolveReal() {
-  real_lock = reinterpret_cast<LockFn>(dlsym(RTLD_NEXT, "pthread_mutex_lock"));
-  real_trylock = reinterpret_cast<LockFn>(dlsym(RTLD_NEXT, "pthread_mutex_trylock"));
-  real_unlock = reinterpret_cast<LockFn>(dlsym(RTLD_NEXT, "pthread_mutex_unlock"));
-  real_timedlock = reinterpret_cast<TimedLockFn>(dlsym(RTLD_NEXT, "pthread_mutex_timedlock"));
+  real_lock = reinterpret_cast<MutexFn>(dlsym(RTLD_NEXT, "pthread_mutex_lock"));
+  real_trylock = reinterpret_cast<MutexFn>(dlsym(RTLD_NEXT, "pthread_mutex_trylock"));
+  real_unlock = reinterpret_cast<MutexFn>(dlsym(RTLD_NEXT, "pthread_mutex_unlock"));
+  real_timedlock = reinterpret_cast<MutexTimedFn>(dlsym(RTLD_NEXT, "pthread_mutex_timedlock"));
+  real_rdlock = reinterpret_cast<RwlockFn>(dlsym(RTLD_NEXT, "pthread_rwlock_rdlock"));
+  real_tryrdlock = reinterpret_cast<RwlockFn>(dlsym(RTLD_NEXT, "pthread_rwlock_tryrdlock"));
+  real_wrlock = reinterpret_cast<RwlockFn>(dlsym(RTLD_NEXT, "pthread_rwlock_wrlock"));
+  real_trywrlock = reinterpret_cast<RwlockFn>(dlsym(RTLD_NEXT, "pthread_rwlock_trywrlock"));
+  real_rwunlock = reinterpret_cast<RwlockFn>(dlsym(RTLD_NEXT, "pthread_rwlock_unlock"));
+  real_timedrdlock =
+      reinterpret_cast<RwlockTimedFn>(dlsym(RTLD_NEXT, "pthread_rwlock_timedrdlock"));
+  real_timedwrlock =
+      reinterpret_cast<RwlockTimedFn>(dlsym(RTLD_NEXT, "pthread_rwlock_timedwrlock"));
 }
 
 __attribute__((constructor)) void PreloadInit() {
@@ -70,7 +99,95 @@ dimmunix::Runtime* TryRuntime() {
   return runtime;
 }
 
+// Shared adapter bodies: every wrapper is the same protocol run, modulo the
+// real function to call and the acquisition mode.
+
+template <typename Primitive>
+int BlockingAcquire(dimmunix::Runtime* runtime, Primitive* primitive,
+                    int (*real)(Primitive*), dimmunix::AcquireMode mode) {
+  tls_in_hook = true;
+  dimmunix::AcquireOp op =
+      runtime->BeginAcquire(reinterpret_cast<dimmunix::LockId>(primitive), mode);
+  tls_in_hook = false;
+  const int rc = real(primitive);
+  tls_in_hook = true;
+  // A pthread acquisition cannot be cancelled, so the real lock can succeed
+  // even after a kBroken grant rollback — Commit records the hold in every
+  // decision state, and Cancel is a no-op unless a kGo edge is standing.
+  if (rc == 0) {
+    op.Commit();
+  } else {
+    op.Cancel();
+  }
+  tls_in_hook = false;
+  return rc;
+}
+
+template <typename Primitive>
+int NonblockingAcquire(dimmunix::Runtime* runtime, Primitive* primitive,
+                       int (*real)(Primitive*), dimmunix::AcquireMode mode) {
+  tls_in_hook = true;
+  dimmunix::AcquireOp op =
+      runtime->TryBeginAcquire(reinterpret_cast<dimmunix::LockId>(primitive), mode);
+  if (!op.Granted()) {
+    tls_in_hook = false;
+    return EBUSY;  // dangerous pattern: report contention instead
+  }
+  tls_in_hook = false;
+  const int rc = real(primitive);
+  tls_in_hook = true;
+  if (rc == 0) {
+    op.Commit();
+  } else {
+    op.Cancel();  // §6 cancel event
+  }
+  tls_in_hook = false;
+  return rc;
+}
+
+// pthread timed locks take a CLOCK_REALTIME absolute time; the engine's
+// yield deadline is monotonic. Convert by remaining duration so an
+// avoidance yield cannot outlive the caller's deadline.
+dimmunix::MonoTime MonoDeadlineFrom(const struct timespec* abstime) {
+  struct timespec now_rt {};
+  clock_gettime(CLOCK_REALTIME, &now_rt);
+  const auto remaining = std::chrono::seconds(abstime->tv_sec - now_rt.tv_sec) +
+                         std::chrono::nanoseconds(abstime->tv_nsec - now_rt.tv_nsec);
+  return dimmunix::Now() + std::chrono::duration_cast<dimmunix::Duration>(
+                               std::max(remaining, decltype(remaining)::zero()));
+}
+
+template <typename Primitive>
+int TimedAcquire(dimmunix::Runtime* runtime, Primitive* primitive,
+                 int (*real)(Primitive*, const struct timespec*), const struct timespec* abstime,
+                 dimmunix::AcquireMode mode) {
+  tls_in_hook = true;
+  dimmunix::AcquireOp op = runtime->BeginAcquire(reinterpret_cast<dimmunix::LockId>(primitive),
+                                                 mode, MonoDeadlineFrom(abstime));
+  tls_in_hook = false;
+  const int rc = real(primitive, abstime);
+  tls_in_hook = true;
+  if (rc == 0) {
+    op.Commit();  // recorded even after a kBroken rollback (see above)
+  } else {
+    op.Cancel();  // timeout rollback (§6)
+  }
+  tls_in_hook = false;
+  return rc;
+}
+
+template <typename Primitive>
+int InstrumentedRelease(dimmunix::Runtime* runtime, Primitive* primitive,
+                        int (*real)(Primitive*)) {
+  tls_in_hook = true;
+  runtime->EndRelease(reinterpret_cast<dimmunix::LockId>(primitive));
+  tls_in_hook = false;
+  return real(primitive);
+}
+
 }  // namespace
+
+// --- pthread_mutex_* ---------------------------------------------------------
 
 extern "C" int pthread_mutex_lock(pthread_mutex_t* mutex) {
   if (real_lock == nullptr) {
@@ -80,20 +197,7 @@ extern "C" int pthread_mutex_lock(pthread_mutex_t* mutex) {
   if (runtime == nullptr) {
     return real_lock(mutex);
   }
-  tls_in_hook = true;
-  const dimmunix::ThreadId tid = runtime->RegisterCurrentThread();
-  const dimmunix::LockId lock = reinterpret_cast<dimmunix::LockId>(mutex);
-  const dimmunix::RequestDecision decision = runtime->engine().Request(tid, lock);
-  tls_in_hook = false;
-  const int rc = real_lock(mutex);
-  tls_in_hook = true;
-  if (rc == 0) {
-    runtime->engine().Acquired(tid, lock);
-  } else if (decision == dimmunix::RequestDecision::kGo) {
-    runtime->engine().CancelRequest(tid, lock);
-  }
-  tls_in_hook = false;
-  return rc;
+  return BlockingAcquire(runtime, mutex, real_lock, dimmunix::AcquireMode::kExclusive);
 }
 
 extern "C" int pthread_mutex_trylock(pthread_mutex_t* mutex) {
@@ -104,23 +208,7 @@ extern "C" int pthread_mutex_trylock(pthread_mutex_t* mutex) {
   if (runtime == nullptr) {
     return real_trylock(mutex);
   }
-  tls_in_hook = true;
-  const dimmunix::ThreadId tid = runtime->RegisterCurrentThread();
-  const dimmunix::LockId lock = reinterpret_cast<dimmunix::LockId>(mutex);
-  if (!runtime->engine().RequestNonblocking(tid, lock)) {
-    tls_in_hook = false;
-    return EBUSY;  // dangerous pattern: report contention instead
-  }
-  tls_in_hook = false;
-  const int rc = real_trylock(mutex);
-  tls_in_hook = true;
-  if (rc == 0) {
-    runtime->engine().Acquired(tid, lock);
-  } else {
-    runtime->engine().CancelRequest(tid, lock);  // §6 cancel event
-  }
-  tls_in_hook = false;
-  return rc;
+  return NonblockingAcquire(runtime, mutex, real_trylock, dimmunix::AcquireMode::kExclusive);
 }
 
 extern "C" int pthread_mutex_timedlock(pthread_mutex_t* mutex, const struct timespec* abstime) {
@@ -131,20 +219,8 @@ extern "C" int pthread_mutex_timedlock(pthread_mutex_t* mutex, const struct time
   if (runtime == nullptr) {
     return real_timedlock(mutex, abstime);
   }
-  tls_in_hook = true;
-  const dimmunix::ThreadId tid = runtime->RegisterCurrentThread();
-  const dimmunix::LockId lock = reinterpret_cast<dimmunix::LockId>(mutex);
-  const dimmunix::RequestDecision decision = runtime->engine().Request(tid, lock);
-  tls_in_hook = false;
-  const int rc = real_timedlock(mutex, abstime);
-  tls_in_hook = true;
-  if (rc == 0) {
-    runtime->engine().Acquired(tid, lock);
-  } else if (decision == dimmunix::RequestDecision::kGo) {
-    runtime->engine().CancelRequest(tid, lock);  // timeout rollback (§6)
-  }
-  tls_in_hook = false;
-  return rc;
+  return TimedAcquire(runtime, mutex, real_timedlock, abstime,
+                      dimmunix::AcquireMode::kExclusive);
 }
 
 extern "C" int pthread_mutex_unlock(pthread_mutex_t* mutex) {
@@ -155,9 +231,88 @@ extern "C" int pthread_mutex_unlock(pthread_mutex_t* mutex) {
   if (runtime == nullptr) {
     return real_unlock(mutex);
   }
-  tls_in_hook = true;
-  const dimmunix::ThreadId tid = runtime->RegisterCurrentThread();
-  runtime->engine().Release(tid, reinterpret_cast<dimmunix::LockId>(mutex));
-  tls_in_hook = false;
-  return real_unlock(mutex);
+  return InstrumentedRelease(runtime, mutex, real_unlock);
+}
+
+// --- pthread_rwlock_* --------------------------------------------------------
+
+extern "C" int pthread_rwlock_rdlock(pthread_rwlock_t* rwlock) {
+  if (real_rdlock == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_rdlock(rwlock);
+  }
+  return BlockingAcquire(runtime, rwlock, real_rdlock, dimmunix::AcquireMode::kShared);
+}
+
+extern "C" int pthread_rwlock_tryrdlock(pthread_rwlock_t* rwlock) {
+  if (real_tryrdlock == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_tryrdlock(rwlock);
+  }
+  return NonblockingAcquire(runtime, rwlock, real_tryrdlock, dimmunix::AcquireMode::kShared);
+}
+
+extern "C" int pthread_rwlock_timedrdlock(pthread_rwlock_t* rwlock,
+                                          const struct timespec* abstime) {
+  if (real_timedrdlock == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_timedrdlock(rwlock, abstime);
+  }
+  return TimedAcquire(runtime, rwlock, real_timedrdlock, abstime,
+                      dimmunix::AcquireMode::kShared);
+}
+
+extern "C" int pthread_rwlock_wrlock(pthread_rwlock_t* rwlock) {
+  if (real_wrlock == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_wrlock(rwlock);
+  }
+  return BlockingAcquire(runtime, rwlock, real_wrlock, dimmunix::AcquireMode::kExclusive);
+}
+
+extern "C" int pthread_rwlock_trywrlock(pthread_rwlock_t* rwlock) {
+  if (real_trywrlock == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_trywrlock(rwlock);
+  }
+  return NonblockingAcquire(runtime, rwlock, real_trywrlock, dimmunix::AcquireMode::kExclusive);
+}
+
+extern "C" int pthread_rwlock_timedwrlock(pthread_rwlock_t* rwlock,
+                                          const struct timespec* abstime) {
+  if (real_timedwrlock == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_timedwrlock(rwlock, abstime);
+  }
+  return TimedAcquire(runtime, rwlock, real_timedwrlock, abstime,
+                      dimmunix::AcquireMode::kExclusive);
+}
+
+extern "C" int pthread_rwlock_unlock(pthread_rwlock_t* rwlock) {
+  if (real_rwunlock == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_rwunlock(rwlock);
+  }
+  return InstrumentedRelease(runtime, rwlock, real_rwunlock);
 }

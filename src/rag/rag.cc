@@ -14,6 +14,7 @@ void Rag::Apply(const Event& event) {
       t.wait = ThreadNode::Wait::kRequest;
       t.wait_lock = event.lock;
       t.wait_stack = event.stack;
+      t.wait_mode = event.mode;
       touched_waiters_.insert(event.thread);
       break;
     }
@@ -22,6 +23,7 @@ void Rag::Apply(const Event& event) {
       t.wait = ThreadNode::Wait::kAllow;
       t.wait_lock = event.lock;
       t.wait_stack = event.stack;
+      t.wait_mode = event.mode;
       // A GO decision retires any yield edges the thread still had (§5.4).
       if (!t.yields.empty()) {
         t.yields.clear();
@@ -34,12 +36,21 @@ void Rag::Apply(const Event& event) {
       t.wait = ThreadNode::Wait::kNone;
       t.wait_lock = kInvalidLockId;
       LockNode& l = Lock(event.lock);
-      if (l.holder == event.thread) {
-        ++l.count;  // reentrant re-acquisition
+      if (LockNode::Holder* holder = l.HolderFor(event.thread); holder != nullptr) {
+        ++holder->count;  // reentrant re-acquisition
+        if (event.mode == AcquireMode::kExclusive) {
+          l.mode = AcquireMode::kExclusive;  // committed upgrade promotes the hold
+        }
+      } else if (l.holders.empty() || event.mode == AcquireMode::kExclusive) {
+        // Free lock, or an exclusive grant superseding stale holders (e.g.
+        // events predating a restart).
+        l.mode = event.mode;
+        l.holders.assign(1, LockNode::Holder{event.thread, event.stack, 1});
+        t.held.push_back(event.lock);
       } else {
-        l.holder = event.thread;
-        l.holder_stack = event.stack;
-        l.count = 1;
+        // Additional shared holder.
+        l.mode = AcquireMode::kShared;
+        l.holders.push_back(LockNode::Holder{event.thread, event.stack, 1});
         t.held.push_back(event.lock);
       }
       break;
@@ -50,18 +61,17 @@ void Rag::Apply(const Event& event) {
         break;
       }
       LockNode& l = lock_it->second;
-      if (l.holder != event.thread) {
+      LockNode::Holder* holder = l.HolderFor(event.thread);
+      if (holder == nullptr) {
         break;  // stale event (e.g. release drained after a restart)
       }
-      if (--l.count <= 0) {
+      if (--holder->count <= 0) {
         auto thread_it = threads_.find(event.thread);
         if (thread_it != threads_.end()) {
           auto& held = thread_it->second.held;
           held.erase(std::remove(held.begin(), held.end(), event.lock), held.end());
         }
-        l.holder = kInvalidThreadId;
-        l.holder_stack = kInvalidStackId;
-        l.count = 0;
+        l.holders.erase(l.holders.begin() + (holder - l.holders.data()));
       }
       break;
     }
@@ -71,6 +81,7 @@ void Rag::Apply(const Event& event) {
       t.wait = ThreadNode::Wait::kRequest;
       t.wait_lock = event.lock;
       t.wait_stack = event.stack;
+      t.wait_mode = event.mode;
       t.yields = event.causes;
       t.in_reported_starvation = false;
       touched_yielders_.insert(event.thread);
@@ -100,9 +111,15 @@ void Rag::Apply(const Event& event) {
       if (it != threads_.end()) {
         for (LockId lock : it->second.held) {
           auto lock_it = locks_.find(lock);
-          if (lock_it != locks_.end() && lock_it->second.holder == event.thread) {
-            lock_it->second = LockNode{};
+          if (lock_it == locks_.end()) {
+            continue;
           }
+          auto& holders = lock_it->second.holders;
+          holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                       [&](const LockNode::Holder& h) {
+                                         return h.thread == event.thread;
+                                       }),
+                        holders.end());
         }
         threads_.erase(it);
       }
@@ -113,61 +130,106 @@ void Rag::Apply(const Event& event) {
   }
 }
 
-ThreadId Rag::WaitSuccessor(ThreadId thread) const {
+void Rag::AppendWaitSuccessors(ThreadId thread, std::vector<ThreadId>* out) const {
   auto it = threads_.find(thread);
   if (it == threads_.end() || it->second.wait == ThreadNode::Wait::kNone) {
-    return kInvalidThreadId;
+    return;
   }
   auto lock_it = locks_.find(it->second.wait_lock);
   if (lock_it == locks_.end()) {
-    return kInvalidThreadId;
+    return;
   }
-  return lock_it->second.holder;
+  const LockNode& l = lock_it->second;
+  if (l.holders.empty()) {
+    return;
+  }
+  // Shared request vs shared holders: no conflict, no edges — reader-reader
+  // can never close a cycle. A shared request still conflicts with an
+  // exclusive holder, and an exclusive request with every holder.
+  if (it->second.wait_mode == AcquireMode::kShared && l.mode == AcquireMode::kShared) {
+    return;
+  }
+  for (const LockNode::Holder& holder : l.holders) {
+    if (holder.thread != thread) {  // self-hold (upgrade) is not a cycle edge
+      out->push_back(holder.thread);
+    }
+  }
 }
 
 std::vector<DeadlockCycle> Rag::DetectDeadlocks() {
   std::vector<DeadlockCycle> result;
-  // Colored DFS over the wait-for projection (thread -> holder of waited
-  // lock). Out-degree is at most one, so the DFS degenerates into chain
-  // walking with an on-path set.
+  // Colored DFS over the wait-for projection (thread -> conflicting holders
+  // of the waited lock). Shared locks have several holders, so nodes can
+  // have out-degree > 1; gray nodes are the current DFS path, black nodes
+  // are exhausted across all starts in this batch.
+  std::unordered_set<ThreadId> black;
   for (ThreadId start : touched_waiters_) {
-    std::vector<ThreadId> path;
-    std::unordered_map<ThreadId, std::size_t> on_path;
-    ThreadId current = start;
-    while (current != kInvalidThreadId) {
-      auto seen = on_path.find(current);
-      if (seen != on_path.end()) {
-        // Cycle: path[seen->second..end].
-        DeadlockCycle cycle;
-        bool already_reported = true;
-        for (std::size_t i = seen->second; i < path.size(); ++i) {
-          ThreadId tid = path[i];
-          const ThreadNode& node = threads_.at(tid);
-          cycle.threads.push_back(tid);
-          cycle.locks.push_back(node.wait_lock);
-          already_reported = already_reported && node.in_reported_deadlock;
-        }
-        // Hold-edge labels: the stack with which each waited lock was
-        // acquired by its current holder.
-        for (LockId lock : cycle.locks) {
-          const LockNode& l = locks_.at(lock);
-          cycle.stacks.push_back(l.holder_stack);
-        }
-        if (!already_reported) {
-          for (ThreadId tid : cycle.threads) {
-            threads_.at(tid).in_reported_deadlock = true;
-          }
-          result.push_back(std::move(cycle));
-        }
-        break;
+    if (black.count(start) > 0) {
+      continue;
+    }
+    struct Frame {
+      ThreadId thread;
+      std::vector<ThreadId> succs;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> path;
+    std::unordered_map<ThreadId, std::size_t> gray;  // thread -> index in path
+
+    auto push = [&](ThreadId tid) {
+      Frame frame;
+      frame.thread = tid;
+      AppendWaitSuccessors(tid, &frame.succs);
+      gray.emplace(tid, path.size());
+      path.push_back(std::move(frame));
+    };
+    push(start);
+    while (!path.empty()) {
+      Frame& top = path.back();
+      if (top.next >= top.succs.size()) {
+        gray.erase(top.thread);
+        black.insert(top.thread);
+        path.pop_back();
+        continue;
       }
-      auto it = threads_.find(current);
-      if (it == threads_.end() || it->second.wait == ThreadNode::Wait::kNone) {
-        break;
+      const ThreadId succ = top.succs[top.next++];
+      if (black.count(succ) > 0) {
+        continue;
       }
-      on_path.emplace(current, path.size());
-      path.push_back(current);
-      current = WaitSuccessor(current);
+      auto seen = gray.find(succ);
+      if (seen == gray.end()) {
+        push(succ);
+        continue;
+      }
+      // Cycle: path[seen->second..end].
+      DeadlockCycle cycle;
+      bool already_reported = true;
+      for (std::size_t i = seen->second; i < path.size(); ++i) {
+        const ThreadId tid = path[i].thread;
+        const ThreadNode& node = threads_.at(tid);
+        cycle.threads.push_back(tid);
+        cycle.locks.push_back(node.wait_lock);
+        already_reported = already_reported && node.in_reported_deadlock;
+      }
+      // Hold-edge labels: the stack with which each waited lock was
+      // acquired by the holder that is the next thread on the cycle (a
+      // shared lock can have holders outside the cycle).
+      for (std::size_t i = 0; i < cycle.threads.size(); ++i) {
+        const ThreadId next_thread = cycle.threads[(i + 1) % cycle.threads.size()];
+        const LockNode& l = locks_.at(cycle.locks[i]);
+        const LockNode::Holder* holder = l.HolderFor(next_thread);
+        cycle.stacks.push_back(holder != nullptr ? holder->stack
+                                                 : (l.holders.empty() ? kInvalidStackId
+                                                                      : l.holders.front().stack));
+      }
+      if (!already_reported) {
+        for (ThreadId tid : cycle.threads) {
+          threads_.at(tid).in_reported_deadlock = true;
+        }
+        result.push_back(std::move(cycle));
+      }
+      // Keep exploring the remaining successors: a lock with several shared
+      // holders can close more than one distinct cycle in the same batch
+      // (the reported-flag dedup keeps each formation to one report).
     }
   }
   touched_waiters_.clear();
@@ -182,10 +244,7 @@ void Rag::AppendSuccessors(ThreadId thread, std::vector<ThreadId>* out) const {
   for (const YieldCause& cause : it->second.yields) {
     out->push_back(cause.thread);
   }
-  ThreadId via_wait = WaitSuccessor(thread);
-  if (via_wait != kInvalidThreadId) {
-    out->push_back(via_wait);
-  }
+  AppendWaitSuccessors(thread, out);
 }
 
 void Rag::BuildPredecessors(std::unordered_map<ThreadId, std::vector<ThreadId>>* preds) const {
@@ -281,8 +340,11 @@ std::vector<StarvationCycle> Rag::DetectStarvations() {
       // Hold-edge labels of locks held by entangled threads.
       for (LockId lock : node.held) {
         auto lock_it = locks_.find(lock);
-        if (lock_it != locks_.end() && lock_it->second.holder == t) {
-          cycle.stacks.push_back(lock_it->second.holder_stack);
+        if (lock_it == locks_.end()) {
+          continue;
+        }
+        if (const LockNode::Holder* holder = lock_it->second.HolderFor(t); holder != nullptr) {
+          cycle.stacks.push_back(holder->stack);
         }
       }
       // Victim choice (§3): among *yielding* threads, the one holding the
@@ -333,7 +395,13 @@ RagSnapshot Rag::Snapshot() const {
     info.id = tid;
     info.waiting = node.wait != ThreadNode::Wait::kNone;
     info.wait_lock = info.waiting ? node.wait_lock : kInvalidLockId;
-    info.held = node.held;
+    info.wait_mode = node.wait_mode;
+    for (LockId lock : node.held) {
+      auto lock_it = locks_.find(lock);
+      const AcquireMode mode =
+          lock_it != locks_.end() ? lock_it->second.mode : AcquireMode::kExclusive;
+      info.held.push_back(RagThreadInfo::HeldLock{lock, mode});
+    }
     info.yield_edges = node.yields.size();
     snap.yield_edge_count += info.yield_edges;
     snap.threads.push_back(std::move(info));

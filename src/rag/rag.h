@@ -4,9 +4,11 @@
 // of the program's synchronization state, built lazily from the event queue.
 //
 // Vertices are threads T and locks L. Edges:
-//   request: T -> L   thread wants L (pre-decision)
+//   request: T -> L   thread wants L (pre-decision), in a mode (X or S)
 //   allow:   T -> L   thread was allowed to block waiting for L
 //   hold:    L -> T   T holds L; labeled with T's call stack at acquisition
+//                     and the hold mode — one exclusive holder XOR n shared
+//                     holders per lock
 //   yield:   T -> T'  T was paused because of a lock T' acquired/waits for;
 //                     labeled with the stack of the cause
 //
@@ -14,12 +16,15 @@
 // a count and becomes available only after as many releases as acquisitions.
 //
 // Detection (§5.2):
-//  * deadlock  — a cycle made up exclusively of hold/allow/request edges;
-//    since a thread waits for at most one lock and a mutex has at most one
-//    holder, we find these with a colored DFS over the thread-level wait-for
-//    projection, restricted to threads touched by the latest event batch
-//    ("there cannot be new cycles formed that involve exclusively old
-//    edges").
+//  * deadlock  — a cycle made up exclusively of hold/allow/request edges.
+//    The thread-level wait-for projection follows a waiter to every
+//    *conflicting* holder of its waited lock: an exclusive request
+//    conflicts with every holder, a shared request only with an exclusive
+//    holder — shared-shared edges do not exist, so reader-reader is never
+//    a false cycle. A shared lock can have several holders, so the
+//    projection is a general digraph and cycles are found with a colored
+//    DFS, restricted to threads touched by the latest event batch ("there
+//    cannot be new cycles formed that involve exclusively old edges").
 //  * induced starvation — a yield cycle: thread T is starved iff every node
 //    reachable from T through T's yield edges (following any edge type
 //    transitively) can in turn reach T. This reproduces the Figure 3
@@ -54,10 +59,16 @@ struct DeadlockCycle {
 
 // Per-thread slice of a RAG snapshot (control plane `rag` command).
 struct RagThreadInfo {
+  struct HeldLock {
+    LockId lock = kInvalidLockId;
+    AcquireMode mode = AcquireMode::kExclusive;
+  };
+
   ThreadId id = kInvalidThreadId;
   bool waiting = false;            // has a request/allow edge out
   LockId wait_lock = kInvalidLockId;
-  std::vector<LockId> held;        // locks currently held
+  AcquireMode wait_mode = AcquireMode::kExclusive;
+  std::vector<HeldLock> held;      // locks currently held, with hold mode
   std::size_t yield_edges = 0;     // yield edges out of this thread
 };
 
@@ -116,6 +127,7 @@ class Rag {
     enum class Wait : std::uint8_t { kNone, kRequest, kAllow } wait = Wait::kNone;
     LockId wait_lock = kInvalidLockId;
     StackId wait_stack = kInvalidStackId;
+    AcquireMode wait_mode = AcquireMode::kExclusive;
     std::vector<YieldCause> yields;  // yield edges out of this thread
     std::vector<LockId> held;        // locks currently held (for victim choice)
     bool in_reported_deadlock = false;
@@ -123,20 +135,38 @@ class Rag {
   };
 
   struct LockNode {
-    ThreadId holder = kInvalidThreadId;
-    StackId holder_stack = kInvalidStackId;
-    int count = 0;  // reentrant acquisitions outstanding
+    struct Holder {
+      ThreadId thread = kInvalidThreadId;
+      StackId stack = kInvalidStackId;
+      int count = 0;  // reentrant acquisitions outstanding
+    };
+    AcquireMode mode = AcquireMode::kExclusive;  // meaningful while held
+    std::vector<Holder> holders;  // one exclusive XOR n shared
+
+    Holder* HolderFor(ThreadId thread) {
+      for (Holder& h : holders) {
+        if (h.thread == thread) {
+          return &h;
+        }
+      }
+      return nullptr;
+    }
+    const Holder* HolderFor(ThreadId thread) const {
+      return const_cast<LockNode*>(this)->HolderFor(thread);
+    }
   };
 
   ThreadNode& Thread(ThreadId id) { return threads_[id]; }
   LockNode& Lock(LockId id) { return locks_[id]; }
 
-  // Follows T's wait edge to the holder of the waited lock; kInvalidThreadId
-  // when the edge chain ends.
-  ThreadId WaitSuccessor(ThreadId thread) const;
+  // Appends every *conflicting* holder of T's waited lock (self excluded):
+  // exclusive requests conflict with every holder, shared requests only
+  // with an exclusive holder.
+  void AppendWaitSuccessors(ThreadId thread, std::vector<ThreadId>* out) const;
 
   // All successor *thread* nodes of `thread` following yield edges plus the
-  // wait edge (through the lock to its holder). Used by starvation search.
+  // wait edges (through the lock to its conflicting holders). Used by
+  // starvation search.
   void AppendSuccessors(ThreadId thread, std::vector<ThreadId>* out) const;
   // Predecessor relation of the same projection.
   void BuildPredecessors(std::unordered_map<ThreadId, std::vector<ThreadId>>* preds) const;

@@ -2,127 +2,123 @@
 
 #include "src/sync/mutex.h"
 
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
 namespace dimmunix {
 
+void AbortOnLockFailure(const char* op, LockResult result) {
+  const char* reason = result == LockResult::kSelfDeadlock
+                           ? "self-deadlock (non-recursive lock re-acquired by its owner)"
+                           : "acquisition broken by deadlock recovery";
+  DIMMUNIX_LOG(kError) << op << "() failed in scoped usage: " << reason
+                       << "; aborting (use the result-returning Lock() to handle this)";
+  std::abort();
+}
+
 LockResult Mutex::Lock() {
-  AvoidanceEngine& engine = runtime_->engine();
-  const ThreadId tid = runtime_->RegisterCurrentThread();
   if (raw_.OwnedByCurrentThread()) {
     return LockResult::kSelfDeadlock;  // PTHREAD_MUTEX_ERRORCHECK behavior
   }
-  for (;;) {
-    const RequestDecision decision = engine.Request(tid, id());
-    if (decision == RequestDecision::kBroken) {
-      return LockResult::kBroken;
-    }
-    // kGo (or kReentrant, unreachable given the owner check above): block on
-    // the underlying mutex, cancellably.
-    ThreadSlot& slot = engine.registry().Slot(tid);
-    if (raw_.LockCancellable(&slot)) {
-      engine.Acquired(tid, id());
-      return LockResult::kOk;
-    }
-    engine.CancelRequest(tid, id());
-    engine.stats().broken_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  AcquireOp op = runtime_->BeginAcquire(id(), AcquireMode::kExclusive);
+  if (!op.Granted()) {
     return LockResult::kBroken;
   }
+  // kGo (or kReentrant, unreachable given the owner check above): block on
+  // the underlying mutex, cancellably.
+  if (raw_.LockCancellable(&op.slot())) {
+    op.Commit();
+    return LockResult::kOk;
+  }
+  op.Cancel();
+  runtime_->engine().stats().broken_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return LockResult::kBroken;
 }
 
 bool Mutex::TryLock() {
-  AvoidanceEngine& engine = runtime_->engine();
-  const ThreadId tid = runtime_->RegisterCurrentThread();
   if (raw_.OwnedByCurrentThread()) {
     return false;
   }
-  if (!engine.RequestNonblocking(tid, id())) {
+  AcquireOp op = runtime_->TryBeginAcquire(id(), AcquireMode::kExclusive);
+  if (!op.Granted()) {
     return false;  // entering the pattern would be dangerous: report busy
   }
   if (raw_.TryLock()) {
-    engine.Acquired(tid, id());
+    op.Commit();
     return true;
   }
-  engine.CancelRequest(tid, id());  // §6 cancel event
+  op.Cancel();  // §6 cancel event
   return false;
 }
 
 bool Mutex::LockFor(Duration timeout) { return LockUntil(Now() + timeout); }
 
 bool Mutex::LockUntil(MonoTime deadline) {
-  AvoidanceEngine& engine = runtime_->engine();
-  const ThreadId tid = runtime_->RegisterCurrentThread();
   if (raw_.OwnedByCurrentThread()) {
     return false;
   }
-  const RequestDecision decision = engine.Request(tid, id(), deadline);
-  if (decision == RequestDecision::kTimedOut || decision == RequestDecision::kBroken) {
-    return false;
+  AcquireOp op = runtime_->BeginAcquire(id(), AcquireMode::kExclusive, deadline);
+  if (!op.Granted()) {
+    return false;  // kTimedOut or kBroken: the engine already rolled back
   }
-  ThreadSlot& slot = engine.registry().Slot(tid);
   bool canceled = false;
-  if (raw_.LockUntil(deadline, &slot, &canceled)) {
-    engine.Acquired(tid, id());
+  if (raw_.LockUntil(deadline, &op.slot(), &canceled)) {
+    op.Commit();
     return true;
   }
-  engine.CancelRequest(tid, id());  // timeout rollback (§6 cancel event)
+  op.Cancel();  // timeout rollback (§6 cancel event)
   return false;
 }
 
 void Mutex::Unlock() {
-  AvoidanceEngine& engine = runtime_->engine();
-  const ThreadId tid = runtime_->RegisterCurrentThread();
-  engine.Release(tid, id());  // release precedes the actual unlock (§5.2)
+  runtime_->EndRelease(id());  // release precedes the actual unlock (§5.2)
   raw_.Unlock();
 }
 
 LockResult RecursiveMutex::Lock() {
-  AvoidanceEngine& engine = runtime_->engine();
-  const ThreadId tid = runtime_->RegisterCurrentThread();
   if (raw_.OwnedByCurrentThread()) {
+    AcquireOp op = runtime_->BeginAcquire(id(), AcquireMode::kExclusive);  // kReentrant
     ++depth_;
-    engine.Acquired(tid, id());  // keep the RAG's hold multiset in step
+    op.Commit();  // keep the RAG's hold multiset in step
     return LockResult::kOk;
   }
-  for (;;) {
-    const RequestDecision decision = engine.Request(tid, id());
-    if (decision == RequestDecision::kBroken) {
-      return LockResult::kBroken;
-    }
-    ThreadSlot& slot = engine.registry().Slot(tid);
-    if (raw_.LockCancellable(&slot)) {
-      depth_ = 1;
-      engine.Acquired(tid, id());
-      return LockResult::kOk;
-    }
-    engine.CancelRequest(tid, id());
-    engine.stats().broken_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  AcquireOp op = runtime_->BeginAcquire(id(), AcquireMode::kExclusive);
+  if (!op.Granted()) {
     return LockResult::kBroken;
   }
+  if (raw_.LockCancellable(&op.slot())) {
+    depth_ = 1;
+    op.Commit();
+    return LockResult::kOk;
+  }
+  op.Cancel();
+  runtime_->engine().stats().broken_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return LockResult::kBroken;
 }
 
 bool RecursiveMutex::TryLock() {
-  AvoidanceEngine& engine = runtime_->engine();
-  const ThreadId tid = runtime_->RegisterCurrentThread();
   if (raw_.OwnedByCurrentThread()) {
+    AcquireOp op = runtime_->TryBeginAcquire(id(), AcquireMode::kExclusive);  // kReentrant
     ++depth_;
-    engine.Acquired(tid, id());
+    op.Commit();
     return true;
   }
-  if (!engine.RequestNonblocking(tid, id())) {
+  AcquireOp op = runtime_->TryBeginAcquire(id(), AcquireMode::kExclusive);
+  if (!op.Granted()) {
     return false;
   }
   if (raw_.TryLock()) {
     depth_ = 1;
-    engine.Acquired(tid, id());
+    op.Commit();
     return true;
   }
-  engine.CancelRequest(tid, id());
+  op.Cancel();
   return false;
 }
 
 void RecursiveMutex::Unlock() {
-  AvoidanceEngine& engine = runtime_->engine();
-  const ThreadId tid = runtime_->RegisterCurrentThread();
-  engine.Release(tid, id());
+  runtime_->EndRelease(id());
   if (--depth_ <= 0) {
     depth_ = 0;
     raw_.Unlock();

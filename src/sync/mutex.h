@@ -2,11 +2,11 @@
 //
 // Instrumented lock types — the drop-in replacements that play the role of
 // the modified NPTL/libthr libraries of §6. Every acquisition runs the full
-// Dimmunix protocol:
+// Dimmunix protocol through the acquisition port (src/core/acquire.h):
 //
-//     request -> GO | YIELD (park, retry)        (§5.4)
+//     Runtime::BeginAcquire -> GO | YIELD (park, retry)   (§5.4)
 //     block on the underlying mutex
-//     acquired                                    (RAG cache: allow -> hold)
+//     op.Commit()                                 (RAG cache: allow -> hold)
 //     ... critical section ...
 //     release, then unlock                        (ordering required by §5.2)
 //
@@ -15,6 +15,7 @@
 // offers the error-checking mutex option"); RecursiveMutex matches
 // PTHREAD_MUTEX_RECURSIVE; TryLock/LockFor mirror pthread_mutex_trylock /
 // pthread_mutex_timedlock, including the `cancel` rollback event of §6.
+// The reader-writer counterpart lives in src/sync/shared_mutex.h.
 
 #ifndef DIMMUNIX_SYNC_MUTEX_H_
 #define DIMMUNIX_SYNC_MUTEX_H_
@@ -31,6 +32,12 @@ enum class LockResult {
   kSelfDeadlock,  // non-recursive mutex re-acquired by its owner (EDEADLK)
   kBroken,        // acquisition canceled by deadlock recovery
 };
+
+// Shared by every sync type's BasicLockable shim: scoped usage (lock_guard,
+// unique_lock, shared_lock) has no channel for a failure result, so a
+// failed acquisition aborts loudly instead of silently continuing without
+// the lock. `op` names the method, e.g. "Mutex::lock".
+[[noreturn]] void AbortOnLockFailure(const char* op, LockResult result);
 
 class Mutex {
  public:
@@ -52,8 +59,15 @@ class Mutex {
   Runtime& runtime() { return *runtime_; }
 
   // BasicLockable / Lockable, so std::lock_guard and friends work. lock()
-  // treats kBroken/kSelfDeadlock as programming errors in scoped usage.
-  void lock() { (void)Lock(); }
+  // treats kBroken/kSelfDeadlock as programming errors in scoped usage:
+  // scoped callers have no way to observe the failure, so it aborts loudly
+  // rather than running the critical section without the lock. Code that
+  // can handle kBroken (deadlock recovery) must call Lock() instead.
+  void lock() {
+    if (const LockResult result = Lock(); result != LockResult::kOk) {
+      AbortOnLockFailure("Mutex::lock", result);
+    }
+  }
   void unlock() { Unlock(); }
   bool try_lock() { return TryLock(); }
 
@@ -77,7 +91,11 @@ class RecursiveMutex {
   LockId id() const { return reinterpret_cast<LockId>(this); }
   int recursion_depth() const { return depth_; }
 
-  void lock() { (void)Lock(); }
+  void lock() {
+    if (const LockResult result = Lock(); result != LockResult::kOk) {
+      AbortOnLockFailure("RecursiveMutex::lock", result);
+    }
+  }
   void unlock() { Unlock(); }
   bool try_lock() { return TryLock(); }
 

@@ -1,0 +1,211 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/sync/raw_shared_mutex.h"
+
+#include <algorithm>
+
+namespace dimmunix {
+
+void RawSharedMutex::GrantExclusiveLocked() {
+  writer_ = true;
+  writer_id_ = std::this_thread::get_id();
+}
+
+void RawSharedMutex::GrantSharedLocked() { readers_.push_back(std::this_thread::get_id()); }
+
+void RawSharedMutex::RegisterCanceler(ThreadSlot* slot) {
+  std::lock_guard<std::mutex> c(slot->canceler_m);
+  slot->acquisition_canceler = [this] {
+    std::lock_guard<std::mutex> guard(m_);
+    cv_.notify_all();
+  };
+}
+
+void RawSharedMutex::ClearCanceler(ThreadSlot* slot) {
+  std::lock_guard<std::mutex> c(slot->canceler_m);
+  slot->acquisition_canceler = nullptr;
+}
+
+void RawSharedMutex::LockExclusive() {
+  std::unique_lock<std::mutex> guard(m_);
+  cv_.wait(guard, [this] { return ExclusiveFreeLocked(); });
+  GrantExclusiveLocked();
+}
+
+bool RawSharedMutex::LockExclusiveCancellable(ThreadSlot* slot) {
+  RegisterCanceler(slot);
+  bool acquired = false;
+  {
+    std::unique_lock<std::mutex> guard(m_);
+    for (;;) {
+      if (slot->acquisition_canceled.load(std::memory_order_acquire)) {
+        slot->acquisition_canceled.store(false, std::memory_order_release);
+        break;
+      }
+      if (ExclusiveFreeLocked()) {
+        GrantExclusiveLocked();
+        acquired = true;
+        break;
+      }
+      cv_.wait(guard);
+    }
+  }
+  ClearCanceler(slot);
+  return acquired;
+}
+
+bool RawSharedMutex::LockExclusiveUntil(MonoTime deadline, ThreadSlot* slot, bool* canceled) {
+  if (canceled != nullptr) {
+    *canceled = false;
+  }
+  if (slot != nullptr) {
+    RegisterCanceler(slot);
+  }
+  bool acquired = false;
+  {
+    std::unique_lock<std::mutex> guard(m_);
+    for (;;) {
+      if (slot != nullptr && slot->acquisition_canceled.load(std::memory_order_acquire)) {
+        slot->acquisition_canceled.store(false, std::memory_order_release);
+        if (canceled != nullptr) {
+          *canceled = true;
+        }
+        break;
+      }
+      if (ExclusiveFreeLocked()) {
+        GrantExclusiveLocked();
+        acquired = true;
+        break;
+      }
+      if (cv_.wait_until(guard, deadline) == std::cv_status::timeout) {
+        if (ExclusiveFreeLocked()) {
+          GrantExclusiveLocked();
+          acquired = true;
+        }
+        break;
+      }
+    }
+  }
+  if (slot != nullptr) {
+    ClearCanceler(slot);
+  }
+  return acquired;
+}
+
+bool RawSharedMutex::TryLockExclusive() {
+  std::lock_guard<std::mutex> guard(m_);
+  if (!ExclusiveFreeLocked()) {
+    return false;
+  }
+  GrantExclusiveLocked();
+  return true;
+}
+
+void RawSharedMutex::UnlockExclusive() {
+  {
+    std::lock_guard<std::mutex> guard(m_);
+    writer_ = false;
+    writer_id_ = std::thread::id{};
+  }
+  cv_.notify_all();
+}
+
+void RawSharedMutex::LockShared() {
+  std::unique_lock<std::mutex> guard(m_);
+  cv_.wait(guard, [this] { return SharedFreeLocked(); });
+  GrantSharedLocked();
+}
+
+bool RawSharedMutex::LockSharedCancellable(ThreadSlot* slot) {
+  RegisterCanceler(slot);
+  bool acquired = false;
+  {
+    std::unique_lock<std::mutex> guard(m_);
+    for (;;) {
+      if (slot->acquisition_canceled.load(std::memory_order_acquire)) {
+        slot->acquisition_canceled.store(false, std::memory_order_release);
+        break;
+      }
+      if (SharedFreeLocked()) {
+        GrantSharedLocked();
+        acquired = true;
+        break;
+      }
+      cv_.wait(guard);
+    }
+  }
+  ClearCanceler(slot);
+  return acquired;
+}
+
+bool RawSharedMutex::LockSharedUntil(MonoTime deadline, ThreadSlot* slot, bool* canceled) {
+  if (canceled != nullptr) {
+    *canceled = false;
+  }
+  if (slot != nullptr) {
+    RegisterCanceler(slot);
+  }
+  bool acquired = false;
+  {
+    std::unique_lock<std::mutex> guard(m_);
+    for (;;) {
+      if (slot != nullptr && slot->acquisition_canceled.load(std::memory_order_acquire)) {
+        slot->acquisition_canceled.store(false, std::memory_order_release);
+        if (canceled != nullptr) {
+          *canceled = true;
+        }
+        break;
+      }
+      if (SharedFreeLocked()) {
+        GrantSharedLocked();
+        acquired = true;
+        break;
+      }
+      if (cv_.wait_until(guard, deadline) == std::cv_status::timeout) {
+        if (SharedFreeLocked()) {
+          GrantSharedLocked();
+          acquired = true;
+        }
+        break;
+      }
+    }
+  }
+  if (slot != nullptr) {
+    ClearCanceler(slot);
+  }
+  return acquired;
+}
+
+bool RawSharedMutex::TryLockShared() {
+  std::lock_guard<std::mutex> guard(m_);
+  if (!SharedFreeLocked()) {
+    return false;
+  }
+  GrantSharedLocked();
+  return true;
+}
+
+void RawSharedMutex::UnlockShared() {
+  {
+    std::lock_guard<std::mutex> guard(m_);
+    const auto me = std::this_thread::get_id();
+    auto it = std::find(readers_.begin(), readers_.end(), me);
+    if (it != readers_.end()) {
+      readers_.erase(it);
+    }
+  }
+  cv_.notify_all();
+}
+
+bool RawSharedMutex::ExclusiveOwnedByCurrentThread() const {
+  std::lock_guard<std::mutex> guard(m_);
+  return writer_ && writer_id_ == std::this_thread::get_id();
+}
+
+bool RawSharedMutex::SharedOwnedByCurrentThread() const {
+  std::lock_guard<std::mutex> guard(m_);
+  return std::find(readers_.begin(), readers_.end(), std::this_thread::get_id()) !=
+         readers_.end();
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,70 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// The uninstrumented reader-writer lock under every dimmunix::SharedMutex —
+// the shared-mode counterpart of RawMutex, built from the same
+// condvar-protected state so acquisitions stay cancellable (deadlock
+// recovery can break a blocked writer or reader out) and timed variants
+// compose with the engine's yield logic.
+//
+// Semantics match pthread_rwlock without writer preference: a writer waits
+// until there is no writer and no readers; a reader waits only while a
+// writer *holds* the lock. Reader re-acquisition by the same thread is
+// permitted (recursive read holds), and the holder sets are tracked by
+// thread id so the instrumented layer can detect self-deadlocking upgrades
+// before blocking on them.
+
+#ifndef DIMMUNIX_SYNC_RAW_SHARED_MUTEX_H_
+#define DIMMUNIX_SYNC_RAW_SHARED_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/thread_registry.h"
+
+namespace dimmunix {
+
+class RawSharedMutex {
+ public:
+  RawSharedMutex() = default;
+  RawSharedMutex(const RawSharedMutex&) = delete;
+  RawSharedMutex& operator=(const RawSharedMutex&) = delete;
+
+  // --- Writer side ----------------------------------------------------------
+  void LockExclusive();
+  bool LockExclusiveCancellable(ThreadSlot* slot);
+  bool LockExclusiveUntil(MonoTime deadline, ThreadSlot* slot, bool* canceled);
+  bool TryLockExclusive();
+  void UnlockExclusive();
+
+  // --- Reader side ----------------------------------------------------------
+  void LockShared();
+  bool LockSharedCancellable(ThreadSlot* slot);
+  bool LockSharedUntil(MonoTime deadline, ThreadSlot* slot, bool* canceled);
+  bool TryLockShared();
+  void UnlockShared();
+
+  bool ExclusiveOwnedByCurrentThread() const;
+  // True when the calling thread has at least one outstanding read hold.
+  bool SharedOwnedByCurrentThread() const;
+
+ private:
+  bool ExclusiveFreeLocked() const { return !writer_ && readers_.empty(); }
+  bool SharedFreeLocked() const { return !writer_; }
+  void GrantExclusiveLocked();
+  void GrantSharedLocked();
+  void RegisterCanceler(ThreadSlot* slot);
+  void ClearCanceler(ThreadSlot* slot);
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  bool writer_ = false;
+  std::thread::id writer_id_{};
+  std::vector<std::thread::id> readers_;  // one entry per read hold (recursion)
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_SYNC_RAW_SHARED_MUTEX_H_

@@ -1,0 +1,123 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/sync/shared_mutex.h"
+
+namespace dimmunix {
+
+LockResult SharedMutex::Lock() {
+  if (raw_.ExclusiveOwnedByCurrentThread() || raw_.SharedOwnedByCurrentThread()) {
+    // Re-lock by the writer, or an upgrade while holding a read lock — both
+    // would block on our own hold forever (POSIX undefined; glibc hangs).
+    return LockResult::kSelfDeadlock;
+  }
+  AcquireOp op = runtime_->BeginAcquire(id(), AcquireMode::kExclusive);
+  if (!op.Granted()) {
+    return LockResult::kBroken;
+  }
+  if (raw_.LockExclusiveCancellable(&op.slot())) {
+    op.Commit();
+    return LockResult::kOk;
+  }
+  op.Cancel();
+  runtime_->engine().stats().broken_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return LockResult::kBroken;
+}
+
+bool SharedMutex::TryLock() {
+  if (raw_.ExclusiveOwnedByCurrentThread() || raw_.SharedOwnedByCurrentThread()) {
+    return false;
+  }
+  AcquireOp op = runtime_->TryBeginAcquire(id(), AcquireMode::kExclusive);
+  if (!op.Granted()) {
+    return false;
+  }
+  if (raw_.TryLockExclusive()) {
+    op.Commit();
+    return true;
+  }
+  op.Cancel();
+  return false;
+}
+
+bool SharedMutex::LockFor(Duration timeout) { return LockUntil(Now() + timeout); }
+
+bool SharedMutex::LockUntil(MonoTime deadline) {
+  if (raw_.ExclusiveOwnedByCurrentThread() || raw_.SharedOwnedByCurrentThread()) {
+    return false;
+  }
+  AcquireOp op = runtime_->BeginAcquire(id(), AcquireMode::kExclusive, deadline);
+  if (!op.Granted()) {
+    return false;
+  }
+  bool canceled = false;
+  if (raw_.LockExclusiveUntil(deadline, &op.slot(), &canceled)) {
+    op.Commit();
+    return true;
+  }
+  op.Cancel();
+  return false;
+}
+
+void SharedMutex::Unlock() {
+  runtime_->EndRelease(id());  // release precedes the actual unlock (§5.2)
+  raw_.UnlockExclusive();
+}
+
+LockResult SharedMutex::LockShared() {
+  if (raw_.ExclusiveOwnedByCurrentThread()) {
+    return LockResult::kSelfDeadlock;  // rdlock while writing: EDEADLK
+  }
+  AcquireOp op = runtime_->BeginAcquire(id(), AcquireMode::kShared);
+  if (!op.Granted()) {
+    return LockResult::kBroken;
+  }
+  if (raw_.LockSharedCancellable(&op.slot())) {
+    op.Commit();
+    return LockResult::kOk;
+  }
+  op.Cancel();
+  runtime_->engine().stats().broken_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return LockResult::kBroken;
+}
+
+bool SharedMutex::TryLockShared() {
+  if (raw_.ExclusiveOwnedByCurrentThread()) {
+    return false;
+  }
+  AcquireOp op = runtime_->TryBeginAcquire(id(), AcquireMode::kShared);
+  if (!op.Granted()) {
+    return false;
+  }
+  if (raw_.TryLockShared()) {
+    op.Commit();
+    return true;
+  }
+  op.Cancel();
+  return false;
+}
+
+bool SharedMutex::LockSharedFor(Duration timeout) { return LockSharedUntil(Now() + timeout); }
+
+bool SharedMutex::LockSharedUntil(MonoTime deadline) {
+  if (raw_.ExclusiveOwnedByCurrentThread()) {
+    return false;
+  }
+  AcquireOp op = runtime_->BeginAcquire(id(), AcquireMode::kShared, deadline);
+  if (!op.Granted()) {
+    return false;
+  }
+  bool canceled = false;
+  if (raw_.LockSharedUntil(deadline, &op.slot(), &canceled)) {
+    op.Commit();
+    return true;
+  }
+  op.Cancel();
+  return false;
+}
+
+void SharedMutex::UnlockShared() {
+  runtime_->EndRelease(id());
+  raw_.UnlockShared();
+}
+
+}  // namespace dimmunix

@@ -1,0 +1,81 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Instrumented reader-writer lock — the first lock family beyond exclusive
+// mutexes to ride the acquisition port (src/core/acquire.h). Every writer
+// acquisition runs the protocol in AcquireMode::kExclusive and every reader
+// acquisition in AcquireMode::kShared, so the engine sees reader-writer
+// cycles (writer-vs-writer through a reader, rwlock upgrade deadlocks, the
+// mixed rwlock+mutex patterns of HawkNL/SQLite) while reader-reader
+// coexistence never yields, never forms a cycle, and never produces a
+// signature.
+//
+// Method names follow the house style (Lock/LockShared/...) with
+// std::shared_mutex-compatible lowercase shims, so std::shared_lock,
+// std::unique_lock, and std::lock_guard all work.
+//
+// Upgrade attempts by a thread that already holds a read lock return
+// kSelfDeadlock instead of blocking forever (POSIX leaves this undefined;
+// glibc deadlocks). Genuine multi-thread upgrade races still reach the
+// engine and are detected/avoided like any other cycle.
+
+#ifndef DIMMUNIX_SYNC_SHARED_MUTEX_H_
+#define DIMMUNIX_SYNC_SHARED_MUTEX_H_
+
+#include "src/core/runtime.h"
+#include "src/sync/mutex.h"
+#include "src/sync/raw_shared_mutex.h"
+
+namespace dimmunix {
+
+class SharedMutex {
+ public:
+  explicit SharedMutex(Runtime& runtime = Runtime::Global()) : runtime_(&runtime) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  // --- Writer side ----------------------------------------------------------
+  LockResult Lock();
+  bool TryLock();
+  bool LockFor(Duration timeout);
+  bool LockUntil(MonoTime deadline);
+  void Unlock();
+
+  // --- Reader side ----------------------------------------------------------
+  LockResult LockShared();
+  bool TryLockShared();
+  bool LockSharedFor(Duration timeout);
+  bool LockSharedUntil(MonoTime deadline);
+  void UnlockShared();
+
+  // The execution-scoped identity used in the RAG (the object's address,
+  // like pthreads). Reader and writer sides share it: one lock, two modes.
+  LockId id() const { return reinterpret_cast<LockId>(this); }
+  Runtime& runtime() { return *runtime_; }
+
+  // std::shared_mutex-compatible names, so std::shared_lock / unique_lock /
+  // lock_guard work. Like Mutex::lock(), failures abort loudly — scoped
+  // usage has no channel for a result.
+  void lock() {
+    if (const LockResult result = Lock(); result != LockResult::kOk) {
+      AbortOnLockFailure("SharedMutex::lock", result);
+    }
+  }
+  bool try_lock() { return TryLock(); }
+  void unlock() { Unlock(); }
+  void lock_shared() {
+    if (const LockResult result = LockShared(); result != LockResult::kOk) {
+      AbortOnLockFailure("SharedMutex::lock_shared", result);
+    }
+  }
+  bool try_lock_shared() { return TryLockShared(); }
+  void unlock_shared() { UnlockShared(); }
+
+ private:
+  Runtime* runtime_;
+  RawSharedMutex raw_;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_SYNC_SHARED_MUTEX_H_

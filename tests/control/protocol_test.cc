@@ -46,7 +46,7 @@ void TriggerAvoidance(Runtime& rt) {
   std::thread other([&] {
     const ThreadId tid = rt.RegisterCurrentThread();
     ScopedFrame frame(FrameFromName("reqY"));
-    EXPECT_FALSE(rt.engine().RequestNonblocking(tid, 600));
+    EXPECT_EQ(rt.engine().RequestNonblocking(tid, 600), RequestDecision::kBusy);
   });
   other.join();
   rt.engine().Release(main_tid, 500);
@@ -180,6 +180,33 @@ TEST(ProtocolExecuteTest, RagSnapshotShowsHeldLocks) {
   EXPECT_NE(reply.find("locks=1\n"), std::string::npos);
   EXPECT_NE(reply.find("held_locks=42"), std::string::npos);
   rt.engine().Release(tid, 42);
+}
+
+TEST(ProtocolExecuteTest, RagSnapshotTagsHoldAndRequestModes) {
+  Runtime rt(TestConfig());
+  const ThreadId main_tid = rt.RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("mode_holder"));
+  // Main holds 42 shared; a second thread holds 42 shared too (two shared
+  // holders) and 43 exclusive, then waits for 44 in shared mode.
+  ASSERT_EQ(rt.engine().Request(main_tid, 42, AcquireMode::kShared), RequestDecision::kGo);
+  rt.engine().Acquired(main_tid, 42, AcquireMode::kShared);
+  std::thread other([&] {
+    const ThreadId tid = rt.RegisterCurrentThread();
+    ScopedFrame inner(FrameFromName("mode_other"));
+    ASSERT_EQ(rt.engine().Request(tid, 42, AcquireMode::kShared), RequestDecision::kGo);
+    rt.engine().Acquired(tid, 42, AcquireMode::kShared);
+    ASSERT_EQ(rt.engine().Request(tid, 43), RequestDecision::kGo);
+    rt.engine().Acquired(tid, 43);
+    ASSERT_EQ(rt.engine().Request(tid, 44, AcquireMode::kShared), RequestDecision::kGo);
+  });
+  other.join();
+  rt.monitor().RunOnce();
+
+  const std::string reply = HandleLine(rt, "rag");
+  EXPECT_EQ(reply.rfind("ok\n", 0), 0u);
+  EXPECT_NE(reply.find("held_locks=42:S\n"), std::string::npos) << reply;   // main: shared hold
+  EXPECT_NE(reply.find("42:S,43:X"), std::string::npos) << reply;           // other: both modes
+  EXPECT_NE(reply.find("wait_lock=44 wait_mode=S"), std::string::npos) << reply;
 }
 
 TEST(ProtocolExecuteTest, MalformedLinesBecomeErrReplies) {

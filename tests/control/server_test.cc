@@ -91,7 +91,7 @@ void TriggerAvoidance(Runtime& rt) {
   std::thread other([&] {
     const ThreadId tid = rt.RegisterCurrentThread();
     ScopedFrame frame(FrameFromName("reqY"));
-    EXPECT_FALSE(rt.engine().RequestNonblocking(tid, 600));
+    EXPECT_EQ(rt.engine().RequestNonblocking(tid, 600), RequestDecision::kBusy);
   });
   other.join();
   rt.engine().Release(main_tid, 500);
@@ -109,7 +109,7 @@ bool PatternIsAvoided(Runtime& rt) {
   std::thread other([&] {
     const ThreadId tid = rt.RegisterCurrentThread();
     ScopedFrame frame(FrameFromName("reqY"));
-    if (rt.engine().RequestNonblocking(tid, 600)) {
+    if (rt.engine().RequestNonblocking(tid, 600) == RequestDecision::kGo) {
       rt.engine().CancelRequest(tid, 600);
     } else {
       avoided = true;

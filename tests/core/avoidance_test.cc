@@ -169,7 +169,7 @@ TEST(AvoidanceTest, TryLockReportsBusyInsteadOfYielding) {
   std::thread other([&] {
     const ThreadId tid = rt.RegisterCurrentThread();
     ScopedFrame frame(FrameFromName("reqB"));
-    EXPECT_FALSE(rt.engine().RequestNonblocking(tid, 200));
+    EXPECT_EQ(rt.engine().RequestNonblocking(tid, 200), RequestDecision::kBusy);
   });
   other.join();
   EXPECT_GE(rt.engine().stats().yields.load(), 1u);  // counted as an avoidance
@@ -277,7 +277,7 @@ TEST(AvoidanceTest, MatchDepthControlsGenerality) {
       ScopedFrame outer(FrameFromName("runtimeOuterB"));
       ScopedFrame mid(FrameFromName("mid"));
       ScopedFrame inner(FrameFromName("lockB"));
-      if (!rt.engine().RequestNonblocking(tid, 200)) {
+      if (rt.engine().RequestNonblocking(tid, 200) == RequestDecision::kBusy) {
         yields_seen = 1;
       } else {
         rt.engine().CancelRequest(tid, 200);
@@ -351,10 +351,89 @@ TEST(AvoidanceTest, PetersonGuardWorks) {
   std::thread other([&] {
     const ThreadId tid = rt.RegisterCurrentThread();
     ScopedFrame frame(FrameFromName("reqB"));
-    EXPECT_FALSE(rt.engine().RequestNonblocking(tid, 200));
+    EXPECT_EQ(rt.engine().RequestNonblocking(tid, 200), RequestDecision::kBusy);
   });
   other.join();
   EXPECT_GE(rt.engine().stats().yields.load(), 1u);
+}
+
+TEST(AvoidanceTest, SharedHolderUpgradingRunsTheFullProtocol) {
+  // A shared holder re-requesting shared is reentrant; the same holder
+  // requesting exclusive (an upgrade) is not — it must run avoidance.
+  Runtime rt(TestConfig());
+  const ThreadId tid = rt.RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("upgrade_site"));
+  ASSERT_EQ(rt.engine().Request(tid, 7, AcquireMode::kShared), RequestDecision::kGo);
+  rt.engine().Acquired(tid, 7, AcquireMode::kShared);
+  EXPECT_EQ(rt.engine().Request(tid, 7, AcquireMode::kShared), RequestDecision::kReentrant);
+  EXPECT_EQ(rt.engine().RequestNonblocking(tid, 7, AcquireMode::kExclusive),
+            RequestDecision::kGo);  // upgrade: full protocol (empty history -> GO)
+  rt.engine().CancelRequest(tid, 7, AcquireMode::kExclusive);
+  rt.engine().Release(tid, 7);
+  EXPECT_EQ(rt.engine().SharedHolderCount(7), 0u);
+}
+
+TEST(AvoidanceTest, CommittedUpgradePromotesTheOwnerSet) {
+  // If the raw layer grants an upgrade (sole reader -> writer), the owner
+  // set must flip to exclusive — not record a second "shared" hold.
+  Runtime rt(TestConfig());
+  const ThreadId tid = rt.RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("promote_site"));
+  ASSERT_EQ(rt.engine().Request(tid, 9, AcquireMode::kShared), RequestDecision::kGo);
+  rt.engine().Acquired(tid, 9, AcquireMode::kShared);
+  EXPECT_EQ(rt.engine().SharedHolderCount(9), 1u);
+  ASSERT_EQ(rt.engine().Request(tid, 9, AcquireMode::kExclusive), RequestDecision::kGo);
+  rt.engine().Acquired(tid, 9, AcquireMode::kExclusive);
+  EXPECT_EQ(rt.engine().LockOwner(9), tid);  // promoted
+  EXPECT_EQ(rt.engine().SharedHolderCount(9), 0u);
+  rt.engine().Release(tid, 9);
+  EXPECT_EQ(rt.engine().LockOwner(9), tid);  // one hold remains
+  rt.engine().Release(tid, 9);
+  EXPECT_EQ(rt.engine().LockOwner(9), kInvalidThreadId);
+}
+
+TEST(AvoidanceTest, SharedCoverMayReuseALockAcrossHolders) {
+  // A signature instantiation may visit one lock once per *shared* holder
+  // (an upgrade-race cycle has two hold edges on the same rwlock). Seed the
+  // two shared-hold stacks as a signature and re-create the dangerous
+  // state: one thread holds L shared at rd1; a second thread requesting L
+  // shared at rd2 completes the instance and must be refused.
+  Runtime rt(TestConfig());
+  SeedSignature(rt, "rd1", "rd2");
+  const ThreadId main_tid = rt.RegisterCurrentThread();
+  {
+    ScopedFrame frame(FrameFromName("rd1"));
+    ASSERT_EQ(rt.engine().Request(main_tid, 100, AcquireMode::kShared), RequestDecision::kGo);
+    rt.engine().Acquired(main_tid, 100, AcquireMode::kShared);
+  }
+  std::thread other([&] {
+    const ThreadId tid = rt.RegisterCurrentThread();
+    ScopedFrame frame(FrameFromName("rd2"));
+    EXPECT_EQ(rt.engine().RequestNonblocking(tid, 100, AcquireMode::kShared),
+              RequestDecision::kBusy);
+  });
+  other.join();
+  EXPECT_GE(rt.engine().stats().yields.load(), 1u);
+
+  // An *exclusive* re-use of the same lock never covers two positions: with
+  // the lock held exclusively elsewhere, the same request is a plain GO.
+  Runtime rt2(TestConfig());
+  SeedSignature(rt2, "rd1", "rd2");
+  const ThreadId main2 = rt2.RegisterCurrentThread();
+  {
+    ScopedFrame frame(FrameFromName("rd1"));
+    ASSERT_EQ(rt2.engine().Request(main2, 100), RequestDecision::kGo);
+    rt2.engine().Acquired(main2, 100);
+  }
+  std::thread other2([&] {
+    const ThreadId tid = rt2.RegisterCurrentThread();
+    ScopedFrame frame(FrameFromName("rd2"));
+    EXPECT_EQ(rt2.engine().RequestNonblocking(tid, 100, AcquireMode::kExclusive),
+              RequestDecision::kGo);
+    rt2.engine().CancelRequest(tid, 100, AcquireMode::kExclusive);
+  });
+  other2.join();
+  EXPECT_EQ(rt2.engine().stats().yields.load(), 0u);
 }
 
 }  // namespace

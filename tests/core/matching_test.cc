@@ -42,7 +42,7 @@ bool RefusedOnFreshThread(Runtime& rt, const char* name, LockId lock) {
   std::thread t([&] {
     const ThreadId tid = rt.RegisterCurrentThread();
     ScopedFrame frame(FrameFromName(name));
-    if (!rt.engine().RequestNonblocking(tid, lock)) {
+    if (rt.engine().RequestNonblocking(tid, lock) == RequestDecision::kBusy) {
       refused = true;
     } else {
       rt.engine().CancelRequest(tid, lock);
@@ -160,7 +160,7 @@ TEST(MatchingTest, NewStackInternedAfterCacheBuildIsMatched) {
     const ThreadId tid = rt.RegisterCurrentThread();
     ScopedFrame outer(FrameFromName("obsCallerB"));
     ScopedFrame inner(FrameFromName("obsSite2"));
-    refused = !rt.engine().RequestNonblocking(tid, 200);
+    refused = rt.engine().RequestNonblocking(tid, 200) == RequestDecision::kBusy;
   });
   requester.join();
   EXPECT_TRUE(refused);

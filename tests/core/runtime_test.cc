@@ -51,7 +51,7 @@ void TriggerAvoidance(Runtime& rt) {
   std::thread other([&] {
     const ThreadId tid = rt.RegisterCurrentThread();
     ScopedFrame frame(FrameFromName("reqY"));
-    EXPECT_FALSE(rt.engine().RequestNonblocking(tid, 600));
+    EXPECT_EQ(rt.engine().RequestNonblocking(tid, 600), RequestDecision::kBusy);
   });
   other.join();
   rt.engine().Release(main_tid, 500);
@@ -88,7 +88,7 @@ TEST(RuntimeTest, DisableLastAvoidedSignature) {
   std::thread other([&] {
     const ThreadId tid = rt.RegisterCurrentThread();
     ScopedFrame frame(FrameFromName("reqY"));
-    EXPECT_TRUE(rt.engine().RequestNonblocking(tid, 600));
+    EXPECT_EQ(rt.engine().RequestNonblocking(tid, 600), RequestDecision::kGo);
     rt.engine().CancelRequest(tid, 600);
   });
   other.join();

@@ -23,17 +23,24 @@ namespace {
 #ifndef VICTIM_PATH
 #define VICTIM_PATH ""
 #endif
+#ifndef RWLOCK_VICTIM_PATH
+#define RWLOCK_VICTIM_PATH ""
+#endif
 
-TrialResult RunVictim(const std::string& history) {
+TrialResult RunVictimBinary(const char* victim, const std::string& history) {
   return RunTrial(
       [&] {
         setenv("LD_PRELOAD", PRELOAD_SO_PATH, 1);
         setenv("DIMMUNIX_HISTORY", history.c_str(), 1);
         setenv("DIMMUNIX_TAU_MS", "20", 1);
-        execl(VICTIM_PATH, VICTIM_PATH, static_cast<char*>(nullptr));
+        execl(victim, victim, static_cast<char*>(nullptr));
         return 127;  // exec failed
       },
       std::chrono::seconds(3));
+}
+
+TrialResult RunVictim(const std::string& history) {
+  return RunVictimBinary(VICTIM_PATH, history);
 }
 
 TEST(PreloadTest, UnmodifiedBinaryAcquiresImmunity) {
@@ -54,6 +61,29 @@ TEST(PreloadTest, UnmodifiedBinaryAcquiresImmunity) {
   // Run 2: same binary, same command — now immune.
   TrialResult second = RunVictim(history);
   EXPECT_TRUE(second.completed) << "immunized victim must complete";
+  EXPECT_EQ(second.exit_code, 0);
+  std::remove(history.c_str());
+}
+
+TEST(PreloadTest, UnmodifiedRwlockBinaryAcquiresImmunity) {
+  // Same protocol as above, but the victim deadlocks through
+  // pthread_rwlock_{wrlock,rdlock}: writer-vs-writer through a reader. The
+  // shim's rwlock wrappers run the acquisition port in the right mode, so
+  // the shared/exclusive cycle is detected, persisted, and avoided.
+  ASSERT_TRUE(std::filesystem::exists(PRELOAD_SO_PATH));
+  ASSERT_TRUE(std::filesystem::exists(RWLOCK_VICTIM_PATH));
+  const std::string history =
+      (std::filesystem::temp_directory_path() /
+       ("preload_rwlock_" + std::to_string(::getpid()) + ".hist"))
+          .string();
+  std::remove(history.c_str());
+
+  TrialResult first = RunVictimBinary(RWLOCK_VICTIM_PATH, history);
+  EXPECT_TRUE(first.deadlocked) << "rwlock victim should deadlock on first run";
+  EXPECT_TRUE(std::filesystem::exists(history)) << "signature must be persisted";
+
+  TrialResult second = RunVictimBinary(RWLOCK_VICTIM_PATH, history);
+  EXPECT_TRUE(second.completed) << "immunized rwlock victim must complete";
   EXPECT_EQ(second.exit_code, 0);
   std::remove(history.c_str());
 }

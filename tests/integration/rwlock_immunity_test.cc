@@ -1,0 +1,130 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// End-to-end reader-writer deadlock immunity through the acquisition port
+// (library deployment mode; the LD_PRELOAD path is covered by
+// tests/integration/preload_test.cc): the writer-vs-writer-through-reader
+// cycle and the token-upgrade deadlock of src/apps/rwlock_cycle both
+// deadlock on the first run, persist a signature, and are avoided on the
+// second run — while a reader-only workload never perturbs the engine.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <latch>
+#include <thread>
+#include <vector>
+
+#include "src/apps/rwlock_cycle.h"
+#include "src/benchlib/trial.h"
+
+namespace dimmunix {
+namespace {
+
+constexpr auto kTrialTimeout = std::chrono::seconds(2);
+
+// Runs two opposing paths of the scenario concurrently; returns engine
+// yields (avoidance count) observed in-process.
+template <typename PathA, typename PathB>
+int RunPaths(const Config& base, PathA path_a, PathB path_b) {
+  Config config = base;
+  config.monitor_period = std::chrono::milliseconds(10);
+  Runtime rt(config);
+  RwlockCycle app(rt);
+  app.pause_between_locks = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  };
+  std::latch start(2);
+  std::thread t1([&] {
+    start.arrive_and_wait();
+    (app.*path_a)();
+  });
+  std::thread t2([&] {
+    start.arrive_and_wait();
+    (app.*path_b)();
+  });
+  t1.join();
+  t2.join();
+  return static_cast<int>(rt.engine().stats().yields.load());
+}
+
+class RwlockImmunityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    history_ = (std::filesystem::temp_directory_path() /
+                ("rwlock_immunity_" + std::to_string(::getpid()) + ".hist"))
+                   .string();
+    std::remove(history_.c_str());
+  }
+  void TearDown() override { std::remove(history_.c_str()); }
+
+  // The three-step protocol for one pair of opposing paths.
+  template <typename PathA, typename PathB>
+  void ExpectImmunity(PathA path_a, PathB path_b) {
+    // Run 1 (capture): the exploit deadlocks; the monitor persists the
+    // signature before the harness kills the child.
+    TrialResult capture = RunTrial(
+        [&] {
+          Config config;
+          config.history_path = history_;
+          RunPaths(config, path_a, path_b);
+          return 0;
+        },
+        kTrialTimeout);
+    EXPECT_TRUE(capture.deadlocked) << "exploit should deadlock without immunity";
+    ASSERT_TRUE(std::filesystem::exists(history_)) << "signature must be persisted";
+
+    // Run 2 (immune): completes, with at least one avoidance yield.
+    TrialResult immune = RunTrial(
+        [&] {
+          Config config;
+          config.history_path = history_;
+          const int yields = RunPaths(config, path_a, path_b);
+          return yields > 0 ? 0 : 3;
+        },
+        kTrialTimeout);
+    EXPECT_TRUE(immune.completed) << "immunized run must complete";
+    EXPECT_EQ(immune.exit_code, 0) << "immunized run must actually yield";
+  }
+
+  std::string history_;
+};
+
+TEST_F(RwlockImmunityTest, WriterVsWriterThroughReaderCycle) {
+  ExpectImmunity(&RwlockCycle::UpdateAJoinB, &RwlockCycle::UpdateBJoinA);
+}
+
+TEST_F(RwlockImmunityTest, TokenUpgradeDeadlock) {
+  ExpectImmunity(&RwlockCycle::UpgradeViaToken, &RwlockCycle::ReadThenToken);
+}
+
+TEST_F(RwlockImmunityTest, ReaderOnlyWorkloadIsInvisible) {
+  // Reader-reader coexistence must produce zero yields and zero signatures:
+  // shared-shared edges never conflict, so no cycle and no perturbation.
+  Config config;
+  config.history_path = history_;
+  config.start_monitor = false;
+  Runtime rt(config);
+  RwlockCycle app(rt);
+  app.pause_between_locks = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        app.ReadOnly();
+      }
+    });
+  }
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  rt.monitor().RunOnce();
+  EXPECT_EQ(rt.history().size(), 0u);
+  EXPECT_EQ(rt.engine().stats().yields.load(), 0u);
+  EXPECT_EQ(rt.monitor().stats().deadlocks_detected.load(), 0u);
+}
+
+}  // namespace
+}  // namespace dimmunix

@@ -11,12 +11,14 @@
 namespace dimmunix {
 namespace {
 
-Event Ev(EventType type, ThreadId t, LockId l, StackId s = 0) {
+Event Ev(EventType type, ThreadId t, LockId l, StackId s = 0,
+         AcquireMode mode = AcquireMode::kExclusive) {
   Event event;
   event.type = type;
   event.thread = t;
   event.lock = l;
   event.stack = s;
+  event.mode = mode;
   return event;
 }
 
@@ -28,14 +30,15 @@ Event YieldEv(ThreadId t, LockId l, std::vector<YieldCause> causes) {
 
 class RagTest : public ::testing::Test {
  protected:
-  void Acquire(ThreadId t, LockId l, StackId s) {
-    rag_.Apply(Ev(EventType::kRequest, t, l, s));
-    rag_.Apply(Ev(EventType::kAllow, t, l, s));
-    rag_.Apply(Ev(EventType::kAcquired, t, l, s));
+  void Acquire(ThreadId t, LockId l, StackId s,
+               AcquireMode mode = AcquireMode::kExclusive) {
+    rag_.Apply(Ev(EventType::kRequest, t, l, s, mode));
+    rag_.Apply(Ev(EventType::kAllow, t, l, s, mode));
+    rag_.Apply(Ev(EventType::kAcquired, t, l, s, mode));
   }
-  void Wait(ThreadId t, LockId l, StackId s) {
-    rag_.Apply(Ev(EventType::kRequest, t, l, s));
-    rag_.Apply(Ev(EventType::kAllow, t, l, s));
+  void Wait(ThreadId t, LockId l, StackId s, AcquireMode mode = AcquireMode::kExclusive) {
+    rag_.Apply(Ev(EventType::kRequest, t, l, s, mode));
+    rag_.Apply(Ev(EventType::kAllow, t, l, s, mode));
   }
   Rag rag_;
 };
@@ -118,6 +121,86 @@ TEST_F(RagTest, CancelClearsWaitEdge) {
   Wait(2, 100, 21);
   rag_.Apply(Ev(EventType::kCancel, 2, 100, 21));
   EXPECT_FALSE(rag_.HasWaitEdge(2));
+}
+
+// --- Reader-writer (mode-aware) cycles ----------------------------------------
+
+TEST_F(RagTest, SharedRequestOnSharedHoldersIsNoEdge) {
+  // Readers waiting behind readers can never deadlock: shared-shared is
+  // non-conflicting, so no wait-for edge exists at all.
+  Acquire(1, 100, 10, AcquireMode::kShared);
+  Acquire(2, 100, 20, AcquireMode::kShared);
+  Wait(3, 100, 30, AcquireMode::kShared);
+  EXPECT_TRUE(rag_.DetectDeadlocks().empty());
+}
+
+TEST_F(RagTest, WriterVsWriterThroughReaderCycle) {
+  // T1 holds A exclusively and wants B shared; T2 holds B exclusively and
+  // wants A shared. Each shared request conflicts with the other's
+  // exclusive hold: a two-thread cycle with shared request edges.
+  Acquire(1, 100, 10);                          // T1 holds A (X)
+  Acquire(2, 200, 20);                          // T2 holds B (X)
+  Wait(1, 200, 11, AcquireMode::kShared);       // T1 wants B (S)
+  Wait(2, 100, 21, AcquireMode::kShared);       // T2 wants A (S)
+  auto cycles = rag_.DetectDeadlocks();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].threads.size(), 2u);
+  std::vector<StackId> stacks = cycles[0].stacks;
+  std::sort(stacks.begin(), stacks.end());
+  EXPECT_EQ(stacks, (std::vector<StackId>{10, 20}));  // the exclusive hold labels
+}
+
+TEST_F(RagTest, UpgradeRaceOverOneLockIsACycle) {
+  // Both threads hold L shared and both request it exclusively: each
+  // exclusive request conflicts with the *other* shared holder (the
+  // requester's own hold is not a cycle edge), closing a two-thread cycle
+  // over a single lock.
+  Acquire(1, 100, 10, AcquireMode::kShared);
+  Acquire(2, 100, 20, AcquireMode::kShared);
+  Wait(1, 100, 11, AcquireMode::kExclusive);
+  Wait(2, 100, 21, AcquireMode::kExclusive);
+  auto cycles = rag_.DetectDeadlocks();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].threads.size(), 2u);
+  std::vector<StackId> stacks = cycles[0].stacks;
+  std::sort(stacks.begin(), stacks.end());
+  EXPECT_EQ(stacks, (std::vector<StackId>{10, 20}));  // the shared hold labels
+}
+
+TEST_F(RagTest, SoleUpgraderIsNotACycle) {
+  // A thread upgrading while being the only reader blocks on itself; the
+  // self-hold is not a cycle edge, so this is not reported as a deadlock.
+  Acquire(1, 100, 10, AcquireMode::kShared);
+  Wait(1, 100, 11, AcquireMode::kExclusive);
+  EXPECT_TRUE(rag_.DetectDeadlocks().empty());
+}
+
+TEST_F(RagTest, DistinctCyclesThroughSharedHoldersAreAllReported) {
+  // One exclusive request fanning out to two shared holders can close two
+  // distinct cycles at once; both must be reported in the same batch.
+  Acquire(1, 200, 12);                          // T1 holds M1 (X)
+  Acquire(1, 300, 13);                          // T1 holds M2 (X)
+  Acquire(2, 100, 20, AcquireMode::kShared);    // T2 holds L (S)
+  Acquire(3, 100, 30, AcquireMode::kShared);    // T3 holds L (S)
+  Wait(2, 200, 21);                             // T2 waits for M1 -> T1
+  Wait(3, 300, 31);                             // T3 waits for M2 -> T1
+  Wait(1, 100, 11, AcquireMode::kExclusive);    // T1 waits for L -> {T2, T3}
+  auto cycles = rag_.DetectDeadlocks();
+  ASSERT_EQ(cycles.size(), 2u);
+  for (const DeadlockCycle& cycle : cycles) {
+    EXPECT_EQ(cycle.threads.size(), 2u);
+  }
+}
+
+TEST_F(RagTest, SharedHoldersReleaseIndependently) {
+  Acquire(1, 100, 10, AcquireMode::kShared);
+  Acquire(2, 100, 20, AcquireMode::kShared);
+  rag_.Apply(Ev(EventType::kRelease, 1, 100, 10, AcquireMode::kShared));
+  EXPECT_FALSE(rag_.HoldsAnyLock(1));
+  EXPECT_TRUE(rag_.HoldsAnyLock(2));  // the other reader still holds
+  // A writer waiting now conflicts only with the remaining reader.
+  Wait(3, 100, 30, AcquireMode::kExclusive);
+  EXPECT_TRUE(rag_.DetectDeadlocks().empty());
 }
 
 // --- Starvation (yield cycles) ------------------------------------------------

@@ -6,6 +6,8 @@
 
 #include <thread>
 
+#include "src/stack/annotation.h"
+
 namespace dimmunix {
 namespace {
 
@@ -69,6 +71,39 @@ TEST(CondVarTest, WaitForTimesOut) {
   EXPECT_FALSE(cv.WaitFor(m, std::chrono::milliseconds(30)));
   EXPECT_GE(Now() - start, std::chrono::milliseconds(25));
   m.Unlock();
+}
+
+TEST(CondVarTest, TimedOutWaitReacquiresMutexThroughTheEngine) {
+  // §6: a timed-out wait must re-acquire the mutex through the full
+  // protocol — the release and re-acquire both reach the monitor's RAG.
+  Runtime rt(TestConfig());
+  Mutex m(rt);
+  CondVar cv;
+  const ThreadId tid = rt.RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("condvar::timed_waiter"));
+
+  (void)m.Lock();
+  rt.monitor().RunOnce();
+  EXPECT_EQ(rt.monitor().rag().HeldLockCount(tid), 1);
+  const auto releases_before = rt.engine().stats().releases.load();
+  const auto acquisitions_before = rt.engine().stats().acquisitions.load();
+
+  EXPECT_FALSE(cv.WaitFor(m, std::chrono::milliseconds(30)));  // times out
+
+  // The mutex is held again by the waiter: another thread cannot take it.
+  std::thread prober([&] { EXPECT_FALSE(m.TryLock()); });
+  prober.join();
+  // The release (entering the wait) and re-acquisition (leaving it) went
+  // through the engine, not around it...
+  EXPECT_EQ(rt.engine().stats().releases.load(), releases_before + 1);
+  EXPECT_GE(rt.engine().stats().acquisitions.load(), acquisitions_before + 1);
+  // ...and the monitor's RAG observed the hold handoff.
+  rt.monitor().RunOnce();
+  EXPECT_EQ(rt.monitor().rag().HeldLockCount(tid), 1);
+
+  m.Unlock();
+  rt.monitor().RunOnce();
+  EXPECT_EQ(rt.monitor().rag().HeldLockCount(tid), 0);
 }
 
 TEST(CondVarTest, MutexReleasedDuringWait) {

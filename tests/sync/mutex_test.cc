@@ -36,6 +36,17 @@ TEST(MutexTest, SelfDeadlockIsReported) {
   m.Unlock();
 }
 
+TEST(MutexDeathTest, ScopedLockFailureAbortsLoudly) {
+  // lock() has no channel for a failure result, so scoped misuse must not
+  // silently run the critical section without the lock: it aborts.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Runtime rt(TestConfig());
+  Mutex m(rt);
+  ASSERT_EQ(m.Lock(), LockResult::kOk);
+  EXPECT_DEATH(m.lock(), "self-deadlock");
+  m.Unlock();
+}
+
 TEST(MutexTest, MutualExclusionCounter) {
   Runtime rt(TestConfig());
   Mutex m(rt);
