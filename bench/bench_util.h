@@ -51,6 +51,18 @@ inline void PrintHeader(const char* title, const char* paper_reference) {
   std::printf("==================================================================\n");
 }
 
+// Canonical output path for a machine-readable report: BENCH_<name>.json in
+// the current working directory (CI runs from the repo root, so the
+// trajectory files land at the top level). tools/benchjson accepts --out to
+// override.
+inline std::string BenchJsonPath(const std::string& bench) {
+  return "BENCH_" + bench + ".json";
+}
+
+// Latency sampling rate shared by the JSON-emitting benchmarks: every 16th
+// acquisition, cheap enough to leave on for every measured series.
+inline constexpr int kBenchLatencySampleEvery = 16;
+
 }  // namespace dimmunix
 
 #endif  // DIMMUNIX_BENCH_BENCH_UTIL_H_

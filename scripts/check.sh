@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
 # One-command verification gate: configure + build (warnings are errors) +
-# full ctest run. Later PRs run this before merging.
+# full ctest run. CI and local use share this entry point; the environment
+# selects the matrix cell:
 #
-#   scripts/check.sh              # fresh build in build-check/
-#   BUILD_DIR=build scripts/check.sh   # reuse an existing tree
+#   scripts/check.sh                                # fresh build in build-check/
+#   BUILD_DIR=build scripts/check.sh                # reuse an existing tree
+#   CC=clang CXX=clang++ scripts/check.sh           # compiler matrix
+#   CMAKE_BUILD_TYPE=Release scripts/check.sh       # build-type pass-through
+#   DIMMUNIX_SANITIZE=thread scripts/check.sh       # sanitizer matrix
+#   DIMMUNIX_SANITIZE=address,undefined scripts/check.sh
+#   CTEST_REGEX='^(sync|core|rag)_' scripts/check.sh  # test subset
+#
+# Re-configuring an existing BUILD_DIR with the same flags is a no-op, so CI
+# can cache the build directory across runs (keyed on compiler + CMakeLists).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -11,6 +20,23 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-cmake -B "${BUILD_DIR}" -S . -DDIMMUNIX_WERROR=ON
+CMAKE_ARGS=(-DDIMMUNIX_WERROR=ON)
+if [[ -n "${CMAKE_BUILD_TYPE:-}" ]]; then
+  CMAKE_ARGS+=("-DCMAKE_BUILD_TYPE=${CMAKE_BUILD_TYPE}")
+fi
+if [[ -n "${CC:-}" ]]; then
+  CMAKE_ARGS+=("-DCMAKE_C_COMPILER=${CC}")
+fi
+if [[ -n "${CXX:-}" ]]; then
+  CMAKE_ARGS+=("-DCMAKE_CXX_COMPILER=${CXX}")
+fi
+CMAKE_ARGS+=("-DDIMMUNIX_SANITIZE=${DIMMUNIX_SANITIZE:-}")
+
+CTEST_ARGS=(--output-on-failure -j "${JOBS}")
+if [[ -n "${CTEST_REGEX:-}" ]]; then
+  CTEST_ARGS+=(-R "${CTEST_REGEX}")
+fi
+
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" "${CTEST_ARGS[@]}"

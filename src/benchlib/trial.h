@@ -1,20 +1,34 @@
 // Copyright (c) dimmunix-cpp authors. MIT license.
 //
-// Fork-isolated trial runner.
+// Trial and measurement harness for the paper-reproduction benchmarks.
 //
-// §7.1.1 runs each exploit repeatedly: the unprotected configurations
-// deadlock (the process hangs and must be killed), the immunized
-// configuration completes. Deadlock recovery is "most likely done via
-// restart" (§3) — fork-per-trial reproduces exactly that lifecycle, and the
-// persistent history file carries the immunity from one trial (process
-// incarnation) to the next.
+// Two halves:
+//
+//  * Fork-isolated trials. §7.1.1 runs each exploit repeatedly: the
+//    unprotected configurations deadlock (the process hangs and must be
+//    killed), the immunized configuration completes. Deadlock recovery is
+//    "most likely done via restart" (§3) — fork-per-trial reproduces exactly
+//    that lifecycle, and the persistent history file carries the immunity
+//    from one trial (process incarnation) to the next.
+//
+//  * Machine-readable perf reports. Benchmarks used to print human tables
+//    only, so no tooling could track regressions. BenchReport captures one
+//    benchmark run — per-configuration samples plus aggregate p50/p99
+//    acquisition latency and throughput — and serializes it as the
+//    BENCH_<name>.json schema consumed by CI's bench-smoke job:
+//
+//      {"bench": "fig5", "config": {...}, "samples": [...],
+//       "p50_ns": ..., "p99_ns": ..., "throughput_ops_s": ...}
 
 #ifndef DIMMUNIX_BENCHLIB_TRIAL_H_
 #define DIMMUNIX_BENCHLIB_TRIAL_H_
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/clock.h"
 
@@ -31,6 +45,43 @@ struct TrialResult {
 // waits up to `timeout`, killing the child (SIGKILL) if it is still alive —
 // which the caller interprets as a deadlock.
 TrialResult RunTrial(const std::function<int()>& body, Duration timeout);
+
+// --- Machine-readable perf reports ------------------------------------------
+
+// The percentile of an (unsorted) latency sample set, nearest-rank method.
+// Returns 0 on an empty set. `q` in [0, 1] (0.5 = p50, 0.99 = p99).
+std::uint64_t PercentileNs(std::vector<std::uint64_t> samples, double q);
+
+// One measured configuration of a benchmark (one point on a figure curve).
+struct BenchSample {
+  std::string label;        // e.g. "dimmunix" / "baseline" / "instr"
+  int threads = 0;
+  double throughput_ops_s = 0.0;
+  std::uint64_t ops = 0;
+  double elapsed_s = 0.0;
+  std::uint64_t p50_ns = 0;  // sampled acquisition latency percentiles
+  std::uint64_t p99_ns = 0;
+  std::uint64_t yields = 0;
+};
+
+// One benchmark run. `config` keys/values land verbatim in the JSON config
+// object (values are emitted as JSON strings).
+struct BenchReport {
+  std::string bench;  // "fig5", "fig8"
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<BenchSample> samples;
+  // Aggregates: the headline numbers CI tracks across commits. Callers set
+  // them from the representative sample (benchjson uses the instrumented
+  // run at the highest thread count).
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  double throughput_ops_s = 0.0;
+
+  std::string ToJson() const;
+  // Atomically writes ToJson() to `path` (tmp + rename). Returns false on
+  // I/O failure.
+  bool WriteFile(const std::string& path) const;
+};
 
 }  // namespace dimmunix
 

@@ -78,11 +78,19 @@ WorkloadResult RunWorkload(const WorkloadParams& params) {
   std::atomic<std::uint64_t> total_ops{0};
   std::latch ready(nt + 1);
 
+  const std::uint64_t sample_mask =
+      params.latency_sample_every > 0
+          ? static_cast<std::uint64_t>(params.latency_sample_every) - 1
+          : 0;
+  std::vector<std::vector<std::uint64_t>> per_thread_latencies(
+      static_cast<std::size_t>(nt));
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nt));
   for (int t = 0; t < nt; ++t) {
     threads.emplace_back([&, t] {
       std::mt19937 rng(params.seed + static_cast<std::uint32_t>(t) * 7919u);
+      std::vector<std::uint64_t>& latencies = per_thread_latencies[static_cast<std::size_t>(t)];
       ready.arrive_and_wait();
       std::uint64_t ops = 0;
       while (!stop.load(std::memory_order_relaxed)) {
@@ -102,10 +110,22 @@ WorkloadResult RunWorkload(const WorkloadParams& params) {
             BusySpinMicros(params.delta_in_us);
           }
         };
+        const bool sampled = params.latency_sample_every > 0 && (ops & sample_mask) == 0;
+        const MonoTime acquire_start = sampled ? Now() : MonoTime{};
+        // Called immediately after the acquisition in every mode, so the
+        // three modes' p50/p99 are measured identically.
+        const auto record_latency = [&] {
+          if (sampled) {
+            latencies.push_back(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(Now() - acquire_start)
+                    .count()));
+          }
+        };
         switch (params.mode) {
           case WorkloadMode::kBaseline: {
             RawMutex& m = *raw_locks[static_cast<std::size_t>(lock_index)];
             m.Lock();
+            record_latency();
             hold();
             m.Unlock();
             break;
@@ -113,6 +133,7 @@ WorkloadResult RunWorkload(const WorkloadParams& params) {
           case WorkloadMode::kDimmunix: {
             Mutex& m = *dim_locks[static_cast<std::size_t>(lock_index)];
             m.lock();
+            record_latency();
             hold();
             m.unlock();
             break;
@@ -121,6 +142,7 @@ WorkloadResult RunWorkload(const WorkloadParams& params) {
             GateLockAvoider::Guard gate(*params.gates, site);
             RawMutex& m = *raw_locks[static_cast<std::size_t>(lock_index)];
             m.Lock();
+            record_latency();
             hold();
             m.Unlock();
             break;
@@ -157,6 +179,9 @@ WorkloadResult RunWorkload(const WorkloadParams& params) {
   if (params.mode == WorkloadMode::kDimmunix) {
     result.yields =
         params.runtime->engine().stats().yields.load(std::memory_order_relaxed) - yields_before;
+  }
+  for (std::vector<std::uint64_t>& latencies : per_thread_latencies) {
+    result.latencies_ns.insert(result.latencies_ns.end(), latencies.begin(), latencies.end());
   }
   return result;
 }

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/baseline/gate_lock.h"
 #include "src/common/clock.h"
@@ -51,6 +52,10 @@ struct WorkloadParams {
   bool sleep_outside = false;
   Duration duration = std::chrono::milliseconds(500);
   std::uint32_t seed = 1;
+  // Sample the latency of every Nth lock acquisition (the lock() call alone,
+  // not the critical section) into WorkloadResult::latencies_ns. 0 = off.
+  // Must be a power of two.
+  int latency_sample_every = 0;
   Runtime* runtime = nullptr;          // required for kDimmunix
   GateLockAvoider* gates = nullptr;    // required for kGateLocks
 };
@@ -60,6 +65,8 @@ struct WorkloadResult {
   double ops_per_sec = 0.0;
   std::uint64_t yields = 0;  // engine yields during the run (kDimmunix only)
   double elapsed_sec = 0.0;
+  // Sampled acquisition latencies (ns), merged across threads, unsorted.
+  std::vector<std::uint64_t> latencies_ns;
 };
 
 WorkloadResult RunWorkload(const WorkloadParams& params);

@@ -1,0 +1,93 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Append-only slab with lock-free reads.
+//
+// The stack table and the thread registry are dense-id directories that grow
+// forever and are read on every instrumented lock operation. Guarding the
+// read side with the structure's write lock made those reads a global
+// serialization point. AtomicSlab keeps elements in fixed-size heap blocks
+// addressed through a two-level directory of atomic pointers: Get(i) is two
+// acquire loads and never blocks; Append publishes the element pointer with
+// a release store, so a reader that observes index i observes the fully
+// constructed element.
+//
+// Writers must be externally serialized (callers hold their structure's
+// write lock while appending); readers need no lock at any time. Elements
+// have stable addresses for the slab's lifetime and are destroyed with it.
+
+#ifndef DIMMUNIX_COMMON_ATOMIC_SLAB_H_
+#define DIMMUNIX_COMMON_ATOMIC_SLAB_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+namespace dimmunix {
+
+template <typename T>
+class AtomicSlab {
+ public:
+  static constexpr std::size_t kBlockBits = 9;  // 512 elements per block
+  static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockBits;
+  static constexpr std::size_t kMaxBlocks = 1 << 12;  // 2M elements
+
+  AtomicSlab() = default;
+  AtomicSlab(const AtomicSlab&) = delete;
+  AtomicSlab& operator=(const AtomicSlab&) = delete;
+
+  ~AtomicSlab() {
+    const std::size_t n = size_.load(std::memory_order_acquire);
+    for (std::size_t b = 0; b * kBlockSize < n; ++b) {
+      Block* block = blocks_[b].load(std::memory_order_acquire);
+      const std::size_t in_block =
+          n - b * kBlockSize < kBlockSize ? n - b * kBlockSize : kBlockSize;
+      for (std::size_t i = 0; i < in_block; ++i) {
+        delete block->slots[i].load(std::memory_order_relaxed);
+      }
+      delete block;
+    }
+  }
+
+  // Lock-free. Valid for i < size() as observed by this thread.
+  T* Get(std::size_t i) const {
+    Block* block = blocks_[i >> kBlockBits].load(std::memory_order_acquire);
+    return block->slots[i & (kBlockSize - 1)].load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  // Writer-side only (external serialization required). Constructs T from
+  // `args`, publishes it at index size(), and returns {pointer, index}.
+  // Aborts when the directory is exhausted — silent out-of-bounds writes
+  // are not an option for a structure whose readers take no locks.
+  template <typename... Args>
+  std::pair<T*, std::size_t> Append(Args&&... args) {
+    const std::size_t i = size_.load(std::memory_order_relaxed);
+    if (i >= kMaxBlocks * kBlockSize) {
+      std::abort();
+    }
+    Block* block = blocks_[i >> kBlockBits].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+      block = new Block();
+      blocks_[i >> kBlockBits].store(block, std::memory_order_release);
+    }
+    T* value = new T(std::forward<Args>(args)...);
+    block->slots[i & (kBlockSize - 1)].store(value, std::memory_order_release);
+    size_.store(i + 1, std::memory_order_release);
+    return {value, i};
+  }
+
+ private:
+  struct Block {
+    std::atomic<T*> slots[kBlockSize] = {};
+  };
+
+  std::atomic<std::size_t> size_{0};
+  std::atomic<Block*> blocks_[kMaxBlocks] = {};
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_COMMON_ATOMIC_SLAB_H_

@@ -49,6 +49,7 @@ Config Config::FromEnvironment(Config base) {
   base.yield_timeout =
       std::chrono::milliseconds(EnvLong("DIMMUNIX_YIELD_TIMEOUT_MS", base.yield_timeout.count()));
   base.ignore_yield_decisions = EnvBool("DIMMUNIX_IGNORE_YIELDS", base.ignore_yield_decisions);
+  base.engine_stripes = static_cast<int>(EnvLong("DIMMUNIX_STRIPES", base.engine_stripes));
   if (const char* m = Getenv("DIMMUNIX_IMMUNITY"); m != nullptr) {
     std::string_view s(m);
     if (s == "strong") {

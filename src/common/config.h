@@ -68,12 +68,17 @@ struct Config {
   // Table 1's middle configuration: run full instrumentation + detection but
   // ignore YIELD decisions (never actually pause threads).
   bool ignore_yield_decisions = false;
-  // Guard the shared avoidance state with the generalized Peterson filter
-  // lock (§5.6) instead of a TAS spin lock.
+  // Guard the engine's consistent-view (stop-the-stripes) entry with the
+  // generalized Peterson filter lock (§5.6) instead of a TAS spin lock. The
+  // striped per-shard locks are always TAS spin locks.
   bool use_peterson_guard = false;
   // Maximum threads that may simultaneously run through the engine when the
   // Peterson guard is selected (slot count of the filter lock).
   int peterson_slots = 64;
+  // Number of stripes the engine shards its owner map and Allowed sets
+  // across (rounded up to a power of two). 0 = auto: 2*nproc rounded up to
+  // a power of two. 1 reproduces the pre-striping single-guard engine.
+  int engine_stripes = 0;
 
   // --- History -------------------------------------------------------------
   std::string history_path;       // empty = in-memory only
@@ -93,7 +98,7 @@ struct Config {
   //   DIMMUNIX_HISTORY, DIMMUNIX_TAU_MS, DIMMUNIX_DEPTH, DIMMUNIX_MAX_DEPTH,
   //   DIMMUNIX_IMMUNITY (weak|strong), DIMMUNIX_CALIBRATION (0|1),
   //   DIMMUNIX_YIELD_TIMEOUT_MS, DIMMUNIX_IGNORE_YIELDS (0|1),
-  //   DIMMUNIX_STAGE (instr|data|full),
+  //   DIMMUNIX_STAGE (instr|data|full), DIMMUNIX_STRIPES (0 = auto),
   //   DIMMUNIX_CONTROL (control-socket path, e.g. /tmp/app.dimmunix.sock).
   static Config FromEnvironment();
   static Config FromEnvironment(Config base);

@@ -1,0 +1,128 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Lock striping for the avoidance hot path.
+//
+// The engine used to serialize every request/acquired/release under one
+// global guard; StripedMap shards a keyed map across N power-of-two stripes,
+// each with its own spin lock, so operations on different keys proceed in
+// parallel. The rare paths that need a consistent cross-stripe view (the
+// authoritative signature-instantiation search, signature-cache rebuilds,
+// consistent snapshots for dimctl) take every stripe in ascending index
+// order — the "stop-the-stripes" epoch.
+//
+// Lock-ordering invariant (also documented in README "Performance"): a
+// thread holds at most ONE stripe lock at a time, except the epoch path,
+// which acquires stripe 0..N-1 in ascending order and releases in reverse.
+// Code running under a stripe lock must never block on another stripe or on
+// the epoch.
+
+#ifndef DIMMUNIX_COMMON_STRIPED_MAP_H_
+#define DIMMUNIX_COMMON_STRIPED_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/spin_lock.h"
+
+namespace dimmunix {
+
+// Smallest power of two >= n (n >= 1).
+inline std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Default stripe count: 2*nproc rounded up to a power of two. More stripes
+// than cores keeps the collision probability low when threads outnumber
+// cores (the paper's microbenchmark runs up to 1024 threads).
+inline std::size_t DefaultStripeCount() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  return RoundUpPow2(2 * static_cast<std::size_t>(cores > 0 ? cores : 4));
+}
+
+// Cheap 64-bit mixer (splitmix64 finalizer) — stripe selection must not
+// depend on low-bit patterns of pointers used as LockIds.
+inline std::uint64_t MixHash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// A hash map sharded over `stripes` (rounded up to a power of two)
+// independently locked stripes. Values must tolerate being default
+// constructed on first access (operator[] semantics).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class StripedMap {
+ public:
+  struct Stripe {
+    SpinLock lock;
+    std::unordered_map<Key, Value, Hash> map;
+    // Keep stripes off each other's cache lines: the lock word and the map
+    // header are the contended bytes.
+    char pad[64];
+  };
+
+  explicit StripedMap(std::size_t stripes)
+      : mask_(RoundUpPow2(stripes == 0 ? 1 : stripes) - 1),
+        stripes_(std::make_unique<Stripe[]>(mask_ + 1)) {}
+
+  std::size_t stripe_count() const { return mask_ + 1; }
+
+  std::size_t StripeIndex(const Key& key) const {
+    return static_cast<std::size_t>(MixHash64(static_cast<std::uint64_t>(Hash{}(key)))) & mask_;
+  }
+
+  // Runs `fn(map)` with the key's stripe lock held. `fn` receives the whole
+  // stripe-local unordered_map so callers can find/insert/erase.
+  template <typename Fn>
+  decltype(auto) WithStripe(const Key& key, Fn&& fn) {
+    Stripe& s = stripes_[StripeIndex(key)];
+    std::lock_guard<SpinLock> guard(s.lock);
+    return std::forward<Fn>(fn)(s.map);
+  }
+
+  // Epoch guard: locks every stripe in ascending order; releases in reverse
+  // on destruction. While held, the owner may touch any stripe's map via
+  // map_at() without further locking.
+  class AllStripesGuard {
+   public:
+    explicit AllStripesGuard(StripedMap& owner) : owner_(owner) {
+      for (std::size_t i = 0; i <= owner_.mask_; ++i) {
+        owner_.stripes_[i].lock.Lock();
+      }
+    }
+    ~AllStripesGuard() {
+      for (std::size_t i = owner_.mask_ + 1; i-- > 0;) {
+        owner_.stripes_[i].lock.Unlock();
+      }
+    }
+    AllStripesGuard(const AllStripesGuard&) = delete;
+    AllStripesGuard& operator=(const AllStripesGuard&) = delete;
+
+   private:
+    StripedMap& owner_;
+  };
+
+  // Direct stripe access for AllStripesGuard holders (and tests).
+  std::unordered_map<Key, Value, Hash>& map_at(std::size_t stripe) {
+    return stripes_[stripe].map;
+  }
+  SpinLock& lock_at(std::size_t stripe) { return stripes_[stripe].lock; }
+
+ private:
+  const std::size_t mask_;
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_COMMON_STRIPED_MAP_H_

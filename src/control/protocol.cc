@@ -188,6 +188,7 @@ std::string DoConfig(Runtime& rt) {
   out << "auto_disable_aborts=" << c.auto_disable_aborts << "\n";
   out << "ignore_yield_decisions=" << (c.ignore_yield_decisions ? 1 : 0) << "\n";
   out << "use_peterson_guard=" << (c.use_peterson_guard ? 1 : 0) << "\n";
+  out << "engine_stripes=" << rt.engine().stripe_count() << "\n";
   out << "history_path=" << c.history_path << "\n";
   out << "control_socket_path=" << c.control_socket_path << "\n";
   return out.str();

@@ -10,6 +10,16 @@
 #include "src/stack/capture.h"
 
 namespace dimmunix {
+namespace {
+
+std::size_t StripeCountFor(const Config& config) {
+  if (config.engine_stripes > 0) {
+    return RoundUpPow2(static_cast<std::size_t>(config.engine_stripes));
+  }
+  return DefaultStripeCount();
+}
+
+}  // namespace
 
 AvoidanceEngine::AvoidanceEngine(const Config& config, StackTable* stacks, History* history,
                                  EventQueue* queue)
@@ -18,163 +28,303 @@ AvoidanceEngine::AvoidanceEngine(const Config& config, StackTable* stacks, Histo
       history_(history),
       queue_(queue),
       use_peterson_(config.use_peterson_guard),
-      peterson_guard_(static_cast<std::size_t>(std::max(2, config.peterson_slots))) {
-  stacks_->AddNewStackObserver([this](const StackEntry& entry) { OnNewStack(entry); });
+      peterson_guard_(static_cast<std::size_t>(std::max(2, config.peterson_slots))),
+      slot_stripe_mask_(StripeCountFor(config) - 1),
+      slot_stripes_(std::make_unique<SlotStripe[]>(slot_stripe_mask_ + 1)),
+      lock_owners_(slot_stripe_mask_ + 1) {
+  auto initial = std::make_unique<SigGen>();  // version kStaleVersion, no entries
+  gen_.store(initial.get(), std::memory_order_release);
+  retired_gens_.push_back(std::move(initial));
 }
 
-void AvoidanceEngine::GuardLock(ThreadId thread) {
-  if (use_peterson_) {
-    assert(static_cast<std::size_t>(thread) < peterson_guard_.slots() &&
+AvoidanceEngine::~AvoidanceEngine() = default;
+
+AvoidanceEngine::SlotEpochGuard::SlotEpochGuard(AvoidanceEngine& engine, ThreadId thread)
+    : engine_(engine), thread_(thread) {
+  if (engine_.use_peterson_) {
+    assert(static_cast<std::size_t>(thread_) < engine_.peterson_guard_.slots() &&
            "peterson guard requires thread ids < peterson_slots");
-    peterson_guard_.Lock(static_cast<std::size_t>(thread));
-  } else {
-    spin_guard_.Lock();
+    engine_.peterson_guard_.Lock(static_cast<std::size_t>(thread_));
+  }
+  for (std::size_t i = 0; i <= engine_.slot_stripe_mask_; ++i) {
+    engine_.slot_stripes_[i].lock.Lock();
   }
 }
 
-void AvoidanceEngine::GuardUnlock(ThreadId thread) {
-  if (use_peterson_) {
-    peterson_guard_.Unlock(static_cast<std::size_t>(thread));
-  } else {
-    spin_guard_.Unlock();
+AvoidanceEngine::SlotEpochGuard::~SlotEpochGuard() {
+  for (std::size_t i = engine_.slot_stripe_mask_ + 1; i-- > 0;) {
+    engine_.slot_stripes_[i].lock.Unlock();
+  }
+  if (engine_.use_peterson_) {
+    engine_.peterson_guard_.Unlock(static_cast<std::size_t>(thread_));
   }
 }
 
-AvoidanceEngine::StackSlot& AvoidanceEngine::SlotFor(StackId id) {
-  while (stack_slots_.size() <= static_cast<std::size_t>(id)) {
-    stack_slots_.emplace_back();
+AvoidanceEngine::StackSlot* AvoidanceEngine::SlotFor(StackId id) {
+  const std::size_t want = static_cast<std::size_t>(id);
+  if (want < stack_slots_.size()) {
+    return stack_slots_.Get(want);
   }
-  return stack_slots_[static_cast<std::size_t>(id)];
+  std::lock_guard<SpinLock> guard(slot_growth_lock_);
+  while (stack_slots_.size() <= want) {
+    stack_slots_.Append();
+  }
+  return stack_slots_.Get(want);
 }
 
-void AvoidanceEngine::RemoveTuple(StackId stack, ThreadId thread, LockId lock, bool held) {
-  // Prefer the edge kind being retired: during an upgrade a thread can have
-  // both a shared hold tuple and an exclusive allow tuple for the same lock
-  // in the same slot, and retiring the wrong one would corrupt matching.
-  auto& tuples = SlotFor(stack).tuples;
-  auto fallback = tuples.end();
+std::vector<std::uint32_t> AvoidanceEngine::ComputeMemberships(StackId stack,
+                                                               const SigGen& gen) const {
+  std::vector<std::uint32_t> memberships;
+  for (std::size_t e = 0; e < gen.entries.size(); ++e) {
+    const SigGen::Entry& entry = gen.entries[e];
+    const std::size_t positions =
+        std::min(entry.sig_stacks.size(), std::size_t{1} << kPosBits);
+    for (std::size_t j = 0; j < positions; ++j) {
+      if (stacks_->MatchesAtDepth(stack, entry.sig_stacks[j], entry.depth)) {
+        memberships.push_back(static_cast<std::uint32_t>((e << kPosBits) | j));
+      }
+    }
+  }
+  return memberships;
+}
+
+void AvoidanceEngine::EnsureMemberships(StackId stack, StackSlot* slot, const SigGen& gen) {
+  if (slot->member_version != gen.version) {
+    slot->memberships = ComputeMemberships(stack, gen);
+    slot->member_version = gen.version;
+  }
+}
+
+void AvoidanceEngine::AddTupleLocked(SlotStripe& stripe, StackId stack, StackSlot* slot,
+                                     const AllowedTuple& tuple) {
+  const bool matching = config_.stage == EngineStage::kFull;
+  const SigGen* gen = nullptr;
+  if (matching) {
+    gen = CurrentGen();  // stable: rebuilds need every stripe, we hold one
+    EnsureMemberships(stack, slot, *gen);
+  }
+  slot->tuples.push_back(tuple);
+  if (slot->live_index < 0) {
+    slot->live_index = static_cast<int>(stripe.live.size());
+    stripe.live.push_back(stack);
+  }
+  if (matching) {
+    // seq_cst: pairs with the seq_cst fast-reject loads so two racing
+    // requesters cannot both miss each other's tentative tuple.
+    for (const std::uint32_t pack : slot->memberships) {
+      gen->entries[pack >> kPosBits].live[pack & ((1u << kPosBits) - 1)].fetch_add(
+          1, std::memory_order_seq_cst);
+    }
+  }
+}
+
+void AvoidanceEngine::RemoveTupleLocked(SlotStripe& stripe, StackId stack, StackSlot* slot,
+                                        ThreadId thread, LockId lock, bool held) {
+  auto& tuples = slot->tuples;
+  auto victim = tuples.end();
   for (auto it = tuples.begin(); it != tuples.end(); ++it) {
     if (it->thread == thread && it->lock == lock) {
       if (it->held == held) {
-        tuples.erase(it);
-        return;
+        victim = it;
+        break;
       }
-      if (fallback == tuples.end()) {
-        fallback = it;
+      if (victim == tuples.end()) {
+        victim = it;
       }
     }
   }
-  if (fallback != tuples.end()) {
-    tuples.erase(fallback);
+  if (victim == tuples.end()) {
+    return;
+  }
+  tuples.erase(victim);
+  if (tuples.empty() && slot->live_index >= 0) {
+    // Swap-remove from the stripe's live list.
+    const std::size_t at = static_cast<std::size_t>(slot->live_index);
+    const StackId moved = stripe.live.back();
+    stripe.live[at] = moved;
+    stripe.live.pop_back();
+    if (moved != stack) {
+      stack_slots_.Get(static_cast<std::size_t>(moved))->live_index = static_cast<int>(at);
+    }
+    slot->live_index = -1;
+  }
+  if (config_.stage == EngineStage::kFull) {
+    const SigGen* gen = CurrentGen();
+    // Invariant: a slot that held tuples has memberships current w.r.t. the
+    // published generation (adds refresh lazily; rebuilds visit live slots).
+    EnsureMemberships(stack, slot, *gen);
+    for (const std::uint32_t pack : slot->memberships) {
+      gen->entries[pack >> kPosBits].live[pack & ((1u << kPosBits) - 1)].fetch_sub(
+          1, std::memory_order_seq_cst);
+    }
   }
 }
 
-void AvoidanceEngine::RefreshSigCacheLocked() {
-  const std::uint64_t version = history_->version();
-  if (version == cached_history_version_) {
+void AvoidanceEngine::AddTuple(StackId stack, const AllowedTuple& tuple) {
+  StackSlot* slot = SlotFor(stack);
+  SlotStripe& stripe = StripeOf(stack);
+  std::lock_guard<SpinLock> guard(stripe.lock);
+  AddTupleLocked(stripe, stack, slot, tuple);
+}
+
+void AvoidanceEngine::RemoveTuple(StackId stack, ThreadId thread, LockId lock, bool held) {
+  StackSlot* slot = SlotFor(stack);
+  SlotStripe& stripe = StripeOf(stack);
+  std::lock_guard<SpinLock> guard(stripe.lock);
+  RemoveTupleLocked(stripe, stack, slot, thread, lock, held);
+}
+
+const AvoidanceEngine::SigGen* AvoidanceEngine::AcquireGenRef(ThreadSlot& slot) const {
+  // Classic hazard-pointer protocol: publish, then re-validate. If the
+  // pointer is still current after the (seq_cst) publish, any reclaimer
+  // that later supersedes it must also observe our hazard slot.
+  for (;;) {
+    const SigGen* gen = gen_.load(std::memory_order_seq_cst);
+    slot.sig_gen_hazard.store(gen, std::memory_order_seq_cst);
+    if (gen_.load(std::memory_order_seq_cst) == gen) {
+      return gen;
+    }
+  }
+}
+
+void AvoidanceEngine::RefreshGen() {
+  if (config_.stage != EngineStage::kFull) {
     return;
   }
-  cached_history_version_ = version;
-  sig_cache_.clear();
-  history_->ForEach([this](int index, const Signature& sig) {
+  const ThreadId me = registry_.RegisterCurrentThread();
+  std::lock_guard<SpinLock> sig_guard(sig_mutex_);
+  // Read the version before the signatures: if the history mutates during
+  // the build, the next staleness check triggers another rebuild.
+  const std::uint64_t version = history_->version();
+  if (CurrentGen()->version == version) {
+    return;  // another thread already rebuilt
+  }
+  auto gen = std::make_unique<SigGen>();
+  gen->version = version;
+  history_->ForEach([&gen](int index, const Signature& sig) {
     if (sig.disabled) {
       return;
     }
-    SigCacheEntry entry;
+    SigGen::Entry entry;
     entry.index = index;
     entry.depth = sig.match_depth;
     entry.sig_stacks = sig.stacks;
-    entry.candidates.resize(sig.stacks.size());
-    sig_cache_.push_back(std::move(entry));
+    entry.live = std::make_unique<std::atomic<std::int64_t>[]>(sig.stacks.size());
+    gen->entries.push_back(std::move(entry));
   });
-  // Resolve candidates outside the History lock (MatchingAtDepth takes the
-  // stack-table lock).
-  for (SigCacheEntry& entry : sig_cache_) {
-    for (std::size_t j = 0; j < entry.sig_stacks.size(); ++j) {
-      entry.candidates[j] = stacks_->MatchingAtDepth(entry.sig_stacks[j], entry.depth);
-    }
-  }
-}
-
-void AvoidanceEngine::OnNewStack(const StackEntry& entry) {
-  // Called by StackTable::Intern (no table lock held). Keep per-signature
-  // candidate lists incremental so matching stays O(1) in the number of
-  // interned stacks.
-  GuardLock(registry_.RegisterCurrentThread());
-  for (SigCacheEntry& sig : sig_cache_) {
-    for (std::size_t j = 0; j < sig.sig_stacks.size(); ++j) {
-      if (stacks_->MatchesAtDepth(entry.id, sig.sig_stacks[j], sig.depth)) {
-        auto& cands = sig.candidates[j];
-        if (std::find(cands.begin(), cands.end(), entry.id) == cands.end()) {
-          cands.push_back(entry.id);
+  {
+    // Stop the stripes: recompute every live slot's memberships against the
+    // new generation and seed its per-position live counters, then publish.
+    SlotEpochGuard epoch(*this, me);
+    for (std::size_t s = 0; s <= slot_stripe_mask_; ++s) {
+      for (const StackId id : slot_stripes_[s].live) {
+        StackSlot* slot = stack_slots_.Get(static_cast<std::size_t>(id));
+        slot->memberships = ComputeMemberships(id, *gen);
+        slot->member_version = gen->version;
+        for (const std::uint32_t pack : slot->memberships) {
+          gen->entries[pack >> kPosBits].live[pack & ((1u << kPosBits) - 1)].fetch_add(
+              static_cast<std::int64_t>(slot->tuples.size()), std::memory_order_relaxed);
         }
       }
     }
+    gen_.store(gen.get(), std::memory_order_seq_cst);
+    retired_gens_.push_back(std::move(gen));
+
+    // Reclaim superseded generations. Safe here because (a) we hold every
+    // stripe, so no AddTuple/RemoveTuple/MatchAndRetire holds an old
+    // pointer, and (b) lock-free readers pin theirs via a hazard slot —
+    // published seq_cst before re-validating against gen_, so a reader
+    // whose pointer was still current when it validated is visible to this
+    // scan (its publish precedes our gen_ store in the seq_cst order).
+    const SigGen* current = gen_.load(std::memory_order_relaxed);
+    std::vector<const void*> hazards;
+    const std::size_t threads = registry_.size();
+    hazards.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      const void* hazard = registry_.Slot(static_cast<ThreadId>(t))
+                               .sig_gen_hazard.load(std::memory_order_seq_cst);
+      if (hazard != nullptr) {
+        hazards.push_back(hazard);
+      }
+    }
+    std::erase_if(retired_gens_, [&](const std::unique_ptr<SigGen>& g) {
+      return g.get() != current &&
+             std::find(hazards.begin(), hazards.end(), g.get()) == hazards.end();
+    });
   }
-  GuardUnlock(registry_.RegisterCurrentThread());
 }
 
-bool AvoidanceEngine::CoverPositions(const SigCacheEntry& sig, std::size_t pos,
-                                     std::vector<AllowedTuple>& chosen,
-                                     std::vector<StackId>& chosen_stacks,
-                                     std::unordered_set<ThreadId>& used_threads,
-                                     UsedLocks& used_locks, ThreadId requester, LockId req_lock,
-                                     bool& requester_used) {
-  if (pos == sig.sig_stacks.size()) {
-    return requester_used;  // a valid instance must include the new allow edge
-  }
-  // Prune: if the requester has not been placed yet and no remaining
-  // position could take it, this branch can still succeed only via later
-  // positions — handled naturally by the recursion.
-  for (StackId candidate : sig.candidates[pos]) {
-    const auto& tuples = SlotFor(candidate).tuples;
-    for (const AllowedTuple& tuple : tuples) {
-      if (used_threads.count(tuple.thread) > 0 || !used_locks.CanUse(tuple.lock, tuple.mode)) {
-        continue;
+bool AvoidanceEngine::AnyInstantiationPlausible(const SigGen& gen) const {
+  for (const SigGen::Entry& entry : gen.entries) {
+    if (entry.sig_stacks.empty()) {
+      continue;
+    }
+    bool possible = true;
+    for (std::size_t j = 0; j < entry.sig_stacks.size(); ++j) {
+      // §5.6 fast reject: "in most cases, at least one of these sets is
+      // empty, meaning there is no thread holding a lock in that stack
+      // configuration, so the signature is not instantiated."
+      if (entry.live[j].load(std::memory_order_seq_cst) <= 0) {
+        possible = false;
+        break;
       }
-      const bool is_requester = (tuple.thread == requester && tuple.lock == req_lock);
-      used_threads.insert(tuple.thread);
-      used_locks.Push(tuple.lock, tuple.mode);
-      chosen.push_back(tuple);
-      chosen_stacks.push_back(candidate);
-      if (is_requester) {
-        requester_used = true;
-      }
-      if (CoverPositions(sig, pos + 1, chosen, chosen_stacks, used_threads, used_locks, requester,
-                         req_lock, requester_used)) {
-        return true;
-      }
-      if (is_requester) {
-        requester_used = false;
-      }
-      chosen.pop_back();
-      chosen_stacks.pop_back();
-      used_threads.erase(tuple.thread);
-      used_locks.Pop(tuple.lock);
+    }
+    if (possible) {
+      return true;
     }
   }
   return false;
 }
 
-std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::FindInstantiation(ThreadId thread,
-                                                                               LockId lock,
-                                                                               StackId stack) {
-  (void)stack;  // the tentative tuple is already present in the Allowed sets
-  RefreshSigCacheLocked();
-  for (const SigCacheEntry& sig : sig_cache_) {
-    // Fast reject (§5.6): "in most cases, at least one of these sets is
-    // empty, meaning there is no thread holding a lock in that stack
-    // configuration, so the signature is not instantiated."
+bool AvoidanceEngine::CoverPositions(
+    const SigGen::Entry& sig,
+    const std::vector<std::vector<std::pair<StackId, AllowedTuple>>>& pools, std::size_t pos,
+    std::vector<AllowedTuple>& chosen, std::vector<StackId>& chosen_stacks,
+    std::unordered_set<ThreadId>& used_threads, UsedLocks& used_locks, ThreadId requester,
+    LockId req_lock, bool& requester_used) {
+  if (pos == sig.sig_stacks.size()) {
+    return requester_used;  // a valid instance must include the new allow edge
+  }
+  for (const auto& [candidate, tuple] : pools[pos]) {
+    if (used_threads.count(tuple.thread) > 0 || !used_locks.CanUse(tuple.lock, tuple.mode)) {
+      continue;
+    }
+    const bool is_requester = (tuple.thread == requester && tuple.lock == req_lock);
+    used_threads.insert(tuple.thread);
+    used_locks.Push(tuple.lock, tuple.mode);
+    chosen.push_back(tuple);
+    chosen_stacks.push_back(candidate);
+    if (is_requester) {
+      requester_used = true;
+    }
+    if (CoverPositions(sig, pools, pos + 1, chosen, chosen_stacks, used_threads, used_locks,
+                       requester, req_lock, requester_used)) {
+      return true;
+    }
+    if (is_requester) {
+      requester_used = false;
+    }
+    chosen.pop_back();
+    chosen_stacks.pop_back();
+    used_threads.erase(tuple.thread);
+    used_locks.Pop(tuple.lock);
+  }
+  return false;
+}
+
+std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::MatchAndRetire(
+    ThreadId thread, LockId lock, StackId stack, ThreadSlot& slot, bool yield_on_match) {
+  SlotEpochGuard epoch(*this, thread);
+  // The generation cannot be republished while we hold every stripe.
+  const SigGen& gen = *CurrentGen();
+  for (std::size_t e = 0; e < gen.entries.size(); ++e) {
+    const SigGen::Entry& sig = gen.entries[e];
+    if (sig.sig_stacks.empty()) {
+      continue;
+    }
     bool possible = true;
     for (std::size_t j = 0; j < sig.sig_stacks.size(); ++j) {
-      bool any = false;
-      for (StackId candidate : sig.candidates[j]) {
-        if (!SlotFor(candidate).tuples.empty()) {
-          any = true;
-          break;
-        }
-      }
-      if (!any) {
+      if (sig.live[j].load(std::memory_order_relaxed) <= 0) {
         possible = false;
         break;
       }
@@ -182,13 +332,32 @@ std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::FindInstantiation(T
     if (!possible) {
       continue;
     }
+    // Gather the live tuples that can occupy each position. Iterating live
+    // slots (≈ two per running thread) beats iterating candidate stacks
+    // (every interned stack matching the signature suffix).
+    std::vector<std::vector<std::pair<StackId, AllowedTuple>>> pools(sig.sig_stacks.size());
+    for (std::size_t s = 0; s <= slot_stripe_mask_; ++s) {
+      for (const StackId id : slot_stripes_[s].live) {
+        StackSlot* live_slot = stack_slots_.Get(static_cast<std::size_t>(id));
+        EnsureMemberships(id, live_slot, gen);
+        for (const std::uint32_t pack : live_slot->memberships) {
+          if ((pack >> kPosBits) != e) {
+            continue;
+          }
+          auto& pool = pools[pack & ((1u << kPosBits) - 1)];
+          for (const AllowedTuple& tuple : live_slot->tuples) {
+            pool.emplace_back(id, tuple);
+          }
+        }
+      }
+    }
     std::vector<AllowedTuple> chosen;
     std::vector<StackId> chosen_stacks;
     std::unordered_set<ThreadId> used_threads;
     UsedLocks used_locks;
     bool requester_used = false;
-    if (!CoverPositions(sig, 0, chosen, chosen_stacks, used_threads, used_locks, thread, lock,
-                        requester_used)) {
+    if (!CoverPositions(sig, pools, 0, chosen, chosen_stacks, used_threads, used_locks, thread,
+                        lock, requester_used)) {
       continue;
     }
     MatchResult result;
@@ -198,8 +367,8 @@ std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::FindInstantiation(T
     // calibration fast-path (§5.5).
     int deepest = stacks_->max_depth();
     for (std::size_t j = 0; j < chosen.size(); ++j) {
-      deepest = std::min(deepest,
-                         stacks_->DeepestMatchDepth(chosen_stacks[j], sig.sig_stacks[j]));
+      deepest =
+          std::min(deepest, stacks_->DeepestMatchDepth(chosen_stacks[j], sig.sig_stacks[j]));
     }
     result.deepest = std::max(deepest, sig.depth);
     for (std::size_t j = 0; j < chosen.size(); ++j) {
@@ -208,6 +377,26 @@ std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::FindInstantiation(T
       }
       result.others.push_back(
           YieldCause{chosen[j].thread, chosen[j].lock, chosen_stacks[j], chosen[j].mode});
+    }
+
+    // Retire the tentative allow edge (the YIELD flips it into a request
+    // edge, §5.4) and — in blocking mode — register the yield while the
+    // epoch still excludes releasers: a releaser whose tuple we matched
+    // cannot finish removing it (and thus cannot scan the yield set)
+    // before we are registered, so its wake cannot be lost.
+    RemoveTupleLocked(StripeOf(stack), stack, SlotFor(stack), thread, lock, /*held=*/false);
+    if (yield_on_match) {
+      {
+        std::lock_guard<SpinLock> yield_guard(yield_m_);
+        slot.yielding = true;
+        slot.yield_causes = result.others;
+        yielding_threads_.insert(thread);
+        yield_count_.fetch_add(1, std::memory_order_seq_cst);
+      }
+      {
+        std::lock_guard<std::mutex> park_guard(slot.park_m);
+        slot.wake_pending = false;
+      }
     }
     return result;
   }
@@ -247,18 +436,18 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
       return RequestDecision::kBroken;
     }
 
-    GuardLock(thread);
-
     // Reentrant acquisition can never deadlock; skip avoidance (§6: a thread
     // re-entering a monitor returns immediately). An exclusive owner
     // re-requesting in any mode and a shared holder re-requesting shared are
     // reentrant; a shared holder requesting exclusive is an *upgrade* and
     // runs the full protocol — upgrade cycles are exactly the rwlock
     // deadlocks the engine must see.
-    auto owner_it = lock_owners_.find(lock);
-    if (owner_it != lock_owners_.end() && owner_it->second.HolderFor(thread) != nullptr &&
-        (owner_it->second.mode == AcquireMode::kExclusive || mode == AcquireMode::kShared)) {
-      GuardUnlock(thread);
+    const bool reentrant = lock_owners_.WithStripe(lock, [&](auto& owners) {
+      auto it = owners.find(lock);
+      return it != owners.end() && it->second.HolderFor(thread) != nullptr &&
+             (it->second.mode == AcquireMode::kExclusive || mode == AcquireMode::kShared);
+    });
+    if (reentrant) {
       stats_.reentrant_acquisitions.fetch_add(1, std::memory_order_relaxed);
       return RequestDecision::kReentrant;
     }
@@ -271,30 +460,37 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
     request_ev.mode = mode;
     queue_->Push(request_ev);
 
-    // Tentatively add the allow edge to the RAG cache (§5.4).
-    SlotFor(stack).tuples.push_back(AllowedTuple{thread, lock, false, mode});
+    // Tentatively add the allow edge to the RAG cache (§5.4) — before the
+    // fast reject, so two racing requesters cannot both miss each other.
+    AddTuple(stack, AllowedTuple{thread, lock, false, mode});
     slot.pending_stack = stack;
     slot.pending_lock = lock;
 
     std::optional<MatchResult> match;
-    if (config_.stage == EngineStage::kFull && !slot.skip_avoidance_once) {
-      match = FindInstantiation(thread, lock, stack);
+    const bool skip_once = slot.skip_avoidance_once.exchange(false, std::memory_order_acq_rel);
+    if (config_.stage == EngineStage::kFull && !skip_once) {
+      const SigGen* gen = AcquireGenRef(slot);
+      if (gen->version != history_->version()) {
+        ReleaseGenRef(slot);
+        RefreshGen();
+        gen = AcquireGenRef(slot);
+      }
+      const bool plausible = AnyInstantiationPlausible(*gen);
+      ReleaseGenRef(slot);
+      if (plausible) {
+        match = MatchAndRetire(thread, lock, stack, slot,
+                               /*yield_on_match=*/!config_.ignore_yield_decisions);
+      }
     }
 
     if (!match.has_value() || config_.ignore_yield_decisions) {
       if (match.has_value()) {
         // Table 1's middle configuration: the decision is computed and
-        // counted but not enforced.
+        // counted but not enforced. MatchAndRetire retired the allow edge;
+        // restore it, since the thread proceeds to blocking on the lock.
         stats_.yields.fetch_add(1, std::memory_order_relaxed);
+        AddTuple(stack, AllowedTuple{thread, lock, false, mode});
       }
-      slot.skip_avoidance_once = false;
-      // Keep the allow edge; drop any yield edges we still carried (§5.4).
-      if (slot.yielding) {
-        slot.yielding = false;
-        slot.yield_causes.clear();
-        yielding_threads_.erase(thread);
-      }
-      GuardUnlock(thread);
       Event allow_ev;
       allow_ev.type = EventType::kAllow;
       allow_ev.thread = thread;
@@ -305,17 +501,6 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
       stats_.gos.fetch_add(1, std::memory_order_relaxed);
       return RequestDecision::kGo;
     }
-
-    // YIELD: flip the allow edge into a request edge and pause (§5.4).
-    RemoveTuple(stack, thread, lock, /*held=*/false);
-    slot.yielding = true;
-    slot.yield_causes = match->others;
-    yielding_threads_.insert(thread);
-    {
-      std::lock_guard<std::mutex> park_guard(slot.park_m);
-      slot.wake_pending = false;
-    }
-    GuardUnlock(thread);
 
     Event yield_ev;
     yield_ev.type = EventType::kYield;
@@ -350,11 +535,14 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
 
     const int park_result = Park(slot, deadline);
 
-    GuardLock(thread);
-    slot.yielding = false;
-    slot.yield_causes.clear();
-    yielding_threads_.erase(thread);
-    GuardUnlock(thread);
+    {
+      std::lock_guard<SpinLock> yield_guard(yield_m_);
+      slot.yielding = false;
+      slot.yield_causes.clear();
+      if (yielding_threads_.erase(thread) > 0) {
+        yield_count_.fetch_sub(1, std::memory_order_seq_cst);
+      }
+    }
 
     Event wake_ev;
     wake_ev.type = EventType::kWake;
@@ -379,11 +567,9 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
                             << " auto-disabled: too risky to avoid (abort bound reached)";
       }
       // Proceed despite the danger: the thread is released from the yield.
-      GuardLock(thread);
-      SlotFor(stack).tuples.push_back(AllowedTuple{thread, lock, false, mode});
+      AddTuple(stack, AllowedTuple{thread, lock, false, mode});
       slot.pending_stack = stack;
       slot.pending_lock = lock;
-      GuardUnlock(thread);
       Event allow_ev;
       allow_ev.type = EventType::kAllow;
       allow_ev.thread = thread;
@@ -414,30 +600,41 @@ RequestDecision AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock
   ThreadSlot& slot = registry_.Slot(thread);
   const StackId stack = stacks_->Intern(CaptureStack());
 
-  GuardLock(thread);
-  auto owner_it = lock_owners_.find(lock);
-  if (owner_it != lock_owners_.end() && owner_it->second.HolderFor(thread) != nullptr &&
-      (owner_it->second.mode == AcquireMode::kExclusive || mode == AcquireMode::kShared)) {
-    GuardUnlock(thread);
+  const bool reentrant = lock_owners_.WithStripe(lock, [&](auto& owners) {
+    auto it = owners.find(lock);
+    return it != owners.end() && it->second.HolderFor(thread) != nullptr &&
+           (it->second.mode == AcquireMode::kExclusive || mode == AcquireMode::kShared);
+  });
+  if (reentrant) {
     stats_.reentrant_acquisitions.fetch_add(1, std::memory_order_relaxed);
     return RequestDecision::kReentrant;  // caller resolves against lock kind
   }
-  SlotFor(stack).tuples.push_back(AllowedTuple{thread, lock, false, mode});
+
+  AddTuple(stack, AllowedTuple{thread, lock, false, mode});
   slot.pending_stack = stack;
   slot.pending_lock = lock;
-  std::optional<MatchResult> match;
-  if (config_.stage == EngineStage::kFull) {
-    match = FindInstantiation(thread, lock, stack);
+
+  if (config_.stage == EngineStage::kFull && !config_.ignore_yield_decisions) {
+    const SigGen* gen = AcquireGenRef(slot);
+    if (gen->version != history_->version()) {
+      ReleaseGenRef(slot);
+      RefreshGen();
+      gen = AcquireGenRef(slot);
+    }
+    const bool plausible = AnyInstantiationPlausible(*gen);
+    ReleaseGenRef(slot);
+    if (plausible) {
+      std::optional<MatchResult> match =
+          MatchAndRetire(thread, lock, stack, slot, /*yield_on_match=*/false);
+      if (match.has_value()) {
+        stats_.yields.fetch_add(1, std::memory_order_relaxed);
+        history_->RecordAvoidance(match->signature_index);
+        last_avoided_.store(match->signature_index, std::memory_order_relaxed);
+        return RequestDecision::kBusy;  // refuse to enter the dangerous pattern
+      }
+    }
   }
-  if (match.has_value() && !config_.ignore_yield_decisions) {
-    RemoveTuple(stack, thread, lock, /*held=*/false);
-    GuardUnlock(thread);
-    stats_.yields.fetch_add(1, std::memory_order_relaxed);
-    history_->RecordAvoidance(match->signature_index);
-    last_avoided_.store(match->signature_index, std::memory_order_relaxed);
-    return RequestDecision::kBusy;  // refuse to enter the dangerous pattern
-  }
-  GuardUnlock(thread);
+
   Event allow_ev;
   allow_ev.type = EventType::kAllow;
   allow_ev.thread = thread;
@@ -454,24 +651,38 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock, AcquireMode mode) {
     return;
   }
   ThreadSlot& slot = registry_.Slot(thread);
-  GuardLock(thread);
-  auto owner_it = lock_owners_.find(lock);
   StackId stack = slot.pending_stack;
-  LockHolder* holder =
-      owner_it != lock_owners_.end() ? owner_it->second.HolderFor(thread) : nullptr;
-  if (holder != nullptr) {
-    // Reentrant acquisition (exclusive re-lock or recursive shared hold).
-    ++holder->count;
-    stack = holder->stack;
-    if (mode == AcquireMode::kExclusive && owner_it->second.mode == AcquireMode::kShared) {
-      // A committed upgrade: the raw layer only grants exclusive over our
-      // own shared hold when no other holder exists, so promote the entry
-      // and retire the upgrade request's allow tuple — otherwise the owner
-      // set stays kShared and the tuple lingers as a phantom allow edge.
-      owner_it->second.mode = AcquireMode::kExclusive;
-      if (slot.pending_stack != kInvalidStackId) {
-        RemoveTuple(slot.pending_stack, thread, lock, /*held=*/false);
+  bool already_holding = false;
+  bool upgrade_retire = false;
+  lock_owners_.WithStripe(lock, [&](auto& owners) {
+    auto it = owners.find(lock);
+    LockHolder* holder = it != owners.end() ? it->second.HolderFor(thread) : nullptr;
+    if (holder != nullptr) {
+      // Reentrant acquisition (exclusive re-lock or recursive shared hold).
+      ++holder->count;
+      stack = holder->stack;
+      already_holding = true;
+      if (mode == AcquireMode::kExclusive && it->second.mode == AcquireMode::kShared) {
+        // A committed upgrade: the raw layer only grants exclusive over our
+        // own shared hold when no other holder exists, so promote the entry
+        // and retire the upgrade request's allow tuple — otherwise the owner
+        // set stays kShared and the tuple lingers as a phantom allow edge.
+        it->second.mode = AcquireMode::kExclusive;
+        upgrade_retire = true;
       }
+    } else if (it == owners.end() || mode == AcquireMode::kExclusive) {
+      // Free lock, or an exclusive grant (an exclusive grant implies every
+      // previous holder is gone; replace defensively if events raced).
+      owners[lock] = LockOwnerInfo{mode, {LockHolder{thread, stack, 1}}};
+    } else {
+      // Additional shared holder joins the owner set.
+      it->second.mode = AcquireMode::kShared;
+      it->second.holders.push_back(LockHolder{thread, stack, 1});
+    }
+  });
+  if (already_holding) {
+    if (upgrade_retire && slot.pending_stack != kInvalidStackId) {
+      RemoveTuple(slot.pending_stack, thread, lock, /*held=*/false);
     }
     for (auto& held : slot.held) {
       if (held.lock == lock) {
@@ -480,20 +691,13 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock, AcquireMode mode) {
       }
     }
   } else {
-    if (owner_it == lock_owners_.end() || mode == AcquireMode::kExclusive) {
-      // Free lock, or an exclusive grant (an exclusive grant implies every
-      // previous holder is gone; replace defensively if events raced).
-      lock_owners_[lock] = LockOwnerInfo{mode, {LockHolder{thread, stack, 1}}};
-    } else {
-      // Additional shared holder joins the owner set.
-      owner_it->second.mode = AcquireMode::kShared;
-      owner_it->second.holders.push_back(LockHolder{thread, stack, 1});
-    }
     slot.held.push_back(ThreadSlot::Held{lock, stack, 1});
     // Allow edge -> hold edge in the RAG cache.
-    auto& tuples = SlotFor(stack).tuples;
+    StackSlot* stack_slot = SlotFor(stack);
+    SlotStripe& stripe = StripeOf(stack);
+    std::lock_guard<SpinLock> guard(stripe.lock);
     bool found = false;
-    for (auto& tuple : tuples) {
+    for (auto& tuple : stack_slot->tuples) {
       if (tuple.thread == thread && tuple.lock == lock) {
         tuple.held = true;
         found = true;
@@ -504,11 +708,10 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock, AcquireMode mode) {
       // Stage kInstrumentationOnly does not maintain tuples; kFull always
       // will have inserted one.
       if (config_.stage != EngineStage::kInstrumentationOnly) {
-        tuples.push_back(AllowedTuple{thread, lock, true, mode});
+        AddTupleLocked(stripe, stack, stack_slot, AllowedTuple{thread, lock, true, mode});
       }
     }
   }
-  GuardUnlock(thread);
   Event ev;
   ev.type = EventType::kAcquired;
   ev.thread = thread;
@@ -522,6 +725,7 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock, AcquireMode mode) {
 void AvoidanceEngine::WakeYieldersOf(ThreadId thread, LockId lock, StackId stack) {
   // Wake every thread whose yieldCause contains (thread, lock, stack) — the
   // Java version's yieldLock[Ti].notifyAll() (§6).
+  std::lock_guard<SpinLock> yield_guard(yield_m_);
   for (ThreadId yielder : yielding_threads_) {
     ThreadSlot& yslot = registry_.Slot(yielder);
     bool matches = false;
@@ -548,10 +752,12 @@ void AvoidanceEngine::Release(ThreadId thread, LockId lock) {
   StackId stack = kInvalidStackId;
   AcquireMode mode = AcquireMode::kExclusive;
   bool final_release = false;
-  GuardLock(thread);
-  auto owner_it = lock_owners_.find(lock);
-  if (owner_it != lock_owners_.end()) {
-    LockOwnerInfo& info = owner_it->second;
+  lock_owners_.WithStripe(lock, [&](auto& owners) {
+    auto it = owners.find(lock);
+    if (it == owners.end()) {
+      return;
+    }
+    LockOwnerInfo& info = it->second;
     mode = info.mode;
     if (LockHolder* holder = info.HolderFor(thread); holder != nullptr) {
       stack = holder->stack;
@@ -560,11 +766,11 @@ void AvoidanceEngine::Release(ThreadId thread, LockId lock) {
         final_release = true;
         info.holders.erase(info.holders.begin() + (holder - info.holders.data()));
         if (info.holders.empty()) {
-          lock_owners_.erase(owner_it);
+          owners.erase(it);
         }
       }
     }
-  }
+  });
   for (auto it = slot.held.begin(); it != slot.held.end(); ++it) {
     if (it->lock == lock) {
       if (--it->count <= 0) {
@@ -577,10 +783,14 @@ void AvoidanceEngine::Release(ThreadId thread, LockId lock) {
     RemoveTuple(stack, thread, lock, /*held=*/true);
     // Lock conditions changed in a way that could let yielders make
     // progress (§5.1: "Dimmunix reschedules the paused thread T whenever
-    // lock conditions change").
-    WakeYieldersOf(thread, lock, stack);
+    // lock conditions change"). yield_count_ lets the common no-yielders
+    // case skip the yield-set lock: a yielder that matched our hold tuple
+    // registered before we could remove that tuple (the match holds every
+    // stripe), and the removal above synchronizes with its registration.
+    if (yield_count_.load(std::memory_order_seq_cst) > 0) {
+      WakeYieldersOf(thread, lock, stack);
+    }
   }
-  GuardUnlock(thread);
   Event ev;
   ev.type = EventType::kRelease;
   ev.thread = thread;
@@ -596,12 +806,10 @@ void AvoidanceEngine::CancelRequest(ThreadId thread, LockId lock, AcquireMode mo
     return;
   }
   ThreadSlot& slot = registry_.Slot(thread);
-  GuardLock(thread);
   const StackId stack = slot.pending_stack;
   if (stack != kInvalidStackId) {
     RemoveTuple(stack, thread, lock, /*held=*/false);
   }
-  GuardUnlock(thread);
   Event ev;
   ev.type = EventType::kCancel;
   ev.thread = thread;
@@ -617,9 +825,7 @@ void AvoidanceEngine::BreakYield(ThreadId thread) {
     return;  // synthetic/stale id from the event stream
   }
   ThreadSlot& slot = registry_.Slot(thread);
-  GuardLock(thread);
-  slot.skip_avoidance_once = true;
-  GuardUnlock(thread);
+  slot.skip_avoidance_once.store(true, std::memory_order_release);
   std::lock_guard<std::mutex> park_guard(slot.park_m);
   slot.wake_pending = true;
   slot.park_cv.notify_all();
@@ -649,12 +855,7 @@ void AvoidanceEngine::CancelAcquisition(ThreadId thread) {
 }
 
 void AvoidanceEngine::NotifyHistoryChanged() {
-  history_dirty_.fetch_add(1, std::memory_order_release);
-  // The cache version check happens under the guard in FindInstantiation;
-  // invalidate by resetting the cached version.
-  GuardLock(registry_.RegisterCurrentThread());
-  cached_history_version_ = ~0ULL;
-  GuardUnlock(registry_.RegisterCurrentThread());
+  RefreshGen();
 }
 
 int AvoidanceEngine::Park(ThreadSlot& slot, std::optional<MonoTime> deadline) {
@@ -683,40 +884,57 @@ int AvoidanceEngine::Park(ThreadSlot& slot, std::optional<MonoTime> deadline) {
 
 ThreadId AvoidanceEngine::LockOwner(LockId lock) const {
   auto* self = const_cast<AvoidanceEngine*>(this);
-  const ThreadId me = self->registry_.RegisterCurrentThread();
-  self->GuardLock(me);
-  auto it = lock_owners_.find(lock);
-  const ThreadId owner =
-      (it == lock_owners_.end() || it->second.mode != AcquireMode::kExclusive ||
-       it->second.holders.empty())
-          ? kInvalidThreadId
-          : it->second.holders.front().thread;
-  self->GuardUnlock(me);
-  return owner;
+  return self->lock_owners_.WithStripe(lock, [&](auto& owners) {
+    auto it = owners.find(lock);
+    return (it == owners.end() || it->second.mode != AcquireMode::kExclusive ||
+            it->second.holders.empty())
+               ? kInvalidThreadId
+               : it->second.holders.front().thread;
+  });
 }
 
 std::size_t AvoidanceEngine::SharedHolderCount(LockId lock) const {
   auto* self = const_cast<AvoidanceEngine*>(this);
-  const ThreadId me = self->registry_.RegisterCurrentThread();
-  self->GuardLock(me);
-  auto it = lock_owners_.find(lock);
-  const std::size_t n = (it == lock_owners_.end() || it->second.mode != AcquireMode::kShared)
-                            ? 0
-                            : it->second.holders.size();
-  self->GuardUnlock(me);
-  return n;
+  return self->lock_owners_.WithStripe(lock, [&](auto& owners) {
+    auto it = owners.find(lock);
+    return (it == owners.end() || it->second.mode != AcquireMode::kShared)
+               ? std::size_t{0}
+               : it->second.holders.size();
+  });
 }
 
 std::size_t AvoidanceEngine::AllowedCount(StackId id) const {
   auto* self = const_cast<AvoidanceEngine*>(this);
-  const ThreadId me = self->registry_.RegisterCurrentThread();
-  self->GuardLock(me);
-  std::size_t n = 0;
-  if (static_cast<std::size_t>(id) < stack_slots_.size()) {
-    n = stack_slots_[static_cast<std::size_t>(id)].tuples.size();
+  if (static_cast<std::size_t>(id) >= self->stack_slots_.size()) {
+    return 0;
   }
-  self->GuardUnlock(me);
-  return n;
+  StackSlot* slot = self->stack_slots_.Get(static_cast<std::size_t>(id));
+  SlotStripe& stripe = self->StripeOf(id);
+  std::lock_guard<SpinLock> guard(stripe.lock);
+  return slot->tuples.size();
+}
+
+EngineView AvoidanceEngine::Snapshot() {
+  const ThreadId me = registry_.RegisterCurrentThread();
+  EngineView view;
+  view.stripes = stripe_count();
+  {
+    SlotEpochGuard epoch(*this, me);
+    view.signature_generation = CurrentGen()->version;
+    for (std::size_t s = 0; s <= slot_stripe_mask_; ++s) {
+      view.live_stacks += slot_stripes_[s].live.size();
+      for (const StackId id : slot_stripes_[s].live) {
+        view.allowed_tuples += stack_slots_.Get(static_cast<std::size_t>(id))->tuples.size();
+      }
+    }
+    StripedMap<LockId, LockOwnerInfo>::AllStripesGuard owners(lock_owners_);
+    for (std::size_t s = 0; s < lock_owners_.stripe_count(); ++s) {
+      view.tracked_locks += lock_owners_.map_at(s).size();
+    }
+  }
+  view.yielding_threads = static_cast<std::size_t>(
+      std::max(0, yield_count_.load(std::memory_order_seq_cst)));
+  return view;
 }
 
 }  // namespace dimmunix

@@ -9,22 +9,59 @@
 // work (cycle detection, history file I/O, calibration verdicts) is done
 // asynchronously by the monitor, which consumes the events this class
 // enqueues.
+//
+// Concurrency design (the striped hot path)
+// -----------------------------------------
+// The engine used to serialize every entry point under one global guard.
+// It now shards its mutable state:
+//
+//  * lock_owners_       — StripedMap keyed by LockId hash.
+//  * Allowed-set slots  — dense per-StackId slots in an append-only slab,
+//                         each guarded by the slot stripe chosen by StackId
+//                         hash; a per-stripe list tracks slots that
+//                         currently have tuples ("live" slots).
+//  * EngineStats        — sharded counters (src/common/sharded_counter.h).
+//  * stack interning    — lock-free in StackTable.
+//  * yield set          — a dedicated small lock (yield_m_); releasers skip
+//                         it entirely while no thread is yielding.
+//
+// A hot-path operation holds at most one stripe lock at a time. The only
+// paths that need a consistent cross-stripe view take the "stop-the-
+// stripes" epoch — every slot stripe in ascending order (optionally behind
+// the §5.6 Peterson filter): the authoritative signature-instantiation
+// search, signature-cache rebuilds after a history change, and Snapshot().
+//
+// Matching stays off the epoch in the common case: each signature-cache
+// generation keeps one atomic live-tuple counter per signature position,
+// maintained by tuple add/remove under slot stripe locks with seq_cst RMWs.
+// A request first bumps its own tentative tuple, then reads the counters
+// (the store-buffer litmus guarantees two racing requesters cannot both
+// miss each other), and only enters the epoch when every position of some
+// signature is live — i.e. when an instantiation is actually plausible.
+//
+// Lock ordering (outermost first):
+//   sig_mutex_ -> slot stripes (ascending) -> owner stripes (ascending)
+//     -> yield_m_ -> ThreadSlot::park_m
+// with single-stripe holders never taking a second stripe, and the history
+// and stack-table locks used only as leaves.
 
 #ifndef DIMMUNIX_CORE_AVOIDANCE_H_
 #define DIMMUNIX_CORE_AVOIDANCE_H_
 
+#include <atomic>
 #include <chrono>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/atomic_slab.h"
 #include "src/common/clock.h"
 #include "src/common/config.h"
 #include "src/common/peterson_lock.h"
 #include "src/common/spin_lock.h"
+#include "src/common/striped_map.h"
 #include "src/core/stats.h"
 #include "src/core/thread_registry.h"
 #include "src/event/event_queue.h"
@@ -42,9 +79,21 @@ enum class RequestDecision {
   kBusy,       // nonblocking only: acquiring would instantiate a signature
 };
 
+// Epoch-consistent summary of the engine's sharded state (dimctl `status`,
+// stress tests). Produced by AvoidanceEngine::Snapshot().
+struct EngineView {
+  std::size_t stripes = 0;          // slot/owner stripe count
+  std::size_t tracked_locks = 0;    // owner-map entries across all stripes
+  std::size_t live_stacks = 0;      // stack slots with at least one tuple
+  std::size_t allowed_tuples = 0;   // total tuples across all Allowed sets
+  std::size_t yielding_threads = 0;
+  std::uint64_t signature_generation = 0;  // history version the cache matches
+};
+
 class AvoidanceEngine {
  public:
   AvoidanceEngine(const Config& config, StackTable* stacks, History* history, EventQueue* queue);
+  ~AvoidanceEngine();
 
   AvoidanceEngine(const AvoidanceEngine&) = delete;
   AvoidanceEngine& operator=(const AvoidanceEngine&) = delete;
@@ -95,7 +144,9 @@ class AvoidanceEngine {
   void CancelAcquisition(ThreadId thread);
 
   // The history changed (signature added / disabled / depth changed):
-  // invalidate the matching caches.
+  // eagerly rebuild the signature-cache generation. (The hot path would
+  // also notice the version change lazily; the eager rebuild keeps
+  // control-plane mutations deterministic.)
   void NotifyHistoryChanged();
 
   // --- Introspection -----------------------------------------------------------
@@ -103,6 +154,7 @@ class AvoidanceEngine {
   ThreadRegistry& registry() { return registry_; }
   EngineStats& stats() { return stats_; }
   const Config& config() const { return config_; }
+  std::size_t stripe_count() const { return slot_stripe_mask_ + 1; }
   // Index of the most recently avoided signature, -1 if none yet. Supports
   // the §5.7 "disable the last avoided signature" user workflow (the
   // pop-up-blocker analogy).
@@ -117,6 +169,8 @@ class AvoidanceEngine {
   std::size_t SharedHolderCount(LockId lock) const;
   // Number of (thread, lock) tuples currently in stack `id`'s Allowed set.
   std::size_t AllowedCount(StackId id) const;
+  // Stop-the-stripes consistent summary (control plane, tests).
+  EngineView Snapshot();
 
  private:
   struct AllowedTuple {
@@ -129,9 +183,21 @@ class AvoidanceEngine {
   // Per interned stack: the paper's Allowed set ("handles to all the threads
   // that are permitted to wait for locks while having call stack S;
   // Allowed includes those threads that have acquired and still hold the
-  // locks", §5.6).
+  // locks", §5.6). Guarded by the slot stripe chosen by StackId hash.
   struct StackSlot {
     std::vector<AllowedTuple> tuples;
+    // Position in the owning stripe's live-slot list; -1 while empty.
+    int live_index = -1;
+    // Which signature positions of which cache generation this stack can
+    // occupy, packed as (entry_index << kPosBits) | position. Recomputed
+    // lazily when the generation changes.
+    std::uint64_t member_version = kStaleVersion;
+    std::vector<std::uint32_t> memberships;
+  };
+
+  struct alignas(64) SlotStripe {
+    SpinLock lock;
+    std::vector<StackId> live;  // slots in this stripe with tuples
   };
 
   // Mode-aware owner set: one exclusive owner XOR n shared holders, each
@@ -183,13 +249,24 @@ class AvoidanceEngine {
     }
   };
 
-  // Cached, pre-resolved view of one active signature.
-  struct SigCacheEntry {
-    int index = -1;  // position in History
-    int depth = 4;
-    std::vector<StackId> sig_stacks;
-    // candidates[j] = interned stacks matching sig_stacks[j] at `depth`.
-    std::vector<std::vector<StackId>> candidates;
+  // One immutable generation of the signature cache. Generations are built
+  // under sig_mutex_ + the epoch and published via an atomic pointer;
+  // superseded generations are reclaimed by the next rebuild, sparing any
+  // still pinned by a reader's hazard pointer (AcquireGenRef). Only the
+  // per-position live counters mutate after publication.
+  static constexpr std::uint64_t kStaleVersion = ~0ULL;
+  static constexpr unsigned kPosBits = 10;  // max 1024 stacks per signature
+  struct SigGen {
+    std::uint64_t version = kStaleVersion;  // History::version() it reflects
+    struct Entry {
+      int index = -1;  // position in History
+      int depth = 4;
+      std::vector<StackId> sig_stacks;
+      // live[j] = tuples currently present in slots matching sig_stacks[j]
+      // at `depth`. seq_cst add/remove + seq_cst fast-reject reads.
+      std::unique_ptr<std::atomic<std::int64_t>[]> live;
+    };
+    std::vector<Entry> entries;
   };
 
   struct MatchResult {
@@ -199,30 +276,86 @@ class AvoidanceEngine {
     std::vector<YieldCause> others;   // the signature instance minus the requester
   };
 
-  // Engine guard: one mechanism chosen at construction (§5.6 uses a
-  // generalized Peterson algorithm; we support it and a TAS spin lock).
-  void GuardLock(ThreadId thread);
-  void GuardUnlock(ThreadId thread);
+  // Locks every slot stripe in ascending order (behind the Peterson filter
+  // when configured); the holder has a consistent view of all Allowed sets.
+  class SlotEpochGuard {
+   public:
+    SlotEpochGuard(AvoidanceEngine& engine, ThreadId thread);
+    ~SlotEpochGuard();
+    SlotEpochGuard(const SlotEpochGuard&) = delete;
+    SlotEpochGuard& operator=(const SlotEpochGuard&) = delete;
 
-  StackSlot& SlotFor(StackId id);  // grows stack_slots_; guard held
-  // Removes (thread, lock)'s tuple from `stack`'s slot, preferring the edge
-  // kind being retired (held: hold edge; !held: allow edge). Guard held.
-  void RemoveTuple(StackId stack, ThreadId thread, LockId lock, bool held);  // guard held
-  void RefreshSigCacheLocked();
-  void OnNewStack(const StackEntry& entry);
+   private:
+    AvoidanceEngine& engine_;
+    ThreadId thread_;
+  };
 
-  // Searches for an instantiation of any cached signature that includes the
-  // tentative tuple (thread, lock, stack). Guard held.
-  std::optional<MatchResult> FindInstantiation(ThreadId thread, LockId lock, StackId stack);
-  bool CoverPositions(const SigCacheEntry& sig, std::size_t pos,
-                      std::vector<AllowedTuple>& chosen, std::vector<StackId>& chosen_stacks,
+  SlotStripe& StripeOf(StackId stack) {
+    return slot_stripes_[static_cast<std::size_t>(
+        MixHash64(static_cast<std::uint64_t>(stack))) & slot_stripe_mask_];
+  }
+
+  // Slot accessor; creates slots up to `id` (serialized internally). The
+  // returned pointer is stable; contents are guarded by StripeOf(id).
+  StackSlot* SlotFor(StackId id);
+
+  // Tuple bookkeeping. Caller must hold StripeOf(stack). These maintain the
+  // stripe live list and the generation's per-position live counters.
+  void AddTupleLocked(SlotStripe& stripe, StackId stack, StackSlot* slot,
+                      const AllowedTuple& tuple);
+  // Removes (thread, lock)'s tuple, preferring the edge kind being retired
+  // (held: hold edge; !held: allow edge) — during an upgrade a thread can
+  // have both a shared hold tuple and an exclusive allow tuple for the same
+  // lock in the same slot.
+  void RemoveTupleLocked(SlotStripe& stripe, StackId stack, StackSlot* slot,
+                         ThreadId thread, LockId lock, bool held);
+  // Convenience: lock the stripe, run the op.
+  void AddTuple(StackId stack, const AllowedTuple& tuple);
+  void RemoveTuple(StackId stack, ThreadId thread, LockId lock, bool held);
+
+  // Refreshes `slot`'s membership cache against `gen` if stale. Caller
+  // holds the slot's stripe.
+  void EnsureMemberships(StackId stack, StackSlot* slot, const SigGen& gen);
+  std::vector<std::uint32_t> ComputeMemberships(StackId stack, const SigGen& gen) const;
+
+  // The current cache generation (never null). Stable while the caller
+  // holds any slot stripe (rebuilds — and generation reclamation — require
+  // all of them).
+  const SigGen* CurrentGen() const { return gen_.load(std::memory_order_acquire); }
+  // Lock-free generation access for callers that hold NO stripe: publishes
+  // the pointer in the slot's hazard slot so RefreshGen's reclamation
+  // spares it. Pair with ReleaseGenRef.
+  const SigGen* AcquireGenRef(ThreadSlot& slot) const;
+  static void ReleaseGenRef(ThreadSlot& slot) {
+    slot.sig_gen_hazard.store(nullptr, std::memory_order_release);
+  }
+  // Rebuilds the generation if stale w.r.t. the history version, then
+  // frees retired generations no thread still references.
+  void RefreshGen();
+
+  // Fast reject (§5.6): true when every position of at least one signature
+  // has a live tuple — only then can an instantiation exist. Lock-free.
+  bool AnyInstantiationPlausible(const SigGen& gen) const;
+
+  // Authoritative search under the epoch. On a match in blocking mode
+  // (yield_on_match), atomically retires the requester's allow tuple and
+  // registers the yield; in nonblocking mode only retires the tuple.
+  std::optional<MatchResult> MatchAndRetire(ThreadId thread, LockId lock, StackId stack,
+                                            ThreadSlot& slot, bool yield_on_match);
+
+  bool CoverPositions(const SigGen::Entry& sig,
+                      const std::vector<std::vector<std::pair<StackId, AllowedTuple>>>& pools,
+                      std::size_t pos, std::vector<AllowedTuple>& chosen,
+                      std::vector<StackId>& chosen_stacks,
                       std::unordered_set<ThreadId>& used_threads, UsedLocks& used_locks,
                       ThreadId requester, LockId req_lock, bool& requester_used);
 
   // Parks the calling thread until woken, canceled, or timed out.
   // Returns: 0 woken, 1 timeout(yield bound), 2 broken, 3 deadline.
   int Park(ThreadSlot& slot, std::optional<MonoTime> deadline);
-  void WakeYieldersOf(ThreadId thread, LockId lock, StackId stack);  // guard held
+  // Wakes every yielder whose causes include (thread, lock, stack). Takes
+  // yield_m_; callers should skip via yield_count_ when nothing yields.
+  void WakeYieldersOf(ThreadId thread, LockId lock, StackId stack);
 
   const Config config_;
   StackTable* stacks_;
@@ -233,15 +366,27 @@ class AvoidanceEngine {
 
   const bool use_peterson_;
   PetersonLock peterson_guard_;
-  SpinLock spin_guard_;
 
-  // --- State below is guarded by the engine guard ---------------------------
-  std::deque<StackSlot> stack_slots_;  // indexed by StackId
-  std::unordered_map<LockId, LockOwnerInfo> lock_owners_;
-  std::unordered_set<ThreadId> yielding_threads_;
-  std::vector<SigCacheEntry> sig_cache_;
-  std::uint64_t cached_history_version_ = ~0ULL;
-  std::atomic<std::uint64_t> history_dirty_{1};
+  // --- Striped state ---------------------------------------------------------
+  const std::size_t slot_stripe_mask_;
+  std::unique_ptr<SlotStripe[]> slot_stripes_;
+  AtomicSlab<StackSlot> stack_slots_;
+  SpinLock slot_growth_lock_;  // serializes slab appends
+  StripedMap<LockId, LockOwnerInfo> lock_owners_;
+
+  // --- Signature cache generations ------------------------------------------
+  SpinLock sig_mutex_;  // serializes RefreshGen
+  std::atomic<const SigGen*> gen_;
+  // Current + superseded generations. Guarded by sig_mutex_; superseded
+  // entries are freed by the next rebuild once no hazard pointer (and no
+  // stripe holder — the rebuild owns the epoch) can still reference them.
+  std::vector<std::unique_ptr<SigGen>> retired_gens_;
+
+  // --- Yield set -------------------------------------------------------------
+  SpinLock yield_m_;
+  std::unordered_set<ThreadId> yielding_threads_;  // guarded by yield_m_
+  std::atomic<int> yield_count_{0};  // == yielding_threads_.size()
+
   std::atomic<int> last_avoided_{-1};
 };
 

@@ -3,16 +3,22 @@
 // Engine-wide counters surfaced to benchmarks (yields/second in Figure 5,
 // FP counts in Figure 9), to tests, and to the control plane.
 //
-// Each counter is individually atomic, and Snapshot() materializes a plain
-// struct of simultaneous loads so readers on other threads (notably the
-// control server's `stats` command) work with one coherent copy instead of
-// re-loading fields at different instants.
+// Engine counters are sharded across cache lines (ShardedCounter): they are
+// bumped several times per instrumented lock operation from every
+// application thread, and a single atomic per counter would put a contended
+// cache line back on the striped hot path. Increments stay exact — each
+// lands on one shard — and Snapshot()/load() folds the shards into plain
+// values, so readers on other threads (notably the control server's `stats`
+// command) work with one coherent copy. Monitor counters are only written
+// by the monitor thread and stay plain atomics.
 
 #ifndef DIMMUNIX_CORE_STATS_H_
 #define DIMMUNIX_CORE_STATS_H_
 
 #include <atomic>
 #include <cstdint>
+
+#include "src/common/sharded_counter.h"
 
 namespace dimmunix {
 
@@ -48,22 +54,22 @@ struct MonitorStatsSnapshot {
 };
 
 struct EngineStats {
-  std::atomic<std::uint64_t> requests{0};
-  std::atomic<std::uint64_t> gos{0};
-  std::atomic<std::uint64_t> yields{0};
-  std::atomic<std::uint64_t> wakes{0};
-  std::atomic<std::uint64_t> yield_timeouts{0};
-  std::atomic<std::uint64_t> reentrant_acquisitions{0};
-  std::atomic<std::uint64_t> acquisitions{0};
-  std::atomic<std::uint64_t> releases{0};
-  std::atomic<std::uint64_t> trylock_cancels{0};
-  std::atomic<std::uint64_t> broken_acquisitions{0};
-  std::atomic<std::uint64_t> signatures_disabled{0};
+  ShardedCounter requests;
+  ShardedCounter gos;
+  ShardedCounter yields;
+  ShardedCounter wakes;
+  ShardedCounter yield_timeouts;
+  ShardedCounter reentrant_acquisitions;
+  ShardedCounter acquisitions;
+  ShardedCounter releases;
+  ShardedCounter trylock_cancels;
+  ShardedCounter broken_acquisitions;
+  ShardedCounter signatures_disabled;
   // Figure 9 accounting: a yield whose signature cover still matches at the
   // maximum depth is a depth-true positive; one that matches only at the
   // (shallower) configured depth is a depth-false positive.
-  std::atomic<std::uint64_t> depth_true_yields{0};
-  std::atomic<std::uint64_t> depth_fp_yields{0};
+  ShardedCounter depth_true_yields;
+  ShardedCounter depth_fp_yields;
 
   EngineStatsSnapshot Snapshot() const {
     EngineStatsSnapshot s;

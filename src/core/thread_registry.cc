@@ -33,33 +33,12 @@ ThreadId ThreadRegistry::RegisterCurrentThread() {
   ThreadId id;
   {
     std::lock_guard<SpinLock> guard(lock_);
-    id = static_cast<ThreadId>(slots_.size());
-    auto slot = std::make_unique<ThreadSlot>();
+    auto [slot, index] = slots_.Append();
+    id = static_cast<ThreadId>(index);
     slot->id = id;
-    slots_.push_back(std::move(slot));
   }
   tls_ids.push_back(TlsEntry{uid_, id});
   return id;
-}
-
-ThreadSlot& ThreadRegistry::Slot(ThreadId id) {
-  std::lock_guard<SpinLock> guard(lock_);
-  return *slots_[static_cast<std::size_t>(id)];
-}
-
-const ThreadSlot& ThreadRegistry::Slot(ThreadId id) const {
-  std::lock_guard<SpinLock> guard(lock_);
-  return *slots_[static_cast<std::size_t>(id)];
-}
-
-bool ThreadRegistry::Contains(ThreadId id) const {
-  std::lock_guard<SpinLock> guard(lock_);
-  return id >= 0 && static_cast<std::size_t>(id) < slots_.size();
-}
-
-std::size_t ThreadRegistry::size() const {
-  std::lock_guard<SpinLock> guard(lock_);
-  return slots_.size();
 }
 
 }  // namespace dimmunix

@@ -15,12 +15,12 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "src/common/atomic_slab.h"
 #include "src/common/spin_lock.h"
 #include "src/event/event.h"
 
@@ -34,10 +34,14 @@ struct ThreadSlot {
   std::condition_variable park_cv;
   bool wake_pending = false;  // guarded by park_m
 
-  // --- Avoidance state (guarded by the engine guard) ------------------------
+  // --- Avoidance state -------------------------------------------------------
+  // yield_causes/yielding are guarded by the engine's yield-set lock (they
+  // are read by releasers waking yielders); pending_* and held are touched
+  // only by the owning thread; skip_avoidance_once is set by the monitor's
+  // starvation breaker and consumed by the owner, hence atomic.
   std::vector<YieldCause> yield_causes;  // yieldCause[T]
   bool yielding = false;
-  bool skip_avoidance_once = false;  // set when starvation is broken for T
+  std::atomic<bool> skip_avoidance_once{false};  // set when starvation is broken for T
   StackId pending_stack = kInvalidStackId;  // stack captured at Request time
   LockId pending_lock = kInvalidLockId;
 
@@ -47,6 +51,13 @@ struct ThreadSlot {
     int count = 0;
   };
   std::vector<Held> held;
+
+  // Hazard pointer for the engine's signature-cache generation: while this
+  // thread reads a generation without holding any stripe (the lock-free
+  // staleness check + fast reject), it publishes the pointer here so cache
+  // rebuilds do not reclaim that generation underneath it. Type-erased to
+  // keep the registry independent of engine internals.
+  std::atomic<const void*> sig_gen_hazard{nullptr};
 
   // --- Deadlock-recovery support --------------------------------------------
   // The sync layer registers a canceler while blocked on the underlying
@@ -67,21 +78,28 @@ class ThreadRegistry {
   // first use. O(1) after the first call (thread-local cache).
   ThreadId RegisterCurrentThread();
 
-  ThreadSlot& Slot(ThreadId id);
-  const ThreadSlot& Slot(ThreadId id) const;
+  // Lock-free: slots live in an append-only slab, so the lookup is two
+  // acquire loads. The registry sits on every Request/Acquired/Release, so
+  // it must not be a serialization point.
+  ThreadSlot& Slot(ThreadId id) { return *slots_.Get(static_cast<std::size_t>(id)); }
+  const ThreadSlot& Slot(ThreadId id) const {
+    return *slots_.Get(static_cast<std::size_t>(id));
+  }
 
   // True when `id` names a registered thread. Monitor-side operations can
   // receive ids from stale or synthetic events and must check first.
-  bool Contains(ThreadId id) const;
+  bool Contains(ThreadId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < slots_.size();
+  }
 
-  std::size_t size() const;
+  std::size_t size() const { return slots_.size(); }
 
  private:
   // Distinguishes registry instances even when a new registry reuses a
   // destroyed one's address — the thread-local id cache is keyed by this.
   const std::uint64_t uid_;
-  mutable SpinLock lock_;
-  std::deque<std::unique_ptr<ThreadSlot>> slots_;  // stable addresses
+  SpinLock lock_;  // serializes registration (slab append)
+  AtomicSlab<ThreadSlot> slots_;
 };
 
 }  // namespace dimmunix

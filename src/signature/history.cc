@@ -32,7 +32,7 @@ int History::AddLocked(SignatureKind kind, std::vector<StackId> stacks, int matc
   sig.stacks = std::move(stacks);
   sig.match_depth = match_depth;
   signatures_.push_back(std::move(sig));
-  ++version_;
+  version_.fetch_add(1, std::memory_order_release);
   if (added != nullptr) {
     *added = true;
   }
@@ -66,7 +66,7 @@ void History::SetDisabled(int index, bool disabled) {
   Signature& sig = signatures_[static_cast<std::size_t>(index)];
   if (sig.disabled != disabled) {
     sig.disabled = disabled;
-    ++version_;
+    version_.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -75,7 +75,7 @@ void History::SetMatchDepth(int index, int depth) {
   Signature& sig = signatures_[static_cast<std::size_t>(index)];
   if (sig.match_depth != depth) {
     sig.match_depth = depth;
-    ++version_;
+    version_.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -97,12 +97,7 @@ void History::RecordFalsePositive(int index) {
 void History::Mutate(int index, const std::function<void(Signature&)>& fn) {
   std::lock_guard<SpinLock> guard(lock_);
   fn(signatures_[static_cast<std::size_t>(index)]);
-  ++version_;
-}
-
-std::uint64_t History::version() const {
-  std::lock_guard<SpinLock> guard(lock_);
-  return version_;
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 namespace {
@@ -154,7 +149,7 @@ bool History::Load(const std::string& path) {
       // to the file's stale values.
       sig.disabled = disabled;
       sig.match_depth = depth;
-      ++version_;
+      version_.fetch_add(1, std::memory_order_release);
     }
     pending_stacks.clear();
   };

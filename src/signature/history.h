@@ -17,6 +17,7 @@
 #ifndef DIMMUNIX_SIGNATURE_HISTORY_H_
 #define DIMMUNIX_SIGNATURE_HISTORY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -74,9 +75,10 @@ class History {
   void Mutate(int index, const std::function<void(Signature&)>& fn);
 
   // Monotonically increases whenever the set of *active* signatures or any
-  // matching depth changes; the avoidance engine uses it to refresh its
-  // per-signature candidate caches.
-  std::uint64_t version() const;
+  // matching depth changes; the avoidance engine compares it against its
+  // signature-cache generation on the hot path, so the read is a lock-free
+  // atomic load.
+  std::uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   // Persistence ---------------------------------------------------------------
   // Loads (merging) signatures from `path`. Missing file is not an error
@@ -94,7 +96,8 @@ class History {
   mutable SpinLock lock_;
   mutable std::mutex save_m_;  // serializes Save() (file I/O stays off lock_)
   std::vector<Signature> signatures_;
-  std::uint64_t version_ = 0;
+  // Written under lock_; read lock-free by the engine's staleness check.
+  std::atomic<std::uint64_t> version_{0};
 };
 
 }  // namespace dimmunix

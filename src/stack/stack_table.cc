@@ -8,10 +8,23 @@
 #include "src/common/hash.h"
 
 namespace dimmunix {
+namespace {
+
+constexpr std::size_t kInitialIndexCapacity = 1 << 10;
+
+// The index uses hash == 0 as the empty sentinel.
+inline std::uint64_t NonZeroHash(std::uint64_t h) { return h == 0 ? 1 : h; }
+
+}  // namespace
 
 StackTable::StackTable(int max_depth) : max_depth_(std::max(1, max_depth)) {
   by_depth_.resize(static_cast<std::size_t>(max_depth_));
+  auto index = std::make_unique<Index>(kInitialIndexCapacity);
+  index_.store(index.get(), std::memory_order_release);
+  retired_.push_back(std::move(index));
 }
+
+StackTable::~StackTable() = default;
 
 std::uint64_t StackTable::SuffixHash(const std::vector<Frame>& frames, int depth) const {
   const std::size_t n = std::min(frames.size(), static_cast<std::size_t>(depth));
@@ -26,19 +39,83 @@ std::uint64_t StackTable::SuffixHash(const std::vector<Frame>& frames, int depth
   return HashCombine(h, n);
 }
 
+StackId StackTable::Probe(const Index& index, std::uint64_t hash,
+                          const std::vector<Frame>& frames) const {
+  std::size_t i = static_cast<std::size_t>(hash) & index.mask;
+  for (std::size_t step = 0; step <= index.mask; ++step) {
+    const std::uint64_t slot_hash = index.slots[i].hash.load(std::memory_order_acquire);
+    if (slot_hash == 0) {
+      return kInvalidStackId;  // empty slot terminates the probe chain
+    }
+    if (slot_hash == hash) {
+      const StackId id = index.slots[i].id.load(std::memory_order_acquire);
+      // id precedes hash in publication order, so it is valid here. Full
+      // 64-bit hash collisions are possible in principle: verify frames and
+      // keep probing on mismatch.
+      if (id != kInvalidStackId && Get(id).frames == frames) {
+        return id;
+      }
+    }
+    i = (i + 1) & index.mask;
+  }
+  return kInvalidStackId;
+}
+
+void StackTable::IndexInsertLocked(std::uint64_t hash, StackId id) {
+  Index* index = index_.load(std::memory_order_relaxed);
+  const std::size_t size = entries_.size();
+  if (size * 2 > index->mask) {
+    // Grow: rehash every published entry into a table twice the size, then
+    // publish the new generation. Readers still probing the old generation
+    // simply miss new entries and retry under the lock. Old generations are
+    // retired (not freed) until destruction — a reader may hold a pointer
+    // to one indefinitely.
+    auto grown = std::make_unique<Index>((index->mask + 1) * 2);
+    // `id`'s entry is already in the slab, so the rehash loop inserts it
+    // along with every older entry; the generation is then published whole.
+    for (std::size_t e = 0; e < size; ++e) {
+      const StackEntry& entry = *entries_.Get(e);
+      std::size_t i = static_cast<std::size_t>(NonZeroHash(entry.full_hash)) & grown->mask;
+      while (grown->slots[i].hash.load(std::memory_order_relaxed) != 0) {
+        i = (i + 1) & grown->mask;
+      }
+      grown->slots[i].id.store(entry.id, std::memory_order_relaxed);
+      grown->slots[i].hash.store(NonZeroHash(entry.full_hash), std::memory_order_relaxed);
+    }
+    index_.store(grown.get(), std::memory_order_release);
+    retired_.push_back(std::move(grown));
+    return;
+  }
+  std::size_t i = static_cast<std::size_t>(hash) & index->mask;
+  while (index->slots[i].hash.load(std::memory_order_acquire) != 0) {
+    i = (i + 1) & index->mask;
+  }
+  index->slots[i].id.store(id, std::memory_order_release);
+  index->slots[i].hash.store(hash, std::memory_order_release);
+}
+
 StackId StackTable::Intern(const std::vector<Frame>& frames) {
-  const std::uint64_t full = Fnv1a64(frames.data(), frames.size() * sizeof(Frame));
+  const std::uint64_t full =
+      NonZeroHash(Fnv1a64(frames.data(), frames.size() * sizeof(Frame)));
+
+  // Lock-free fast path: the stack is usually already interned.
+  {
+    const Index* index = index_.load(std::memory_order_acquire);
+    const StackId hit = Probe(*index, full, frames);
+    if (hit != kInvalidStackId) {
+      return hit;
+    }
+  }
+
   const StackEntry* created = nullptr;
   StackId result = kInvalidStackId;
   {
     std::lock_guard<SpinLock> guard(lock_);
-    auto it = by_full_hash_.find(full);
-    if (it != by_full_hash_.end()) {
-      for (StackId id : it->second) {
-        if (entries_[static_cast<std::size_t>(id)].frames == frames) {
-          return id;
-        }
-      }
+    // Double-check under the lock (and against the current generation —
+    // the fast path may have probed a stale one).
+    const StackId hit = Probe(*index_.load(std::memory_order_relaxed), full, frames);
+    if (hit != kInvalidStackId) {
+      return hit;
     }
     StackEntry entry;
     entry.id = static_cast<StackId>(entries_.size());
@@ -48,15 +125,15 @@ StackId StackTable::Intern(const std::vector<Frame>& frames) {
     for (int d = 1; d <= max_depth_; ++d) {
       entry.depth_hash[static_cast<std::size_t>(d - 1)] = SuffixHash(frames, d);
     }
-    entries_.push_back(std::move(entry));
-    const StackEntry& stored = entries_.back();
-    by_full_hash_[full].push_back(stored.id);
+    auto [stored, stored_index] = entries_.Append(std::move(entry));
+    (void)stored_index;
     for (int d = 1; d <= max_depth_; ++d) {
-      by_depth_[static_cast<std::size_t>(d - 1)][stored.depth_hash[static_cast<std::size_t>(d - 1)]]
-          .push_back(stored.id);
+      by_depth_[static_cast<std::size_t>(d - 1)][stored->depth_hash[static_cast<std::size_t>(d - 1)]]
+          .push_back(stored->id);
     }
-    created = &stored;
-    result = stored.id;
+    IndexInsertLocked(full, stored->id);
+    created = stored;
+    result = stored->id;
   }
   if (created != nullptr) {
     for (const auto& observer : observers_) {
@@ -66,27 +143,26 @@ StackId StackTable::Intern(const std::vector<Frame>& frames) {
   return result;
 }
 
-const StackEntry& StackTable::Get(StackId id) const {
-  std::lock_guard<SpinLock> guard(lock_);
-  return entries_[static_cast<std::size_t>(id)];
-}
-
 std::vector<StackId> StackTable::MatchingAtDepth(StackId id, int depth) const {
   depth = std::clamp(depth, 1, max_depth_);
-  std::lock_guard<SpinLock> guard(lock_);
-  const StackEntry& entry = entries_[static_cast<std::size_t>(id)];
+  const StackEntry& entry = Get(id);
   const std::uint64_t h = entry.depth_hash[static_cast<std::size_t>(depth - 1)];
-  const auto& index = by_depth_[static_cast<std::size_t>(depth - 1)];
-  auto it = index.find(h);
-  if (it == index.end()) {
-    return {};
+  std::vector<StackId> candidates;
+  {
+    std::lock_guard<SpinLock> guard(lock_);
+    const auto& index = by_depth_[static_cast<std::size_t>(depth - 1)];
+    auto it = index.find(h);
+    if (it == index.end()) {
+      return {};
+    }
+    candidates = it->second;  // copy: verify frames outside the lock
   }
   // Verify frames (hash collisions are possible in principle).
   std::vector<StackId> out;
-  out.reserve(it->second.size());
+  out.reserve(candidates.size());
   const std::size_t n = std::min(entry.frames.size(), static_cast<std::size_t>(depth));
-  for (StackId candidate : it->second) {
-    const StackEntry& other = entries_[static_cast<std::size_t>(candidate)];
+  for (StackId candidate : candidates) {
+    const StackEntry& other = Get(candidate);
     const std::size_t m = std::min(other.frames.size(), static_cast<std::size_t>(depth));
     if (m == n && std::equal(entry.frames.begin(), entry.frames.begin() + static_cast<long>(n),
                              other.frames.begin())) {
@@ -101,9 +177,8 @@ bool StackTable::MatchesAtDepth(StackId a, StackId b, int depth) const {
     return true;
   }
   depth = std::clamp(depth, 1, max_depth_);
-  std::lock_guard<SpinLock> guard(lock_);
-  const StackEntry& ea = entries_[static_cast<std::size_t>(a)];
-  const StackEntry& eb = entries_[static_cast<std::size_t>(b)];
+  const StackEntry& ea = Get(a);
+  const StackEntry& eb = Get(b);
   const std::size_t n = std::min(ea.frames.size(), static_cast<std::size_t>(depth));
   const std::size_t m = std::min(eb.frames.size(), static_cast<std::size_t>(depth));
   if (n != m) {
@@ -137,23 +212,14 @@ void StackTable::AddNewStackObserver(NewStackObserver observer) {
   observers_.push_back(std::move(observer));
 }
 
-std::size_t StackTable::size() const {
-  std::lock_guard<SpinLock> guard(lock_);
-  return entries_.size();
-}
-
 std::string StackTable::Describe(StackId id) const {
-  std::vector<Frame> frames;
-  {
-    std::lock_guard<SpinLock> guard(lock_);
-    frames = entries_[static_cast<std::size_t>(id)].frames;
-  }
+  const StackEntry& entry = Get(id);
   std::string out;
-  for (std::size_t i = 0; i < frames.size(); ++i) {
+  for (std::size_t i = 0; i < entry.frames.size(); ++i) {
     if (i > 0) {
       out += ';';
     }
-    out += FrameName(frames[i]);
+    out += FrameName(entry.frames[i]);
   }
   return out;
 }

@@ -1,0 +1,252 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// benchjson — machine-readable benchmark runner.
+//
+// Runs the §7.2.2 synchronization microbenchmark in the configurations of
+// Figure 5 (lock throughput vs. thread count, uninstrumented baseline vs.
+// the instrumented engine with a 64-signature history) and Figure 8
+// (overhead breakdown by engine stage) and emits BENCH_<bench>.json with
+// the schema documented in src/benchlib/trial.h:
+//
+//   {"bench": ..., "config": {...}, "samples": [...],
+//    "p50_ns": ..., "p99_ns": ..., "throughput_ops_s": ...}
+//
+// The aggregate fields are taken from the fully instrumented run at the
+// highest measured thread count — the number the striped hot path must keep
+// pushing up. CI's bench-smoke job runs `--quick` on every push, uploads
+// the JSON artifacts, and fails on malformed output or zero throughput.
+//
+// Unlike the human-readable bench_* binaries (which default to the paper's
+// δout = 1 ms think time, hiding engine cost behind computation), benchjson
+// uses δin = 1 µs / δout = 0: every microsecond of engine work is visible
+// in the measured throughput, which is what a regression tracker needs.
+//
+// Usage:
+//   benchjson --bench fig5 [--quick] [--out PATH]
+//   benchjson --bench fig8 [--quick] [--out PATH]
+//   benchjson --bench all  [--quick]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/benchlib/synth_history.h"
+#include "src/benchlib/trial.h"
+#include "src/benchlib/workload.h"
+
+namespace dimmunix {
+namespace {
+
+struct Options {
+  std::string bench;
+  std::string out;     // empty = BenchJsonPath(bench)
+  bool quick = false;  // CI smoke mode: fewer points, shorter duration
+};
+
+Duration MeasureDuration(const Options& opts) {
+  return opts.quick ? std::chrono::milliseconds(250) : std::chrono::milliseconds(1000);
+}
+
+WorkloadParams BaseParams(const Options& opts, int threads) {
+  WorkloadParams params;
+  params.threads = threads;
+  params.locks = 8;
+  params.delta_in_us = 1;
+  params.delta_out_us = 0;
+  params.duration = MeasureDuration(opts);
+  params.latency_sample_every = kBenchLatencySampleEvery;
+  return params;
+}
+
+BenchSample ToSample(const char* label, int threads, const WorkloadResult& result) {
+  BenchSample sample;
+  sample.label = label;
+  sample.threads = threads;
+  sample.throughput_ops_s = result.ops_per_sec;
+  sample.ops = result.lock_ops;
+  sample.elapsed_s = result.elapsed_sec;
+  sample.p50_ns = PercentileNs(result.latencies_ns, 0.50);
+  sample.p99_ns = PercentileNs(result.latencies_ns, 0.99);
+  sample.yields = result.yields;
+  return sample;
+}
+
+// A Runtime loaded with the Figure 5 synthetic history: 64 two-stack
+// signatures at depth 4, referring to stacks the workload can produce.
+Config InstrumentedConfig() {
+  Config config;
+  config.start_monitor = true;
+  config.default_match_depth = 4;
+  config.yield_timeout = std::chrono::milliseconds(50);
+  return config;
+}
+
+void LoadSyntheticHistory(Runtime& rt) {
+  SynthHistoryParams sigs;
+  sigs.signatures = 64;
+  sigs.signature_size = 2;
+  sigs.match_depth = 4;
+  GenerateSyntheticHistory(&rt.history(), &rt.stacks(), sigs);
+  rt.engine().NotifyHistoryChanged();
+}
+
+int RunFig5(const Options& opts) {
+  std::vector<int> thread_counts = opts.quick ? std::vector<int>{2, 8, 16}
+                                              : std::vector<int>{2, 4, 8, 16, 32, 64};
+  BenchReport report;
+  report.bench = "fig5";
+  report.config = {
+      {"workload", "sync microbenchmark (7.2.2)"},
+      {"locks", "8"},
+      {"delta_in_us", "1"},
+      {"delta_out_us", "0"},
+      {"signatures", "64"},
+      {"signature_size", "2"},
+      {"match_depth", "4"},
+      {"duration_ms", std::to_string(ToMillis(MeasureDuration(opts)))},
+      {"latency_sample_every", std::to_string(kBenchLatencySampleEvery)},
+      {"mode", opts.quick ? "quick" : "full"},
+  };
+
+  for (const int threads : thread_counts) {
+    WorkloadParams params = BaseParams(opts, threads);
+
+    params.mode = WorkloadMode::kBaseline;
+    const WorkloadResult baseline = RunWorkload(params);
+    report.samples.push_back(ToSample("baseline", threads, baseline));
+
+    Runtime rt(InstrumentedConfig());
+    LoadSyntheticHistory(rt);
+    params.mode = WorkloadMode::kDimmunix;
+    params.runtime = &rt;
+    const WorkloadResult dimx = RunWorkload(params);
+    report.samples.push_back(ToSample("dimmunix", threads, dimx));
+
+    // Headline aggregate: the instrumented run at the highest thread count.
+    report.p50_ns = PercentileNs(dimx.latencies_ns, 0.50);
+    report.p99_ns = PercentileNs(dimx.latencies_ns, 0.99);
+    report.throughput_ops_s = dimx.ops_per_sec;
+
+    std::printf("fig5 threads=%3d baseline=%10.0f ops/s  dimmunix=%10.0f ops/s  "
+                "p50=%lluns p99=%lluns\n",
+                threads, baseline.ops_per_sec, dimx.ops_per_sec,
+                static_cast<unsigned long long>(report.p50_ns),
+                static_cast<unsigned long long>(report.p99_ns));
+  }
+
+  const std::string path = opts.out.empty() ? BenchJsonPath("fig5") : opts.out;
+  if (!report.WriteFile(path)) {
+    std::fprintf(stderr, "benchjson: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int RunFig8(const Options& opts) {
+  const std::vector<int> thread_counts =
+      opts.quick ? std::vector<int>{8} : std::vector<int>{2, 8, 16};
+  struct Stage {
+    const char* label;
+    EngineStage stage;
+  };
+  const Stage stages[] = {
+      {"instr", EngineStage::kInstrumentationOnly},
+      {"data", EngineStage::kDataStructures},
+      {"full", EngineStage::kFull},
+  };
+
+  BenchReport report;
+  report.bench = "fig8";
+  report.config = {
+      {"workload", "sync microbenchmark (7.2.2), staged engine"},
+      {"locks", "8"},
+      {"delta_in_us", "1"},
+      {"delta_out_us", "0"},
+      {"signatures", "64"},
+      {"duration_ms", std::to_string(ToMillis(MeasureDuration(opts)))},
+      {"latency_sample_every", std::to_string(kBenchLatencySampleEvery)},
+      {"mode", opts.quick ? "quick" : "full"},
+  };
+
+  for (const int threads : thread_counts) {
+    WorkloadParams params = BaseParams(opts, threads);
+    params.mode = WorkloadMode::kBaseline;
+    const WorkloadResult baseline = RunWorkload(params);
+    report.samples.push_back(ToSample("baseline", threads, baseline));
+    std::printf("fig8 threads=%3d baseline=%10.0f ops/s\n", threads, baseline.ops_per_sec);
+
+    for (const Stage& stage : stages) {
+      Config config = InstrumentedConfig();
+      config.stage = stage.stage;
+      Runtime rt(config);
+      LoadSyntheticHistory(rt);
+      params.mode = WorkloadMode::kDimmunix;
+      params.runtime = &rt;
+      const WorkloadResult result = RunWorkload(params);
+      report.samples.push_back(ToSample(stage.label, threads, result));
+      std::printf("fig8 threads=%3d %8s=%10.0f ops/s\n", threads, stage.label,
+                  result.ops_per_sec);
+      if (stage.stage == EngineStage::kFull) {
+        report.p50_ns = PercentileNs(result.latencies_ns, 0.50);
+        report.p99_ns = PercentileNs(result.latencies_ns, 0.99);
+        report.throughput_ops_s = result.ops_per_sec;
+      }
+    }
+  }
+
+  const std::string path = opts.out.empty() ? BenchJsonPath("fig8") : opts.out;
+  if (!report.WriteFile(path)) {
+    std::fprintf(stderr, "benchjson: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: benchjson --bench fig5|fig8|all [--quick] [--out PATH]\n"
+               "  --quick  CI smoke mode (fewer points, 250 ms per point)\n"
+               "  --out    output path (default BENCH_<bench>.json in CWD)\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench" && i + 1 < argc) {
+      opts.bench = argv[++i];
+    } else if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      opts.out = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (opts.bench == "fig5") {
+    return RunFig5(opts);
+  }
+  if (opts.bench == "fig8") {
+    return RunFig8(opts);
+  }
+  if (opts.bench == "all") {
+    if (!opts.out.empty()) {
+      std::fprintf(stderr, "benchjson: --out is incompatible with --bench all\n");
+      return 2;
+    }
+    const int fig5 = RunFig5(opts);
+    const int fig8 = RunFig8(opts);
+    return fig5 != 0 ? fig5 : fig8;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace dimmunix
+
+int main(int argc, char** argv) { return dimmunix::Main(argc, argv); }
