@@ -31,6 +31,11 @@ if [[ -n "${CXX:-}" ]]; then
   CMAKE_ARGS+=("-DCMAKE_CXX_COMPILER=${CXX}")
 fi
 CMAKE_ARGS+=("-DDIMMUNIX_SANITIZE=${DIMMUNIX_SANITIZE:-}")
+# Compiler cache when available (CI installs ccache; DIMMUNIX_CCACHE=0 opts
+# out, e.g. to benchmark raw compile times).
+if command -v ccache >/dev/null 2>&1 && [[ "${DIMMUNIX_CCACHE:-1}" != "0" ]]; then
+  CMAKE_ARGS+=("-DCMAKE_C_COMPILER_LAUNCHER=ccache" "-DCMAKE_CXX_COMPILER_LAUNCHER=ccache")
+fi
 
 CTEST_ARGS=(--output-on-failure -j "${JOBS}")
 if [[ -n "${CTEST_REGEX:-}" ]]; then

@@ -50,6 +50,11 @@ Config Config::FromEnvironment(Config base) {
       std::chrono::milliseconds(EnvLong("DIMMUNIX_YIELD_TIMEOUT_MS", base.yield_timeout.count()));
   base.ignore_yield_decisions = EnvBool("DIMMUNIX_IGNORE_YIELDS", base.ignore_yield_decisions);
   base.engine_stripes = static_cast<int>(EnvLong("DIMMUNIX_STRIPES", base.engine_stripes));
+  base.journal_threshold =
+      static_cast<int>(EnvLong("DIMMUNIX_JOURNAL_THRESHOLD", base.journal_threshold));
+  base.journal_fsync = EnvBool("DIMMUNIX_JOURNAL_FSYNC", base.journal_fsync);
+  base.history_resync_period = std::chrono::milliseconds(
+      EnvLong("DIMMUNIX_RESYNC_MS", base.history_resync_period.count()));
   if (const char* m = Getenv("DIMMUNIX_IMMUNITY"); m != nullptr) {
     std::string_view s(m);
     if (s == "strong") {

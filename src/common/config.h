@@ -84,6 +84,18 @@ struct Config {
   std::string history_path;       // empty = in-memory only
   bool load_history_on_init = true;
   bool save_history_on_update = true;
+  // Journal records appended (by this process) before the HistoryStore
+  // compacts them into a fresh v2 snapshot. <= 0 compacts on every delta.
+  int journal_threshold = 64;
+  // fsync(2) every journal append. Off by default: the append is already a
+  // single write(2), so a process crash can tear at most the final record;
+  // fsync additionally covers kernel/power loss at a latency cost (still
+  // off the application's hot path — only the store thread pays it).
+  bool journal_fsync = false;
+  // > 0: the store periodically load-merges the shared history file even
+  // without local changes, consuming signatures and operator actions from
+  // other processes sharing DIMMUNIX_HISTORY. 0 disables resync.
+  std::chrono::milliseconds history_resync_period{0};
 
   // --- FP probes (§5.5 retrospective analysis) ------------------------------
   std::chrono::milliseconds fp_probe_window{50};
@@ -99,7 +111,9 @@ struct Config {
   //   DIMMUNIX_IMMUNITY (weak|strong), DIMMUNIX_CALIBRATION (0|1),
   //   DIMMUNIX_YIELD_TIMEOUT_MS, DIMMUNIX_IGNORE_YIELDS (0|1),
   //   DIMMUNIX_STAGE (instr|data|full), DIMMUNIX_STRIPES (0 = auto),
-  //   DIMMUNIX_CONTROL (control-socket path, e.g. /tmp/app.dimmunix.sock).
+  //   DIMMUNIX_CONTROL (control-socket path, e.g. /tmp/app.dimmunix.sock),
+  //   DIMMUNIX_JOURNAL_THRESHOLD, DIMMUNIX_JOURNAL_FSYNC (0|1),
+  //   DIMMUNIX_RESYNC_MS (0 = off).
   static Config FromEnvironment();
   static Config FromEnvironment(Config base);
 };

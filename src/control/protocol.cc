@@ -190,6 +190,9 @@ std::string DoConfig(Runtime& rt) {
   out << "use_peterson_guard=" << (c.use_peterson_guard ? 1 : 0) << "\n";
   out << "engine_stripes=" << rt.engine().stripe_count() << "\n";
   out << "history_path=" << c.history_path << "\n";
+  out << "journal_threshold=" << c.journal_threshold << "\n";
+  out << "journal_fsync=" << (c.journal_fsync ? 1 : 0) << "\n";
+  out << "history_resync_ms=" << c.history_resync_period.count() << "\n";
   out << "control_socket_path=" << c.control_socket_path << "\n";
   return out.str();
 }
@@ -233,6 +236,37 @@ std::string DoSetDepth(Runtime& rt, int index, int depth) {
   return out.str();
 }
 
+std::string DoHistorySave(Runtime& rt) {
+  if (rt.config().history_path.empty()) {
+    return Err("no history file configured");
+  }
+  if (!rt.SaveHistoryNow()) {
+    return Err("history save failed (see process log)");
+  }
+  std::ostringstream out;
+  out << "ok\nsaved=1\nsignatures=" << rt.history().size() << "\n";
+  return out.str();
+}
+
+std::string DoHistoryMerge(Runtime& rt, const std::string& path) {
+  const int added = rt.MergeHistoryFrom(path);
+  if (added < 0) {
+    return Err("cannot read " + path);
+  }
+  std::ostringstream out;
+  out << "ok\nmerged_new=" << added << "\nsignatures=" << rt.history().size() << "\n";
+  return out.str();
+}
+
+std::string DoHistoryExport(Runtime& rt, const std::string& path) {
+  if (!rt.ExportHistoryTo(path)) {
+    return Err("cannot write " + path);
+  }
+  std::ostringstream out;
+  out << "ok\nexported=" << rt.history().size() << "\npath=" << path << "\n";
+  return out.str();
+}
+
 }  // namespace
 
 std::string HelpText() {
@@ -240,6 +274,9 @@ std::string HelpText() {
       "status                  runtime summary\n"
       "stats                   engine + monitor counters\n"
       "history                 per-signature state\n"
+      "history save            compact the history to disk now\n"
+      "history merge <file>    merge signatures from <file> into the live history\n"
+      "history export <file>   write the current history to <file> (v2)\n"
       "disable <idx>           disable a signature\n"
       "enable <idx>            re-enable a signature\n"
       "disable-last            disable the most recently avoided signature\n"
@@ -267,7 +304,24 @@ std::optional<Request> ParseRequest(std::string_view line, std::string* error) {
   } else if (name == "stats") {
     request.kind = CommandKind::kStats;
   } else if (name == "history") {
-    request.kind = CommandKind::kHistory;
+    // "history" lists; "history save|merge|export" are the durable ops.
+    if (tokens.size() == 1) {
+      request.kind = CommandKind::kHistory;
+      return request;
+    }
+    const std::string_view sub = tokens[1];
+    if (sub == "save" && tokens.size() == 2) {
+      request.kind = CommandKind::kHistorySave;
+      return request;
+    }
+    if ((sub == "merge" || sub == "export") && tokens.size() == 3) {
+      request.kind = sub == "merge" ? CommandKind::kHistoryMerge : CommandKind::kHistoryExport;
+      request.path = std::string(tokens[2]);
+      return request;
+    }
+    SetError(error,
+             "usage: history | history save | history merge <file> | history export <file>");
+    return std::nullopt;
   } else if (name == "disable") {
     request.kind = CommandKind::kDisable;
     want_args = 1;
@@ -319,6 +373,12 @@ std::string ExecuteRequest(Runtime& runtime, const Request& request) {
       return DoStats(runtime);
     case CommandKind::kHistory:
       return DoHistory(runtime);
+    case CommandKind::kHistorySave:
+      return DoHistorySave(runtime);
+    case CommandKind::kHistoryMerge:
+      return DoHistoryMerge(runtime, request.path);
+    case CommandKind::kHistoryExport:
+      return DoHistoryExport(runtime, request.path);
     case CommandKind::kDisable:
       return DoSetDisabled(runtime, request.index, true);
     case CommandKind::kEnable:

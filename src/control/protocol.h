@@ -17,6 +17,11 @@
 //   disable <idx>           disable signature <idx> (never avoided again)
 //   enable <idx>            re-enable signature <idx>
 //   disable-last            disable the most recently avoided signature
+//   history save            synchronously compact the history to disk
+//   history merge <file>    merge signatures from <file> into the live
+//                           history (vendor-shipped patches, §8); paths may
+//                           not contain whitespace (line protocol)
+//   history export <file>   write the current history to <file> (format v2)
 //   reload                  hot-reload the history file (§8)
 //   set-depth <idx> <d>     override signature <idx>'s matching depth
 //   rag                     monitor-side thread/lock/yield-edge snapshot;
@@ -45,6 +50,9 @@ enum class CommandKind {
   kStatus,
   kStats,
   kHistory,
+  kHistorySave,
+  kHistoryMerge,
+  kHistoryExport,
   kDisable,
   kEnable,
   kDisableLast,
@@ -57,8 +65,9 @@ enum class CommandKind {
 
 struct Request {
   CommandKind kind = CommandKind::kStatus;
-  int index = -1;  // disable / enable / set-depth
-  int depth = -1;  // set-depth
+  int index = -1;    // disable / enable / set-depth
+  int depth = -1;    // set-depth
+  std::string path;  // history merge / history export
 };
 
 // Parses one request line (trailing "\r\n" tolerated). On failure returns

@@ -527,6 +527,11 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
     history_->RecordAvoidance(match->signature_index);
     last_avoided_.store(match->signature_index, std::memory_order_relaxed);
     stats_.yields.fetch_add(1, std::memory_order_relaxed);
+    // Cold path (one line per actual yield); the observable proof of
+    // immunity for operators and the preload-smoke CI lane.
+    DIMMUNIX_LOG(kInfo) << "avoidance: thread " << thread << " yields on lock " << lock
+                        << " to dodge signature " << match->signature_index << " (depth "
+                        << match->depth << ")";
     if (match->deepest >= stacks_->max_depth()) {
       stats_.depth_true_yields.fetch_add(1, std::memory_order_relaxed);
     } else {

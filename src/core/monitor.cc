@@ -10,12 +10,13 @@
 namespace dimmunix {
 
 Monitor::Monitor(const Config& config, StackTable* stacks, History* history, EventQueue* queue,
-                 AvoidanceEngine* engine)
+                 AvoidanceEngine* engine, persist::HistoryStore* store)
     : config_(config),
       stacks_(stacks),
       history_(history),
       queue_(queue),
       engine_(engine),
+      store_(store),
       calibrator_(config) {}
 
 Monitor::~Monitor() { Stop(); }
@@ -143,14 +144,21 @@ int Monitor::ArchiveSignature(SignatureKind kind, const std::vector<StackId>& st
         s.match_depth = s.calibration.current_depth();
       });
     }
-    PersistHistory();
+    PersistHistory(index);
     engine_->NotifyHistoryChanged();
   }
   return index;
 }
 
-void Monitor::PersistHistory() {
-  if (!config_.history_path.empty() && config_.save_history_on_update) {
+void Monitor::PersistHistory(int signature_index) {
+  if (config_.history_path.empty() || !config_.save_history_on_update) {
+    return;
+  }
+  if (store_ != nullptr) {
+    // O(1) enqueue: the store's writer thread journals the delta, so file
+    // I/O never delays the detection loop (or, worse, event draining).
+    store_->NotifySignatureChanged(signature_index);
+  } else {
     history_->Save(config_.history_path);
   }
 }
@@ -227,7 +235,7 @@ void Monitor::HandleCalibration() {
     if (obsolete) {
       stats_.signatures_discarded.fetch_add(1, std::memory_order_relaxed);
       engine_->NotifyHistoryChanged();
-      PersistHistory();
+      PersistHistory(verdict.signature_index);
       DIMMUNIX_LOG(kInfo) << "signature " << verdict.signature_index
                           << " discarded as obsolete (100% FP after recalibration)";
     }

@@ -19,6 +19,7 @@
 #include "src/core/calibrator.h"
 #include "src/core/stats.h"
 #include "src/event/event_queue.h"
+#include "src/persist/store.h"
 #include "src/rag/rag.h"
 #include "src/signature/history.h"
 
@@ -26,8 +27,12 @@ namespace dimmunix {
 
 class Monitor {
  public:
+  // `store` (optional) is the asynchronous history writer: when present,
+  // persisting a signature is an O(1) enqueue and all file I/O happens on
+  // the store's thread; when null (tests that wire components by hand) the
+  // monitor falls back to a synchronous History::Save.
   Monitor(const Config& config, StackTable* stacks, History* history, EventQueue* queue,
-          AvoidanceEngine* engine);
+          AvoidanceEngine* engine, persist::HistoryStore* store = nullptr);
   ~Monitor();
 
   Monitor(const Monitor&) = delete;
@@ -68,13 +73,14 @@ class Monitor {
   void HandleStarvations();
   void HandleCalibration();
   int ArchiveSignature(SignatureKind kind, const std::vector<StackId>& stacks, bool* added);
-  void PersistHistory();
+  void PersistHistory(int signature_index);
 
   const Config config_;
   StackTable* stacks_;
   History* history_;
   EventQueue* queue_;
   AvoidanceEngine* engine_;
+  persist::HistoryStore* store_;
   Rag rag_;
   Calibrator calibrator_;
   MonitorStats stats_;

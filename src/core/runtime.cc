@@ -3,6 +3,7 @@
 #include "src/core/runtime.h"
 
 #include "src/common/logging.h"
+#include "src/persist/file.h"
 
 namespace dimmunix {
 
@@ -10,13 +11,28 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
   stacks_ = std::make_unique<StackTable>(config_.max_match_depth);
   history_ = std::make_unique<History>(stacks_.get());
   queue_ = std::make_unique<EventQueue>();
-  if (config_.load_history_on_init && !config_.history_path.empty()) {
-    history_->Load(config_.history_path);
-  }
+  // "The deadlock history is loaded from disk into memory at startup time"
+  // (§5.4) — performed by the store's startup compaction below (one parse,
+  // under the file lock, folding any crashed predecessor's journal in).
   engine_ = std::make_unique<AvoidanceEngine>(config_, stacks_.get(), history_.get(),
                                               queue_.get());
+  if (!config_.history_path.empty()) {
+    persist::StoreOptions store_options;
+    store_options.path = config_.history_path;
+    store_options.journal_threshold = config_.journal_threshold;
+    store_options.fsync_appends = config_.journal_fsync;
+    store_options.resync_period = config_.history_resync_period;
+    store_options.merge_on_start = config_.load_history_on_init;
+    store_options.read_mostly = !config_.save_history_on_update;
+    store_ = std::make_unique<persist::HistoryStore>(store_options, history_.get(),
+                                                     stacks_.get());
+    // Signatures merged from the shared file must take effect immediately:
+    // the engine rebuilds its caches off the history version counter.
+    store_->SetOnHistoryMerged([this] { engine_->NotifyHistoryChanged(); });
+    store_->Start();
+  }
   monitor_ = std::make_unique<Monitor>(config_, stacks_.get(), history_.get(), queue_.get(),
-                                       engine_.get());
+                                       engine_.get(), store_.get());
   if (config_.start_monitor) {
     monitor_->Start();
   }
@@ -30,9 +46,13 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
 
 Runtime::~Runtime() {
   // The control server executes commands against the live runtime; it must
-  // be fully stopped before any component is torn down.
+  // be fully stopped before any component is torn down. The store stops
+  // after the monitor so the final drain's signatures still reach disk.
   control_.reset();
   monitor_->Stop();
+  if (store_) {
+    store_->Stop();
+  }
 }
 
 Runtime& Runtime::Global() {
@@ -80,9 +100,53 @@ bool Runtime::SetSignatureMatchDepth(int index, int depth) {
 }
 
 void Runtime::PersistHistory() {
-  if (!config_.history_path.empty()) {
+  // Operator-facing mutations persist synchronously — when a disable
+  // returns, it is durable (merged, not overwriting other processes' work).
+  if (store_) {
+    store_->SaveNow();
+  } else if (!config_.history_path.empty()) {
     history_->Save(config_.history_path);
   }
+}
+
+bool Runtime::SaveHistoryNow() {
+  if (!store_) {
+    return false;
+  }
+  return store_->SaveNow();
+}
+
+bool Runtime::ExportHistoryTo(const std::string& path) {
+  if (path.empty()) {
+    return false;
+  }
+  if (store_) {
+    return store_->ExportTo(path);
+  }
+  std::string error;
+  if (!persist::SaveHistoryFile(path, history_->ExportImage(), &error)) {
+    DIMMUNIX_LOG(kError) << "history export: " << error;
+    return false;
+  }
+  return true;
+}
+
+int Runtime::MergeHistoryFrom(const std::string& path) {
+  if (store_) {
+    const int added = store_->MergeFrom(path);
+    if (added > 0) {
+      DIMMUNIX_LOG(kInfo) << "history: merged " << added << " signature(s) from " << path;
+    }
+    return added;
+  }
+  persist::HistoryImage image;
+  const persist::LoadResult load = persist::LoadHistoryFile(path, &image);
+  if (!load.ok() || load.status == persist::LoadStatus::kNotFound) {
+    return -1;
+  }
+  const int added = history_->MergeImage(image, persist::MergePolicy::kPreferIncoming);
+  engine_->NotifyHistoryChanged();
+  return added;
 }
 
 void Runtime::RestartCalibrationAfterUpgrade() {

@@ -32,6 +32,7 @@
 #include "src/core/avoidance.h"
 #include "src/core/monitor.h"
 #include "src/event/event_queue.h"
+#include "src/persist/store.h"
 #include "src/signature/history.h"
 #include "src/stack/stack_table.h"
 
@@ -80,6 +81,24 @@ class Runtime {
   // target program need not even be restarted").
   bool ReloadHistory();
 
+  // --- Durable history operations (control plane: `dimctl history ...`) -----
+
+  // Synchronously compacts the history to disk: journal folded into the v2
+  // snapshot, other processes' signatures merged in, union written
+  // atomically under the file lock. False without a history path.
+  bool SaveHistoryNow();
+
+  // Writes the current in-memory history to `path` (v2) — how an operator
+  // ships signatures to another machine (§8 "vendors can ship signatures as
+  // patches"). Works even when the runtime has no history file of its own.
+  bool ExportHistoryTo(const std::string& path);
+
+  // Merges signatures from `path` (v2 or legacy v1) into the live history;
+  // the avoidance engine starts matching them immediately via the history
+  // version counter. Returns the number of new signatures, or -1 if the
+  // file cannot be read.
+  int MergeHistoryFrom(const std::string& path);
+
   // §5.7 user workflow ("the same way s/he would enable pop-ups for a given
   // site"): disables the most recently avoided signature so it is never
   // avoided again. Returns the signature index, or -1 if nothing was ever
@@ -104,6 +123,8 @@ class Runtime {
   EventQueue& events() { return *queue_; }
   AvoidanceEngine& engine() { return *engine_; }
   Monitor& monitor() { return *monitor_; }
+  // Null unless Config::history_path was set.
+  persist::HistoryStore* history_store() { return store_.get(); }
   // Null unless Config::control_socket_path was set and the socket came up.
   control::ControlServer* control_server() { return control_.get(); }
 
@@ -114,6 +135,7 @@ class Runtime {
   std::unique_ptr<StackTable> stacks_;
   std::unique_ptr<History> history_;
   std::unique_ptr<EventQueue> queue_;
+  std::unique_ptr<persist::HistoryStore> store_;
   std::unique_ptr<AvoidanceEngine> engine_;
   std::unique_ptr<Monitor> monitor_;
   std::unique_ptr<control::ControlServer> control_;

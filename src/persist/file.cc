@@ -1,0 +1,234 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/persist/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace dimmunix {
+namespace persist {
+namespace {
+
+// Distinguishes concurrent savers within one process (two Runtimes sharing a
+// history path in tests); the pid distinguishes processes.
+std::atomic<std::uint64_t> g_tmp_seq{0};
+
+bool ReadWholeFile(const std::string& path, std::string* out, bool* missing) {
+  *missing = false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *missing = (errno == ENOENT);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return false;
+  }
+  *out = buf.str();
+  return true;
+}
+
+bool WriteAllFd(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool SetError(std::string* error, std::string message) {
+  if (error != nullptr) {
+    *error = std::move(message);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string JournalPathFor(const std::string& history_path) { return history_path + ".journal"; }
+
+std::string LockPathFor(const std::string& history_path) { return history_path + ".lock"; }
+
+LoadResult LoadHistoryFile(const std::string& path, HistoryImage* image,
+                           const LoadOptions& options) {
+  LoadResult result;
+  FileLock lock(LockPathFor(path));
+  if (options.take_lock) {
+    lock.Acquire();  // degraded (lockless) on failure; load still proceeds
+  }
+
+  std::string bytes;
+  bool missing = false;
+  const bool snapshot_read = ReadWholeFile(path, &bytes, &missing);
+  if (!snapshot_read && !missing) {
+    result.status = LoadStatus::kIoError;
+    result.message = "cannot read " + path;
+    return result;
+  }
+  const std::uint32_t snapshot_crc = snapshot_read ? Crc32(bytes.data(), bytes.size()) : 0;
+
+  if (snapshot_read) {
+    if (bytes.substr(0, 4) == kSnapshotMagic) {
+      DecodeSnapshotV2(bytes, image, &result);
+    } else if (LooksLikeTextV1(bytes)) {
+      ParseTextV1(bytes, image, &result);
+    } else {
+      result.status = LoadStatus::kCorrupt;
+      result.message = "unrecognized history format";
+    }
+  } else {
+    result.status = LoadStatus::kNotFound;
+  }
+
+  if (options.with_journal && result.status != LoadStatus::kIoError) {
+    std::string jbytes;
+    bool jmissing = false;
+    if (ReadWholeFile(JournalPathFor(path), &jbytes, &jmissing)) {
+      // A journal can outlive a corrupt/missing snapshot (e.g. the process
+      // died before its first compaction); its records are still good. A
+      // corrupt snapshot still counts as loss so validate rejects the file.
+      if (result.status == LoadStatus::kCorrupt) {
+        ++result.records_dropped;
+      }
+      if (result.status == LoadStatus::kCorrupt || result.status == LoadStatus::kNotFound) {
+        result.status = LoadStatus::kOk;
+        if (result.format_version == 0) {
+          result.format_version = 2;
+        }
+      }
+      ReplayJournal(jbytes, image, &result, snapshot_crc);
+    }
+  }
+  return result;
+}
+
+bool SaveHistoryFile(const std::string& path, const HistoryImage& image, std::string* error,
+                     const SaveOptions& options) {
+  FileLock lock(LockPathFor(path));
+  if (options.take_lock) {
+    lock.Acquire();
+  }
+  const std::string encoded = EncodeSnapshotV2(image);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(g_tmp_seq.fetch_add(1, std::memory_order_relaxed));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return SetError(error, "cannot create " + tmp + ": " + std::strerror(errno));
+  }
+  const bool wrote = WriteAllFd(fd, encoded);
+  // fsync before rename: the rename must never land pointing at data the
+  // kernel has not flushed, or a power cut yields a torn "atomic" snapshot.
+  const bool synced = wrote && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote || !synced) {
+    ::unlink(tmp.c_str());
+    return SetError(error, "cannot write " + tmp + ": " + std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return SetError(error, "rename to " + path + " failed: " + reason);
+  }
+  // The snapshot now supersedes every journal record. Crash between rename
+  // and unlink is benign: replaying a stale journal re-applies records that
+  // are duplicates (or older counters, which max() ignores).
+  ::unlink(JournalPathFor(path).c_str());
+  return true;
+}
+
+bool AppendJournalRecord(const std::string& history_path, const SignatureRecord& record,
+                         bool fsync_after, FileLock* held_lock) {
+  FileLock own_lock(LockPathFor(history_path));
+  if (held_lock == nullptr) {
+    own_lock.Acquire();
+  }
+  const std::string journal = JournalPathFor(history_path);
+  const int fd = ::open(journal.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    DIMMUNIX_LOG(kError) << "persist: cannot open journal " << journal << ": "
+                         << std::strerror(errno);
+    return false;
+  }
+  struct stat st {};
+  std::string data;
+  if (::fstat(fd, &st) == 0 && st.st_size == 0) {
+    // A new journal binds itself to the snapshot it extends (its CRC; 0 if
+    // none), so loads can tell a live journal from one orphaned by the
+    // rename-then-unlink crash window. Header + first record go out in one
+    // write: a crash never leaves a journal whose header is torn.
+    std::string snapshot_bytes;
+    bool snapshot_missing = false;
+    std::uint32_t snapshot_crc = 0;
+    if (ReadWholeFile(history_path, &snapshot_bytes, &snapshot_missing)) {
+      snapshot_crc = Crc32(snapshot_bytes.data(), snapshot_bytes.size());
+    }
+    data = EncodeJournalHeader(snapshot_crc);
+  }
+  data += EncodeJournalRecord(record);
+  const bool ok = WriteAllFd(fd, data);
+  if (ok && fsync_after) {
+    ::fsync(fd);
+  }
+  ::close(fd);
+  if (!ok) {
+    DIMMUNIX_LOG(kError) << "persist: journal append to " << journal << " failed: "
+                         << std::strerror(errno);
+  }
+  return ok;
+}
+
+bool MergeIntoFile(const std::string& path, const HistoryImage& image, MergeStats* stats,
+                   std::string* error) {
+  FileLock lock(LockPathFor(path));
+  lock.Acquire();
+  HistoryImage on_disk;
+  const LoadResult load =
+      LoadHistoryFile(path, &on_disk, LoadOptions{/*with_journal=*/true, /*take_lock=*/false});
+  if (!load.ok()) {
+    return SetError(error, load.message.empty() ? ("cannot load " + path) : load.message);
+  }
+  const MergeStats merged = MergeInto(&on_disk, image, MergePolicy::kPreferIncoming);
+  if (stats != nullptr) {
+    *stats = merged;
+  }
+  return SaveHistoryFile(path, on_disk, error, SaveOptions{/*take_lock=*/false});
+}
+
+void RemoveHistoryFiles(const std::string& path) {
+  ::unlink(path.c_str());
+  ::unlink(JournalPathFor(path).c_str());
+  ::unlink(LockPathFor(path).c_str());
+}
+
+LoadResult ValidateHistoryFile(const std::string& path) {
+  HistoryImage image;
+  LoadResult result = LoadHistoryFile(path, &image);
+  if (result.ok() && result.records_dropped > 0) {
+    result.status = LoadStatus::kCorrupt;
+    if (result.message.empty()) {
+      result.message = "records dropped";
+    }
+  }
+  return result;
+}
+
+}  // namespace persist
+}  // namespace dimmunix

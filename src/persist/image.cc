@@ -1,0 +1,73 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/persist/image.h"
+
+#include <algorithm>
+
+namespace dimmunix {
+namespace persist {
+
+void SignatureRecord::Canonicalize() { std::sort(stacks.begin(), stacks.end()); }
+
+bool SignatureRecord::SameSignatureAs(const SignatureRecord& other) const {
+  return stacks == other.stacks;
+}
+
+int HistoryImage::Find(const SignatureRecord& rec) const {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].SameSignatureAs(rec)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+MergeStats MergeInto(HistoryImage* dst, const HistoryImage& src, MergePolicy policy) {
+  MergeStats stats;
+  for (const SignatureRecord& incoming : src.records) {
+    SignatureRecord rec = incoming;
+    rec.Canonicalize();
+    const int index = dst->Find(rec);
+    if (index < 0) {
+      dst->records.push_back(std::move(rec));
+      ++stats.added;
+      continue;
+    }
+    SignatureRecord& mine = dst->records[static_cast<std::size_t>(index)];
+    bool changed = false;
+    // Counters only ever grow; max() never rolls a live value back.
+    if (rec.avoidance_count > mine.avoidance_count) {
+      mine.avoidance_count = rec.avoidance_count;
+      changed = true;
+    }
+    if (rec.abort_count > mine.abort_count) {
+      mine.abort_count = rec.abort_count;
+      changed = true;
+    }
+    if (rec.fp_count > mine.fp_count) {
+      mine.fp_count = rec.fp_count;
+      changed = true;
+    }
+    const bool knobs_differ =
+        mine.disabled != rec.disabled || mine.match_depth != rec.match_depth;
+    if (rec.knob_epoch > mine.knob_epoch) {
+      // The incoming copy has seen more operator actions: adopt its knobs.
+      mine.disabled = rec.disabled;
+      mine.match_depth = rec.match_depth;
+      mine.knob_epoch = rec.knob_epoch;
+      changed = true;
+    } else if (rec.knob_epoch == mine.knob_epoch &&
+               policy == MergePolicy::kPreferIncoming && knobs_differ) {
+      mine.disabled = rec.disabled;
+      mine.match_depth = rec.match_depth;
+      changed = true;
+    }
+    if (changed) {
+      ++stats.updated;
+    }
+  }
+  return stats;
+}
+
+}  // namespace persist
+}  // namespace dimmunix

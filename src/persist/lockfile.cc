@@ -1,0 +1,68 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/persist/lockfile.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace dimmunix {
+namespace persist {
+
+FileLock::FileLock(std::string path) : path_(std::move(path)) {}
+
+FileLock::~FileLock() { Release(); }
+
+bool FileLock::Acquire() {
+  if (fd_ >= 0) {
+    return true;
+  }
+  const int fd = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    DIMMUNIX_LOG(kWarn) << "persist: cannot open lock file " << path_ << ": "
+                        << std::strerror(errno) << " (proceeding unlocked)";
+    return false;
+  }
+  struct flock lk {};
+  lk.l_type = F_WRLCK;
+  lk.l_whence = SEEK_SET;
+  lk.l_start = 0;
+  lk.l_len = 0;  // whole file
+#ifdef F_OFD_SETLKW
+  // Open-file-description locks: scoped to this fd, so two FileLocks in one
+  // process genuinely exclude each other, and closing an unrelated fd of
+  // the lock file cannot drop our lock (both are classic POSIX-lock traps).
+  const int cmd = F_OFD_SETLKW;
+  lk.l_pid = 0;  // required by OFD locks
+#else
+  const int cmd = F_SETLKW;
+#endif
+  int rc;
+  do {
+    rc = ::fcntl(fd, cmd, &lk);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    DIMMUNIX_LOG(kWarn) << "persist: fcntl(F_SETLKW) on " << path_ << " failed: "
+                        << std::strerror(errno) << " (proceeding unlocked)";
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+void FileLock::Release() {
+  if (fd_ < 0) {
+    return;
+  }
+  // close(2) releases the fcntl lock.
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace persist
+}  // namespace dimmunix

@@ -1,0 +1,160 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// HistoryStore — the asynchronous, crash-safe, multi-process-aware writer
+// behind History persistence.
+//
+// The paper's promise is that immunity *persists* (§5.4, §8), but writing
+// the whole history synchronously from the monitor kept file I/O inside the
+// detection loop, and concurrent processes sharing one DIMMUNIX_HISTORY
+// simply overwrote each other. The store fixes both:
+//
+//  * Async: producers (monitor thread, control plane) enqueue a signature
+//    index on a lock-free MPSC queue (src/common/mpsc_queue.h) and return
+//    immediately; a background thread snapshots the signature and appends
+//    one CRC-protected record to <history>.journal. History I/O is off
+//    every other thread entirely.
+//
+//  * Crash-safe: an append is one write(2); SIGKILL mid-append tears at
+//    most the final record, which replay drops. Snapshots are
+//    write-tmp-fsync-rename. There is no instant at which the on-disk
+//    history is unloadable.
+//
+//  * Shared: after `journal_threshold` appends the store compacts — under
+//    the fcntl FileLock it loads the file (picking up other processes'
+//    signatures), merges them into the live History (whose version counter
+//    makes the avoidance engine refresh its caches), and atomically writes
+//    the union. With `resync_period` set, the same load-merge runs
+//    periodically even without local changes, so a `dimctl disable` or a
+//    vendor-shipped signature in one process propagates to every process
+//    sharing the file — no restart (§8).
+
+#ifndef DIMMUNIX_PERSIST_STORE_H_
+#define DIMMUNIX_PERSIST_STORE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/mpsc_queue.h"
+#include "src/persist/file.h"
+#include "src/persist/image.h"
+
+namespace dimmunix {
+
+class History;
+class StackTable;
+struct Signature;
+
+namespace persist {
+
+struct StoreOptions {
+  std::string path;           // the history file; never empty
+  int journal_threshold = 64;  // appends before a snapshot compaction
+  bool fsync_appends = false;  // fsync(2) every journal append
+  // Start() runs a synchronizing compaction (fold a crashed predecessor's
+  // journal, pull in other processes' signatures, guarantee the file
+  // exists). False when the runtime was told not to load history at init
+  // (Config::load_history_on_init) — the file is then left untouched until
+  // an explicit reload/save.
+  bool merge_on_start = true;
+  // True when Config::save_history_on_update is off: startup/resync
+  // compactions become read-only (no file creation, no v1->v2 rewrite)
+  // unless there is a journal to fold. Explicit SaveNow/threshold
+  // compactions still write — the operator asked.
+  bool read_mostly = false;
+  // > 0: periodically load-merge the shared file even without local writes,
+  // consuming signatures and operator actions from other processes live.
+  std::chrono::milliseconds resync_period{0};
+};
+
+struct StoreStatsSnapshot {
+  std::uint64_t appends = 0;         // journal records written
+  std::uint64_t compactions = 0;     // snapshot rewrites
+  std::uint64_t foreign_merged = 0;  // signatures learned from the shared file
+  std::uint64_t io_errors = 0;
+};
+
+class HistoryStore {
+ public:
+  // `history` and `stacks` must outlive the store.
+  HistoryStore(StoreOptions options, History* history, StackTable* stacks);
+  ~HistoryStore();  // Stop()
+
+  HistoryStore(const HistoryStore&) = delete;
+  HistoryStore& operator=(const HistoryStore&) = delete;
+
+  // Starts the writer thread and makes sure the history file exists on disk
+  // (an empty v2 snapshot if this is the first run), so operators and tests
+  // can watch for the file as soon as the runtime is up.
+  void Start();
+
+  // Drains pending deltas, runs a final compaction if anything is dirty,
+  // and joins the thread. Idempotent.
+  void Stop();
+
+  // Producer side, any thread, O(1), no I/O: records that signature `index`
+  // was added or changed. The writer thread persists it asynchronously.
+  void NotifySignatureChanged(int index);
+
+  // Synchronous lock-merge-save compaction (control plane, operator ops):
+  // on return the file durably contains the live history merged with every
+  // other process's signatures. Safe from any thread.
+  bool SaveNow();
+
+  // Writes the current in-memory history to `path` (v2), without touching
+  // the store's own file. For `dimctl history export` / vendor patches.
+  bool ExportTo(const std::string& path);
+
+  // Loads `path` and merges its signatures into the live History (file wins
+  // operator knobs, §8 semantics), then persists. Returns the number of new
+  // signatures, or -1 on a load failure.
+  int MergeFrom(const std::string& path);
+
+  // Invoked (from the calling/writer thread) whenever the store changed the
+  // live History — the runtime wires this to the engine's cache refresh.
+  void SetOnHistoryMerged(std::function<void()> fn);
+
+  StoreStatsSnapshot stats() const;
+  const std::string& path() const { return options_.path; }
+
+ private:
+  void Loop();
+  void DrainQueue();  // writer thread (or post-join) only
+  void AppendDelta(int index);
+  // `sync_only` marks startup/resync compactions, which honor read_mostly;
+  // explicit saves and journal-threshold compactions always write.
+  bool Compact(MergePolicy policy, bool sync_only = false);
+  SignatureRecord RecordFor(const Signature& sig) const;
+
+  const StoreOptions options_;
+  History* history_;
+  StackTable* stacks_;
+  std::function<void()> on_merged_;
+
+  MpscQueue<int> queue_;  // changed signature indices awaiting a journal append
+  std::mutex cv_m_;
+  std::condition_variable cv_;
+  bool wake_ = false;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+
+  std::mutex io_m_;  // serializes this process's journal/compaction I/O
+  int appends_since_compact_ = 0;  // guarded by io_m_
+  bool dirty_ = false;             // guarded by io_m_
+
+  std::atomic<std::uint64_t> stat_appends_{0};
+  std::atomic<std::uint64_t> stat_compactions_{0};
+  std::atomic<std::uint64_t> stat_foreign_{0};
+  std::atomic<std::uint64_t> stat_io_errors_{0};
+};
+
+}  // namespace persist
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_PERSIST_STORE_H_

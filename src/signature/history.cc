@@ -2,15 +2,10 @@
 
 #include "src/signature/history.h"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <cinttypes>
-#include <cstdio>
-#include <fstream>
-#include <sstream>
 
 #include "src/common/logging.h"
+#include "src/persist/file.h"
 
 namespace dimmunix {
 
@@ -66,6 +61,7 @@ void History::SetDisabled(int index, bool disabled) {
   Signature& sig = signatures_[static_cast<std::size_t>(index)];
   if (sig.disabled != disabled) {
     sig.disabled = disabled;
+    ++sig.knob_epoch;
     version_.fetch_add(1, std::memory_order_release);
   }
 }
@@ -75,6 +71,7 @@ void History::SetMatchDepth(int index, int depth) {
   Signature& sig = signatures_[static_cast<std::size_t>(index)];
   if (sig.match_depth != depth) {
     sig.match_depth = depth;
+    ++sig.knob_epoch;
     version_.fetch_add(1, std::memory_order_release);
   }
 }
@@ -96,153 +93,123 @@ void History::RecordFalsePositive(int index) {
 
 void History::Mutate(int index, const std::function<void(Signature&)>& fn) {
   std::lock_guard<SpinLock> guard(lock_);
-  fn(signatures_[static_cast<std::size_t>(index)]);
+  Signature& sig = signatures_[static_cast<std::size_t>(index)];
+  const bool was_disabled = sig.disabled;
+  const int old_depth = sig.match_depth;
+  fn(sig);
+  if (sig.disabled != was_disabled || sig.match_depth != old_depth) {
+    ++sig.knob_epoch;  // auto-disable / calibration depth moves count too
+  }
   version_.fetch_add(1, std::memory_order_release);
 }
 
-namespace {
-
-constexpr char kHeader[] = "# dimmunix history v1";
-
-}  // namespace
-
-bool History::Load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return true;  // no history yet — empty immune system
+persist::HistoryImage History::ExportImage() const {
+  persist::HistoryImage image;
+  std::lock_guard<SpinLock> guard(lock_);
+  image.records.reserve(signatures_.size());
+  for (const Signature& sig : signatures_) {
+    persist::SignatureRecord rec;
+    rec.kind = sig.kind == SignatureKind::kStarvation ? 1 : 0;
+    rec.disabled = sig.disabled;
+    rec.knob_epoch = sig.knob_epoch;
+    rec.match_depth = sig.match_depth;
+    rec.avoidance_count = sig.avoidance_count;
+    rec.abort_count = sig.abort_count;
+    rec.fp_count = sig.fp_count;
+    rec.stacks.reserve(sig.stacks.size());
+    for (StackId id : sig.stacks) {
+      rec.stacks.push_back(table_->Get(id).frames);  // Get is lock-free
+    }
+    rec.Canonicalize();
+    image.records.push_back(std::move(rec));
   }
-  std::string line;
-  SignatureKind kind = SignatureKind::kDeadlock;
-  int depth = 4;
-  bool disabled = false;
-  std::uint64_t avoided = 0;
-  std::uint64_t aborts = 0;
-  std::vector<std::vector<Frame>> pending_stacks;
-  bool in_signature = false;
-  int loaded = 0;
+  return image;
+}
 
-  auto flush = [&]() {
-    if (pending_stacks.empty()) {
-      return;
+int History::MergeImage(const persist::HistoryImage& image, persist::MergePolicy policy) {
+  int added_count = 0;
+  for (const persist::SignatureRecord& rec : image.records) {
+    if (rec.stacks.empty()) {
+      continue;
     }
     std::vector<StackId> ids;
-    ids.reserve(pending_stacks.size());
-    for (const auto& frames : pending_stacks) {
-      ids.push_back(table_->Intern(frames));
+    ids.reserve(rec.stacks.size());
+    for (const std::vector<Frame>& frames : rec.stacks) {
+      ids.push_back(table_->Intern(frames));  // outside lock_: Intern has its own
     }
-    // A hand-edited file may claim a depth beyond what the stack table can
-    // ever compare at; cap it so the reported depth equals the effective one.
-    depth = std::min(depth, table_->max_depth());
+    // A hand-edited or foreign file may claim a depth beyond what the stack
+    // table can compare at; cap it so the reported depth is the effective one.
+    const int depth = std::min(std::max(1, static_cast<int>(rec.match_depth)),
+                               table_->max_depth());
+    const SignatureKind kind = rec.kind == 1 ? SignatureKind::kStarvation
+                                             : SignatureKind::kDeadlock;
     std::lock_guard<SpinLock> guard(lock_);
     bool added = false;
-    int index = AddLocked(kind, std::move(ids), depth, &added);
+    const int index = AddLocked(kind, std::move(ids), depth, &added);
     Signature& sig = signatures_[static_cast<std::size_t>(index)];
     if (added) {
-      sig.disabled = disabled;
-      sig.avoidance_count = avoided;
-      sig.abort_count = aborts;
-      ++loaded;
-    } else if (sig.disabled != disabled || sig.match_depth != depth) {
-      // Reload of a known signature (§8 hot-reload, operator-edited file):
-      // the file is authoritative for the operator-facing knobs — disabled
-      // state and matching depth — but live counters are never rolled back
-      // to the file's stale values.
-      sig.disabled = disabled;
+      sig.disabled = rec.disabled;
+      sig.knob_epoch = rec.knob_epoch;
+      sig.avoidance_count = rec.avoidance_count;
+      sig.abort_count = rec.abort_count;
+      sig.fp_count = rec.fp_count;
+      ++added_count;
+      continue;
+    }
+    // Known signature. Counters only grow — max() never rolls back a live
+    // value to a stale on-disk one.
+    sig.avoidance_count = std::max(sig.avoidance_count, rec.avoidance_count);
+    sig.abort_count = std::max(sig.abort_count, rec.abort_count);
+    sig.fp_count = std::max(sig.fp_count, rec.fp_count);
+    // Knobs: the higher knob_epoch wins outright (the copy that has seen
+    // more operator actions); `policy` breaks same-epoch conflicts — §8
+    // reload and vendor patches pass kPreferIncoming so a hand-edited file
+    // stays authoritative.
+    if (rec.knob_epoch > sig.knob_epoch) {
+      sig.disabled = rec.disabled;
+      sig.match_depth = depth;
+      sig.knob_epoch = rec.knob_epoch;
+      version_.fetch_add(1, std::memory_order_release);
+    } else if (rec.knob_epoch == sig.knob_epoch &&
+               policy == persist::MergePolicy::kPreferIncoming &&
+               (sig.disabled != rec.disabled || sig.match_depth != depth)) {
+      sig.disabled = rec.disabled;
       sig.match_depth = depth;
       version_.fetch_add(1, std::memory_order_release);
     }
-    pending_stacks.clear();
-  };
-
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') {
-      continue;
-    }
-    std::istringstream ls(line);
-    std::string tok;
-    ls >> tok;
-    if (tok == "sig") {
-      kind = SignatureKind::kDeadlock;
-      depth = 4;
-      disabled = false;
-      avoided = 0;
-      aborts = 0;
-      in_signature = true;
-      std::string field;
-      while (ls >> field) {
-        auto eq = field.find('=');
-        if (eq == std::string::npos) {
-          continue;
-        }
-        std::string key = field.substr(0, eq);
-        std::string value = field.substr(eq + 1);
-        if (key == "kind") {
-          kind = (value == "starvation") ? SignatureKind::kStarvation : SignatureKind::kDeadlock;
-        } else if (key == "depth") {
-          depth = std::max(1, std::atoi(value.c_str()));
-        } else if (key == "disabled") {
-          disabled = (value == "1");
-        } else if (key == "avoided") {
-          avoided = std::strtoull(value.c_str(), nullptr, 10);
-        } else if (key == "aborts") {
-          aborts = std::strtoull(value.c_str(), nullptr, 10);
-        }
-      }
-    } else if (tok == "stack" && in_signature) {
-      std::vector<Frame> frames;
-      std::string frame_tok;
-      while (ls >> frame_tok) {
-        frames.push_back(std::strtoull(frame_tok.c_str(), nullptr, 16));
-      }
-      if (!frames.empty()) {
-        pending_stacks.push_back(std::move(frames));
-      }
-    } else if (tok == "end") {
-      flush();
-      in_signature = false;
-    } else {
-      DIMMUNIX_LOG(kWarn) << "history: skipping unrecognized line: " << line;
-    }
   }
-  flush();
-  DIMMUNIX_LOG(kInfo) << "history: loaded " << loaded << " signature(s) from " << path;
+  return added_count;
+}
+
+bool History::Load(const std::string& path) {
+  persist::HistoryImage image;
+  const persist::LoadResult result = persist::LoadHistoryFile(path, &image);
+  if (result.status == persist::LoadStatus::kIoError) {
+    DIMMUNIX_LOG(kError) << "history: cannot read " << path << ": " << result.message;
+    return false;
+  }
+  if (result.status == persist::LoadStatus::kNotFound) {
+    return true;  // no history yet — empty immune system
+  }
+  if (!result.clean()) {
+    DIMMUNIX_LOG(kWarn) << "history: " << path << ": " << result.records_dropped
+                        << " record(s) dropped (" << result.message << ")";
+  }
+  const int added = MergeImage(image, persist::MergePolicy::kPreferIncoming);
+  DIMMUNIX_LOG(kInfo) << "history: loaded " << added << " signature(s) from " << path
+                      << " (format v" << result.format_version << ", "
+                      << result.journal_records << " journal record(s))";
   return true;
 }
 
 bool History::Save(const std::string& path) const {
   // Saves can race: the monitor persists after archiving while an operator
-  // disable (control thread) persists too. Serialize the whole
-  // write-tmp-then-rename sequence; a per-process tmp name additionally
-  // keeps concurrent *processes* sharing one history file from interleaving.
+  // disable (control thread) persists too. Serialize them here; the persist
+  // layer's file lock + unique tmp names handle concurrent *processes*.
   std::lock_guard<std::mutex> save_guard(save_m_);
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      DIMMUNIX_LOG(kError) << "history: cannot write " << tmp;
-      return false;
-    }
-    out << kHeader << "\n";
-    std::lock_guard<SpinLock> guard(lock_);
-    for (const Signature& sig : signatures_) {
-      out << "sig kind=" << (sig.kind == SignatureKind::kStarvation ? "starvation" : "deadlock")
-          << " depth=" << sig.match_depth << " disabled=" << (sig.disabled ? 1 : 0)
-          << " avoided=" << sig.avoidance_count << " aborts=" << sig.abort_count << "\n";
-      for (StackId id : sig.stacks) {
-        out << "stack";
-        const StackEntry& entry = table_->Get(id);
-        for (Frame frame : entry.frames) {
-          char buf[24];
-          std::snprintf(buf, sizeof(buf), " %" PRIx64, frame);
-          out << buf;
-        }
-        out << "\n";
-      }
-      out << "end\n";
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    DIMMUNIX_LOG(kError) << "history: rename to " << path << " failed";
+  std::string error;
+  if (!persist::SaveHistoryFile(path, ExportImage(), &error)) {
+    DIMMUNIX_LOG(kError) << "history: " << error;
     return false;
   }
   return true;

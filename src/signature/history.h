@@ -11,8 +11,14 @@
 // The history is loaded from disk at startup, shared read-only among all
 // application threads, and mutated only by the monitor thread (§5.4). Writes
 // go through an internal lock so the avoidance path can take consistent
-// snapshots; persistence is a human-readable versioned text format written
-// atomically (tmp + rename).
+// snapshots.
+//
+// Persistence lives in src/persist/: histories save as the versioned binary
+// v2 format (magic/CRC, interned stacks, atomic tmp+rename — see
+// docs/history-format.md) and load from v2, the legacy v1 text format, or a
+// crash-tolerant journal sidecar. History exchanges data with that layer via
+// persist::HistoryImage (ExportImage/MergeImage below); the asynchronous
+// writer around it is persist::HistoryStore.
 
 #ifndef DIMMUNIX_SIGNATURE_HISTORY_H_
 #define DIMMUNIX_SIGNATURE_HISTORY_H_
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "src/common/spin_lock.h"
+#include "src/persist/image.h"
 #include "src/signature/calibration_state.h"
 #include "src/stack/stack_table.h"
 
@@ -38,6 +45,10 @@ struct Signature {
   std::vector<StackId> stacks;  // sorted: a canonical multiset
   int match_depth = 4;          // suffix length used during matching (§5.5)
   bool disabled = false;        // §5.7 "allow users to disable signatures"
+  // Incremented on every disabled/match_depth change; persisted, so merges
+  // across processes let the most-recently-changed copy win the knobs (see
+  // persist::SignatureRecord::knob_epoch).
+  std::uint16_t knob_epoch = 0;
   std::uint64_t avoidance_count = 0;
   std::uint64_t abort_count = 0;  // yields aborted by the §5.7 timeout bound
   std::uint64_t fp_count = 0;     // retrospective false positives (§5.5)
@@ -81,13 +92,24 @@ class History {
   std::uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   // Persistence ---------------------------------------------------------------
-  // Loads (merging) signatures from `path`. Missing file is not an error
-  // (returns true with nothing loaded). Malformed content is skipped with a
-  // warning; returns false only on I/O failure of an existing file.
+  // Loads (merging) signatures from `path` — v2 binary, legacy v1 text, or
+  // journal sidecar, auto-detected. Missing file is not an error (returns
+  // true with nothing loaded). Malformed content is skipped with a warning;
+  // returns false only on I/O failure of an existing file.
   bool Load(const std::string& path);
-  // Atomically writes the whole history to `path`. Thread-safe: concurrent
-  // saves (monitor thread vs. control-plane operations) are serialized.
+  // Atomically writes the whole history to `path` in format v2. Thread-safe:
+  // concurrent saves (monitor thread vs. control-plane ops) are serialized.
   bool Save(const std::string& path) const;
+
+  // Copies every signature into a portable image (frames, not StackIds).
+  persist::HistoryImage ExportImage() const;
+  // Merges an image in: new signatures are added (interning their stacks),
+  // known ones take the max of each counter; `policy` decides whether the
+  // image (kPreferIncoming — reload/vendor patch, §8) or the live history
+  // (kPreferExisting — compaction) wins the operator knobs (disabled flag,
+  // matching depth). Bumps version() on any matching-relevant change.
+  // Returns the number of signatures added.
+  int MergeImage(const persist::HistoryImage& image, persist::MergePolicy policy);
 
  private:
   int AddLocked(SignatureKind kind, std::vector<StackId> stacks, int match_depth, bool* added);

@@ -9,9 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <thread>
 
 #include "src/core/runtime.h"
+#include "src/persist/file.h"
 #include "src/stack/annotation.h"
 
 namespace dimmunix {
@@ -165,6 +169,80 @@ TEST(ProtocolExecuteTest, DisableLastRequiresAnAvoidance) {
 TEST(ProtocolExecuteTest, ReloadWithoutHistoryPathIsAnError) {
   Runtime rt(TestConfig());
   EXPECT_EQ(HandleLine(rt, "reload").rfind("err ", 0), 0u);
+}
+
+TEST(ProtocolParseTest, HistorySubcommands) {
+  std::string error;
+  EXPECT_EQ(ParseRequest("history", &error)->kind, CommandKind::kHistory);
+  EXPECT_EQ(ParseRequest("history save", &error)->kind, CommandKind::kHistorySave);
+  const auto merge = ParseRequest("history merge /tmp/vendor.hist", &error);
+  ASSERT_TRUE(merge.has_value());
+  EXPECT_EQ(merge->kind, CommandKind::kHistoryMerge);
+  EXPECT_EQ(merge->path, "/tmp/vendor.hist");
+  const auto exp = ParseRequest("history export /tmp/out.hist", &error);
+  ASSERT_TRUE(exp.has_value());
+  EXPECT_EQ(exp->kind, CommandKind::kHistoryExport);
+  EXPECT_EQ(exp->path, "/tmp/out.hist");
+
+  EXPECT_FALSE(ParseRequest("history frobnicate", &error).has_value());
+  EXPECT_FALSE(ParseRequest("history merge", &error).has_value());   // missing path
+  EXPECT_FALSE(ParseRequest("history export", &error).has_value());  // missing path
+  EXPECT_FALSE(ParseRequest("history save extra", &error).has_value());
+}
+
+TEST(ProtocolExecuteTest, HistorySaveRequiresAHistoryPath) {
+  Runtime rt(TestConfig());
+  EXPECT_EQ(HandleLine(rt, "history save").rfind("err ", 0), 0u);
+}
+
+TEST(ProtocolExecuteTest, HistoryExportAndMergeRoundTrip) {
+  const std::string exported =
+      (std::filesystem::temp_directory_path() /
+       ("proto_export_" + std::to_string(::getpid()) + ".hist"))
+          .string();
+  persist::RemoveHistoryFiles(exported);
+  {
+    Runtime rt(TestConfig());
+    SeedSignature(rt, "exportA", "exportB");
+    const std::string reply = HandleLine(rt, "history export " + exported);
+    EXPECT_EQ(reply.rfind("ok\n", 0), 0u);
+    EXPECT_NE(reply.find("exported=1\n"), std::string::npos);
+  }
+  ASSERT_TRUE(std::filesystem::exists(exported));
+
+  // A second runtime merges the exported signatures live.
+  Runtime rt2(TestConfig());
+  EXPECT_EQ(rt2.history().size(), 0u);
+  const std::string merged = HandleLine(rt2, "history merge " + exported);
+  EXPECT_EQ(merged.rfind("ok\n", 0), 0u);
+  EXPECT_NE(merged.find("merged_new=1\n"), std::string::npos);
+  EXPECT_EQ(rt2.history().size(), 1u);
+  // Idempotent, and a missing source is a clean error.
+  EXPECT_NE(HandleLine(rt2, "history merge " + exported).find("merged_new=0\n"),
+            std::string::npos);
+  EXPECT_EQ(HandleLine(rt2, "history merge /nonexistent/x.hist").rfind("err ", 0), 0u);
+  persist::RemoveHistoryFiles(exported);
+}
+
+TEST(ProtocolExecuteTest, HistorySavePersistsDurably) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("proto_save_" + std::to_string(::getpid()) + ".hist"))
+          .string();
+  persist::RemoveHistoryFiles(path);
+  Config config = TestConfig();
+  config.history_path = path;
+  Runtime rt(config);
+  SeedSignature(rt, "saveA", "saveB");
+  const std::string reply = HandleLine(rt, "history save");
+  EXPECT_EQ(reply.rfind("ok\n", 0), 0u);
+  EXPECT_NE(reply.find("signatures=1\n"), std::string::npos);
+  // On return the signature is durable in the snapshot (no pending journal).
+  StackTable table(10);
+  History loaded(&table);
+  ASSERT_TRUE(loaded.Load(path));
+  EXPECT_EQ(loaded.size(), 1u);
+  persist::RemoveHistoryFiles(path);
 }
 
 TEST(ProtocolExecuteTest, RagSnapshotShowsHeldLocks) {

@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "src/control/protocol.h"
+#include "src/persist/file.h"
 #include "src/core/runtime.h"
 #include "src/stack/annotation.h"
 
@@ -187,7 +188,7 @@ TEST(ControlServerTest, ServesManySequentialConnections) {
 TEST(ControlServerTest, DisableLastOverSocketStopsAvoidance) {
   const std::string sock = TempSocket("flow");
   const std::string history_path = "/tmp/dimx_flow_" + std::to_string(::getpid()) + ".hist";
-  std::remove(history_path.c_str());
+  persist::RemoveHistoryFiles(history_path);
   Config config = TestConfig(sock);
   config.history_path = history_path;
   Runtime rt(config);
@@ -206,7 +207,7 @@ TEST(ControlServerTest, DisableLastOverSocketStopsAvoidance) {
 
   EXPECT_FALSE(PatternIsAvoided(rt));  // "the menu is usable again"
   EXPECT_TRUE(std::filesystem::exists(history_path));  // persisted for next run
-  std::remove(history_path.c_str());
+  persist::RemoveHistoryFiles(history_path);
 }
 
 // Same flow, but driven by the real dimctl binary — no manual steps.

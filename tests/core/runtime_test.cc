@@ -4,6 +4,7 @@
 // disable workflow (§5.7), and post-upgrade calibration restart (§8).
 
 #include "src/core/runtime.h"
+#include "src/persist/file.h"
 
 #include <gtest/gtest.h>
 
@@ -97,7 +98,7 @@ TEST(RuntimeTest, DisableLastAvoidedSignature) {
 
 TEST(RuntimeTest, ReloadHistoryPicksUpVendorSignatures) {
   const std::string path = TempHistory("reload");
-  std::remove(path.c_str());
+  persist::RemoveHistoryFiles(path);
   // "Vendor" writes a signature file.
   {
     StackTable table(10);
@@ -116,7 +117,7 @@ TEST(RuntimeTest, ReloadHistoryPicksUpVendorSignatures) {
   EXPECT_EQ(rt.history().size(), 0u);
   EXPECT_TRUE(rt.ReloadHistory());
   EXPECT_EQ(rt.history().size(), 1u);
-  std::remove(path.c_str());
+  persist::RemoveHistoryFiles(path);
 }
 
 TEST(RuntimeTest, RestartCalibrationAfterUpgrade) {

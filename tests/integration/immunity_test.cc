@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "src/benchlib/trial.h"
+#include "src/persist/file.h"
 #include "src/stack/annotation.h"
 #include "src/sync/mutex.h"
 
@@ -61,9 +62,9 @@ class ImmunityTest : public ::testing::Test {
     history_ = (std::filesystem::temp_directory_path() /
                 ("immunity_" + std::to_string(::getpid()) + ".hist"))
                    .string();
-    std::remove(history_.c_str());
+    persist::RemoveHistoryFiles(history_);
   }
-  void TearDown() override { std::remove(history_.c_str()); }
+  void TearDown() override { persist::RemoveHistoryFiles(history_); }
   std::string history_;
 };
 

@@ -13,6 +13,7 @@
 #include <filesystem>
 
 #include "src/benchlib/trial.h"
+#include "src/persist/file.h"
 
 namespace dimmunix {
 namespace {
@@ -50,7 +51,7 @@ TEST(PreloadTest, UnmodifiedBinaryAcquiresImmunity) {
       (std::filesystem::temp_directory_path() /
        ("preload_" + std::to_string(::getpid()) + ".hist"))
           .string();
-  std::remove(history.c_str());
+  persist::RemoveHistoryFiles(history);
 
   // Run 1: the victim deadlocks; the shim's monitor captures the signature
   // before the harness kills the process.
@@ -62,7 +63,7 @@ TEST(PreloadTest, UnmodifiedBinaryAcquiresImmunity) {
   TrialResult second = RunVictim(history);
   EXPECT_TRUE(second.completed) << "immunized victim must complete";
   EXPECT_EQ(second.exit_code, 0);
-  std::remove(history.c_str());
+  persist::RemoveHistoryFiles(history);
 }
 
 TEST(PreloadTest, UnmodifiedRwlockBinaryAcquiresImmunity) {
@@ -76,7 +77,7 @@ TEST(PreloadTest, UnmodifiedRwlockBinaryAcquiresImmunity) {
       (std::filesystem::temp_directory_path() /
        ("preload_rwlock_" + std::to_string(::getpid()) + ".hist"))
           .string();
-  std::remove(history.c_str());
+  persist::RemoveHistoryFiles(history);
 
   TrialResult first = RunVictimBinary(RWLOCK_VICTIM_PATH, history);
   EXPECT_TRUE(first.deadlocked) << "rwlock victim should deadlock on first run";
@@ -85,7 +86,7 @@ TEST(PreloadTest, UnmodifiedRwlockBinaryAcquiresImmunity) {
   TrialResult second = RunVictimBinary(RWLOCK_VICTIM_PATH, history);
   EXPECT_TRUE(second.completed) << "immunized rwlock victim must complete";
   EXPECT_EQ(second.exit_code, 0);
-  std::remove(history.c_str());
+  persist::RemoveHistoryFiles(history);
 }
 
 TEST(PreloadTest, ShimIsHarmlessOnDeadlockFreePrograms) {

@@ -17,6 +17,7 @@
 
 #include "src/apps/rwlock_cycle.h"
 #include "src/benchlib/trial.h"
+#include "src/persist/file.h"
 
 namespace dimmunix {
 namespace {
@@ -54,9 +55,9 @@ class RwlockImmunityTest : public ::testing::Test {
     history_ = (std::filesystem::temp_directory_path() /
                 ("rwlock_immunity_" + std::to_string(::getpid()) + ".hist"))
                    .string();
-    std::remove(history_.c_str());
+    persist::RemoveHistoryFiles(history_);
   }
-  void TearDown() override { std::remove(history_.c_str()); }
+  void TearDown() override { persist::RemoveHistoryFiles(history_); }
 
   // The three-step protocol for one pair of opposing paths.
   template <typename PathA, typename PathB>

@@ -1,0 +1,175 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Crash-safety and multi-process tests — the acceptance criteria of the
+// durable-immunity work:
+//
+//  * SIGKILL at an arbitrary point during journal appends leaves a file
+//    History::Load accepts (at most the torn final record is lost).
+//  * N processes doing concurrent load-merge-save on one history file lose
+//    no signatures (the fcntl lock protocol).
+//
+// Children are forked before this binary spawns any threads and run only
+// persist-layer file I/O, so fork() is safe here.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "src/persist/file.h"
+#include "src/signature/history.h"
+#include "src/stack/stack_table.h"
+
+namespace dimmunix {
+namespace persist {
+namespace {
+
+std::string TempPath(const char* tag) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       (std::string("dimx_crash_") + tag + "_" + std::to_string(::getpid())))
+          .string();
+  RemoveHistoryFiles(path);
+  return path;
+}
+
+SignatureRecord UniqueRecord(std::uint64_t child, std::uint64_t i) {
+  SignatureRecord rec;
+  rec.kind = 0;
+  rec.match_depth = 2;
+  rec.avoidance_count = i;
+  rec.stacks.push_back({child * 1000000 + i * 2 + 1});
+  rec.stacks.push_back({child * 1000000 + i * 2 + 2});
+  rec.Canonicalize();
+  return rec;
+}
+
+TEST(CrashTest, SigkillMidJournalAppendLeavesLoadableFile) {
+  const std::string path = TempPath("kill");
+  // Seed one durable signature so there is always something to protect.
+  {
+    HistoryImage seed;
+    seed.records.push_back(UniqueRecord(99, 0));
+    ASSERT_TRUE(SaveHistoryFile(path, seed));
+  }
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Append records as fast as possible until killed. Any write() may be
+    // the one the SIGKILL lands in.
+    for (std::uint64_t i = 1;; ++i) {
+      AppendJournalRecord(path, UniqueRecord(1, i), /*fsync_after=*/false);
+    }
+  }
+  ::usleep(60 * 1000);  // let it get a few hundred appends in
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // The file must be accepted by a tolerant load...
+  HistoryImage image;
+  const LoadResult result = LoadHistoryFile(path, &image);
+  EXPECT_EQ(result.status, LoadStatus::kOk);
+  EXPECT_GE(image.records.size(), 1u) << "the seed signature must survive";
+  // ...at most the torn final record may be missing.
+  EXPECT_LE(result.records_dropped, 1u);
+
+  // And by the full History stack (what a restarting runtime does).
+  StackTable table(10);
+  History history(&table);
+  EXPECT_TRUE(history.Load(path));
+  EXPECT_GE(history.size(), 1u);
+
+  // Compaction (what the next runtime's store does at startup) folds the
+  // survivors into a snapshot that then validates clean.
+  ASSERT_TRUE(SaveHistoryFile(path, image));
+  EXPECT_EQ(ValidateHistoryFile(path).status, LoadStatus::kOk);
+  RemoveHistoryFiles(path);
+}
+
+TEST(CrashTest, TwoProcessConcurrentMergeLosesNoSignatures) {
+  const std::string path = TempPath("merge2");
+  constexpr int kPerChild = 25;
+
+  pid_t children[2] = {-1, -1};
+  for (std::uint64_t c = 0; c < 2; ++c) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Each child checkpoints kPerChild distinct signatures one at a time —
+      // the worst-case interleaving for a lost-update bug.
+      for (std::uint64_t i = 0; i < kPerChild; ++i) {
+        HistoryImage mine;
+        mine.records.push_back(UniqueRecord(c + 1, i));
+        if (!MergeIntoFile(path, mine)) {
+          _exit(10);
+        }
+      }
+      _exit(0);
+    }
+    children[c] = pid;
+  }
+  for (pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  HistoryImage image;
+  const LoadResult result = LoadHistoryFile(path, &image);
+  ASSERT_EQ(result.status, LoadStatus::kOk);
+  EXPECT_EQ(result.records_dropped, 0u);
+  ASSERT_EQ(image.records.size(), 2u * kPerChild) << "signatures were lost in the merge";
+  for (std::uint64_t c = 1; c <= 2; ++c) {
+    for (std::uint64_t i = 0; i < kPerChild; ++i) {
+      EXPECT_GE(image.Find(UniqueRecord(c, i)), 0) << "child " << c << " record " << i;
+    }
+  }
+  RemoveHistoryFiles(path);
+}
+
+TEST(CrashTest, ConcurrentAppendersInterleaveWithoutCorruption) {
+  // Two processes appending journal records under the file lock: the journal
+  // must replay every record from both.
+  const std::string path = TempPath("append2");
+  constexpr int kPerChild = 40;
+
+  pid_t children[2] = {-1, -1};
+  for (std::uint64_t c = 0; c < 2; ++c) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      for (std::uint64_t i = 0; i < kPerChild; ++i) {
+        if (!AppendJournalRecord(path, UniqueRecord(c + 1, i), false)) {
+          _exit(10);
+        }
+      }
+      _exit(0);
+    }
+    children[c] = pid;
+  }
+  for (pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  HistoryImage image;
+  const LoadResult result = LoadHistoryFile(path, &image);
+  ASSERT_EQ(result.status, LoadStatus::kOk);
+  EXPECT_EQ(result.records_dropped, 0u);
+  EXPECT_EQ(image.records.size(), 2u * kPerChild);
+  RemoveHistoryFiles(path);
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace dimmunix

@@ -1,0 +1,253 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Unit tests for the pure encoding layer: CRC-32, snapshot v2
+// encode/decode, journal records, legacy v1 text, and the corruption
+// taxonomy (bit flips are dropped per record, torn tails end a replay,
+// header damage is fatal).
+
+#include "src/persist/format.h"
+
+#include <gtest/gtest.h>
+
+namespace dimmunix {
+namespace persist {
+namespace {
+
+SignatureRecord MakeRecord(std::uint64_t seed, std::size_t stacks = 2,
+                           std::size_t frames = 3) {
+  SignatureRecord rec;
+  rec.kind = seed % 2 == 0 ? 0 : 1;
+  rec.disabled = (seed % 3) == 0;
+  rec.match_depth = 1 + static_cast<std::int32_t>(seed % 8);
+  rec.avoidance_count = seed * 17;
+  rec.abort_count = seed % 5;
+  rec.fp_count = seed % 7;
+  for (std::size_t s = 0; s < stacks; ++s) {
+    std::vector<Frame> frame_vec;
+    for (std::size_t f = 0; f < frames; ++f) {
+      frame_vec.push_back(seed * 1000 + s * 100 + f + 1);
+    }
+    rec.stacks.push_back(std::move(frame_vec));
+  }
+  rec.Canonicalize();
+  return rec;
+}
+
+bool SameRecord(const SignatureRecord& a, const SignatureRecord& b) {
+  return a.kind == b.kind && a.disabled == b.disabled && a.match_depth == b.match_depth &&
+         a.avoidance_count == b.avoidance_count && a.abort_count == b.abort_count &&
+         a.fp_count == b.fp_count && a.stacks == b.stacks;
+}
+
+TEST(Crc32Test, KnownVector) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(SnapshotV2Test, EncodeDecodeRoundTrip) {
+  HistoryImage image;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    image.records.push_back(MakeRecord(i));
+  }
+  const std::string bytes = EncodeSnapshotV2(image);
+  ASSERT_EQ(bytes.substr(0, 4), kSnapshotMagic);
+
+  HistoryImage decoded;
+  LoadResult result;
+  ASSERT_TRUE(DecodeSnapshotV2(bytes, &decoded, &result));
+  EXPECT_EQ(result.records_loaded, 5u);
+  EXPECT_EQ(result.records_dropped, 0u);
+  ASSERT_EQ(decoded.records.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(SameRecord(decoded.records[i], image.records[i])) << "record " << i;
+  }
+}
+
+TEST(SnapshotV2Test, EncodingIsDeterministic) {
+  HistoryImage image;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    image.records.push_back(MakeRecord(i, /*stacks=*/3));
+  }
+  // Shared stacks across records must intern to one copy.
+  image.records[3].stacks = image.records[0].stacks;
+  const std::string a = EncodeSnapshotV2(image);
+  const std::string b = EncodeSnapshotV2(image);
+  EXPECT_EQ(a, b);
+
+  // decode -> re-encode is byte-identical (the save->load->save property).
+  HistoryImage decoded;
+  LoadResult result;
+  ASSERT_TRUE(DecodeSnapshotV2(a, &decoded, &result));
+  EXPECT_EQ(EncodeSnapshotV2(decoded), a);
+}
+
+TEST(SnapshotV2Test, BitFlipInRecordDropsOnlyThatRecord) {
+  HistoryImage image;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    image.records.push_back(MakeRecord(i));
+  }
+  std::string bytes = EncodeSnapshotV2(image);
+  // Flip a bit in the *last* record's payload (well past header + stacks).
+  bytes[bytes.size() - 3] ^= 0x40;
+  HistoryImage decoded;
+  LoadResult result;
+  ASSERT_TRUE(DecodeSnapshotV2(bytes, &decoded, &result));
+  EXPECT_EQ(result.records_dropped, 1u);
+  EXPECT_EQ(result.records_loaded, 3u);
+}
+
+TEST(SnapshotV2Test, HeaderDamageIsFatal) {
+  HistoryImage image;
+  image.records.push_back(MakeRecord(1));
+  std::string bytes = EncodeSnapshotV2(image);
+  bytes[9] ^= 0x01;  // inside the counts, protected by the header CRC
+  HistoryImage decoded;
+  LoadResult result;
+  EXPECT_FALSE(DecodeSnapshotV2(bytes, &decoded, &result));
+  EXPECT_EQ(result.status, LoadStatus::kCorrupt);
+  EXPECT_TRUE(decoded.records.empty());
+}
+
+TEST(SnapshotV2Test, TruncationDropsTailRecords) {
+  HistoryImage image;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    image.records.push_back(MakeRecord(i));
+  }
+  const std::string bytes = EncodeSnapshotV2(image);
+  const std::string cut = bytes.substr(0, bytes.size() - 10);
+  HistoryImage decoded;
+  LoadResult result;
+  ASSERT_TRUE(DecodeSnapshotV2(cut, &decoded, &result));
+  EXPECT_GT(result.records_dropped, 0u);
+  EXPECT_EQ(result.records_loaded + result.records_dropped, 6u);
+  EXPECT_EQ(decoded.records.size(), result.records_loaded);
+}
+
+TEST(JournalTest, AppendedRecordsReplayInOrder) {
+  std::string bytes = EncodeJournalHeader();
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    bytes += EncodeJournalRecord(MakeRecord(i));
+  }
+  HistoryImage image;
+  LoadResult result;
+  ReplayJournal(bytes, &image, &result);
+  EXPECT_EQ(result.journal_records, 3u);
+  EXPECT_EQ(result.records_dropped, 0u);
+  ASSERT_EQ(image.records.size(), 3u);
+}
+
+TEST(JournalTest, ReplayDeduplicatesAndUpgradesCounters) {
+  SignatureRecord rec = MakeRecord(7);
+  rec.avoidance_count = 1;
+  std::string bytes = EncodeJournalHeader();
+  bytes += EncodeJournalRecord(rec);
+  rec.avoidance_count = 9;  // later snapshot of the same signature
+  rec.disabled = true;
+  bytes += EncodeJournalRecord(rec);
+  HistoryImage image;
+  LoadResult result;
+  ReplayJournal(bytes, &image, &result);
+  ASSERT_EQ(image.records.size(), 1u);
+  EXPECT_EQ(image.records[0].avoidance_count, 9u);
+  EXPECT_TRUE(image.records[0].disabled);  // journal order wins (newer)
+}
+
+TEST(JournalTest, TornTailIsDroppedEverythingBeforeSurvives) {
+  std::string bytes = EncodeJournalHeader();
+  bytes += EncodeJournalRecord(MakeRecord(1));
+  bytes += EncodeJournalRecord(MakeRecord(2));
+  const std::string full_two = bytes;
+  bytes += EncodeJournalRecord(MakeRecord(3));
+  // Tear the third record anywhere: every prefix length must still load
+  // exactly the first two records (the SIGKILL-mid-append contract).
+  for (std::size_t cut = full_two.size() + 1; cut < bytes.size(); cut += 7) {
+    HistoryImage image;
+    LoadResult result;
+    ReplayJournal(std::string_view(bytes).substr(0, cut), &image, &result);
+    EXPECT_EQ(image.records.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(result.records_dropped, 1u) << "cut at " << cut;
+  }
+}
+
+TEST(JournalTest, StaleJournalCannotRollBackKnobs) {
+  // The rename-then-unlink crash window: a journal created against an older
+  // snapshot (binding mismatch) must not override the newer snapshot's
+  // operator knobs, but its signatures/counters still merge.
+  SignatureRecord known = MakeRecord(5);
+  known.disabled = true;  // the operator's decision, already in the snapshot
+  known.avoidance_count = 3;
+  HistoryImage image;
+  image.records.push_back(known);
+
+  SignatureRecord stale = known;
+  stale.disabled = false;  // pre-disable journal record
+  stale.avoidance_count = 8;
+  std::string bytes = EncodeJournalHeader(/*snapshot_crc=*/0xDEADBEEF);
+  bytes += EncodeJournalRecord(stale);
+  bytes += EncodeJournalRecord(MakeRecord(6));  // a genuinely new signature
+
+  LoadResult result;
+  ReplayJournal(bytes, &image, &result, /*current_snapshot_crc=*/0x12345678);
+  ASSERT_EQ(image.records.size(), 2u);
+  EXPECT_TRUE(image.records[0].disabled) << "stale journal re-enabled a disabled signature";
+  EXPECT_EQ(image.records[0].avoidance_count, 8u);  // counters still ratchet
+
+  // Matching binding: the journal is fresh and its knobs win as usual.
+  HistoryImage image2;
+  image2.records.push_back(known);
+  LoadResult result2;
+  ReplayJournal(bytes, &image2, &result2, /*current_snapshot_crc=*/0xDEADBEEF);
+  EXPECT_FALSE(image2.records[0].disabled);
+}
+
+TEST(TextV1Test, ParsesLegacyFormat) {
+  const std::string text =
+      "# dimmunix history v1\n"
+      "garbage line\n"
+      "sig kind=starvation depth=3 disabled=1 avoided=12 aborts=2\n"
+      "stack ff aa\n"
+      "stack 1b\n"
+      "end\n";
+  HistoryImage image;
+  LoadResult result;
+  ParseTextV1(text, &image, &result);
+  EXPECT_EQ(result.format_version, 1);
+  ASSERT_EQ(image.records.size(), 1u);
+  const SignatureRecord& rec = image.records[0];
+  EXPECT_EQ(rec.kind, 1);
+  EXPECT_EQ(rec.match_depth, 3);
+  EXPECT_TRUE(rec.disabled);
+  EXPECT_EQ(rec.avoidance_count, 12u);
+  EXPECT_EQ(rec.abort_count, 2u);
+  ASSERT_EQ(rec.stacks.size(), 2u);
+  // Canonical order: {0x1b} sorts before {0xff, 0xaa}.
+  EXPECT_EQ(rec.stacks[0], (std::vector<Frame>{0x1b}));
+  EXPECT_EQ(rec.stacks[1], (std::vector<Frame>{0xff, 0xaa}));
+}
+
+TEST(MergeTest, PolicyControlsOperatorKnobs) {
+  HistoryImage mine;
+  mine.records.push_back(MakeRecord(4));
+  mine.records[0].disabled = false;
+  mine.records[0].avoidance_count = 10;
+
+  HistoryImage theirs;
+  theirs.records.push_back(mine.records[0]);
+  theirs.records[0].disabled = true;
+  theirs.records[0].avoidance_count = 3;
+
+  HistoryImage a = mine;
+  MergeInto(&a, theirs, MergePolicy::kPreferExisting);
+  EXPECT_FALSE(a.records[0].disabled);           // my knob survives
+  EXPECT_EQ(a.records[0].avoidance_count, 10u);  // max()
+
+  HistoryImage b = mine;
+  MergeInto(&b, theirs, MergePolicy::kPreferIncoming);
+  EXPECT_TRUE(b.records[0].disabled);            // file wins (§8 reload)
+  EXPECT_EQ(b.records[0].avoidance_count, 10u);  // counters still never shrink
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace dimmunix

@@ -1,0 +1,275 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// HistoryStore tests: the async journal path, threshold compaction, the
+// synchronous lock-merge-save (SaveNow), export/merge, and live resync
+// between two stores sharing one history file.
+
+#include "src/persist/store.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "src/signature/history.h"
+#include "src/stack/annotation.h"
+#include "src/stack/stack_table.h"
+
+namespace dimmunix {
+namespace persist {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Polls until `pred` holds or ~2s elapse.
+template <typename Pred>
+bool Eventually(Pred pred) {
+  for (int i = 0; i < 400; ++i) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() : table_(10), history_(&table_) {}
+
+  std::string TempPath() {
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("dimx_store_" + std::to_string(::getpid()) + "_" + std::to_string(counter_++)))
+            .string();
+    RemoveHistoryFiles(path);
+    cleanup_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : cleanup_) {
+      RemoveHistoryFiles(path);
+    }
+  }
+
+  int AddSignature(History* history, const char* fa, const char* fb) {
+    bool added = false;
+    return history->Add(
+        SignatureKind::kDeadlock,
+        {table_.Intern({FrameFromName(fa)}), table_.Intern({FrameFromName(fb)})}, 2, &added);
+  }
+
+  StackTable table_;
+  History history_;
+  int counter_ = 0;
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(StoreTest, StartCreatesTheFileImmediately) {
+  const std::string path = TempPath();
+  StoreOptions options;
+  options.path = path;
+  HistoryStore store(options, &history_, &table_);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  store.Start();
+  EXPECT_TRUE(std::filesystem::exists(path));
+  store.Stop();
+}
+
+TEST_F(StoreTest, NotifyJournalsAsynchronously) {
+  const std::string path = TempPath();
+  StoreOptions options;
+  options.path = path;
+  options.journal_threshold = 1000;  // never compact during the test
+  HistoryStore store(options, &history_, &table_);
+  store.Start();
+
+  const int index = AddSignature(&history_, "async::a", "async::b");
+  store.NotifySignatureChanged(index);  // O(1), no I/O on this thread
+
+  ASSERT_TRUE(Eventually([&] { return std::filesystem::exists(JournalPathFor(path)); }));
+  ASSERT_TRUE(Eventually([&] { return store.stats().appends >= 1; }));
+
+  // The journal alone (snapshot is still empty) must round-trip the delta.
+  StackTable table2(10);
+  History loaded(&table2);
+  ASSERT_TRUE(loaded.Load(path));
+  EXPECT_EQ(loaded.size(), 1u);
+  store.Stop();
+}
+
+TEST_F(StoreTest, ThresholdTriggersCompaction) {
+  const std::string path = TempPath();
+  StoreOptions options;
+  options.path = path;
+  options.journal_threshold = 3;
+  HistoryStore store(options, &history_, &table_);
+  store.Start();
+  for (int i = 0; i < 3; ++i) {
+    const std::string fa = "thresh::a" + std::to_string(i);
+    const std::string fb = "thresh::b" + std::to_string(i);
+    store.NotifySignatureChanged(AddSignature(&history_, fa.c_str(), fb.c_str()));
+  }
+  // Threshold reached -> journal folded into the snapshot and removed.
+  ASSERT_TRUE(Eventually([&] { return store.stats().compactions >= 2; }));
+  ASSERT_TRUE(Eventually([&] { return !std::filesystem::exists(JournalPathFor(path)); }));
+
+  StackTable table2(10);
+  History loaded(&table2);
+  ASSERT_TRUE(loaded.Load(path));
+  EXPECT_EQ(loaded.size(), 3u);
+  store.Stop();
+}
+
+TEST_F(StoreTest, StopFlushesEverything) {
+  const std::string path = TempPath();
+  StoreOptions options;
+  options.path = path;
+  options.journal_threshold = 1000;
+  {
+    HistoryStore store(options, &history_, &table_);
+    store.Start();
+    store.NotifySignatureChanged(AddSignature(&history_, "stop::a", "stop::b"));
+    store.Stop();
+  }
+  EXPECT_FALSE(std::filesystem::exists(JournalPathFor(path)));  // compacted
+  StackTable table2(10);
+  History loaded(&table2);
+  ASSERT_TRUE(loaded.Load(path));
+  EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST_F(StoreTest, SaveNowMergesForeignSignaturesIntoLiveHistory) {
+  const std::string path = TempPath();
+  // Another "process" wrote its own signature to the shared file.
+  {
+    StackTable other_table(10);
+    History other(&other_table);
+    bool added = false;
+    other.Add(SignatureKind::kDeadlock,
+              {other_table.Intern({FrameFromName("foreign::a")}),
+               other_table.Intern({FrameFromName("foreign::b")})},
+              2, &added);
+    ASSERT_TRUE(other.Save(path));
+  }
+
+  StoreOptions options;
+  options.path = path;
+  options.merge_on_start = false;  // isolate the SaveNow behavior
+  HistoryStore store(options, &history_, &table_);
+  int merged_callbacks = 0;
+  store.SetOnHistoryMerged([&] { ++merged_callbacks; });
+  store.Start();
+
+  AddSignature(&history_, "local::a", "local::b");
+  const std::uint64_t version_before = history_.version();
+  ASSERT_TRUE(store.SaveNow());
+
+  // Both signatures now live in memory AND on disk; the engine was told.
+  EXPECT_EQ(history_.size(), 2u);
+  EXPECT_GT(history_.version(), version_before);
+  EXPECT_EQ(merged_callbacks, 1);
+  EXPECT_EQ(store.stats().foreign_merged, 1u);
+
+  StackTable table2(10);
+  History loaded(&table2);
+  ASSERT_TRUE(loaded.Load(path));
+  EXPECT_EQ(loaded.size(), 2u);
+  store.Stop();
+}
+
+TEST_F(StoreTest, ResyncConsumesOtherProcesssWritesLive) {
+  const std::string path = TempPath();
+
+  StoreOptions options_a;
+  options_a.path = path;
+  HistoryStore store_a(options_a, &history_, &table_);
+  store_a.Start();
+
+  StackTable table_b(10);
+  History history_b(&table_b);
+  StoreOptions options_b;
+  options_b.path = path;
+  options_b.resync_period = 20ms;
+  HistoryStore store_b(options_b, &history_b, &table_b);
+  store_b.Start();
+
+  // A detects a deadlock and persists; B must learn it without any call.
+  store_a.NotifySignatureChanged(AddSignature(&history_, "resync::a", "resync::b"));
+  ASSERT_TRUE(store_a.SaveNow());
+  EXPECT_TRUE(Eventually([&] { return history_b.size() == 1; }))
+      << "store B never resynced the shared file";
+
+  store_b.Stop();
+  store_a.Stop();
+}
+
+TEST_F(StoreTest, KnobEpochPreventsCompactionFromRevertingForeignDisable) {
+  // Process B disables a signature and persists; process A (stale copy in
+  // memory) then runs a threshold-style compaction with kPreferExisting.
+  // The higher knob_epoch in the file must win — A adopts the disable
+  // instead of clobbering it.
+  const std::string path = TempPath();
+  const int index = AddSignature(&history_, "epoch::a", "epoch::b");
+
+  StoreOptions options;
+  options.path = path;
+  HistoryStore store_a(options, &history_, &table_);
+  store_a.Start();
+  ASSERT_TRUE(store_a.SaveNow());
+
+  {
+    // "Process B": loads the shared file, disables, saves.
+    StackTable table_b(10);
+    History history_b(&table_b);
+    ASSERT_TRUE(history_b.Load(path));
+    ASSERT_EQ(history_b.size(), 1u);
+    history_b.SetDisabled(0, true);  // bumps knob_epoch
+    ASSERT_TRUE(history_b.Save(path));
+  }
+
+  ASSERT_FALSE(history_.Get(index).disabled);
+  ASSERT_TRUE(store_a.SaveNow());  // kPreferExisting — epoch must override it
+  EXPECT_TRUE(history_.Get(index).disabled)
+      << "compaction reverted another process's disable";
+
+  StackTable table_c(10);
+  History loaded(&table_c);
+  ASSERT_TRUE(loaded.Load(path));
+  EXPECT_TRUE(loaded.Get(0).disabled);
+  store_a.Stop();
+}
+
+TEST_F(StoreTest, ExportAndMergeRoundTrip) {
+  const std::string path = TempPath();
+  const std::string exported = TempPath();
+  StoreOptions options;
+  options.path = path;
+  HistoryStore store(options, &history_, &table_);
+  store.Start();
+  AddSignature(&history_, "exp::a", "exp::b");
+  ASSERT_TRUE(store.ExportTo(exported));
+
+  // Merge the export into a different history via its own store.
+  StackTable table2(10);
+  History history2(&table2);
+  const std::string path2 = TempPath();
+  StoreOptions options2;
+  options2.path = path2;
+  HistoryStore store2(options2, &history2, &table2);
+  store2.Start();
+  EXPECT_EQ(store2.MergeFrom(exported), 1);
+  EXPECT_EQ(history2.size(), 1u);
+  EXPECT_EQ(store2.MergeFrom(exported), 0);  // idempotent
+  EXPECT_EQ(store2.MergeFrom("/nonexistent/x.hist"), -1);
+
+  store2.Stop();
+  store.Stop();
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace dimmunix

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "src/persist/file.h"
+
 namespace dimmunix {
 namespace {
 
@@ -149,6 +151,86 @@ TEST_F(HistoryTest, MalformedLinesAreSkipped) {
   EXPECT_EQ(history_.size(), 1u);
   EXPECT_EQ(history_.Get(0).match_depth, 3);
   std::remove(path.c_str());
+}
+
+TEST_F(HistoryTest, SaveWritesFormatV2) {
+  bool added = false;
+  history_.Add(SignatureKind::kDeadlock, {Stack({"v2a"}), Stack({"v2b"})}, 4, &added);
+  const std::string path = TempPath();
+  ASSERT_TRUE(history_.Save(path));
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {};
+  in.read(magic, 4);
+  EXPECT_EQ(std::string(magic, 4), "DIMX");
+  persist::RemoveHistoryFiles(path);
+}
+
+TEST_F(HistoryTest, LegacyV1FileUpgradesOnResave) {
+  const std::string path = TempPath();
+  {
+    std::ofstream out(path);
+    out << "# dimmunix history v1\n";
+    out << "sig kind=deadlock depth=3 disabled=1 avoided=9 aborts=1\n";
+    out << "stack ff aa\n";
+    out << "stack 1b\n";
+    out << "end\n";
+  }
+  ASSERT_TRUE(history_.Load(path));
+  ASSERT_EQ(history_.size(), 1u);
+  EXPECT_TRUE(history_.Get(0).disabled);
+  EXPECT_EQ(history_.Get(0).avoidance_count, 9u);
+  // Saving re-encodes as v2; a fresh History loads it identically.
+  ASSERT_TRUE(history_.Save(path));
+  StackTable table2(10);
+  History reloaded(&table2);
+  ASSERT_TRUE(reloaded.Load(path));
+  ASSERT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.Get(0).match_depth, 3);
+  EXPECT_EQ(reloaded.Get(0).avoidance_count, 9u);
+  persist::RemoveHistoryFiles(path);
+}
+
+TEST_F(HistoryTest, LoadReplaysJournalSidecar) {
+  bool added = false;
+  history_.Add(SignatureKind::kDeadlock, {Stack({"snap1"}), Stack({"snap2"})}, 4, &added);
+  const std::string path = TempPath();
+  ASSERT_TRUE(history_.Save(path));
+  // A crashed process left one extra signature only in the journal.
+  persist::SignatureRecord extra;
+  extra.match_depth = 2;
+  extra.stacks.push_back({0x111});
+  extra.stacks.push_back({0x222});
+  ASSERT_TRUE(persist::AppendJournalRecord(path, extra, /*fsync_after=*/false));
+
+  StackTable table2(10);
+  History loaded(&table2);
+  ASSERT_TRUE(loaded.Load(path));
+  EXPECT_EQ(loaded.size(), 2u);
+  persist::RemoveHistoryFiles(path);
+}
+
+TEST_F(HistoryTest, MergeImagePolicyGovernsKnobs) {
+  bool added = false;
+  const int index =
+      history_.Add(SignatureKind::kDeadlock, {Stack({"pol1"}), Stack({"pol2"})}, 4, &added);
+  // Build an image of the same signature with different knobs/counters.
+  persist::HistoryImage image = history_.ExportImage();
+  image.records[0].disabled = true;
+  image.records[0].match_depth = 2;
+  image.records[0].avoidance_count = 50;
+
+  // Compaction policy: my knobs win, counters still ratchet up.
+  EXPECT_EQ(history_.MergeImage(image, persist::MergePolicy::kPreferExisting), 0);
+  EXPECT_FALSE(history_.Get(index).disabled);
+  EXPECT_EQ(history_.Get(index).match_depth, 4);
+  EXPECT_EQ(history_.Get(index).avoidance_count, 50u);
+
+  // Reload policy (§8): the file wins the knobs.
+  const std::uint64_t version_before = history_.version();
+  EXPECT_EQ(history_.MergeImage(image, persist::MergePolicy::kPreferIncoming), 0);
+  EXPECT_TRUE(history_.Get(index).disabled);
+  EXPECT_EQ(history_.Get(index).match_depth, 2);
+  EXPECT_GT(history_.version(), version_before);
 }
 
 TEST_F(HistoryTest, ForEachVisitsAll) {

@@ -35,6 +35,7 @@
 #include "src/benchlib/synth_history.h"
 #include "src/benchlib/trial.h"
 #include "src/benchlib/workload.h"
+#include "src/persist/file.h"
 
 namespace dimmunix {
 namespace {
@@ -178,6 +179,7 @@ int RunFig8(const Options& opts) {
     report.samples.push_back(ToSample("baseline", threads, baseline));
     std::printf("fig8 threads=%3d baseline=%10.0f ops/s\n", threads, baseline.ops_per_sec);
 
+    double full_ops = 0.0;
     for (const Stage& stage : stages) {
       Config config = InstrumentedConfig();
       config.stage = stage.stage;
@@ -187,13 +189,40 @@ int RunFig8(const Options& opts) {
       params.runtime = &rt;
       const WorkloadResult result = RunWorkload(params);
       report.samples.push_back(ToSample(stage.label, threads, result));
-      std::printf("fig8 threads=%3d %8s=%10.0f ops/s\n", threads, stage.label,
+      std::printf("fig8 threads=%3d %12s=%10.0f ops/s\n", threads, stage.label,
                   result.ops_per_sec);
       if (stage.stage == EngineStage::kFull) {
+        full_ops = result.ops_per_sec;
         report.p50_ns = PercentileNs(result.latencies_ns, 0.50);
         report.p99_ns = PercentileNs(result.latencies_ns, 0.99);
         report.throughput_ops_s = result.ops_per_sec;
       }
+    }
+
+    // full + durable persistence: same engine stage, but with a live history
+    // file, save-on-update, and the async HistoryStore journaling/compacting.
+    // History I/O is off the hot path, so this must track "full" within
+    // noise — the number CI watches for regressions of that property.
+    {
+      Config config = InstrumentedConfig();
+      config.stage = EngineStage::kFull;
+      config.history_path = BenchJsonPath("fig8") + ".hist";
+      config.save_history_on_update = true;
+      config.load_history_on_init = false;  // fresh file every run
+      config.journal_threshold = 8;
+      persist::RemoveHistoryFiles(config.history_path);
+      {
+        Runtime rt(config);
+        LoadSyntheticHistory(rt);
+        params.mode = WorkloadMode::kDimmunix;
+        params.runtime = &rt;
+        const WorkloadResult result = RunWorkload(params);
+        report.samples.push_back(ToSample("full+persist", threads, result));
+        std::printf("fig8 threads=%3d %12s=%10.0f ops/s (%+.2f%% vs full)\n", threads,
+                    "full+persist", result.ops_per_sec,
+                    full_ops > 0 ? (result.ops_per_sec / full_ops - 1.0) * 100.0 : 0.0);
+      }
+      persist::RemoveHistoryFiles(config.history_path);
     }
   }
 
