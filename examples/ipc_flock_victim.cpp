@@ -1,0 +1,98 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// ipc_flock_victim — two PROCESSES deadlocking on flock(2) file locks (the
+// SQLite-style pattern), with NO Dimmunix linkage:
+//
+//   $ export LD_PRELOAD=build/libdimmunix_preload.so
+//   $ export DIMMUNIX_HISTORY=/tmp/fl.hist DIMMUNIX_IPC=/tmp/fl.arena
+//   $ export DIMMUNIX_TAU_MS=20 DIMMUNIX_YIELD_TIMEOUT_MS=3000
+//   $ ./ipc_flock_victim /tmp/fl.a /tmp/fl.b   # run 1: deadlock, exit 3
+//   $ ./ipc_flock_victim /tmp/fl.a /tmp/fl.b   # run 2: immune, exit 0
+//
+// Process A flocks file1 then file2 (500 ms later); process B (staggered
+// 200 ms) flocks file2 then file1. flock is per-open-file-description, so
+// the two processes' exclusive locks conflict and the cycle is
+// deterministic. Same watchdog protocol as ipc_shm_victim.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/file.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+[[noreturn]] void RunRole(const char* path1, const char* path2, bool role_a) {
+  const char* first = role_a ? path1 : path2;
+  const char* second = role_a ? path2 : path1;
+  if (!role_a) {
+    usleep(200 * 1000);
+  }
+  const int fd_first = ::open(first, O_RDWR | O_CREAT, 0644);
+  const int fd_second = ::open(second, O_RDWR | O_CREAT, 0644);
+  if (fd_first < 0 || fd_second < 0) {
+    std::perror("open");
+    std::_Exit(1);
+  }
+  if (::flock(fd_first, LOCK_EX) != 0) {
+    std::_Exit(1);
+  }
+  usleep(500 * 1000);
+  if (::flock(fd_second, LOCK_EX) != 0) {
+    std::_Exit(1);
+  }
+  usleep(50 * 1000);  // critical section
+  ::flock(fd_second, LOCK_UN);
+  ::flock(fd_first, LOCK_UN);
+  std::_Exit(0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path1 = argc > 1 ? argv[1] : "/tmp/ipc_flock_victim.file1";
+  const char* path2 = argc > 2 ? argv[2] : "/tmp/ipc_flock_victim.file2";
+  if (const char* arena = std::getenv("DIMMUNIX_IPC"); arena != nullptr) {
+    ::unlink(arena);  // never replay a killed run's stale edges
+  }
+
+  const pid_t a = ::fork();
+  if (a == 0) {
+    RunRole(path1, path2, /*role_a=*/true);
+  }
+  const pid_t b = ::fork();
+  if (b == 0) {
+    RunRole(path1, path2, /*role_a=*/false);
+  }
+
+  int done = 0;
+  bool failed = false;
+  for (int elapsed_ms = 0; done < 2 && elapsed_ms < 12000; elapsed_ms += 50) {
+    int status = 0;
+    pid_t reaped;
+    while (done < 2 && (reaped = ::waitpid(-1, &status, WNOHANG)) > 0) {
+      ++done;
+      failed = failed || !WIFEXITED(status) || WEXITSTATUS(status) != 0;
+    }
+    if (done < 2) {
+      ::usleep(50 * 1000);
+    }
+  }
+  if (done < 2) {
+    std::fprintf(stderr, "deadlock persisted; killing children\n");
+    ::kill(a, SIGKILL);
+    ::kill(b, SIGKILL);
+    while (::waitpid(-1, nullptr, 0) > 0) {
+    }
+    return 3;
+  }
+  if (failed) {
+    std::fprintf(stderr, "a child failed\n");
+    return 4;
+  }
+  std::printf("completed without deadlock\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// ipc_shm_victim — two PROCESSES deadlocking on PTHREAD_PROCESS_SHARED
+// mutexes in a shared-memory segment, with NO Dimmunix linkage. The
+// cross-process counterpart of preload_victim:
+//
+//   $ export LD_PRELOAD=build/libdimmunix_preload.so
+//   $ export DIMMUNIX_HISTORY=/tmp/shm.hist DIMMUNIX_IPC=/tmp/shm.arena
+//   $ export DIMMUNIX_TAU_MS=20 DIMMUNIX_YIELD_TIMEOUT_MS=3000
+//   $ ./ipc_shm_victim     # run 1: cross-process AB-BA deadlock; the
+//                          # monitors see each other's edges through the
+//                          # arena, archive the signature, exit code 3
+//   $ ./ipc_shm_victim     # run 2: one process yields at its first lock,
+//                          # the other completes and releases, exit code 0
+//
+// Process A locks M1, then M2 500 ms later; process B (staggered 200 ms)
+// locks M2, then M1 500 ms later — a deterministic cross-process cycle.
+// The parent watchdogs both children: if they are still alive after the
+// deadline the deadlock persisted; it kills them and exits 3.
+
+#include <pthread.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+struct SharedLocks {
+  pthread_mutex_t m1;
+  pthread_mutex_t m2;
+};
+
+void InitSharedMutex(pthread_mutex_t* mutex) {
+  pthread_mutexattr_t attr;
+  pthread_mutexattr_init(&attr);
+  pthread_mutexattr_setpshared(&attr, PTHREAD_PROCESS_SHARED);
+  pthread_mutex_init(mutex, &attr);
+  pthread_mutexattr_destroy(&attr);
+}
+
+[[noreturn]] void RunRole(SharedLocks* locks, bool role_a) {
+  pthread_mutex_t* first = role_a ? &locks->m1 : &locks->m2;
+  pthread_mutex_t* second = role_a ? &locks->m2 : &locks->m1;
+  if (!role_a) {
+    usleep(200 * 1000);  // stagger: A's first hold is visible before B locks
+  }
+  pthread_mutex_lock(first);
+  usleep(500 * 1000);
+  pthread_mutex_lock(second);
+  usleep(50 * 1000);  // critical section
+  pthread_mutex_unlock(second);
+  pthread_mutex_unlock(first);
+  std::_Exit(0);
+}
+
+}  // namespace
+
+int main() {
+  // A stale arena from a killed previous run would replay phantom edges
+  // until the liveness sweep reclaims them; start clean instead.
+  if (const char* arena = std::getenv("DIMMUNIX_IPC"); arena != nullptr) {
+    ::unlink(arena);
+  }
+
+  void* region = ::mmap(nullptr, sizeof(SharedLocks), PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (region == MAP_FAILED) {
+    std::perror("mmap");
+    return 1;
+  }
+  auto* locks = static_cast<SharedLocks*>(region);
+  InitSharedMutex(&locks->m1);
+  InitSharedMutex(&locks->m2);
+
+  const pid_t a = ::fork();
+  if (a == 0) {
+    RunRole(locks, /*role_a=*/true);
+  }
+  const pid_t b = ::fork();
+  if (b == 0) {
+    RunRole(locks, /*role_a=*/false);
+  }
+
+  // Watchdog: both children must finish well before the deadline unless the
+  // cross-process deadlock persisted.
+  int done = 0;
+  bool failed = false;
+  for (int elapsed_ms = 0; done < 2 && elapsed_ms < 12000; elapsed_ms += 50) {
+    int status = 0;
+    pid_t reaped;
+    while (done < 2 && (reaped = ::waitpid(-1, &status, WNOHANG)) > 0) {
+      ++done;
+      failed = failed || !WIFEXITED(status) || WEXITSTATUS(status) != 0;
+    }
+    if (done < 2) {
+      ::usleep(50 * 1000);
+    }
+  }
+  if (done < 2) {
+    std::fprintf(stderr, "deadlock persisted; killing children\n");
+    ::kill(a, SIGKILL);
+    ::kill(b, SIGKILL);
+    while (::waitpid(-1, nullptr, 0) > 0) {
+    }
+    return 3;
+  }
+  if (failed) {
+    std::fprintf(stderr, "a child failed\n");
+    return 4;
+  }
+  std::printf("completed without deadlock\n");
+  return 0;
+}

@@ -37,7 +37,9 @@ if command -v ccache >/dev/null 2>&1 && [[ "${DIMMUNIX_CCACHE:-1}" != "0" ]]; th
   CMAKE_ARGS+=("-DCMAKE_C_COMPILER_LAUNCHER=ccache" "-DCMAKE_CXX_COMPILER_LAUNCHER=ccache")
 fi
 
-CTEST_ARGS=(--output-on-failure -j "${JOBS}")
+# Per-test wall-clock bound (also set per test in CMakeLists): a real
+# deadlock regression fails its one test fast instead of hanging the job.
+CTEST_ARGS=(--output-on-failure -j "${JOBS}" --timeout 180)
 if [[ -n "${CTEST_REGEX:-}" ]]; then
   CTEST_ARGS+=(-R "${CTEST_REGEX}")
 fi

@@ -55,6 +55,11 @@ Config Config::FromEnvironment(Config base) {
   base.journal_fsync = EnvBool("DIMMUNIX_JOURNAL_FSYNC", base.journal_fsync);
   base.history_resync_period = std::chrono::milliseconds(
       EnvLong("DIMMUNIX_RESYNC_MS", base.history_resync_period.count()));
+  if (const char* ipc = Getenv("DIMMUNIX_IPC"); ipc != nullptr && *ipc != '\0') {
+    base.ipc_path = ipc;
+  }
+  base.ipc_bridge_period = std::chrono::milliseconds(
+      EnvLong("DIMMUNIX_IPC_BRIDGE_MS", base.ipc_bridge_period.count()));
   if (const char* m = Getenv("DIMMUNIX_IMMUNITY"); m != nullptr) {
     std::string_view s(m);
     if (s == "strong") {

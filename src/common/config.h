@@ -101,6 +101,16 @@ struct Config {
   std::chrono::milliseconds fp_probe_window{50};
   int fp_probe_max_ops = 64;
 
+  // --- Cross-process immunity (src/ipc) --------------------------------------
+  // Non-empty: mmap this shared-memory arena file and participate in
+  // cross-process deadlock immunity — global locks (PTHREAD_PROCESS_SHARED
+  // mutexes/rwlocks, flock/fcntl file locks) publish their wait/hold edges
+  // there, and a bridge thread folds the other participants' edges into the
+  // local RAG. Empty = single-process behavior, zero overhead.
+  std::string ipc_path;
+  // How often the bridge mirrors foreign edges (and heartbeats).
+  std::chrono::milliseconds ipc_bridge_period{25};
+
   // --- Control plane ---------------------------------------------------------
   // Non-empty: the runtime listens on this UNIX-domain socket for `dimctl`
   // commands (status/history/disable/reload/...). Empty = no control server.
@@ -113,7 +123,10 @@ struct Config {
   //   DIMMUNIX_STAGE (instr|data|full), DIMMUNIX_STRIPES (0 = auto),
   //   DIMMUNIX_CONTROL (control-socket path, e.g. /tmp/app.dimmunix.sock),
   //   DIMMUNIX_JOURNAL_THRESHOLD, DIMMUNIX_JOURNAL_FSYNC (0|1),
-  //   DIMMUNIX_RESYNC_MS (0 = off).
+  //   DIMMUNIX_RESYNC_MS (0 = off),
+  //   DIMMUNIX_IPC (arena path), DIMMUNIX_IPC_BRIDGE_MS,
+  //   DIMMUNIX_PROC_TAG (process identity for proc-qualified signatures;
+  //   defaults to the executable path — read by src/ipc/global_id.cc).
   static Config FromEnvironment();
   static Config FromEnvironment(Config base);
 };

@@ -91,6 +91,47 @@ std::string DoStatus(Runtime& rt) {
   out << "monitor_batches=" << monitor.batches << "\n";
   out << "deadlocks_detected=" << monitor.deadlocks_detected << "\n";
   out << "starvations_detected=" << monitor.starvations_detected << "\n";
+  if (persist::HistoryStore* store = rt.history_store(); store != nullptr) {
+    // HistoryStore health: is persistence keeping up, and how stale is our
+    // view of the shared file?
+    const persist::StoreStatsSnapshot s = store->stats();
+    out << "store.queued=" << s.queued << "\n";
+    out << "store.journal_since_compact=" << s.journal_since_compact << "\n";
+    out << "store.appends=" << s.appends << "\n";
+    out << "store.compactions=" << s.compactions << "\n";
+    out << "store.foreign_merged=" << s.foreign_merged << "\n";
+    out << "store.io_errors=" << s.io_errors << "\n";
+    out << "store.resyncs=" << s.resyncs << "\n";
+    out << "store.last_resync_age_ms=" << s.last_resync_age_ms << "\n";
+  }
+  if (ipc::IpcBridge* bridge = rt.ipc_bridge(); bridge != nullptr) {
+    const ipc::IpcStatus s = bridge->SnapshotStatus();
+    out << "ipc.participant=" << s.participant << "\n";
+    out << "ipc.foreign_edges=" << s.foreign_edges_mirrored << "\n";
+  }
+  return out.str();
+}
+
+std::string DoIpc(Runtime& rt) {
+  ipc::IpcBridge* bridge = rt.ipc_bridge();
+  if (bridge == nullptr) {
+    return Err("no IPC arena configured (set DIMMUNIX_IPC)");
+  }
+  const ipc::IpcStatus s = bridge->SnapshotStatus();
+  std::ostringstream out;
+  out << "ok\n";
+  out << "arena=" << s.arena_path << "\n";
+  out << "participant=" << s.participant << "\n";
+  out << "generation=" << s.generation << "\n";
+  out << "ticks=" << s.ticks << "\n";
+  out << "foreign_edges=" << s.foreign_edges_mirrored << "\n";
+  out << "participants_reclaimed=" << s.participants_reclaimed << "\n";
+  out << "dropped_publishes=" << s.dropped_publishes << "\n";
+  for (const ipc::ParticipantInfo& p : s.participants) {
+    out << "participant " << p.index << " pid=" << p.pid << " generation=" << p.generation
+        << " alive=" << (p.alive ? 1 : 0) << " self=" << (p.self ? 1 : 0)
+        << " edges=" << p.edges << " heartbeat_age_ms=" << p.heartbeat_age_ms << "\n";
+  }
   return out.str();
 }
 
@@ -155,6 +196,9 @@ std::string DoRag(Runtime& rt) {
   out << "yield_edges=" << snap.yield_edge_count << "\n";
   for (const RagThreadInfo& t : snap.threads) {
     out << "thread " << t.id << " waiting=" << (t.waiting ? 1 : 0);
+    if (t.foreign) {
+      out << " foreign=1";  // mirrored from another process by the IPC bridge
+    }
     if (t.waiting) {
       out << " wait_lock=" << t.wait_lock << " wait_mode=" << AcquireModeTag(t.wait_mode);
     }
@@ -193,6 +237,8 @@ std::string DoConfig(Runtime& rt) {
   out << "journal_threshold=" << c.journal_threshold << "\n";
   out << "journal_fsync=" << (c.journal_fsync ? 1 : 0) << "\n";
   out << "history_resync_ms=" << c.history_resync_period.count() << "\n";
+  out << "ipc_path=" << c.ipc_path << "\n";
+  out << "ipc_bridge_period_ms=" << c.ipc_bridge_period.count() << "\n";
   out << "control_socket_path=" << c.control_socket_path << "\n";
   return out.str();
 }
@@ -283,6 +329,7 @@ std::string HelpText() {
       "reload                  hot-reload the history file\n"
       "set-depth <idx> <d>     override a signature's matching depth\n"
       "rag                     thread/lock/yield-edge snapshot\n"
+      "ipc                     cross-process arena participants + mirror stats\n"
       "config                  effective configuration\n"
       "help                    this text\n";
 }
@@ -337,6 +384,8 @@ std::optional<Request> ParseRequest(std::string_view line, std::string* error) {
     want_args = 2;
   } else if (name == "rag") {
     request.kind = CommandKind::kRag;
+  } else if (name == "ipc") {
+    request.kind = CommandKind::kIpc;
   } else if (name == "config") {
     request.kind = CommandKind::kConfig;
   } else if (name == "help") {
@@ -393,6 +442,8 @@ std::string ExecuteRequest(Runtime& runtime, const Request& request) {
       return DoRag(runtime);
     case CommandKind::kConfig:
       return DoConfig(runtime);
+    case CommandKind::kIpc:
+      return DoIpc(runtime);
     case CommandKind::kHelp:
       return "ok\n" + HelpText();
   }

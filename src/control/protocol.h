@@ -27,8 +27,15 @@
 //   rag                     monitor-side thread/lock/yield-edge snapshot;
 //                           wait/hold modes are tagged X (exclusive) or
 //                           S (shared), e.g. "held_locks=140…:S"
+//   ipc                     cross-process arena status: participant slots
+//                           (pid/generation/liveness/edge counts), mirror
+//                           statistics
 //   config                  effective configuration
 //   help                    list commands
+//
+// `status` additionally reports HistoryStore health when a history file is
+// configured: queued deltas, journal records since the last compaction, and
+// the age of the last shared-file resync.
 //
 // This layer is deliberately socket-free: parsing, execution against a
 // Runtime, and formatting are pure functions, unit-tested without any I/O.
@@ -60,6 +67,7 @@ enum class CommandKind {
   kSetDepth,
   kRag,
   kConfig,
+  kIpc,
   kHelp,
 };
 

@@ -19,6 +19,34 @@ std::size_t StripeCountFor(const Config& config) {
   return DefaultStripeCount();
 }
 
+// Engine re-entrancy guard. Under LD_PRELOAD interposition, the engine's own
+// internal mutexes (a yielder's park_m, the monitor's run_m_) resolve to the
+// interposed pthread symbols on threads that carry no shim-side guard (the
+// monitor, the IPC bridge). Without this flag, a WakeYieldersOf — which
+// holds the yield_m_ spin lock while touching a yielder's park_m — would
+// recurse through the instrumented unlock back into Release ->
+// WakeYieldersOf and spin on its own yield_m_ forever. Any entry point
+// reached while another entry point is already on this thread's stack is an
+// engine-internal lock operation and must not be instrumented.
+thread_local bool tls_in_engine = false;
+
+class ScopedEngineEntry {
+ public:
+  ScopedEngineEntry() : nested_(tls_in_engine) { tls_in_engine = true; }
+  ~ScopedEngineEntry() {
+    if (!nested_) {
+      tls_in_engine = false;
+    }
+  }
+  ScopedEngineEntry(const ScopedEngineEntry&) = delete;
+  ScopedEngineEntry& operator=(const ScopedEngineEntry&) = delete;
+
+  bool nested() const { return nested_; }
+
+ private:
+  const bool nested_;
+};
+
 }  // namespace
 
 AvoidanceEngine::AvoidanceEngine(const Config& config, StackTable* stacks, History* history,
@@ -405,11 +433,20 @@ std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::MatchAndRetire(
 
 RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMode mode,
                                          std::optional<MonoTime> deadline) {
-  if (!config_.enabled) {
+  ScopedEngineEntry entry;
+  if (!config_.enabled || entry.nested()) {
     return RequestDecision::kGo;
   }
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   ThreadSlot& slot = registry_.Slot(thread);
+
+  // Global locks (IPC arena wired in, id carries kGlobalLockBit) get their
+  // stacks proc-qualified and their wait/hold edges published fleet-wide;
+  // for local locks `pub` stays null after one predictable branch.
+  GlobalEdgePublisher* pub = global_pub_.load(std::memory_order_acquire);
+  if (pub != nullptr && !IsGlobalLockId(lock)) {
+    pub = nullptr;
+  }
 
   if (config_.stage == EngineStage::kInstrumentationOnly) {
     // Figure 8 stage 1: intercept + capture + events only.
@@ -427,12 +464,19 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
     return RequestDecision::kGo;
   }
 
-  const StackId stack = stacks_->Intern(CaptureStack());
+  std::vector<Frame> captured = CaptureStack();
+  if (pub != nullptr) {
+    captured.insert(captured.begin(), pub->ProcFrame());
+  }
+  const StackId stack = stacks_->Intern(captured);
 
   for (;;) {
     if (slot.acquisition_canceled.load(std::memory_order_acquire)) {
       slot.acquisition_canceled.store(false, std::memory_order_release);
       stats_.broken_acquisitions.fetch_add(1, std::memory_order_relaxed);
+      if (pub != nullptr) {
+        pub->ClearWait(thread, lock);
+      }
       return RequestDecision::kBroken;
     }
 
@@ -465,6 +509,9 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
     AddTuple(stack, AllowedTuple{thread, lock, false, mode});
     slot.pending_stack = stack;
     slot.pending_lock = lock;
+    if (pub != nullptr) {
+      pub->PublishWait(thread, lock, stack, mode);
+    }
 
     std::optional<MatchResult> match;
     const bool skip_once = slot.skip_avoidance_once.exchange(false, std::memory_order_acq_rel);
@@ -480,6 +527,11 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
       if (plausible) {
         match = MatchAndRetire(thread, lock, stack, slot,
                                /*yield_on_match=*/!config_.ignore_yield_decisions);
+      }
+      if (pub != nullptr) {
+        DIMMUNIX_LOG(kDebug) << "global request: thread " << thread << " lock " << lock
+                             << " stack " << stack << " plausible=" << plausible
+                             << " matched=" << match.has_value();
       }
     }
 
@@ -587,9 +639,15 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
     }
     if (park_result == 2) {
       stats_.broken_acquisitions.fetch_add(1, std::memory_order_relaxed);
+      if (pub != nullptr) {
+        pub->ClearWait(thread, lock);
+      }
       return RequestDecision::kBroken;
     }
     if (park_result == 3) {
+      if (pub != nullptr) {
+        pub->ClearWait(thread, lock);
+      }
       return RequestDecision::kTimedOut;
     }
     // Woken (or starvation-broken): retry the request from scratch.
@@ -598,12 +656,21 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
 
 RequestDecision AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock,
                                                     AcquireMode mode) {
-  if (!config_.enabled) {
+  ScopedEngineEntry entry;
+  if (!config_.enabled || entry.nested()) {
     return RequestDecision::kGo;
   }
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   ThreadSlot& slot = registry_.Slot(thread);
-  const StackId stack = stacks_->Intern(CaptureStack());
+  GlobalEdgePublisher* pub = global_pub_.load(std::memory_order_acquire);
+  if (pub != nullptr && !IsGlobalLockId(lock)) {
+    pub = nullptr;
+  }
+  std::vector<Frame> captured = CaptureStack();
+  if (pub != nullptr) {
+    captured.insert(captured.begin(), pub->ProcFrame());
+  }
+  const StackId stack = stacks_->Intern(captured);
 
   const bool reentrant = lock_owners_.WithStripe(lock, [&](auto& owners) {
     auto it = owners.find(lock);
@@ -618,6 +685,9 @@ RequestDecision AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock
   AddTuple(stack, AllowedTuple{thread, lock, false, mode});
   slot.pending_stack = stack;
   slot.pending_lock = lock;
+  if (pub != nullptr) {
+    pub->PublishWait(thread, lock, stack, mode);
+  }
 
   if (config_.stage == EngineStage::kFull && !config_.ignore_yield_decisions) {
     const SigGen* gen = AcquireGenRef(slot);
@@ -635,6 +705,9 @@ RequestDecision AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock
         stats_.yields.fetch_add(1, std::memory_order_relaxed);
         history_->RecordAvoidance(match->signature_index);
         last_avoided_.store(match->signature_index, std::memory_order_relaxed);
+        if (pub != nullptr) {
+          pub->ClearWait(thread, lock);
+        }
         return RequestDecision::kBusy;  // refuse to enter the dangerous pattern
       }
     }
@@ -652,7 +725,8 @@ RequestDecision AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock
 }
 
 void AvoidanceEngine::Acquired(ThreadId thread, LockId lock, AcquireMode mode) {
-  if (!config_.enabled) {
+  ScopedEngineEntry entry;
+  if (!config_.enabled || entry.nested()) {
     return;
   }
   ThreadSlot& slot = registry_.Slot(thread);
@@ -717,6 +791,12 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock, AcquireMode mode) {
       }
     }
   }
+  if (GlobalEdgePublisher* pub = global_pub_.load(std::memory_order_acquire);
+      pub != nullptr && IsGlobalLockId(lock)) {
+    // Promotes the published wait row to a hold (reentrant holds bump the
+    // row's count), making the acquisition visible fleet-wide.
+    pub->PublishHold(thread, lock, stack, mode);
+  }
   Event ev;
   ev.type = EventType::kAcquired;
   ev.thread = thread;
@@ -750,7 +830,8 @@ void AvoidanceEngine::WakeYieldersOf(ThreadId thread, LockId lock, StackId stack
 }
 
 void AvoidanceEngine::Release(ThreadId thread, LockId lock) {
-  if (!config_.enabled) {
+  ScopedEngineEntry entry;
+  if (!config_.enabled || entry.nested()) {
     return;
   }
   ThreadSlot& slot = registry_.Slot(thread);
@@ -784,6 +865,13 @@ void AvoidanceEngine::Release(ThreadId thread, LockId lock) {
       break;
     }
   }
+  if (GlobalEdgePublisher* pub = global_pub_.load(std::memory_order_acquire);
+      pub != nullptr && IsGlobalLockId(lock) && stack != kInvalidStackId) {
+    // Arena rows carry the reentrancy count, so every release of a held
+    // global lock maps to one ClearHold; the row frees when the count hits
+    // zero — exactly when final_release fires here.
+    pub->ClearHold(thread, lock);
+  }
   if (final_release) {
     RemoveTuple(stack, thread, lock, /*held=*/true);
     // Lock conditions changed in a way that could let yielders make
@@ -807,13 +895,18 @@ void AvoidanceEngine::Release(ThreadId thread, LockId lock) {
 }
 
 void AvoidanceEngine::CancelRequest(ThreadId thread, LockId lock, AcquireMode mode) {
-  if (!config_.enabled) {
+  ScopedEngineEntry entry;
+  if (!config_.enabled || entry.nested()) {
     return;
   }
   ThreadSlot& slot = registry_.Slot(thread);
   const StackId stack = slot.pending_stack;
   if (stack != kInvalidStackId) {
     RemoveTuple(stack, thread, lock, /*held=*/false);
+  }
+  if (GlobalEdgePublisher* pub = global_pub_.load(std::memory_order_acquire);
+      pub != nullptr && IsGlobalLockId(lock)) {
+    pub->ClearWait(thread, lock);
   }
   Event ev;
   ev.type = EventType::kCancel;
@@ -863,6 +956,152 @@ void AvoidanceEngine::NotifyHistoryChanged() {
   RefreshGen();
 }
 
+// --- Foreign-edge mirror (src/ipc bridge thread) -----------------------------
+//
+// These reproduce the tuple/owner-map/event effects of Request-allow,
+// Cancel, Acquired, and Release for a thread that lives in another process.
+// They never touch the ThreadRegistry: foreign ids (>= kForeignThreadBase)
+// have no slot, and every monitor-side path already guards slot access with
+// registry().Contains().
+
+void AvoidanceEngine::MirrorForeignWait(ThreadId thread, LockId lock, StackId stack,
+                                        AcquireMode mode) {
+  ScopedEngineEntry entry;
+  if (!config_.enabled || entry.nested() ||
+      config_.stage == EngineStage::kInstrumentationOnly) {
+    return;
+  }
+  AddTuple(stack, AllowedTuple{thread, lock, false, mode});
+  DIMMUNIX_LOG(kDebug) << "foreign wait: thread " << thread << " lock " << lock << " stack "
+                       << stack << " (" << stacks_->Describe(stack) << ")";
+  Event ev;
+  ev.type = EventType::kAllow;
+  ev.thread = thread;
+  ev.lock = lock;
+  ev.stack = stack;
+  ev.mode = mode;
+  queue_->Push(ev);
+}
+
+void AvoidanceEngine::MirrorForeignWaitEnd(ThreadId thread, LockId lock, StackId stack,
+                                           AcquireMode mode) {
+  ScopedEngineEntry entry;
+  if (!config_.enabled || entry.nested() ||
+      config_.stage == EngineStage::kInstrumentationOnly) {
+    return;
+  }
+  RemoveTuple(stack, thread, lock, /*held=*/false);
+  Event ev;
+  ev.type = EventType::kCancel;
+  ev.thread = thread;
+  ev.lock = lock;
+  ev.stack = stack;
+  ev.mode = mode;
+  queue_->Push(ev);
+}
+
+void AvoidanceEngine::MirrorForeignHold(ThreadId thread, LockId lock, StackId stack,
+                                        AcquireMode mode) {
+  ScopedEngineEntry entry;
+  if (!config_.enabled || entry.nested() ||
+      config_.stage == EngineStage::kInstrumentationOnly) {
+    return;
+  }
+  bool already_holding = false;
+  lock_owners_.WithStripe(lock, [&](auto& owners) {
+    auto it = owners.find(lock);
+    LockHolder* holder = it != owners.end() ? it->second.HolderFor(thread) : nullptr;
+    if (holder != nullptr) {
+      ++holder->count;
+      already_holding = true;
+      if (mode == AcquireMode::kExclusive) {
+        it->second.mode = AcquireMode::kExclusive;
+      }
+    } else if (it == owners.end()) {
+      owners[lock] = LockOwnerInfo{mode, {LockHolder{thread, stack, 1}}};
+    } else {
+      // Unlike Acquired(), a foreign edge must NEVER displace existing
+      // holders: this snapshot can be one bridge tick stale, and a local
+      // thread may have legitimately acquired the lock in between —
+      // dropping its holder record would orphan its arena row and leave a
+      // phantom hold fleet-wide. Join the holder set and leave the
+      // recorded mode to the standing holders (each holder is retired
+      // individually by its own release).
+      it->second.holders.push_back(LockHolder{thread, stack, 1});
+    }
+  });
+  if (!already_holding) {
+    // Flip a standing foreign wait tuple into a hold, or add a fresh one —
+    // the same allow -> hold transition Acquired() performs locally.
+    StackSlot* stack_slot = SlotFor(stack);
+    SlotStripe& stripe = StripeOf(stack);
+    std::lock_guard<SpinLock> guard(stripe.lock);
+    bool found = false;
+    for (auto& tuple : stack_slot->tuples) {
+      if (tuple.thread == thread && tuple.lock == lock) {
+        tuple.held = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      AddTupleLocked(stripe, stack, stack_slot, AllowedTuple{thread, lock, true, mode});
+    }
+  }
+  DIMMUNIX_LOG(kDebug) << "foreign hold: thread " << thread << " lock " << lock << " stack "
+                       << stack << " (" << stacks_->Describe(stack) << ")";
+  Event ev;
+  ev.type = EventType::kAcquired;
+  ev.thread = thread;
+  ev.lock = lock;
+  ev.stack = stack;
+  ev.mode = mode;
+  queue_->Push(ev);
+}
+
+void AvoidanceEngine::MirrorForeignRelease(ThreadId thread, LockId lock, StackId stack,
+                                           AcquireMode mode) {
+  ScopedEngineEntry entry;
+  if (!config_.enabled || entry.nested() ||
+      config_.stage == EngineStage::kInstrumentationOnly) {
+    return;
+  }
+  bool final_release = false;
+  lock_owners_.WithStripe(lock, [&](auto& owners) {
+    auto it = owners.find(lock);
+    if (it == owners.end()) {
+      return;
+    }
+    if (LockHolder* holder = it->second.HolderFor(thread); holder != nullptr) {
+      if (--holder->count <= 0) {
+        final_release = true;
+        it->second.holders.erase(it->second.holders.begin() +
+                                 (holder - it->second.holders.data()));
+        if (it->second.holders.empty()) {
+          owners.erase(it);
+        }
+      }
+    }
+  });
+  if (final_release) {
+    RemoveTuple(stack, thread, lock, /*held=*/true);
+    // A foreign release changes lock conditions exactly like a local one:
+    // yielders whose causes name this foreign hold can retry now. This is
+    // the wake-up that lets a process resume once the peer it dodged has
+    // finished its critical section.
+    if (yield_count_.load(std::memory_order_seq_cst) > 0) {
+      WakeYieldersOf(thread, lock, stack);
+    }
+  }
+  Event ev;
+  ev.type = EventType::kRelease;
+  ev.thread = thread;
+  ev.lock = lock;
+  ev.stack = stack;
+  ev.mode = mode;
+  queue_->Push(ev);
+}
+
 int AvoidanceEngine::Park(ThreadSlot& slot, std::optional<MonoTime> deadline) {
   std::unique_lock<std::mutex> park_guard(slot.park_m);
   MonoTime bound = Now() + config_.yield_timeout;
@@ -895,6 +1134,14 @@ ThreadId AvoidanceEngine::LockOwner(LockId lock) const {
             it->second.holders.empty())
                ? kInvalidThreadId
                : it->second.holders.front().thread;
+  });
+}
+
+bool AvoidanceEngine::HoldsLock(ThreadId thread, LockId lock) const {
+  auto* self = const_cast<AvoidanceEngine*>(this);
+  return self->lock_owners_.WithStripe(lock, [&](auto& owners) {
+    auto it = owners.find(lock);
+    return it != owners.end() && it->second.HolderFor(thread) != nullptr;
   });
 }
 

@@ -62,6 +62,7 @@
 #include "src/common/peterson_lock.h"
 #include "src/common/spin_lock.h"
 #include "src/common/striped_map.h"
+#include "src/core/global_port.h"
 #include "src/core/stats.h"
 #include "src/core/thread_registry.h"
 #include "src/event/event_queue.h"
@@ -149,6 +150,28 @@ class AvoidanceEngine {
   // control-plane mutations deterministic.)
   void NotifyHistoryChanged();
 
+  // --- Global-lock port (src/core/global_port.h) ------------------------------
+  //
+  // With a publisher registered, requests/holds of locks whose id carries
+  // kGlobalLockBit are proc-qualified and published to the IPC arena; local
+  // locks see exactly one predictable branch. Registered once during
+  // Runtime construction, before application threads call in.
+  void SetGlobalPublisher(GlobalEdgePublisher* publisher) {
+    global_pub_.store(publisher, std::memory_order_release);
+  }
+
+  // --- Foreign-edge mirror (bridge thread) ------------------------------------
+  //
+  // Folds another process's wait/hold edges for global locks into the local
+  // engine: the tuples join the Allowed sets (so signature matching sees
+  // cross-process instantiations) and the matching events reach the monitor
+  // (so the RAG's colored DFS finds cross-process cycles). `thread` is a
+  // synthetic id at kForeignThreadBase or above — never a registry index.
+  void MirrorForeignWait(ThreadId thread, LockId lock, StackId stack, AcquireMode mode);
+  void MirrorForeignWaitEnd(ThreadId thread, LockId lock, StackId stack, AcquireMode mode);
+  void MirrorForeignHold(ThreadId thread, LockId lock, StackId stack, AcquireMode mode);
+  void MirrorForeignRelease(ThreadId thread, LockId lock, StackId stack, AcquireMode mode);
+
   // --- Introspection -----------------------------------------------------------
 
   ThreadRegistry& registry() { return registry_; }
@@ -164,6 +187,10 @@ class AvoidanceEngine {
   // Exclusive owner of `lock`, if tracked (kInvalidThreadId when free or
   // held in shared mode).
   ThreadId LockOwner(LockId lock) const;
+  // True when `thread` is among `lock`'s tracked holders (any mode). Used
+  // by adapters for locks with replace-on-relock kernel semantics (flock,
+  // fcntl record locks) to model conversions correctly.
+  bool HoldsLock(ThreadId thread, LockId lock) const;
   // Number of threads currently holding `lock` in shared mode (0 when free
   // or exclusively owned).
   std::size_t SharedHolderCount(LockId lock) const;
@@ -366,6 +393,8 @@ class AvoidanceEngine {
 
   const bool use_peterson_;
   PetersonLock peterson_guard_;
+  // Null unless the runtime wired an IPC arena in (Config::ipc_path).
+  std::atomic<GlobalEdgePublisher*> global_pub_{nullptr};
 
   // --- Striped state ---------------------------------------------------------
   const std::size_t slot_stripe_mask_;

@@ -174,7 +174,16 @@ void Monitor::HandleDeadlocks() {
       deadlock_hook_(cycle, index);
     }
     if (config_.deadlock_action == DeadlockAction::kBreakVictim && !cycle.threads.empty()) {
-      engine_->CancelAcquisition(cycle.threads.front());
+      // A cross-process cycle can contain foreign (bridge-mirrored)
+      // threads; only a LOCAL thread's acquisition can be canceled from
+      // here. Break the first local participant — if the cycle is entirely
+      // foreign, its owners' monitors will break it on their side.
+      for (const ThreadId victim : cycle.threads) {
+        if (engine_->registry().Contains(victim)) {
+          engine_->CancelAcquisition(victim);
+          break;
+        }
+      }
     }
   }
 }

@@ -31,6 +31,17 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
     store_->SetOnHistoryMerged([this] { engine_->NotifyHistoryChanged(); });
     store_->Start();
   }
+  if (!config_.ipc_path.empty()) {
+    ipc::IpcBridge::Options ipc_options;
+    ipc_options.arena_path = config_.ipc_path;
+    ipc_options.period = config_.ipc_bridge_period;
+    ipc_ = std::make_unique<ipc::IpcBridge>(ipc_options, engine_.get(), stacks_.get());
+    std::string error;
+    if (!ipc_->Start(&error)) {
+      DIMMUNIX_LOG(kWarn) << "ipc: " << error << "; continuing without cross-process immunity";
+      ipc_.reset();  // degraded but functional: single-process behavior
+    }
+  }
   monitor_ = std::make_unique<Monitor>(config_, stacks_.get(), history_.get(), queue_.get(),
                                        engine_.get(), store_.get());
   if (config_.start_monitor) {
@@ -46,9 +57,14 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
 
 Runtime::~Runtime() {
   // The control server executes commands against the live runtime; it must
-  // be fully stopped before any component is torn down. The store stops
-  // after the monitor so the final drain's signatures still reach disk.
+  // be fully stopped before any component is torn down. The bridge stops
+  // before the monitor (it feeds the event queue and the engine); the store
+  // stops after the monitor so the final drain's signatures still reach
+  // disk.
   control_.reset();
+  if (ipc_) {
+    ipc_->Stop();
+  }
   monitor_->Stop();
   if (store_) {
     store_->Stop();

@@ -32,6 +32,7 @@
 #include "src/core/avoidance.h"
 #include "src/core/monitor.h"
 #include "src/event/event_queue.h"
+#include "src/ipc/bridge.h"
 #include "src/persist/store.h"
 #include "src/signature/history.h"
 #include "src/stack/stack_table.h"
@@ -125,6 +126,8 @@ class Runtime {
   Monitor& monitor() { return *monitor_; }
   // Null unless Config::history_path was set.
   persist::HistoryStore* history_store() { return store_.get(); }
+  // Null unless Config::ipc_path was set and the arena came up.
+  ipc::IpcBridge* ipc_bridge() { return ipc_.get(); }
   // Null unless Config::control_socket_path was set and the socket came up.
   control::ControlServer* control_server() { return control_.get(); }
 
@@ -137,6 +140,7 @@ class Runtime {
   std::unique_ptr<EventQueue> queue_;
   std::unique_ptr<persist::HistoryStore> store_;
   std::unique_ptr<AvoidanceEngine> engine_;
+  std::unique_ptr<ipc::IpcBridge> ipc_;
   std::unique_ptr<Monitor> monitor_;
   std::unique_ptr<control::ControlServer> control_;
 };

@@ -29,9 +29,30 @@
 // so a preloaded, unmodified binary can be driven live with `dimctl`
 // (status / history / disable-last / reload / ...), which is the only way to
 // reach those operations in this deployment mode.
+//
+// Cross-process immunity (DIMMUNIX_IPC set): acquisitions are classified at
+// lock time. A PTHREAD_PROCESS_SHARED mutex/rwlock (glibc __kind/__shared
+// inspection, plus the attr registry filled by interposed *_init) gets a
+// stable cross-process LockId derived from its shared-memory backing
+// (src/ipc/global_id.h) instead of its — per-process — address. flock(2)
+// and fcntl(F_SETLK/F_SETLKW) byte-range locks are additionally interposed
+// as exclusive/shared acquisitions of dev:inode:offset-identified global
+// locks. fcntl OFD commands pass through untouched (the persistence layer
+// itself locks history files with them).
+//
+// pthread_cond_wait/pthread_cond_timedwait are wrapped so the implicit
+// mutex release and re-acquisition inside the wait keep the engine's owner
+// map in step: EndRelease before the real call, and a nonblocking
+// TryBeginAcquire + Commit after it (Commit records the hold in every
+// decision state — the thread factually owns the mutex when the wait
+// returns, and re-running the blocking protocol there could park a thread
+// that already holds the lock).
 
 #include <dlfcn.h>
+#include <fcntl.h>
 #include <pthread.h>
+#include <stdarg.h>
+#include <sys/file.h>
 #include <time.h>
 
 #include <algorithm>
@@ -39,8 +60,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <unordered_set>
 
+#include "src/common/spin_lock.h"
 #include "src/core/runtime.h"
+#include "src/ipc/global_id.h"
 
 namespace {
 
@@ -48,6 +73,12 @@ using MutexFn = int (*)(pthread_mutex_t*);
 using MutexTimedFn = int (*)(pthread_mutex_t*, const struct timespec*);
 using RwlockFn = int (*)(pthread_rwlock_t*);
 using RwlockTimedFn = int (*)(pthread_rwlock_t*, const struct timespec*);
+using MutexInitFn = int (*)(pthread_mutex_t*, const pthread_mutexattr_t*);
+using RwlockInitFn = int (*)(pthread_rwlock_t*, const pthread_rwlockattr_t*);
+using CondWaitFn = int (*)(pthread_cond_t*, pthread_mutex_t*);
+using CondTimedWaitFn = int (*)(pthread_cond_t*, pthread_mutex_t*, const struct timespec*);
+using FlockFn = int (*)(int, int);
+using FcntlFn = int (*)(int, int, void*);
 
 MutexFn real_lock = nullptr;
 MutexFn real_trylock = nullptr;
@@ -61,6 +92,13 @@ RwlockFn real_trywrlock = nullptr;
 RwlockFn real_rwunlock = nullptr;
 RwlockTimedFn real_timedrdlock = nullptr;
 RwlockTimedFn real_timedwrlock = nullptr;
+
+MutexInitFn real_mutex_init = nullptr;
+RwlockInitFn real_rwlock_init = nullptr;
+CondWaitFn real_cond_wait = nullptr;
+CondTimedWaitFn real_cond_timedwait = nullptr;
+FlockFn real_flock = nullptr;
+FcntlFn real_fcntl = nullptr;
 
 std::atomic<bool> initialized{false};
 // Set while this thread is inside a wrapper (or inside runtime
@@ -82,6 +120,16 @@ void ResolveReal() {
       reinterpret_cast<RwlockTimedFn>(dlsym(RTLD_NEXT, "pthread_rwlock_timedrdlock"));
   real_timedwrlock =
       reinterpret_cast<RwlockTimedFn>(dlsym(RTLD_NEXT, "pthread_rwlock_timedwrlock"));
+  real_mutex_init = reinterpret_cast<MutexInitFn>(dlsym(RTLD_NEXT, "pthread_mutex_init"));
+  real_rwlock_init = reinterpret_cast<RwlockInitFn>(dlsym(RTLD_NEXT, "pthread_rwlock_init"));
+  real_cond_wait = reinterpret_cast<CondWaitFn>(dlsym(RTLD_NEXT, "pthread_cond_wait"));
+  real_cond_timedwait =
+      reinterpret_cast<CondTimedWaitFn>(dlsym(RTLD_NEXT, "pthread_cond_timedwait"));
+  real_flock = reinterpret_cast<FlockFn>(dlsym(RTLD_NEXT, "flock"));
+  real_fcntl = reinterpret_cast<FcntlFn>(dlsym(RTLD_NEXT, "fcntl64"));
+  if (real_fcntl == nullptr) {
+    real_fcntl = reinterpret_cast<FcntlFn>(dlsym(RTLD_NEXT, "fcntl"));
+  }
 }
 
 __attribute__((constructor)) void PreloadInit() {
@@ -99,15 +147,79 @@ dimmunix::Runtime* TryRuntime() {
   return runtime;
 }
 
+// --- Global-lock classification ---------------------------------------------
+//
+// Registry of lock objects whose interposed *_init saw a
+// PTHREAD_PROCESS_SHARED attribute. Works on any libc, but only in the
+// process that ran the init; the glibc field checks below classify shm
+// objects initialized elsewhere too.
+
+dimmunix::SpinLock& PsharedRegistryLock() {
+  static dimmunix::SpinLock lock;
+  return lock;
+}
+
+std::unordered_set<const void*>& PsharedRegistry() {
+  static auto* set = new std::unordered_set<const void*>();
+  return *set;
+}
+
+void PsharedRegister(const void* object) {
+  std::lock_guard<dimmunix::SpinLock> guard(PsharedRegistryLock());
+  PsharedRegistry().insert(object);
+}
+
+[[maybe_unused]] bool PsharedContains(const void* object) {
+  std::lock_guard<dimmunix::SpinLock> guard(PsharedRegistryLock());
+  return PsharedRegistry().count(object) > 0;
+}
+
+bool IsProcessSharedMutex(const pthread_mutex_t* mutex) {
+#if defined(__GLIBC__)
+  // glibc encodes pshared as PTHREAD_MUTEX_PSHARED_BIT (128) in __kind —
+  // visible in every process mapping the shm segment, not just the
+  // initializer, so the field is authoritative and the classification is
+  // one load + bit test. The registry is NOT consulted here: probing a
+  // global spinlock on every private-mutex operation would put a
+  // serialization point back on the interposed hot path.
+  return (mutex->__data.__kind & 128) != 0;
+#else
+  return PsharedContains(mutex);
+#endif
+}
+
+bool IsProcessSharedRwlock(const pthread_rwlock_t* rwlock) {
+#if defined(__GLIBC__)
+  return rwlock->__data.__shared != 0;
+#else
+  return PsharedContains(rwlock);
+#endif
+}
+
+// The engine-facing identity: global locks use their shared-memory backing
+// (same id in every process), local locks their address.
+dimmunix::LockId MutexLockId(pthread_mutex_t* mutex) {
+  if (IsProcessSharedMutex(mutex)) {
+    return dimmunix::ipc::GlobalIdForSharedAddress(mutex);
+  }
+  return reinterpret_cast<dimmunix::LockId>(mutex);
+}
+
+dimmunix::LockId RwlockLockId(pthread_rwlock_t* rwlock) {
+  if (IsProcessSharedRwlock(rwlock)) {
+    return dimmunix::ipc::GlobalIdForSharedAddress(rwlock);
+  }
+  return reinterpret_cast<dimmunix::LockId>(rwlock);
+}
+
 // Shared adapter bodies: every wrapper is the same protocol run, modulo the
 // real function to call and the acquisition mode.
 
 template <typename Primitive>
-int BlockingAcquire(dimmunix::Runtime* runtime, Primitive* primitive,
+int BlockingAcquire(dimmunix::Runtime* runtime, Primitive* primitive, dimmunix::LockId id,
                     int (*real)(Primitive*), dimmunix::AcquireMode mode) {
   tls_in_hook = true;
-  dimmunix::AcquireOp op =
-      runtime->BeginAcquire(reinterpret_cast<dimmunix::LockId>(primitive), mode);
+  dimmunix::AcquireOp op = runtime->BeginAcquire(id, mode);
   tls_in_hook = false;
   const int rc = real(primitive);
   tls_in_hook = true;
@@ -124,11 +236,10 @@ int BlockingAcquire(dimmunix::Runtime* runtime, Primitive* primitive,
 }
 
 template <typename Primitive>
-int NonblockingAcquire(dimmunix::Runtime* runtime, Primitive* primitive,
+int NonblockingAcquire(dimmunix::Runtime* runtime, Primitive* primitive, dimmunix::LockId id,
                        int (*real)(Primitive*), dimmunix::AcquireMode mode) {
   tls_in_hook = true;
-  dimmunix::AcquireOp op =
-      runtime->TryBeginAcquire(reinterpret_cast<dimmunix::LockId>(primitive), mode);
+  dimmunix::AcquireOp op = runtime->TryBeginAcquire(id, mode);
   if (!op.Granted()) {
     tls_in_hook = false;
     return EBUSY;  // dangerous pattern: report contention instead
@@ -158,12 +269,11 @@ dimmunix::MonoTime MonoDeadlineFrom(const struct timespec* abstime) {
 }
 
 template <typename Primitive>
-int TimedAcquire(dimmunix::Runtime* runtime, Primitive* primitive,
+int TimedAcquire(dimmunix::Runtime* runtime, Primitive* primitive, dimmunix::LockId id,
                  int (*real)(Primitive*, const struct timespec*), const struct timespec* abstime,
                  dimmunix::AcquireMode mode) {
   tls_in_hook = true;
-  dimmunix::AcquireOp op = runtime->BeginAcquire(reinterpret_cast<dimmunix::LockId>(primitive),
-                                                 mode, MonoDeadlineFrom(abstime));
+  dimmunix::AcquireOp op = runtime->BeginAcquire(id, mode, MonoDeadlineFrom(abstime));
   tls_in_hook = false;
   const int rc = real(primitive, abstime);
   tls_in_hook = true;
@@ -177,10 +287,10 @@ int TimedAcquire(dimmunix::Runtime* runtime, Primitive* primitive,
 }
 
 template <typename Primitive>
-int InstrumentedRelease(dimmunix::Runtime* runtime, Primitive* primitive,
+int InstrumentedRelease(dimmunix::Runtime* runtime, Primitive* primitive, dimmunix::LockId id,
                         int (*real)(Primitive*)) {
   tls_in_hook = true;
-  runtime->EndRelease(reinterpret_cast<dimmunix::LockId>(primitive));
+  runtime->EndRelease(id);
   tls_in_hook = false;
   return real(primitive);
 }
@@ -197,7 +307,8 @@ extern "C" int pthread_mutex_lock(pthread_mutex_t* mutex) {
   if (runtime == nullptr) {
     return real_lock(mutex);
   }
-  return BlockingAcquire(runtime, mutex, real_lock, dimmunix::AcquireMode::kExclusive);
+  return BlockingAcquire(runtime, mutex, MutexLockId(mutex), real_lock,
+                         dimmunix::AcquireMode::kExclusive);
 }
 
 extern "C" int pthread_mutex_trylock(pthread_mutex_t* mutex) {
@@ -208,7 +319,8 @@ extern "C" int pthread_mutex_trylock(pthread_mutex_t* mutex) {
   if (runtime == nullptr) {
     return real_trylock(mutex);
   }
-  return NonblockingAcquire(runtime, mutex, real_trylock, dimmunix::AcquireMode::kExclusive);
+  return NonblockingAcquire(runtime, mutex, MutexLockId(mutex), real_trylock,
+                            dimmunix::AcquireMode::kExclusive);
 }
 
 extern "C" int pthread_mutex_timedlock(pthread_mutex_t* mutex, const struct timespec* abstime) {
@@ -219,7 +331,7 @@ extern "C" int pthread_mutex_timedlock(pthread_mutex_t* mutex, const struct time
   if (runtime == nullptr) {
     return real_timedlock(mutex, abstime);
   }
-  return TimedAcquire(runtime, mutex, real_timedlock, abstime,
+  return TimedAcquire(runtime, mutex, MutexLockId(mutex), real_timedlock, abstime,
                       dimmunix::AcquireMode::kExclusive);
 }
 
@@ -231,7 +343,7 @@ extern "C" int pthread_mutex_unlock(pthread_mutex_t* mutex) {
   if (runtime == nullptr) {
     return real_unlock(mutex);
   }
-  return InstrumentedRelease(runtime, mutex, real_unlock);
+  return InstrumentedRelease(runtime, mutex, MutexLockId(mutex), real_unlock);
 }
 
 // --- pthread_rwlock_* --------------------------------------------------------
@@ -244,7 +356,8 @@ extern "C" int pthread_rwlock_rdlock(pthread_rwlock_t* rwlock) {
   if (runtime == nullptr) {
     return real_rdlock(rwlock);
   }
-  return BlockingAcquire(runtime, rwlock, real_rdlock, dimmunix::AcquireMode::kShared);
+  return BlockingAcquire(runtime, rwlock, RwlockLockId(rwlock), real_rdlock,
+                         dimmunix::AcquireMode::kShared);
 }
 
 extern "C" int pthread_rwlock_tryrdlock(pthread_rwlock_t* rwlock) {
@@ -255,7 +368,8 @@ extern "C" int pthread_rwlock_tryrdlock(pthread_rwlock_t* rwlock) {
   if (runtime == nullptr) {
     return real_tryrdlock(rwlock);
   }
-  return NonblockingAcquire(runtime, rwlock, real_tryrdlock, dimmunix::AcquireMode::kShared);
+  return NonblockingAcquire(runtime, rwlock, RwlockLockId(rwlock), real_tryrdlock,
+                            dimmunix::AcquireMode::kShared);
 }
 
 extern "C" int pthread_rwlock_timedrdlock(pthread_rwlock_t* rwlock,
@@ -267,7 +381,7 @@ extern "C" int pthread_rwlock_timedrdlock(pthread_rwlock_t* rwlock,
   if (runtime == nullptr) {
     return real_timedrdlock(rwlock, abstime);
   }
-  return TimedAcquire(runtime, rwlock, real_timedrdlock, abstime,
+  return TimedAcquire(runtime, rwlock, RwlockLockId(rwlock), real_timedrdlock, abstime,
                       dimmunix::AcquireMode::kShared);
 }
 
@@ -279,7 +393,8 @@ extern "C" int pthread_rwlock_wrlock(pthread_rwlock_t* rwlock) {
   if (runtime == nullptr) {
     return real_wrlock(rwlock);
   }
-  return BlockingAcquire(runtime, rwlock, real_wrlock, dimmunix::AcquireMode::kExclusive);
+  return BlockingAcquire(runtime, rwlock, RwlockLockId(rwlock), real_wrlock,
+                         dimmunix::AcquireMode::kExclusive);
 }
 
 extern "C" int pthread_rwlock_trywrlock(pthread_rwlock_t* rwlock) {
@@ -290,7 +405,8 @@ extern "C" int pthread_rwlock_trywrlock(pthread_rwlock_t* rwlock) {
   if (runtime == nullptr) {
     return real_trywrlock(rwlock);
   }
-  return NonblockingAcquire(runtime, rwlock, real_trywrlock, dimmunix::AcquireMode::kExclusive);
+  return NonblockingAcquire(runtime, rwlock, RwlockLockId(rwlock), real_trywrlock,
+                            dimmunix::AcquireMode::kExclusive);
 }
 
 extern "C" int pthread_rwlock_timedwrlock(pthread_rwlock_t* rwlock,
@@ -302,7 +418,7 @@ extern "C" int pthread_rwlock_timedwrlock(pthread_rwlock_t* rwlock,
   if (runtime == nullptr) {
     return real_timedwrlock(rwlock, abstime);
   }
-  return TimedAcquire(runtime, rwlock, real_timedwrlock, abstime,
+  return TimedAcquire(runtime, rwlock, RwlockLockId(rwlock), real_timedwrlock, abstime,
                       dimmunix::AcquireMode::kExclusive);
 }
 
@@ -314,5 +430,291 @@ extern "C" int pthread_rwlock_unlock(pthread_rwlock_t* rwlock) {
   if (runtime == nullptr) {
     return real_rwunlock(rwlock);
   }
-  return InstrumentedRelease(runtime, rwlock, real_rwunlock);
+  return InstrumentedRelease(runtime, rwlock, RwlockLockId(rwlock), real_rwunlock);
+}
+
+// --- pthread_*_init (PTHREAD_PROCESS_SHARED classification) ------------------
+
+extern "C" int pthread_mutex_init(pthread_mutex_t* mutex, const pthread_mutexattr_t* attr) {
+  if (real_mutex_init == nullptr) {
+    ResolveReal();
+  }
+  if (attr != nullptr) {
+    int pshared = PTHREAD_PROCESS_PRIVATE;
+    if (pthread_mutexattr_getpshared(attr, &pshared) == 0 &&
+        pshared == PTHREAD_PROCESS_SHARED) {
+      PsharedRegister(mutex);
+    }
+  }
+  return real_mutex_init(mutex, attr);
+}
+
+extern "C" int pthread_rwlock_init(pthread_rwlock_t* rwlock, const pthread_rwlockattr_t* attr) {
+  if (real_rwlock_init == nullptr) {
+    ResolveReal();
+  }
+  if (attr != nullptr) {
+    int pshared = PTHREAD_PROCESS_PRIVATE;
+    if (pthread_rwlockattr_getpshared(attr, &pshared) == 0 &&
+        pshared == PTHREAD_PROCESS_SHARED) {
+      PsharedRegister(rwlock);
+    }
+  }
+  return real_rwlock_init(rwlock, attr);
+}
+
+// --- pthread_cond_wait / pthread_cond_timedwait ------------------------------
+//
+// The wait atomically releases the mutex and re-acquires it before
+// returning. Without interposition the engine's owner map keeps crediting
+// the waiter with the mutex for the whole wait — a phantom hold edge that
+// corrupts cycle detection and signature instantiation. The adapter models
+// the release up front and records the re-acquisition afterwards;
+// Commit() is legal in every decision state precisely for uncancellable
+// adapters like this one (the thread really holds the mutex by then).
+
+extern "C" int pthread_cond_wait(pthread_cond_t* cond, pthread_mutex_t* mutex) {
+  if (real_cond_wait == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_cond_wait(cond, mutex);
+  }
+  const dimmunix::LockId id = MutexLockId(mutex);
+  tls_in_hook = true;
+  runtime->EndRelease(id);
+  tls_in_hook = false;
+  const int rc = real_cond_wait(cond, mutex);
+  tls_in_hook = true;
+  dimmunix::AcquireOp op = runtime->TryBeginAcquire(id, dimmunix::AcquireMode::kExclusive);
+  op.Commit();
+  tls_in_hook = false;
+  return rc;
+}
+
+extern "C" int pthread_cond_timedwait(pthread_cond_t* cond, pthread_mutex_t* mutex,
+                                      const struct timespec* abstime) {
+  if (real_cond_timedwait == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_cond_timedwait(cond, mutex, abstime);
+  }
+  const dimmunix::LockId id = MutexLockId(mutex);
+  tls_in_hook = true;
+  runtime->EndRelease(id);
+  tls_in_hook = false;
+  const int rc = real_cond_timedwait(cond, mutex, abstime);
+  tls_in_hook = true;
+  // The mutex is re-acquired on success AND on ETIMEDOUT; record the hold
+  // unconditionally (harmless no-op rebalance on EINVAL-style failures).
+  dimmunix::AcquireOp op = runtime->TryBeginAcquire(id, dimmunix::AcquireMode::kExclusive);
+  op.Commit();
+  tls_in_hook = false;
+  return rc;
+}
+
+// --- flock(2) ----------------------------------------------------------------
+//
+// Whole-file advisory locks: LOCK_EX/LOCK_SH acquire (exclusive/shared) a
+// global lock identified by the file's dev:inode; LOCK_UN releases it. A
+// conversion (SH -> EX on the same fd) runs the full protocol as an
+// upgrade, like an rwlock upgrade.
+
+extern "C" int flock(int fd, int operation) {
+  if (real_flock == nullptr) {
+    ResolveReal();
+  }
+  dimmunix::Runtime* runtime = TryRuntime();
+  if (runtime == nullptr) {
+    return real_flock(fd, operation);
+  }
+  const int op_kind = operation & (LOCK_SH | LOCK_EX | LOCK_UN);
+  const dimmunix::LockId id =
+      dimmunix::ipc::GlobalIdForFileLock(fd, dimmunix::ipc::GlobalLockKind::kFlock, 0);
+  if (id == dimmunix::kInvalidLockId) {
+    return real_flock(fd, operation);  // bad fd: let the real call set errno
+  }
+  if (op_kind == LOCK_UN) {
+    tls_in_hook = true;
+    runtime->EndRelease(id);
+    tls_in_hook = false;
+    return real_flock(fd, operation);
+  }
+  if (op_kind != LOCK_SH && op_kind != LOCK_EX) {
+    return real_flock(fd, operation);
+  }
+  const dimmunix::AcquireMode mode = op_kind == LOCK_SH ? dimmunix::AcquireMode::kShared
+                                                        : dimmunix::AcquireMode::kExclusive;
+  // The kernel keeps ONE flock per open file description: re-locking
+  // converts (replacing the old lock) rather than stacking. Retire any
+  // hold the engine credits us with before the new acquisition, so a
+  // single LOCK_UN never leaves a phantom reentrant hold — and restore it
+  // if the conversion fails, because a failed conversion keeps the old
+  // kernel lock and the engine must not go blind to it.
+  tls_in_hook = true;
+  const dimmunix::ThreadId self = runtime->RegisterCurrentThread();
+  const bool converting = runtime->engine().HoldsLock(self, id);
+  const dimmunix::AcquireMode held_mode = runtime->engine().LockOwner(id) == self
+                                              ? dimmunix::AcquireMode::kExclusive
+                                              : dimmunix::AcquireMode::kShared;
+  if (converting) {
+    runtime->EndRelease(id);
+  }
+  tls_in_hook = false;
+  const auto restore_hold = [&] {
+    if (!converting) {
+      return;
+    }
+    tls_in_hook = true;
+    dimmunix::AcquireOp keep = runtime->TryBeginAcquire(id, held_mode);
+    keep.Commit();  // legal in any decision state: we factually still hold it
+    tls_in_hook = false;
+  };
+  if ((operation & LOCK_NB) != 0) {
+    tls_in_hook = true;
+    dimmunix::AcquireOp op = runtime->TryBeginAcquire(id, mode);
+    if (!op.Granted()) {
+      tls_in_hook = false;
+      restore_hold();
+      errno = EWOULDBLOCK;  // dangerous pattern: report contention instead
+      return -1;
+    }
+    tls_in_hook = false;
+    const int rc = real_flock(fd, operation);
+    tls_in_hook = true;
+    if (rc == 0) {
+      op.Commit();
+    } else {
+      op.Cancel();
+    }
+    tls_in_hook = false;
+    if (rc != 0) {
+      restore_hold();
+    }
+    return rc;
+  }
+  tls_in_hook = true;
+  dimmunix::AcquireOp op = runtime->BeginAcquire(id, mode);
+  tls_in_hook = false;
+  const int rc = real_flock(fd, operation);
+  tls_in_hook = true;
+  if (rc == 0) {
+    op.Commit();
+  } else {
+    op.Cancel();
+  }
+  tls_in_hook = false;
+  if (rc != 0) {
+    restore_hold();
+  }
+  return rc;
+}
+
+// --- fcntl(F_SETLK / F_SETLKW) -----------------------------------------------
+//
+// POSIX record locks: the global identity is dev:inode plus the range
+// start. Only the classic per-process commands are instrumented; OFD
+// commands (F_OFD_*) pass through — the persistence layer uses them on
+// history files, and their orthogonal ownership semantics would double-
+// count holds. Other fcntl commands forward their argument untouched.
+
+int FcntlLock(dimmunix::Runtime* runtime, int fd, int cmd, struct flock* fl) {
+  const bool blocking = cmd == F_SETLKW;
+  const dimmunix::LockId id = dimmunix::ipc::GlobalIdForFileLock(
+      fd, dimmunix::ipc::GlobalLockKind::kFcntlRange,
+      static_cast<std::uint64_t>(fl->l_start));
+  if (id == dimmunix::kInvalidLockId) {
+    return real_fcntl(fd, cmd, fl);
+  }
+  if (fl->l_type == F_UNLCK) {
+    tls_in_hook = true;
+    runtime->EndRelease(id);
+    tls_in_hook = false;
+    return real_fcntl(fd, cmd, fl);
+  }
+  if (fl->l_type != F_RDLCK && fl->l_type != F_WRLCK) {
+    return real_fcntl(fd, cmd, fl);
+  }
+  const dimmunix::AcquireMode mode =
+      fl->l_type == F_RDLCK ? dimmunix::AcquireMode::kShared : dimmunix::AcquireMode::kExclusive;
+  // POSIX record locks convert in place like flock: re-locking a held
+  // range replaces the lock. Retire any standing hold before the new
+  // acquisition, and restore it on failure — a failed conversion keeps the
+  // original kernel lock.
+  tls_in_hook = true;
+  const dimmunix::ThreadId self = runtime->RegisterCurrentThread();
+  const bool converting = runtime->engine().HoldsLock(self, id);
+  const dimmunix::AcquireMode held_mode = runtime->engine().LockOwner(id) == self
+                                              ? dimmunix::AcquireMode::kExclusive
+                                              : dimmunix::AcquireMode::kShared;
+  if (converting) {
+    runtime->EndRelease(id);
+  }
+  dimmunix::AcquireOp op =
+      blocking ? runtime->BeginAcquire(id, mode) : runtime->TryBeginAcquire(id, mode);
+  const auto restore_hold = [&] {
+    if (!converting) {
+      return;
+    }
+    tls_in_hook = true;
+    dimmunix::AcquireOp keep = runtime->TryBeginAcquire(id, held_mode);
+    keep.Commit();  // we factually still hold the original lock
+    tls_in_hook = false;
+  };
+  if (!blocking && !op.Granted()) {
+    tls_in_hook = false;
+    restore_hold();
+    errno = EAGAIN;  // dangerous pattern: report contention instead
+    return -1;
+  }
+  tls_in_hook = false;
+  const int rc = real_fcntl(fd, cmd, fl);
+  tls_in_hook = true;
+  if (rc == 0) {
+    op.Commit();
+  } else {
+    op.Cancel();
+  }
+  tls_in_hook = false;
+  if (rc != 0) {
+    restore_hold();
+  }
+  return rc;
+}
+
+extern "C" int fcntl(int fd, int cmd, ...) {
+  if (real_fcntl == nullptr) {
+    ResolveReal();
+  }
+  va_list ap;
+  va_start(ap, cmd);
+  void* arg = va_arg(ap, void*);
+  va_end(ap);
+  if (cmd == F_SETLK || cmd == F_SETLKW) {
+    dimmunix::Runtime* runtime = TryRuntime();
+    if (runtime != nullptr && arg != nullptr) {
+      return FcntlLock(runtime, fd, cmd, static_cast<struct flock*>(arg));
+    }
+  }
+  return real_fcntl(fd, cmd, arg);
+}
+
+extern "C" int fcntl64(int fd, int cmd, ...) {
+  if (real_fcntl == nullptr) {
+    ResolveReal();
+  }
+  va_list ap;
+  va_start(ap, cmd);
+  void* arg = va_arg(ap, void*);
+  va_end(ap);
+  if (cmd == F_SETLK || cmd == F_SETLKW) {
+    dimmunix::Runtime* runtime = TryRuntime();
+    if (runtime != nullptr && arg != nullptr) {
+      return FcntlLock(runtime, fd, cmd, static_cast<struct flock*>(arg));
+    }
+  }
+  return real_fcntl(fd, cmd, arg);
 }

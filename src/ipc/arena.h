@@ -1,0 +1,171 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// The shared-memory IPC arena: a crash-tolerant, fixed-layout mmap'd file
+// (named by DIMMUNIX_IPC / Config::ipc_path) through which every
+// participating process publishes its wait/hold edges for *global* locks
+// (src/core/global_port.h), so each process's bridge thread can fold the
+// others' edges into its local RAG and Allowed sets.
+//
+// Layout (all offsets 8-byte aligned; spec in docs/ipc-arena.md):
+//
+//   ArenaHeader        magic "DIMA", version, table geometry
+//   Participant[P]     one slot per attached process instance: pid +
+//                      /proc start-time (liveness identity), a claim
+//                      generation, a heartbeat
+//   EdgeRecord[P*E]    per-participant edge table: (thread, lock, wait|hold,
+//                      mode, count, proc-qualified stack frames)
+//
+// Concurrency model:
+//   * Each participant writes ONLY its own participant slot and edge rows;
+//     there is no cross-process write contention on the hot path.
+//   * Every mutable record is seqlock-published (odd seq = write in
+//     progress); readers copy and retry, so a reader can never observe a
+//     torn edge. Field accesses go through std::atomic_ref, which keeps the
+//     same code correct for the in-process multi-runtime case (tests) and
+//     visible to TSan.
+//   * Crash tolerance: a SIGKILL'd participant leaves its slot claimed and
+//     its edges standing. Liveness sweeps (kill(pid,0) + start-time
+//     comparison, so pid reuse cannot resurrect a corpse) reclaim the slot:
+//     exactly one sweeper wins the pid CAS, then clears the edges. Bridges
+//     treat the disappearance as releases, so a dead holder can never wedge
+//     the fleet.
+//
+// The arena holds NO pointers and no process-local values other than pids
+// and thread ids interpreted relative to their participant slot; any
+// process can mmap it at any address.
+
+#ifndef DIMMUNIX_IPC_ARENA_H_
+#define DIMMUNIX_IPC_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/spin_lock.h"
+#include "src/core/global_port.h"
+
+namespace dimmunix {
+namespace ipc {
+
+// One foreign wait/hold edge copied out of the arena.
+struct ForeignEdge {
+  int participant = -1;
+  std::uint64_t generation = 0;  // claim generation of the publishing slot
+  std::uint32_t pid = 0;
+  ThreadId thread = kInvalidThreadId;  // publisher-local thread id
+  LockId lock = kInvalidLockId;
+  bool hold = false;  // false: wait (request/allow) edge
+  AcquireMode mode = AcquireMode::kExclusive;
+  std::uint32_t count = 0;  // reentrant hold depth (holds only)
+  std::vector<Frame> frames;  // proc-qualified stack, innermost first
+};
+
+// Control-plane summary of one participant slot.
+struct ParticipantInfo {
+  int index = -1;
+  std::uint32_t pid = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t start_time = 0;
+  std::int64_t heartbeat_age_ms = -1;
+  std::size_t edges = 0;
+  bool alive = false;
+  bool self = false;
+};
+
+class IpcArena {
+ public:
+  static constexpr std::uint32_t kMagic = 0x414D4944;  // "DIMA" little-endian
+  static constexpr std::uint16_t kVersion = 1;
+  static constexpr int kParticipants = 64;
+  static constexpr int kEdgesPerParticipant = 128;
+  static constexpr int kMaxFrames = 12;
+
+  // Opens (creating and initializing if absent) the arena at `path` and
+  // claims a participant slot. Returns null with `*error` set when the file
+  // cannot be mapped, has a wrong magic/version/geometry, or every
+  // participant slot is taken by a live process.
+  static std::unique_ptr<IpcArena> OpenOrCreate(const std::string& path, std::string* error);
+
+  ~IpcArena();
+
+  IpcArena(const IpcArena&) = delete;
+  IpcArena& operator=(const IpcArena&) = delete;
+
+  int participant_index() const { return self_index_; }
+  std::uint64_t generation() const { return self_generation_; }
+  const std::string& path() const { return path_; }
+
+  // --- Local publishing (application threads; global locks only) -----------
+  // One logical edge per (thread, lock); a hold published over a standing
+  // wait reuses the row. Publishing is drop-on-overflow: when all edge rows
+  // are in use the edge is counted in dropped_publishes() and skipped —
+  // avoidance degrades to single-process behavior, never blocks.
+  void PublishWait(ThreadId thread, LockId lock, AcquireMode mode,
+                   const std::vector<Frame>& frames);
+  void ClearWait(ThreadId thread, LockId lock);
+  void PublishHold(ThreadId thread, LockId lock, AcquireMode mode,
+                   const std::vector<Frame>& frames);
+  void ClearHold(ThreadId thread, LockId lock);
+
+  std::uint64_t dropped_publishes() const;
+
+  // --- Reading (bridge thread, control plane) -------------------------------
+  // Copies every published edge of every *other* live-claimed participant.
+  std::vector<ForeignEdge> SnapshotForeign() const;
+  std::vector<ParticipantInfo> Participants() const;
+
+  // Refreshes this participant's heartbeat (bridge tick).
+  void Heartbeat();
+
+  // Reclaims slots whose owner is gone (pid dead, or pid reused by a
+  // process with a different start time). Returns slots reclaimed.
+  int SweepDeadParticipants();
+
+ private:
+  IpcArena(std::string path, void* base, std::size_t size);
+
+  struct Key {
+    ThreadId thread;
+    LockId lock;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  // Row accessors into the mapping.
+  void* HeaderPtr() const;
+  void* ParticipantPtr(int index) const;
+  void* EdgePtr(int participant, int index) const;
+
+  bool Claim(std::string* error);
+  void ClearOwnEdgesLocked();
+
+  // Publishes `hold`/`mode`/`frames` into row `row` under its seqlock.
+  void WriteEdgeRow(int row, ThreadId thread, LockId lock, bool hold, AcquireMode mode,
+                    std::uint32_t count, const std::vector<Frame>& frames);
+  void FreeEdgeRow(int row);
+
+  const std::string path_;
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  int self_index_ = -1;
+  std::uint64_t self_generation_ = 0;
+
+  // Process-local index of this participant's published edges.
+  mutable SpinLock local_m_;
+  std::unordered_map<Key, int, KeyHash> rows_;  // (thread, lock) -> edge row
+  std::vector<int> free_rows_;
+  std::uint64_t dropped_ = 0;
+};
+
+// Liveness probe shared with tests: the start time (clock ticks since boot,
+// /proc/<pid>/stat field 22) of `pid`, or 0 when the process is gone.
+std::uint64_t ProcessStartTime(std::uint32_t pid);
+
+}  // namespace ipc
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_IPC_ARENA_H_

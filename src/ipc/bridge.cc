@@ -1,0 +1,195 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/ipc/bridge.h"
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/ipc/global_id.h"
+
+namespace dimmunix {
+namespace ipc {
+
+std::size_t IpcBridge::EdgeKeyHash::operator()(const EdgeKey& k) const {
+  std::uint64_t h = HashCombine(static_cast<std::uint64_t>(k.participant), k.generation);
+  h = HashCombine(h, static_cast<std::uint64_t>(k.thread));
+  h = HashCombine(h, k.lock);
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t IpcBridge::ThreadKeyHash::operator()(const ThreadKey& k) const {
+  std::uint64_t h = HashCombine(static_cast<std::uint64_t>(k.participant), k.generation);
+  h = HashCombine(h, static_cast<std::uint64_t>(k.thread));
+  return static_cast<std::size_t>(h);
+}
+
+IpcBridge::IpcBridge(Options options, AvoidanceEngine* engine, StackTable* stacks)
+    : options_(std::move(options)), engine_(engine), stacks_(stacks) {}
+
+IpcBridge::~IpcBridge() { Stop(); }
+
+bool IpcBridge::Start(std::string* error) {
+  arena_ = IpcArena::OpenOrCreate(options_.arena_path, error);
+  if (arena_ == nullptr) {
+    return false;
+  }
+  engine_->SetGlobalPublisher(this);
+  // First mirror pass runs synchronously: a runtime constructed lazily by
+  // the very lock call that needs a foreign hold (the LD_PRELOAD cold
+  // start) must not race its own bridge thread for the first snapshot.
+  Tick();
+  if (options_.start_thread) {
+    stop_requested_ = false;
+    running_ = true;
+    thread_ = std::thread([this] { Loop(); });
+  }
+  DIMMUNIX_LOG(kInfo) << "ipc: joined arena " << options_.arena_path << " as participant "
+                      << arena_->participant_index() << " (generation "
+                      << arena_->generation() << ")";
+  return true;
+}
+
+void IpcBridge::Stop() {
+  if (arena_ == nullptr) {
+    return;
+  }
+  // Unhook the publisher first: application threads must not write to an
+  // arena that is about to unmap.
+  engine_->SetGlobalPublisher(nullptr);
+  if (running_) {
+    {
+      std::lock_guard<std::mutex> guard(stop_m_);
+      stop_requested_ = true;
+    }
+    stop_cv_.notify_all();
+    thread_.join();
+    running_ = false;
+  }
+  // Retract every mirrored foreign edge so the engine does not keep phantom
+  // holders after the bridge is gone (a release wakes any local yielder).
+  for (const auto& [key, m] : mirrored_) {
+    RetireEdge(key, m);
+  }
+  mirrored_.clear();
+  arena_.reset();  // clears own rows + releases the participant slot
+}
+
+void IpcBridge::Loop() {
+  std::unique_lock<std::mutex> guard(stop_m_);
+  while (!stop_requested_) {
+    guard.unlock();
+    Tick();
+    guard.lock();
+    stop_cv_.wait_for(guard, options_.period, [this] { return stop_requested_; });
+  }
+}
+
+ThreadId IpcBridge::SyntheticTid(const ThreadKey& key) {
+  auto it = synthetic_tids_.find(key);
+  if (it != synthetic_tids_.end()) {
+    return it->second;
+  }
+  const ThreadId tid = next_synthetic_++;
+  synthetic_tids_.emplace(key, tid);
+  return tid;
+}
+
+void IpcBridge::RetireEdge(const EdgeKey& key, const Mirrored& m) {
+  if (m.hold) {
+    engine_->MirrorForeignRelease(m.synthetic, key.lock, m.stack, m.mode);
+  } else {
+    engine_->MirrorForeignWaitEnd(m.synthetic, key.lock, m.stack, m.mode);
+  }
+}
+
+void IpcBridge::Tick() {
+  ++tick_count_;
+  arena_->Heartbeat();
+  if (options_.sweep_every > 0 &&
+      tick_count_ % static_cast<std::uint64_t>(options_.sweep_every) == 0) {
+    reclaimed_total_ += static_cast<std::uint64_t>(arena_->SweepDeadParticipants());
+  }
+
+  const std::vector<ForeignEdge> edges = arena_->SnapshotForeign();
+  for (const ForeignEdge& edge : edges) {
+    const EdgeKey key{edge.participant, edge.generation, edge.thread, edge.lock};
+    auto it = mirrored_.find(key);
+    if (it != mirrored_.end() && it->second.hold == edge.hold &&
+        it->second.mode == edge.mode) {
+      it->second.seen_tick = tick_count_;  // unchanged
+      continue;
+    }
+    if (edge.frames.empty()) {
+      continue;  // unpublishable record; skip (never mirror a stackless edge)
+    }
+    const StackId stack = stacks_->Intern(edge.frames);
+    const ThreadId tid = SyntheticTid(ThreadKey{edge.participant, edge.generation, edge.thread});
+    if (it != mirrored_.end()) {
+      // wait -> hold (acquisition) or hold -> wait / mode change: retire the
+      // old mirrored edge, then fold the new one.
+      RetireEdge(key, it->second);
+      mirrored_.erase(it);
+    }
+    if (edge.hold) {
+      engine_->MirrorForeignHold(tid, edge.lock, stack, edge.mode);
+    } else {
+      engine_->MirrorForeignWait(tid, edge.lock, stack, edge.mode);
+    }
+    mirrored_.emplace(key, Mirrored{tid, stack, edge.hold, edge.mode, tick_count_});
+  }
+
+  // Anything not in this snapshot disappeared: released, canceled, or the
+  // participant died (sweep or slot reuse). Fold the removal in; releases
+  // wake local yielders blocked on the vanished holder.
+  for (auto it = mirrored_.begin(); it != mirrored_.end();) {
+    if (it->second.seen_tick != tick_count_) {
+      RetireEdge(it->first, it->second);
+      it = mirrored_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(status_m_);
+    status_ticks_ = tick_count_;
+    status_mirrored_ = mirrored_.size();
+    status_reclaimed_ = reclaimed_total_;
+  }
+}
+
+IpcStatus IpcBridge::SnapshotStatus() const {
+  IpcStatus status;
+  status.arena_path = options_.arena_path;
+  if (arena_ == nullptr) {
+    return status;
+  }
+  status.running = true;
+  status.participant = arena_->participant_index();
+  status.generation = arena_->generation();
+  status.dropped_publishes = arena_->dropped_publishes();
+  {
+    std::lock_guard<std::mutex> guard(status_m_);
+    status.ticks = status_ticks_;
+    status.foreign_edges_mirrored = status_mirrored_;
+    status.participants_reclaimed = status_reclaimed_;
+  }
+  status.participants = arena_->Participants();
+  return status;
+}
+
+Frame IpcBridge::ProcFrame() const { return ProcessIdentityFrame(); }
+
+void IpcBridge::PublishWait(ThreadId thread, LockId lock, StackId stack, AcquireMode mode) {
+  arena_->PublishWait(thread, lock, mode, stacks_->Get(stack).frames);
+}
+
+void IpcBridge::ClearWait(ThreadId thread, LockId lock) { arena_->ClearWait(thread, lock); }
+
+void IpcBridge::PublishHold(ThreadId thread, LockId lock, StackId stack, AcquireMode mode) {
+  arena_->PublishHold(thread, lock, mode, stacks_->Get(stack).frames);
+}
+
+void IpcBridge::ClearHold(ThreadId thread, LockId lock) { arena_->ClearHold(thread, lock); }
+
+}  // namespace ipc
+}  // namespace dimmunix

@@ -1,0 +1,161 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// IpcBridge — the per-process glue between the avoidance engine and the
+// shared-memory arena (src/ipc/arena.h). It plays both directions:
+//
+//   publisher (application threads, via the engine's global-lock port):
+//     wait/hold transitions of global locks are written to this process's
+//     arena rows, with stacks resolved to portable frames;
+//
+//   mirror (the bridge thread): every `period`, foreign participants' rows
+//     are snapshot, diffed against the previously mirrored set, and the
+//     delta folded into the local engine as synthetic-thread edges
+//     (MirrorForeign*). The existing colored-DFS deadlock search and the
+//     signature matcher then operate on cross-process cycles with no
+//     changes of their own. Disappearing holds wake local yielders, so a
+//     process parked to dodge a foreign peer resumes as soon as that peer
+//     releases — or dies (liveness sweeps reclaim SIGKILL'd participants).
+//
+// Foreign (participant, claim-generation, thread) triples map to stable
+// synthetic ThreadIds at kForeignThreadBase; a participant slot reuse gets
+// fresh ids, so a corpse's edges can never be confused with its
+// successor's.
+
+#ifndef DIMMUNIX_IPC_BRIDGE_H_
+#define DIMMUNIX_IPC_BRIDGE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/avoidance.h"
+#include "src/core/global_port.h"
+#include "src/ipc/arena.h"
+#include "src/stack/stack_table.h"
+
+namespace dimmunix {
+namespace ipc {
+
+// Control-plane summary (dimctl ipc).
+struct IpcStatus {
+  bool running = false;
+  std::string arena_path;
+  int participant = -1;
+  std::uint64_t generation = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t foreign_edges_mirrored = 0;  // currently mirrored foreign edges
+  std::uint64_t participants_reclaimed = 0;
+  std::uint64_t dropped_publishes = 0;
+  std::vector<ParticipantInfo> participants;
+};
+
+class IpcBridge : public GlobalEdgePublisher {
+ public:
+  struct Options {
+    std::string arena_path;
+    std::chrono::milliseconds period{25};
+    int sweep_every = 8;         // liveness sweep every N ticks
+    bool start_thread = true;    // false: tests drive Tick() themselves
+  };
+
+  // `engine` and `stacks` must outlive the bridge.
+  IpcBridge(Options options, AvoidanceEngine* engine, StackTable* stacks);
+  ~IpcBridge() override;
+
+  IpcBridge(const IpcBridge&) = delete;
+  IpcBridge& operator=(const IpcBridge&) = delete;
+
+  // Opens + claims the arena and (unless start_thread is off) starts the
+  // mirror thread. False with `*error` set when the arena is unusable; the
+  // runtime then continues without cross-process immunity.
+  bool Start(std::string* error);
+
+  // Retracts mirrored foreign edges from the engine, stops the thread, and
+  // releases the participant slot. Idempotent. Like Runtime destruction
+  // itself (whose teardown sequence calls this), it requires application
+  // threads to be out of the engine: a thread still inside a global-lock
+  // Request may have captured the publisher pointer before Stop() unhooked
+  // it. Runtime::Global() is leaked intentionally for exactly this reason;
+  // embedded runtimes must join their workers before destruction.
+  void Stop();
+
+  // One mirror iteration (heartbeat, sweep, snapshot, diff-fold). Called by
+  // the background loop; public so tests run the bridge deterministically.
+  void Tick();
+
+  IpcStatus SnapshotStatus() const;
+  IpcArena* arena() { return arena_.get(); }
+
+  // --- GlobalEdgePublisher (application threads) ----------------------------
+  Frame ProcFrame() const override;
+  void PublishWait(ThreadId thread, LockId lock, StackId stack, AcquireMode mode) override;
+  void ClearWait(ThreadId thread, LockId lock) override;
+  void PublishHold(ThreadId thread, LockId lock, StackId stack, AcquireMode mode) override;
+  void ClearHold(ThreadId thread, LockId lock) override;
+
+ private:
+  struct EdgeKey {
+    int participant;
+    std::uint64_t generation;
+    ThreadId thread;
+    LockId lock;
+    bool operator==(const EdgeKey&) const = default;
+  };
+  struct EdgeKeyHash {
+    std::size_t operator()(const EdgeKey& k) const;
+  };
+  struct Mirrored {
+    ThreadId synthetic = kInvalidThreadId;
+    StackId stack = kInvalidStackId;
+    bool hold = false;
+    AcquireMode mode = AcquireMode::kExclusive;
+    std::uint64_t seen_tick = 0;  // last snapshot containing this edge
+  };
+  struct ThreadKey {
+    int participant;
+    std::uint64_t generation;
+    ThreadId thread;
+    bool operator==(const ThreadKey&) const = default;
+  };
+  struct ThreadKeyHash {
+    std::size_t operator()(const ThreadKey& k) const;
+  };
+
+  void Loop();
+  ThreadId SyntheticTid(const ThreadKey& key);
+  void RetireEdge(const EdgeKey& key, const Mirrored& m);
+
+  const Options options_;
+  AvoidanceEngine* engine_;
+  StackTable* stacks_;
+  std::unique_ptr<IpcArena> arena_;
+
+  // Mirror state (bridge thread only).
+  std::unordered_map<EdgeKey, Mirrored, EdgeKeyHash> mirrored_;
+  std::unordered_map<ThreadKey, ThreadId, ThreadKeyHash> synthetic_tids_;
+  ThreadId next_synthetic_ = kForeignThreadBase;
+  std::uint64_t tick_count_ = 0;
+  std::uint64_t reclaimed_total_ = 0;
+
+  mutable std::mutex status_m_;  // guards the IpcStatus copy fields below
+  std::uint64_t status_ticks_ = 0;
+  std::uint64_t status_mirrored_ = 0;
+  std::uint64_t status_reclaimed_ = 0;
+
+  std::mutex stop_m_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace ipc
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_IPC_BRIDGE_H_

@@ -1,0 +1,170 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/ipc/global_id.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/spin_lock.h"
+
+namespace dimmunix {
+namespace ipc {
+namespace {
+
+LockId Tagged(std::uint64_t h) {
+  // The hash must carry the global bit and must not collapse to an invalid
+  // id once tagged.
+  LockId id = h | kGlobalLockBit;
+  if (id == kGlobalLockBit) {
+    id |= 1;
+  }
+  return id;
+}
+
+std::uint64_t IdentityHash(GlobalLockKind kind, std::uint64_t dev, std::uint64_t ino,
+                           std::uint64_t offset) {
+  std::uint64_t h = Fnv1a64(&kind, sizeof(kind));
+  h = HashCombine(h, dev);
+  h = HashCombine(h, ino);
+  h = HashCombine(h, offset);
+  return h;
+}
+
+// One MAP_SHARED region of /proc/self/maps: [start, end) backed by
+// (dev, inode) at file offset pgoff.
+struct SharedRegion {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::uint64_t pgoff = 0;
+  std::uint64_t dev = 0;
+  std::uint64_t ino = 0;
+};
+
+SpinLock g_maps_lock;
+std::vector<SharedRegion>* g_maps_cache = nullptr;  // sorted by start; leaked
+
+// Parses /proc/self/maps, keeping only shared ('s') regions. Runs rarely
+// (first global-mutex touch, or after a miss on a fresh mmap).
+std::vector<SharedRegion> ParseSharedMaps() {
+  std::vector<SharedRegion> regions;
+  std::FILE* f = std::fopen("/proc/self/maps", "r");
+  if (f == nullptr) {
+    return regions;
+  }
+  char line[512];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+    char perms[8] = {0};
+    std::uint64_t pgoff = 0;
+    unsigned dev_major = 0;
+    unsigned dev_minor = 0;
+    std::uint64_t ino = 0;
+    if (std::sscanf(line, "%" SCNx64 "-%" SCNx64 " %7s %" SCNx64 " %x:%x %" SCNu64, &start,
+                    &end, perms, &pgoff, &dev_major, &dev_minor, &ino) != 7) {
+      continue;
+    }
+    if (perms[3] != 's') {
+      continue;  // private mapping: cannot be a cross-process lock home
+    }
+    SharedRegion region;
+    region.start = start;
+    region.end = end;
+    region.pgoff = pgoff;
+    region.dev = (static_cast<std::uint64_t>(dev_major) << 32) | dev_minor;
+    region.ino = ino;
+    regions.push_back(region);
+  }
+  std::fclose(f);
+  std::sort(regions.begin(), regions.end(),
+            [](const SharedRegion& a, const SharedRegion& b) { return a.start < b.start; });
+  return regions;
+}
+
+// Finds the cached shared region containing `addr`; nullopt-style via bool.
+bool LookupRegion(std::uint64_t addr, SharedRegion* out) {
+  std::lock_guard<SpinLock> guard(g_maps_lock);
+  if (g_maps_cache != nullptr) {
+    auto it = std::upper_bound(
+        g_maps_cache->begin(), g_maps_cache->end(), addr,
+        [](std::uint64_t a, const SharedRegion& r) { return a < r.start; });
+    if (it != g_maps_cache->begin() && addr < std::prev(it)->end) {
+      *out = *std::prev(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LockId GlobalIdForFileLock(int fd, GlobalLockKind kind, std::uint64_t offset) {
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    return kInvalidLockId;
+  }
+  return Tagged(IdentityHash(kind, static_cast<std::uint64_t>(st.st_dev),
+                             static_cast<std::uint64_t>(st.st_ino), offset));
+}
+
+LockId GlobalIdForSharedAddress(const void* addr) {
+  const std::uint64_t a = reinterpret_cast<std::uint64_t>(addr);
+  SharedRegion region;
+  if (!LookupRegion(a, &region)) {
+    // Miss: the mapping may postdate the cache. Re-parse once.
+    auto fresh = ParseSharedMaps();
+    {
+      std::lock_guard<SpinLock> guard(g_maps_lock);
+      if (g_maps_cache == nullptr) {
+        g_maps_cache = new std::vector<SharedRegion>();
+      }
+      *g_maps_cache = std::move(fresh);
+    }
+    if (!LookupRegion(a, &region)) {
+      region = SharedRegion{};  // unresolvable: fall through to address identity
+    }
+  }
+  if (region.ino != 0 || region.dev != 0) {
+    const std::uint64_t file_offset = region.pgoff + (a - region.start);
+    return Tagged(
+        IdentityHash(GlobalLockKind::kSharedMemory, region.dev, region.ino, file_offset));
+  }
+  // Anonymous shared memory: only reachable via fork(), which preserves the
+  // address — use it directly.
+  return Tagged(IdentityHash(GlobalLockKind::kSharedMemory, 0, 0, a));
+}
+
+void InvalidateMapsCache() {
+  std::lock_guard<SpinLock> guard(g_maps_lock);
+  if (g_maps_cache != nullptr) {
+    g_maps_cache->clear();
+  }
+}
+
+Frame ProcessIdentityFrame() {
+  static const Frame frame = [] {
+    std::string tag;
+    if (const char* env = std::getenv("DIMMUNIX_PROC_TAG"); env != nullptr && *env != '\0') {
+      tag = env;
+    } else {
+      char buf[512];
+      const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+      tag = n > 0 ? std::string(buf, static_cast<std::size_t>(n)) : "unknown-exe";
+    }
+    return FrameFromName("proc:" + tag);
+  }();
+  return frame;
+}
+
+}  // namespace ipc
+}  // namespace dimmunix

@@ -1,0 +1,66 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Stable cross-process lock identities (the "global" LockId space of
+// src/core/global_port.h).
+//
+// A global lock must have the same LockId in every participating process,
+// across address-space layouts and re-runs within one boot:
+//
+//   - file locks (flock(2), fcntl(F_SETLK*)): identity is the locked file's
+//     (st_dev, st_ino) plus the byte offset of the locked range (0 for
+//     flock, l_start for fcntl) and a kind tag separating the two lock
+//     namespaces the kernel keeps disjoint;
+//
+//   - process-shared mutexes/rwlocks living in MAP_SHARED memory: identity
+//     is the backing object of the mapping containing the address — (dev,
+//     inode) from /proc/self/maps — plus the offset of the lock within the
+//     file. Anonymous shared mappings (MAP_ANONYMOUS | MAP_SHARED, dev 0:0
+//     inode 0) have no file identity, but are only shareable through
+//     fork(), which preserves addresses — the virtual address itself is the
+//     identity there.
+//
+// The /proc/self/maps parse is cached; a lookup miss (fresh mmap) triggers
+// one re-parse. All of this is off the local-lock fast path: only adapters
+// that already classified a lock as global call in here.
+
+#ifndef DIMMUNIX_IPC_GLOBAL_ID_H_
+#define DIMMUNIX_IPC_GLOBAL_ID_H_
+
+#include <cstdint>
+
+#include "src/core/global_port.h"
+
+namespace dimmunix {
+namespace ipc {
+
+// Disjoint lock namespaces that must never collide even on equal
+// (dev, inode, offset) triples.
+enum class GlobalLockKind : std::uint8_t {
+  kFlock = 1,      // flock(2) — whole-file, per-open-file-description
+  kFcntlRange = 2, // fcntl(F_SETLK*) POSIX record locks — per (file, range)
+  kSharedMemory = 3,  // pthread objects in MAP_SHARED memory
+};
+
+// Identity of a file lock on the open file `fd`. Returns kInvalidLockId if
+// fstat fails. The result has kGlobalLockBit set.
+LockId GlobalIdForFileLock(int fd, GlobalLockKind kind, std::uint64_t offset);
+
+// Identity of a process-shared pthread object at `addr`: resolves the
+// MAP_SHARED mapping containing the address via the (cached) maps table.
+// Falls back to the raw address (fork-shared anonymous memory) when the
+// mapping is anonymous or cannot be resolved. Has kGlobalLockBit set.
+LockId GlobalIdForSharedAddress(const void* addr);
+
+// Drops the cached /proc/self/maps table (tests; also safe after fork).
+void InvalidateMapsCache();
+
+// Stable identity of this process for proc-qualifying signature stacks:
+// DIMMUNIX_PROC_TAG when set, otherwise the resolved /proc/self/exe path.
+// Same binary (or same tag) => same frame in every run, so fork-based
+// fleets keep fully portable signatures.
+Frame ProcessIdentityFrame();
+
+}  // namespace ipc
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_IPC_GLOBAL_ID_H_

@@ -70,6 +70,7 @@ void HistoryStore::Stop() {
 
 void HistoryStore::NotifySignatureChanged(int index) {
   queue_.Push(index);
+  stat_queued_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> guard(cv_m_);
     wake_ = true;
@@ -117,6 +118,16 @@ StoreStatsSnapshot HistoryStore::stats() const {
   snap.compactions = stat_compactions_.load(std::memory_order_relaxed);
   snap.foreign_merged = stat_foreign_.load(std::memory_order_relaxed);
   snap.io_errors = stat_io_errors_.load(std::memory_order_relaxed);
+  snap.queued = stat_queued_.load(std::memory_order_relaxed);
+  snap.journal_since_compact = stat_since_compact_.load(std::memory_order_relaxed);
+  snap.resyncs = stat_resyncs_.load(std::memory_order_relaxed);
+  const std::int64_t last = stat_last_resync_ms_.load(std::memory_order_relaxed);
+  if (last >= 0) {
+    const std::int64_t now = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 std::chrono::steady_clock::now().time_since_epoch())
+                                 .count();
+    snap.last_resync_age_ms = now >= last ? now - last : 0;
+  }
   return snap;
 }
 
@@ -151,6 +162,7 @@ void HistoryStore::Loop() {
 
 void HistoryStore::DrainQueue() {
   while (auto op = queue_.Pop()) {
+    stat_queued_.fetch_sub(1, std::memory_order_relaxed);
     AppendDelta(*op);
   }
   bool threshold_reached = false;
@@ -173,6 +185,8 @@ void HistoryStore::AppendDelta(int index) {
   if (AppendJournalRecord(options_.path, record, options_.fsync_appends)) {
     stat_appends_.fetch_add(1, std::memory_order_relaxed);
     ++appends_since_compact_;
+    stat_since_compact_.store(static_cast<std::uint64_t>(appends_since_compact_),
+                              std::memory_order_relaxed);
     dirty_ = true;
   } else {
     stat_io_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -233,7 +247,18 @@ bool HistoryStore::Compact(MergePolicy policy, bool sync_only) {
     stat_compactions_.fetch_add(1, std::memory_order_relaxed);
   }
   appends_since_compact_ = 0;
+  stat_since_compact_.store(0, std::memory_order_relaxed);
   dirty_ = false;
+  if (sync_only) {
+    // A synchronizing pass consumed the shared file's current state: that
+    // is the "resync" operators watch for in `dimctl status`.
+    stat_resyncs_.fetch_add(1, std::memory_order_relaxed);
+    stat_last_resync_ms_.store(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
   if (added > 0 && on_merged_) {
     on_merged_();
   }

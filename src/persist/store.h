@@ -77,6 +77,11 @@ struct StoreStatsSnapshot {
   std::uint64_t compactions = 0;     // snapshot rewrites
   std::uint64_t foreign_merged = 0;  // signatures learned from the shared file
   std::uint64_t io_errors = 0;
+  // Operator-facing health (dimctl status):
+  std::uint64_t queued = 0;               // deltas enqueued, not yet journaled
+  std::uint64_t journal_since_compact = 0;  // records appended since the last compaction
+  std::uint64_t resyncs = 0;              // load-merge passes over the shared file
+  std::int64_t last_resync_age_ms = -1;   // ms since the last resync; -1 = never
 };
 
 class HistoryStore {
@@ -152,6 +157,10 @@ class HistoryStore {
   std::atomic<std::uint64_t> stat_compactions_{0};
   std::atomic<std::uint64_t> stat_foreign_{0};
   std::atomic<std::uint64_t> stat_io_errors_{0};
+  std::atomic<std::uint64_t> stat_queued_{0};         // producer inc, writer dec
+  std::atomic<std::uint64_t> stat_since_compact_{0};  // mirrors appends_since_compact_
+  std::atomic<std::uint64_t> stat_resyncs_{0};
+  std::atomic<std::int64_t> stat_last_resync_ms_{-1};  // steady-clock ms, -1 = never
 };
 
 }  // namespace persist

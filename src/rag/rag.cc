@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "src/core/global_port.h"
+
 namespace dimmunix {
 
 void Rag::Apply(const Event& event) {
@@ -393,6 +395,7 @@ RagSnapshot Rag::Snapshot() const {
   for (const auto& [tid, node] : threads_) {
     RagThreadInfo info;
     info.id = tid;
+    info.foreign = IsForeignThreadId(tid);
     info.waiting = node.wait != ThreadNode::Wait::kNone;
     info.wait_lock = info.waiting ? node.wait_lock : kInvalidLockId;
     info.wait_mode = node.wait_mode;

@@ -66,6 +66,10 @@ struct RagThreadInfo {
 
   ThreadId id = kInvalidThreadId;
   bool waiting = false;            // has a request/allow edge out
+  // True for threads mirrored from another process by the IPC bridge
+  // (synthetic ids at kForeignThreadBase+): their edges are real, but they
+  // cannot be parked, broken, or canceled from this process.
+  bool foreign = false;
   LockId wait_lock = kInvalidLockId;
   AcquireMode wait_mode = AcquireMode::kExclusive;
   std::vector<HeldLock> held;      // locks currently held, with hold mode

@@ -6,7 +6,10 @@
 // detected deadlock/starvation — plus a matching depth. Signatures contain
 // no thread or lock identities ("this ensures that signatures preserve the
 // generality of a deadlock pattern and are fully portable from one execution
-// to the next").
+// to the next"). Cross-process signatures (src/ipc) need no special
+// representation: proc qualification is just one more frame (the process
+// identity, prepended at capture time for global locks), so they flow
+// through matching, persistence, and multi-process merge unchanged.
 //
 // The history is loaded from disk at startup, shared read-only among all
 // application threads, and mutated only by the monitor thread (§5.4). Writes

@@ -1,0 +1,224 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// The shared-memory arena: publish/snapshot round trips, seqlock-guarded
+// records, slot claiming, clean release, and the PID+start-time liveness
+// sweep that makes a SIGKILL'd participant unable to wedge the fleet.
+
+#include "src/ipc/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace dimmunix {
+namespace ipc {
+namespace {
+
+class ArenaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("arena_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+TEST_F(ArenaTest, PublishSnapshotRoundTrip) {
+  std::string error;
+  auto a = IpcArena::OpenOrCreate(path_, &error);
+  ASSERT_NE(a, nullptr) << error;
+  auto b = IpcArena::OpenOrCreate(path_, &error);
+  ASSERT_NE(b, nullptr) << error;
+  EXPECT_NE(a->participant_index(), b->participant_index());
+
+  const LockId lock = kGlobalLockBit | 0x42;
+  const std::vector<Frame> frames{0x1111, 0x2222, 0x3333};
+  a->PublishWait(7, lock, AcquireMode::kShared, frames);
+
+  auto edges = b->SnapshotForeign();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].participant, a->participant_index());
+  EXPECT_EQ(edges[0].thread, 7);
+  EXPECT_EQ(edges[0].lock, lock);
+  EXPECT_FALSE(edges[0].hold);
+  EXPECT_EQ(edges[0].mode, AcquireMode::kShared);
+  EXPECT_EQ(edges[0].frames, frames);
+
+  // Wait -> hold reuses the row; the old wait edge is gone.
+  a->PublishHold(7, lock, AcquireMode::kExclusive, frames);
+  edges = b->SnapshotForeign();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_TRUE(edges[0].hold);
+  EXPECT_EQ(edges[0].mode, AcquireMode::kExclusive);
+  EXPECT_EQ(edges[0].count, 1u);
+
+  // A's own snapshot excludes its own edges.
+  EXPECT_TRUE(a->SnapshotForeign().empty());
+
+  a->ClearHold(7, lock);
+  EXPECT_TRUE(b->SnapshotForeign().empty());
+}
+
+TEST_F(ArenaTest, ReentrantHoldsCountAndUnwind) {
+  std::string error;
+  auto a = IpcArena::OpenOrCreate(path_, &error);
+  ASSERT_NE(a, nullptr) << error;
+  auto b = IpcArena::OpenOrCreate(path_, &error);
+  ASSERT_NE(b, nullptr) << error;
+
+  const LockId lock = kGlobalLockBit | 0x99;
+  const std::vector<Frame> frames{0xaa};
+  a->PublishHold(3, lock, AcquireMode::kExclusive, frames);
+  a->PublishHold(3, lock, AcquireMode::kExclusive, frames);
+  auto edges = b->SnapshotForeign();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].count, 2u);
+
+  a->ClearHold(3, lock);  // reentrant unwind: still held
+  edges = b->SnapshotForeign();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].count, 1u);
+
+  a->ClearHold(3, lock);  // final release
+  EXPECT_TRUE(b->SnapshotForeign().empty());
+}
+
+TEST_F(ArenaTest, ClearWaitNeverRetractsAPromotedHold) {
+  std::string error;
+  auto a = IpcArena::OpenOrCreate(path_, &error);
+  ASSERT_NE(a, nullptr) << error;
+  auto b = IpcArena::OpenOrCreate(path_, &error);
+  ASSERT_NE(b, nullptr) << error;
+
+  const LockId lock = kGlobalLockBit | 0x7;
+  a->PublishWait(1, lock, AcquireMode::kExclusive, {0x1});
+  a->PublishHold(1, lock, AcquireMode::kExclusive, {0x1});
+  a->ClearWait(1, lock);  // stale rollback after the acquisition committed
+  auto edges = b->SnapshotForeign();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_TRUE(edges[0].hold);
+
+  // And an upgrade's wait never hides the standing hold.
+  a->PublishWait(1, lock, AcquireMode::kExclusive, {0x1});
+  edges = b->SnapshotForeign();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_TRUE(edges[0].hold);
+}
+
+TEST_F(ArenaTest, OverflowDropsInsteadOfBlocking) {
+  std::string error;
+  auto a = IpcArena::OpenOrCreate(path_, &error);
+  ASSERT_NE(a, nullptr) << error;
+  for (int i = 0; i < IpcArena::kEdgesPerParticipant + 5; ++i) {
+    a->PublishWait(1, kGlobalLockBit | static_cast<LockId>(0x1000 + i),
+                   AcquireMode::kExclusive, {0x1});
+  }
+  EXPECT_EQ(a->dropped_publishes(), 5u);
+}
+
+TEST_F(ArenaTest, CleanShutdownReleasesSlotAndEdges) {
+  std::string error;
+  {
+    auto a = IpcArena::OpenOrCreate(path_, &error);
+    ASSERT_NE(a, nullptr) << error;
+    a->PublishHold(1, kGlobalLockBit | 0x5, AcquireMode::kExclusive, {0x1});
+  }
+  auto b = IpcArena::OpenOrCreate(path_, &error);
+  ASSERT_NE(b, nullptr) << error;
+  EXPECT_EQ(b->participant_index(), 0) << "released slot must be reusable";
+  EXPECT_TRUE(b->SnapshotForeign().empty()) << "released edges must be gone";
+}
+
+TEST_F(ArenaTest, RejectsForeignFilesWithoutTouchingThem) {
+  const std::string junk_content = "this is not an arena, but it is not empty either";
+  {
+    std::ofstream junk(path_, std::ios::binary);
+    junk << junk_content;
+  }
+  std::string error;
+  auto a = IpcArena::OpenOrCreate(path_, &error);
+  EXPECT_EQ(a, nullptr);
+  EXPECT_NE(error.find("not a Dimmunix IPC arena"), std::string::npos) << error;
+  // The innocent file must be byte-identical — never truncated or resized.
+  std::ifstream check(path_, std::ios::binary);
+  std::string after((std::istreambuf_iterator<char>(check)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(after, junk_content);
+}
+
+TEST_F(ArenaTest, SweepReclaimsSigkilledParticipant) {
+  std::string error;
+  auto survivor = IpcArena::OpenOrCreate(path_, &error);
+  ASSERT_NE(survivor, nullptr) << error;
+
+  int ready[2];
+  ASSERT_EQ(::pipe(ready), 0);
+  const pid_t child = ::fork();
+  if (child == 0) {
+    // Child: claim a slot, publish a hold, report readiness, hang forever —
+    // then die by SIGKILL with the edge still standing.
+    std::string child_error;
+    auto arena = IpcArena::OpenOrCreate(path_, &child_error);
+    if (arena == nullptr) {
+      ::_exit(1);
+    }
+    arena->PublishHold(1, kGlobalLockBit | 0xdead, AcquireMode::kExclusive, {0xbeef});
+    char byte = 'r';
+    (void)!::write(ready[1], &byte, 1);
+    for (;;) {
+      ::pause();
+    }
+  }
+  char byte = 0;
+  ASSERT_EQ(::read(ready[0], &byte, 1), 1);
+  ::close(ready[0]);
+  ::close(ready[1]);
+
+  ASSERT_EQ(survivor->SnapshotForeign().size(), 1u) << "child's hold must be visible";
+  ::kill(child, SIGKILL);
+  ::waitpid(child, nullptr, 0);
+
+  // The corpse's pid is gone: one sweep reclaims the slot and its edges.
+  EXPECT_EQ(survivor->SweepDeadParticipants(), 1);
+  EXPECT_TRUE(survivor->SnapshotForeign().empty());
+  EXPECT_EQ(survivor->SweepDeadParticipants(), 0) << "sweep is idempotent";
+}
+
+TEST_F(ArenaTest, ParticipantsReportLiveness) {
+  std::string error;
+  auto a = IpcArena::OpenOrCreate(path_, &error);
+  ASSERT_NE(a, nullptr) << error;
+  a->Heartbeat();
+  a->PublishWait(1, kGlobalLockBit | 0x1, AcquireMode::kExclusive, {0x1});
+  auto parts = a->Participants();
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_TRUE(parts[0].self);
+  EXPECT_TRUE(parts[0].alive);
+  EXPECT_EQ(parts[0].pid, static_cast<std::uint32_t>(::getpid()));
+  EXPECT_EQ(parts[0].edges, 1u);
+  EXPECT_GE(parts[0].heartbeat_age_ms, 0);
+}
+
+TEST(ArenaLivenessTest, ProcessStartTimeDetectsDeath) {
+  EXPECT_NE(ProcessStartTime(static_cast<std::uint32_t>(::getpid())), 0u);
+  const pid_t child = ::fork();
+  if (child == 0) {
+    ::_exit(0);
+  }
+  ::waitpid(child, nullptr, 0);
+  EXPECT_EQ(ProcessStartTime(static_cast<std::uint32_t>(child)), 0u);
+}
+
+}  // namespace
+}  // namespace ipc
+}  // namespace dimmunix

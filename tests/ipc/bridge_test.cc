@@ -1,0 +1,203 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// The bridge: foreign arena edges folded into a local engine as
+// synthetic-thread tuples, cross-process signature instantiation, and the
+// retirement of a vanished participant's edges. Two complete engine stacks
+// ("process" A and B) share one arena file inside this test process; the
+// bridges run deterministically via Tick().
+
+#include "src/ipc/bridge.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "src/common/config.h"
+#include "src/core/avoidance.h"
+#include "src/event/event_queue.h"
+#include "src/ipc/global_id.h"
+#include "src/signature/history.h"
+#include "src/stack/annotation.h"
+#include "src/stack/stack_table.h"
+
+namespace dimmunix {
+namespace ipc {
+namespace {
+
+constexpr LockId kLock1 = kGlobalLockBit | 0x101;
+constexpr LockId kLock2 = kGlobalLockBit | 0x202;
+
+// One in-process "process": engine + bridge over the shared arena.
+struct Side {
+  explicit Side(const std::string& arena_path) {
+    Config config;
+    config.start_monitor = false;
+    stacks = std::make_unique<StackTable>(config.max_match_depth);
+    history = std::make_unique<History>(stacks.get());
+    queue = std::make_unique<EventQueue>();
+    engine = std::make_unique<AvoidanceEngine>(config, stacks.get(), history.get(),
+                                               queue.get());
+    IpcBridge::Options options;
+    options.arena_path = arena_path;
+    options.start_thread = false;  // ticks are driven by the test
+    bridge = std::make_unique<IpcBridge>(options, engine.get(), stacks.get());
+    std::string error;
+    started = bridge->Start(&error);
+  }
+
+  std::unique_ptr<StackTable> stacks;
+  std::unique_ptr<History> history;
+  std::unique_ptr<EventQueue> queue;
+  std::unique_ptr<AvoidanceEngine> engine;
+  std::unique_ptr<IpcBridge> bridge;
+  bool started = false;
+};
+
+class BridgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    arena_path_ = (std::filesystem::temp_directory_path() /
+                   ("bridge_" + std::to_string(::getpid()) + "_" +
+                    ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                      .string();
+    std::filesystem::remove(arena_path_);
+  }
+  void TearDown() override { std::filesystem::remove(arena_path_); }
+
+  std::string arena_path_;
+};
+
+TEST_F(BridgeTest, ForeignHoldBecomesLocalOwnerAndTuple) {
+  Side a(arena_path_);
+  Side b(arena_path_);
+  ASSERT_TRUE(a.started);
+  ASSERT_TRUE(b.started);
+
+  // A acquires a global lock through the full protocol.
+  const ThreadId ta = a.engine->registry().RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("bridge::holder"));
+  ASSERT_EQ(a.engine->Request(ta, kLock1), RequestDecision::kGo);
+  a.engine->Acquired(ta, kLock1);
+
+  // B's next tick folds the hold in under a synthetic foreign thread id.
+  b.bridge->Tick();
+  const ThreadId foreign = b.engine->LockOwner(kLock1);
+  EXPECT_GE(foreign, kForeignThreadBase);
+  EXPECT_FALSE(b.engine->registry().Contains(foreign))
+      << "synthetic ids must not alias registry slots";
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 1u);
+
+  // Release in A; B's next tick retires the mirrored hold.
+  a.engine->Release(ta, kLock1);
+  b.bridge->Tick();
+  EXPECT_EQ(b.engine->LockOwner(kLock1), kInvalidThreadId);
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 0u);
+}
+
+TEST_F(BridgeTest, CrossProcessInstantiationRefusesTheDeadlyAcquisition) {
+  Side a(arena_path_);
+  Side b(arena_path_);
+  ASSERT_TRUE(a.started);
+  ASSERT_TRUE(b.started);
+
+  // The cross-process signature: proc-qualified first-lock stacks of both
+  // sides, as the monitor would have archived after run 1.
+  const Frame proc = ProcessIdentityFrame();
+  const Frame frame_a = FrameFromName("bridge::side_a");
+  const Frame frame_b = FrameFromName("bridge::side_b");
+  bool added = false;
+  for (Side* side : {&a, &b}) {
+    const StackId sa = side->stacks->Intern({proc, frame_a});
+    const StackId sb = side->stacks->Intern({proc, frame_b});
+    side->history->Add(SignatureKind::kDeadlock, {sa, sb}, /*match_depth=*/4, &added);
+    side->engine->NotifyHistoryChanged();
+  }
+
+  // A holds lock1 (its first lock, at its signature stack).
+  const ThreadId ta = a.engine->registry().RegisterCurrentThread();
+  {
+    ScopedFrame frame(frame_a);
+    ASSERT_EQ(a.engine->Request(ta, kLock1), RequestDecision::kGo);
+    a.engine->Acquired(ta, kLock1);
+  }
+  b.bridge->Tick();
+
+  // B's first acquisition would complete the instantiation: the engine must
+  // refuse (kBusy in the nonblocking form — the blocking form would yield).
+  const ThreadId tb = b.engine->registry().RegisterCurrentThread();
+  {
+    ScopedFrame frame(frame_b);
+    EXPECT_EQ(b.engine->RequestNonblocking(tb, kLock2), RequestDecision::kBusy);
+  }
+  EXPECT_EQ(b.engine->stats().yields.load(), 1u);
+
+  // Once A releases (and the bridge mirrors it), the same acquisition is
+  // safe again — one process's escape unblocks the peer.
+  a.engine->Release(ta, kLock1);
+  b.bridge->Tick();
+  {
+    ScopedFrame frame(frame_b);
+    EXPECT_EQ(b.engine->RequestNonblocking(tb, kLock2), RequestDecision::kGo);
+  }
+  b.engine->CancelRequest(tb, kLock2);
+}
+
+TEST_F(BridgeTest, StoppedPeerEdgesAreRetired) {
+  Side b(arena_path_);
+  ASSERT_TRUE(b.started);
+  {
+    Side a(arena_path_);
+    ASSERT_TRUE(a.started);
+    const ThreadId ta = a.engine->registry().RegisterCurrentThread();
+    ScopedFrame frame(FrameFromName("bridge::transient"));
+    ASSERT_EQ(a.engine->Request(ta, kLock1), RequestDecision::kGo);
+    a.engine->Acquired(ta, kLock1);
+    b.bridge->Tick();
+    EXPECT_NE(b.engine->LockOwner(kLock1), kInvalidThreadId);
+    // A's bridge shuts down cleanly here (participant slot released, edges
+    // cleared) — the library-mode equivalent of a process exit.
+  }
+  b.bridge->Tick();
+  EXPECT_EQ(b.engine->LockOwner(kLock1), kInvalidThreadId);
+}
+
+TEST_F(BridgeTest, WaitEdgesMirrorAndClear) {
+  Side a(arena_path_);
+  Side b(arena_path_);
+  ASSERT_TRUE(a.started);
+  ASSERT_TRUE(b.started);
+
+  const ThreadId ta = a.engine->registry().RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("bridge::waiter"));
+  ASSERT_EQ(a.engine->Request(ta, kLock2), RequestDecision::kGo);  // wait standing
+  b.bridge->Tick();
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 1u);
+
+  a.engine->CancelRequest(ta, kLock2);  // trylock-style rollback
+  b.bridge->Tick();
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 0u);
+}
+
+TEST_F(BridgeTest, LocalLocksNeverReachTheArena) {
+  Side a(arena_path_);
+  Side b(arena_path_);
+  ASSERT_TRUE(a.started);
+  ASSERT_TRUE(b.started);
+
+  const ThreadId ta = a.engine->registry().RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("bridge::local"));
+  const LockId local = 0x1234;  // no kGlobalLockBit
+  ASSERT_EQ(a.engine->Request(ta, local), RequestDecision::kGo);
+  a.engine->Acquired(ta, local);
+  b.bridge->Tick();
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 0u);
+  a.engine->Release(ta, local);
+}
+
+}  // namespace
+}  // namespace ipc
+}  // namespace dimmunix

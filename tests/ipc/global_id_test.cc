@@ -1,0 +1,115 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Cross-process lock identities: the same lock must hash to the same LockId
+// through any fd / mapping that reaches it, different locks must not
+// collide, and every global id must carry kGlobalLockBit.
+
+#include "src/ipc/global_id.h"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+namespace dimmunix {
+namespace ipc {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("global_id_") + tag + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+TEST(GlobalIdTest, FileLockIdentityIsStableAcrossDescriptors) {
+  const std::string path = TempPath("file");
+  const int fd1 = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd1, 0);
+  const int fd2 = ::open(path.c_str(), O_RDWR);  // independent open
+  ASSERT_GE(fd2, 0);
+
+  const LockId a = GlobalIdForFileLock(fd1, GlobalLockKind::kFlock, 0);
+  const LockId b = GlobalIdForFileLock(fd2, GlobalLockKind::kFlock, 0);
+  EXPECT_NE(a, kInvalidLockId);
+  EXPECT_EQ(a, b) << "same file through different fds must be the same lock";
+  EXPECT_TRUE(IsGlobalLockId(a));
+
+  ::close(fd1);
+  ::close(fd2);
+  std::filesystem::remove(path);
+}
+
+TEST(GlobalIdTest, OffsetsAndKindsAreDisjointNamespaces) {
+  const std::string path = TempPath("kinds");
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+
+  const LockId flock_id = GlobalIdForFileLock(fd, GlobalLockKind::kFlock, 0);
+  const LockId fcntl0 = GlobalIdForFileLock(fd, GlobalLockKind::kFcntlRange, 0);
+  const LockId fcntl8 = GlobalIdForFileLock(fd, GlobalLockKind::kFcntlRange, 8);
+  // flock and fcntl locks on one file never interact in the kernel; their
+  // ids must differ even at offset 0. Distinct ranges are distinct locks.
+  EXPECT_NE(flock_id, fcntl0);
+  EXPECT_NE(fcntl0, fcntl8);
+
+  ::close(fd);
+  std::filesystem::remove(path);
+}
+
+TEST(GlobalIdTest, BadDescriptorYieldsInvalid) {
+  EXPECT_EQ(GlobalIdForFileLock(-1, GlobalLockKind::kFlock, 0), kInvalidLockId);
+}
+
+TEST(GlobalIdTest, SharedMappingIdentityFollowsTheBackingFile) {
+  const std::string path = TempPath("shm");
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::ftruncate(fd, 8192), 0);
+
+  // Two independent mappings of the same file: same byte => same identity,
+  // regardless of virtual address.
+  void* map1 = ::mmap(nullptr, 8192, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  void* map2 = ::mmap(nullptr, 8192, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ASSERT_NE(map1, MAP_FAILED);
+  ASSERT_NE(map2, MAP_FAILED);
+  ASSERT_NE(map1, map2);
+  InvalidateMapsCache();  // the mappings postdate any cached parse
+
+  const LockId a = GlobalIdForSharedAddress(static_cast<char*>(map1) + 128);
+  const LockId b = GlobalIdForSharedAddress(static_cast<char*>(map2) + 128);
+  const LockId other = GlobalIdForSharedAddress(static_cast<char*>(map1) + 256);
+  EXPECT_TRUE(IsGlobalLockId(a));
+  EXPECT_EQ(a, b) << "same file offset through different mappings";
+  EXPECT_NE(a, other) << "different offsets are different locks";
+
+  ::munmap(map1, 8192);
+  ::munmap(map2, 8192);
+  ::close(fd);
+  std::filesystem::remove(path);
+}
+
+TEST(GlobalIdTest, AnonymousSharedMemoryFallsBackToAddressIdentity) {
+  void* map = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(map, MAP_FAILED);
+  InvalidateMapsCache();
+  const LockId id = GlobalIdForSharedAddress(map);
+  EXPECT_TRUE(IsGlobalLockId(id));
+  EXPECT_NE(id, kInvalidLockId);
+  ::munmap(map, 4096);
+}
+
+TEST(GlobalIdTest, ProcessIdentityFrameIsStable) {
+  const Frame a = ProcessIdentityFrame();
+  const Frame b = ProcessIdentityFrame();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, kInvalidFrame);
+}
+
+}  // namespace
+}  // namespace ipc
+}  // namespace dimmunix

@@ -21,11 +21,25 @@
 // uses δin = 1 µs / δout = 0: every microsecond of engine work is visible
 // in the measured throughput, which is what a regression tracker needs.
 //
+// Figure 4 gets a cross-process twist: BENCH_fig4.json measures the
+// two-process shared-mutex victim shape — two processes hammering
+// PTHREAD_PROCESS_SHARED mutexes, uninstrumented vs. instrumented with the
+// IPC arena publishing every acquisition — plus the single-process striped
+// workload with and without an arena configured, proving arena publishing
+// stays off the local-lock fast path.
+//
 // Usage:
+//   benchjson --bench fig4 [--quick] [--out PATH]
 //   benchjson --bench fig5 [--quick] [--out PATH]
 //   benchjson --bench fig8 [--quick] [--out PATH]
 //   benchjson --bench all  [--quick]
 
+#include <pthread.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -35,7 +49,9 @@
 #include "src/benchlib/synth_history.h"
 #include "src/benchlib/trial.h"
 #include "src/benchlib/workload.h"
+#include "src/ipc/global_id.h"
 #include "src/persist/file.h"
+#include "src/stack/annotation.h"
 
 namespace dimmunix {
 namespace {
@@ -235,9 +251,200 @@ int RunFig8(const Options& opts) {
   return 0;
 }
 
+// --- Figure 4: the two-process victim shape ----------------------------------
+
+constexpr int kFig4Processes = 2;
+constexpr std::size_t kFig4LatencySlots = 8192;
+constexpr int kFig4SampleEvery = 64;
+
+// Lives in MAP_SHARED|MAP_ANONYMOUS memory; both children and the parent
+// see one copy.
+struct Fig4Shared {
+  pthread_mutex_t mutex[kFig4Processes];  // one PROCESS_SHARED mutex per child
+  std::atomic<int> ready;
+  std::atomic<int> go;
+  std::atomic<int> stop;
+  std::atomic<std::uint64_t> ops[kFig4Processes];
+  // Child 0 samples its acquisition latency every kFig4SampleEvery ops.
+  std::atomic<std::uint32_t> latency_count;
+  std::uint64_t latencies_ns[kFig4LatencySlots];
+};
+
+// One child's measurement loop: lock/unlock its own shared mutex as fast as
+// possible. Instrumented children run the full acquisition port with the
+// global (arena-published) LockId around the raw operation — exactly what
+// the LD_PRELOAD shim does for a PROCESS_SHARED mutex.
+void Fig4Child(Fig4Shared* shared, int index, bool instrumented,
+               const std::string& arena_path) {
+  Runtime* rt = nullptr;
+  LockId lock_id = 0;
+  if (instrumented) {
+    Config config = InstrumentedConfig();
+    config.ipc_path = arena_path;
+    rt = new Runtime(config);
+    LoadSyntheticHistory(*rt);
+    ipc::InvalidateMapsCache();  // the parent's mapping predates this fork
+    lock_id = ipc::GlobalIdForSharedAddress(&shared->mutex[index]);
+  }
+  // Annotated stack, like every other benchjson workload: the measurement
+  // targets the protocol + arena publishing cost, not backtrace(3).
+  ScopedFrame scope(FrameFromName("fig4::worker" + std::to_string(index)));
+  shared->ready.fetch_add(1);
+  while (shared->go.load(std::memory_order_acquire) == 0) {
+  }
+  std::uint64_t ops = 0;
+  while (shared->stop.load(std::memory_order_relaxed) == 0) {
+    const bool sample = index == 0 && ops % kFig4SampleEvery == 0;
+    const MonoTime t0 = sample ? Now() : MonoTime{};
+    if (instrumented) {
+      AcquireOp op = rt->BeginAcquire(lock_id, AcquireMode::kExclusive);
+      pthread_mutex_lock(&shared->mutex[index]);
+      op.Commit();
+    } else {
+      pthread_mutex_lock(&shared->mutex[index]);
+    }
+    if (sample) {
+      const std::uint32_t at = shared->latency_count.load(std::memory_order_relaxed);
+      if (at < kFig4LatencySlots) {
+        shared->latencies_ns[at] = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Now() - t0).count());
+        shared->latency_count.store(at + 1, std::memory_order_relaxed);
+      }
+    }
+    if (instrumented) {
+      rt->EndRelease(lock_id);
+    }
+    pthread_mutex_unlock(&shared->mutex[index]);
+    ++ops;
+  }
+  shared->ops[index].store(ops);
+  delete rt;  // clean shutdown releases the arena participant slot
+}
+
+BenchSample RunFig4TwoProcess(const Options& opts, bool instrumented,
+                              const std::string& arena_path) {
+  auto* shared = static_cast<Fig4Shared*>(::mmap(nullptr, sizeof(Fig4Shared),
+                                                 PROT_READ | PROT_WRITE,
+                                                 MAP_SHARED | MAP_ANONYMOUS, -1, 0));
+  new (shared) Fig4Shared();
+  pthread_mutexattr_t attr;
+  pthread_mutexattr_init(&attr);
+  pthread_mutexattr_setpshared(&attr, PTHREAD_PROCESS_SHARED);
+  for (int i = 0; i < kFig4Processes; ++i) {
+    pthread_mutex_init(&shared->mutex[i], &attr);
+  }
+  pthread_mutexattr_destroy(&attr);
+  if (instrumented) {
+    ::unlink(arena_path.c_str());
+  }
+
+  pid_t children[kFig4Processes];
+  for (int i = 0; i < kFig4Processes; ++i) {
+    children[i] = ::fork();
+    if (children[i] == 0) {
+      Fig4Child(shared, i, instrumented, arena_path);
+      ::_exit(0);
+    }
+  }
+  while (shared->ready.load() < kFig4Processes) {
+    ::usleep(1000);
+  }
+  const MonoTime start = Now();
+  shared->go.store(1, std::memory_order_release);
+  const Duration duration = MeasureDuration(opts);
+  ::usleep(static_cast<useconds_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(duration).count()));
+  shared->stop.store(1, std::memory_order_relaxed);
+  for (int i = 0; i < kFig4Processes; ++i) {
+    ::waitpid(children[i], nullptr, 0);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Now() - start).count();
+
+  BenchSample sample;
+  sample.label = instrumented ? "two_process_instrumented" : "two_process_uninstrumented";
+  sample.threads = kFig4Processes;
+  for (int i = 0; i < kFig4Processes; ++i) {
+    sample.ops += shared->ops[i].load();
+  }
+  sample.elapsed_s = elapsed;
+  sample.throughput_ops_s = elapsed > 0 ? static_cast<double>(sample.ops) / elapsed : 0;
+  std::vector<std::uint64_t> latencies(
+      shared->latencies_ns,
+      shared->latencies_ns + std::min<std::uint32_t>(shared->latency_count.load(),
+                                                     kFig4LatencySlots));
+  sample.p50_ns = PercentileNs(latencies, 0.50);
+  sample.p99_ns = PercentileNs(std::move(latencies), 0.99);
+  if (instrumented) {
+    ::unlink(arena_path.c_str());
+  }
+  ::munmap(shared, sizeof(Fig4Shared));
+  return sample;
+}
+
+int RunFig4(const Options& opts) {
+  BenchReport report;
+  report.bench = "fig4";
+  report.config = {
+      {"workload", "two-process PROCESS_SHARED mutex victim + local fast path"},
+      {"processes", std::to_string(kFig4Processes)},
+      {"signatures", "64"},
+      {"duration_ms", std::to_string(ToMillis(MeasureDuration(opts)))},
+      {"latency_sample_every", std::to_string(kFig4SampleEvery)},
+      {"mode", opts.quick ? "quick" : "full"},
+  };
+  const std::string arena_path = BenchJsonPath("fig4") + ".arena";
+
+  // (a) The two-process victim shape: global locks, arena publishing on
+  // every acquisition. Instrumented vs. uninstrumented is the cross-process
+  // analogue of Figure 4's per-system overhead columns.
+  const BenchSample uninstr = RunFig4TwoProcess(opts, /*instrumented=*/false, arena_path);
+  report.samples.push_back(uninstr);
+  std::printf("fig4 %-28s=%12.0f ops/s\n", uninstr.label.c_str(), uninstr.throughput_ops_s);
+  const BenchSample instr = RunFig4TwoProcess(opts, /*instrumented=*/true, arena_path);
+  report.samples.push_back(instr);
+  std::printf("fig4 %-28s=%12.0f ops/s (%.1fx overhead)\n", instr.label.c_str(),
+              instr.throughput_ops_s,
+              instr.throughput_ops_s > 0 ? uninstr.throughput_ops_s / instr.throughput_ops_s
+                                         : 0.0);
+  report.p50_ns = instr.p50_ns;
+  report.p99_ns = instr.p99_ns;
+  report.throughput_ops_s = instr.throughput_ops_s;
+
+  // (b) The guarantee the striped engine must keep: configuring an arena
+  // does not touch the LOCAL lock fast path (same striped workload, with
+  // and without DIMMUNIX_IPC). CI compares these two samples.
+  const int local_threads = 8;
+  for (const bool with_ipc : {false, true}) {
+    Config config = InstrumentedConfig();
+    if (with_ipc) {
+      ::unlink(arena_path.c_str());
+      config.ipc_path = arena_path;
+    }
+    Runtime rt(config);
+    LoadSyntheticHistory(rt);
+    WorkloadParams params = BaseParams(opts, local_threads);
+    params.mode = WorkloadMode::kDimmunix;
+    params.runtime = &rt;
+    const WorkloadResult result = RunWorkload(params);
+    const char* label = with_ipc ? "local_fastpath+ipc" : "local_fastpath";
+    report.samples.push_back(ToSample(label, local_threads, result));
+    std::printf("fig4 %-28s=%12.0f ops/s\n", label, result.ops_per_sec);
+  }
+  ::unlink(arena_path.c_str());
+
+  const std::string path = opts.out.empty() ? BenchJsonPath("fig4") : opts.out;
+  if (!report.WriteFile(path)) {
+    std::fprintf(stderr, "benchjson: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: benchjson --bench fig5|fig8|all [--quick] [--out PATH]\n"
+               "usage: benchjson --bench fig4|fig5|fig8|all [--quick] [--out PATH]\n"
                "  --quick  CI smoke mode (fewer points, 250 ms per point)\n"
                "  --out    output path (default BENCH_<bench>.json in CWD)\n");
   return 2;
@@ -257,6 +464,9 @@ int Main(int argc, char** argv) {
       return Usage();
     }
   }
+  if (opts.bench == "fig4") {
+    return RunFig4(opts);
+  }
   if (opts.bench == "fig5") {
     return RunFig5(opts);
   }
@@ -268,9 +478,10 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "benchjson: --out is incompatible with --bench all\n");
       return 2;
     }
+    const int fig4 = RunFig4(opts);
     const int fig5 = RunFig5(opts);
     const int fig8 = RunFig8(opts);
-    return fig5 != 0 ? fig5 : fig8;
+    return fig4 != 0 ? fig4 : (fig5 != 0 ? fig5 : fig8);
   }
   return Usage();
 }
