@@ -54,7 +54,11 @@ void InitSharedMutex(pthread_mutex_t* mutex) {
   usleep(50 * 1000);  // critical section
   pthread_mutex_unlock(second);
   pthread_mutex_unlock(first);
-  std::_Exit(0);
+  // Normal exit (not _Exit): an ordinary program would run its atexit
+  // handlers here, and an interposing runtime may have registered one (the
+  // flight-recorder shutdown dump). Nothing was buffered on stdio before
+  // the fork, so there is no double-flush hazard.
+  std::exit(0);
 }
 
 }  // namespace

@@ -138,6 +138,9 @@ std::string BenchReport::ToJson() const {
   out += samples.empty() ? "],\n" : "\n  ],\n";
   out += "  \"p50_ns\": " + std::to_string(p50_ns) + ",\n";
   out += "  \"p99_ns\": " + std::to_string(p99_ns) + ",\n";
+  if (p99_budget_ns > 0) {
+    out += "  \"p99_budget_ns\": " + std::to_string(p99_budget_ns) + ",\n";
+  }
   out += "  \"throughput_ops_s\": " + JsonDouble(throughput_ops_s) + "\n}\n";
   return out;
 }

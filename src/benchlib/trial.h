@@ -76,6 +76,11 @@ struct BenchReport {
   std::uint64_t p50_ns = 0;
   std::uint64_t p99_ns = 0;
   double throughput_ops_s = 0.0;
+  // The committed tail-latency budget for this benchmark: CI's bench-smoke
+  // gate fails when a run's p99_ns exceeds it. 0 = no gate. Budgets are
+  // deliberately loose (~10x the committed p99) — they catch convoy-class
+  // regressions, not scheduler noise.
+  std::uint64_t p99_budget_ns = 0;
 
   std::string ToJson() const;
   // Atomically writes ToJson() to `path` (tmp + rename). Returns false on

@@ -71,6 +71,12 @@ Config Config::FromEnvironment(Config base) {
   if (const char* c = Getenv("DIMMUNIX_CONTROL"); c != nullptr && *c != '\0') {
     base.control_socket_path = c;
   }
+  base.trace_enabled = EnvBool("DIMMUNIX_TRACE", base.trace_enabled);
+  base.trace_ring_size = static_cast<int>(EnvLong("DIMMUNIX_TRACE_RING", base.trace_ring_size));
+  if (const char* td = Getenv("DIMMUNIX_TRACE_DUMP"); td != nullptr && *td != '\0') {
+    base.trace_dump_path = td;
+  }
+  base.metrics_enabled = EnvBool("DIMMUNIX_METRICS", base.metrics_enabled);
   if (const char* st = Getenv("DIMMUNIX_STAGE"); st != nullptr) {
     std::string_view s(st);
     if (s == "instr") {

@@ -116,6 +116,25 @@ struct Config {
   // commands (status/history/disable/reload/...). Empty = no control server.
   std::string control_socket_path;
 
+  // --- Observability (src/obs) -----------------------------------------------
+  // Arm the flight recorder at startup: per-thread trace rings record engine
+  // events (acquires, yields, epochs, monitor/bridge/store activity) from
+  // the first lock operation. Also toggleable live via `dimctl trace
+  // start|stop`. Off = one relaxed load + branch per instrumentation site.
+  bool trace_enabled = false;
+  // Events per per-thread trace ring (rounded up to a power of two, 32
+  // bytes each). Full rings overwrite their oldest events — flight-recorder
+  // semantics; the dropped count is reported in dumps.
+  int trace_ring_size = 8192;
+  // Non-empty: dump the recorded trace as Chrome trace_event JSON to this
+  // path at process exit / runtime destruction ("%p" expands to the pid, so
+  // fleets sharing the setting write one file per process).
+  std::string trace_dump_path;
+  // Always-on latency histograms (acquire latency, yield duration, epoch
+  // hold) behind `dimctl metrics` / `dimctl histo`. False removes the two
+  // clock reads per acquisition they cost.
+  bool metrics_enabled = true;
+
   // Reads DIMMUNIX_* environment variables over the current values:
   //   DIMMUNIX_HISTORY, DIMMUNIX_TAU_MS, DIMMUNIX_DEPTH, DIMMUNIX_MAX_DEPTH,
   //   DIMMUNIX_IMMUNITY (weak|strong), DIMMUNIX_CALIBRATION (0|1),
@@ -125,6 +144,9 @@ struct Config {
   //   DIMMUNIX_JOURNAL_THRESHOLD, DIMMUNIX_JOURNAL_FSYNC (0|1),
   //   DIMMUNIX_RESYNC_MS (0 = off),
   //   DIMMUNIX_IPC (arena path), DIMMUNIX_IPC_BRIDGE_MS,
+  //   DIMMUNIX_TRACE (0|1), DIMMUNIX_TRACE_RING (events per thread),
+  //   DIMMUNIX_TRACE_DUMP (Chrome-JSON dump path, %p -> pid),
+  //   DIMMUNIX_METRICS (0|1, default 1),
   //   DIMMUNIX_PROC_TAG (process identity for proc-qualified signatures;
   //   defaults to the executable path — read by src/ipc/global_id.cc).
   static Config FromEnvironment();

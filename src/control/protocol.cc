@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/core/runtime.h"
+#include "src/obs/export.h"
 
 namespace dimmunix {
 namespace control {
@@ -91,6 +92,11 @@ std::string DoStatus(Runtime& rt) {
   out << "monitor_batches=" << monitor.batches << "\n";
   out << "deadlocks_detected=" << monitor.deadlocks_detected << "\n";
   out << "starvations_detected=" << monitor.starvations_detected << "\n";
+  // Stop-the-stripes convoy accounting: how often the epoch guard queued,
+  // and how long the queue cost in total (the Figure 5 p99 tail).
+  out << "epoch_stalls=" << engine.epoch_stalls << "\n";
+  out << "epoch_stall_ns=" << engine.epoch_stall_ns << "\n";
+  out << "tracing=" << (rt.recorder().tracing() ? 1 : 0) << "\n";
   if (persist::HistoryStore* store = rt.history_store(); store != nullptr) {
     // HistoryStore health: is persistence keeping up, and how stale is our
     // view of the shared file?
@@ -153,6 +159,8 @@ std::string DoStats(Runtime& rt) {
   out << "engine.signatures_disabled=" << e.signatures_disabled << "\n";
   out << "engine.depth_true_yields=" << e.depth_true_yields << "\n";
   out << "engine.depth_fp_yields=" << e.depth_fp_yields << "\n";
+  out << "engine.epoch_stalls=" << e.epoch_stalls << "\n";
+  out << "engine.epoch_stall_ns=" << e.epoch_stall_ns << "\n";
   out << "monitor.batches=" << m.batches << "\n";
   out << "monitor.events_processed=" << m.events_processed << "\n";
   out << "monitor.deadlocks_detected=" << m.deadlocks_detected << "\n";
@@ -313,6 +321,100 @@ std::string DoHistoryExport(Runtime& rt, const std::string& path) {
   return out.str();
 }
 
+std::string DoTraceSetEnabled(Runtime& rt, bool enabled) {
+  if (enabled) {
+    rt.recorder().StartTracing();
+  } else {
+    rt.recorder().StopTracing();
+  }
+  std::ostringstream out;
+  out << "ok\ntracing=" << (enabled ? 1 : 0) << "\n";
+  return out.str();
+}
+
+std::string DoTraceDump(Runtime& rt) {
+  // The payload *is* the Chrome trace document; `dimctl trace dump > t.json`
+  // produces a file Perfetto loads directly.
+  return "ok\n" + obs::ChromeTraceJson(rt.recorder(), static_cast<std::uint64_t>(::getpid()));
+}
+
+std::string DoMetrics(Runtime& rt) {
+  const EngineStatsSnapshot e = rt.engine().stats().Snapshot();
+  const MonitorStatsSnapshot m = rt.monitor().stats().Snapshot();
+  std::string out = "ok\n";
+  obs::AppendPromCounter(&out, "dimmunix_lock_requests_total",
+                         "Avoidance-protocol lock requests.", e.requests);
+  obs::AppendPromCounter(&out, "dimmunix_lock_acquisitions_total",
+                         "Committed lock acquisitions.", e.acquisitions);
+  obs::AppendPromCounter(&out, "dimmunix_lock_releases_total", "Lock releases.", e.releases);
+  obs::AppendPromCounter(&out, "dimmunix_avoidance_yields_total",
+                         "Threads parked to dodge a deadlock signature.", e.yields);
+  obs::AppendPromCounter(&out, "dimmunix_avoidance_wakes_total",
+                         "Parked threads resumed after lock conditions changed.", e.wakes);
+  obs::AppendPromCounter(&out, "dimmunix_yield_timeouts_total",
+                         "Yields released by the global avoidance time bound.",
+                         e.yield_timeouts);
+  obs::AppendPromCounter(&out, "dimmunix_trylock_cancels_total",
+                         "Trylock requests canceled after a busy grant.", e.trylock_cancels);
+  obs::AppendPromCounter(&out, "dimmunix_broken_acquisitions_total",
+                         "Acquisitions broken out of a detected deadlock.",
+                         e.broken_acquisitions);
+  obs::AppendPromCounter(&out, "dimmunix_epoch_stalls_total",
+                         "Entries into the stop-the-stripes epoch guard.", e.epoch_stalls);
+  obs::AppendPromCounter(&out, "dimmunix_epoch_stall_nanoseconds_total",
+                         "Total time spent queueing for the epoch guard.", e.epoch_stall_ns);
+  obs::AppendPromCounter(&out, "dimmunix_monitor_batches_total",
+                         "Monitor detection passes.", m.batches);
+  obs::AppendPromCounter(&out, "dimmunix_monitor_events_total",
+                         "Events drained from the lock-free queue.", m.events_processed);
+  obs::AppendPromCounter(&out, "dimmunix_deadlocks_detected_total",
+                         "Deadlock cycles detected and archived.", m.deadlocks_detected);
+  obs::AppendPromCounter(&out, "dimmunix_starvations_detected_total",
+                         "Avoidance-induced starvation cycles detected.",
+                         m.starvations_detected);
+  obs::AppendPromGauge(&out, "dimmunix_signatures", "Signatures in the live history.",
+                       static_cast<std::uint64_t>(rt.history().size()));
+  obs::AppendPromGauge(&out, "dimmunix_tracing_active",
+                       "1 while the flight-recorder rings are armed.",
+                       rt.recorder().tracing() ? 1 : 0);
+  if (persist::HistoryStore* store = rt.history_store(); store != nullptr) {
+    const persist::StoreStatsSnapshot s = store->stats();
+    obs::AppendPromCounter(&out, "dimmunix_store_appends_total",
+                           "Journal records appended.", s.appends);
+    obs::AppendPromCounter(&out, "dimmunix_store_compactions_total",
+                           "History snapshot compactions.", s.compactions);
+    obs::AppendPromCounter(&out, "dimmunix_store_foreign_merged_total",
+                           "Signatures learned from the shared history file.",
+                           s.foreign_merged);
+    obs::AppendPromCounter(&out, "dimmunix_store_io_errors_total",
+                           "History persistence I/O errors.", s.io_errors);
+  }
+  if (ipc::IpcBridge* bridge = rt.ipc_bridge(); bridge != nullptr) {
+    const ipc::IpcStatus s = bridge->SnapshotStatus();
+    obs::AppendPromCounter(&out, "dimmunix_ipc_ticks_total", "IPC mirror passes.", s.ticks);
+    obs::AppendPromGauge(&out, "dimmunix_ipc_foreign_edges",
+                         "Foreign edges currently mirrored into the local RAG.",
+                         s.foreign_edges_mirrored);
+  }
+  for (int kind = 0; kind < obs::kHistoKindCount; ++kind) {
+    const obs::HistoKind k = static_cast<obs::HistoKind>(kind);
+    obs::AppendPromHistogram(&out, std::string("dimmunix_") + obs::HistoName(k),
+                             "Latency histogram (nanoseconds), log-linear buckets.",
+                             rt.recorder().histogram(k).Snapshot());
+  }
+  return out;
+}
+
+std::string DoHisto(Runtime& rt, const std::string& name) {
+  const int kind = obs::HistoKindFromName(name);
+  if (kind < 0) {
+    return Err("unknown histogram '" + name +
+               "' (try acquire_latency_ns | yield_duration_ns | epoch_hold_ns)");
+  }
+  return "ok\n" +
+         obs::HistoReadout(rt.recorder().histogram(static_cast<obs::HistoKind>(kind)).Snapshot());
+}
+
 }  // namespace
 
 std::string HelpText() {
@@ -331,6 +433,11 @@ std::string HelpText() {
       "rag                     thread/lock/yield-edge snapshot\n"
       "ipc                     cross-process arena participants + mirror stats\n"
       "config                  effective configuration\n"
+      "trace start             arm the flight-recorder rings\n"
+      "trace stop              disarm the rings (contents kept)\n"
+      "trace dump              Chrome trace JSON of every ring (Perfetto-loadable)\n"
+      "metrics                 counters + histograms, Prometheus text format\n"
+      "histo <name>            percentile readout of one latency histogram\n"
       "help                    this text\n";
 }
 
@@ -369,6 +476,34 @@ std::optional<Request> ParseRequest(std::string_view line, std::string* error) {
     SetError(error,
              "usage: history | history save | history merge <file> | history export <file>");
     return std::nullopt;
+  } else if (name == "trace") {
+    if (tokens.size() == 2) {
+      const std::string_view sub = tokens[1];
+      if (sub == "start") {
+        request.kind = CommandKind::kTraceStart;
+        return request;
+      }
+      if (sub == "stop") {
+        request.kind = CommandKind::kTraceStop;
+        return request;
+      }
+      if (sub == "dump") {
+        request.kind = CommandKind::kTraceDump;
+        return request;
+      }
+    }
+    SetError(error, "usage: trace start | trace stop | trace dump");
+    return std::nullopt;
+  } else if (name == "metrics") {
+    request.kind = CommandKind::kMetrics;
+  } else if (name == "histo") {
+    if (tokens.size() != 2) {
+      SetError(error, "usage: histo <name>");
+      return std::nullopt;
+    }
+    request.kind = CommandKind::kHisto;
+    request.path = std::string(tokens[1]);
+    return request;
   } else if (name == "disable") {
     request.kind = CommandKind::kDisable;
     want_args = 1;
@@ -444,6 +579,16 @@ std::string ExecuteRequest(Runtime& runtime, const Request& request) {
       return DoConfig(runtime);
     case CommandKind::kIpc:
       return DoIpc(runtime);
+    case CommandKind::kTraceStart:
+      return DoTraceSetEnabled(runtime, true);
+    case CommandKind::kTraceStop:
+      return DoTraceSetEnabled(runtime, false);
+    case CommandKind::kTraceDump:
+      return DoTraceDump(runtime);
+    case CommandKind::kMetrics:
+      return DoMetrics(runtime);
+    case CommandKind::kHisto:
+      return DoHisto(runtime, request.path);
     case CommandKind::kHelp:
       return "ok\n" + HelpText();
   }

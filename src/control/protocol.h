@@ -31,6 +31,15 @@
 //                           (pid/generation/liveness/edge counts), mirror
 //                           statistics
 //   config                  effective configuration
+//   trace start             arm the flight-recorder rings
+//   trace stop              disarm the rings (contents are kept)
+//   trace dump              Chrome trace_event JSON of every ring (load the
+//                           payload in Perfetto / chrome://tracing)
+//   metrics                 every counter + latency histogram, Prometheus
+//                           text exposition format
+//   histo <name>            percentile readout of one latency histogram
+//                           (acquire_latency_ns | yield_duration_ns |
+//                           epoch_hold_ns)
 //   help                    list commands
 //
 // `status` additionally reports HistoryStore health when a history file is
@@ -68,6 +77,11 @@ enum class CommandKind {
   kRag,
   kConfig,
   kIpc,
+  kTraceStart,
+  kTraceStop,
+  kTraceDump,
+  kMetrics,
+  kHisto,
   kHelp,
 };
 
@@ -75,7 +89,7 @@ struct Request {
   CommandKind kind = CommandKind::kStatus;
   int index = -1;    // disable / enable / set-depth
   int depth = -1;    // set-depth
-  std::string path;  // history merge / history export
+  std::string path;  // history merge / history export; histogram name (histo)
 };
 
 // Parses one request line (trailing "\r\n" tolerated). On failure returns

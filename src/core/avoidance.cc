@@ -50,11 +50,12 @@ class ScopedEngineEntry {
 }  // namespace
 
 AvoidanceEngine::AvoidanceEngine(const Config& config, StackTable* stacks, History* history,
-                                 EventQueue* queue)
+                                 EventQueue* queue, obs::Recorder* recorder)
     : config_(config),
       stacks_(stacks),
       history_(history),
       queue_(queue),
+      recorder_(recorder),
       use_peterson_(config.use_peterson_guard),
       peterson_guard_(static_cast<std::size_t>(std::max(2, config.peterson_slots))),
       slot_stripe_mask_(StripeCountFor(config) - 1),
@@ -69,6 +70,11 @@ AvoidanceEngine::~AvoidanceEngine() = default;
 
 AvoidanceEngine::SlotEpochGuard::SlotEpochGuard(AvoidanceEngine& engine, ThreadId thread)
     : engine_(engine), thread_(thread) {
+  // Epoch entry is rare (plausible instantiations, cache rebuilds,
+  // snapshots) but it is the Figure 5 convoy, so the wait is *always*
+  // measured: two clock reads per entry feed the epoch_stalls /
+  // epoch_stall_ns counters that `dimctl status` reports with tracing off.
+  const std::uint64_t wait_begin = obs::NowNs();
   if (engine_.use_peterson_) {
     assert(static_cast<std::size_t>(thread_) < engine_.peterson_guard_.slots() &&
            "peterson guard requires thread ids < peterson_slots");
@@ -77,14 +83,29 @@ AvoidanceEngine::SlotEpochGuard::SlotEpochGuard(AvoidanceEngine& engine, ThreadI
   for (std::size_t i = 0; i <= engine_.slot_stripe_mask_; ++i) {
     engine_.slot_stripes_[i].lock.Lock();
   }
+  entered_ns_ = obs::NowNs();
+  stall_ns_ = entered_ns_ - wait_begin;
+  engine_.stats_.epoch_stalls.fetch_add(1, std::memory_order_relaxed);
+  engine_.stats_.epoch_stall_ns.fetch_add(stall_ns_, std::memory_order_relaxed);
 }
 
 AvoidanceEngine::SlotEpochGuard::~SlotEpochGuard() {
+  // Hold time ends where the stripes release; the ring push happens after
+  // the unlocks so the export work itself never extends the epoch.
+  obs::Recorder* recorder = engine_.recorder_;
+  const std::uint64_t end_ns =
+      recorder != nullptr && recorder->timing() ? obs::NowNs() : 0;
   for (std::size_t i = engine_.slot_stripe_mask_ + 1; i-- > 0;) {
     engine_.slot_stripes_[i].lock.Unlock();
   }
   if (engine_.use_peterson_) {
     engine_.peterson_guard_.Unlock(static_cast<std::size_t>(thread_));
+  }
+  if (end_ns != 0) {
+    const std::uint64_t hold_ns = end_ns - entered_ns_;
+    recorder->Latency(obs::HistoKind::kEpochHold, hold_ns);
+    recorder->Span(obs::TraceEventType::kEpoch, end_ns, hold_ns, /*aux=*/0, /*mode=*/0,
+                   /*data=*/stall_ns_);
   }
 }
 
@@ -343,6 +364,19 @@ bool AvoidanceEngine::CoverPositions(
 std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::MatchAndRetire(
     ThreadId thread, LockId lock, StackId stack, ThreadSlot& slot, bool yield_on_match) {
   SlotEpochGuard epoch(*this, thread);
+  // Cover-search span: how long the matcher held everyone else out looking
+  // for an instantiation. aux carries the matched signature (kNoMatchAux on
+  // a miss) so a Perfetto query can pin a convoy on one signature.
+  const std::uint64_t search_begin =
+      recorder_ != nullptr && recorder_->tracing() ? obs::NowNs() : 0;
+  const auto record_search = [&](std::int64_t matched_signature) {
+    if (search_begin != 0) {
+      const std::uint64_t end_ns = obs::NowNs();
+      recorder_->Span(obs::TraceEventType::kCoverSearch, end_ns, end_ns - search_begin,
+                      matched_signature < 0 ? obs::kNoMatchAux
+                                            : obs::SaturateAux(matched_signature));
+    }
+  };
   // The generation cannot be republished while we hold every stripe.
   const SigGen& gen = *CurrentGen();
   for (std::size_t e = 0; e < gen.entries.size(); ++e) {
@@ -426,8 +460,10 @@ std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::MatchAndRetire(
         slot.wake_pending = false;
       }
     }
+    record_search(result.signature_index);
     return result;
   }
+  record_search(-1);
   return std::nullopt;
 }
 
@@ -439,6 +475,12 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
   }
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   ThreadSlot& slot = registry_.Slot(thread);
+  // Acquire-latency span opens here and closes in Acquired(): it covers the
+  // whole protocol including any yields, which is what an application thread
+  // actually waits. Zero clock reads when metrics and tracing are both off.
+  if (recorder_ != nullptr && recorder_->timing()) {
+    slot.acquire_begin_ns = obs::NowNs();
+  }
 
   // Global locks (IPC arena wired in, id carries kGlobalLockBit) get their
   // stacks proc-qualified and their wait/hold edges published fleet-wide;
@@ -590,7 +632,17 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
       stats_.depth_fp_yields.fetch_add(1, std::memory_order_relaxed);
     }
 
+    const std::uint64_t park_begin =
+        recorder_ != nullptr && recorder_->timing() ? obs::NowNs() : 0;
     const int park_result = Park(slot, deadline);
+    if (park_begin != 0) {
+      const std::uint64_t park_end = obs::NowNs();
+      const std::uint64_t park_ns = park_end - park_begin;
+      recorder_->Latency(obs::HistoKind::kYieldDuration, park_ns);
+      recorder_->Span(obs::TraceEventType::kYield, park_end, park_ns,
+                      obs::SaturateAux(match->signature_index),
+                      static_cast<std::uint8_t>(mode), static_cast<std::uint64_t>(lock));
+    }
 
     {
       std::lock_guard<SpinLock> yield_guard(yield_m_);
@@ -662,6 +714,9 @@ RequestDecision AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock
   }
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   ThreadSlot& slot = registry_.Slot(thread);
+  if (recorder_ != nullptr && recorder_->timing()) {
+    slot.acquire_begin_ns = obs::NowNs();
+  }
   GlobalEdgePublisher* pub = global_pub_.load(std::memory_order_acquire);
   if (pub != nullptr && !IsGlobalLockId(lock)) {
     pub = nullptr;
@@ -805,6 +860,16 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock, AcquireMode mode) {
   ev.mode = mode;
   queue_->Push(ev);
   stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (slot.acquire_begin_ns != 0) {
+    const std::uint64_t end_ns = obs::NowNs();
+    const std::uint64_t latency_ns = end_ns - slot.acquire_begin_ns;
+    slot.acquire_begin_ns = 0;
+    if (recorder_ != nullptr) {
+      recorder_->Latency(obs::HistoKind::kAcquireLatency, latency_ns);
+      recorder_->Span(obs::TraceEventType::kAcquire, end_ns, latency_ns, /*aux=*/0,
+                      static_cast<std::uint8_t>(mode), static_cast<std::uint64_t>(lock));
+    }
+  }
 }
 
 void AvoidanceEngine::WakeYieldersOf(ThreadId thread, LockId lock, StackId stack) {
@@ -916,6 +981,15 @@ void AvoidanceEngine::CancelRequest(ThreadId thread, LockId lock, AcquireMode mo
   ev.mode = mode;
   queue_->Push(ev);
   stats_.trylock_cancels.fetch_add(1, std::memory_order_relaxed);
+  if (slot.acquire_begin_ns != 0) {
+    const std::uint64_t end_ns = obs::NowNs();
+    const std::uint64_t latency_ns = end_ns - slot.acquire_begin_ns;
+    slot.acquire_begin_ns = 0;
+    if (recorder_ != nullptr && recorder_->tracing()) {
+      recorder_->Span(obs::TraceEventType::kAcquireCancel, end_ns, latency_ns, /*aux=*/0,
+                      static_cast<std::uint8_t>(mode), static_cast<std::uint64_t>(lock));
+    }
+  }
 }
 
 void AvoidanceEngine::BreakYield(ThreadId thread) {

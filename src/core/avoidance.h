@@ -66,6 +66,7 @@
 #include "src/core/stats.h"
 #include "src/core/thread_registry.h"
 #include "src/event/event_queue.h"
+#include "src/obs/recorder.h"
 #include "src/signature/history.h"
 #include "src/stack/stack_table.h"
 
@@ -93,7 +94,12 @@ struct EngineView {
 
 class AvoidanceEngine {
  public:
-  AvoidanceEngine(const Config& config, StackTable* stacks, History* history, EventQueue* queue);
+  // `recorder` (optional) is the observability hub (src/obs): when present,
+  // the engine records acquire/yield/epoch spans on its trace rings and
+  // feeds its latency histograms; when null (tests wiring components by
+  // hand) the instrumentation sites cost one null check.
+  AvoidanceEngine(const Config& config, StackTable* stacks, History* history, EventQueue* queue,
+                  obs::Recorder* recorder = nullptr);
   ~AvoidanceEngine();
 
   AvoidanceEngine(const AvoidanceEngine&) = delete;
@@ -315,6 +321,10 @@ class AvoidanceEngine {
    private:
     AvoidanceEngine& engine_;
     ThreadId thread_;
+    // Steady-clock ns when the last stripe lock was taken; the destructor
+    // turns it into the epoch-hold histogram sample and kEpoch trace span.
+    std::uint64_t entered_ns_ = 0;
+    std::uint64_t stall_ns_ = 0;  // time spent waiting to enter
   };
 
   SlotStripe& StripeOf(StackId stack) {
@@ -388,6 +398,7 @@ class AvoidanceEngine {
   StackTable* stacks_;
   History* history_;
   EventQueue* queue_;
+  obs::Recorder* recorder_;  // null when no observability hub is wired in
   ThreadRegistry registry_;
   EngineStats stats_;
 

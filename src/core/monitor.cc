@@ -10,13 +10,14 @@
 namespace dimmunix {
 
 Monitor::Monitor(const Config& config, StackTable* stacks, History* history, EventQueue* queue,
-                 AvoidanceEngine* engine, persist::HistoryStore* store)
+                 AvoidanceEngine* engine, persist::HistoryStore* store, obs::Recorder* recorder)
     : config_(config),
       stacks_(stacks),
       history_(history),
       queue_(queue),
       engine_(engine),
       store_(store),
+      recorder_(recorder),
       calibrator_(config) {}
 
 Monitor::~Monitor() { Stop(); }
@@ -46,6 +47,9 @@ void Monitor::Stop() {
 }
 
 void Monitor::Loop() {
+  if (recorder_ != nullptr) {
+    recorder_->NameThisThread("dimmunix-monitor");
+  }
   std::unique_lock<std::mutex> stop_guard(stop_m_);
   while (!stop_requested_) {
     stop_guard.unlock();
@@ -58,10 +62,20 @@ void Monitor::Loop() {
 void Monitor::RunOnce() {
   std::lock_guard<std::mutex> run_guard(run_m_);
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t pass_begin =
+      recorder_ != nullptr && recorder_->tracing() ? obs::NowNs() : 0;
+  const std::uint64_t events_before =
+      pass_begin != 0 ? stats_.events_processed.load(std::memory_order_relaxed) : 0;
   DrainEvents();
   HandleDeadlocks();
   HandleStarvations();
   HandleCalibration();
+  if (pass_begin != 0) {
+    const std::uint64_t end_ns = obs::NowNs();
+    recorder_->Span(obs::TraceEventType::kMonitorPass, end_ns, end_ns - pass_begin,
+                    /*aux=*/0, /*mode=*/0,
+                    stats_.events_processed.load(std::memory_order_relaxed) - events_before);
+  }
 }
 
 RagSnapshot Monitor::SnapshotRag() {

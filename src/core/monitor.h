@@ -30,9 +30,12 @@ class Monitor {
   // `store` (optional) is the asynchronous history writer: when present,
   // persisting a signature is an O(1) enqueue and all file I/O happens on
   // the store's thread; when null (tests that wire components by hand) the
-  // monitor falls back to a synchronous History::Save.
+  // monitor falls back to a synchronous History::Save. `recorder` (optional)
+  // is the src/obs flight recorder: each RunOnce emits a kMonitorPass span
+  // when tracing is live.
   Monitor(const Config& config, StackTable* stacks, History* history, EventQueue* queue,
-          AvoidanceEngine* engine, persist::HistoryStore* store = nullptr);
+          AvoidanceEngine* engine, persist::HistoryStore* store = nullptr,
+          obs::Recorder* recorder = nullptr);
   ~Monitor();
 
   Monitor(const Monitor&) = delete;
@@ -81,6 +84,7 @@ class Monitor {
   EventQueue* queue_;
   AvoidanceEngine* engine_;
   persist::HistoryStore* store_;
+  obs::Recorder* recorder_;
   Rag rag_;
   Calibrator calibrator_;
   MonitorStats stats_;

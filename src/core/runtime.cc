@@ -2,12 +2,40 @@
 
 #include "src/core/runtime.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+
 #include "src/common/logging.h"
+#include "src/obs/export.h"
 #include "src/persist/file.h"
 
 namespace dimmunix {
+namespace {
+
+// Runtime::Global() is leaked intentionally (see Global()), so its
+// destructor never runs — the shutdown trace dump for that instance happens
+// through this atexit hook instead. Only one runtime (the first with a dump
+// path) registers; an embedded runtime that is destroyed normally clears the
+// slot in ~Runtime and dumps from there.
+std::atomic<Runtime*> g_dump_runtime{nullptr};
+
+void DumpTraceAtExit() {
+  if (Runtime* rt = g_dump_runtime.exchange(nullptr, std::memory_order_acq_rel)) {
+    rt->DumpTraceNow();
+  }
+}
+
+}  // namespace
 
 Runtime::Runtime(Config config) : config_(std::move(config)) {
+  obs::Recorder::Options rec_options;
+  rec_options.trace_enabled = config_.trace_enabled;
+  rec_options.ring_capacity = static_cast<std::size_t>(
+      config_.trace_ring_size > 0 ? config_.trace_ring_size : 8192);
+  rec_options.metrics_enabled = config_.metrics_enabled;
+  recorder_ = std::make_unique<obs::Recorder>(rec_options);
   stacks_ = std::make_unique<StackTable>(config_.max_match_depth);
   history_ = std::make_unique<History>(stacks_.get());
   queue_ = std::make_unique<EventQueue>();
@@ -15,7 +43,7 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
   // (§5.4) — performed by the store's startup compaction below (one parse,
   // under the file lock, folding any crashed predecessor's journal in).
   engine_ = std::make_unique<AvoidanceEngine>(config_, stacks_.get(), history_.get(),
-                                              queue_.get());
+                                              queue_.get(), recorder_.get());
   if (!config_.history_path.empty()) {
     persist::StoreOptions store_options;
     store_options.path = config_.history_path;
@@ -25,7 +53,7 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
     store_options.merge_on_start = config_.load_history_on_init;
     store_options.read_mostly = !config_.save_history_on_update;
     store_ = std::make_unique<persist::HistoryStore>(store_options, history_.get(),
-                                                     stacks_.get());
+                                                     stacks_.get(), recorder_.get());
     // Signatures merged from the shared file must take effect immediately:
     // the engine rebuilds its caches off the history version counter.
     store_->SetOnHistoryMerged([this] { engine_->NotifyHistoryChanged(); });
@@ -35,7 +63,8 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
     ipc::IpcBridge::Options ipc_options;
     ipc_options.arena_path = config_.ipc_path;
     ipc_options.period = config_.ipc_bridge_period;
-    ipc_ = std::make_unique<ipc::IpcBridge>(ipc_options, engine_.get(), stacks_.get());
+    ipc_ = std::make_unique<ipc::IpcBridge>(ipc_options, engine_.get(), stacks_.get(),
+                                            recorder_.get());
     std::string error;
     if (!ipc_->Start(&error)) {
       DIMMUNIX_LOG(kWarn) << "ipc: " << error << "; continuing without cross-process immunity";
@@ -43,7 +72,7 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
     }
   }
   monitor_ = std::make_unique<Monitor>(config_, stacks_.get(), history_.get(), queue_.get(),
-                                       engine_.get(), store_.get());
+                                       engine_.get(), store_.get(), recorder_.get());
   if (config_.start_monitor) {
     monitor_->Start();
   }
@@ -51,6 +80,12 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
     control_ = std::make_unique<control::ControlServer>(this, config_.control_socket_path);
     if (!control_->Start()) {
       control_.reset();  // degraded but functional: no control plane
+    }
+  }
+  if (!config_.trace_dump_path.empty()) {
+    Runtime* expected = nullptr;
+    if (g_dump_runtime.compare_exchange_strong(expected, this, std::memory_order_acq_rel)) {
+      std::atexit(DumpTraceAtExit);
     }
   }
 }
@@ -69,6 +104,29 @@ Runtime::~Runtime() {
   if (store_) {
     store_->Stop();
   }
+  // A normally-destroyed runtime dumps here and unregisters from the atexit
+  // hook (which would otherwise fire on a dangling pointer).
+  Runtime* expected = this;
+  g_dump_runtime.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel);
+  if (!config_.trace_dump_path.empty()) {
+    DumpTraceNow();
+  }
+}
+
+bool Runtime::DumpTraceNow() {
+  if (config_.trace_dump_path.empty()) {
+    return false;
+  }
+  const std::string path = obs::ExpandPidPattern(config_.trace_dump_path,
+                                                 static_cast<std::uint64_t>(::getpid()));
+  std::string error;
+  if (!obs::WriteChromeTraceFile(*recorder_, static_cast<std::uint64_t>(::getpid()), path,
+                                 &error)) {
+    DIMMUNIX_LOG(kError) << "obs: trace dump to " << path << " failed: " << error;
+    return false;
+  }
+  DIMMUNIX_LOG(kInfo) << "obs: trace dumped to " << path;
+  return true;
 }
 
 Runtime& Runtime::Global() {

@@ -33,6 +33,7 @@
 #include "src/core/monitor.h"
 #include "src/event/event_queue.h"
 #include "src/ipc/bridge.h"
+#include "src/obs/recorder.h"
 #include "src/persist/store.h"
 #include "src/signature/history.h"
 #include "src/stack/stack_table.h"
@@ -118,6 +119,22 @@ class Runtime {
   bool SetSignatureDisabled(int index, bool disabled);
   bool SetSignatureMatchDepth(int index, int depth);
 
+  // --- Observability (src/obs) ----------------------------------------------
+
+  // The flight recorder: always present (metrics histograms are on unless
+  // Config::metrics_enabled is off; trace rings record when tracing is
+  // started via config or `dimctl trace start`).
+  obs::Recorder& recorder() { return *recorder_; }
+  const obs::Recorder& recorder() const { return *recorder_; }
+
+  // Writes the Chrome-trace JSON for this process's rings to
+  // Config::trace_dump_path (with %p expanded to the pid). Called
+  // automatically at destruction and at process exit (the leaked Global()
+  // runtime registers an atexit hook); public so the control plane and tests
+  // can force a dump. False when no dump path is configured or the write
+  // fails.
+  bool DumpTraceNow();
+
   const Config& config() const { return config_; }
   StackTable& stacks() { return *stacks_; }
   History& history() { return *history_; }
@@ -135,6 +152,9 @@ class Runtime {
   void PersistHistory();
 
   Config config_;
+  // First member after config_: constructed before and destroyed after every
+  // component that records into it.
+  std::unique_ptr<obs::Recorder> recorder_;
   std::unique_ptr<StackTable> stacks_;
   std::unique_ptr<History> history_;
   std::unique_ptr<EventQueue> queue_;

@@ -37,6 +37,8 @@ struct EngineStatsSnapshot {
   std::uint64_t signatures_disabled = 0;
   std::uint64_t depth_true_yields = 0;
   std::uint64_t depth_fp_yields = 0;
+  std::uint64_t epoch_stalls = 0;
+  std::uint64_t epoch_stall_ns = 0;
 };
 
 struct MonitorStatsSnapshot {
@@ -70,6 +72,12 @@ struct EngineStats {
   // (shallower) configured depth is a depth-false positive.
   ShardedCounter depth_true_yields;
   ShardedCounter depth_fp_yields;
+  // Stop-the-stripes convoy accounting (always on — the Figure 5 p99 tail is
+  // exactly this queue): entries into the slot epoch, and the total time
+  // spent waiting for the Peterson filter + every stripe lock before each
+  // entry. The hold time itself is on the obs epoch-hold histogram.
+  ShardedCounter epoch_stalls;
+  ShardedCounter epoch_stall_ns;
 
   EngineStatsSnapshot Snapshot() const {
     EngineStatsSnapshot s;
@@ -86,6 +94,8 @@ struct EngineStats {
     s.signatures_disabled = signatures_disabled.load(std::memory_order_relaxed);
     s.depth_true_yields = depth_true_yields.load(std::memory_order_relaxed);
     s.depth_fp_yields = depth_fp_yields.load(std::memory_order_relaxed);
+    s.epoch_stalls = epoch_stalls.load(std::memory_order_relaxed);
+    s.epoch_stall_ns = epoch_stall_ns.load(std::memory_order_relaxed);
     return s;
   }
 };

@@ -44,6 +44,9 @@ struct ThreadSlot {
   std::atomic<bool> skip_avoidance_once{false};  // set when starvation is broken for T
   StackId pending_stack = kInvalidStackId;  // stack captured at Request time
   LockId pending_lock = kInvalidLockId;
+  // Acquire-latency span start (src/obs): stamped at Request entry, consumed
+  // at Acquired/CancelRequest. Owner thread only; 0 = no span open.
+  std::uint64_t acquire_begin_ns = 0;
 
   struct Held {
     LockId lock = kInvalidLockId;

@@ -625,7 +625,7 @@ int FcntlLock(dimmunix::Runtime* runtime, int fd, int cmd, struct flock* fl) {
   const bool blocking = cmd == F_SETLKW;
   const dimmunix::LockId id = dimmunix::ipc::GlobalIdForFileLock(
       fd, dimmunix::ipc::GlobalLockKind::kFcntlRange,
-      static_cast<std::uint64_t>(fl->l_start));
+      static_cast<std::uint64_t>(fl->l_start), static_cast<std::uint64_t>(fl->l_len));
   if (id == dimmunix::kInvalidLockId) {
     return real_fcntl(fd, cmd, fl);
   }

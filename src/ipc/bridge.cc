@@ -22,8 +22,9 @@ std::size_t IpcBridge::ThreadKeyHash::operator()(const ThreadKey& k) const {
   return static_cast<std::size_t>(h);
 }
 
-IpcBridge::IpcBridge(Options options, AvoidanceEngine* engine, StackTable* stacks)
-    : options_(std::move(options)), engine_(engine), stacks_(stacks) {}
+IpcBridge::IpcBridge(Options options, AvoidanceEngine* engine, StackTable* stacks,
+                     obs::Recorder* recorder)
+    : options_(std::move(options)), engine_(engine), stacks_(stacks), recorder_(recorder) {}
 
 IpcBridge::~IpcBridge() { Stop(); }
 
@@ -74,6 +75,9 @@ void IpcBridge::Stop() {
 }
 
 void IpcBridge::Loop() {
+  if (recorder_ != nullptr) {
+    recorder_->NameThisThread("dimmunix-bridge");
+  }
   std::unique_lock<std::mutex> guard(stop_m_);
   while (!stop_requested_) {
     guard.unlock();
@@ -102,6 +106,9 @@ void IpcBridge::RetireEdge(const EdgeKey& key, const Mirrored& m) {
 }
 
 void IpcBridge::Tick() {
+  const std::uint64_t tick_begin =
+      recorder_ != nullptr && recorder_->tracing() ? obs::NowNs() : 0;
+  std::uint64_t edges_folded = 0;  // engine mutations this tick (folds + retires)
   ++tick_count_;
   arena_->Heartbeat();
   if (options_.sweep_every > 0 &&
@@ -128,12 +135,14 @@ void IpcBridge::Tick() {
       // old mirrored edge, then fold the new one.
       RetireEdge(key, it->second);
       mirrored_.erase(it);
+      ++edges_folded;
     }
     if (edge.hold) {
       engine_->MirrorForeignHold(tid, edge.lock, stack, edge.mode);
     } else {
       engine_->MirrorForeignWait(tid, edge.lock, stack, edge.mode);
     }
+    ++edges_folded;
     mirrored_.emplace(key, Mirrored{tid, stack, edge.hold, edge.mode, tick_count_});
   }
 
@@ -144,6 +153,7 @@ void IpcBridge::Tick() {
     if (it->second.seen_tick != tick_count_) {
       RetireEdge(it->first, it->second);
       it = mirrored_.erase(it);
+      ++edges_folded;
     } else {
       ++it;
     }
@@ -154,6 +164,11 @@ void IpcBridge::Tick() {
     status_ticks_ = tick_count_;
     status_mirrored_ = mirrored_.size();
     status_reclaimed_ = reclaimed_total_;
+  }
+  if (tick_begin != 0) {
+    const std::uint64_t end_ns = obs::NowNs();
+    recorder_->Span(obs::TraceEventType::kBridgeFold, end_ns, end_ns - tick_begin,
+                    /*aux=*/0, /*mode=*/0, edges_folded);
   }
 }
 

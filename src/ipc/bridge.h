@@ -64,8 +64,11 @@ class IpcBridge : public GlobalEdgePublisher {
     bool start_thread = true;    // false: tests drive Tick() themselves
   };
 
-  // `engine` and `stacks` must outlive the bridge.
-  IpcBridge(Options options, AvoidanceEngine* engine, StackTable* stacks);
+  // `engine` and `stacks` must outlive the bridge. `recorder` (optional) is
+  // the src/obs flight recorder: each Tick that folds edges emits a
+  // kBridgeFold span when tracing is live.
+  IpcBridge(Options options, AvoidanceEngine* engine, StackTable* stacks,
+            obs::Recorder* recorder = nullptr);
   ~IpcBridge() override;
 
   IpcBridge(const IpcBridge&) = delete;
@@ -134,6 +137,7 @@ class IpcBridge : public GlobalEdgePublisher {
   const Options options_;
   AvoidanceEngine* engine_;
   StackTable* stacks_;
+  obs::Recorder* recorder_;
   std::unique_ptr<IpcArena> arena_;
 
   // Mirror state (bridge thread only).

@@ -32,11 +32,16 @@ LockId Tagged(std::uint64_t h) {
 }
 
 std::uint64_t IdentityHash(GlobalLockKind kind, std::uint64_t dev, std::uint64_t ino,
-                           std::uint64_t offset) {
+                           std::uint64_t offset, std::uint64_t length = 0) {
   std::uint64_t h = Fnv1a64(&kind, sizeof(kind));
   h = HashCombine(h, dev);
   h = HashCombine(h, ino);
   h = HashCombine(h, offset);
+  if (length != 0) {
+    // Folded in only when nonzero so pre-existing flock/shared-memory ids
+    // (and persisted histories containing them) keep their values.
+    h = HashCombine(h, length);
+  }
   return h;
 }
 
@@ -108,13 +113,14 @@ bool LookupRegion(std::uint64_t addr, SharedRegion* out) {
 
 }  // namespace
 
-LockId GlobalIdForFileLock(int fd, GlobalLockKind kind, std::uint64_t offset) {
+LockId GlobalIdForFileLock(int fd, GlobalLockKind kind, std::uint64_t offset,
+                           std::uint64_t length) {
   struct stat st {};
   if (::fstat(fd, &st) != 0) {
     return kInvalidLockId;
   }
   return Tagged(IdentityHash(kind, static_cast<std::uint64_t>(st.st_dev),
-                             static_cast<std::uint64_t>(st.st_ino), offset));
+                             static_cast<std::uint64_t>(st.st_ino), offset, length));
 }
 
 LockId GlobalIdForSharedAddress(const void* addr) {

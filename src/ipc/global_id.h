@@ -7,9 +7,9 @@
 // across address-space layouts and re-runs within one boot:
 //
 //   - file locks (flock(2), fcntl(F_SETLK*)): identity is the locked file's
-//     (st_dev, st_ino) plus the byte offset of the locked range (0 for
-//     flock, l_start for fcntl) and a kind tag separating the two lock
-//     namespaces the kernel keeps disjoint;
+//     (st_dev, st_ino) plus the locked range — byte offset and length (0/0
+//     for flock, l_start/l_len for fcntl; l_len 0 = "to EOF") — and a kind
+//     tag separating the two lock namespaces the kernel keeps disjoint;
 //
 //   - process-shared mutexes/rwlocks living in MAP_SHARED memory: identity
 //     is the backing object of the mapping containing the address — (dev,
@@ -42,8 +42,11 @@ enum class GlobalLockKind : std::uint8_t {
 };
 
 // Identity of a file lock on the open file `fd`. Returns kInvalidLockId if
-// fstat fails. The result has kGlobalLockBit set.
-LockId GlobalIdForFileLock(int fd, GlobalLockKind kind, std::uint64_t offset);
+// fstat fails. The result has kGlobalLockBit set. `length` distinguishes
+// fcntl ranges sharing a start: [0,100) and [0,10) are different kernel
+// locks and must not alias one LockId (flock callers leave it 0).
+LockId GlobalIdForFileLock(int fd, GlobalLockKind kind, std::uint64_t offset,
+                           std::uint64_t length = 0);
 
 // Identity of a process-shared pthread object at `addr`: resolves the
 // MAP_SHARED mapping containing the address via the (cached) maps table.

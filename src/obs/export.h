@@ -1,0 +1,66 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Export plane for the observability subsystem: renders Recorder state as
+//
+//   * Chrome trace_event JSON (`dimctl trace dump`, shutdown dumps) —
+//     loadable directly in Perfetto / chrome://tracing. One "X" (complete
+//     span) event per ring record, real OS tids, thread_name metadata for
+//     the runtime's own threads (monitor/bridge/store). Per-process dumps
+//     share the steady-clock timebase, so `dimctl trace merge` produces one
+//     coherent multi-process timeline (each process keeps its own pid row).
+//
+//   * Prometheus text format fragments (`dimctl metrics`) — counter and
+//     histogram helpers emitting the classic cumulative-`le` exposition.
+//
+//   * plain-text percentile readouts (`dimctl histo <name>`).
+
+#ifndef DIMMUNIX_OBS_EXPORT_H_
+#define DIMMUNIX_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/histogram.h"
+#include "src/obs/recorder.h"
+
+namespace dimmunix {
+namespace obs {
+
+// Complete Chrome trace JSON document for this process's rings.
+std::string ChromeTraceJson(const Recorder& recorder, std::uint64_t pid);
+
+// ChromeTraceJson to a file. False (with *error set) on I/O failure.
+bool WriteChromeTraceFile(const Recorder& recorder, std::uint64_t pid, const std::string& path,
+                          std::string* error);
+
+// Expands "%p" to the pid (shutdown dump paths shared by several processes).
+std::string ExpandPidPattern(const std::string& path, std::uint64_t pid);
+
+// Concatenates the traceEvents arrays of documents produced by
+// ChromeTraceJson into one document at `output` (the multi-process merge
+// behind `dimctl trace merge`). False (with *error set) if any input is
+// unreadable or not a trace document.
+bool MergeChromeTraceFiles(const std::vector<std::string>& inputs, const std::string& output,
+                           std::string* error);
+
+// --- Prometheus text format -------------------------------------------------
+
+// One "# HELP/# TYPE counter" family with a single sample.
+void AppendPromCounter(std::string* out, const std::string& name, const std::string& help,
+                       std::uint64_t value);
+// Same, TYPE gauge.
+void AppendPromGauge(std::string* out, const std::string& name, const std::string& help,
+                     std::uint64_t value);
+// Cumulative-`le` histogram exposition (only non-empty buckets are emitted,
+// plus the mandatory "+Inf" bucket, `_sum` and `_count`).
+void AppendPromHistogram(std::string* out, const std::string& name, const std::string& help,
+                         const HistogramSnapshot& snapshot);
+
+// `dimctl histo <name>` payload: count/sum/mean + p50..p99.99 + bucket count.
+std::string HistoReadout(const HistogramSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_OBS_EXPORT_H_

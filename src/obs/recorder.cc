@@ -1,0 +1,122 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/obs/recorder.h"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace dimmunix {
+namespace obs {
+namespace {
+
+std::uint64_t OsThreadId() {
+  return static_cast<std::uint64_t>(::syscall(SYS_gettid));
+}
+
+std::uint64_t NextRecorderId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread ring cache. Keyed by recorder id, not pointer: a recorder id is
+// never reused, so a stale cache entry from a destroyed recorder can never
+// be mistaken for the current one (tests construct many Recorders).
+struct TlsRingCache {
+  std::uint64_t recorder_id = 0;
+  TraceRing* ring = nullptr;
+};
+thread_local TlsRingCache tls_ring_cache;
+
+}  // namespace
+
+const char* HistoName(HistoKind kind) {
+  switch (kind) {
+    case HistoKind::kAcquireLatency:
+      return "acquire_latency_ns";
+    case HistoKind::kYieldDuration:
+      return "yield_duration_ns";
+    case HistoKind::kEpochHold:
+      return "epoch_hold_ns";
+  }
+  return "unknown";
+}
+
+int HistoKindFromName(const std::string& name) {
+  for (int k = 0; k < kHistoKindCount; ++k) {
+    if (name == HistoName(static_cast<HistoKind>(k))) {
+      return k;
+    }
+  }
+  return -1;
+}
+
+Recorder::Recorder(const Options& options)
+    : id_(NextRecorderId()),
+      metrics_on_(options.metrics_enabled),
+      ring_capacity_(options.ring_capacity < 8 ? 8 : options.ring_capacity),
+      trace_on_(options.trace_enabled) {}
+
+Recorder::~Recorder() = default;
+
+Recorder::RingEntry* Recorder::RegisterThread() {
+  const std::uint64_t tid = OsThreadId();
+  std::lock_guard<SpinLock> guard(rings_m_);
+  // A thread re-registering (cache evicted by another recorder) reuses its
+  // existing ring — one ring per (recorder, thread), always.
+  for (auto& entry : rings_) {
+    if (entry->tid == tid) {
+      return entry.get();
+    }
+  }
+  rings_.push_back(std::make_unique<RingEntry>(ring_capacity_));
+  rings_.back()->tid = tid;
+  return rings_.back().get();
+}
+
+TraceRing& Recorder::ThreadRing() {
+  if (tls_ring_cache.recorder_id != id_ || tls_ring_cache.ring == nullptr) {
+    RingEntry* entry = RegisterThread();
+    tls_ring_cache.recorder_id = id_;
+    tls_ring_cache.ring = &entry->ring;
+  }
+  return *tls_ring_cache.ring;
+}
+
+void Recorder::NameThisThread(const char* name) {
+  RingEntry* entry = RegisterThread();
+  {
+    std::lock_guard<SpinLock> guard(rings_m_);
+    entry->name = name;
+  }
+  tls_ring_cache.recorder_id = id_;
+  tls_ring_cache.ring = &entry->ring;
+}
+
+std::vector<Recorder::RingDump> Recorder::SnapshotRings() const {
+  // Copy the stable entry pointers under the lock, read the rings outside
+  // it: rings are append-only and seqlock-protected, so the expensive part
+  // never blocks a writer registering a new thread.
+  std::vector<std::pair<RingEntry*, std::string>> entries;
+  {
+    std::lock_guard<SpinLock> guard(rings_m_);
+    entries.reserve(rings_.size());
+    for (const auto& entry : rings_) {
+      entries.emplace_back(entry.get(), entry->name);
+    }
+  }
+  std::vector<RingDump> dumps;
+  dumps.reserve(entries.size());
+  for (const auto& [entry, name] : entries) {
+    RingDump dump;
+    dump.tid = entry->tid;
+    dump.name = name;
+    dump.events = entry->ring.Snapshot();
+    dump.written = entry->ring.written();
+    dump.dropped = entry->ring.dropped();
+    dumps.push_back(std::move(dump));
+  }
+  return dumps;
+}
+
+}  // namespace obs
+}  // namespace dimmunix

@@ -1,0 +1,134 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// TraceRing — the per-thread flight-recorder ring.
+//
+// One ring has exactly one writer (the thread it belongs to) and any number
+// of concurrent readers (`dimctl trace dump`, the shutdown dump). The writer
+// must never block, never allocate, and never take a lock: a push is three
+// relaxed payload stores bracketed by a per-slot seqlock, ~a cache line of
+// work. When the ring is full it overwrites its oldest slot — flight
+// recorders keep the most recent history, and the `written`/`dropped`
+// counters tell the reader exactly how much scrolled off.
+//
+// Concurrency: the classic seqlock, expressed entirely with atomics so TSan
+// sees every access (the obs_ tests run under -fsanitize=thread in CI).
+// Writer per slot: bump seq to odd (relaxed), release fence, payload stores
+// (relaxed), seq to even (release). Reader per slot: seq (acquire), payload
+// (relaxed), acquire fence, seq re-read — a changed or odd seq means the
+// writer lapped us mid-read and the slot is retried, then skipped. A torn
+// event is therefore never *returned*, only (rarely) missed, which is the
+// right trade for a diagnostic surface.
+
+#ifndef DIMMUNIX_OBS_TRACE_RING_H_
+#define DIMMUNIX_OBS_TRACE_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/obs/trace_event.h"
+
+namespace dimmunix {
+namespace obs {
+
+class TraceRing {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 8 slots).
+  explicit TraceRing(std::size_t capacity) {
+    std::size_t cap = 8;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Writer side — owner thread only.
+  void Push(const TraceEvent& event) {
+    const std::uint64_t n = written_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[n & mask_];
+    std::uint64_t w0 = 0;
+    std::uint64_t w1 = 0;
+    std::uint64_t w2 = 0;
+    PackEvent(event, &w0, &w1, &w2);
+    const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+    slot.seq.store(seq + 1, std::memory_order_relaxed);  // odd: write in progress
+    std::atomic_thread_fence(std::memory_order_release);
+    slot.w0.store(w0, std::memory_order_relaxed);
+    slot.w1.store(w1, std::memory_order_relaxed);
+    slot.w2.store(w2, std::memory_order_relaxed);
+    slot.seq.store(seq + 2, std::memory_order_release);  // even: stable
+    written_.store(n + 1, std::memory_order_release);
+  }
+
+  // Total events ever pushed.
+  std::uint64_t written() const { return written_.load(std::memory_order_acquire); }
+
+  // Events that scrolled off the ring (overwritten by newer ones).
+  std::uint64_t dropped() const {
+    const std::uint64_t n = written();
+    const std::size_t cap = capacity();
+    return n > cap ? n - cap : 0;
+  }
+
+  // Reader side — any thread, concurrent with the writer. Returns every
+  // currently stable event; slots the writer is lapping through are skipped.
+  // The walk starts at the oldest slot (the one the next push overwrites),
+  // so a quiescent ring snapshots in exact push order.
+  std::vector<TraceEvent> Snapshot() const {
+    std::vector<TraceEvent> out;
+    const std::size_t cap = capacity();
+    const std::size_t first = static_cast<std::size_t>(written()) & mask_;
+    out.reserve(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      const Slot& slot = slots_[(first + i) & mask_];
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        const std::uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+        if (seq1 == 0) {
+          break;  // never written
+        }
+        if (seq1 & 1) {
+          continue;  // mid-write; retry
+        }
+        const std::uint64_t w0 = slot.w0.load(std::memory_order_relaxed);
+        const std::uint64_t w1 = slot.w1.load(std::memory_order_relaxed);
+        const std::uint64_t w2 = slot.w2.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        const std::uint64_t seq2 = slot.seq.load(std::memory_order_relaxed);
+        if (seq1 == seq2) {
+          out.push_back(UnpackEvent(w0, w1, w2));
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  // 32 bytes: the seqlock word plus the three payload words of PackEvent.
+  struct alignas(32) Slot {
+    std::atomic<std::uint64_t> seq{0};  // 0 = never written; odd = in progress
+    std::atomic<std::uint64_t> w0{0};
+    std::atomic<std::uint64_t> w1{0};
+    std::atomic<std::uint64_t> w2{0};
+  };
+  static_assert(sizeof(Slot) == 32, "trace ring slots are fixed 32-byte records");
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;
+  // Writer-updated cursor, padded so readers polling it never contend with
+  // the slot the writer is filling.
+  alignas(64) std::atomic<std::uint64_t> written_{0};
+};
+
+}  // namespace obs
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_OBS_TRACE_RING_H_

@@ -15,8 +15,9 @@
 namespace dimmunix {
 namespace persist {
 
-HistoryStore::HistoryStore(StoreOptions options, History* history, StackTable* stacks)
-    : options_(std::move(options)), history_(history), stacks_(stacks) {}
+HistoryStore::HistoryStore(StoreOptions options, History* history, StackTable* stacks,
+                           obs::Recorder* recorder)
+    : options_(std::move(options)), history_(history), stacks_(stacks), recorder_(recorder) {}
 
 HistoryStore::~HistoryStore() { Stop(); }
 
@@ -132,6 +133,9 @@ StoreStatsSnapshot HistoryStore::stats() const {
 }
 
 void HistoryStore::Loop() {
+  if (recorder_ != nullptr) {
+    recorder_->NameThisThread("dimmunix-store");
+  }
   auto last_resync = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lk(cv_m_);
   for (;;) {
@@ -182,7 +186,14 @@ void HistoryStore::AppendDelta(int index) {
   }
   const SignatureRecord record = RecordFor(history_->Get(index));
   std::lock_guard<std::mutex> io(io_m_);
+  const std::uint64_t flush_begin =
+      recorder_ != nullptr && recorder_->tracing() ? obs::NowNs() : 0;
   if (AppendJournalRecord(options_.path, record, options_.fsync_appends)) {
+    if (flush_begin != 0) {
+      const std::uint64_t end_ns = obs::NowNs();
+      recorder_->Span(obs::TraceEventType::kStoreFlush, end_ns, end_ns - flush_begin,
+                      obs::SaturateAux(index));
+    }
     stat_appends_.fetch_add(1, std::memory_order_relaxed);
     ++appends_since_compact_;
     stat_since_compact_.store(static_cast<std::uint64_t>(appends_since_compact_),
@@ -195,6 +206,8 @@ void HistoryStore::AppendDelta(int index) {
 
 bool HistoryStore::Compact(MergePolicy policy, bool sync_only) {
   std::lock_guard<std::mutex> io(io_m_);
+  const std::uint64_t compact_begin =
+      recorder_ != nullptr && recorder_->tracing() ? obs::NowNs() : 0;
   FileLock lock(LockPathFor(options_.path));
   lock.Acquire();
 
@@ -261,6 +274,12 @@ bool HistoryStore::Compact(MergePolicy policy, bool sync_only) {
   }
   if (added > 0 && on_merged_) {
     on_merged_();
+  }
+  if (compact_begin != 0) {
+    const std::uint64_t end_ns = obs::NowNs();
+    recorder_->Span(obs::TraceEventType::kStoreCompact, end_ns, end_ns - compact_begin,
+                    /*aux=*/0, /*mode=*/0,
+                    added > 0 ? static_cast<std::uint64_t>(added) : 0);
   }
   return true;
 }

@@ -41,6 +41,7 @@
 #include <thread>
 
 #include "src/common/mpsc_queue.h"
+#include "src/obs/recorder.h"
 #include "src/persist/file.h"
 #include "src/persist/image.h"
 
@@ -86,8 +87,11 @@ struct StoreStatsSnapshot {
 
 class HistoryStore {
  public:
-  // `history` and `stacks` must outlive the store.
-  HistoryStore(StoreOptions options, History* history, StackTable* stacks);
+  // `history` and `stacks` must outlive the store. `recorder` (optional) is
+  // the src/obs flight recorder: journal appends and compactions emit
+  // kStoreFlush/kStoreCompact spans when tracing is live.
+  HistoryStore(StoreOptions options, History* history, StackTable* stacks,
+               obs::Recorder* recorder = nullptr);
   ~HistoryStore();  // Stop()
 
   HistoryStore(const HistoryStore&) = delete;
@@ -139,6 +143,7 @@ class HistoryStore {
   const StoreOptions options_;
   History* history_;
   StackTable* stacks_;
+  obs::Recorder* recorder_;
   std::function<void()> on_merged_;
 
   MpscQueue<int> queue_;  // changed signature indices awaiting a journal append

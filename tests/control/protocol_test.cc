@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <sstream>
 #include <thread>
 
 #include "src/core/runtime.h"
@@ -298,9 +299,136 @@ TEST(ProtocolExecuteTest, HelpListsEveryCommand) {
   const std::string reply = HandleLine(rt, "help");
   EXPECT_EQ(reply.rfind("ok\n", 0), 0u);
   for (const char* cmd : {"status", "stats", "history", "disable", "enable", "disable-last",
-                          "reload", "set-depth", "rag", "config"}) {
+                          "reload", "set-depth", "rag", "config", "trace start", "trace stop",
+                          "trace dump", "metrics", "histo"}) {
     EXPECT_NE(reply.find(cmd), std::string::npos) << cmd;
   }
+}
+
+TEST(ProtocolParseTest, ObservabilityCommands) {
+  std::string error;
+  EXPECT_EQ(ParseRequest("trace start", &error)->kind, CommandKind::kTraceStart);
+  EXPECT_EQ(ParseRequest("trace stop", &error)->kind, CommandKind::kTraceStop);
+  EXPECT_EQ(ParseRequest("trace dump", &error)->kind, CommandKind::kTraceDump);
+  EXPECT_EQ(ParseRequest("metrics", &error)->kind, CommandKind::kMetrics);
+  const auto histo = ParseRequest("histo acquire_latency_ns", &error);
+  ASSERT_TRUE(histo.has_value());
+  EXPECT_EQ(histo->kind, CommandKind::kHisto);
+  EXPECT_EQ(histo->path, "acquire_latency_ns");
+
+  EXPECT_FALSE(ParseRequest("trace", &error).has_value());             // missing subcommand
+  EXPECT_FALSE(ParseRequest("trace frobnicate", &error).has_value());  // unknown subcommand
+  EXPECT_FALSE(ParseRequest("trace dump extra", &error).has_value());
+  EXPECT_FALSE(ParseRequest("metrics extra", &error).has_value());
+  EXPECT_FALSE(ParseRequest("histo", &error).has_value());  // missing name
+}
+
+// Strict-enough Prometheus text-format check: every line is a HELP/TYPE
+// comment or a `name[{labels}] <number>` sample, TYPE values are legal, and
+// every sample belongs to a previously announced family.
+void ExpectValidPrometheusText(const std::string& body) {
+  std::istringstream in(body);
+  std::string line;
+  std::string last_family;
+  int samples = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) {
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family;
+      std::string type;
+      fields >> family >> type;
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << "bad TYPE line: " << line;
+      last_family = family;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << "sample without value: " << line;
+    std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    for (const char c : value) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e')
+          << "non-numeric value in: " << line;
+    }
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << "unterminated labels: " << line;
+      name = name.substr(0, brace);
+    }
+    // Histogram families expose name_bucket/_sum/_count samples.
+    EXPECT_EQ(name.rfind(last_family, 0), 0u)
+        << "sample " << name << " outside announced family " << last_family;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0) << "no samples in exposition";
+}
+
+TEST(ProtocolExecuteTest, MetricsIsValidPrometheusExposition) {
+  Runtime rt(TestConfig());
+  SeedSignature(rt, "holdX", "reqY");
+  TriggerAvoidance(rt);
+
+  const std::string reply = HandleLine(rt, "metrics");
+  ASSERT_EQ(reply.rfind("ok\n", 0), 0u);
+  const std::string body = reply.substr(3);
+  ExpectValidPrometheusText(body);
+  // The avoidance above went through the engine: requests counted, and the
+  // always-on acquire-latency histogram saw at least one sample.
+  EXPECT_NE(body.find("dimmunix_lock_requests_total "), std::string::npos) << body;
+  EXPECT_EQ(body.find("dimmunix_lock_requests_total 0\n"), std::string::npos)
+      << "requests counter must be non-zero after an acquisition";
+  EXPECT_NE(body.find("dimmunix_acquire_latency_ns_count "), std::string::npos) << body;
+  EXPECT_EQ(body.find("dimmunix_acquire_latency_ns_count 0\n"), std::string::npos)
+      << "acquire-latency histogram must have recorded the acquisition";
+  EXPECT_NE(body.find("dimmunix_acquire_latency_ns_bucket{le=\"+Inf\"}"), std::string::npos);
+}
+
+TEST(ProtocolExecuteTest, TraceStartDumpStopRoundTrip) {
+  Config config = TestConfig();
+  config.trace_enabled = true;  // armed from the first lock op
+  Runtime rt(config);
+  SeedSignature(rt, "holdX", "reqY");
+  TriggerAvoidance(rt);
+
+  const std::string dump = HandleLine(rt, "trace dump");
+  ASSERT_EQ(dump.rfind("ok\n", 0), 0u);
+  const std::string json = dump.substr(3);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 80);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"acquire\""), std::string::npos)
+      << "the acquisitions above must appear as spans";
+
+  EXPECT_EQ(HandleLine(rt, "trace stop"), "ok\ntracing=0\n");
+  EXPECT_FALSE(rt.recorder().tracing());
+  EXPECT_NE(HandleLine(rt, "status").find("tracing=0\n"), std::string::npos);
+  EXPECT_EQ(HandleLine(rt, "trace start"), "ok\ntracing=1\n");
+  EXPECT_TRUE(rt.recorder().tracing());
+}
+
+TEST(ProtocolExecuteTest, HistoReadoutAndUnknownName) {
+  Runtime rt(TestConfig());
+  SeedSignature(rt, "holdX", "reqY");
+  TriggerAvoidance(rt);
+
+  const std::string reply = HandleLine(rt, "histo acquire_latency_ns");
+  ASSERT_EQ(reply.rfind("ok\n", 0), 0u);
+  EXPECT_NE(reply.find("count="), std::string::npos);
+  EXPECT_NE(reply.find("p99_ns="), std::string::npos);
+  EXPECT_EQ(reply.find("count=0\n"), std::string::npos)
+      << "acquisitions above must have landed in the histogram";
+
+  const std::string bad = HandleLine(rt, "histo bogus");
+  EXPECT_EQ(bad.rfind("err unknown histogram", 0), 0u) << bad;
+  EXPECT_NE(bad.find("acquire_latency_ns"), std::string::npos)
+      << "the error must list the valid names";
 }
 
 }  // namespace

@@ -56,6 +56,19 @@ TEST(GlobalIdTest, OffsetsAndKindsAreDisjointNamespaces) {
   EXPECT_NE(flock_id, fcntl0);
   EXPECT_NE(fcntl0, fcntl8);
 
+  // Range identity includes the length: fcntl [8, 8+16) and [8, 8+32) are
+  // different kernel locks, and the whole-file lock (l_len 0, "to EOF")
+  // differs from any bounded range at the same start. Equal (start, len)
+  // pairs agree across independent opens.
+  const LockId fcntl8_len16 = GlobalIdForFileLock(fd, GlobalLockKind::kFcntlRange, 8, 16);
+  const LockId fcntl8_len32 = GlobalIdForFileLock(fd, GlobalLockKind::kFcntlRange, 8, 32);
+  EXPECT_NE(fcntl8_len16, fcntl8_len32);
+  EXPECT_NE(fcntl8, fcntl8_len16) << "to-EOF lock must not alias a bounded range";
+  const int fd_again = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd_again, 0);
+  EXPECT_EQ(fcntl8_len16, GlobalIdForFileLock(fd_again, GlobalLockKind::kFcntlRange, 8, 16));
+  ::close(fd_again);
+
   ::close(fd);
   std::filesystem::remove(path);
 }

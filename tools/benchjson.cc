@@ -77,6 +77,24 @@ WorkloadParams BaseParams(const Options& opts, int threads) {
   return params;
 }
 
+// Committed tail-latency budgets (p99_budget_ns in BENCH_*.json). CI's
+// bench-smoke gate fails a run whose p99_ns exceeds its budget. Roughly
+// 10x the committed quick-mode p99 of each benchmark: loose enough for
+// scheduler noise on shared runners, tight enough that a convoy-class
+// regression (e.g. the pre-striping epoch guard) trips it.
+std::uint64_t P99BudgetNs(const std::string& bench) {
+  if (bench == "fig5") {
+    return 20'000'000;  // committed p99 ~2 ms (64-thread epoch convoy)
+  }
+  if (bench == "fig8") {
+    return 5'000'000;  // committed p99 ~24 us
+  }
+  if (bench == "fig4") {
+    return 5'000'000;  // committed p99 ~3.5 us (cross-process publish)
+  }
+  return 0;
+}
+
 BenchSample ToSample(const char* label, int threads, const WorkloadResult& result) {
   BenchSample sample;
   sample.label = label;
@@ -114,6 +132,7 @@ int RunFig5(const Options& opts) {
                                               : std::vector<int>{2, 4, 8, 16, 32, 64};
   BenchReport report;
   report.bench = "fig5";
+  report.p99_budget_ns = P99BudgetNs(report.bench);
   report.config = {
       {"workload", "sync microbenchmark (7.2.2)"},
       {"locks", "8"},
@@ -177,6 +196,7 @@ int RunFig8(const Options& opts) {
 
   BenchReport report;
   report.bench = "fig8";
+  report.p99_budget_ns = P99BudgetNs(report.bench);
   report.config = {
       {"workload", "sync microbenchmark (7.2.2), staged engine"},
       {"locks", "8"},
@@ -385,6 +405,7 @@ BenchSample RunFig4TwoProcess(const Options& opts, bool instrumented,
 int RunFig4(const Options& opts) {
   BenchReport report;
   report.bench = "fig4";
+  report.p99_budget_ns = P99BudgetNs(report.bench);
   report.config = {
       {"workload", "two-process PROCESS_SHARED mutex victim + local fast path"},
       {"processes", std::to_string(kFig4Processes)},

@@ -26,16 +26,41 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/control/protocol.h"
+#include "src/obs/export.h"
 
 namespace {
 
 void Usage() {
   std::fprintf(stderr,
                "usage: dimctl [-s SOCKET] COMMAND [ARGS...]\n"
-               "       (socket defaults to $DIMMUNIX_CONTROL)\n\ncommands:\n%s",
+               "       (socket defaults to $DIMMUNIX_CONTROL)\n\ncommands:\n%s"
+               "trace merge <out> <in...>  merge per-process trace dumps (local, no socket)\n",
                dimmunix::control::HelpText().c_str());
+}
+
+// "trace merge" is the one command that runs entirely in dimctl: it folds
+// the per-process Chrome trace dumps (shutdown dumps, `trace dump` output)
+// into one multi-process timeline. Everything else goes over the socket.
+int TraceMerge(int argc, char** argv, int arg) {
+  if (argc - arg < 2) {
+    std::fprintf(stderr, "dimctl: usage: trace merge <out> <in...>\n");
+    return 1;
+  }
+  const std::string output = argv[arg];
+  std::vector<std::string> inputs;
+  for (int i = arg + 1; i < argc; ++i) {
+    inputs.emplace_back(argv[i]);
+  }
+  std::string error;
+  if (!dimmunix::obs::MergeChromeTraceFiles(inputs, output, &error)) {
+    std::fprintf(stderr, "dimctl: trace merge: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("merged=%zu\npath=%s\n", inputs.size(), output.c_str());
+  return 0;
 }
 
 int Connect(const std::string& path) {
@@ -99,6 +124,10 @@ int main(int argc, char** argv) {
   if (arg >= argc) {
     Usage();
     return 1;
+  }
+  if (std::strcmp(argv[arg], "trace") == 0 && arg + 1 < argc &&
+      std::strcmp(argv[arg + 1], "merge") == 0) {
+    return TraceMerge(argc, argv, arg + 2);
   }
   std::string request;
   for (int i = arg; i < argc; ++i) {
