@@ -10,6 +10,7 @@
 //   $ ./history_tool disable app.dimmunix 2
 //   $ ./history_tool enable app.dimmunix 2
 //   $ ./history_tool merge dst.dimmunix src.dimmunix   # vendor-shipped sigs
+//   $ ./history_tool diff a.dimmunix b.dimmunix        # fleet convergence check
 //
 // Exit codes (distinct on purpose, so scripts can react):
 //   0  success (warnings about salvaged records go to stderr)
@@ -17,6 +18,11 @@
 //   2  usage error
 //   3  corrupt or truncated file (validate/upgrade refuse it)
 //   4  signature index out of range
+//
+// `diff` follows the diff(1) convention instead: 0 = identical signature
+// sets (same hashes, same knob epochs/flags/depths), 1 = the files differ,
+// 2 = usage, 3 = either input missing/unreadable/corrupt. CI's fleet-smoke
+// lane polls it to decide when two daemons have converged.
 
 #include <cstdio>
 #include <cstring>
@@ -42,8 +48,21 @@ int Usage() {
                "       history_tool upgrade <file>\n"
                "       history_tool disable <file> <index>\n"
                "       history_tool enable <file> <index>\n"
-               "       history_tool merge <dst> <src>\n");
+               "       history_tool merge <dst> <src>\n"
+               "       history_tool diff <a> <b>\n");
   return kUsage;
+}
+
+// diff: loads strictly (any damage is exit 3 — comparing a salvaged view
+// against a healthy file would report phantom differences).
+int LoadImageStrict(const char* path, dimmunix::persist::HistoryImage* image) {
+  const dimmunix::persist::LoadResult result = dimmunix::persist::LoadHistoryFile(path, image);
+  if (result.status != dimmunix::persist::LoadStatus::kOk || result.records_dropped > 0) {
+    std::fprintf(stderr, "%s: %s\n", path,
+                 result.message.empty() ? "missing or damaged" : result.message.c_str());
+    return kCorrupt;
+  }
+  return kOk;
 }
 
 // Loads `path` into `history`, distinguishing missing/unreadable/salvaged.
@@ -182,6 +201,33 @@ int main(int argc, char** argv) {
     }
     history.SetDisabled(index, std::strcmp(command, "disable") == 0);
     return SaveFrom(history, path);
+  }
+
+  if (std::strcmp(command, "diff") == 0) {
+    if (argc < 4) {
+      return Usage();
+    }
+    dimmunix::persist::HistoryImage a;
+    dimmunix::persist::HistoryImage b;
+    if (LoadImageStrict(path, &a) != kOk || LoadImageStrict(argv[3], &b) != kOk) {
+      return kCorrupt;
+    }
+    const dimmunix::persist::ImageDiff diff = dimmunix::persist::DiffImages(a, b);
+    for (const std::uint64_t hash : diff.only_in_a) {
+      std::printf("only-in-a %016llx\n", static_cast<unsigned long long>(hash));
+    }
+    for (const std::uint64_t hash : diff.only_in_b) {
+      std::printf("only-in-b %016llx\n", static_cast<unsigned long long>(hash));
+    }
+    for (const dimmunix::persist::ImageDiff::KnobDiff& knob : diff.knob_differs) {
+      std::printf("knobs-differ %016llx epoch_a=%u epoch_b=%u\n",
+                  static_cast<unsigned long long>(knob.hash), knob.epoch_a, knob.epoch_b);
+    }
+    if (diff.identical()) {
+      std::printf("identical (%zu signature(s))\n", a.records.size());
+      return kOk;
+    }
+    return 1;  // "files differ", diff(1) convention
   }
 
   if (std::strcmp(command, "merge") == 0) {

@@ -71,6 +71,9 @@ Config Config::FromEnvironment(Config base) {
   if (const char* c = Getenv("DIMMUNIX_CONTROL"); c != nullptr && *c != '\0') {
     base.control_socket_path = c;
   }
+  if (const char* f = Getenv("DIMMUNIX_FLEET"); f != nullptr && *f != '\0') {
+    base.fleet_daemon = f;
+  }
   base.trace_enabled = EnvBool("DIMMUNIX_TRACE", base.trace_enabled);
   base.trace_ring_size = static_cast<int>(EnvLong("DIMMUNIX_TRACE_RING", base.trace_ring_size));
   if (const char* td = Getenv("DIMMUNIX_TRACE_DUMP"); td != nullptr && *td != '\0') {

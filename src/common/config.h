@@ -116,6 +116,12 @@ struct Config {
   // commands (status/history/disable/reload/...). Empty = no control server.
   std::string control_socket_path;
 
+  // Non-empty ("host:port"): the dimmunixd daemon this process is attached
+  // to. `fleet *` control commands received over the UDS socket are proxied
+  // to it over TCP, and `status` gains a fleet= summary line. The daemon is
+  // a separate process; this setting never adds network I/O to lock paths.
+  std::string fleet_daemon;
+
   // --- Observability (src/obs) -----------------------------------------------
   // Arm the flight recorder at startup: per-thread trace rings record engine
   // events (acquires, yields, epochs, monitor/bridge/store activity) from
@@ -141,6 +147,7 @@ struct Config {
   //   DIMMUNIX_YIELD_TIMEOUT_MS, DIMMUNIX_IGNORE_YIELDS (0|1),
   //   DIMMUNIX_STAGE (instr|data|full), DIMMUNIX_STRIPES (0 = auto),
   //   DIMMUNIX_CONTROL (control-socket path, e.g. /tmp/app.dimmunix.sock),
+  //   DIMMUNIX_FLEET (host:port of the attached dimmunixd daemon),
   //   DIMMUNIX_JOURNAL_THRESHOLD, DIMMUNIX_JOURNAL_FSYNC (0|1),
   //   DIMMUNIX_RESYNC_MS (0 = off),
   //   DIMMUNIX_IPC (arena path), DIMMUNIX_IPC_BRIDGE_MS,

@@ -5,10 +5,12 @@
 #include <unistd.h>
 
 #include <charconv>
+#include <chrono>
 #include <sstream>
 #include <vector>
 
 #include "src/core/runtime.h"
+#include "src/fleet/net.h"
 #include "src/obs/export.h"
 
 namespace dimmunix {
@@ -58,6 +60,55 @@ const char* KindName(SignatureKind kind) {
 
 const char* ImmunityName(ImmunityMode mode) {
   return mode == ImmunityMode::kStrong ? "strong" : "weak";
+}
+
+// First "key=value" line of a daemon reply, or "" — used to condense a
+// `fleet status` reply into the one-line summary `status` carries.
+std::string ReplyValue(const std::string& reply, const std::string& key) {
+  const std::string needle = key + "=";
+  std::size_t pos = 0;
+  while (pos < reply.size()) {
+    std::size_t end = reply.find('\n', pos);
+    if (end == std::string::npos) {
+      end = reply.size();
+    }
+    if (reply.compare(pos, needle.size(), needle) == 0) {
+      return reply.substr(pos + needle.size(), end - pos - needle.size());
+    }
+    pos = end + 1;
+  }
+  return {};
+}
+
+// The daemon-bound line for a fleet request (the runtime proxies it verbatim).
+std::string FleetLineFor(const Request& request) {
+  switch (request.kind) {
+    case CommandKind::kFleetStatus:
+      return "fleet status";
+    case CommandKind::kFleetPeers:
+      return "fleet peers";
+    case CommandKind::kFleetPush:
+      return "fleet push " + request.path;
+    case CommandKind::kFleetPull:
+      return "fleet pull " + request.path;
+    case CommandKind::kFleetExec:
+      return "fleet exec " + request.rest;
+    default:
+      return {};
+  }
+}
+
+std::string DoFleetProxy(Runtime& rt, const Request& request) {
+  const std::string& daemon = rt.config().fleet_daemon;
+  if (daemon.empty()) {
+    return Err("no fleet daemon attached (set DIMMUNIX_FLEET=host:port)");
+  }
+  std::string reply;
+  std::string error;
+  if (!fleet::QueryTcp(daemon, FleetLineFor(request), std::chrono::seconds(5), &reply, &error)) {
+    return Err("fleet daemon " + daemon + " unreachable: " + error);
+  }
+  return reply;
 }
 
 const char* StageName(EngineStage stage) {
@@ -114,6 +165,21 @@ std::string DoStatus(Runtime& rt) {
     const ipc::IpcStatus s = bridge->SnapshotStatus();
     out << "ipc.participant=" << s.participant << "\n";
     out << "ipc.foreign_edges=" << s.foreign_edges_mirrored << "\n";
+  }
+  if (const std::string& daemon = rt.config().fleet_daemon; !daemon.empty()) {
+    // One condensed line about the attached daemon. Short timeout: `status`
+    // must stay snappy even when the daemon is down.
+    std::string reply;
+    std::string error;
+    if (fleet::QueryTcp(daemon, "fleet status", std::chrono::seconds(1), &reply, &error) &&
+        reply.compare(0, 2, "ok") == 0) {
+      out << "fleet=" << daemon << ",peers=" << ReplyValue(reply, "peers")
+          << ",last_sync_age_ms=" << ReplyValue(reply, "last_sync_age_ms")
+          << ",in=" << ReplyValue(reply, "records_in")
+          << ",out=" << ReplyValue(reply, "records_out") << "\n";
+    } else {
+      out << "fleet=unreachable(" << daemon << ")\n";
+    }
   }
   return out.str();
 }
@@ -248,6 +314,7 @@ std::string DoConfig(Runtime& rt) {
   out << "ipc_path=" << c.ipc_path << "\n";
   out << "ipc_bridge_period_ms=" << c.ipc_bridge_period.count() << "\n";
   out << "control_socket_path=" << c.control_socket_path << "\n";
+  out << "fleet_daemon=" << c.fleet_daemon << "\n";
   return out.str();
 }
 
@@ -438,6 +505,11 @@ std::string HelpText() {
       "trace dump              Chrome trace JSON of every ring (Perfetto-loadable)\n"
       "metrics                 counters + histograms, Prometheus text format\n"
       "histo <name>            percentile readout of one latency histogram\n"
+      "fleet status            attached dimmunixd summary\n"
+      "fleet peers             per-peer gossip statistics\n"
+      "fleet push <addr>       sync with <addr> now, send-only\n"
+      "fleet pull <addr>       sync with <addr> now, merge-only\n"
+      "fleet exec <cmd...>     run <cmd> on the daemon and every peer\n"
       "help                    this text\n";
 }
 
@@ -493,6 +565,37 @@ std::optional<Request> ParseRequest(std::string_view line, std::string* error) {
       }
     }
     SetError(error, "usage: trace start | trace stop | trace dump");
+    return std::nullopt;
+  } else if (name == "fleet") {
+    if (tokens.size() >= 2) {
+      const std::string_view sub = tokens[1];
+      if (sub == "status" && tokens.size() == 2) {
+        request.kind = CommandKind::kFleetStatus;
+        return request;
+      }
+      if (sub == "peers" && tokens.size() == 2) {
+        request.kind = CommandKind::kFleetPeers;
+        return request;
+      }
+      if ((sub == "push" || sub == "pull") && tokens.size() == 3) {
+        request.kind = sub == "push" ? CommandKind::kFleetPush : CommandKind::kFleetPull;
+        request.path = std::string(tokens[2]);
+        return request;
+      }
+      if (sub == "exec" && tokens.size() >= 3) {
+        request.kind = CommandKind::kFleetExec;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          if (i > 2) {
+            request.rest += ' ';
+          }
+          request.rest += std::string(tokens[i]);
+        }
+        return request;
+      }
+    }
+    SetError(error,
+             "usage: fleet status | fleet peers | fleet push <addr> | fleet pull <addr> | "
+             "fleet exec <cmd...>");
     return std::nullopt;
   } else if (name == "metrics") {
     request.kind = CommandKind::kMetrics;
@@ -589,6 +692,12 @@ std::string ExecuteRequest(Runtime& runtime, const Request& request) {
       return DoMetrics(runtime);
     case CommandKind::kHisto:
       return DoHisto(runtime, request.path);
+    case CommandKind::kFleetStatus:
+    case CommandKind::kFleetPeers:
+    case CommandKind::kFleetPush:
+    case CommandKind::kFleetPull:
+    case CommandKind::kFleetExec:
+      return DoFleetProxy(runtime, request);
     case CommandKind::kHelp:
       return "ok\n" + HelpText();
   }

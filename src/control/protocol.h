@@ -40,7 +40,19 @@
 //   histo <name>            percentile readout of one latency histogram
 //                           (acquire_latency_ns | yield_duration_ns |
 //                           epoch_hold_ns)
+//   fleet status            summary of the attached dimmunixd daemon
+//   fleet peers             per-peer gossip statistics
+//   fleet push <addr>       sync with <addr> now, sending our records only
+//   fleet pull <addr>       sync with <addr> now, merging its records only
+//   fleet exec <cmd...>     run <cmd> on the daemon and every peer, replies
+//                           prefixed per host
 //   help                    list commands
+//
+// The `fleet` verbs are executed by a dimmunixd daemon (src/fleet/daemon.h).
+// When a runtime receives one over its UDS control socket, it proxies the
+// line to the daemon named by Config::fleet_daemon (DIMMUNIX_FLEET) over TCP
+// and relays the reply — `dimctl fleet status` works against an application
+// process and against a daemon alike.
 //
 // `status` additionally reports HistoryStore health when a history file is
 // configured: queued deltas, journal records since the last compaction, and
@@ -82,6 +94,11 @@ enum class CommandKind {
   kTraceDump,
   kMetrics,
   kHisto,
+  kFleetStatus,
+  kFleetPeers,
+  kFleetPush,
+  kFleetPull,
+  kFleetExec,
   kHelp,
 };
 
@@ -89,7 +106,9 @@ struct Request {
   CommandKind kind = CommandKind::kStatus;
   int index = -1;    // disable / enable / set-depth
   int depth = -1;    // set-depth
-  std::string path;  // history merge / history export; histogram name (histo)
+  std::string path;  // history merge / history export; histogram name (histo);
+                     // peer address (fleet push / fleet pull)
+  std::string rest;  // fleet exec: the command to fan out, verbatim
 };
 
 // Parses one request line (trailing "\r\n" tolerated). On failure returns

@@ -1,0 +1,289 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/fleet/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace dimmunix {
+namespace fleet {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// Remaining time before `deadline`, clamped at zero.
+std::chrono::microseconds Remaining(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count() < 0 ? std::chrono::microseconds{0} : left;
+}
+
+bool ApplyTimeout(int fd, int option, std::chrono::steady_clock::time_point deadline) {
+  const auto left = Remaining(deadline);
+  if (left.count() <= 0) {
+    return false;
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(left.count() / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(left.count() % 1000000);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+  return true;
+}
+
+bool ResolveIpv4(const std::string& host, in_addr* out) {
+  // Numeric IPv4 only (plus the common aliases): the fleet protocol is for
+  // lab networks addressed by IP; pulling in getaddrinfo would add blocking
+  // DNS lookups to the gossip thread for no modeled use case.
+  if (host.empty() || host == "localhost") {
+    return ::inet_pton(AF_INET, "127.0.0.1", out) == 1;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), out) == 1;
+}
+
+}  // namespace
+
+bool ParseHostPort(std::string_view address, std::string* host, std::uint16_t* port) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 == address.size()) {
+    return false;
+  }
+  const std::string_view port_str = address.substr(colon + 1);
+  unsigned value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(port_str.data(), port_str.data() + port_str.size(), value);
+  if (ec != std::errc() || ptr != port_str.data() + port_str.size() || value > 65535) {
+    return false;
+  }
+  *host = std::string(address.substr(0, colon));
+  *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+int ListenTcp(const std::string& host, std::uint16_t port, std::uint16_t* bound_port,
+              std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (!ResolveIpv4(host, &addr.sin_addr)) {
+    *error = "cannot parse listen host '" + host + "' (numeric IPv4 required)";
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = Errno("socket");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    *error = Errno("bind/listen");
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    *bound_port = ntohs(bound.sin_port);
+  } else {
+    *bound_port = port;
+  }
+  return fd;
+}
+
+int ConnectTcp(const std::string& host, std::uint16_t port,
+               std::chrono::milliseconds timeout, std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (!ResolveIpv4(host, &addr.sin_addr)) {
+    *error = "cannot parse host '" + host + "' (numeric IPv4 required)";
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    *error = Errno("socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      *error = Errno("connect");
+      ::close(fd);
+      return -1;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready <= 0) {
+      *error = ready == 0 ? "connect timed out" : Errno("poll");
+      ::close(fd);
+      return -1;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) {
+      *error = std::string("connect: ") + std::strerror(soerr);
+      ::close(fd);
+      return -1;
+    }
+  }
+  // Back to blocking: the reads/writes below use SO_RCVTIMEO/SO_SNDTIMEO.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+std::string PeerAddress(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.sin_family != AF_INET) {
+    return {};
+  }
+  char buf[INET_ADDRSTRLEN] = {0};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf)) == nullptr) {
+    return {};
+  }
+  return buf;
+}
+
+bool SendAllDeadline(int fd, std::string_view data,
+                     std::chrono::steady_clock::time_point deadline) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    if (!ApplyTimeout(fd, SO_SNDTIMEO, deadline)) {
+      return false;
+    }
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ReadExactDeadline(int fd, std::size_t want, std::string* out,
+                       std::chrono::steady_clock::time_point deadline) {
+  std::size_t got = 0;
+  char buf[4096];
+  while (got < want) {
+    if (!ApplyTimeout(fd, SO_RCVTIMEO, deadline)) {
+      return false;
+    }
+    const std::size_t chunk = std::min(want - got, sizeof(buf));
+    const ssize_t n = ::read(fd, buf, chunk);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (n == 0) {
+      return false;  // EOF mid-payload
+    }
+    out->append(buf, static_cast<std::size_t>(n));
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ReadLineDeadline(int fd, std::string* line, std::string* spill, std::size_t max_line,
+                      std::chrono::steady_clock::time_point deadline) {
+  std::string buffer = std::move(*spill);
+  spill->clear();
+  char buf[512];
+  while (buffer.find('\n') == std::string::npos) {
+    if (buffer.size() > max_line) {
+      return false;
+    }
+    if (!ApplyTimeout(fd, SO_RCVTIMEO, deadline)) {
+      return false;
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (n == 0) {
+      return false;  // EOF before the newline
+    }
+    buffer.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t nl = buffer.find('\n');
+  *line = buffer.substr(0, nl);
+  if (!line->empty() && line->back() == '\r') {
+    line->pop_back();
+  }
+  *spill = buffer.substr(nl + 1);
+  return true;
+}
+
+bool QueryTcp(const std::string& address, const std::string& line,
+              std::chrono::milliseconds timeout, std::string* reply, std::string* error) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!ParseHostPort(address, &host, &port)) {
+    *error = "malformed address '" + address + "' (want host:port)";
+    return false;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const int fd = ConnectTcp(host, port, timeout, error);
+  if (fd < 0) {
+    return false;
+  }
+  if (!SendAllDeadline(fd, line + "\n", deadline)) {
+    *error = "send failed";
+    ::close(fd);
+    return false;
+  }
+  // Half-close: the server replies, then closes; EOF ends the reply.
+  ::shutdown(fd, SHUT_WR);
+  reply->clear();
+  char buf[4096];
+  for (;;) {
+    if (!ApplyTimeout(fd, SO_RCVTIMEO, deadline)) {
+      *error = "reply timed out";
+      ::close(fd);
+      return false;
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      *error = Errno("read");
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) {
+      break;
+    }
+    reply->append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace fleet
+}  // namespace dimmunix

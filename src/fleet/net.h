@@ -1,0 +1,68 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Minimal TCP plumbing for the fleet subsystem: IPv4 listen/connect with
+// real timeouts, deadline-bounded whole-buffer reads/writes, and line
+// reads — the socket substrate under src/fleet/daemon.h and the `dimctl
+// --target` remote client. Everything here is blocking-with-deadline; the
+// daemon's accept loop and gossip thread are plain threads, like the
+// control server (src/control/server.cc), not an event loop — fleet traffic
+// is a handful of small frames per gossip period, not a data plane.
+
+#ifndef DIMMUNIX_FLEET_NET_H_
+#define DIMMUNIX_FLEET_NET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dimmunix {
+namespace fleet {
+
+// "host:port" -> parts. False on a malformed address (missing colon,
+// non-numeric or out-of-range port).
+bool ParseHostPort(std::string_view address, std::string* host, std::uint16_t* port);
+
+// Binds + listens on host:port (IPv4; host "0.0.0.0" binds all interfaces).
+// Port 0 picks an ephemeral port; *bound_port receives the actual one.
+// Returns the listening fd, or -1 with *error set.
+int ListenTcp(const std::string& host, std::uint16_t port, std::uint16_t* bound_port,
+              std::string* error);
+
+// Connects to host:port within `timeout` (non-blocking connect + poll).
+// Returns the connected fd, or -1 with *error set.
+int ConnectTcp(const std::string& host, std::uint16_t port,
+               std::chrono::milliseconds timeout, std::string* error);
+
+// Numeric peer address ("a.b.c.d") of a connected socket, "" on failure.
+std::string PeerAddress(int fd);
+
+// Whole-buffer send with SIGPIPE suppressed; false on error/timeout (the
+// deadline is enforced via SO_SNDTIMEO shrunk to the time remaining).
+bool SendAllDeadline(int fd, std::string_view data,
+                     std::chrono::steady_clock::time_point deadline);
+
+// Reads exactly `want` bytes into *out (appended); false on EOF, error, or
+// deadline.
+bool ReadExactDeadline(int fd, std::size_t want, std::string* out,
+                       std::chrono::steady_clock::time_point deadline);
+
+// Reads up to and including the first '\n' (returned without it, trailing
+// '\r' stripped). Bytes past the newline are returned via *spill — the
+// caller must prepend them to the next read (binary frames follow command
+// lines on the same connection). False on EOF-before-newline, error,
+// deadline, or a line beyond `max_line` bytes.
+bool ReadLineDeadline(int fd, std::string* line, std::string* spill, std::size_t max_line,
+                      std::chrono::steady_clock::time_point deadline);
+
+// One-shot text request against a daemon (or any line-protocol TCP server):
+// connect, send `line` (newline appended), half-close, read the whole reply
+// until EOF. The reply's first line is "ok" or "err <reason>" exactly like
+// the UDS control protocol. False (with *error set) on connect/IO failure.
+bool QueryTcp(const std::string& address, const std::string& line,
+              std::chrono::milliseconds timeout, std::string* reply, std::string* error);
+
+}  // namespace fleet
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_FLEET_NET_H_

@@ -1,0 +1,106 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// PeerTable — dimmunixd's view of its configured peer set: per-peer gossip
+// statistics and the reconnect backoff that keeps a dead peer from being
+// hammered every period. Plain data guarded by the daemon's own mutex; the
+// table itself is not thread-safe.
+
+#ifndef DIMMUNIX_FLEET_PEER_H_
+#define DIMMUNIX_FLEET_PEER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dimmunix {
+namespace fleet {
+
+struct PeerState {
+  std::string address;  // "host:port"
+
+  std::uint64_t rounds_ok = 0;
+  std::uint64_t rounds_failed = 0;
+  std::uint64_t records_in = 0;   // records merged from this peer
+  std::uint64_t records_out = 0;  // records shipped to this peer
+
+  int consecutive_failures = 0;
+  std::string last_error;
+
+  // Default-constructed time_point == "never".
+  std::chrono::steady_clock::time_point last_ok{};
+  std::chrono::steady_clock::time_point next_attempt{};
+
+  bool ever_synced() const { return last_ok != std::chrono::steady_clock::time_point{}; }
+};
+
+class PeerTable {
+ public:
+  // Longest a failing peer is left alone. Gossip periods are sub-minute, so
+  // a capped exponential keeps a rebooting host out of the logs without
+  // delaying its re-admission by more than this.
+  static constexpr std::chrono::seconds kMaxBackoff{30};
+
+  explicit PeerTable(const std::vector<std::string>& addresses) {
+    peers_.reserve(addresses.size());
+    for (const std::string& address : addresses) {
+      PeerState peer;
+      peer.address = address;
+      peers_.push_back(std::move(peer));
+    }
+  }
+
+  std::size_t size() const { return peers_.size(); }
+  PeerState& at(std::size_t i) { return peers_[i]; }
+  const PeerState& at(std::size_t i) const { return peers_[i]; }
+
+  // Index of `address`, or -1 (push/pull accept ad-hoc addresses too).
+  int Find(const std::string& address) const {
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      if (peers_[i].address == address) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  bool Due(std::size_t i, std::chrono::steady_clock::time_point now) const {
+    return now >= peers_[i].next_attempt;
+  }
+
+  void NoteSuccess(std::size_t i, std::chrono::steady_clock::time_point now,
+                   std::uint64_t in, std::uint64_t out) {
+    PeerState& peer = peers_[i];
+    peer.rounds_ok++;
+    peer.records_in += in;
+    peer.records_out += out;
+    peer.consecutive_failures = 0;
+    peer.last_error.clear();
+    peer.last_ok = now;
+    peer.next_attempt = now;  // eligible again next period
+  }
+
+  void NoteFailure(std::size_t i, std::chrono::steady_clock::time_point now,
+                   std::chrono::milliseconds base_period, std::string error) {
+    PeerState& peer = peers_[i];
+    peer.rounds_failed++;
+    peer.consecutive_failures++;
+    peer.last_error = std::move(error);
+    // base * 2^failures, capped. A zero base (manual-sync daemon) still backs
+    // off from one second so push/pull retries don't spin.
+    std::chrono::milliseconds base = std::max(base_period, std::chrono::milliseconds{1000});
+    const int shift = std::min(peer.consecutive_failures, 10);
+    const auto backoff = std::min<std::chrono::milliseconds>(
+        base * (1 << shift), std::chrono::duration_cast<std::chrono::milliseconds>(kMaxBackoff));
+    peer.next_attempt = now + backoff;
+  }
+
+ private:
+  std::vector<PeerState> peers_;
+};
+
+}  // namespace fleet
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_FLEET_PEER_H_

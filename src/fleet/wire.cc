@@ -1,0 +1,214 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/fleet/wire.h"
+
+#include <cstring>
+
+#include "src/persist/format.h"
+
+namespace dimmunix {
+namespace fleet {
+namespace {
+
+// Little-endian scalar append/read, matching the on-disk v2 codec's
+// conventions (src/persist/format.cc) so the wire format is as portable as
+// the history file itself.
+template <typename T>
+void Append(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+template <typename T>
+bool Read(std::string_view bytes, std::size_t* offset, T* value) {
+  if (bytes.size() - *offset < sizeof(T)) {
+    return false;
+  }
+  std::memcpy(value, bytes.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+std::string FrameAround(FrameKind kind, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return {};
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.append(kFrameMagic);
+  frame.push_back(static_cast<char>(kind));
+  frame.append(3, '\0');
+  Append<std::uint32_t>(&frame, static_cast<std::uint32_t>(payload.size()));
+  Append<std::uint32_t>(&frame, persist::Crc32(payload.data(), payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+// Shared header + CRC validation; on kOk, *payload is the verified payload.
+DecodeStatus OpenFrame(std::string_view frame, FrameKind expected_kind,
+                       std::string_view* payload) {
+  FrameKind kind{};
+  std::uint32_t length = 0;
+  const DecodeStatus status = PeekFrame(frame, &kind, &length);
+  if (status != DecodeStatus::kOk) {
+    return status;
+  }
+  if (kind != expected_kind) {
+    return DecodeStatus::kBadKind;
+  }
+  if (frame.size() < kFrameHeaderBytes + length) {
+    return DecodeStatus::kTruncated;
+  }
+  std::uint32_t crc = 0;
+  std::size_t offset = kFrameMagic.size() + 4;  // magic + kind + reserved
+  std::uint32_t declared_length = 0;
+  (void)Read(frame, &offset, &declared_length);
+  (void)Read(frame, &offset, &crc);
+  *payload = frame.substr(kFrameHeaderBytes, length);
+  if (persist::Crc32(payload->data(), payload->size()) != crc) {
+    return DecodeStatus::kBadCrc;
+  }
+  return DecodeStatus::kOk;
+}
+
+}  // namespace
+
+const char* DecodeStatusName(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kTruncated:
+      return "truncated frame";
+    case DecodeStatus::kBadMagic:
+      return "bad frame magic";
+    case DecodeStatus::kBadCrc:
+      return "payload CRC mismatch";
+    case DecodeStatus::kBadKind:
+      return "unexpected frame kind";
+    case DecodeStatus::kOversize:
+      return "frame exceeds hard bounds";
+    case DecodeStatus::kMalformed:
+      return "malformed payload";
+  }
+  return "unknown";
+}
+
+DecodeStatus PeekFrame(std::string_view bytes, FrameKind* kind, std::uint32_t* length) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return DecodeStatus::kTruncated;
+  }
+  if (bytes.substr(0, kFrameMagic.size()) != kFrameMagic) {
+    return DecodeStatus::kBadMagic;
+  }
+  const std::uint8_t raw_kind = static_cast<std::uint8_t>(bytes[kFrameMagic.size()]);
+  if (raw_kind != static_cast<std::uint8_t>(FrameKind::kDigest) &&
+      raw_kind != static_cast<std::uint8_t>(FrameKind::kDelta)) {
+    return DecodeStatus::kBadKind;
+  }
+  std::size_t offset = kFrameMagic.size() + 4;
+  std::uint32_t len = 0;
+  (void)Read(bytes, &offset, &len);
+  if (len > kMaxFramePayload) {
+    return DecodeStatus::kOversize;
+  }
+  *kind = static_cast<FrameKind>(raw_kind);
+  *length = len;
+  return DecodeStatus::kOk;
+}
+
+std::string EncodeDigestFrame(const std::vector<persist::DigestEntry>& digest) {
+  if (digest.size() > kMaxDigestEntries) {
+    return {};
+  }
+  std::string payload;
+  payload.reserve(4 + digest.size() * 10);
+  Append<std::uint32_t>(&payload, static_cast<std::uint32_t>(digest.size()));
+  for (const persist::DigestEntry& entry : digest) {
+    Append<std::uint64_t>(&payload, entry.hash);
+    Append<std::uint16_t>(&payload, entry.knob_epoch);
+  }
+  return FrameAround(FrameKind::kDigest, payload);
+}
+
+DecodeStatus DecodeDigestFrame(std::string_view frame,
+                               std::vector<persist::DigestEntry>* digest) {
+  std::string_view payload;
+  const DecodeStatus status = OpenFrame(frame, FrameKind::kDigest, &payload);
+  if (status != DecodeStatus::kOk) {
+    return status;
+  }
+  std::size_t offset = 0;
+  std::uint32_t count = 0;
+  if (!Read(payload, &offset, &count)) {
+    return DecodeStatus::kMalformed;
+  }
+  if (count > kMaxDigestEntries) {
+    return DecodeStatus::kOversize;
+  }
+  // The declared count must account for exactly the remaining bytes — a
+  // count/length mismatch is a framing bug, not salvageable data.
+  if (payload.size() - offset != static_cast<std::size_t>(count) * 10) {
+    return DecodeStatus::kMalformed;
+  }
+  digest->clear();
+  digest->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    persist::DigestEntry entry;
+    (void)Read(payload, &offset, &entry.hash);
+    (void)Read(payload, &offset, &entry.knob_epoch);
+    digest->push_back(entry);
+  }
+  return DecodeStatus::kOk;
+}
+
+std::string EncodeDeltaFrame(const Delta& delta) {
+  if (delta.image.records.size() > kMaxDigestEntries ||
+      delta.ages_ms.size() != delta.image.records.size()) {
+    return {};
+  }
+  std::string payload;
+  Append<std::uint32_t>(&payload, static_cast<std::uint32_t>(delta.image.records.size()));
+  for (const std::uint32_t age : delta.ages_ms) {
+    Append<std::uint32_t>(&payload, age);
+  }
+  payload.append(persist::EncodeSnapshotV2(delta.image));
+  return FrameAround(FrameKind::kDelta, payload);
+}
+
+DecodeStatus DecodeDeltaFrame(std::string_view frame, Delta* delta) {
+  std::string_view payload;
+  const DecodeStatus status = OpenFrame(frame, FrameKind::kDelta, &payload);
+  if (status != DecodeStatus::kOk) {
+    return status;
+  }
+  std::size_t offset = 0;
+  std::uint32_t count = 0;
+  if (!Read(payload, &offset, &count)) {
+    return DecodeStatus::kMalformed;
+  }
+  if (count > kMaxDigestEntries) {
+    return DecodeStatus::kOversize;
+  }
+  if (payload.size() - offset < static_cast<std::size_t>(count) * 4) {
+    return DecodeStatus::kTruncated;
+  }
+  delta->ages_ms.clear();
+  delta->ages_ms.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t age = 0;
+    (void)Read(payload, &offset, &age);
+    delta->ages_ms.push_back(age);
+  }
+  delta->image.records.clear();
+  persist::LoadResult result;
+  if (!persist::DecodeSnapshotV2(payload.substr(offset), &delta->image, &result) ||
+      result.records_dropped != 0 || delta->image.records.size() != count) {
+    // Strict: a network frame with any dropped record is rejected whole.
+    return DecodeStatus::kMalformed;
+  }
+  return DecodeStatus::kOk;
+}
+
+}  // namespace fleet
+}  // namespace dimmunix

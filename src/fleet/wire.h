@@ -1,0 +1,100 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Fleet wire format: the binary frames two dimmunixd daemons exchange after
+// the text command line of a sync round (docs/fleet.md has the full layout).
+//
+// Every frame is
+//
+//   u32 magic   "DFRM"
+//   u8  kind    1 = digest, 2 = delta
+//   u8  reserved[3]
+//   u32 length  payload bytes that follow the header
+//   u32 crc     CRC-32 (src/persist/format.h) of the payload
+//   payload...
+//
+// Digest payload:  u32 count, then count x { u64 signature_hash,
+//                  u16 knob_epoch } — the {hash -> epoch} set of one
+//                  history (persist::DigestOf order: sorted by hash).
+//
+// Delta payload:   u32 count, then count x u32 age_ms (milliseconds since
+//                  the *sender* first saw record i — ages accumulate across
+//                  gossip hops, which is what makes the receiver's
+//                  fleet_propagation_ms histogram end-to-end), then the
+//                  snapshot-v2 encoding (persist::EncodeSnapshotV2) of the
+//                  count records being shipped.
+//
+// Decoders are strict: a truncated frame, a CRC mismatch, an unknown kind,
+// or a count/length beyond the hard bounds below rejects the whole frame —
+// unlike the tolerant on-disk loaders, a damaged network frame is simply
+// re-requested by the next gossip round, so salvage buys nothing.
+
+#ifndef DIMMUNIX_FLEET_WIRE_H_
+#define DIMMUNIX_FLEET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/persist/image.h"
+
+namespace dimmunix {
+namespace fleet {
+
+inline constexpr std::string_view kFrameMagic = "DFRM";
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+enum class FrameKind : std::uint8_t {
+  kDigest = 1,
+  kDelta = 2,
+};
+
+// Hard bounds, enforced on both encode and decode. A digest entry is 10
+// bytes, so the digest cap also bounds memory; the payload cap bounds the
+// reserve() a hostile length field could otherwise trigger.
+inline constexpr std::uint32_t kMaxDigestEntries = 1u << 20;     // 1M signatures
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;     // 64 MiB
+
+// A delta plus its per-record propagation ages (parallel arrays:
+// ages_ms[i] belongs to image.records[i]).
+struct Delta {
+  persist::HistoryImage image;
+  std::vector<std::uint32_t> ages_ms;
+};
+
+// --- Encoding ---------------------------------------------------------------
+//
+// Returns the complete frame, or an empty string when the input exceeds the
+// hard bounds (a peer would reject it anyway; the caller should split).
+
+std::string EncodeDigestFrame(const std::vector<persist::DigestEntry>& digest);
+std::string EncodeDeltaFrame(const Delta& delta);
+
+// --- Decoding ---------------------------------------------------------------
+
+enum class DecodeStatus {
+  kOk,
+  kTruncated,   // fewer bytes than the header or the declared length
+  kBadMagic,
+  kBadCrc,
+  kBadKind,
+  kOversize,    // length or count beyond the hard bounds
+  kMalformed,   // payload structure inconsistent with its kind
+};
+
+const char* DecodeStatusName(DecodeStatus status);
+
+// Peeks a complete frame header at the front of `bytes`. On kOk, *length is
+// the payload size (so the whole frame is kFrameHeaderBytes + *length) and
+// *kind its kind. Header-only checks; the CRC is verified by the decoders.
+DecodeStatus PeekFrame(std::string_view bytes, FrameKind* kind, std::uint32_t* length);
+
+// Decode one complete frame (header + payload, exactly as encoded).
+DecodeStatus DecodeDigestFrame(std::string_view frame,
+                               std::vector<persist::DigestEntry>* digest);
+DecodeStatus DecodeDeltaFrame(std::string_view frame, Delta* delta);
+
+}  // namespace fleet
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_FLEET_WIRE_H_

@@ -63,7 +63,10 @@
 #include <mutex>
 #include <unordered_set>
 
+#include <cerrno>
+
 #include "src/common/spin_lock.h"
+#include "src/core/global_port.h"
 #include "src/core/runtime.h"
 #include "src/ipc/global_id.h"
 
@@ -215,6 +218,28 @@ dimmunix::LockId RwlockLockId(pthread_rwlock_t* rwlock) {
 // Shared adapter bodies: every wrapper is the same protocol run, modulo the
 // real function to call and the acquisition mode.
 
+// A robust mutex returning EOWNERDEAD *is* an acquisition: the previous
+// owner died holding it and the kernel handed it to us with the state
+// flagged inconsistent. Without this, the corpse's hold would sit in the
+// engine's owner map forever and every later waiter on this lock would
+// appear to close a cycle through a dead thread. The corpse is released
+// here only when it is a local registry thread — a dead *process*'s holds
+// on a pshared mutex are mirrored as foreign synthetic threads and
+// reclaimed by the IPC arena's liveness sweep, and reaping them twice
+// would race with it.
+void ReleaseCorpseHold(dimmunix::Runtime* runtime, dimmunix::LockId id) {
+  const dimmunix::ThreadId owner = runtime->engine().LockOwner(id);
+  if (owner == dimmunix::kInvalidThreadId || dimmunix::IsForeignThreadId(owner)) {
+    return;
+  }
+  runtime->engine().Release(owner, id);
+}
+
+// EOWNERDEAD and 0 both mean "caller now owns the lock" (the caller is
+// expected to repair the state and call pthread_mutex_consistent; either
+// way the hold is real and must be recorded).
+bool Acquired(int rc) { return rc == 0 || rc == EOWNERDEAD; }
+
 template <typename Primitive>
 int BlockingAcquire(dimmunix::Runtime* runtime, Primitive* primitive, dimmunix::LockId id,
                     int (*real)(Primitive*), dimmunix::AcquireMode mode) {
@@ -226,7 +251,10 @@ int BlockingAcquire(dimmunix::Runtime* runtime, Primitive* primitive, dimmunix::
   // A pthread acquisition cannot be cancelled, so the real lock can succeed
   // even after a kBroken grant rollback — Commit records the hold in every
   // decision state, and Cancel is a no-op unless a kGo edge is standing.
-  if (rc == 0) {
+  if (Acquired(rc)) {
+    if (rc == EOWNERDEAD) {
+      ReleaseCorpseHold(runtime, id);
+    }
     op.Commit();
   } else {
     op.Cancel();
@@ -247,7 +275,10 @@ int NonblockingAcquire(dimmunix::Runtime* runtime, Primitive* primitive, dimmuni
   tls_in_hook = false;
   const int rc = real(primitive);
   tls_in_hook = true;
-  if (rc == 0) {
+  if (Acquired(rc)) {
+    if (rc == EOWNERDEAD) {
+      ReleaseCorpseHold(runtime, id);
+    }
     op.Commit();
   } else {
     op.Cancel();  // §6 cancel event
@@ -277,7 +308,10 @@ int TimedAcquire(dimmunix::Runtime* runtime, Primitive* primitive, dimmunix::Loc
   tls_in_hook = false;
   const int rc = real(primitive, abstime);
   tls_in_hook = true;
-  if (rc == 0) {
+  if (Acquired(rc)) {
+    if (rc == EOWNERDEAD) {
+      ReleaseCorpseHold(runtime, id);
+    }
     op.Commit();  // recorded even after a kBroken rollback (see above)
   } else {
     op.Cancel();  // timeout rollback (§6)

@@ -31,6 +31,8 @@ const char* EventName(std::uint8_t type) {
       return "store_flush";
     case TraceEventType::kStoreCompact:
       return "store_compact";
+    case TraceEventType::kFleetSync:
+      return "fleet_sync";
     case TraceEventType::kNone:
       break;
   }
@@ -74,6 +76,11 @@ std::string EventArgs(const TraceEvent& e) {
       break;
     case TraceEventType::kStoreCompact:
       std::snprintf(buf, sizeof(buf), "{\"foreign_merged\":%" PRIu64 "}", e.data);
+      break;
+    case TraceEventType::kFleetSync:
+      std::snprintf(buf, sizeof(buf), "{\"peer\":%u,\"records_in\":%u,\"records_out\":%u}",
+                    e.aux, static_cast<std::uint32_t>(e.data >> 32),
+                    static_cast<std::uint32_t>(e.data));
       break;
     default:
       std::snprintf(buf, sizeof(buf), "{}");

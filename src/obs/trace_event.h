@@ -42,8 +42,10 @@ enum class TraceEventType : std::uint8_t {
   kBridgeFold = 7,     // one IPC bridge tick; data = edges folded/retired
   kStoreFlush = 8,     // one journal append; aux = signature index
   kStoreCompact = 9,   // one history compaction; data = foreign sigs merged
+  kFleetSync = 10,     // one dimmunixd gossip round; aux = peer index,
+                       // data = records_in << 32 | records_out
 };
-inline constexpr std::uint8_t kTraceEventTypeMax = 9;
+inline constexpr std::uint8_t kTraceEventTypeMax = 10;
 
 // aux value of a kCoverSearch that found no instantiation.
 inline constexpr std::uint16_t kNoMatchAux = 0xffff;

@@ -3,6 +3,9 @@
 #include "src/persist/image.h"
 
 #include <algorithm>
+#include <unordered_map>
+
+#include "src/common/hash.h"
 
 namespace dimmunix {
 namespace persist {
@@ -67,6 +70,95 @@ MergeStats MergeInto(HistoryImage* dst, const HistoryImage& src, MergePolicy pol
     }
   }
   return stats;
+}
+
+std::uint64_t SignatureHash(const SignatureRecord& rec) {
+  // Hash each stack independently, then fold the sorted per-stack hashes:
+  // the result is invariant under stack order, so callers never need to
+  // Canonicalize() first.
+  std::vector<std::uint64_t> stack_hashes;
+  stack_hashes.reserve(rec.stacks.size());
+  for (const std::vector<Frame>& stack : rec.stacks) {
+    stack_hashes.push_back(Fnv1a64(stack.data(), stack.size() * sizeof(Frame)));
+  }
+  std::sort(stack_hashes.begin(), stack_hashes.end());
+  std::uint64_t h = Fnv1a64(nullptr, 0);
+  h = HashCombine(h, stack_hashes.size());
+  for (const std::uint64_t sh : stack_hashes) {
+    h = HashCombine(h, sh);
+  }
+  return h;
+}
+
+std::vector<DigestEntry> DigestOf(const HistoryImage& image) {
+  std::vector<DigestEntry> digest;
+  digest.reserve(image.records.size());
+  for (const SignatureRecord& rec : image.records) {
+    digest.push_back({SignatureHash(rec), rec.knob_epoch});
+  }
+  std::sort(digest.begin(), digest.end(),
+            [](const DigestEntry& a, const DigestEntry& b) { return a.hash < b.hash; });
+  return digest;
+}
+
+HistoryImage DeltaAgainst(const HistoryImage& image, const std::vector<DigestEntry>& have) {
+  std::unordered_map<std::uint64_t, std::uint16_t> known;
+  known.reserve(have.size());
+  for (const DigestEntry& entry : have) {
+    // Duplicate hashes in a (malformed) digest: keep the newest epoch, so we
+    // never ship a record the peer already has at that epoch.
+    auto [it, inserted] = known.emplace(entry.hash, entry.knob_epoch);
+    if (!inserted && entry.knob_epoch > it->second) {
+      it->second = entry.knob_epoch;
+    }
+  }
+  HistoryImage delta;
+  for (const SignatureRecord& rec : image.records) {
+    const auto it = known.find(SignatureHash(rec));
+    if (it == known.end() || rec.knob_epoch > it->second) {
+      delta.records.push_back(rec);
+    }
+  }
+  return delta;
+}
+
+ImageDiff DiffImages(const HistoryImage& a, const HistoryImage& b) {
+  struct Knobs {
+    std::uint16_t epoch;
+    bool disabled;
+    std::int32_t depth;
+  };
+  std::unordered_map<std::uint64_t, Knobs> in_b;
+  in_b.reserve(b.records.size());
+  for (const SignatureRecord& rec : b.records) {
+    in_b[SignatureHash(rec)] = {rec.knob_epoch, rec.disabled, rec.match_depth};
+  }
+  ImageDiff diff;
+  for (const SignatureRecord& rec : a.records) {
+    const std::uint64_t hash = SignatureHash(rec);
+    const auto it = in_b.find(hash);
+    if (it == in_b.end()) {
+      diff.only_in_a.push_back(hash);
+      continue;
+    }
+    const Knobs& other = it->second;
+    if (other.epoch != rec.knob_epoch || other.disabled != rec.disabled ||
+        other.depth != rec.match_depth) {
+      diff.knob_differs.push_back({hash, rec.knob_epoch, other.epoch});
+    }
+    in_b.erase(it);  // what remains at the end exists only in b
+  }
+  for (const auto& [hash, knobs] : in_b) {
+    (void)knobs;
+    diff.only_in_b.push_back(hash);
+  }
+  std::sort(diff.only_in_a.begin(), diff.only_in_a.end());
+  std::sort(diff.only_in_b.begin(), diff.only_in_b.end());
+  std::sort(diff.knob_differs.begin(), diff.knob_differs.end(),
+            [](const ImageDiff::KnobDiff& x, const ImageDiff::KnobDiff& y) {
+              return x.hash < y.hash;
+            });
+  return diff;
 }
 
 }  // namespace persist

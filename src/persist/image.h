@@ -70,6 +70,47 @@ struct MergeStats {
 // Merges `src` into `dst` under `policy`.
 MergeStats MergeInto(HistoryImage* dst, const HistoryImage& src, MergePolicy policy);
 
+// --- Delta extraction (fleet gossip, history_tool diff) ----------------------
+//
+// Two histories compare by exchanging *digests*: one {hash, knob_epoch} pair
+// per signature. The hash is order-independent over the stack multiset (each
+// stack hashed separately, the per-stack hashes sorted, then combined), so
+// canonical and non-canonical copies of the same signature digest
+// identically in every process and on every host.
+
+std::uint64_t SignatureHash(const SignatureRecord& rec);
+
+struct DigestEntry {
+  std::uint64_t hash = 0;
+  std::uint16_t knob_epoch = 0;
+};
+
+// One entry per record, sorted by hash (deterministic wire encoding).
+std::vector<DigestEntry> DigestOf(const HistoryImage& image);
+
+// The records of `image` a peer holding `have` is missing — absent from the
+// digest entirely, or present with an older knob_epoch (the peer would learn
+// a newer operator action from our copy). This is what a gossip round ships.
+HistoryImage DeltaAgainst(const HistoryImage& image, const std::vector<DigestEntry>& have);
+
+// Field-level comparison for `history_tool diff`.
+struct ImageDiff {
+  std::vector<std::uint64_t> only_in_a;  // hashes present in a, absent in b
+  std::vector<std::uint64_t> only_in_b;
+  struct KnobDiff {
+    std::uint64_t hash = 0;
+    std::uint16_t epoch_a = 0;
+    std::uint16_t epoch_b = 0;
+  };
+  std::vector<KnobDiff> knob_differs;  // epoch / disabled / depth disagree
+
+  bool identical() const {
+    return only_in_a.empty() && only_in_b.empty() && knob_differs.empty();
+  }
+};
+
+ImageDiff DiffImages(const HistoryImage& a, const HistoryImage& b);
+
 }  // namespace persist
 }  // namespace dimmunix
 

@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "src/core/runtime.h"
+#include "src/fleet/daemon.h"
 #include "src/persist/file.h"
 #include "src/stack/annotation.h"
 
@@ -300,7 +301,8 @@ TEST(ProtocolExecuteTest, HelpListsEveryCommand) {
   EXPECT_EQ(reply.rfind("ok\n", 0), 0u);
   for (const char* cmd : {"status", "stats", "history", "disable", "enable", "disable-last",
                           "reload", "set-depth", "rag", "config", "trace start", "trace stop",
-                          "trace dump", "metrics", "histo"}) {
+                          "trace dump", "metrics", "histo", "fleet status", "fleet peers",
+                          "fleet push", "fleet pull", "fleet exec"}) {
     EXPECT_NE(reply.find(cmd), std::string::npos) << cmd;
   }
 }
@@ -411,6 +413,96 @@ TEST(ProtocolExecuteTest, TraceStartDumpStopRoundTrip) {
   EXPECT_NE(HandleLine(rt, "status").find("tracing=0\n"), std::string::npos);
   EXPECT_EQ(HandleLine(rt, "trace start"), "ok\ntracing=1\n");
   EXPECT_TRUE(rt.recorder().tracing());
+}
+
+TEST(ProtocolParseTest, FleetCommands) {
+  std::string error;
+  EXPECT_EQ(ParseRequest("fleet status", &error)->kind, CommandKind::kFleetStatus);
+  EXPECT_EQ(ParseRequest("fleet peers", &error)->kind, CommandKind::kFleetPeers);
+
+  const auto push = ParseRequest("fleet push 10.0.0.8:7077", &error);
+  ASSERT_TRUE(push.has_value());
+  EXPECT_EQ(push->kind, CommandKind::kFleetPush);
+  EXPECT_EQ(push->path, "10.0.0.8:7077");
+
+  const auto pull = ParseRequest("fleet pull hub:7077", &error);
+  ASSERT_TRUE(pull.has_value());
+  EXPECT_EQ(pull->kind, CommandKind::kFleetPull);
+  EXPECT_EQ(pull->path, "hub:7077");
+
+  // exec keeps the fanned-out command verbatim (normalized whitespace).
+  const auto exec = ParseRequest("fleet exec disable-last", &error);
+  ASSERT_TRUE(exec.has_value());
+  EXPECT_EQ(exec->kind, CommandKind::kFleetExec);
+  EXPECT_EQ(exec->rest, "disable-last");
+  const auto exec2 = ParseRequest("fleet exec  history   merge /tmp/v.hist", &error);
+  ASSERT_TRUE(exec2.has_value());
+  EXPECT_EQ(exec2->rest, "history merge /tmp/v.hist");
+
+  EXPECT_FALSE(ParseRequest("fleet", &error).has_value());
+  EXPECT_NE(error.find("usage: fleet"), std::string::npos);
+  EXPECT_FALSE(ParseRequest("fleet frobnicate", &error).has_value());
+  EXPECT_FALSE(ParseRequest("fleet status extra", &error).has_value());
+  EXPECT_FALSE(ParseRequest("fleet push", &error).has_value());   // missing addr
+  EXPECT_FALSE(ParseRequest("fleet pull a b", &error).has_value());  // extra arg
+  EXPECT_FALSE(ParseRequest("fleet exec", &error).has_value());   // missing command
+}
+
+TEST(ProtocolExecuteTest, FleetVerbsRequireAnAttachedDaemon) {
+  Runtime rt(TestConfig());  // no fleet_daemon configured
+  for (const char* line : {"fleet status", "fleet peers", "fleet push h:1", "fleet pull h:1",
+                           "fleet exec status"}) {
+    const std::string reply = HandleLine(rt, line);
+    EXPECT_EQ(reply.rfind("err no fleet daemon attached", 0), 0u) << line << ": " << reply;
+    EXPECT_NE(reply.find("DIMMUNIX_FLEET"), std::string::npos) << reply;
+  }
+  // And `status` simply omits the fleet= line rather than erroring.
+  EXPECT_EQ(HandleLine(rt, "status").find("fleet="), std::string::npos);
+}
+
+TEST(ProtocolExecuteTest, FleetVerbsProxyToTheAttachedDaemon) {
+  const std::string history =
+      (std::filesystem::temp_directory_path() /
+       ("proto_fleet_" + std::to_string(::getpid()) + ".hist"))
+          .string();
+  persist::RemoveHistoryFiles(history);
+  fleet::DaemonOptions options;
+  options.history_paths.push_back(history);
+  options.gossip_period = std::chrono::milliseconds(0);
+  fleet::Daemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  Config config = TestConfig();
+  config.fleet_daemon = daemon.listen_address();
+  Runtime rt(config);
+
+  const std::string reply = HandleLine(rt, "fleet status");
+  ASSERT_EQ(reply.rfind("ok\n", 0), 0u) << reply;
+  EXPECT_NE(reply.find("daemon=dimmunixd\n"), std::string::npos) << reply;
+
+  // `status` carries the condensed fleet= line when a daemon is attached.
+  const std::string status = HandleLine(rt, "status");
+  EXPECT_NE(status.find("fleet=" + daemon.listen_address() + ",peers=0"), std::string::npos)
+      << status;
+  // `config` reports the attachment.
+  EXPECT_NE(HandleLine(rt, "config").find("fleet_daemon=" + daemon.listen_address() + "\n"),
+            std::string::npos);
+
+  daemon.Stop();
+  persist::RemoveHistoryFiles(history);
+}
+
+TEST(ProtocolExecuteTest, UnreachableFleetDaemonDegradesGracefully) {
+  Config config = TestConfig();
+  config.fleet_daemon = "127.0.0.1:1";  // nothing listens there
+  Runtime rt(config);
+  EXPECT_EQ(HandleLine(rt, "fleet peers").rfind("err fleet daemon 127.0.0.1:1 unreachable", 0),
+            0u);
+  // `status` must not fail outright when the daemon is down.
+  const std::string status = HandleLine(rt, "status");
+  EXPECT_EQ(status.rfind("ok\n", 0), 0u);
+  EXPECT_NE(status.find("fleet=unreachable(127.0.0.1:1)\n"), std::string::npos) << status;
 }
 
 TEST(ProtocolExecuteTest, HistoReadoutAndUnknownName) {

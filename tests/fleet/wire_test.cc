@@ -1,0 +1,195 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Tests for the fleet wire format: digest/delta frame round-trips and the
+// strict decoder's rejection paths (truncation, CRC damage, bad magic/kind,
+// oversize counts). A daemon feeds every byte a peer sends through these
+// decoders, so "reject, don't salvage" is load-bearing for robustness.
+
+#include "src/fleet/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/persist/format.h"
+
+namespace dimmunix {
+namespace fleet {
+namespace {
+
+persist::SignatureRecord MakeRecord(std::uint64_t seed, std::uint16_t epoch = 0) {
+  persist::SignatureRecord rec;
+  rec.knob_epoch = epoch;
+  rec.match_depth = 4;
+  rec.stacks.push_back({Frame{seed * 31 + 1}, Frame{seed * 31 + 2}});
+  rec.stacks.push_back({Frame{seed * 97 + 5}});
+  rec.Canonicalize();
+  return rec;
+}
+
+TEST(WireTest, DigestRoundTrip) {
+  std::vector<persist::DigestEntry> digest = {
+      {0x1111222233334444ull, 3},
+      {0xFFFFFFFFFFFFFFFFull, 0},
+      {0x0000000000000001ull, 65535},
+  };
+  const std::string frame = EncodeDigestFrame(digest);
+  ASSERT_FALSE(frame.empty());
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes + 4 + digest.size() * 10);
+
+  FrameKind kind{};
+  std::uint32_t length = 0;
+  ASSERT_EQ(PeekFrame(frame, &kind, &length), DecodeStatus::kOk);
+  EXPECT_EQ(kind, FrameKind::kDigest);
+  EXPECT_EQ(kFrameHeaderBytes + length, frame.size());
+
+  std::vector<persist::DigestEntry> decoded;
+  ASSERT_EQ(DecodeDigestFrame(frame, &decoded), DecodeStatus::kOk);
+  ASSERT_EQ(decoded.size(), digest.size());
+  for (std::size_t i = 0; i < digest.size(); ++i) {
+    EXPECT_EQ(decoded[i].hash, digest[i].hash);
+    EXPECT_EQ(decoded[i].knob_epoch, digest[i].knob_epoch);
+  }
+}
+
+TEST(WireTest, EmptyDigestRoundTrip) {
+  const std::string frame = EncodeDigestFrame({});
+  ASSERT_FALSE(frame.empty());
+  std::vector<persist::DigestEntry> decoded = {{1, 1}};
+  ASSERT_EQ(DecodeDigestFrame(frame, &decoded), DecodeStatus::kOk);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(WireTest, DeltaRoundTrip) {
+  Delta delta;
+  delta.image.records.push_back(MakeRecord(1, /*epoch=*/2));
+  delta.image.records.push_back(MakeRecord(2, /*epoch=*/0));
+  delta.image.records[1].disabled = true;
+  delta.image.records[1].avoidance_count = 42;
+  delta.ages_ms = {120, 98000};
+
+  const std::string frame = EncodeDeltaFrame(delta);
+  ASSERT_FALSE(frame.empty());
+
+  Delta decoded;
+  ASSERT_EQ(DecodeDeltaFrame(frame, &decoded), DecodeStatus::kOk);
+  ASSERT_EQ(decoded.image.records.size(), 2u);
+  ASSERT_EQ(decoded.ages_ms, delta.ages_ms);
+  EXPECT_TRUE(decoded.image.records[0].SameSignatureAs(delta.image.records[0]));
+  EXPECT_TRUE(decoded.image.records[1].SameSignatureAs(delta.image.records[1]));
+  EXPECT_EQ(decoded.image.records[0].knob_epoch, 2);
+  EXPECT_TRUE(decoded.image.records[1].disabled);
+  EXPECT_EQ(decoded.image.records[1].avoidance_count, 42u);
+}
+
+TEST(WireTest, EmptyDeltaRoundTrip) {
+  // Pull-only rounds ship an empty delta; it must be a valid frame.
+  const std::string frame = EncodeDeltaFrame(Delta{});
+  ASSERT_FALSE(frame.empty());
+  Delta decoded;
+  decoded.ages_ms = {7};
+  ASSERT_EQ(DecodeDeltaFrame(frame, &decoded), DecodeStatus::kOk);
+  EXPECT_TRUE(decoded.image.records.empty());
+  EXPECT_TRUE(decoded.ages_ms.empty());
+}
+
+TEST(WireTest, TruncatedFramesRejected) {
+  const std::string frame = EncodeDigestFrame({{0xAB, 1}});
+  // Every proper prefix must be rejected, never crash or accept.
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const std::string_view prefix(frame.data(), len);
+    std::vector<persist::DigestEntry> decoded;
+    EXPECT_EQ(DecodeDigestFrame(prefix, &decoded), DecodeStatus::kTruncated)
+        << "prefix length " << len;
+  }
+}
+
+TEST(WireTest, EveryFlippedByteIsRejected) {
+  Delta delta;
+  delta.image.records.push_back(MakeRecord(9));
+  delta.ages_ms = {1};
+  const std::string frame = EncodeDeltaFrame(delta);
+  // Flip one bit in each byte: the decoder must reject every variant (the
+  // specific status depends on which field was hit). Bytes 5..7 are the
+  // reserved header pad, deliberately not validated (forward compatibility),
+  // so they are skipped.
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    if (i >= 5 && i <= 7) {
+      continue;
+    }
+    std::string damaged = frame;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x20);
+    Delta decoded;
+    EXPECT_NE(DecodeDeltaFrame(damaged, &decoded), DecodeStatus::kOk) << "byte " << i;
+  }
+}
+
+TEST(WireTest, BadCrcRejected) {
+  std::string frame = EncodeDigestFrame({{0x1234, 0}});
+  frame[frame.size() - 1] = static_cast<char>(frame[frame.size() - 1] ^ 0xFF);
+  std::vector<persist::DigestEntry> decoded;
+  EXPECT_EQ(DecodeDigestFrame(frame, &decoded), DecodeStatus::kBadCrc);
+}
+
+TEST(WireTest, BadMagicRejected) {
+  std::string frame = EncodeDigestFrame({});
+  frame[0] = 'X';
+  FrameKind kind{};
+  std::uint32_t length = 0;
+  EXPECT_EQ(PeekFrame(frame, &kind, &length), DecodeStatus::kBadMagic);
+}
+
+TEST(WireTest, KindMismatchRejected) {
+  // A digest frame handed to the delta decoder (and vice versa) must fail
+  // cleanly — the sync protocol fixes which frame comes when.
+  const std::string digest = EncodeDigestFrame({{0x77, 1}});
+  Delta delta_out;
+  EXPECT_EQ(DecodeDeltaFrame(digest, &delta_out), DecodeStatus::kBadKind);
+
+  Delta delta;
+  delta.image.records.push_back(MakeRecord(3));
+  delta.ages_ms = {0};
+  std::vector<persist::DigestEntry> digest_out;
+  EXPECT_EQ(DecodeDigestFrame(EncodeDeltaFrame(delta), &digest_out),
+            DecodeStatus::kBadKind);
+}
+
+TEST(WireTest, OversizeCountRejected) {
+  // Forge a digest frame claiming kMaxDigestEntries+1 entries, with a valid
+  // CRC, so the oversize bound (not the CRC) is what rejects it — the bound
+  // must hold even against a "well-formed" hostile frame.
+  std::string frame = EncodeDigestFrame({{1, 1}});
+  const std::uint32_t count = kMaxDigestEntries + 1;
+  std::memcpy(&frame[kFrameHeaderBytes], &count, sizeof(count));
+  const std::uint32_t crc = persist::Crc32(frame.data() + kFrameHeaderBytes,
+                                           frame.size() - kFrameHeaderBytes);
+  std::memcpy(&frame[kFrameHeaderBytes - sizeof(crc)], &crc, sizeof(crc));
+  std::vector<persist::DigestEntry> decoded;
+  EXPECT_EQ(DecodeDigestFrame(frame, &decoded), DecodeStatus::kOversize);
+
+  // And the encoder refuses to build one in the first place.
+  std::vector<persist::DigestEntry> huge(kMaxDigestEntries + 1);
+  EXPECT_TRUE(EncodeDigestFrame(huge).empty());
+}
+
+TEST(WireTest, DeltaCountAgeMismatchRejected) {
+  // ages_ms and records must stay parallel end to end; an encoder bug that
+  // breaks that must not produce a decodable frame.
+  Delta delta;
+  delta.image.records.push_back(MakeRecord(5));
+  delta.ages_ms = {1, 2};  // one record, two ages
+  EXPECT_TRUE(EncodeDeltaFrame(delta).empty());
+}
+
+TEST(WireTest, DecodeStatusNamesAreStable) {
+  EXPECT_STREQ(DecodeStatusName(DecodeStatus::kOk), "ok");
+  EXPECT_STREQ(DecodeStatusName(DecodeStatus::kBadCrc), "payload CRC mismatch");
+  EXPECT_STREQ(DecodeStatusName(DecodeStatus::kTruncated), "truncated frame");
+}
+
+}  // namespace
+}  // namespace fleet
+}  // namespace dimmunix

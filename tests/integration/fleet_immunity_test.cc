@@ -1,0 +1,170 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Fleet-scale immunity, end to end: a deadlock signature archived on "host
+// A" travels  daemon A -> gossip -> daemon B -> B's history file ->
+// live-resync -> a running Runtime attached to B's file  — which then
+// *avoids* the deadlock pattern it never saw locally. The reverse direction
+// (an operator disabling the signature on A) must propagate the same way
+// and switch avoidance back off. `history_tool diff` is the convergence
+// check, exactly as CI's fleet-smoke lane uses it.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "src/core/runtime.h"
+#include "src/fleet/daemon.h"
+#include "src/persist/file.h"
+#include "src/stack/annotation.h"
+
+namespace dimmunix {
+namespace {
+
+// Exit code of `history_tool diff <a> <b>` (0 identical, 1 differs).
+int DiffExit(const std::string& a, const std::string& b) {
+  const std::string cmd =
+      std::string(HISTORY_TOOL_PATH) + " diff " + a + " " + b + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+bool WaitFor(const std::function<bool()>& pred,
+             std::chrono::seconds timeout = std::chrono::seconds(60)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+class FleetImmunityTest : public ::testing::Test {
+ protected:
+  std::string TempHistory(const char* tag) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("dimx_fleetimm_" + std::string(tag) + "_" + std::to_string(::getpid())))
+            .string();
+    persist::RemoveHistoryFiles(path);
+    cleanup_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : cleanup_) {
+      persist::RemoveHistoryFiles(path);
+    }
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(FleetImmunityTest, SignatureGossipedFromPeerIsAvoidedByLiveRuntime) {
+  const std::string history_a = TempHistory("a");
+  const std::string history_b = TempHistory("b");
+
+  // "Host A" archived a deadlock between the fleetHold and fleetReq call
+  // sites (what an escape + BreakVictim would have written there).
+  persist::SignatureRecord sig;
+  sig.match_depth = 1;
+  sig.stacks.push_back({FrameFromName("fleetHold")});
+  sig.stacks.push_back({FrameFromName("fleetReq")});
+  sig.Canonicalize();
+  persist::HistoryImage seed;
+  seed.records.push_back(sig);
+  std::string error;
+  ASSERT_TRUE(persist::SaveHistoryFile(history_a, seed, &error)) << error;
+
+  // Files differ before any gossip (diff(1) convention: exit 1).
+  ASSERT_EQ(DiffExit(history_a, history_b), 3) << "b does not exist yet";
+
+  fleet::DaemonOptions options_a;
+  options_a.history_paths.push_back(history_a);
+  options_a.gossip_period = std::chrono::milliseconds(0);  // serve-only
+  fleet::Daemon daemon_a(options_a);
+  ASSERT_TRUE(daemon_a.Start(&error)) << error;
+
+  fleet::DaemonOptions options_b;
+  options_b.history_paths.push_back(history_b);
+  options_b.peers.push_back(daemon_a.listen_address());
+  options_b.gossip_period = std::chrono::milliseconds(25);
+  fleet::Daemon daemon_b(options_b);
+  ASSERT_TRUE(daemon_b.Start(&error)) << error;
+
+  // A runtime on "host B", attached to B's history file with live resync on
+  // — the application end of the propagation pipeline.
+  Config config;
+  config.start_monitor = false;
+  config.history_path = history_b;
+  config.history_resync_period = std::chrono::milliseconds(25);
+  Runtime rt(config);
+  ASSERT_EQ(rt.history().size(), 0u);
+
+  // Gossip + resync deliver the signature into the live runtime.
+  ASSERT_TRUE(WaitFor([&] { return rt.history().size() == 1; }))
+      << "signature never reached the live runtime";
+  ASSERT_TRUE(WaitFor([&] { return DiffExit(history_a, history_b) == 0; }))
+      << "history files never converged";
+
+  // The runtime now *avoids* the pattern: holding 500 at fleetHold makes a
+  // nonblocking request at fleetReq yield (kBusy), though 600 is free.
+  const ThreadId main_tid = rt.RegisterCurrentThread();
+  const auto probe = [&rt](ThreadId holder) {
+    RequestDecision decision = RequestDecision::kGo;
+    {
+      ScopedFrame hold(FrameFromName("fleetHold"));
+      EXPECT_EQ(rt.engine().Request(holder, 500), RequestDecision::kGo);
+      rt.engine().Acquired(holder, 500);
+      std::thread other([&] {
+        const ThreadId tid = rt.RegisterCurrentThread();
+        ScopedFrame req(FrameFromName("fleetReq"));
+        decision = rt.engine().RequestNonblocking(tid, 600);
+        if (decision == RequestDecision::kGo) {
+          rt.engine().Acquired(tid, 600);
+          rt.engine().Release(tid, 600);
+        }
+      });
+      other.join();
+    }
+    rt.engine().Release(holder, 500);
+    return decision;
+  };
+  EXPECT_EQ(probe(main_tid), RequestDecision::kBusy)
+      << "gossiped signature was not avoided";
+  EXPECT_GE(rt.history().Get(0).avoidance_count, 1u);
+
+  // The propagation metric recorded the hop on B's side.
+  const std::string status = daemon_b.HandleCommandLine("fleet status");
+  EXPECT_EQ(status.find("propagation_count=0\n"), std::string::npos) << status;
+
+  // Now the operator on host A disables the signature (false positive, §5.7
+  // pop-up blocker). The knob-epoch bump must win fleet-wide and reach the
+  // live runtime, which stops avoiding.
+  persist::SignatureRecord disabled_sig = sig;
+  disabled_sig.disabled = true;
+  disabled_sig.knob_epoch = 1;
+  persist::HistoryImage knob_change;
+  knob_change.records.push_back(disabled_sig);
+  ASSERT_TRUE(persist::MergeIntoFile(history_a, knob_change));
+
+  ASSERT_TRUE(WaitFor([&] {
+    return rt.history().size() == 1 && rt.history().Get(0).disabled;
+  })) << "disable knob never reached the live runtime";
+  EXPECT_EQ(probe(main_tid), RequestDecision::kGo)
+      << "disabled signature must not be avoided";
+
+  daemon_b.Stop();
+  daemon_a.Stop();
+}
+
+}  // namespace
+}  // namespace dimmunix

@@ -41,6 +41,9 @@ namespace {
 #ifndef CONDVAR_VICTIM_PATH
 #define CONDVAR_VICTIM_PATH ""
 #endif
+#ifndef ROBUST_VICTIM_PATH
+#define ROBUST_VICTIM_PATH ""
+#endif
 
 TrialResult RunVictimBinary(const char* victim, const std::string& history) {
   return RunTrial(
@@ -205,6 +208,40 @@ TEST(PreloadTest, CondWaitReleasesTheMutexInTheOwnerMap) {
       << "the signal/reacquire path must still work under interposition";
   std::filesystem::remove(socket_path);
   std::filesystem::remove(out_path);
+}
+
+TEST(PreloadTest, RobustMutexOwnerDeathRecoversUnderTheShim) {
+  // Regression for EOWNERDEAD handling: the victim's holder dies (a thread
+  // exits holding a robust mutex; a forked child SIGKILLs itself holding a
+  // robust+pshared one). The next lock returns EOWNERDEAD — a *successful*
+  // acquisition. The wrapper must commit it, reap the corpse's engine-side
+  // hold, and hand EOWNERDEAD through unchanged so the app can run
+  // pthread_mutex_consistent. A leaked hold would make the victim's relock
+  // hang until the 3 s harness timeout reports a deadlock.
+  ASSERT_TRUE(std::filesystem::exists(PRELOAD_SO_PATH));
+  ASSERT_TRUE(std::filesystem::exists(ROBUST_VICTIM_PATH));
+  const std::string history =
+      (std::filesystem::temp_directory_path() /
+       ("preload_robust_" + std::to_string(::getpid()) + ".hist"))
+          .string();
+  persist::RemoveHistoryFiles(history);
+
+  TrialResult result = RunVictimBinary(ROBUST_VICTIM_PATH, history);
+  EXPECT_TRUE(result.completed) << "robust victim must complete under the shim";
+  EXPECT_EQ(result.exit_code, 0);
+  persist::RemoveHistoryFiles(history);
+
+  // Control: the same binary without the shim behaves identically, i.e. the
+  // victim itself is a valid robust-mutex program, not a shim artifact.
+  TrialResult bare = RunTrial(
+      [&] {
+        unsetenv("LD_PRELOAD");
+        execl(ROBUST_VICTIM_PATH, ROBUST_VICTIM_PATH, static_cast<char*>(nullptr));
+        return 127;
+      },
+      std::chrono::seconds(3));
+  EXPECT_TRUE(bare.completed);
+  EXPECT_EQ(bare.exit_code, 0);
 }
 
 TEST(PreloadTest, ShimIsHarmlessOnDeadlockFreePrograms) {

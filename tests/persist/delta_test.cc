@@ -1,0 +1,162 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// Tests for the delta-extraction layer fleet gossip is built on:
+// order-independent signature hashing, sorted digests, DeltaAgainst's
+// missing/newer-epoch selection, and DiffImages (history_tool diff).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/persist/image.h"
+
+namespace dimmunix {
+namespace persist {
+namespace {
+
+// A record whose stack multiset is derived from `seed` — distinct seeds give
+// distinct signatures, same seed (in any stack order) the same signature.
+SignatureRecord MakeRecord(std::uint64_t seed, std::uint16_t epoch = 0,
+                           bool disabled = false) {
+  SignatureRecord rec;
+  rec.knob_epoch = epoch;
+  rec.disabled = disabled;
+  rec.stacks.push_back({Frame{seed * 31 + 1}, Frame{seed * 31 + 2}});
+  rec.stacks.push_back({Frame{seed * 97 + 5}});
+  return rec;
+}
+
+TEST(DeltaTest, SignatureHashIgnoresStackOrder) {
+  SignatureRecord forward = MakeRecord(7);
+  SignatureRecord reversed = forward;
+  std::reverse(reversed.stacks.begin(), reversed.stacks.end());
+  EXPECT_EQ(SignatureHash(forward), SignatureHash(reversed));
+
+  // Canonicalization must not change the hash either.
+  SignatureRecord canonical = reversed;
+  canonical.Canonicalize();
+  EXPECT_EQ(SignatureHash(forward), SignatureHash(canonical));
+}
+
+TEST(DeltaTest, SignatureHashSeparatesDistinctSignatures) {
+  EXPECT_NE(SignatureHash(MakeRecord(1)), SignatureHash(MakeRecord(2)));
+  // Frame order *within* one stack is significant (different call path).
+  SignatureRecord rec = MakeRecord(3);
+  SignatureRecord swapped = rec;
+  std::swap(swapped.stacks[0][0], swapped.stacks[0][1]);
+  EXPECT_NE(SignatureHash(rec), SignatureHash(swapped));
+}
+
+TEST(DeltaTest, SignatureHashIgnoresKnobsAndCounters) {
+  // The hash is identity, not state: knob/counter changes must not fork it.
+  SignatureRecord rec = MakeRecord(4);
+  SignatureRecord tweaked = rec;
+  tweaked.knob_epoch = 9;
+  tweaked.disabled = true;
+  tweaked.match_depth = 1;
+  tweaked.avoidance_count = 1000;
+  EXPECT_EQ(SignatureHash(rec), SignatureHash(tweaked));
+}
+
+TEST(DeltaTest, DigestOfIsSortedAndCarriesEpochs) {
+  HistoryImage image;
+  image.records.push_back(MakeRecord(11, /*epoch=*/3));
+  image.records.push_back(MakeRecord(5, /*epoch=*/1));
+  image.records.push_back(MakeRecord(29, /*epoch=*/7));
+
+  const std::vector<DigestEntry> digest = DigestOf(image);
+  ASSERT_EQ(digest.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(digest.begin(), digest.end(),
+                             [](const DigestEntry& a, const DigestEntry& b) {
+                               return a.hash < b.hash;
+                             }));
+  for (const SignatureRecord& rec : image.records) {
+    const std::uint64_t hash = SignatureHash(rec);
+    const auto it = std::find_if(digest.begin(), digest.end(),
+                                 [&](const DigestEntry& e) { return e.hash == hash; });
+    ASSERT_NE(it, digest.end());
+    EXPECT_EQ(it->knob_epoch, rec.knob_epoch);
+  }
+}
+
+TEST(DeltaTest, DeltaAgainstShipsMissingAndNewerEpochRecords) {
+  HistoryImage mine;
+  mine.records.push_back(MakeRecord(1, /*epoch=*/0));  // peer has it, same epoch
+  mine.records.push_back(MakeRecord(2, /*epoch=*/5));  // peer has epoch 2 -> ship
+  mine.records.push_back(MakeRecord(3, /*epoch=*/0));  // peer missing -> ship
+  mine.records.push_back(MakeRecord(4, /*epoch=*/1));  // peer has epoch 8 -> keep
+
+  HistoryImage theirs;
+  theirs.records.push_back(MakeRecord(1, /*epoch=*/0));
+  theirs.records.push_back(MakeRecord(2, /*epoch=*/2));
+  theirs.records.push_back(MakeRecord(4, /*epoch=*/8));
+
+  const HistoryImage delta = DeltaAgainst(mine, DigestOf(theirs));
+  ASSERT_EQ(delta.records.size(), 2u);
+  std::vector<std::uint64_t> shipped;
+  for (const SignatureRecord& rec : delta.records) {
+    shipped.push_back(SignatureHash(rec));
+  }
+  EXPECT_NE(std::find(shipped.begin(), shipped.end(), SignatureHash(MakeRecord(2))),
+            shipped.end());
+  EXPECT_NE(std::find(shipped.begin(), shipped.end(), SignatureHash(MakeRecord(3))),
+            shipped.end());
+}
+
+TEST(DeltaTest, DeltaAgainstEmptyDigestShipsEverything) {
+  HistoryImage mine;
+  mine.records.push_back(MakeRecord(1));
+  mine.records.push_back(MakeRecord(2));
+  EXPECT_EQ(DeltaAgainst(mine, {}).records.size(), 2u);
+  EXPECT_TRUE(DeltaAgainst(HistoryImage{}, {}).records.empty());
+}
+
+TEST(DeltaTest, DiffImagesClassifiesDifferences) {
+  HistoryImage a;
+  a.records.push_back(MakeRecord(1, /*epoch=*/0));
+  a.records.push_back(MakeRecord(2, /*epoch=*/3));
+  a.records.push_back(MakeRecord(3, /*epoch=*/0));
+
+  HistoryImage b;
+  b.records.push_back(MakeRecord(1, /*epoch=*/0));
+  b.records.push_back(MakeRecord(2, /*epoch=*/4));
+  b.records.push_back(MakeRecord(4, /*epoch=*/0));
+
+  const ImageDiff diff = DiffImages(a, b);
+  EXPECT_FALSE(diff.identical());
+  ASSERT_EQ(diff.only_in_a.size(), 1u);
+  EXPECT_EQ(diff.only_in_a[0], SignatureHash(MakeRecord(3)));
+  ASSERT_EQ(diff.only_in_b.size(), 1u);
+  EXPECT_EQ(diff.only_in_b[0], SignatureHash(MakeRecord(4)));
+  ASSERT_EQ(diff.knob_differs.size(), 1u);
+  EXPECT_EQ(diff.knob_differs[0].hash, SignatureHash(MakeRecord(2)));
+  EXPECT_EQ(diff.knob_differs[0].epoch_a, 3);
+  EXPECT_EQ(diff.knob_differs[0].epoch_b, 4);
+}
+
+TEST(DeltaTest, DiffImagesFlagsDisabledMismatchAtEqualEpoch) {
+  // Same epoch but diverged knobs (possible after an epoch wrap or a manual
+  // edit) must still show as a difference — diff is about convergence.
+  HistoryImage a;
+  a.records.push_back(MakeRecord(1, /*epoch=*/2, /*disabled=*/false));
+  HistoryImage b;
+  b.records.push_back(MakeRecord(1, /*epoch=*/2, /*disabled=*/true));
+  const ImageDiff diff = DiffImages(a, b);
+  ASSERT_EQ(diff.knob_differs.size(), 1u);
+  EXPECT_FALSE(diff.identical());
+}
+
+TEST(DeltaTest, DiffImagesIdentical) {
+  HistoryImage a;
+  a.records.push_back(MakeRecord(1, /*epoch=*/2));
+  HistoryImage b = a;
+  // Stack order must not matter for diff either.
+  std::reverse(b.records[0].stacks.begin(), b.records[0].stacks.end());
+  EXPECT_TRUE(DiffImages(a, b).identical());
+  EXPECT_TRUE(DiffImages(HistoryImage{}, HistoryImage{}).identical());
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace dimmunix

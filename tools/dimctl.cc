@@ -6,10 +6,14 @@
 //   dimctl -s /tmp/app.sock history
 //   dimctl -s /tmp/app.sock disable-last
 //   DIMMUNIX_CONTROL=/tmp/app.sock dimctl reload
+//   dimctl --target 10.0.0.7:7077 fleet status
 //
 // The socket path comes from -s/--socket or the DIMMUNIX_CONTROL environment
 // variable — the same variable that makes an LD_PRELOAD'ed target process
 // open the socket, so an operator can drive both sides with one setting.
+// -t/--target host:port speaks the same line protocol over TCP to a
+// dimmunixd daemon (tools/dimmunixd.cc) — possibly on another machine —
+// instead of a local UNIX socket; $DIMMUNIX_FLEET is the default target.
 //
 // Protocol (src/control/protocol.h): one request line per connection; the
 // reply's first line is "ok" or "err <reason>". dimctl prints the payload
@@ -28,15 +32,20 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "src/control/protocol.h"
+#include "src/fleet/net.h"
 #include "src/obs/export.h"
 
 namespace {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: dimctl [-s SOCKET] COMMAND [ARGS...]\n"
-               "       (socket defaults to $DIMMUNIX_CONTROL)\n\ncommands:\n%s"
+               "usage: dimctl [-s SOCKET | -t HOST:PORT] COMMAND [ARGS...]\n"
+               "       (socket defaults to $DIMMUNIX_CONTROL; -t speaks TCP to a\n"
+               "        dimmunixd daemon instead)\n"
+               "\ncommands:\n%s"
                "trace merge <out> <in...>  merge per-process trace dumps (local, no socket)\n",
                dimmunix::control::HelpText().c_str());
 }
@@ -100,10 +109,33 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
+// Shared exit protocol: payload to stdout and 0 on "ok", full reply to
+// stderr and 2 on "err".
+int PrintReply(const std::string& reply) {
+  const bool ok = reply.rfind("ok", 0) == 0 && (reply.size() == 2 || reply[2] == '\n');
+  if (ok) {
+    const std::size_t payload = reply.find('\n');
+    const std::string body =
+        payload == std::string::npos ? std::string() : reply.substr(payload + 1);
+    if (body.empty()) {
+      std::printf("ok\n");
+    } else {
+      std::fputs(body.c_str(), stdout);
+    }
+    return 0;
+  }
+  std::fputs(reply.c_str(), stderr);
+  if (!reply.empty() && reply.back() != '\n') {
+    std::fputc('\n', stderr);
+  }
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string target;
   if (const char* env = std::getenv("DIMMUNIX_CONTROL"); env != nullptr) {
     socket_path = env;
   }
@@ -112,6 +144,9 @@ int main(int argc, char** argv) {
     const std::string flag = argv[arg];
     if ((flag == "-s" || flag == "--socket") && arg + 1 < argc) {
       socket_path = argv[arg + 1];
+      arg += 2;
+    } else if ((flag == "-t" || flag == "--target") && arg + 1 < argc) {
+      target = argv[arg + 1];
       arg += 2;
     } else if (flag == "-h" || flag == "--help") {
       Usage();
@@ -145,8 +180,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!target.empty()) {
+    std::string reply;
+    std::string error;
+    if (!dimmunix::fleet::QueryTcp(target, request, std::chrono::seconds(10), &reply, &error)) {
+      std::fprintf(stderr, "dimctl: %s: %s\n", target.c_str(), error.c_str());
+      return 1;
+    }
+    return PrintReply(reply);
+  }
   if (socket_path.empty()) {
-    std::fprintf(stderr, "dimctl: no socket (use -s or set DIMMUNIX_CONTROL)\n");
+    std::fprintf(stderr, "dimctl: no socket (use -s/--target or set DIMMUNIX_CONTROL)\n");
     return 1;
   }
   const int fd = Connect(socket_path);
@@ -178,22 +222,5 @@ int main(int argc, char** argv) {
     reply.append(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);
-
-  const bool ok = reply.rfind("ok", 0) == 0 && (reply.size() == 2 || reply[2] == '\n');
-  if (ok) {
-    const std::size_t payload = reply.find('\n');
-    const std::string body =
-        payload == std::string::npos ? std::string() : reply.substr(payload + 1);
-    if (body.empty()) {
-      std::printf("ok\n");
-    } else {
-      std::fputs(body.c_str(), stdout);
-    }
-    return 0;
-  }
-  std::fputs(reply.c_str(), stderr);
-  if (!reply.empty() && reply.back() != '\n') {
-    std::fputc('\n', stderr);
-  }
-  return 2;
+  return PrintReply(reply);
 }

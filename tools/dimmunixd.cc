@@ -1,0 +1,131 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// dimmunixd — the fleet signature-exchange daemon (src/fleet/daemon.h).
+//
+//   dimmunixd --history /var/lib/dimmunix/history
+//             --listen 0.0.0.0:7077
+//             --peer 10.0.0.8:7077 --peer 10.0.0.9:7077
+//             --allow 10.0.0.8 --allow 10.0.0.9
+//             --gossip-ms 1000
+//
+// One daemon per host watches the host's history file(s) and gossips deltas
+// with its peers; a deadlock escaped anywhere in the fleet becomes an
+// avoidable signature everywhere within a gossip period (plus the
+// applications' DIMMUNIX_RESYNC_MS). Runs in the foreground; SIGINT/SIGTERM
+// shut it down cleanly. Drive it with `dimctl --target host:port ...`.
+//
+// The protocol is plaintext and unauthenticated: keep --listen on loopback
+// or a trusted lab network, and allow-list every peer explicitly (loopback
+// is always allowed; everything else is rejected unless named by --allow).
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/fleet/daemon.h"
+#include "src/fleet/net.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: dimmunixd --history FILE [--history FILE...]\n"
+               "                 [--listen HOST:PORT]   (default 127.0.0.1:7077)\n"
+               "                 [--peer HOST:PORT...]  (gossip peer set)\n"
+               "                 [--allow IP...]        (non-loopback sources to accept)\n"
+               "                 [--gossip-ms N]        (default 1000; 0 = serve only)\n"
+               "                 [--io-timeout-ms N]    (default 5000)\n"
+               "                 [--trace]              (arm the flight recorder)\n");
+}
+
+bool NumberArg(const char* value, long* out) {
+  char* end = nullptr;
+  *out = std::strtol(value, &end, 10);
+  return end != value && *end == '\0' && *out >= 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dimmunix::fleet::DaemonOptions options;
+  options.listen_port = 7077;
+  std::string listen = "127.0.0.1:7077";
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (flag == "--history" && has_value) {
+      options.history_paths.emplace_back(argv[++i]);
+    } else if (flag == "--listen" && has_value) {
+      listen = argv[++i];
+    } else if (flag == "--peer" && has_value) {
+      options.peers.emplace_back(argv[++i]);
+    } else if (flag == "--allow" && has_value) {
+      options.allow.emplace_back(argv[++i]);
+    } else if (flag == "--gossip-ms" && has_value) {
+      long value = 0;
+      if (!NumberArg(argv[++i], &value)) {
+        std::fprintf(stderr, "dimmunixd: bad --gossip-ms '%s'\n", argv[i]);
+        return 1;
+      }
+      options.gossip_period = std::chrono::milliseconds(value);
+    } else if (flag == "--io-timeout-ms" && has_value) {
+      long value = 0;
+      if (!NumberArg(argv[++i], &value) || value == 0) {
+        std::fprintf(stderr, "dimmunixd: bad --io-timeout-ms '%s'\n", argv[i]);
+        return 1;
+      }
+      options.io_timeout = std::chrono::milliseconds(value);
+    } else if (flag == "--trace") {
+      options.trace_enabled = true;
+    } else if (flag == "-h" || flag == "--help") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "dimmunixd: unknown or incomplete flag '%s'\n", flag.c_str());
+      Usage();
+      return 1;
+    }
+  }
+  if (!dimmunix::fleet::ParseHostPort(listen, &options.listen_host, &options.listen_port)) {
+    std::fprintf(stderr, "dimmunixd: bad --listen '%s' (want host:port)\n", listen.c_str());
+    return 1;
+  }
+  for (const std::string& peer : options.peers) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!dimmunix::fleet::ParseHostPort(peer, &host, &port)) {
+      std::fprintf(stderr, "dimmunixd: bad --peer '%s' (want host:port)\n", peer.c_str());
+      return 1;
+    }
+  }
+
+  dimmunix::fleet::Daemon daemon(options);
+  std::string error;
+  if (!daemon.Start(&error)) {
+    std::fprintf(stderr, "dimmunixd: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::fprintf(stderr, "dimmunixd: listening on %s (%zu histories, %zu peers, gossip %lld ms)\n",
+               daemon.listen_address().c_str(), options.history_paths.size(),
+               options.peers.size(),
+               static_cast<long long>(options.gossip_period.count()));
+  while (g_stop == 0) {
+    // The daemon's threads do the work; the main thread only waits for a
+    // signal. pause() returns on any handled signal.
+    ::pause();
+  }
+  std::fprintf(stderr, "dimmunixd: shutting down\n");
+  daemon.Stop();
+  return 0;
+}
