@@ -3,7 +3,8 @@
 // preload_victim — an ordinary pthreads program with an AB-BA deadlock,
 // built with NO Dimmunix linkage. Used to demonstrate the LD_PRELOAD shim:
 //
-//   $ DIMMUNIX_HISTORY=/tmp/v.hist DIMMUNIX_TAU_MS=20 LD_PRELOAD=build/libdimmunix_preload.so ./preload_victim
+//   $ DIMMUNIX_HISTORY=/tmp/v.hist DIMMUNIX_TAU_MS=20 (one line:)
+//       LD_PRELOAD=build/libdimmunix_preload.so ./preload_victim
 //
 // Run 1 deadlocks (kill it; the signature is already on disk). Run 2 under
 // the same command completes: the binary acquired immunity without being

@@ -132,14 +132,22 @@ std::string BenchReport::ToJson() const {
     out += ", \"elapsed_s\": " + JsonDouble(s.elapsed_s);
     out += ", \"p50_ns\": " + std::to_string(s.p50_ns);
     out += ", \"p99_ns\": " + std::to_string(s.p99_ns);
+    out += ", \"p99_p50_ratio\": " + JsonDouble(s.TailRatio());
     out += ", \"yields\": " + std::to_string(s.yields);
     out += "}";
   }
   out += samples.empty() ? "],\n" : "\n  ],\n";
   out += "  \"p50_ns\": " + std::to_string(p50_ns) + ",\n";
   out += "  \"p99_ns\": " + std::to_string(p99_ns) + ",\n";
+  if (p50_ns > 0) {
+    out += "  \"p99_p50_ratio\": " +
+           JsonDouble(static_cast<double>(p99_ns) / static_cast<double>(p50_ns)) + ",\n";
+  }
   if (p99_budget_ns > 0) {
     out += "  \"p99_budget_ns\": " + std::to_string(p99_budget_ns) + ",\n";
+  }
+  if (tail_budget_ratio > 0) {
+    out += "  \"tail_budget_ratio\": " + JsonDouble(tail_budget_ratio) + ",\n";
   }
   out += "  \"throughput_ops_s\": " + JsonDouble(throughput_ops_s) + "\n}\n";
   return out;

@@ -62,6 +62,13 @@ struct BenchSample {
   std::uint64_t p50_ns = 0;  // sampled acquisition latency percentiles
   std::uint64_t p99_ns = 0;
   std::uint64_t yields = 0;
+
+  // Tail ratio: how many medians deep the p99 sits. The number the
+  // bench-smoke tail gate budgets — a convoy (epoch or otherwise) shows up
+  // here before it moves the throughput needle.
+  double TailRatio() const {
+    return p50_ns > 0 ? static_cast<double>(p99_ns) / static_cast<double>(p50_ns) : 0.0;
+  }
 };
 
 // One benchmark run. `config` keys/values land verbatim in the JSON config
@@ -81,6 +88,12 @@ struct BenchReport {
   // deliberately loose (~10x the committed p99) — they catch convoy-class
   // regressions, not scheduler noise.
   std::uint64_t p99_budget_ns = 0;
+  // Tail-ratio budget (p99 ≤ budget × p50) enforced per instrumented sample
+  // by scripts/bench_gate.py — but only for samples whose thread count is at
+  // most 2×cpus. Beyond that the run queue is oversubscribed and a sampled
+  // p99 measures kernel wake-to-run latency of parked yielders, not engine
+  // behavior (see docs/performance.md). 0 = no ratio gate.
+  double tail_budget_ratio = 0.0;
 
   std::string ToJson() const;
   // Atomically writes ToJson() to `path` (tmp + rename). Returns false on

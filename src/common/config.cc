@@ -50,6 +50,9 @@ Config Config::FromEnvironment(Config base) {
       std::chrono::milliseconds(EnvLong("DIMMUNIX_YIELD_TIMEOUT_MS", base.yield_timeout.count()));
   base.ignore_yield_decisions = EnvBool("DIMMUNIX_IGNORE_YIELDS", base.ignore_yield_decisions);
   base.engine_stripes = static_cast<int>(EnvLong("DIMMUNIX_STRIPES", base.engine_stripes));
+  base.incremental_matcher = EnvBool("DIMMUNIX_INCREMENTAL_MATCH", base.incremental_matcher);
+  base.epoch_hold_bound =
+      std::chrono::milliseconds(EnvLong("DIMMUNIX_EPOCH_BOUND_MS", base.epoch_hold_bound.count()));
   base.journal_threshold =
       static_cast<int>(EnvLong("DIMMUNIX_JOURNAL_THRESHOLD", base.journal_threshold));
   base.journal_fsync = EnvBool("DIMMUNIX_JOURNAL_FSYNC", base.journal_fsync);

@@ -79,6 +79,17 @@ struct Config {
   // across (rounded up to a power of two). 0 = auto: 2*nproc rounded up to
   // a power of two. 1 reproduces the pre-striping single-guard engine.
   int engine_stripes = 0;
+  // Decide cover matches from per-stripe snapshots (live-tuple counters +
+  // Allowed-slot copies taken one stripe lock at a time) instead of the
+  // stop-the-stripes epoch. The epoch survives as the rare slow path:
+  // signature install/disable rebuilds, snapshot folds, and fast-path
+  // validation churn. False reproduces the pre-incremental matcher.
+  bool incremental_matcher = true;
+  // Upper bound on how long any stop-the-stripes epoch may be held,
+  // asserted in debug builds (release builds only count epoch_hold_ns).
+  // Generous by design — it exists to catch reintroduced unbounded epoch
+  // work, not scheduler noise or sanitizer slowdowns.
+  std::chrono::milliseconds epoch_hold_bound{1000};
 
   // --- History -------------------------------------------------------------
   std::string history_path;       // empty = in-memory only
@@ -146,6 +157,8 @@ struct Config {
   //   DIMMUNIX_IMMUNITY (weak|strong), DIMMUNIX_CALIBRATION (0|1),
   //   DIMMUNIX_YIELD_TIMEOUT_MS, DIMMUNIX_IGNORE_YIELDS (0|1),
   //   DIMMUNIX_STAGE (instr|data|full), DIMMUNIX_STRIPES (0 = auto),
+  //   DIMMUNIX_INCREMENTAL_MATCH (0|1, default 1),
+  //   DIMMUNIX_EPOCH_BOUND_MS (debug-asserted epoch hold bound),
   //   DIMMUNIX_CONTROL (control-socket path, e.g. /tmp/app.dimmunix.sock),
   //   DIMMUNIX_FLEET (host:port of the attached dimmunixd daemon),
   //   DIMMUNIX_JOURNAL_THRESHOLD, DIMMUNIX_JOURNAL_FSYNC (0|1),

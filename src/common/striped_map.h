@@ -19,6 +19,8 @@
 #ifndef DIMMUNIX_COMMON_STRIPED_MAP_H_
 #define DIMMUNIX_COMMON_STRIPED_MAP_H_
 
+#include <cassert>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -30,6 +32,12 @@
 #include "src/common/spin_lock.h"
 
 namespace dimmunix {
+
+// Debug-build bound on how long any all-stripes epoch may be held. The
+// incremental matcher makes epochs rare; this assert keeps them *short* by
+// failing loudly when epoch-side work regresses to O(live-set) scans under
+// all locks. Deliberately generous (sanitizer builds run 10-20x slower).
+inline constexpr std::chrono::nanoseconds kDefaultEpochHoldBound{std::chrono::seconds(1)};
 
 // Smallest power of two >= n (n >= 1).
 inline std::size_t RoundUpPow2(std::size_t n) {
@@ -99,8 +107,16 @@ class StripedMap {
       for (std::size_t i = 0; i <= owner_.mask_; ++i) {
         owner_.stripes_[i].lock.Lock();
       }
+#ifndef NDEBUG
+      entered_ = std::chrono::steady_clock::now();
+#endif
     }
     ~AllStripesGuard() {
+#ifndef NDEBUG
+      const auto held = std::chrono::steady_clock::now() - entered_;
+      assert(held <= kDefaultEpochHoldBound &&
+             "all-stripes epoch held past its bound — epoch work must stay O(1)-ish");
+#endif
       for (std::size_t i = owner_.mask_ + 1; i-- > 0;) {
         owner_.stripes_[i].lock.Unlock();
       }
@@ -110,6 +126,9 @@ class StripedMap {
 
    private:
     StripedMap& owner_;
+#ifndef NDEBUG
+    std::chrono::steady_clock::time_point entered_;
+#endif
   };
 
   // Direct stripe access for AllStripesGuard holders (and tests).

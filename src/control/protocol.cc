@@ -143,10 +143,14 @@ std::string DoStatus(Runtime& rt) {
   out << "monitor_batches=" << monitor.batches << "\n";
   out << "deadlocks_detected=" << monitor.deadlocks_detected << "\n";
   out << "starvations_detected=" << monitor.starvations_detected << "\n";
-  // Stop-the-stripes convoy accounting: how often the epoch guard queued,
-  // and how long the queue cost in total (the Figure 5 p99 tail).
-  out << "epoch_stalls=" << engine.epoch_stalls << "\n";
+  // Stop-the-stripes accounting: with the incremental matcher the epoch is
+  // the rare slow path, so epoch_entries staying near zero under load is
+  // itself the tail-health signal; match_* show how cover searches routed.
+  out << "epoch_entries=" << engine.epoch_entries << "\n";
   out << "epoch_stall_ns=" << engine.epoch_stall_ns << "\n";
+  out << "epoch_hold_ns=" << engine.epoch_hold_ns << "\n";
+  out << "match_fast_path=" << engine.match_fast_path << "\n";
+  out << "match_slow_path=" << engine.match_slow_path << "\n";
   out << "tracing=" << (rt.recorder().tracing() ? 1 : 0) << "\n";
   if (persist::HistoryStore* store = rt.history_store(); store != nullptr) {
     // HistoryStore health: is persistence keeping up, and how stale is our
@@ -225,8 +229,12 @@ std::string DoStats(Runtime& rt) {
   out << "engine.signatures_disabled=" << e.signatures_disabled << "\n";
   out << "engine.depth_true_yields=" << e.depth_true_yields << "\n";
   out << "engine.depth_fp_yields=" << e.depth_fp_yields << "\n";
-  out << "engine.epoch_stalls=" << e.epoch_stalls << "\n";
+  out << "engine.epoch_entries=" << e.epoch_entries << "\n";
   out << "engine.epoch_stall_ns=" << e.epoch_stall_ns << "\n";
+  out << "engine.epoch_hold_ns=" << e.epoch_hold_ns << "\n";
+  out << "engine.match_fast_path=" << e.match_fast_path << "\n";
+  out << "engine.match_slow_path=" << e.match_slow_path << "\n";
+  out << "engine.match_fast_retries=" << e.match_fast_retries << "\n";
   out << "monitor.batches=" << m.batches << "\n";
   out << "monitor.events_processed=" << m.events_processed << "\n";
   out << "monitor.deadlocks_detected=" << m.deadlocks_detected << "\n";
@@ -426,10 +434,19 @@ std::string DoMetrics(Runtime& rt) {
   obs::AppendPromCounter(&out, "dimmunix_broken_acquisitions_total",
                          "Acquisitions broken out of a detected deadlock.",
                          e.broken_acquisitions);
-  obs::AppendPromCounter(&out, "dimmunix_epoch_stalls_total",
-                         "Entries into the stop-the-stripes epoch guard.", e.epoch_stalls);
+  obs::AppendPromCounter(&out, "dimmunix_epoch_entries_total",
+                         "Entries into the stop-the-stripes epoch guard.", e.epoch_entries);
   obs::AppendPromCounter(&out, "dimmunix_epoch_stall_nanoseconds_total",
                          "Total time spent queueing for the epoch guard.", e.epoch_stall_ns);
+  obs::AppendPromCounter(&out, "dimmunix_epoch_hold_nanoseconds_total",
+                         "Total time the epoch guard was held.", e.epoch_hold_ns);
+  obs::AppendPromCounter(&out, "dimmunix_match_fast_path_total",
+                         "Cover searches decided from per-stripe snapshots.", e.match_fast_path);
+  obs::AppendPromCounter(&out, "dimmunix_match_slow_path_total",
+                         "Cover searches that fell back to the epoch.", e.match_slow_path);
+  obs::AppendPromCounter(&out, "dimmunix_match_fast_retries_total",
+                         "Fast-path cover validations that had to rescan.",
+                         e.match_fast_retries);
   obs::AppendPromCounter(&out, "dimmunix_monitor_batches_total",
                          "Monitor detection passes.", m.batches);
   obs::AppendPromCounter(&out, "dimmunix_monitor_events_total",
@@ -476,7 +493,8 @@ std::string DoHisto(Runtime& rt, const std::string& name) {
   const int kind = obs::HistoKindFromName(name);
   if (kind < 0) {
     return Err("unknown histogram '" + name +
-               "' (try acquire_latency_ns | yield_duration_ns | epoch_hold_ns)");
+               "' (try acquire_latency_ns | yield_duration_ns | epoch_hold_ns | "
+               "match_duration_ns)");
   }
   return "ok\n" +
          obs::HistoReadout(rt.recorder().histogram(static_cast<obs::HistoKind>(kind)).Snapshot());

@@ -70,10 +70,11 @@ AvoidanceEngine::~AvoidanceEngine() = default;
 
 AvoidanceEngine::SlotEpochGuard::SlotEpochGuard(AvoidanceEngine& engine, ThreadId thread)
     : engine_(engine), thread_(thread) {
-  // Epoch entry is rare (plausible instantiations, cache rebuilds,
-  // snapshots) but it is the Figure 5 convoy, so the wait is *always*
-  // measured: two clock reads per entry feed the epoch_stalls /
-  // epoch_stall_ns counters that `dimctl status` reports with tracing off.
+  // Epoch entry is rare — with the incremental matcher in front, only cache
+  // rebuilds, snapshots, and fast-path validation churn land here — so the
+  // wait and hold are *always* measured: the clock reads feed the
+  // epoch_entries / epoch_stall_ns / epoch_hold_ns counters that
+  // `dimctl status` reports with tracing off.
   const std::uint64_t wait_begin = obs::NowNs();
   if (engine_.use_peterson_) {
     assert(static_cast<std::size_t>(thread_) < engine_.peterson_guard_.slots() &&
@@ -85,24 +86,31 @@ AvoidanceEngine::SlotEpochGuard::SlotEpochGuard(AvoidanceEngine& engine, ThreadI
   }
   entered_ns_ = obs::NowNs();
   stall_ns_ = entered_ns_ - wait_begin;
-  engine_.stats_.epoch_stalls.fetch_add(1, std::memory_order_relaxed);
+  engine_.stats_.epoch_entries.fetch_add(1, std::memory_order_relaxed);
   engine_.stats_.epoch_stall_ns.fetch_add(stall_ns_, std::memory_order_relaxed);
 }
 
 AvoidanceEngine::SlotEpochGuard::~SlotEpochGuard() {
-  // Hold time ends where the stripes release; the ring push happens after
-  // the unlocks so the export work itself never extends the epoch.
-  obs::Recorder* recorder = engine_.recorder_;
-  const std::uint64_t end_ns =
-      recorder != nullptr && recorder->timing() ? obs::NowNs() : 0;
+  // Hold time ends where the stripes release; the histogram/ring pushes
+  // happen after the unlocks so the export work itself never extends the
+  // epoch. Debug builds assert the configured hold bound — the epoch is
+  // allowed to be slow-path-rare, never slow-path-long.
+  const std::uint64_t end_ns = obs::NowNs();
+  const std::uint64_t hold_ns = end_ns - entered_ns_;
+  assert(hold_ns <= static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            engine_.config_.epoch_hold_bound)
+                            .count()) &&
+         "stop-the-stripes epoch held past Config::epoch_hold_bound");
   for (std::size_t i = engine_.slot_stripe_mask_ + 1; i-- > 0;) {
     engine_.slot_stripes_[i].lock.Unlock();
   }
   if (engine_.use_peterson_) {
     engine_.peterson_guard_.Unlock(static_cast<std::size_t>(thread_));
   }
-  if (end_ns != 0) {
-    const std::uint64_t hold_ns = end_ns - entered_ns_;
+  engine_.stats_.epoch_hold_ns.fetch_add(hold_ns, std::memory_order_relaxed);
+  obs::Recorder* recorder = engine_.recorder_;
+  if (recorder != nullptr && recorder->timing()) {
     recorder->Latency(obs::HistoKind::kEpochHold, hold_ns);
     recorder->Span(obs::TraceEventType::kEpoch, end_ns, hold_ns, /*aux=*/0, /*mode=*/0,
                    /*data=*/stall_ns_);
@@ -153,6 +161,7 @@ void AvoidanceEngine::AddTupleLocked(SlotStripe& stripe, StackId stack, StackSlo
     EnsureMemberships(stack, slot, *gen);
   }
   slot->tuples.push_back(tuple);
+  ++stripe.version;
   if (slot->live_index < 0) {
     slot->live_index = static_cast<int>(stripe.live.size());
     stripe.live.push_back(stack);
@@ -186,6 +195,7 @@ void AvoidanceEngine::RemoveTupleLocked(SlotStripe& stripe, StackId stack, Stack
     return;
   }
   tuples.erase(victim);
+  ++stripe.version;
   if (tuples.empty() && slot->live_index >= 0) {
     // Swap-remove from the stripe's live list.
     const std::size_t at = static_cast<std::size_t>(slot->live_index);
@@ -328,35 +338,32 @@ bool AvoidanceEngine::AnyInstantiationPlausible(const SigGen& gen) const {
 bool AvoidanceEngine::CoverPositions(
     const SigGen::Entry& sig,
     const std::vector<std::vector<std::pair<StackId, AllowedTuple>>>& pools, std::size_t pos,
-    std::vector<AllowedTuple>& chosen, std::vector<StackId>& chosen_stacks,
-    std::unordered_set<ThreadId>& used_threads, UsedLocks& used_locks, ThreadId requester,
-    LockId req_lock, bool& requester_used) {
+    CoverScratch& cover, ThreadId requester, LockId req_lock) {
   if (pos == sig.sig_stacks.size()) {
-    return requester_used;  // a valid instance must include the new allow edge
+    return cover.requester_used;  // a valid instance must include the new allow edge
   }
   for (const auto& [candidate, tuple] : pools[pos]) {
-    if (used_threads.count(tuple.thread) > 0 || !used_locks.CanUse(tuple.lock, tuple.mode)) {
+    if (cover.UsesThread(tuple.thread) || !cover.used_locks.CanUse(tuple.lock, tuple.mode)) {
       continue;
     }
     const bool is_requester = (tuple.thread == requester && tuple.lock == req_lock);
-    used_threads.insert(tuple.thread);
-    used_locks.Push(tuple.lock, tuple.mode);
-    chosen.push_back(tuple);
-    chosen_stacks.push_back(candidate);
+    cover.used_threads.push_back(tuple.thread);
+    cover.used_locks.Push(tuple.lock, tuple.mode);
+    cover.chosen.push_back(tuple);
+    cover.chosen_stacks.push_back(candidate);
     if (is_requester) {
-      requester_used = true;
+      cover.requester_used = true;
     }
-    if (CoverPositions(sig, pools, pos + 1, chosen, chosen_stacks, used_threads, used_locks,
-                       requester, req_lock, requester_used)) {
+    if (CoverPositions(sig, pools, pos + 1, cover, requester, req_lock)) {
       return true;
     }
     if (is_requester) {
-      requester_used = false;
+      cover.requester_used = false;
     }
-    chosen.pop_back();
-    chosen_stacks.pop_back();
-    used_threads.erase(tuple.thread);
-    used_locks.Pop(tuple.lock);
+    cover.chosen.pop_back();
+    cover.chosen_stacks.pop_back();
+    cover.used_threads.pop_back();
+    cover.used_locks.Pop(tuple.lock);
   }
   return false;
 }
@@ -413,13 +420,8 @@ std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::MatchAndRetire(
         }
       }
     }
-    std::vector<AllowedTuple> chosen;
-    std::vector<StackId> chosen_stacks;
-    std::unordered_set<ThreadId> used_threads;
-    UsedLocks used_locks;
-    bool requester_used = false;
-    if (!CoverPositions(sig, pools, 0, chosen, chosen_stacks, used_threads, used_locks, thread,
-                        lock, requester_used)) {
+    CoverScratch cover;
+    if (!CoverPositions(sig, pools, 0, cover, thread, lock)) {
       continue;
     }
     MatchResult result;
@@ -428,17 +430,17 @@ std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::MatchAndRetire(
     // Deepest depth at which this same cover still matches — used by the
     // calibration fast-path (§5.5).
     int deepest = stacks_->max_depth();
-    for (std::size_t j = 0; j < chosen.size(); ++j) {
-      deepest =
-          std::min(deepest, stacks_->DeepestMatchDepth(chosen_stacks[j], sig.sig_stacks[j]));
+    for (std::size_t j = 0; j < cover.chosen.size(); ++j) {
+      deepest = std::min(deepest,
+                         stacks_->DeepestMatchDepth(cover.chosen_stacks[j], sig.sig_stacks[j]));
     }
     result.deepest = std::max(deepest, sig.depth);
-    for (std::size_t j = 0; j < chosen.size(); ++j) {
-      if (chosen[j].thread == thread && chosen[j].lock == lock) {
+    for (std::size_t j = 0; j < cover.chosen.size(); ++j) {
+      if (cover.chosen[j].thread == thread && cover.chosen[j].lock == lock) {
         continue;  // the requester itself
       }
-      result.others.push_back(
-          YieldCause{chosen[j].thread, chosen[j].lock, chosen_stacks[j], chosen[j].mode});
+      result.others.push_back(YieldCause{cover.chosen[j].thread, cover.chosen[j].lock,
+                                         cover.chosen_stacks[j], cover.chosen[j].mode});
     }
 
     // Retire the tentative allow edge (the YIELD flips it into a request
@@ -448,23 +450,245 @@ std::optional<AvoidanceEngine::MatchResult> AvoidanceEngine::MatchAndRetire(
     // before we are registered, so its wake cannot be lost.
     RemoveTupleLocked(StripeOf(stack), stack, SlotFor(stack), thread, lock, /*held=*/false);
     if (yield_on_match) {
-      {
-        std::lock_guard<SpinLock> yield_guard(yield_m_);
-        slot.yielding = true;
-        slot.yield_causes = result.others;
-        yielding_threads_.insert(thread);
-        yield_count_.fetch_add(1, std::memory_order_seq_cst);
-      }
-      {
-        std::lock_guard<std::mutex> park_guard(slot.park_m);
-        slot.wake_pending = false;
-      }
+      RegisterYield(thread, slot, result);
     }
     record_search(result.signature_index);
     return result;
   }
   record_search(-1);
   return std::nullopt;
+}
+
+void AvoidanceEngine::RegisterYield(ThreadId thread, ThreadSlot& slot,
+                                    const MatchResult& result) {
+  {
+    std::lock_guard<SpinLock> yield_guard(yield_m_);
+    slot.yielding = true;
+    slot.yield_causes = result.others;
+    yielding_threads_.insert(thread);
+    yield_count_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  {
+    std::lock_guard<std::mutex> park_guard(slot.park_m);
+    slot.wake_pending = false;
+  }
+}
+
+void AvoidanceEngine::UnregisterYield(ThreadId thread, ThreadSlot& slot) {
+  std::lock_guard<SpinLock> yield_guard(yield_m_);
+  slot.yielding = false;
+  slot.yield_causes.clear();
+  if (yielding_threads_.erase(thread) > 0) {
+    yield_count_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+bool AvoidanceEngine::CoverStillStands(const MatchResult& result,
+                                       const std::vector<std::uint64_t>& scan_versions) {
+  for (const YieldCause& cause : result.others) {
+    StackSlot* slot = SlotFor(cause.stack);
+    const std::size_t s = StripeIndexOf(cause.stack);
+    SlotStripe& stripe = slot_stripes_[s];
+    std::lock_guard<SpinLock> guard(stripe.lock);
+    if (stripe.version == scan_versions[s]) {
+      continue;  // no add/remove since the scan — the pool copy is exact
+    }
+    bool present = false;
+    for (const AllowedTuple& t : slot->tuples) {
+      // The held flag may have flipped (allow -> hold on commit) since the
+      // scan; the edge is the same instantiation either way.
+      if (t.thread == cause.thread && t.lock == cause.lock && t.mode == cause.mode) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AvoidanceEngine::FastMatchOutcome AvoidanceEngine::TryMatchIncremental(
+    ThreadId thread, LockId lock, StackId stack, ThreadSlot& slot, bool yield_on_match,
+    const SigGen& gen, MatchResult* result) {
+  // Bounded validation churn: every retry means a matched tuple was retired
+  // mid-decision. Persistent churn is real contention on the instantiation
+  // itself, which only the epoch can arbitrate.
+  constexpr int kFastMatchAttempts = 3;
+  constexpr std::size_t kNotCandidate = ~std::size_t{0};
+  // Scratch reuse matters beyond CPU time: every nanosecond spent here is
+  // spent with the requester's tentative tuple live, and the window length
+  // feeds quadratically into how often concurrent requesters see each other
+  // as instantiation material.
+  thread_local FastScratch scratch;
+  std::uint64_t search_begin = 0;  // set lazily: trivial rejects skip the clock
+  const auto record_search = [&](std::int64_t matched_signature) {
+    if (search_begin != 0) {
+      const std::uint64_t end_ns = obs::NowNs();
+      recorder_->Latency(obs::HistoKind::kMatchDuration, end_ns - search_begin);
+      recorder_->Span(obs::TraceEventType::kCoverSearch, end_ns, end_ns - search_begin,
+                      matched_signature < 0 ? obs::kNoMatchAux
+                                            : obs::SaturateAux(matched_signature));
+    }
+  };
+
+  auto& scan_versions = scratch.scan_versions;
+  scan_versions.assign(slot_stripe_mask_ + 1, 0);
+  for (int attempt = 0; attempt < kFastMatchAttempts; ++attempt) {
+    if (attempt > 0) {
+      stats_.match_fast_retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Candidate signatures: every position live (§5.6 fast reject,
+    // re-evaluated per attempt — a retry means the population moved).
+    auto& cands = scratch.cands;
+    auto& cand_of = scratch.cand_of;
+    cands.clear();
+    cand_of.assign(gen.entries.size(), kNotCandidate);
+    for (std::size_t e = 0; e < gen.entries.size(); ++e) {
+      const SigGen::Entry& sig = gen.entries[e];
+      if (sig.sig_stacks.empty()) {
+        continue;
+      }
+      bool possible = true;
+      for (std::size_t j = 0; j < sig.sig_stacks.size(); ++j) {
+        if (sig.live[j].load(std::memory_order_seq_cst) <= 0) {
+          possible = false;
+          break;
+        }
+      }
+      if (possible) {
+        cand_of[e] = cands.size();
+        cands.push_back(e);
+      }
+    }
+    if (cands.empty()) {
+      if (attempt == 0) {
+        // Trivial reject (§5.6 common case): no scan ran, so no fast-path
+        // counter tick and no match-duration sample — the histogram stays a
+        // picture of real cover searches.
+        return FastMatchOutcome::kNoMatch;
+      }
+      stats_.match_fast_path.fetch_add(1, std::memory_order_relaxed);
+      record_search(-1);
+      return FastMatchOutcome::kNoMatch;
+    }
+    if (search_begin == 0 && recorder_ != nullptr && recorder_->timing()) {
+      search_begin = obs::NowNs();
+    }
+
+    // Copy every candidate position's live tuples, one stripe lock at a
+    // time — never two, preserving the engine's single-stripe hot-path
+    // invariant. A no-match over these copies is authoritative without
+    // validation: the requester's tentative tuple was added *before* this
+    // scan, so of two racing requesters at least one scan sees the other
+    // (add-before-scan litmus, header comment). A slot whose membership
+    // cache is stale w.r.t. the pinned generation means a rebuild
+    // republished mid-request; only the epoch path may recompute
+    // memberships (a recompute here would corrupt another generation's
+    // live counters), so the decision falls back.
+    auto& pools = scratch.pools;
+    if (pools.size() < cands.size()) {
+      pools.resize(cands.size());
+    }
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      const std::size_t positions = gen.entries[cands[c]].sig_stacks.size();
+      if (pools[c].size() < positions) {
+        pools[c].resize(positions);
+      }
+      for (auto& pool : pools[c]) {
+        pool.clear();  // clear, never shrink: capacity persists across requests
+      }
+    }
+    for (std::size_t s = 0; s <= slot_stripe_mask_; ++s) {
+      SlotStripe& stripe = slot_stripes_[s];
+      std::lock_guard<SpinLock> guard(stripe.lock);
+      scan_versions[s] = stripe.version;
+      for (const StackId id : stripe.live) {
+        StackSlot* live_slot = stack_slots_.Get(static_cast<std::size_t>(id));
+        if (live_slot->member_version != gen.version) {
+          record_search(-1);
+          return FastMatchOutcome::kFallback;
+        }
+        for (const std::uint32_t pack : live_slot->memberships) {
+          const std::size_t c = cand_of[pack >> kPosBits];
+          if (c == kNotCandidate) {
+            continue;
+          }
+          auto& pool = pools[c][pack & ((1u << kPosBits) - 1)];
+          for (const AllowedTuple& tuple : live_slot->tuples) {
+            pool.emplace_back(id, tuple);
+          }
+        }
+      }
+    }
+
+    // Cover search on the private copies — same algorithm, zero shared
+    // state. First matching signature wins, mirroring MatchAndRetire.
+    MatchResult local;
+    AcquireMode self_mode = AcquireMode::kExclusive;
+    bool found = false;
+    for (std::size_t c = 0; c < cands.size() && !found; ++c) {
+      const SigGen::Entry& sig = gen.entries[cands[c]];
+      CoverScratch& cover = scratch.cover;
+      cover.Clear();
+      if (!CoverPositions(sig, pools[c], 0, cover, thread, lock)) {
+        continue;
+      }
+      local = MatchResult{};
+      local.signature_index = sig.index;
+      local.depth = sig.depth;
+      int deepest = stacks_->max_depth();
+      for (std::size_t j = 0; j < cover.chosen.size(); ++j) {
+        deepest = std::min(
+            deepest, stacks_->DeepestMatchDepth(cover.chosen_stacks[j], sig.sig_stacks[j]));
+      }
+      local.deepest = std::max(deepest, sig.depth);
+      for (std::size_t j = 0; j < cover.chosen.size(); ++j) {
+        if (cover.chosen[j].thread == thread && cover.chosen[j].lock == lock) {
+          self_mode = cover.chosen[j].mode;
+          continue;
+        }
+        local.others.push_back(YieldCause{cover.chosen[j].thread, cover.chosen[j].lock,
+                                          cover.chosen_stacks[j], cover.chosen[j].mode});
+      }
+      found = true;
+    }
+    if (!found) {
+      stats_.match_fast_path.fetch_add(1, std::memory_order_relaxed);
+      record_search(-1);
+      return FastMatchOutcome::kNoMatch;
+    }
+
+    // Commit: register the yield *before* retiring the allow edge, then
+    // validate the matched cover is still standing. Ordering argument for
+    // no lost wakes: if validation saw a cause tuple present, our stripe
+    // critical section precedes the releaser's removal of that tuple, so
+    // our (seq_cst) yield_count_ increment is visible to the releaser's
+    // post-removal yield_count_ check — it will take yield_m_ and wake us.
+    // Mutual validation by two requesters matched on each other's allow
+    // tuples cannot both succeed: each removes its own tuple before
+    // validating the other's, so the stripe-lock order forces one
+    // validation to observe an absent tuple and retry.
+    if (yield_on_match) {
+      RegisterYield(thread, slot, local);
+    }
+    RemoveTuple(stack, thread, lock, /*held=*/false);
+    if (CoverStillStands(local, scan_versions)) {
+      stats_.match_fast_path.fetch_add(1, std::memory_order_relaxed);
+      *result = std::move(local);
+      record_search(result->signature_index);
+      return FastMatchOutcome::kMatched;
+    }
+    // A matched tuple was retired under us: roll back (re-adding our
+    // tentative tuple restores the add-before-scan protocol) and rescan.
+    AddTuple(stack, AllowedTuple{thread, lock, false, self_mode});
+    if (yield_on_match) {
+      UnregisterYield(thread, slot);
+    }
+  }
+  record_search(-1);
+  return FastMatchOutcome::kFallback;
 }
 
 RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMode mode,
@@ -564,16 +788,43 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
         RefreshGen();
         gen = AcquireGenRef(slot);
       }
-      const bool plausible = AnyInstantiationPlausible(*gen);
+      const bool yield_on_match = !config_.ignore_yield_decisions;
+      bool need_epoch = false;
+      if (config_.incremental_matcher) {
+        // Decide from per-stripe snapshots; the hazard ref pins `gen` (and
+        // its live counters) across the scan. The scan embeds the §5.6 fast
+        // reject, so no separate plausibility pre-pass runs here.
+        MatchResult fast;
+        switch (TryMatchIncremental(thread, lock, stack, slot, yield_on_match, *gen, &fast)) {
+          case FastMatchOutcome::kMatched:
+            match = std::move(fast);
+            break;
+          case FastMatchOutcome::kNoMatch:
+            break;
+          case FastMatchOutcome::kFallback:
+            need_epoch = true;
+            break;
+        }
+      } else if (AnyInstantiationPlausible(*gen)) {
+        need_epoch = true;
+      }
       ReleaseGenRef(slot);
-      if (plausible) {
-        match = MatchAndRetire(thread, lock, stack, slot,
-                               /*yield_on_match=*/!config_.ignore_yield_decisions);
+      if (need_epoch) {
+        stats_.match_slow_path.fetch_add(1, std::memory_order_relaxed);
+        match = MatchAndRetire(thread, lock, stack, slot, yield_on_match);
+      }
+      if (match.has_value() && yield_on_match &&
+          yield_count_.load(std::memory_order_seq_cst) > 0) {
+        // Our own allow edge was just retired (the YIELD flips it into a
+        // request edge): any thread whose matched cover named it is parked
+        // on an instantiation that no longer stands. Wake it to re-decide
+        // now instead of riding out its yield timeout — spurious wakes are
+        // harmless (the full request protocol reruns).
+        WakeYieldersOf(thread, lock, stack);
       }
       if (pub != nullptr) {
         DIMMUNIX_LOG(kDebug) << "global request: thread " << thread << " lock " << lock
-                             << " stack " << stack << " plausible=" << plausible
-                             << " matched=" << match.has_value();
+                             << " stack " << stack << " matched=" << match.has_value();
       }
     }
 
@@ -644,14 +895,7 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
                       static_cast<std::uint8_t>(mode), static_cast<std::uint64_t>(lock));
     }
 
-    {
-      std::lock_guard<SpinLock> yield_guard(yield_m_);
-      slot.yielding = false;
-      slot.yield_causes.clear();
-      if (yielding_threads_.erase(thread) > 0) {
-        yield_count_.fetch_sub(1, std::memory_order_seq_cst);
-      }
-    }
+    UnregisterYield(thread, slot);
 
     Event wake_ev;
     wake_ev.type = EventType::kWake;
@@ -751,20 +995,42 @@ RequestDecision AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock
       RefreshGen();
       gen = AcquireGenRef(slot);
     }
-    const bool plausible = AnyInstantiationPlausible(*gen);
-    ReleaseGenRef(slot);
-    if (plausible) {
-      std::optional<MatchResult> match =
-          MatchAndRetire(thread, lock, stack, slot, /*yield_on_match=*/false);
-      if (match.has_value()) {
-        stats_.yields.fetch_add(1, std::memory_order_relaxed);
-        history_->RecordAvoidance(match->signature_index);
-        last_avoided_.store(match->signature_index, std::memory_order_relaxed);
-        if (pub != nullptr) {
-          pub->ClearWait(thread, lock);
-        }
-        return RequestDecision::kBusy;  // refuse to enter the dangerous pattern
+    std::optional<MatchResult> match;
+    bool need_epoch = false;
+    if (config_.incremental_matcher) {
+      MatchResult fast;
+      switch (
+          TryMatchIncremental(thread, lock, stack, slot, /*yield_on_match=*/false, *gen, &fast)) {
+        case FastMatchOutcome::kMatched:
+          match = std::move(fast);
+          break;
+        case FastMatchOutcome::kNoMatch:
+          break;
+        case FastMatchOutcome::kFallback:
+          need_epoch = true;
+          break;
       }
+    } else if (AnyInstantiationPlausible(*gen)) {
+      need_epoch = true;
+    }
+    ReleaseGenRef(slot);
+    if (need_epoch) {
+      stats_.match_slow_path.fetch_add(1, std::memory_order_relaxed);
+      match = MatchAndRetire(thread, lock, stack, slot, /*yield_on_match=*/false);
+    }
+    if (match.has_value()) {
+      stats_.yields.fetch_add(1, std::memory_order_relaxed);
+      history_->RecordAvoidance(match->signature_index);
+      last_avoided_.store(match->signature_index, std::memory_order_relaxed);
+      // The kBusy answer permanently retires our allow edge; yielders whose
+      // cover named it can re-decide now.
+      if (yield_count_.load(std::memory_order_seq_cst) > 0) {
+        WakeYieldersOf(thread, lock, stack);
+      }
+      if (pub != nullptr) {
+        pub->ClearWait(thread, lock);
+      }
+      return RequestDecision::kBusy;  // refuse to enter the dangerous pattern
     }
   }
 
@@ -968,6 +1234,11 @@ void AvoidanceEngine::CancelRequest(ThreadId thread, LockId lock, AcquireMode mo
   const StackId stack = slot.pending_stack;
   if (stack != kInvalidStackId) {
     RemoveTuple(stack, thread, lock, /*held=*/false);
+    // A canceled request retires an allow edge other yielders may have
+    // matched; let them re-decide instead of waiting out their timeout.
+    if (yield_count_.load(std::memory_order_seq_cst) > 0) {
+      WakeYieldersOf(thread, lock, stack);
+    }
   }
   if (GlobalEdgePublisher* pub = global_pub_.load(std::memory_order_acquire);
       pub != nullptr && IsGlobalLockId(lock)) {
@@ -1065,6 +1336,10 @@ void AvoidanceEngine::MirrorForeignWaitEnd(ThreadId thread, LockId lock, StackId
     return;
   }
   RemoveTuple(stack, thread, lock, /*held=*/false);
+  // A withdrawn foreign wait dissolves any local instantiation built on it.
+  if (yield_count_.load(std::memory_order_seq_cst) > 0) {
+    WakeYieldersOf(thread, lock, stack);
+  }
   Event ev;
   ev.type = EventType::kCancel;
   ev.thread = thread;

@@ -36,8 +36,20 @@
 // maintained by tuple add/remove under slot stripe locks with seq_cst RMWs.
 // A request first bumps its own tentative tuple, then reads the counters
 // (the store-buffer litmus guarantees two racing requesters cannot both
-// miss each other), and only enters the epoch when every position of some
-// signature is live — i.e. when an instantiation is actually plausible.
+// miss each other). When every position of some signature is live — an
+// instantiation is plausible — the request runs the *incremental* cover
+// search (TryMatchIncremental): it copies the candidate tuples one stripe
+// lock at a time into private pools, runs the cover search on the copies,
+// and on a match validates the chosen cover after registering its yield.
+// The add-before-scan protocol makes a no-match answer authoritative
+// without validation: if requester R1's scan of R2's stripe missed R2's
+// tentative tuple, then R1's add happened before R1's scan, which happened
+// before R2's add, which happened before R2's scan — so R2's scan sees R1.
+// The stop-the-stripes epoch survives only as the rare slow path: cache
+// rebuilds after history changes, Snapshot(), and fast-path validation
+// churn (bounded retries, then the epoch arbitrates). Its hold time is
+// counted (epoch_hold_ns) and bounded by Config::epoch_hold_bound in debug
+// builds.
 //
 // Lock ordering (outermost first):
 //   sig_mutex_ -> slot stripes (ascending) -> owner stripes (ascending)
@@ -231,6 +243,11 @@ class AvoidanceEngine {
   struct alignas(64) SlotStripe {
     SpinLock lock;
     std::vector<StackId> live;  // slots in this stripe with tuples
+    // Bumped (under `lock`) on every tuple add/remove in this stripe. The
+    // incremental matcher records the versions it scanned; an unchanged
+    // version at validation time proves the whole stripe's tuple population
+    // is exactly what the scan copied, skipping per-tuple presence checks.
+    std::uint64_t version = 0;
   };
 
   // Mode-aware owner set: one exclusive owner XOR n shared holders, each
@@ -257,29 +274,85 @@ class AvoidanceEngine {
   // Lock-usage bookkeeping for signature instantiation covers: a lock may be
   // reused across tuples only while every use (existing and new) is shared —
   // a reader-writer cycle legitimately visits one rwlock once per holder.
+  // Vector-backed: covers hold at most a handful of locks, and the matcher
+  // runs on the acquisition hot path where node allocations both cost time
+  // and stretch the requester's tuple-live window.
   struct UsedLocks {
     struct Use {
+      LockId lock = kInvalidLockId;
       int count = 0;
       bool exclusive = false;  // only ever true while count == 1
     };
-    std::unordered_map<LockId, Use> uses;
+    std::vector<Use> uses;
 
+    void Clear() { uses.clear(); }
     bool CanUse(LockId lock, AcquireMode mode) const {
-      auto it = uses.find(lock);
-      return it == uses.end() ||
-             (!it->second.exclusive && mode == AcquireMode::kShared);
+      for (const Use& use : uses) {
+        if (use.lock == lock) {
+          return !use.exclusive && mode == AcquireMode::kShared;
+        }
+      }
+      return true;
     }
     void Push(LockId lock, AcquireMode mode) {
-      Use& use = uses[lock];
-      ++use.count;
-      use.exclusive = use.exclusive || mode == AcquireMode::kExclusive;
+      for (Use& use : uses) {
+        if (use.lock == lock) {
+          ++use.count;
+          use.exclusive = use.exclusive || mode == AcquireMode::kExclusive;
+          return;
+        }
+      }
+      uses.push_back(Use{lock, 1, mode == AcquireMode::kExclusive});
     }
     void Pop(LockId lock) {
-      auto it = uses.find(lock);
-      if (it != uses.end() && --it->second.count <= 0) {
-        uses.erase(it);
+      for (auto it = uses.begin(); it != uses.end(); ++it) {
+        if (it->lock == lock) {
+          if (--it->count <= 0) {
+            uses.erase(it);
+          }
+          return;
+        }
       }
     }
+  };
+
+  // Backtracking state for CoverPositions, reusable across attempts so the
+  // hot path settles into zero allocations.
+  struct CoverScratch {
+    std::vector<AllowedTuple> chosen;
+    std::vector<StackId> chosen_stacks;
+    std::vector<ThreadId> used_threads;  // linear: covers are tiny
+    UsedLocks used_locks;
+    bool requester_used = false;
+
+    void Clear() {
+      chosen.clear();
+      chosen_stacks.clear();
+      used_threads.clear();
+      used_locks.Clear();
+      requester_used = false;
+    }
+    bool UsesThread(ThreadId thread) const {
+      for (const ThreadId t : used_threads) {
+        if (t == thread) {
+          return true;
+        }
+      }
+      return false;
+    }
+  };
+
+  // Per-thread scratch for the incremental matcher: candidate indexes and
+  // tuple pools keep their capacity between acquisitions, so the steady
+  // state copies tuples without touching the allocator (shortening the
+  // requester's own tuple-live window, which quadratically lowers the odds
+  // other requesters coincide with it).
+  struct FastScratch {
+    std::vector<std::size_t> cands;
+    std::vector<std::size_t> cand_of;
+    std::vector<std::uint64_t> scan_versions;
+    std::vector<std::vector<std::vector<std::pair<StackId, AllowedTuple>>>> pools;
+    CoverScratch cover;
   };
 
   // One immutable generation of the signature cache. Generations are built
@@ -327,10 +400,11 @@ class AvoidanceEngine {
     std::uint64_t stall_ns_ = 0;  // time spent waiting to enter
   };
 
-  SlotStripe& StripeOf(StackId stack) {
-    return slot_stripes_[static_cast<std::size_t>(
-        MixHash64(static_cast<std::uint64_t>(stack))) & slot_stripe_mask_];
+  std::size_t StripeIndexOf(StackId stack) const {
+    return static_cast<std::size_t>(MixHash64(static_cast<std::uint64_t>(stack))) &
+           slot_stripe_mask_;
   }
+  SlotStripe& StripeOf(StackId stack) { return slot_stripes_[StripeIndexOf(stack)]; }
 
   // Slot accessor; creates slots up to `id` (serialized internally). The
   // returned pointer is stable; contents are guarded by StripeOf(id).
@@ -380,12 +454,38 @@ class AvoidanceEngine {
   std::optional<MatchResult> MatchAndRetire(ThreadId thread, LockId lock, StackId stack,
                                             ThreadSlot& slot, bool yield_on_match);
 
+  // Incremental cover search — the common-case replacement for the epoch.
+  enum class FastMatchOutcome {
+    kNoMatch,   // authoritative: no signature instantiation exists
+    kMatched,   // *result holds the cover; tuple retired (+ yield registered)
+    kFallback,  // could not decide locally; caller runs MatchAndRetire
+  };
+  // Scans the live slots one stripe lock at a time against `gen` (the
+  // caller's pinned generation), copies candidate tuples into private
+  // pools, and runs the cover search on the copies. On a match it performs
+  // the same retire(+register) sequence as MatchAndRetire, then validates
+  // the chosen cover is still standing; validation churn retries a bounded
+  // number of times before handing the decision to the epoch. Falls back
+  // (never recomputes) when any live slot's membership cache is stale
+  // w.r.t. `gen` — only the epoch path may recompute memberships.
+  FastMatchOutcome TryMatchIncremental(ThreadId thread, LockId lock, StackId stack,
+                                       ThreadSlot& slot, bool yield_on_match, const SigGen& gen,
+                                       MatchResult* result);
+  // True when every non-requester tuple of `result`'s cover is still in its
+  // slot (one stripe lock at a time). `scan_versions[s]` is the version
+  // slot stripe `s` had during the pool scan: an unchanged stripe is valid
+  // without a presence check.
+  bool CoverStillStands(const MatchResult& result,
+                        const std::vector<std::uint64_t>& scan_versions);
+  // Yield-set bookkeeping shared by both matchers. Register takes yield_m_
+  // then park_m; it must complete before the requester's allow tuple is
+  // removed so a releaser that saw the tuple also sees yield_count_ > 0.
+  void RegisterYield(ThreadId thread, ThreadSlot& slot, const MatchResult& result);
+  void UnregisterYield(ThreadId thread, ThreadSlot& slot);
+
   bool CoverPositions(const SigGen::Entry& sig,
                       const std::vector<std::vector<std::pair<StackId, AllowedTuple>>>& pools,
-                      std::size_t pos, std::vector<AllowedTuple>& chosen,
-                      std::vector<StackId>& chosen_stacks,
-                      std::unordered_set<ThreadId>& used_threads, UsedLocks& used_locks,
-                      ThreadId requester, LockId req_lock, bool& requester_used);
+                      std::size_t pos, CoverScratch& cover, ThreadId requester, LockId req_lock);
 
   // Parks the calling thread until woken, canceled, or timed out.
   // Returns: 0 woken, 1 timeout(yield bound), 2 broken, 3 deadline.

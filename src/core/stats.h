@@ -37,8 +37,12 @@ struct EngineStatsSnapshot {
   std::uint64_t signatures_disabled = 0;
   std::uint64_t depth_true_yields = 0;
   std::uint64_t depth_fp_yields = 0;
-  std::uint64_t epoch_stalls = 0;
+  std::uint64_t epoch_entries = 0;
   std::uint64_t epoch_stall_ns = 0;
+  std::uint64_t epoch_hold_ns = 0;
+  std::uint64_t match_fast_path = 0;
+  std::uint64_t match_slow_path = 0;
+  std::uint64_t match_fast_retries = 0;
 };
 
 struct MonitorStatsSnapshot {
@@ -72,12 +76,22 @@ struct EngineStats {
   // (shallower) configured depth is a depth-false positive.
   ShardedCounter depth_true_yields;
   ShardedCounter depth_fp_yields;
-  // Stop-the-stripes convoy accounting (always on — the Figure 5 p99 tail is
-  // exactly this queue): entries into the slot epoch, and the total time
-  // spent waiting for the Peterson filter + every stripe lock before each
-  // entry. The hold time itself is on the obs epoch-hold histogram.
-  ShardedCounter epoch_stalls;
+  // Stop-the-stripes accounting (always on): entries into the slot epoch,
+  // the total time spent waiting for the Peterson filter + every stripe lock
+  // before each entry, and the total time the epoch was then held. With the
+  // incremental matcher the epoch is the rare slow path, so epoch_entries
+  // staying near zero under load is itself the signal that the tail fix
+  // holds; the per-entry hold distribution is on the obs epoch-hold
+  // histogram and bounded by Config::epoch_hold_bound in debug builds.
+  ShardedCounter epoch_entries;
   ShardedCounter epoch_stall_ns;
+  ShardedCounter epoch_hold_ns;
+  // Cover-search routing: requests decided from per-stripe snapshots without
+  // entering the epoch (fast) vs. requests that fell back to the
+  // stop-the-stripes search (slow), plus fast-path validation retries.
+  ShardedCounter match_fast_path;
+  ShardedCounter match_slow_path;
+  ShardedCounter match_fast_retries;
 
   EngineStatsSnapshot Snapshot() const {
     EngineStatsSnapshot s;
@@ -94,8 +108,12 @@ struct EngineStats {
     s.signatures_disabled = signatures_disabled.load(std::memory_order_relaxed);
     s.depth_true_yields = depth_true_yields.load(std::memory_order_relaxed);
     s.depth_fp_yields = depth_fp_yields.load(std::memory_order_relaxed);
-    s.epoch_stalls = epoch_stalls.load(std::memory_order_relaxed);
+    s.epoch_entries = epoch_entries.load(std::memory_order_relaxed);
     s.epoch_stall_ns = epoch_stall_ns.load(std::memory_order_relaxed);
+    s.epoch_hold_ns = epoch_hold_ns.load(std::memory_order_relaxed);
+    s.match_fast_path = match_fast_path.load(std::memory_order_relaxed);
+    s.match_slow_path = match_slow_path.load(std::memory_order_relaxed);
+    s.match_fast_retries = match_fast_retries.load(std::memory_order_relaxed);
     return s;
   }
 };

@@ -347,6 +347,11 @@ void IpcArena::ClearOwnEdgesLocked() {
     free_rows_.push_back(row);
   }
   rows_.clear();
+  for (const auto& [key, row] : upgrade_rows_) {
+    FreeEdgeRow(row);
+    free_rows_.push_back(row);
+  }
+  upgrade_rows_.clear();
 }
 
 void IpcArena::WriteEdgeRow(int row, ThreadId thread, LockId lock, bool hold, AcquireMode mode,
@@ -389,10 +394,22 @@ void IpcArena::PublishWait(ThreadId thread, LockId lock, AcquireMode mode,
     auto* r = static_cast<EdgeRecord*>(EdgePtr(self_index_, row));
     if (Ref(r->state).load(std::memory_order_relaxed) == kEdgeHold) {
       // Upgrade request over our own standing hold (shared -> exclusive):
-      // keep the hold visible — losing it would hide a held lock from the
-      // fleet; the upgrade's wait edge stays process-local. (Cross-process
-      // upgrade cycles are deferred; see ROADMAP.)
-      return;
+      // the hold row must stay visible — losing it would hide a held lock
+      // from the fleet — so the wait gets a row of its own. Peers then
+      // mirror this thread as simultaneously holding (shared) and waiting
+      // (exclusive), the exact shape that makes upgrade-upgrade cycles
+      // across processes detectable.
+      auto up = upgrade_rows_.find(key);
+      if (up != upgrade_rows_.end()) {
+        row = up->second;  // re-publish (retry with a different stack/mode)
+      } else if (!free_rows_.empty()) {
+        row = free_rows_.back();
+        free_rows_.pop_back();
+        upgrade_rows_.emplace(key, row);
+      } else {
+        ++dropped_;
+        return;
+      }
     }
   } else if (!free_rows_.empty()) {
     row = free_rows_.back();
@@ -407,6 +424,14 @@ void IpcArena::PublishWait(ThreadId thread, LockId lock, AcquireMode mode,
 
 void IpcArena::ClearWait(ThreadId thread, LockId lock) {
   std::lock_guard<SpinLock> guard(local_m_);
+  // A withdrawn upgrade (cancel / timeout / broken) retracts only the wait
+  // row; the underlying shared hold stays published.
+  if (auto up = upgrade_rows_.find(Key{thread, lock}); up != upgrade_rows_.end()) {
+    FreeEdgeRow(up->second);
+    free_rows_.push_back(up->second);
+    upgrade_rows_.erase(up);
+    return;
+  }
   auto it = rows_.find(Key{thread, lock});
   if (it == rows_.end()) {
     return;
@@ -424,6 +449,13 @@ void IpcArena::PublishHold(ThreadId thread, LockId lock, AcquireMode mode,
                            const std::vector<Frame>& frames) {
   std::lock_guard<SpinLock> guard(local_m_);
   const Key key{thread, lock};
+  // A committed upgrade ends its wait: free the distinct wait row before
+  // rewriting the main row as the (now exclusive) hold.
+  if (auto up = upgrade_rows_.find(key); up != upgrade_rows_.end()) {
+    FreeEdgeRow(up->second);
+    free_rows_.push_back(up->second);
+    upgrade_rows_.erase(up);
+  }
   auto it = rows_.find(key);
   int row = -1;
   std::uint32_t count = 1;
@@ -462,6 +494,14 @@ void IpcArena::ClearHold(ThreadId thread, LockId lock) {
       Ref(r->seq).fetch_add(1, std::memory_order_release);
       return;
     }
+  }
+  // Defensive: a hold fully released while its upgrade wait row still
+  // stands must not leak that row (the engine retracts the wait before the
+  // hold on every path, so this is belt-and-braces).
+  if (auto up = upgrade_rows_.find(Key{thread, lock}); up != upgrade_rows_.end()) {
+    FreeEdgeRow(up->second);
+    free_rows_.push_back(up->second);
+    upgrade_rows_.erase(up);
   }
   FreeEdgeRow(it->second);
   free_rows_.push_back(it->second);

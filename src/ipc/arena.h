@@ -99,9 +99,12 @@ class IpcArena {
 
   // --- Local publishing (application threads; global locks only) -----------
   // One logical edge per (thread, lock); a hold published over a standing
-  // wait reuses the row. Publishing is drop-on-overflow: when all edge rows
-  // are in use the edge is counted in dropped_publishes() and skipped —
-  // avoidance degrades to single-process behavior, never blocks.
+  // wait reuses the row. Exception: a wait published over a standing hold —
+  // a shared->exclusive upgrade — takes a SECOND row, so peers see both the
+  // hold and the wait and can detect upgrade-upgrade cycles. Publishing is
+  // drop-on-overflow: when all edge rows are in use the edge is counted in
+  // dropped_publishes() and skipped — avoidance degrades to single-process
+  // behavior, never blocks.
   void PublishWait(ThreadId thread, LockId lock, AcquireMode mode,
                    const std::vector<Frame>& frames);
   void ClearWait(ThreadId thread, LockId lock);
@@ -157,6 +160,11 @@ class IpcArena {
   // Process-local index of this participant's published edges.
   mutable SpinLock local_m_;
   std::unordered_map<Key, int, KeyHash> rows_;  // (thread, lock) -> edge row
+  // Distinct wait rows for shared->exclusive upgrades: when (thread, lock)
+  // already has a hold row, its upgrade's wait edge gets a second row here
+  // so the hold stays visible while the wait is published. Freed when the
+  // upgrade commits (PublishHold) or is withdrawn (ClearWait).
+  std::unordered_map<Key, int, KeyHash> upgrade_rows_;
   std::vector<int> free_rows_;
   std::uint64_t dropped_ = 0;
 };

@@ -13,6 +13,7 @@ std::size_t IpcBridge::EdgeKeyHash::operator()(const EdgeKey& k) const {
   std::uint64_t h = HashCombine(static_cast<std::uint64_t>(k.participant), k.generation);
   h = HashCombine(h, static_cast<std::uint64_t>(k.thread));
   h = HashCombine(h, k.lock);
+  h = HashCombine(h, k.hold ? 1u : 0u);
   return static_cast<std::size_t>(h);
 }
 
@@ -116,37 +117,31 @@ void IpcBridge::Tick() {
     reclaimed_total_ += static_cast<std::uint64_t>(arena_->SweepDeadParticipants());
   }
 
+  // Three passes, retires strictly before folds. A wait -> hold promotion
+  // rewrites one arena row, which under the kind-qualified EdgeKey appears
+  // as one key vanishing and another appearing; retiring the stale wait
+  // BEFORE folding the hold keeps the engine's tuple set from ever pairing
+  // a fold with the wrong pre-existing tuple (RemoveTuple falls back to any
+  // (thread, lock) match when the edge kind differs).
   const std::vector<ForeignEdge> edges = arena_->SnapshotForeign();
+
+  // Pass 1: mark unchanged mirrored edges as seen; collect the rest.
+  std::vector<const ForeignEdge*> to_fold;
   for (const ForeignEdge& edge : edges) {
-    const EdgeKey key{edge.participant, edge.generation, edge.thread, edge.lock};
+    const EdgeKey key{edge.participant, edge.generation, edge.thread, edge.lock, edge.hold};
     auto it = mirrored_.find(key);
-    if (it != mirrored_.end() && it->second.hold == edge.hold &&
-        it->second.mode == edge.mode) {
+    if (it != mirrored_.end() && it->second.mode == edge.mode) {
       it->second.seen_tick = tick_count_;  // unchanged
       continue;
     }
     if (edge.frames.empty()) {
       continue;  // unpublishable record; skip (never mirror a stackless edge)
     }
-    const StackId stack = stacks_->Intern(edge.frames);
-    const ThreadId tid = SyntheticTid(ThreadKey{edge.participant, edge.generation, edge.thread});
-    if (it != mirrored_.end()) {
-      // wait -> hold (acquisition) or hold -> wait / mode change: retire the
-      // old mirrored edge, then fold the new one.
-      RetireEdge(key, it->second);
-      mirrored_.erase(it);
-      ++edges_folded;
-    }
-    if (edge.hold) {
-      engine_->MirrorForeignHold(tid, edge.lock, stack, edge.mode);
-    } else {
-      engine_->MirrorForeignWait(tid, edge.lock, stack, edge.mode);
-    }
-    ++edges_folded;
-    mirrored_.emplace(key, Mirrored{tid, stack, edge.hold, edge.mode, tick_count_});
+    to_fold.push_back(&edge);
   }
 
-  // Anything not in this snapshot disappeared: released, canceled, or the
+  // Pass 2: anything not seen this tick disappeared — released, canceled,
+  // promoted/demoted to the other edge kind, mode-changed, or the
   // participant died (sweep or slot reuse). Fold the removal in; releases
   // wake local yielders blocked on the vanished holder.
   for (auto it = mirrored_.begin(); it != mirrored_.end();) {
@@ -157,6 +152,23 @@ void IpcBridge::Tick() {
     } else {
       ++it;
     }
+  }
+
+  // Pass 3: fold the new edges.
+  for (const ForeignEdge* edge : to_fold) {
+    const EdgeKey key{edge->participant, edge->generation, edge->thread, edge->lock,
+                      edge->hold};
+    const StackId stack = stacks_->Intern(edge->frames);
+    const ThreadId tid =
+        SyntheticTid(ThreadKey{edge->participant, edge->generation, edge->thread});
+    if (edge->hold) {
+      engine_->MirrorForeignHold(tid, edge->lock, stack, edge->mode);
+    } else {
+      engine_->MirrorForeignWait(tid, edge->lock, stack, edge->mode);
+    }
+    ++edges_folded;
+    mirrored_.insert_or_assign(key,
+                               Mirrored{tid, stack, edge->hold, edge->mode, tick_count_});
   }
 
   {

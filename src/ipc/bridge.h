@@ -108,6 +108,10 @@ class IpcBridge : public GlobalEdgePublisher {
     std::uint64_t generation;
     ThreadId thread;
     LockId lock;
+    // Edge kind is part of the identity: during a shared->exclusive upgrade
+    // a foreign thread legitimately has BOTH a hold and a wait on the same
+    // lock (two arena rows), and both must be mirrored side by side.
+    bool hold;
     bool operator==(const EdgeKey&) const = default;
   };
   struct EdgeKeyHash {

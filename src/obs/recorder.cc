@@ -37,6 +37,8 @@ const char* HistoName(HistoKind kind) {
       return "yield_duration_ns";
     case HistoKind::kEpochHold:
       return "epoch_hold_ns";
+    case HistoKind::kMatchDuration:
+      return "match_duration_ns";
   }
   return "unknown";
 }

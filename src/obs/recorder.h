@@ -41,8 +41,9 @@ enum class HistoKind {
   kAcquireLatency = 0,  // request begin -> acquisition commit
   kYieldDuration = 1,   // park -> unpark
   kEpochHold = 2,       // stop-the-stripes guard held
+  kMatchDuration = 3,   // incremental (fast-path) cover scan
 };
-inline constexpr int kHistoKindCount = 3;
+inline constexpr int kHistoKindCount = 4;
 
 const char* HistoName(HistoKind kind);
 // -1 if `name` is not a histogram name.

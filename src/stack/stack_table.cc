@@ -128,8 +128,8 @@ StackId StackTable::Intern(const std::vector<Frame>& frames) {
     auto [stored, stored_index] = entries_.Append(std::move(entry));
     (void)stored_index;
     for (int d = 1; d <= max_depth_; ++d) {
-      by_depth_[static_cast<std::size_t>(d - 1)][stored->depth_hash[static_cast<std::size_t>(d - 1)]]
-          .push_back(stored->id);
+      const std::size_t di = static_cast<std::size_t>(d - 1);
+      by_depth_[di][stored->depth_hash[di]].push_back(stored->id);
     }
     IndexInsertLocked(full, stored->id);
     created = stored;

@@ -109,11 +109,58 @@ TEST_F(ArenaTest, ClearWaitNeverRetractsAPromotedHold) {
   ASSERT_EQ(edges.size(), 1u);
   EXPECT_TRUE(edges[0].hold);
 
-  // And an upgrade's wait never hides the standing hold.
+  // And an upgrade's wait never hides the standing hold: the wait takes a
+  // second row of its own (lifecycle covered by UpgradeWaitGetsDistinctRow).
   a->PublishWait(1, lock, AcquireMode::kExclusive, {0x1});
+  edges = b->SnapshotForeign();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_NE(edges[0].hold, edges[1].hold);
+}
+
+TEST_F(ArenaTest, UpgradeWaitGetsDistinctRow) {
+  std::string error;
+  auto a = IpcArena::OpenOrCreate(path_, &error);
+  ASSERT_NE(a, nullptr) << error;
+  auto b = IpcArena::OpenOrCreate(path_, &error);
+  ASSERT_NE(b, nullptr) << error;
+
+  const LockId lock = kGlobalLockBit | 0x8;
+  a->PublishHold(4, lock, AcquireMode::kShared, {0x1});
+  // Shared -> exclusive upgrade: peers must see the shared hold AND the
+  // exclusive wait side by side, or cross-process upgrade-upgrade cycles
+  // are invisible.
+  a->PublishWait(4, lock, AcquireMode::kExclusive, {0x2});
+  auto edges = b->SnapshotForeign();
+  ASSERT_EQ(edges.size(), 2u);
+  const auto& hold = edges[0].hold ? edges[0] : edges[1];
+  const auto& wait = edges[0].hold ? edges[1] : edges[0];
+  EXPECT_TRUE(hold.hold);
+  EXPECT_EQ(hold.mode, AcquireMode::kShared);
+  EXPECT_FALSE(wait.hold);
+  EXPECT_EQ(wait.mode, AcquireMode::kExclusive);
+  EXPECT_EQ(hold.thread, wait.thread);
+  EXPECT_EQ(hold.lock, wait.lock);
+
+  // A withdrawn upgrade (trylock rollback / yield timeout) retracts only
+  // the wait row; the shared hold stays published.
+  a->ClearWait(4, lock);
   edges = b->SnapshotForeign();
   ASSERT_EQ(edges.size(), 1u);
   EXPECT_TRUE(edges[0].hold);
+  EXPECT_EQ(edges[0].mode, AcquireMode::kShared);
+
+  // A committed upgrade frees the wait row and promotes the hold row.
+  a->PublishWait(4, lock, AcquireMode::kExclusive, {0x2});
+  a->PublishHold(4, lock, AcquireMode::kExclusive, {0x2});
+  edges = b->SnapshotForeign();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_TRUE(edges[0].hold);
+  EXPECT_EQ(edges[0].mode, AcquireMode::kExclusive);
+
+  // Full unwind leaks nothing (reentrant count was bumped by the commit).
+  a->ClearHold(4, lock);
+  a->ClearHold(4, lock);
+  EXPECT_TRUE(b->SnapshotForeign().empty());
 }
 
 TEST_F(ArenaTest, OverflowDropsInsteadOfBlocking) {

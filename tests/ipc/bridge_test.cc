@@ -20,6 +20,7 @@
 #include "src/core/avoidance.h"
 #include "src/event/event_queue.h"
 #include "src/ipc/global_id.h"
+#include "src/rag/rag.h"
 #include "src/signature/history.h"
 #include "src/stack/annotation.h"
 #include "src/stack/stack_table.h"
@@ -180,6 +181,46 @@ TEST_F(BridgeTest, WaitEdgesMirrorAndClear) {
   a.engine->CancelRequest(ta, kLock2);  // trylock-style rollback
   b.bridge->Tick();
   EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 0u);
+}
+
+TEST_F(BridgeTest, UpgradeUpgradeCycleAcrossProcessesIsDetectable) {
+  Side a(arena_path_);
+  Side b(arena_path_);
+  ASSERT_TRUE(a.started);
+  ASSERT_TRUE(b.started);
+
+  // Both "processes" read-lock the same global lock, then request the
+  // exclusive upgrade — the SQLite RESERVED-lock shape, across processes.
+  // Neither upgrade can commit while the other side's shared hold stands.
+  const ThreadId ta = a.engine->registry().RegisterCurrentThread();
+  const ThreadId tb = b.engine->registry().RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("bridge::upgrader"));
+  ASSERT_EQ(a.engine->Request(ta, kLock1, AcquireMode::kShared), RequestDecision::kGo);
+  a.engine->Acquired(ta, kLock1, AcquireMode::kShared);
+  ASSERT_EQ(b.engine->Request(tb, kLock1, AcquireMode::kShared), RequestDecision::kGo);
+  b.engine->Acquired(tb, kLock1, AcquireMode::kShared);
+  b.bridge->Tick();  // B mirrors A's shared hold
+
+  // Upgrade requests (granted by avoidance — no signature matches — so the
+  // wait edges stand while the raw layer would block).
+  ASSERT_EQ(a.engine->Request(ta, kLock1, AcquireMode::kExclusive), RequestDecision::kGo);
+  ASSERT_EQ(b.engine->Request(tb, kLock1, AcquireMode::kExclusive), RequestDecision::kGo);
+  b.bridge->Tick();
+
+  // The arena publishes A's upgrade as hold + wait side by side, so B
+  // mirrors TWO foreign edges for the one foreign thread.
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 2u);
+
+  // B's monitor-side RAG now sees the cycle: tb (exclusive waiter) conflicts
+  // with the foreign shared holder, whose own exclusive wait conflicts with
+  // tb's shared hold. Before upgrade waits were published, this deadlock
+  // was undetectable from either process.
+  Rag rag;
+  while (auto ev = b.queue->Pop()) {
+    rag.Apply(*ev);
+  }
+  EXPECT_FALSE(rag.DetectDeadlocks().empty())
+      << "cross-process upgrade-upgrade cycle must form a detectable RAG cycle";
 }
 
 TEST_F(BridgeTest, LocalLocksNeverReachTheArena) {

@@ -43,6 +43,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -66,6 +67,13 @@ Duration MeasureDuration(const Options& opts) {
   return opts.quick ? std::chrono::milliseconds(250) : std::chrono::milliseconds(1000);
 }
 
+// Recorded in every report's config: the tail-ratio gate only applies to
+// samples whose thread count the machine can actually run (threads ≤ 2×cpus).
+std::string CpuCount() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  return std::to_string(cores > 0 ? cores : 1);
+}
+
 WorkloadParams BaseParams(const Options& opts, int threads) {
   WorkloadParams params;
   params.threads = threads;
@@ -84,7 +92,7 @@ WorkloadParams BaseParams(const Options& opts, int threads) {
 // regression (e.g. the pre-striping epoch guard) trips it.
 std::uint64_t P99BudgetNs(const std::string& bench) {
   if (bench == "fig5") {
-    return 20'000'000;  // committed p99 ~2 ms (64-thread epoch convoy)
+    return 20'000'000;  // yield parks under an oversubscribed run queue
   }
   if (bench == "fig8") {
     return 5'000'000;  // committed p99 ~24 us
@@ -93,6 +101,18 @@ std::uint64_t P99BudgetNs(const std::string& bench) {
     return 5'000'000;  // committed p99 ~3.5 us (cross-process publish)
   }
   return 0;
+}
+
+// Tail-ratio budget (p99 ≤ budget × p50) for the instrumented samples,
+// enforced by scripts/bench_gate.py on samples with threads ≤ 2×cpus (see
+// trial.h and docs/performance.md for why the gate stops there). 10x is the
+// design target the incremental matcher must hold: the pre-incremental
+// epoch convoy sat near 900x.
+double TailBudgetRatio(const std::string& bench) {
+  if (bench == "fig5" || bench == "fig8") {
+    return 10.0;
+  }
+  return 0.0;
 }
 
 BenchSample ToSample(const char* label, int threads, const WorkloadResult& result) {
@@ -133,7 +153,9 @@ int RunFig5(const Options& opts) {
   BenchReport report;
   report.bench = "fig5";
   report.p99_budget_ns = P99BudgetNs(report.bench);
+  report.tail_budget_ratio = TailBudgetRatio(report.bench);
   report.config = {
+      {"cpus", CpuCount()},
       {"workload", "sync microbenchmark (7.2.2)"},
       {"locks", "8"},
       {"delta_in_us", "1"},
@@ -159,6 +181,18 @@ int RunFig5(const Options& opts) {
     params.runtime = &rt;
     const WorkloadResult dimx = RunWorkload(params);
     report.samples.push_back(ToSample("dimmunix", threads, dimx));
+    {
+      // Matcher-health summary alongside the throughput line: epoch entries
+      // near zero (one per history load) and slow path at zero are the
+      // structural proof the incremental matcher is carrying the decisions.
+      const EngineStatsSnapshot es = rt.engine().stats().Snapshot();
+      std::printf("  matcher: fast=%llu slow=%llu retries=%llu epochs=%llu hold_us=%llu\n",
+                  static_cast<unsigned long long>(es.match_fast_path),
+                  static_cast<unsigned long long>(es.match_slow_path),
+                  static_cast<unsigned long long>(es.match_fast_retries),
+                  static_cast<unsigned long long>(es.epoch_entries),
+                  static_cast<unsigned long long>(es.epoch_hold_ns / 1000));
+    }
 
     // Headline aggregate: the instrumented run at the highest thread count.
     report.p50_ns = PercentileNs(dimx.latencies_ns, 0.50);
@@ -197,7 +231,9 @@ int RunFig8(const Options& opts) {
   BenchReport report;
   report.bench = "fig8";
   report.p99_budget_ns = P99BudgetNs(report.bench);
+  report.tail_budget_ratio = TailBudgetRatio(report.bench);
   report.config = {
+      {"cpus", CpuCount()},
       {"workload", "sync microbenchmark (7.2.2), staged engine"},
       {"locks", "8"},
       {"delta_in_us", "1"},
@@ -407,6 +443,7 @@ int RunFig4(const Options& opts) {
   report.bench = "fig4";
   report.p99_budget_ns = P99BudgetNs(report.bench);
   report.config = {
+      {"cpus", CpuCount()},
       {"workload", "two-process PROCESS_SHARED mutex victim + local fast path"},
       {"processes", std::to_string(kFig4Processes)},
       {"signatures", "64"},
