@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Docs lane: keep the documentation from silently rotting.
+
+Two checks, both cheap enough to run on every push:
+
+1. Link check — every relative markdown link in docs/*.md and README.md
+   must point at a file that exists in the repo (anchors are stripped;
+   external http(s)/mailto links are skipped: CI must not depend on the
+   network).
+2. Subsystem guard — every `src/<subsystem>/` directory must be named in
+   docs/architecture.md's subsystem map. Adding a new subsystem without
+   documenting where it sits in the architecture fails CI.
+
+Exit status is the number of violations (0 = clean).
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) — good enough for the hand-written markdown in this repo;
+# fenced code blocks are excluded below so code samples can't false-positive.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def strip_fenced_code(text: str) -> str:
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_links(md_path: pathlib.Path) -> list[str]:
+    errors = []
+    text = strip_fenced_code(md_path.read_text(encoding="utf-8"))
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:  # pure in-page anchor
+            continue
+        resolved = (md_path.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{md_path.relative_to(ROOT)}: broken link -> {target}")
+    return errors
+
+
+def check_subsystems() -> list[str]:
+    arch = ROOT / "docs" / "architecture.md"
+    if not arch.exists():
+        return ["docs/architecture.md is missing"]
+    text = arch.read_text(encoding="utf-8")
+    errors = []
+    for sub in sorted((ROOT / "src").iterdir()):
+        if not sub.is_dir():
+            continue
+        needle = f"src/{sub.name}/"
+        if needle not in text:
+            errors.append(
+                f"docs/architecture.md: subsystem {needle} is not documented "
+                "(add it to the subsystem map)"
+            )
+    return errors
+
+
+def main() -> int:
+    errors = []
+    for md in [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]:
+        errors.extend(check_links(md))
+    errors.extend(check_subsystems())
+    for err in errors:
+        print(f"docs-check: {err}", file=sys.stderr)
+    if not errors:
+        print("docs-check: all links resolve, all subsystems documented")
+    return min(len(errors), 99)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

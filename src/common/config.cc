@@ -63,6 +63,8 @@ Config Config::FromEnvironment(Config base) {
   }
   base.ipc_bridge_period = std::chrono::milliseconds(
       EnvLong("DIMMUNIX_IPC_BRIDGE_MS", base.ipc_bridge_period.count()));
+  base.ipc_flush_period = std::chrono::microseconds(
+      EnvLong("DIMMUNIX_IPC_FLUSH_US", base.ipc_flush_period.count()));
   if (const char* m = Getenv("DIMMUNIX_IMMUNITY"); m != nullptr) {
     std::string_view s(m);
     if (s == "strong") {

@@ -121,6 +121,12 @@ struct Config {
   std::string ipc_path;
   // How often the bridge mirrors foreign edges (and heartbeats).
   std::chrono::milliseconds ipc_bridge_period{25};
+  // How long a batched (deferred) edge publication may sit in the pending
+  // op-log before the bridge drains it to the arena. 0 = publish eagerly on
+  // every transition (protocol-v1 behavior, higher per-op cost). Contention
+  // flushes immediately regardless — this bound only applies to edges no
+  // local thread is blocked behind. See docs/ipc-arena.md.
+  std::chrono::microseconds ipc_flush_period{2000};
 
   // --- Control plane ---------------------------------------------------------
   // Non-empty: the runtime listens on this UNIX-domain socket for `dimctl`
@@ -164,6 +170,9 @@ struct Config {
   //   DIMMUNIX_JOURNAL_THRESHOLD, DIMMUNIX_JOURNAL_FSYNC (0|1),
   //   DIMMUNIX_RESYNC_MS (0 = off),
   //   DIMMUNIX_IPC (arena path), DIMMUNIX_IPC_BRIDGE_MS,
+  //   DIMMUNIX_IPC_FLUSH_US (0 = eager publication),
+  //   DIMMUNIX_ID_CACHE (per-thread global-ID cache entries, 0 = off —
+  //   read by src/ipc/global_id.cc),
   //   DIMMUNIX_TRACE (0|1), DIMMUNIX_TRACE_RING (events per thread),
   //   DIMMUNIX_TRACE_DUMP (Chrome-JSON dump path, %p -> pid),
   //   DIMMUNIX_METRICS (0|1, default 1),

@@ -203,10 +203,16 @@ std::string DoIpc(Runtime& rt) {
   out << "foreign_edges=" << s.foreign_edges_mirrored << "\n";
   out << "participants_reclaimed=" << s.participants_reclaimed << "\n";
   out << "dropped_publishes=" << s.dropped_publishes << "\n";
+  out << "flushes=" << s.flushes << "\n";
+  out << "flush_ops=" << s.flush_ops << "\n";
+  out << "pending_ops=" << s.pending_ops << "\n";
+  out << "id_cache_hits=" << s.id_cache_hits << "\n";
+  out << "id_cache_misses=" << s.id_cache_misses << "\n";
   for (const ipc::ParticipantInfo& p : s.participants) {
     out << "participant " << p.index << " pid=" << p.pid << " generation=" << p.generation
         << " alive=" << (p.alive ? 1 : 0) << " self=" << (p.self ? 1 : 0)
-        << " edges=" << p.edges << " heartbeat_age_ms=" << p.heartbeat_age_ms << "\n";
+        << " edges=" << p.edges << " heartbeat_age_ms=" << p.heartbeat_age_ms
+        << " proto=" << p.proto_version << " flush_seq=" << p.flush_seq << "\n";
   }
   return out.str();
 }
@@ -479,6 +485,18 @@ std::string DoMetrics(Runtime& rt) {
     obs::AppendPromGauge(&out, "dimmunix_ipc_foreign_edges",
                          "Foreign edges currently mirrored into the local RAG.",
                          s.foreign_edges_mirrored);
+    obs::AppendPromCounter(&out, "dimmunix_ipc_flushes_total",
+                           "Pending-log drains into the arena.", s.flushes);
+    obs::AppendPromCounter(&out, "dimmunix_ipc_flush_ops_total",
+                           "Edge operations replayed by flushes.", s.flush_ops);
+    obs::AppendPromGauge(&out, "dimmunix_ipc_pending_ops",
+                         "Edge operations waiting in the pending log.", s.pending_ops);
+    obs::AppendPromCounter(&out, "dimmunix_global_id_cache_hits_total",
+                           "Global-ID resolutions served from the per-thread cache.",
+                           s.id_cache_hits);
+    obs::AppendPromCounter(&out, "dimmunix_global_id_cache_misses_total",
+                           "Global-ID resolutions that ran the slow path.",
+                           s.id_cache_misses);
   }
   for (int kind = 0; kind < obs::kHistoKindCount; ++kind) {
     const obs::HistoKind k = static_cast<obs::HistoKind>(kind);
@@ -494,7 +512,7 @@ std::string DoHisto(Runtime& rt, const std::string& name) {
   if (kind < 0) {
     return Err("unknown histogram '" + name +
                "' (try acquire_latency_ns | yield_duration_ns | epoch_hold_ns | "
-               "match_duration_ns)");
+               "match_duration_ns | ipc_flush_ns)");
   }
   return "ok\n" +
          obs::HistoReadout(rt.recorder().histogram(static_cast<obs::HistoKind>(kind)).Snapshot());

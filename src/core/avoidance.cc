@@ -168,10 +168,18 @@ void AvoidanceEngine::AddTupleLocked(SlotStripe& stripe, StackId stack, StackSlo
   }
   if (matching) {
     // seq_cst: pairs with the seq_cst fast-reject loads so two racing
-    // requesters cannot both miss each other's tentative tuple.
+    // requesters cannot both miss each other's tentative tuple. The
+    // fully_live gate preserves that argument: if requester A's fully_live
+    // load misses requester B's increment, then in the seq_cst total order
+    // A's live[] add precedes B's fully_live add — so B's candidate scan
+    // (which runs after its own increment) observes A's tuple.
     for (const std::uint32_t pack : slot->memberships) {
-      gen->entries[pack >> kPosBits].live[pack & ((1u << kPosBits) - 1)].fetch_add(
-          1, std::memory_order_seq_cst);
+      const std::size_t e = pack >> kPosBits;
+      const std::size_t j = pack & ((1u << kPosBits) - 1);
+      if (gen->entries[e].live[j].fetch_add(1, std::memory_order_seq_cst) == 0 &&
+          gen->dead[e].fetch_sub(1, std::memory_order_seq_cst) == 1) {
+        gen->fully_live.fetch_add(1, std::memory_order_seq_cst);
+      }
     }
   }
 }
@@ -213,8 +221,12 @@ void AvoidanceEngine::RemoveTupleLocked(SlotStripe& stripe, StackId stack, Stack
     // published generation (adds refresh lazily; rebuilds visit live slots).
     EnsureMemberships(stack, slot, *gen);
     for (const std::uint32_t pack : slot->memberships) {
-      gen->entries[pack >> kPosBits].live[pack & ((1u << kPosBits) - 1)].fetch_sub(
-          1, std::memory_order_seq_cst);
+      const std::size_t e = pack >> kPosBits;
+      const std::size_t j = pack & ((1u << kPosBits) - 1);
+      if (gen->entries[e].live[j].fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+          gen->dead[e].fetch_add(1, std::memory_order_seq_cst) == 0) {
+        gen->fully_live.fetch_sub(1, std::memory_order_seq_cst);
+      }
     }
   }
 }
@@ -271,6 +283,7 @@ void AvoidanceEngine::RefreshGen() {
     entry.live = std::make_unique<std::atomic<std::int64_t>[]>(sig.stacks.size());
     gen->entries.push_back(std::move(entry));
   });
+  gen->dead = std::make_unique<std::atomic<std::int32_t>[]>(gen->entries.size());
   {
     // Stop the stripes: recompute every live slot's memberships against the
     // new generation and seed its per-position live counters, then publish.
@@ -286,6 +299,24 @@ void AvoidanceEngine::RefreshGen() {
         }
       }
     }
+    // Seed the O(1) fast-reject counters from the freshly computed live
+    // counts. Safe to do non-transitionally: we hold every stripe, so no
+    // Add/RemoveTupleLocked can interleave before the generation publishes.
+    std::int64_t fully_live = 0;
+    for (std::size_t e = 0; e < gen->entries.size(); ++e) {
+      const SigGen::Entry& entry = gen->entries[e];
+      std::int32_t dead = entry.sig_stacks.empty() ? 1 : 0;
+      for (std::size_t j = 0; j < entry.sig_stacks.size(); ++j) {
+        if (entry.live[j].load(std::memory_order_relaxed) <= 0) {
+          ++dead;
+        }
+      }
+      gen->dead[e].store(dead, std::memory_order_relaxed);
+      if (dead == 0) {
+        ++fully_live;
+      }
+    }
+    gen->fully_live.store(fully_live, std::memory_order_relaxed);
     gen_.store(gen.get(), std::memory_order_seq_cst);
     retired_gens_.push_back(std::move(gen));
 
@@ -314,25 +345,11 @@ void AvoidanceEngine::RefreshGen() {
 }
 
 bool AvoidanceEngine::AnyInstantiationPlausible(const SigGen& gen) const {
-  for (const SigGen::Entry& entry : gen.entries) {
-    if (entry.sig_stacks.empty()) {
-      continue;
-    }
-    bool possible = true;
-    for (std::size_t j = 0; j < entry.sig_stacks.size(); ++j) {
-      // §5.6 fast reject: "in most cases, at least one of these sets is
-      // empty, meaning there is no thread holding a lock in that stack
-      // configuration, so the signature is not instantiated."
-      if (entry.live[j].load(std::memory_order_seq_cst) <= 0) {
-        possible = false;
-        break;
-      }
-    }
-    if (possible) {
-      return true;
-    }
-  }
-  return false;
+  // §5.6 fast reject: "in most cases, at least one of these sets is empty,
+  // meaning there is no thread holding a lock in that stack configuration,
+  // so the signature is not instantiated." The per-entry dead-position
+  // counters reduce the signature scan to this single load.
+  return gen.fully_live.load(std::memory_order_seq_cst) > 0;
 }
 
 bool AvoidanceEngine::CoverPositions(
@@ -517,6 +534,14 @@ AvoidanceEngine::FastMatchOutcome AvoidanceEngine::TryMatchIncremental(
   // itself, which only the epoch can arbitrate.
   constexpr int kFastMatchAttempts = 3;
   constexpr std::size_t kNotCandidate = ~std::size_t{0};
+  // O(1) trivial reject (§5.6 common case): no signature has every position
+  // live, so no instantiation can exist. No counter tick and no
+  // match-duration sample — the histogram stays a picture of real cover
+  // searches. Our own tentative tuple is already counted (AddTuple ran
+  // before the match), so two racing requesters cannot both pass through.
+  if (gen.fully_live.load(std::memory_order_seq_cst) == 0) {
+    return FastMatchOutcome::kNoMatch;
+  }
   // Scratch reuse matters beyond CPU time: every nanosecond spent here is
   // spent with the requester's tentative tuple live, and the window length
   // feeds quadratically into how often concurrent requesters see each other
@@ -751,24 +776,19 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
     // re-requesting in any mode and a shared holder re-requesting shared are
     // reentrant; a shared holder requesting exclusive is an *upgrade* and
     // runs the full protocol — upgrade cycles are exactly the rwlock
-    // deadlocks the engine must see.
-    const bool reentrant = lock_owners_.WithStripe(lock, [&](auto& owners) {
-      auto it = owners.find(lock);
-      return it != owners.end() && it->second.HolderFor(thread) != nullptr &&
-             (it->second.mode == AcquireMode::kExclusive || mode == AcquireMode::kShared);
-    });
+    // deadlocks the engine must see. The thread's own holds live in its
+    // slot, so this needs no lock-owner stripe round trip.
+    bool reentrant = false;
+    for (const ThreadSlot::Held& held : slot.held) {
+      if (held.lock == lock) {
+        reentrant = held.mode == AcquireMode::kExclusive || mode == AcquireMode::kShared;
+        break;
+      }
+    }
     if (reentrant) {
       stats_.reentrant_acquisitions.fetch_add(1, std::memory_order_relaxed);
       return RequestDecision::kReentrant;
     }
-
-    Event request_ev;
-    request_ev.type = EventType::kRequest;
-    request_ev.thread = thread;
-    request_ev.lock = lock;
-    request_ev.stack = stack;
-    request_ev.mode = mode;
-    queue_->Push(request_ev);
 
     // Tentatively add the allow edge to the RAG cache (§5.4) — before the
     // fast reject, so two racing requesters cannot both miss each other.
@@ -842,10 +862,25 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
       allow_ev.lock = lock;
       allow_ev.stack = stack;
       allow_ev.mode = mode;
-      queue_->Push(allow_ev);
+      BufferHotEvent(slot, std::move(allow_ev));
       stats_.gos.fetch_add(1, std::memory_order_relaxed);
       return RequestDecision::kGo;
     }
+
+    // The kRequest event is only pushed on the yield path: for an immediate
+    // GO the monitor-side RAG nets kRequest -> kAllow down to the kAllow
+    // state anyway (same drain, same thread), so the uncontended fast path
+    // skips the push. A parked thread, though, must be visible as waiting —
+    // so the staged hot events (this thread's current holds) flush first,
+    // keeping the RAG's view of the yielder complete and in order.
+    FlushThreadEvents(slot);
+    Event request_ev;
+    request_ev.type = EventType::kRequest;
+    request_ev.thread = thread;
+    request_ev.lock = lock;
+    request_ev.stack = stack;
+    request_ev.mode = mode;
+    queue_->Push(request_ev);
 
     Event yield_ev;
     yield_ev.type = EventType::kYield;
@@ -883,6 +918,12 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
       stats_.depth_fp_yields.fetch_add(1, std::memory_order_relaxed);
     }
 
+    if (pub != nullptr) {
+      // Contention is one of the batching flush triggers: parking with our
+      // wait edge still in the pending log would hide a forming
+      // cross-process cycle from every peer for a full flush epoch.
+      pub->FlushPending();
+    }
     const std::uint64_t park_begin =
         recorder_ != nullptr && recorder_->timing() ? obs::NowNs() : 0;
     const int park_result = Park(slot, deadline);
@@ -929,7 +970,7 @@ RequestDecision AvoidanceEngine::Request(ThreadId thread, LockId lock, AcquireMo
       allow_ev.lock = lock;
       allow_ev.stack = stack;
       allow_ev.mode = mode;
-      queue_->Push(allow_ev);
+      BufferHotEvent(slot, std::move(allow_ev));
       stats_.gos.fetch_add(1, std::memory_order_relaxed);
       return RequestDecision::kGo;
     }
@@ -971,11 +1012,13 @@ RequestDecision AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock
   }
   const StackId stack = stacks_->Intern(captured);
 
-  const bool reentrant = lock_owners_.WithStripe(lock, [&](auto& owners) {
-    auto it = owners.find(lock);
-    return it != owners.end() && it->second.HolderFor(thread) != nullptr &&
-           (it->second.mode == AcquireMode::kExclusive || mode == AcquireMode::kShared);
-  });
+  bool reentrant = false;
+  for (const ThreadSlot::Held& held : slot.held) {
+    if (held.lock == lock) {
+      reentrant = held.mode == AcquireMode::kExclusive || mode == AcquireMode::kShared;
+      break;
+    }
+  }
   if (reentrant) {
     stats_.reentrant_acquisitions.fetch_add(1, std::memory_order_relaxed);
     return RequestDecision::kReentrant;  // caller resolves against lock kind
@@ -1040,7 +1083,7 @@ RequestDecision AvoidanceEngine::RequestNonblocking(ThreadId thread, LockId lock
   allow_ev.lock = lock;
   allow_ev.stack = stack;
   allow_ev.mode = mode;
-  queue_->Push(allow_ev);
+  BufferHotEvent(slot, std::move(allow_ev));
   stats_.gos.fetch_add(1, std::memory_order_relaxed);
   return RequestDecision::kGo;
 }
@@ -1070,10 +1113,20 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock, AcquireMode mode) {
         it->second.mode = AcquireMode::kExclusive;
         upgrade_retire = true;
       }
-    } else if (it == owners.end() || mode == AcquireMode::kExclusive) {
-      // Free lock, or an exclusive grant (an exclusive grant implies every
-      // previous holder is gone; replace defensively if events raced).
-      owners[lock] = LockOwnerInfo{mode, {LockHolder{thread, stack, 1}}};
+    } else if (it == owners.end()) {
+      // First time this lock is seen: create its (permanent) entry.
+      auto& info = owners[lock];
+      info.mode = mode;
+      info.holders.push_back(LockHolder{thread, stack, 1});
+    } else if (mode == AcquireMode::kExclusive || it->second.holders.empty()) {
+      // Free lock (released entries keep their map node and holder-vector
+      // capacity as a tombstone, so the uncontended acquire/release cycle
+      // never touches the allocator), or an exclusive grant (an exclusive
+      // grant implies every previous holder is gone; replace defensively if
+      // events raced).
+      it->second.mode = mode;
+      it->second.holders.clear();
+      it->second.holders.push_back(LockHolder{thread, stack, 1});
     } else {
       // Additional shared holder joins the owner set.
       it->second.mode = AcquireMode::kShared;
@@ -1087,11 +1140,14 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock, AcquireMode mode) {
     for (auto& held : slot.held) {
       if (held.lock == lock) {
         ++held.count;
+        if (upgrade_retire) {
+          held.mode = AcquireMode::kExclusive;  // committed upgrade
+        }
         break;
       }
     }
   } else {
-    slot.held.push_back(ThreadSlot::Held{lock, stack, 1});
+    slot.held.push_back(ThreadSlot::Held{lock, stack, 1, mode});
     // Allow edge -> hold edge in the RAG cache.
     StackSlot* stack_slot = SlotFor(stack);
     SlotStripe& stripe = StripeOf(stack);
@@ -1124,7 +1180,7 @@ void AvoidanceEngine::Acquired(ThreadId thread, LockId lock, AcquireMode mode) {
   ev.lock = lock;
   ev.stack = stack;
   ev.mode = mode;
-  queue_->Push(ev);
+  BufferHotEvent(slot, std::move(ev));
   stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
   if (slot.acquire_begin_ns != 0) {
     const std::uint64_t end_ns = obs::NowNs();
@@ -1179,12 +1235,13 @@ void AvoidanceEngine::Release(ThreadId thread, LockId lock) {
     if (LockHolder* holder = info.HolderFor(thread); holder != nullptr) {
       stack = holder->stack;
       if (--holder->count <= 0) {
-        // This thread's hold ends (other shared holders may remain).
+        // This thread's hold ends (other shared holders may remain). A
+        // fully-released entry stays in the map as a tombstone — every
+        // reader treats empty holders as "free", and keeping the node (and
+        // the holder vector's capacity) makes the next acquisition
+        // allocation-free.
         final_release = true;
         info.holders.erase(info.holders.begin() + (holder - info.holders.data()));
-        if (info.holders.empty()) {
-          owners.erase(it);
-        }
       }
     }
   });
@@ -1221,7 +1278,7 @@ void AvoidanceEngine::Release(ThreadId thread, LockId lock) {
   ev.lock = lock;
   ev.stack = stack;
   ev.mode = mode;
-  queue_->Push(ev);
+  BufferHotEvent(slot, std::move(ev));
   stats_.releases.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -1250,7 +1307,7 @@ void AvoidanceEngine::CancelRequest(ThreadId thread, LockId lock, AcquireMode mo
   ev.lock = lock;
   ev.stack = stack;
   ev.mode = mode;
-  queue_->Push(ev);
+  BufferHotEvent(slot, std::move(ev));
   stats_.trylock_cancels.fetch_add(1, std::memory_order_relaxed);
   if (slot.acquire_begin_ns != 0) {
     const std::uint64_t end_ns = obs::NowNs();
@@ -1299,6 +1356,63 @@ void AvoidanceEngine::CancelAcquisition(ThreadId thread) {
 
 void AvoidanceEngine::NotifyHistoryChanged() {
   RefreshGen();
+}
+
+// --- Hot-event staging -------------------------------------------------------
+
+void AvoidanceEngine::BufferHotEvent(ThreadSlot& slot, Event&& ev) {
+  // Stamp at emission: the monitor re-sorts its drain batch by seq, so
+  // staged events interleave with directly-pushed ones (and with other
+  // threads' staged events) in true emission order. Without this, a
+  // buffered acquired(L) could drain after another thread's later
+  // acquired(L) and displace the live holder in the RAG.
+  ev.seq = queue_->Stamp();
+  bool flush = false;
+  {
+    std::lock_guard<SpinLock> guard(slot.ev_m);
+    if (coalesce_events_.load(std::memory_order_relaxed)) {
+      auto& buf = slot.ev_buf;
+      const std::size_t n = buf.size();
+      // An uncontended critical section stages allow -> acquired -> release
+      // of the same lock back to back; the triple is a RAG no-op, so it
+      // cancels here and the monitor queue never sees it. Same for the
+      // trylock-miss pair allow -> cancel. The match must cover the whole
+      // in-buffer prefix of the exchange: if the allow already flushed, the
+      // later events must flush too or the RAG would keep a stale edge.
+      if (ev.type == EventType::kRelease && n >= 2 &&
+          buf[n - 1].type == EventType::kAcquired && buf[n - 1].lock == ev.lock &&
+          buf[n - 2].type == EventType::kAllow && buf[n - 2].lock == ev.lock) {
+        buf.pop_back();
+        buf.pop_back();
+        return;
+      }
+      if (ev.type == EventType::kCancel && n >= 1 &&
+          buf[n - 1].type == EventType::kAllow && buf[n - 1].lock == ev.lock) {
+        buf.pop_back();
+        return;
+      }
+    }
+    slot.ev_buf.push_back(std::move(ev));
+    flush = slot.ev_buf.size() >= kEventBufCap;
+  }
+  if (flush) {
+    FlushThreadEvents(slot);
+  }
+}
+
+void AvoidanceEngine::FlushThreadEvents(ThreadSlot& slot) {
+  std::lock_guard<SpinLock> guard(slot.ev_m);
+  for (Event& ev : slot.ev_buf) {
+    queue_->PushStamped(std::move(ev));
+  }
+  slot.ev_buf.clear();
+}
+
+void AvoidanceEngine::FlushAllThreadEvents() {
+  const std::size_t n = registry_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    FlushThreadEvents(registry_.Slot(static_cast<ThreadId>(i)));
+  }
 }
 
 // --- Foreign-edge mirror (src/ipc bridge thread) -----------------------------
@@ -1367,7 +1481,13 @@ void AvoidanceEngine::MirrorForeignHold(ThreadId thread, LockId lock, StackId st
         it->second.mode = AcquireMode::kExclusive;
       }
     } else if (it == owners.end()) {
-      owners[lock] = LockOwnerInfo{mode, {LockHolder{thread, stack, 1}}};
+      auto& info = owners[lock];
+      info.mode = mode;
+      info.holders.push_back(LockHolder{thread, stack, 1});
+    } else if (it->second.holders.empty()) {
+      // Tombstone of a fully released lock: reuse it as a free entry.
+      it->second.mode = mode;
+      it->second.holders.push_back(LockHolder{thread, stack, 1});
     } else {
       // Unlike Acquired(), a foreign edge must NEVER displace existing
       // holders: this snapshot can be one bridge tick stale, and a local
@@ -1426,9 +1546,7 @@ void AvoidanceEngine::MirrorForeignRelease(ThreadId thread, LockId lock, StackId
         final_release = true;
         it->second.holders.erase(it->second.holders.begin() +
                                  (holder - it->second.holders.data()));
-        if (it->second.holders.empty()) {
-          owners.erase(it);
-        }
+        // Empty entries stay as tombstones, same as local Release().
       }
     }
   });
@@ -1530,7 +1648,13 @@ EngineView AvoidanceEngine::Snapshot() {
     }
     StripedMap<LockId, LockOwnerInfo>::AllStripesGuard owners(lock_owners_);
     for (std::size_t s = 0; s < lock_owners_.stripe_count(); ++s) {
-      view.tracked_locks += lock_owners_.map_at(s).size();
+      // Fully released locks linger as empty tombstone entries; only count
+      // entries that currently have holders.
+      for (const auto& [id, info] : lock_owners_.map_at(s)) {
+        if (!info.holders.empty()) {
+          ++view.tracked_locks;
+        }
+      }
     }
   }
   view.yielding_threads = static_cast<std::size_t>(

@@ -168,6 +168,32 @@ class AvoidanceEngine {
   // control-plane mutations deterministic.)
   void NotifyHistoryChanged();
 
+  // --- Hot-event staging ------------------------------------------------------
+  //
+  // kAllow/kAcquired/kRelease/kCancel events are staged in the emitting
+  // thread's slot instead of hitting the monitor queue one atomic exchange
+  // (plus one allocation) at a time. An uncontended critical section nets
+  // to ZERO queue traffic: its allow+acquired+release triple cancels in the
+  // buffer. Events that describe blocking (kRequest/kYield/...) flush the
+  // buffer first, and the monitor sweeps every slot at the top of each
+  // drain, so a wait edge is visible to detection within one monitor tick
+  // even if its owner is parked on a real mutex. Events carry emission-time
+  // sequence stamps; the drain re-sorts, so the RAG still applies them in
+  // global emission order.
+
+  // Publishes `slot`'s staged events to the monitor queue. Safe from any
+  // thread (spin-guarded); called by the owner before blocking-path events
+  // and by the monitor's per-tick sweep.
+  void FlushThreadEvents(ThreadSlot& slot);
+  // Sweeps all registered threads' staging buffers (monitor, shutdown).
+  void FlushAllThreadEvents();
+  // Calibration gate: while false-positive probes are open the calibrator
+  // needs to observe every acquired/release, so triple-cancelling is
+  // suspended (events still stage; they just all flush).
+  void SetEventCoalescing(bool enabled) {
+    coalesce_events_.store(enabled, std::memory_order_relaxed);
+  }
+
   // --- Global-lock port (src/core/global_port.h) ------------------------------
   //
   // With a publisher registered, requests/holds of locks whose id carries
@@ -373,6 +399,16 @@ class AvoidanceEngine {
       std::unique_ptr<std::atomic<std::int64_t>[]> live;
     };
     std::vector<Entry> entries;
+    // dead[e] = positions of entries[e] whose live counter is zero (empty
+    // signatures pin a sentinel 1 so they can never look fully live).
+    // Maintained on live[] 0<->1 transitions by Add/RemoveTupleLocked.
+    std::unique_ptr<std::atomic<std::int32_t>[]> dead;
+    // Entries with dead[e] == 0 — the O(1) form of the §5.6 fast reject.
+    // Zero means no signature can possibly be instantiated right now, which
+    // is the steady state of a deadlock-free run: the matcher's per-request
+    // cost collapses to this one load. seq_cst keeps the two-racing-
+    // requesters argument (see AddTupleLocked) intact.
+    mutable std::atomic<std::int64_t> fully_live{0};
   };
 
   struct MatchResult {
@@ -487,6 +523,10 @@ class AvoidanceEngine {
                       const std::vector<std::vector<std::pair<StackId, AllowedTuple>>>& pools,
                       std::size_t pos, CoverScratch& cover, ThreadId requester, LockId req_lock);
 
+  // Stages a hot-path event in `slot`'s buffer (stamping it first), netting
+  // out cancelling pairs, and flushes on overflow. See FlushThreadEvents.
+  void BufferHotEvent(ThreadSlot& slot, Event&& ev);
+
   // Parks the calling thread until woken, canceled, or timed out.
   // Returns: 0 woken, 1 timeout(yield bound), 2 broken, 3 deadline.
   int Park(ThreadSlot& slot, std::optional<MonoTime> deadline);
@@ -528,6 +568,12 @@ class AvoidanceEngine {
   std::atomic<int> yield_count_{0};  // == yielding_threads_.size()
 
   std::atomic<int> last_avoided_{-1};
+
+  // Hot-event staging: allow/acquired/release triples cancel in the slot
+  // buffers unless the monitor suspends coalescing for open calibration
+  // probes. Flush threshold bounds buffered state per thread.
+  static constexpr std::size_t kEventBufCap = 32;
+  std::atomic<bool> coalesce_events_{true};
 };
 
 }  // namespace dimmunix

@@ -46,6 +46,33 @@ constexpr ThreadId kForeignThreadBase = 1 << 24;
 
 inline bool IsForeignThreadId(ThreadId id) { return id >= kForeignThreadBase; }
 
+// The byte range covered by an fcntl(2) record lock, attached to its arena
+// edges so overlapping-but-distinct ranges can be made to conflict in the
+// RAG the way they conflict in the kernel. `group` identifies the file
+// (a hash of dev:inode) — ranges only interact within one group; group 0
+// means "not a range lock". `len == kWholeFileRangeLen` covers to EOF
+// (fcntl's l_len == 0) and overlaps everything at or past `start`.
+struct LockRange {
+  std::uint64_t group = 0;
+  std::uint64_t start = 0;
+  std::uint64_t len = 0;
+
+  static constexpr std::uint64_t kWholeFileRangeLen = ~0ULL;
+
+  bool valid() const { return group != 0; }
+  bool Overlaps(const LockRange& other) const {
+    if (group == 0 || group != other.group) {
+      return false;
+    }
+    // [start, start+len) vs [other.start, other.start+other.len), with
+    // saturating ends so to-EOF ranges behave as unbounded.
+    const std::uint64_t end = len > ~0ULL - start ? ~0ULL : start + len;
+    const std::uint64_t other_end =
+        other.len > ~0ULL - other.start ? ~0ULL : other.start + other.len;
+    return start < other_end && other.start < end;
+  }
+};
+
 // Publisher side of the arena, as seen by the engine. Implemented by
 // ipc::IpcBridge; every method must be cheap and lock-light — Publish/Clear
 // run on the application thread that touched the global lock (never for
@@ -66,6 +93,12 @@ class GlobalEdgePublisher {
   virtual void PublishHold(ThreadId thread, LockId lock, StackId stack, AcquireMode mode) = 0;
   // Final release of this thread's hold (count reaching zero clears it).
   virtual void ClearHold(ThreadId thread, LockId lock) = 0;
+
+  // Drains any deferred edge publications to the arena NOW. The engine
+  // calls this right before parking a thread: local contention means our
+  // pending edges may be part of a cross-process cycle, so they must stop
+  // hiding in the batch. Default no-op for publishers that publish eagerly.
+  virtual void FlushPending() {}
 };
 
 }  // namespace dimmunix

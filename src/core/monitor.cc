@@ -70,6 +70,10 @@ void Monitor::RunOnce() {
   HandleDeadlocks();
   HandleStarvations();
   HandleCalibration();
+  // Open false-positive probes need to observe every acquired/release, so
+  // hot-event coalescing pauses while any probe window is live.
+  engine_->SetEventCoalescing(!config_.calibration_enabled ||
+                              calibrator_.open_probes() == 0);
   if (pass_begin != 0) {
     const std::uint64_t end_ns = obs::NowNs();
     recorder_->Span(obs::TraceEventType::kMonitorPass, end_ns, end_ns - pass_begin,
@@ -85,7 +89,22 @@ RagSnapshot Monitor::SnapshotRag() {
 
 void Monitor::DrainEvents() {
   const bool probes_enabled = config_.calibration_enabled;
-  while (auto event = queue_->Pop()) {
+  // Sweep the per-thread staging buffers first: a thread that is parked (or
+  // blocked on a real mutex) cannot flush its own buffered wait/hold edges,
+  // and detection must see them within one monitor tick.
+  engine_->FlushAllThreadEvents();
+  // Staged events reach the queue out of global order (each buffer flushes
+  // as a unit); their emission-time stamps restore it. Applying in emission
+  // order keeps the §5.2 guarantee — a release of L drains before another
+  // thread's subsequent acquired of L.
+  std::vector<Event> batch;
+  while (auto popped = queue_->Pop()) {
+    batch.push_back(std::move(*popped));
+  }
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  for (Event& drained : batch) {
+    Event* event = &drained;
     stats_.events_processed.fetch_add(1, std::memory_order_relaxed);
     if (event->type == EventType::kAvoided) {
       if (probes_enabled) {

@@ -63,6 +63,7 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
     ipc::IpcBridge::Options ipc_options;
     ipc_options.arena_path = config_.ipc_path;
     ipc_options.period = config_.ipc_bridge_period;
+    ipc_options.flush = config_.ipc_flush_period;
     ipc_ = std::make_unique<ipc::IpcBridge>(ipc_options, engine_.get(), stacks_.get(),
                                             recorder_.get());
     std::string error;

@@ -52,8 +52,20 @@ struct ThreadSlot {
     LockId lock = kInvalidLockId;
     StackId stack = kInvalidStackId;
     int count = 0;
+    // Mode this thread holds the lock in (kShared promoted to kExclusive on
+    // a committed upgrade). Lets Request answer the reentrancy question from
+    // the thread's own slot without a lock-owner stripe round trip.
+    AcquireMode mode = AcquireMode::kExclusive;
   };
   std::vector<Held> held;
+
+  // Hot-path event staging (kAllow/kAcquired/kRelease/kCancel). The owner
+  // thread appends; an uncontended allow+acquired+release triple cancels in
+  // place and never reaches the monitor queue. Spin-guarded (not owner-only)
+  // so the monitor can sweep the buffer of a thread that is blocked on a
+  // real mutex — a deadlocked thread cannot flush its own wait edge.
+  SpinLock ev_m;
+  std::vector<Event> ev_buf;
 
   // Hazard pointer for the engine's signature-cache generation: while this
   // thread reads a generation without holding any stripe (the lock-free

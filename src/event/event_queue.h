@@ -24,6 +24,14 @@ class EventQueue {
     queue_.Push(std::move(event));
   }
 
+  // Split producer protocol for staged events: the engine stamps an event at
+  // emission time (so the consumer can re-sort per-thread staging buffers
+  // back into global emission order) and pushes it later, when the buffer
+  // flushes. A stamped-but-coalesced-away event simply leaves a hole in the
+  // sequence; the consumer only relies on relative order, not density.
+  std::uint64_t Stamp() { return next_seq_.fetch_add(1, std::memory_order_relaxed); }
+  void PushStamped(Event event) { queue_.Push(std::move(event)); }
+
   // Consumer side (monitor thread only).
   std::optional<Event> Pop() { return queue_.Pop(); }
   bool Empty() const { return queue_.Empty(); }

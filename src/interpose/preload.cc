@@ -53,7 +53,9 @@
 #include <pthread.h>
 #include <stdarg.h>
 #include <sys/file.h>
+#include <sys/mman.h>
 #include <time.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -82,6 +84,8 @@ using CondWaitFn = int (*)(pthread_cond_t*, pthread_mutex_t*);
 using CondTimedWaitFn = int (*)(pthread_cond_t*, pthread_mutex_t*, const struct timespec*);
 using FlockFn = int (*)(int, int);
 using FcntlFn = int (*)(int, int, void*);
+using MunmapFn = int (*)(void*, size_t);
+using CloseFn = int (*)(int);
 
 MutexFn real_lock = nullptr;
 MutexFn real_trylock = nullptr;
@@ -102,6 +106,8 @@ CondWaitFn real_cond_wait = nullptr;
 CondTimedWaitFn real_cond_timedwait = nullptr;
 FlockFn real_flock = nullptr;
 FcntlFn real_fcntl = nullptr;
+MunmapFn real_munmap = nullptr;
+CloseFn real_close = nullptr;
 
 std::atomic<bool> initialized{false};
 // Set while this thread is inside a wrapper (or inside runtime
@@ -133,6 +139,8 @@ void ResolveReal() {
   if (real_fcntl == nullptr) {
     real_fcntl = reinterpret_cast<FcntlFn>(dlsym(RTLD_NEXT, "fcntl"));
   }
+  real_munmap = reinterpret_cast<MunmapFn>(dlsym(RTLD_NEXT, "munmap"));
+  real_close = reinterpret_cast<CloseFn>(dlsym(RTLD_NEXT, "close"));
 }
 
 __attribute__((constructor)) void PreloadInit() {
@@ -715,6 +723,38 @@ int FcntlLock(dimmunix::Runtime* runtime, int fd, int cmd, struct flock* fl) {
   tls_in_hook = false;
   if (rc != 0) {
     restore_hold();
+  }
+  return rc;
+}
+
+// --- Global-ID cache invalidation ---------------------------------------------
+//
+// The per-thread global-ID caches (src/ipc/global_id.h) stay correct only
+// if mapping churn and fd reuse bump their stamps. These wrappers are the
+// bump sites: munmap retires cached address resolutions (the unmapped
+// region's pages may be remapped to a different backing object), close
+// retires cached (fd, range) resolutions (the descriptor number will be
+// reused). Both run AFTER the real call and cost one atomic bump — nothing
+// here can fail or block.
+
+extern "C" int munmap(void* addr, size_t length) {
+  if (real_munmap == nullptr) {
+    ResolveReal();
+  }
+  const int rc = real_munmap(addr, length);
+  if (rc == 0 && initialized.load(std::memory_order_acquire)) {
+    dimmunix::ipc::InvalidateMapsCache();
+  }
+  return rc;
+}
+
+extern "C" int close(int fd) {
+  if (real_close == nullptr) {
+    ResolveReal();
+  }
+  const int rc = real_close(fd);
+  if (initialized.load(std::memory_order_acquire)) {
+    dimmunix::ipc::InvalidateFdCache(fd);  // even on failure: the fd is gone
   }
   return rc;
 }

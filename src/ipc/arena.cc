@@ -44,7 +44,9 @@ struct ParticipantRecord {
   std::uint64_t start_time;       // 0 while the claim is being initialized
   std::uint64_t generation;       // bumped on every (re)claim of this slot
   std::uint64_t heartbeat_ns;     // CLOCK_MONOTONIC, same clock fleet-wide
-  std::uint64_t pad[4];
+  std::uint32_t proto_version;    // v2: protocol of the claimant (v1 pad: 0)
+  std::uint32_t flush_seq;        // v2: completed pending-log flushes
+  std::uint64_t pad[3];
 };
 static_assert(sizeof(ParticipantRecord) == 64);
 
@@ -57,7 +59,12 @@ struct EdgeRecord {
   std::uint32_t count;
   std::uint64_t lock;
   std::uint64_t frames[IpcArena::kMaxFrames];
-  std::uint64_t pad;
+  // v2: the byte range of an fcntl record lock (v1 wrote frames 11/12 and
+  // pad here — readers trust these only when the publisher's participant
+  // slot says proto_version >= 2). range_group 0 = not a range lock.
+  std::uint64_t range_group;
+  std::uint64_t range_start;
+  std::uint64_t range_len;
 };
 static_assert(sizeof(EdgeRecord) == 128);
 
@@ -108,6 +115,9 @@ bool ReadEdgeRow(const EdgeRecord* row, ForeignEdge* out) {
     for (std::size_t i = 0; i < n; ++i) {
       frames[i] = Ref(r->frames[i]).load(std::memory_order_relaxed);
     }
+    const std::uint64_t range_group = Ref(r->range_group).load(std::memory_order_relaxed);
+    const std::uint64_t range_start = Ref(r->range_start).load(std::memory_order_relaxed);
+    const std::uint64_t range_len = Ref(r->range_len).load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
     const std::uint32_t s2 = Ref(r->seq).load(std::memory_order_relaxed);
     if (s1 != s2) {
@@ -121,6 +131,7 @@ bool ReadEdgeRow(const EdgeRecord* row, ForeignEdge* out) {
     out->hold = state == kEdgeHold;
     out->mode = mode == 1 ? AcquireMode::kShared : AcquireMode::kExclusive;
     out->count = count;
+    out->range = LockRange{range_group, range_start, range_len};
     out->frames.assign(frames, frames + n);
     return true;
   }
@@ -262,7 +273,11 @@ std::unique_ptr<IpcArena> IpcArena::OpenOrCreate(const std::string& path, std::s
     ::munmap(base, kArenaSize);
     return fail(path + ": not a Dimmunix IPC arena (bad magic)");
   }
-  if (Ref(header->version).load(std::memory_order_relaxed) != kVersion ||
+  // v1 and v2 share the geometry byte-for-byte; accept both. (v1 binaries
+  // reject v2-created files — that asymmetry IS the version negotiation,
+  // see docs/ipc-arena.md.)
+  const std::uint16_t version = Ref(header->version).load(std::memory_order_relaxed);
+  if (version < kMinVersion || version > kVersion ||
       Ref(header->participants).load(std::memory_order_relaxed) != kParticipants ||
       Ref(header->edges_per_participant).load(std::memory_order_relaxed) !=
           kEdgesPerParticipant ||
@@ -301,6 +316,9 @@ bool IpcArena::Claim(std::string* error) {
       self_generation_ = Ref(p->generation).load(std::memory_order_relaxed) + 1;
       Ref(p->generation).store(self_generation_, std::memory_order_relaxed);
       Ref(p->heartbeat_ns).store(MonotonicNs(), std::memory_order_relaxed);
+      Ref(p->proto_version)
+          .store(static_cast<std::uint32_t>(kVersion), std::memory_order_relaxed);
+      Ref(p->flush_seq).store(0, std::memory_order_relaxed);
       Ref(p->start_time).store(start, std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_release);
       Ref(p->seq).fetch_add(1, std::memory_order_release);  // even: published
@@ -355,7 +373,8 @@ void IpcArena::ClearOwnEdgesLocked() {
 }
 
 void IpcArena::WriteEdgeRow(int row, ThreadId thread, LockId lock, bool hold, AcquireMode mode,
-                            std::uint32_t count, const std::vector<Frame>& frames) {
+                            std::uint32_t count, const std::vector<Frame>& frames,
+                            const LockRange& range) {
   auto* r = static_cast<EdgeRecord*>(EdgePtr(self_index_, row));
   Ref(r->seq).fetch_add(1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
@@ -368,6 +387,9 @@ void IpcArena::WriteEdgeRow(int row, ThreadId thread, LockId lock, bool hold, Ac
   for (std::size_t i = 0; i < n; ++i) {
     Ref(r->frames[i]).store(frames[i], std::memory_order_relaxed);
   }
+  Ref(r->range_group).store(range.group, std::memory_order_relaxed);
+  Ref(r->range_start).store(range.start, std::memory_order_relaxed);
+  Ref(r->range_len).store(range.len, std::memory_order_relaxed);
   Ref(r->state).store(hold ? kEdgeHold : kEdgeWait, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
   Ref(r->seq).fetch_add(1, std::memory_order_release);
@@ -384,7 +406,7 @@ void IpcArena::FreeEdgeRow(int row) {
 }
 
 void IpcArena::PublishWait(ThreadId thread, LockId lock, AcquireMode mode,
-                           const std::vector<Frame>& frames) {
+                           const std::vector<Frame>& frames, const LockRange& range) {
   std::lock_guard<SpinLock> guard(local_m_);
   const Key key{thread, lock};
   auto it = rows_.find(key);
@@ -419,7 +441,7 @@ void IpcArena::PublishWait(ThreadId thread, LockId lock, AcquireMode mode,
     ++dropped_;
     return;
   }
-  WriteEdgeRow(row, thread, lock, /*hold=*/false, mode, 0, frames);
+  WriteEdgeRow(row, thread, lock, /*hold=*/false, mode, 0, frames, range);
 }
 
 void IpcArena::ClearWait(ThreadId thread, LockId lock) {
@@ -446,7 +468,7 @@ void IpcArena::ClearWait(ThreadId thread, LockId lock) {
 }
 
 void IpcArena::PublishHold(ThreadId thread, LockId lock, AcquireMode mode,
-                           const std::vector<Frame>& frames) {
+                           const std::vector<Frame>& frames, const LockRange& range) {
   std::lock_guard<SpinLock> guard(local_m_);
   const Key key{thread, lock};
   // A committed upgrade ends its wait: free the distinct wait row before
@@ -473,7 +495,7 @@ void IpcArena::PublishHold(ThreadId thread, LockId lock, AcquireMode mode,
     ++dropped_;
     return;
   }
-  WriteEdgeRow(row, thread, lock, /*hold=*/true, mode, count, frames);
+  WriteEdgeRow(row, thread, lock, /*hold=*/true, mode, count, frames, range);
 }
 
 void IpcArena::ClearHold(ThreadId thread, LockId lock) {
@@ -518,6 +540,11 @@ void IpcArena::Heartbeat() {
   Ref(p->heartbeat_ns).store(MonotonicNs(), std::memory_order_relaxed);
 }
 
+void IpcArena::BumpFlushSeq() {
+  auto* p = static_cast<ParticipantRecord*>(ParticipantPtr(self_index_));
+  Ref(p->flush_seq).fetch_add(1, std::memory_order_relaxed);
+}
+
 std::vector<ForeignEdge> IpcArena::SnapshotForeign() const {
   std::vector<ForeignEdge> edges;
   for (int i = 0; i < kParticipants; ++i) {
@@ -531,6 +558,10 @@ std::vector<ForeignEdge> IpcArena::SnapshotForeign() const {
     if (pid == 0 || start == 0) {
       continue;  // free, or claim still being initialized
     }
+    // A v1 participant's rows have stack material where v2 keeps the range
+    // triple; never interpret it as a range.
+    const bool trust_ranges =
+        Ref(p->proto_version).load(std::memory_order_relaxed) >= 2;
     for (int e = 0; e < kEdgesPerParticipant; ++e) {
       ForeignEdge edge;
       if (!ReadEdgeRow(static_cast<const EdgeRecord*>(EdgePtr(i, e)), &edge)) {
@@ -539,6 +570,9 @@ std::vector<ForeignEdge> IpcArena::SnapshotForeign() const {
       edge.participant = i;
       edge.generation = generation;
       edge.pid = pid;
+      if (!trust_ranges) {
+        edge.range = LockRange{};
+      }
       edges.push_back(std::move(edge));
     }
   }
@@ -559,6 +593,8 @@ std::vector<ParticipantInfo> IpcArena::Participants() const {
     info.pid = pid;
     info.generation = Ref(p->generation).load(std::memory_order_relaxed);
     info.start_time = Ref(p->start_time).load(std::memory_order_relaxed);
+    info.proto_version = Ref(p->proto_version).load(std::memory_order_relaxed);
+    info.flush_seq = Ref(p->flush_seq).load(std::memory_order_relaxed);
     const std::uint64_t hb = Ref(p->heartbeat_ns).load(std::memory_order_relaxed);
     info.heartbeat_age_ms =
         hb == 0 || hb > now ? -1 : static_cast<std::int64_t>((now - hb) / 1000000ULL);

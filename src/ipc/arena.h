@@ -59,6 +59,8 @@ struct ForeignEdge {
   bool hold = false;  // false: wait (request/allow) edge
   AcquireMode mode = AcquireMode::kExclusive;
   std::uint32_t count = 0;  // reentrant hold depth (holds only)
+  LockRange range;  // byte range for fcntl record locks (group 0 = none);
+                    // zeroed unless the publishing slot speaks protocol >= 2
   std::vector<Frame> frames;  // proc-qualified stack, innermost first
 };
 
@@ -70,6 +72,8 @@ struct ParticipantInfo {
   std::uint64_t start_time = 0;
   std::int64_t heartbeat_age_ms = -1;
   std::size_t edges = 0;
+  std::uint32_t proto_version = 0;  // 0/1 = a v1 participant (no range data)
+  std::uint32_t flush_seq = 0;      // completed pending-log flushes
   bool alive = false;
   bool self = false;
 };
@@ -77,10 +81,15 @@ struct ParticipantInfo {
 class IpcArena {
  public:
   static constexpr std::uint32_t kMagic = 0x414D4944;  // "DIMA" little-endian
-  static constexpr std::uint16_t kVersion = 1;
+  // Protocol v2 (docs/ipc-arena.md): same geometry as v1, but edge rows
+  // carry an fcntl byte range in what used to be frames[10..11]+pad, and
+  // participant slots publish proto_version + flush_seq in former pad
+  // words. Openers accept v1 files unchanged; creators write v2.
+  static constexpr std::uint16_t kVersion = 2;
+  static constexpr std::uint16_t kMinVersion = 1;
   static constexpr int kParticipants = 64;
   static constexpr int kEdgesPerParticipant = 128;
-  static constexpr int kMaxFrames = 12;
+  static constexpr int kMaxFrames = 10;
 
   // Opens (creating and initializing if absent) the arena at `path` and
   // claims a participant slot. Returns null with `*error` set when the file
@@ -106,13 +115,17 @@ class IpcArena {
   // dropped_publishes() and skipped — avoidance degrades to single-process
   // behavior, never blocks.
   void PublishWait(ThreadId thread, LockId lock, AcquireMode mode,
-                   const std::vector<Frame>& frames);
+                   const std::vector<Frame>& frames, const LockRange& range = {});
   void ClearWait(ThreadId thread, LockId lock);
   void PublishHold(ThreadId thread, LockId lock, AcquireMode mode,
-                   const std::vector<Frame>& frames);
+                   const std::vector<Frame>& frames, const LockRange& range = {});
   void ClearHold(ThreadId thread, LockId lock);
 
   std::uint64_t dropped_publishes() const;
+
+  // Bumps this participant's published flush_seq (one completed drain of
+  // the bridge's pending op-log; protocol v2 observability).
+  void BumpFlushSeq();
 
   // --- Reading (bridge thread, control plane) -------------------------------
   // Copies every published edge of every *other* live-claimed participant.
@@ -146,9 +159,10 @@ class IpcArena {
   bool Claim(std::string* error);
   void ClearOwnEdgesLocked();
 
-  // Publishes `hold`/`mode`/`frames` into row `row` under its seqlock.
+  // Publishes `hold`/`mode`/`frames`/`range` into row `row` under its seqlock.
   void WriteEdgeRow(int row, ThreadId thread, LockId lock, bool hold, AcquireMode mode,
-                    std::uint32_t count, const std::vector<Frame>& frames);
+                    std::uint32_t count, const std::vector<Frame>& frames,
+                    const LockRange& range);
   void FreeEdgeRow(int row);
 
   const std::string path_;

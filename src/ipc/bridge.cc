@@ -23,6 +23,10 @@ std::size_t IpcBridge::ThreadKeyHash::operator()(const ThreadKey& k) const {
   return static_cast<std::size_t>(h);
 }
 
+std::size_t IpcBridge::PendingKeyHash::operator()(const PendingKey& k) const {
+  return static_cast<std::size_t>(HashCombine(static_cast<std::uint64_t>(k.thread), k.lock));
+}
+
 IpcBridge::IpcBridge(Options options, AvoidanceEngine* engine, StackTable* stacks,
                      obs::Recorder* recorder)
     : options_(std::move(options)), engine_(engine), stacks_(stacks), recorder_(recorder) {}
@@ -72,6 +76,14 @@ void IpcBridge::Stop() {
     RetireEdge(key, m);
   }
   mirrored_.clear();
+  // Discard any undrained pending ops: the arena destructor clears this
+  // participant's rows wholesale anyway, so replaying them would only
+  // publish edges about to be scrubbed.
+  {
+    std::lock_guard<SpinLock> guard(pending_m_);
+    pending_.clear();
+    pending_ops_ = 0;
+  }
   arena_.reset();  // clears own rows + releases the participant slot
 }
 
@@ -79,12 +91,28 @@ void IpcBridge::Loop() {
   if (recorder_ != nullptr) {
     recorder_->NameThisThread("dimmunix-bridge");
   }
+  // Two cadences on one thread: the mirror pass every `period`, the
+  // pending-log drain every `flush` (usually much shorter). Wake at the
+  // faster of the two; run a full Tick only when the mirror deadline has
+  // passed, a bare FlushPending otherwise.
+  const bool batching = options_.flush.count() > 0;
+  const auto wake = batching && options_.flush < options_.period
+                        ? std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              options_.flush)
+                        : std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              options_.period);
+  auto next_tick = std::chrono::steady_clock::now() + options_.period;
   std::unique_lock<std::mutex> guard(stop_m_);
   while (!stop_requested_) {
     guard.unlock();
-    Tick();
+    if (std::chrono::steady_clock::now() >= next_tick) {
+      Tick();  // flushes pending first, then mirrors
+      next_tick = std::chrono::steady_clock::now() + options_.period;
+    } else {
+      FlushPending();
+    }
     guard.lock();
-    stop_cv_.wait_for(guard, options_.period, [this] { return stop_requested_; });
+    stop_cv_.wait_for(guard, wake, [this] { return stop_requested_; });
   }
 }
 
@@ -107,6 +135,9 @@ void IpcBridge::RetireEdge(const EdgeKey& key, const Mirrored& m) {
 }
 
 void IpcBridge::Tick() {
+  // Drain own pending ops first: a mirror pass should never run with this
+  // process's publications staler than one flush interval.
+  FlushPending();
   const std::uint64_t tick_begin =
       recorder_ != nullptr && recorder_->tracing() ? obs::NowNs() : 0;
   std::uint64_t edges_folded = 0;  // engine mutations this tick (folds + retires)
@@ -125,10 +156,31 @@ void IpcBridge::Tick() {
   // (thread, lock) match when the edge kind differs).
   const std::vector<ForeignEdge> edges = arena_->SnapshotForeign();
 
-  // Pass 1: mark unchanged mirrored edges as seen; collect the rest.
-  std::vector<const ForeignEdge*> to_fold;
+  // Expand each foreign edge to its fold targets: the published lock id
+  // itself plus — for fcntl byte-range edges (protocol v2 publishers) —
+  // every locally-registered range id that overlaps it. The kernel
+  // conflicts on overlap, not id equality, so a foreign [0,16) wait must
+  // appear in the local RAG under our [8,32) id too or the cycle has a gap.
+  struct Target {
+    const ForeignEdge* edge;
+    LockId lock;
+  };
+  std::vector<Target> targets;
+  targets.reserve(edges.size());
   for (const ForeignEdge& edge : edges) {
-    const EdgeKey key{edge.participant, edge.generation, edge.thread, edge.lock, edge.hold};
+    targets.push_back(Target{&edge, edge.lock});
+    if (edge.range.valid()) {
+      for (const LockId alias : OverlappingLockIds(edge.range, edge.lock)) {
+        targets.push_back(Target{&edge, alias});
+      }
+    }
+  }
+
+  // Pass 1: mark unchanged mirrored edges as seen; collect the rest.
+  std::vector<Target> to_fold;
+  for (const Target& target : targets) {
+    const ForeignEdge& edge = *target.edge;
+    const EdgeKey key{edge.participant, edge.generation, edge.thread, target.lock, edge.hold};
     auto it = mirrored_.find(key);
     if (it != mirrored_.end() && it->second.mode == edge.mode) {
       it->second.seen_tick = tick_count_;  // unchanged
@@ -137,7 +189,7 @@ void IpcBridge::Tick() {
     if (edge.frames.empty()) {
       continue;  // unpublishable record; skip (never mirror a stackless edge)
     }
-    to_fold.push_back(&edge);
+    to_fold.push_back(target);
   }
 
   // Pass 2: anything not seen this tick disappeared — released, canceled,
@@ -155,16 +207,17 @@ void IpcBridge::Tick() {
   }
 
   // Pass 3: fold the new edges.
-  for (const ForeignEdge* edge : to_fold) {
-    const EdgeKey key{edge->participant, edge->generation, edge->thread, edge->lock,
+  for (const Target& target : to_fold) {
+    const ForeignEdge* edge = target.edge;
+    const EdgeKey key{edge->participant, edge->generation, edge->thread, target.lock,
                       edge->hold};
     const StackId stack = stacks_->Intern(edge->frames);
     const ThreadId tid =
         SyntheticTid(ThreadKey{edge->participant, edge->generation, edge->thread});
     if (edge->hold) {
-      engine_->MirrorForeignHold(tid, edge->lock, stack, edge->mode);
+      engine_->MirrorForeignHold(tid, target.lock, stack, edge->mode);
     } else {
-      engine_->MirrorForeignWait(tid, edge->lock, stack, edge->mode);
+      engine_->MirrorForeignWait(tid, target.lock, stack, edge->mode);
     }
     ++edges_folded;
     mirrored_.insert_or_assign(key,
@@ -187,6 +240,9 @@ void IpcBridge::Tick() {
 IpcStatus IpcBridge::SnapshotStatus() const {
   IpcStatus status;
   status.arena_path = options_.arena_path;
+  const GlobalIdCacheStats cache = GlobalIdCacheCounters();
+  status.id_cache_hits = cache.hits;
+  status.id_cache_misses = cache.misses;
   if (arena_ == nullptr) {
     return status;
   }
@@ -194,6 +250,12 @@ IpcStatus IpcBridge::SnapshotStatus() const {
   status.participant = arena_->participant_index();
   status.generation = arena_->generation();
   status.dropped_publishes = arena_->dropped_publishes();
+  status.flushes = flush_count_.load(std::memory_order_relaxed);
+  status.flush_ops = flush_ops_total_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<SpinLock> guard(pending_m_);
+    status.pending_ops = pending_ops_;
+  }
   {
     std::lock_guard<std::mutex> guard(status_m_);
     status.ticks = status_ticks_;
@@ -206,17 +268,159 @@ IpcStatus IpcBridge::SnapshotStatus() const {
 
 Frame IpcBridge::ProcFrame() const { return ProcessIdentityFrame(); }
 
-void IpcBridge::PublishWait(ThreadId thread, LockId lock, StackId stack, AcquireMode mode) {
-  arena_->PublishWait(thread, lock, mode, stacks_->Get(stack).frames);
+void IpcBridge::Append(ThreadId thread, LockId lock, OpKind kind, StackId stack,
+                       AcquireMode mode) {
+  bool overflow = false;
+  {
+    std::lock_guard<SpinLock> guard(pending_m_);
+    std::vector<PendingOp>& ops = pending_[PendingKey{thread, lock}];
+    // Coalesce against the trailing op of the same (thread, lock). The net
+    // effect on the arena row is all that matters, so:
+    //   Wait over trailing Wait         -> replace (mode/stack refresh)
+    //   Hold over trailing Wait         -> replace (the commit subsumes the
+    //                                      request; replay is one PublishHold,
+    //                                      which bumps the hold count exactly
+    //                                      like the eager wait+hold pair)
+    //   ClearWait popping trailing Wait -> both vanish (canceled request)
+    //   ClearHold popping trailing Hold -> both vanish (uncontended critical
+    //                                      section: zero arena writes)
+    switch (kind) {
+      case OpKind::kWait:
+      case OpKind::kHold:
+        if (!ops.empty() && ops.back().kind == OpKind::kWait) {
+          ops.back() = PendingOp{kind, stack, mode};
+        } else {
+          ops.push_back(PendingOp{kind, stack, mode});
+          ++pending_ops_;
+        }
+        break;
+      case OpKind::kClearWait:
+        if (!ops.empty() && ops.back().kind == OpKind::kWait) {
+          ops.pop_back();
+          --pending_ops_;
+        } else {
+          ops.push_back(PendingOp{kind, stack, mode});
+          ++pending_ops_;
+        }
+        break;
+      case OpKind::kClearHold:
+        if (!ops.empty() && ops.back().kind == OpKind::kHold) {
+          ops.pop_back();
+          --pending_ops_;
+        } else {
+          ops.push_back(PendingOp{kind, stack, mode});
+          ++pending_ops_;
+        }
+        break;
+    }
+    // Emptied keys stay in the map: the next op on the same (thread, lock)
+    // reuses the node and the vector's capacity instead of re-allocating.
+    overflow = pending_ops_ >= kPendingFlushCap;
+  }
+  if (overflow) {
+    FlushPending();
+  }
 }
 
-void IpcBridge::ClearWait(ThreadId thread, LockId lock) { arena_->ClearWait(thread, lock); }
+void IpcBridge::FlushPending() {
+  // Peek without the flush lock: the common case (timer fired, nothing
+  // pending) must cost two spinlock-free-ish operations, not a full drain
+  // protocol.
+  {
+    std::lock_guard<SpinLock> guard(pending_m_);
+    // pending_ may hold emptied-but-kept keys; the op counter is the truth.
+    if (pending_ops_ == 0) {
+      return;
+    }
+  }
+  const bool timing = recorder_ != nullptr && recorder_->timing();
+  const std::uint64_t begin_ns = timing ? obs::NowNs() : 0;
+  std::uint64_t ops_drained = 0;
+  std::uint16_t rows_written = 0;
+  {
+    // flush_m_ before detaching: a racing flusher that detached first could
+    // otherwise replay a NEWER batch of some key's ops before ours. It also
+    // guards flush_scratch_, which is reused across flushes so the steady
+    // state drains with zero allocations (map nodes, per-key vector capacity
+    // and the scratch buffer all persist).
+    std::lock_guard<SpinLock> flush_guard(flush_m_);
+    {
+      std::lock_guard<SpinLock> guard(pending_m_);
+      for (auto& [key, ops] : pending_) {
+        for (const PendingOp& op : ops) {
+          flush_scratch_.emplace_back(key, op);
+        }
+        ops.clear();
+      }
+      pending_ops_ = 0;
+    }
+    for (const auto& [key, op] : flush_scratch_) {
+      switch (op.kind) {
+        case OpKind::kWait:
+          arena_->PublishWait(key.thread, key.lock, op.mode, stacks_->Get(op.stack).frames,
+                              LookupLockRange(key.lock));
+          ++rows_written;
+          break;
+        case OpKind::kClearWait:
+          arena_->ClearWait(key.thread, key.lock);
+          break;
+        case OpKind::kHold:
+          arena_->PublishHold(key.thread, key.lock, op.mode, stacks_->Get(op.stack).frames,
+                              LookupLockRange(key.lock));
+          ++rows_written;
+          break;
+        case OpKind::kClearHold:
+          arena_->ClearHold(key.thread, key.lock);
+          break;
+      }
+      ++ops_drained;
+    }
+    flush_scratch_.clear();
+    if (ops_drained > 0) {
+      arena_->BumpFlushSeq();
+    }
+  }
+  flush_count_.fetch_add(1, std::memory_order_relaxed);
+  flush_ops_total_.fetch_add(ops_drained, std::memory_order_relaxed);
+  if (timing) {
+    const std::uint64_t end_ns = obs::NowNs();
+    recorder_->Latency(obs::HistoKind::kIpcFlush, end_ns - begin_ns);
+    recorder_->Span(obs::TraceEventType::kIpcFlush, end_ns, end_ns - begin_ns, rows_written,
+                    /*mode=*/0, ops_drained);
+  }
+}
+
+void IpcBridge::PublishWait(ThreadId thread, LockId lock, StackId stack, AcquireMode mode) {
+  if (options_.flush.count() == 0) {
+    arena_->PublishWait(thread, lock, mode, stacks_->Get(stack).frames, LookupLockRange(lock));
+    return;
+  }
+  Append(thread, lock, OpKind::kWait, stack, mode);
+}
+
+void IpcBridge::ClearWait(ThreadId thread, LockId lock) {
+  if (options_.flush.count() == 0) {
+    arena_->ClearWait(thread, lock);
+    return;
+  }
+  Append(thread, lock, OpKind::kClearWait, kInvalidStackId, AcquireMode::kExclusive);
+}
 
 void IpcBridge::PublishHold(ThreadId thread, LockId lock, StackId stack, AcquireMode mode) {
-  arena_->PublishHold(thread, lock, mode, stacks_->Get(stack).frames);
+  if (options_.flush.count() == 0) {
+    arena_->PublishHold(thread, lock, mode, stacks_->Get(stack).frames, LookupLockRange(lock));
+    return;
+  }
+  Append(thread, lock, OpKind::kHold, stack, mode);
 }
 
-void IpcBridge::ClearHold(ThreadId thread, LockId lock) { arena_->ClearHold(thread, lock); }
+void IpcBridge::ClearHold(ThreadId thread, LockId lock) {
+  if (options_.flush.count() == 0) {
+    arena_->ClearHold(thread, lock);
+    return;
+  }
+  Append(thread, lock, OpKind::kClearHold, kInvalidStackId, AcquireMode::kExclusive);
+}
 
 }  // namespace ipc
 }  // namespace dimmunix

@@ -4,8 +4,15 @@
 // shared-memory arena (src/ipc/arena.h). It plays both directions:
 //
 //   publisher (application threads, via the engine's global-lock port):
-//     wait/hold transitions of global locks are written to this process's
-//     arena rows, with stacks resolved to portable frames;
+//     wait/hold transitions of global locks are *logged* into a per-process
+//     pending op-log (a SpinLock'd map, no arena traffic) and drained to
+//     this process's arena rows in batches — on contention (the engine
+//     flushes before parking), on a short flush timer
+//     (DIMMUNIX_IPC_FLUSH_US, default 2ms; 0 = eager v1 behavior), or when
+//     the backlog crosses a cap. Uncontended acquire/release pairs coalesce
+//     to nothing, so the uncontended global fast path never touches the
+//     arena. The price is a publication lag bounded by one flush epoch;
+//     docs/ipc-arena.md states the resulting detectability bound.
 //
 //   mirror (the bridge thread): every `period`, foreign participants' rows
 //     are snapshot, diffed against the previously mirrored set, and the
@@ -24,6 +31,7 @@
 #ifndef DIMMUNIX_IPC_BRIDGE_H_
 #define DIMMUNIX_IPC_BRIDGE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -34,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/spin_lock.h"
 #include "src/core/avoidance.h"
 #include "src/core/global_port.h"
 #include "src/ipc/arena.h"
@@ -52,6 +61,11 @@ struct IpcStatus {
   std::uint64_t foreign_edges_mirrored = 0;  // currently mirrored foreign edges
   std::uint64_t participants_reclaimed = 0;
   std::uint64_t dropped_publishes = 0;
+  std::uint64_t flushes = 0;           // completed pending-log drains
+  std::uint64_t flush_ops = 0;         // ops replayed across all drains
+  std::uint64_t pending_ops = 0;       // ops waiting in the log right now
+  std::uint64_t id_cache_hits = 0;     // global-ID cache (src/ipc/global_id.h)
+  std::uint64_t id_cache_misses = 0;
   std::vector<ParticipantInfo> participants;
 };
 
@@ -60,6 +74,12 @@ class IpcBridge : public GlobalEdgePublisher {
   struct Options {
     std::string arena_path;
     std::chrono::milliseconds period{25};
+    // Pending-log drain cadence (DIMMUNIX_IPC_FLUSH_US). 0 disables
+    // batching entirely: every publisher call writes the arena eagerly, the
+    // v1 behavior. The engine additionally flushes before parking and the
+    // log self-flushes past kPendingFlushCap, so this timer only bounds how
+    // long an *uncontended* edge stays unpublished.
+    std::chrono::microseconds flush{2000};
     int sweep_every = 8;         // liveness sweep every N ticks
     bool start_thread = true;    // false: tests drive Tick() themselves
   };
@@ -101,6 +121,14 @@ class IpcBridge : public GlobalEdgePublisher {
   void ClearWait(ThreadId thread, LockId lock) override;
   void PublishHold(ThreadId thread, LockId lock, StackId stack, AcquireMode mode) override;
   void ClearHold(ThreadId thread, LockId lock) override;
+  // Drains the pending op-log into the arena. Safe from any thread; the
+  // engine calls it right before parking a global-lock waiter so a forming
+  // cross-process cycle becomes arena-visible without waiting for the
+  // timer. No-op when the log is empty or batching is off.
+  void FlushPending() override;
+
+  // Backlog size that triggers an inline flush from the publishing thread.
+  static constexpr std::size_t kPendingFlushCap = 512;
 
  private:
   struct EdgeKey {
@@ -134,6 +162,29 @@ class IpcBridge : public GlobalEdgePublisher {
     std::size_t operator()(const ThreadKey& k) const;
   };
 
+  // --- Pending op-log (deferred publication, protocol v2) -------------------
+  // Application threads append; any thread drains via FlushPending(). Both
+  // locks are spin locks: publisher calls run inside interposed lock
+  // operations under LD_PRELOAD, where a pthread mutex would recurse into
+  // the engine. Lock order: flush_m_ -> pending_m_; appends take only
+  // pending_m_.
+  enum class OpKind : std::uint8_t { kWait, kClearWait, kHold, kClearHold };
+  struct PendingOp {
+    OpKind kind;
+    StackId stack;  // kInvalidStackId for clears
+    AcquireMode mode;
+  };
+  struct PendingKey {
+    ThreadId thread;
+    LockId lock;
+    bool operator==(const PendingKey&) const = default;
+  };
+  struct PendingKeyHash {
+    std::size_t operator()(const PendingKey& k) const;
+  };
+
+  void Append(ThreadId thread, LockId lock, OpKind kind, StackId stack, AcquireMode mode);
+
   void Loop();
   ThreadId SyntheticTid(const ThreadKey& key);
   void RetireEdge(const EdgeKey& key, const Mirrored& m);
@@ -143,6 +194,18 @@ class IpcBridge : public GlobalEdgePublisher {
   StackTable* stacks_;
   obs::Recorder* recorder_;
   std::unique_ptr<IpcArena> arena_;
+
+  // Pending op-log state. flush_m_ serializes drains end to end: the batch
+  // is detached (under pending_m_) only AFTER flush_m_ is held, so two
+  // racing flushers can never replay one key's ops out of order.
+  SpinLock flush_m_;
+  mutable SpinLock pending_m_;
+  std::unordered_map<PendingKey, std::vector<PendingOp>, PendingKeyHash> pending_;
+  std::size_t pending_ops_ = 0;  // total ops across pending_ (under pending_m_)
+  // Drain staging buffer, reused across flushes (guarded by flush_m_).
+  std::vector<std::pair<PendingKey, PendingOp>> flush_scratch_;
+  std::atomic<std::uint64_t> flush_count_{0};
+  std::atomic<std::uint64_t> flush_ops_total_{0};
 
   // Mirror state (bridge thread only).
   std::unordered_map<EdgeKey, Mirrored, EdgeKeyHash> mirrored_;

@@ -6,15 +6,18 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/hash.h"
+#include "src/common/sharded_counter.h"
 #include "src/common/spin_lock.h"
 
 namespace dimmunix {
@@ -111,19 +114,145 @@ bool LookupRegion(std::uint64_t addr, SharedRegion* out) {
   return false;
 }
 
+// --- per-thread resolution cache --------------------------------------------
+// Direct-mapped thread_local slabs (no locks, no sharing) validated against
+// global invalidation stamps: g_maps_epoch for addresses, g_fd_gen[fd] for
+// descriptors. Capacity is fixed; DIMMUNIX_ID_CACHE picks how many entries
+// are actually used (rounded down to a power of two, 0 disables).
+
+constexpr std::size_t kCacheCapacity = 256;
+constexpr int kMaxCachedFd = 4096;  // descriptors past this are never cached
+
+std::atomic<std::uint64_t> g_maps_epoch{1};
+std::atomic<std::uint32_t> g_fd_gen[kMaxCachedFd];
+
+ShardedCounter g_cache_hits;
+ShardedCounter g_cache_misses;
+
+std::size_t CacheMask() {  // entries - 1, or SIZE_MAX when disabled
+  static const std::size_t mask = [] {
+    std::size_t entries = 64;
+    if (const char* env = std::getenv("DIMMUNIX_ID_CACHE"); env != nullptr && *env != '\0') {
+      const long v = std::strtol(env, nullptr, 10);
+      entries = v <= 0 ? 0 : static_cast<std::size_t>(v);
+    }
+    if (entries == 0) {
+      return ~std::size_t{0};
+    }
+    entries = std::min(entries, kCacheCapacity);
+    while ((entries & (entries - 1)) != 0) {
+      entries &= entries - 1;  // round down to a power of two
+    }
+    return entries - 1;
+  }();
+  return mask;
+}
+
+struct AddrCacheEntry {
+  const void* addr = nullptr;
+  std::uint64_t epoch = 0;
+  LockId id = kInvalidLockId;
+};
+
+struct FdCacheEntry {
+  int fd = -1;
+  std::uint8_t kind = 0;
+  std::uint32_t gen = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  LockId id = kInvalidLockId;
+};
+
+thread_local AddrCacheEntry t_addr_cache[kCacheCapacity];
+thread_local FdCacheEntry t_fd_cache[kCacheCapacity];
+
+std::size_t AddrSlot(const void* addr, std::size_t mask) {
+  // Locks are at least word-aligned; shift the dead bits out before mixing.
+  return static_cast<std::size_t>((reinterpret_cast<std::uint64_t>(addr) >> 3) *
+                                  0x9E3779B97F4A7C15ULL >>
+                                  32) &
+         mask;
+}
+
+std::size_t FdSlot(int fd, GlobalLockKind kind, std::uint64_t offset, std::uint64_t length,
+                   std::size_t mask) {
+  std::uint64_t h = HashCombine(static_cast<std::uint64_t>(fd) + 0x2545F491,
+                                static_cast<std::uint64_t>(kind));
+  h = HashCombine(h, offset);
+  h = HashCombine(h, length);
+  return static_cast<std::size_t>(h) & mask;
+}
+
+// --- fcntl range registry ---------------------------------------------------
+
+SpinLock g_range_lock;
+std::unordered_map<LockId, LockRange>* g_ranges = nullptr;  // leaked
+
+void RegisterRange(LockId id, const LockRange& range) {
+  std::lock_guard<SpinLock> guard(g_range_lock);
+  if (g_ranges == nullptr) {
+    g_ranges = new std::unordered_map<LockId, LockRange>();
+  }
+  (*g_ranges)[id] = range;
+}
+
 }  // namespace
 
 LockId GlobalIdForFileLock(int fd, GlobalLockKind kind, std::uint64_t offset,
                            std::uint64_t length) {
+  const std::size_t mask = CacheMask();
+  const bool cacheable = mask != ~std::size_t{0} && fd >= 0 && fd < kMaxCachedFd;
+  std::uint32_t gen = 0;
+  FdCacheEntry* entry = nullptr;
+  if (cacheable) {
+    gen = g_fd_gen[fd].load(std::memory_order_acquire);
+    entry = &t_fd_cache[FdSlot(fd, kind, offset, length, mask)];
+    if (entry->fd == fd && entry->kind == static_cast<std::uint8_t>(kind) &&
+        entry->offset == offset && entry->length == length && entry->gen == gen) {
+      g_cache_hits.fetch_add(1);
+      return entry->id;
+    }
+  }
+  g_cache_misses.fetch_add(1);
   struct stat st {};
   if (::fstat(fd, &st) != 0) {
     return kInvalidLockId;
   }
-  return Tagged(IdentityHash(kind, static_cast<std::uint64_t>(st.st_dev),
-                             static_cast<std::uint64_t>(st.st_ino), offset, length));
+  const std::uint64_t dev = static_cast<std::uint64_t>(st.st_dev);
+  const std::uint64_t ino = static_cast<std::uint64_t>(st.st_ino);
+  const LockId id = Tagged(IdentityHash(kind, dev, ino, offset, length));
+  if (kind == GlobalLockKind::kFcntlRange) {
+    // Record the byte range so the bridge can publish it and alias
+    // overlapping foreign ranges onto this id (l_len 0 = to EOF).
+    LockRange range;
+    const std::uint64_t group = IdentityHash(kind, dev, ino, 0);
+    range.group = group == 0 ? 1 : group;
+    range.start = offset;
+    range.len = length == 0 ? LockRange::kWholeFileRangeLen : length;
+    RegisterRange(id, range);
+  }
+  if (cacheable) {
+    *entry = FdCacheEntry{fd, static_cast<std::uint8_t>(kind), gen, offset, length, id};
+  }
+  return id;
 }
 
 LockId GlobalIdForSharedAddress(const void* addr) {
+  const std::size_t mask = CacheMask();
+  AddrCacheEntry* entry = nullptr;
+  std::uint64_t epoch = 0;
+  if (mask != ~std::size_t{0}) {
+    // Stamp BEFORE resolving: an invalidation racing the slow path leaves a
+    // stale-stamped entry that the next lookup rejects, never a stale id
+    // that survives.
+    epoch = g_maps_epoch.load(std::memory_order_acquire);
+    entry = &t_addr_cache[AddrSlot(addr, mask)];
+    if (entry->addr == addr && entry->epoch == epoch) {
+      g_cache_hits.fetch_add(1);
+      return entry->id;
+    }
+  }
+  g_cache_misses.fetch_add(1);
   const std::uint64_t a = reinterpret_cast<std::uint64_t>(addr);
   SharedRegion region;
   if (!LookupRegion(a, &region)) {
@@ -140,21 +269,72 @@ LockId GlobalIdForSharedAddress(const void* addr) {
       region = SharedRegion{};  // unresolvable: fall through to address identity
     }
   }
+  LockId id;
   if (region.ino != 0 || region.dev != 0) {
     const std::uint64_t file_offset = region.pgoff + (a - region.start);
-    return Tagged(
+    id = Tagged(
         IdentityHash(GlobalLockKind::kSharedMemory, region.dev, region.ino, file_offset));
+  } else {
+    // Anonymous shared memory: only reachable via fork(), which preserves
+    // the address — use it directly.
+    id = Tagged(IdentityHash(GlobalLockKind::kSharedMemory, 0, 0, a));
   }
-  // Anonymous shared memory: only reachable via fork(), which preserves the
-  // address — use it directly.
-  return Tagged(IdentityHash(GlobalLockKind::kSharedMemory, 0, 0, a));
+  if (entry != nullptr) {
+    *entry = AddrCacheEntry{addr, epoch, id};
+  }
+  return id;
 }
 
 void InvalidateMapsCache() {
-  std::lock_guard<SpinLock> guard(g_maps_lock);
-  if (g_maps_cache != nullptr) {
-    g_maps_cache->clear();
+  {
+    std::lock_guard<SpinLock> guard(g_maps_lock);
+    if (g_maps_cache != nullptr) {
+      g_maps_cache->clear();
+    }
   }
+  // Kill every thread's cached address resolutions too: entries carry the
+  // epoch they were resolved under and are rejected once it moves.
+  g_maps_epoch.fetch_add(1, std::memory_order_release);
+}
+
+void InvalidateFdCache(int fd) {
+  if (fd >= 0 && fd < kMaxCachedFd) {
+    g_fd_gen[fd].fetch_add(1, std::memory_order_release);
+  }
+}
+
+GlobalIdCacheStats GlobalIdCacheCounters() {
+  GlobalIdCacheStats stats;
+  stats.hits = g_cache_hits.load();
+  stats.misses = g_cache_misses.load();
+  return stats;
+}
+
+LockRange LookupLockRange(LockId id) {
+  std::lock_guard<SpinLock> guard(g_range_lock);
+  if (g_ranges != nullptr) {
+    if (auto it = g_ranges->find(id); it != g_ranges->end()) {
+      return it->second;
+    }
+  }
+  return LockRange{};
+}
+
+std::vector<LockId> OverlappingLockIds(const LockRange& range, LockId exclude) {
+  std::vector<LockId> out;
+  if (!range.valid()) {
+    return out;
+  }
+  std::lock_guard<SpinLock> guard(g_range_lock);
+  if (g_ranges == nullptr) {
+    return out;
+  }
+  for (const auto& [id, local] : *g_ranges) {
+    if (id != exclude && local.Overlaps(range)) {
+      out.push_back(id);
+    }
+  }
+  return out;
 }
 
 Frame ProcessIdentityFrame() {

@@ -19,14 +19,25 @@
 //     fork(), which preserves addresses — the virtual address itself is the
 //     identity there.
 //
-// The /proc/self/maps parse is cached; a lookup miss (fresh mmap) triggers
-// one re-parse. All of this is off the local-lock fast path: only adapters
-// that already classified a lock as global call in here.
+// Resolution is cached at two levels. The /proc/self/maps parse is cached
+// process-wide; a lookup miss (fresh mmap) triggers one re-parse. On top of
+// that, each thread keeps a small direct-mapped slab (DIMMUNIX_ID_CACHE
+// entries, default 64, 0 = off) of finished resolutions — address -> id and
+// (fd, kind, range) -> id — so the steady state costs a few loads instead
+// of a spinlock + binary search (addresses) or an fstat syscall (fds).
+// Entries are stamped: the address cache against a global maps epoch
+// (bumped by InvalidateMapsCache, which the preload shim calls from its
+// munmap wrapper), the fd cache against a per-fd generation (bumped by
+// InvalidateFdCache, called from the shim's close wrapper) — so mmap churn
+// and fd reuse re-resolve instead of returning a stale identity. All of
+// this is off the local-lock fast path: only adapters that already
+// classified a lock as global call in here.
 
 #ifndef DIMMUNIX_IPC_GLOBAL_ID_H_
 #define DIMMUNIX_IPC_GLOBAL_ID_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/core/global_port.h"
 
@@ -54,8 +65,38 @@ LockId GlobalIdForFileLock(int fd, GlobalLockKind kind, std::uint64_t offset,
 // mapping is anonymous or cannot be resolved. Has kGlobalLockBit set.
 LockId GlobalIdForSharedAddress(const void* addr);
 
-// Drops the cached /proc/self/maps table (tests; also safe after fork).
+// Drops the cached /proc/self/maps table and advances the maps epoch, so
+// every thread's cached address resolutions die too. Call after any munmap
+// of (potentially) shared memory — the shim's munmap wrapper does — and
+// after fork. Cheap enough to call unconditionally.
 void InvalidateMapsCache();
+
+// Kills cached (fd, ...) resolutions for one descriptor. Call on close(fd)
+// — the shim's close wrapper does — so a reused descriptor re-resolves.
+void InvalidateFdCache(int fd);
+
+// Cumulative per-thread-cache accounting, folded across threads. A miss is
+// any resolution that had to run the slow path (spinlock/maps walk/fstat).
+struct GlobalIdCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+GlobalIdCacheStats GlobalIdCacheCounters();
+
+// --- fcntl range registry ---------------------------------------------------
+// Every fcntl-range resolution records its byte range here (process-wide,
+// keyed by the resulting LockId), so the bridge can publish ranges into the
+// arena and alias overlapping foreign ranges onto local ids. `l_len == 0`
+// (to EOF) is stored as LockRange::kWholeFileRangeLen.
+
+// The registered range of `id`, or an invalid (group 0) range for ids that
+// are not fcntl ranges.
+LockRange LookupLockRange(LockId id);
+
+// Locally-registered lock ids (excluding `exclude`) whose range overlaps
+// `range`. Used by the bridge to mirror a foreign range edge under every
+// local id it would conflict with in the kernel.
+std::vector<LockId> OverlappingLockIds(const LockRange& range, LockId exclude);
 
 // Stable identity of this process for proc-qualifying signature stacks:
 // DIMMUNIX_PROC_TAG when set, otherwise the resolved /proc/self/exe path.

@@ -33,6 +33,8 @@ const char* EventName(std::uint8_t type) {
       return "store_compact";
     case TraceEventType::kFleetSync:
       return "fleet_sync";
+    case TraceEventType::kIpcFlush:
+      return "ipc_flush";
     case TraceEventType::kNone:
       break;
   }
@@ -81,6 +83,10 @@ std::string EventArgs(const TraceEvent& e) {
       std::snprintf(buf, sizeof(buf), "{\"peer\":%u,\"records_in\":%u,\"records_out\":%u}",
                     e.aux, static_cast<std::uint32_t>(e.data >> 32),
                     static_cast<std::uint32_t>(e.data));
+      break;
+    case TraceEventType::kIpcFlush:
+      std::snprintf(buf, sizeof(buf), "{\"ops_drained\":%" PRIu64 ",\"rows_written\":%u}", e.data,
+                    e.aux);
       break;
     default:
       std::snprintf(buf, sizeof(buf), "{}");

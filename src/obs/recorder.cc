@@ -39,6 +39,8 @@ const char* HistoName(HistoKind kind) {
       return "epoch_hold_ns";
     case HistoKind::kMatchDuration:
       return "match_duration_ns";
+    case HistoKind::kIpcFlush:
+      return "ipc_flush_ns";
   }
   return "unknown";
 }

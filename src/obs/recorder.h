@@ -42,8 +42,9 @@ enum class HistoKind {
   kYieldDuration = 1,   // park -> unpark
   kEpochHold = 2,       // stop-the-stripes guard held
   kMatchDuration = 3,   // incremental (fast-path) cover scan
+  kIpcFlush = 4,        // one pending-log drain into the IPC arena
 };
-inline constexpr int kHistoKindCount = 4;
+inline constexpr int kHistoKindCount = 5;
 
 const char* HistoName(HistoKind kind);
 // -1 if `name` is not a histogram name.

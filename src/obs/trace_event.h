@@ -44,8 +44,10 @@ enum class TraceEventType : std::uint8_t {
   kStoreCompact = 9,   // one history compaction; data = foreign sigs merged
   kFleetSync = 10,     // one dimmunixd gossip round; aux = peer index,
                        // data = records_in << 32 | records_out
+  kIpcFlush = 11,      // one pending-log drain into the IPC arena;
+                       // aux = arena rows written, data = ops drained
 };
-inline constexpr std::uint8_t kTraceEventTypeMax = 10;
+inline constexpr std::uint8_t kTraceEventTypeMax = 11;
 
 // aux value of a kCoverSearch that found no instantiation.
 inline constexpr std::uint16_t kNoMatchAux = 0xffff;

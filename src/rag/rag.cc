@@ -43,11 +43,20 @@ void Rag::Apply(const Event& event) {
         if (event.mode == AcquireMode::kExclusive) {
           l.mode = AcquireMode::kExclusive;  // committed upgrade promotes the hold
         }
-      } else if (l.holders.empty() || event.mode == AcquireMode::kExclusive) {
-        // Free lock, or an exclusive grant superseding stale holders (e.g.
-        // events predating a restart).
+      } else if (l.holders.empty()) {
         l.mode = event.mode;
         l.holders.assign(1, LockNode::Holder{event.thread, event.stack, 1});
+        t.held.push_back(event.lock);
+      } else if (event.mode == AcquireMode::kExclusive) {
+        // An exclusive grant while another holder is still recorded: the
+        // prior holder's release is in flight (staged events may drain one
+        // tick late), so ADD rather than displace — displacing would erase
+        // the live hold if THIS event is the late one. The duplicate
+        // resolves when the in-flight release drains; it can never close a
+        // false cycle because the stale holder's wait edges sort after its
+        // release in emission order.
+        l.mode = AcquireMode::kExclusive;
+        l.holders.push_back(LockNode::Holder{event.thread, event.stack, 1});
         t.held.push_back(event.lock);
       } else {
         // Additional shared holder.

@@ -5,11 +5,17 @@
 // retirement of a vanished participant's edges. Two complete engine stacks
 // ("process" A and B) share one arena file inside this test process; the
 // bridges run deterministically via Tick().
+//
+// Publication is batched (docs/ipc-arena.md): an engine transition lands in
+// the publisher's pending op-log, not the arena, so tests drain the
+// publishing side with FlushPending() before the peer's mirroring Tick —
+// exactly the one-flush-epoch visibility contract the protocol documents.
 
 #include "src/ipc/bridge.h"
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <filesystem>
@@ -83,6 +89,7 @@ TEST_F(BridgeTest, ForeignHoldBecomesLocalOwnerAndTuple) {
   ScopedFrame frame(FrameFromName("bridge::holder"));
   ASSERT_EQ(a.engine->Request(ta, kLock1), RequestDecision::kGo);
   a.engine->Acquired(ta, kLock1);
+  a.bridge->FlushPending();
 
   // B's next tick folds the hold in under a synthetic foreign thread id.
   b.bridge->Tick();
@@ -94,6 +101,7 @@ TEST_F(BridgeTest, ForeignHoldBecomesLocalOwnerAndTuple) {
 
   // Release in A; B's next tick retires the mirrored hold.
   a.engine->Release(ta, kLock1);
+  a.bridge->FlushPending();
   b.bridge->Tick();
   EXPECT_EQ(b.engine->LockOwner(kLock1), kInvalidThreadId);
   EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 0u);
@@ -125,6 +133,7 @@ TEST_F(BridgeTest, CrossProcessInstantiationRefusesTheDeadlyAcquisition) {
     ASSERT_EQ(a.engine->Request(ta, kLock1), RequestDecision::kGo);
     a.engine->Acquired(ta, kLock1);
   }
+  a.bridge->FlushPending();
   b.bridge->Tick();
 
   // B's first acquisition would complete the instantiation: the engine must
@@ -139,6 +148,7 @@ TEST_F(BridgeTest, CrossProcessInstantiationRefusesTheDeadlyAcquisition) {
   // Once A releases (and the bridge mirrors it), the same acquisition is
   // safe again — one process's escape unblocks the peer.
   a.engine->Release(ta, kLock1);
+  a.bridge->FlushPending();
   b.bridge->Tick();
   {
     ScopedFrame frame(frame_b);
@@ -157,6 +167,7 @@ TEST_F(BridgeTest, StoppedPeerEdgesAreRetired) {
     ScopedFrame frame(FrameFromName("bridge::transient"));
     ASSERT_EQ(a.engine->Request(ta, kLock1), RequestDecision::kGo);
     a.engine->Acquired(ta, kLock1);
+    a.bridge->FlushPending();
     b.bridge->Tick();
     EXPECT_NE(b.engine->LockOwner(kLock1), kInvalidThreadId);
     // A's bridge shuts down cleanly here (participant slot released, edges
@@ -175,10 +186,12 @@ TEST_F(BridgeTest, WaitEdgesMirrorAndClear) {
   const ThreadId ta = a.engine->registry().RegisterCurrentThread();
   ScopedFrame frame(FrameFromName("bridge::waiter"));
   ASSERT_EQ(a.engine->Request(ta, kLock2), RequestDecision::kGo);  // wait standing
+  a.bridge->FlushPending();
   b.bridge->Tick();
   EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 1u);
 
   a.engine->CancelRequest(ta, kLock2);  // trylock-style rollback
+  a.bridge->FlushPending();
   b.bridge->Tick();
   EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 0u);
 }
@@ -199,12 +212,14 @@ TEST_F(BridgeTest, UpgradeUpgradeCycleAcrossProcessesIsDetectable) {
   a.engine->Acquired(ta, kLock1, AcquireMode::kShared);
   ASSERT_EQ(b.engine->Request(tb, kLock1, AcquireMode::kShared), RequestDecision::kGo);
   b.engine->Acquired(tb, kLock1, AcquireMode::kShared);
+  a.bridge->FlushPending();
   b.bridge->Tick();  // B mirrors A's shared hold
 
   // Upgrade requests (granted by avoidance — no signature matches — so the
   // wait edges stand while the raw layer would block).
   ASSERT_EQ(a.engine->Request(ta, kLock1, AcquireMode::kExclusive), RequestDecision::kGo);
   ASSERT_EQ(b.engine->Request(tb, kLock1, AcquireMode::kExclusive), RequestDecision::kGo);
+  a.bridge->FlushPending();
   b.bridge->Tick();
 
   // The arena publishes A's upgrade as hold + wait side by side, so B
@@ -216,11 +231,108 @@ TEST_F(BridgeTest, UpgradeUpgradeCycleAcrossProcessesIsDetectable) {
   // tb's shared hold. Before upgrade waits were published, this deadlock
   // was undetectable from either process.
   Rag rag;
+  // tb's own allow/acquired events are staged in its slot buffer (hot-event
+  // batching); sweep them into the queue the way the monitor's drain does.
+  b.engine->FlushAllThreadEvents();
   while (auto ev = b.queue->Pop()) {
     rag.Apply(*ev);
   }
   EXPECT_FALSE(rag.DetectDeadlocks().empty())
       << "cross-process upgrade-upgrade cycle must form a detectable RAG cycle";
+}
+
+TEST_F(BridgeTest, MirrorToleratesUnflushedPublisherLag) {
+  Side a(arena_path_);
+  Side b(arena_path_);
+  ASSERT_TRUE(a.started);
+  ASSERT_TRUE(b.started);
+
+  // A's wait sits in the pending log. B's mirror pass must see a consistent
+  // (empty) arena — deferred publication is invisible, never torn.
+  const ThreadId ta = a.engine->registry().RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("bridge::lagged"));
+  ASSERT_EQ(a.engine->Request(ta, kLock1), RequestDecision::kGo);
+  b.bridge->Tick();
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 0u);
+  EXPECT_GT(a.bridge->SnapshotStatus().pending_ops, 0u);
+
+  // One flush epoch later the edge is there — the documented visibility
+  // bound (docs/ipc-arena.md).
+  a.bridge->FlushPending();
+  b.bridge->Tick();
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 1u);
+  EXPECT_EQ(a.bridge->SnapshotStatus().pending_ops, 0u);
+  a.engine->CancelRequest(ta, kLock1);
+}
+
+TEST_F(BridgeTest, UncontendedAcquireReleaseCoalescesToNothing) {
+  Side a(arena_path_);
+  Side b(arena_path_);
+  ASSERT_TRUE(a.started);
+  ASSERT_TRUE(b.started);
+
+  // The whole point of batching: a full uncontended acquire/release cycle
+  // (wait -> hold -> clear) annihilates inside the op-log, so the flush has
+  // nothing to write and the arena is never touched.
+  const ThreadId ta = a.engine->registry().RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("bridge::uncontended"));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.engine->Request(ta, kLock1), RequestDecision::kGo);
+    a.engine->Acquired(ta, kLock1);
+    a.engine->Release(ta, kLock1);
+  }
+  EXPECT_EQ(a.bridge->SnapshotStatus().pending_ops, 0u);
+  a.bridge->FlushPending();  // must be a no-op
+  EXPECT_EQ(a.bridge->SnapshotStatus().flushes, 0u);
+  EXPECT_EQ(a.bridge->SnapshotStatus().flush_ops, 0u);
+  b.bridge->Tick();
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 0u);
+}
+
+TEST_F(BridgeTest, OverlappingFcntlRangesConflictInTheMirror) {
+  Side a(arena_path_);
+  Side b(arena_path_);
+  ASSERT_TRUE(a.started);
+  ASSERT_TRUE(b.started);
+
+  // Two distinct fcntl ranges on one file: [0,16) and [8,32) overlap, so
+  // the kernel would conflict them — and so must the mirrored RAG, even
+  // though their LockIds differ. [40,48) stays disjoint as the control.
+  const std::string file_path = arena_path_ + ".lockfile";
+  const int fd = ::open(file_path.c_str(), O_CREAT | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  const LockId low = GlobalIdForFileLock(fd, GlobalLockKind::kFcntlRange, 0, 16);
+  const LockId mid = GlobalIdForFileLock(fd, GlobalLockKind::kFcntlRange, 8, 24);
+  const LockId far = GlobalIdForFileLock(fd, GlobalLockKind::kFcntlRange, 40, 8);
+  ASSERT_NE(low, kInvalidLockId);
+  ASSERT_NE(low, mid);
+  ASSERT_NE(low, far);
+
+  // A holds [0,16).
+  const ThreadId ta = a.engine->registry().RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("bridge::range_holder"));
+  ASSERT_EQ(a.engine->Request(ta, low), RequestDecision::kGo);
+  a.engine->Acquired(ta, low);
+  a.bridge->FlushPending();
+  b.bridge->Tick();
+
+  // B sees the foreign hold under A's id AND under the overlapping local
+  // id — the regression this test pins: pre-range-awareness, [0,16) vs
+  // [8,32) were independent locks and the cycle through them had a gap.
+  EXPECT_NE(b.engine->LockOwner(low), kInvalidThreadId);
+  EXPECT_NE(b.engine->LockOwner(mid), kInvalidThreadId);
+  EXPECT_EQ(b.engine->LockOwner(far), kInvalidThreadId)
+      << "disjoint ranges must not alias";
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 2u);
+
+  // Release retires both the original and the alias.
+  a.engine->Release(ta, low);
+  a.bridge->FlushPending();
+  b.bridge->Tick();
+  EXPECT_EQ(b.engine->LockOwner(low), kInvalidThreadId);
+  EXPECT_EQ(b.engine->LockOwner(mid), kInvalidThreadId);
+  ::close(fd);
+  std::filesystem::remove(file_path);
 }
 
 TEST_F(BridgeTest, LocalLocksNeverReachTheArena) {

@@ -2,7 +2,10 @@
 //
 // Cross-process lock identities: the same lock must hash to the same LockId
 // through any fd / mapping that reaches it, different locks must not
-// collide, and every global id must carry kGlobalLockBit.
+// collide, and every global id must carry kGlobalLockBit. The per-thread
+// resolution caches must be invisible: hits return exactly what the slow
+// path would, and invalidation (close / munmap churn) forces a re-resolve
+// instead of serving a stale identity.
 
 #include "src/ipc/global_id.h"
 
@@ -12,8 +15,18 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/core/avoidance.h"
+#include "src/event/event_queue.h"
+#include "src/signature/history.h"
+#include "src/stack/annotation.h"
+#include "src/stack/stack_table.h"
 
 namespace dimmunix {
 namespace ipc {
@@ -40,6 +53,11 @@ TEST(GlobalIdTest, FileLockIdentityIsStableAcrossDescriptors) {
 
   ::close(fd1);
   ::close(fd2);
+  // This binary is not preloaded, so the shim's close wrapper never runs:
+  // invalidate by hand or a later test reusing these fd numbers would be
+  // served this file's identity from the cache.
+  InvalidateFdCache(fd1);
+  InvalidateFdCache(fd2);
   std::filesystem::remove(path);
 }
 
@@ -68,8 +86,10 @@ TEST(GlobalIdTest, OffsetsAndKindsAreDisjointNamespaces) {
   ASSERT_GE(fd_again, 0);
   EXPECT_EQ(fcntl8_len16, GlobalIdForFileLock(fd_again, GlobalLockKind::kFcntlRange, 8, 16));
   ::close(fd_again);
+  InvalidateFdCache(fd_again);
 
   ::close(fd);
+  InvalidateFdCache(fd);
   std::filesystem::remove(path);
 }
 
@@ -114,6 +134,171 @@ TEST(GlobalIdTest, AnonymousSharedMemoryFallsBackToAddressIdentity) {
   EXPECT_TRUE(IsGlobalLockId(id));
   EXPECT_NE(id, kInvalidLockId);
   ::munmap(map, 4096);
+}
+
+TEST(GlobalIdTest, CacheHitAndMissAccounting) {
+  const std::string path = TempPath("cache_stats");
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  InvalidateFdCache(fd);  // clear residue from earlier tests' reuse of this number
+
+  const GlobalIdCacheStats before = GlobalIdCacheCounters();
+  const LockId first = GlobalIdForFileLock(fd, GlobalLockKind::kFlock, 0);
+  const GlobalIdCacheStats after_miss = GlobalIdCacheCounters();
+  const LockId second = GlobalIdForFileLock(fd, GlobalLockKind::kFlock, 0);
+  const GlobalIdCacheStats after_hit = GlobalIdCacheCounters();
+
+  EXPECT_EQ(first, second);
+  EXPECT_GT(after_miss.misses, before.misses) << "first resolution must run the slow path";
+  EXPECT_GT(after_hit.hits, after_miss.hits) << "repeat resolution must be a cache hit";
+  EXPECT_EQ(after_hit.misses, after_miss.misses) << "a hit must not also count as a miss";
+
+  ::close(fd);
+  InvalidateFdCache(fd);
+  std::filesystem::remove(path);
+}
+
+TEST(GlobalIdTest, FdCacheInvalidationPreventsStaleIdentityOnFdReuse) {
+  const std::string path1 = TempPath("reuse_a");
+  const std::string path2 = TempPath("reuse_b");
+  const int fd = ::open(path1.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  InvalidateFdCache(fd);  // clear residue from earlier tests' reuse of this number
+  // Prime the cache for this descriptor.
+  const LockId id1 = GlobalIdForFileLock(fd, GlobalLockKind::kFlock, 0);
+  ASSERT_EQ(id1, GlobalIdForFileLock(fd, GlobalLockKind::kFlock, 0));
+  ::close(fd);
+  InvalidateFdCache(fd);  // what the preload shim's close wrapper does
+
+  // The kernel hands back the lowest free descriptor — the very number we
+  // just cached. Without the generation bump, this lookup would return the
+  // OLD file's identity.
+  const int fd_reused = ::open(path2.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_EQ(fd_reused, fd) << "test requires the descriptor number to be reused";
+  const LockId id2 = GlobalIdForFileLock(fd_reused, GlobalLockKind::kFlock, 0);
+  EXPECT_NE(id2, id1) << "a reused fd must resolve to the new file";
+
+  // Cross-check against an uncached resolution through an independent fd.
+  const int fd_other = ::open(path2.c_str(), O_RDWR);
+  ASSERT_GE(fd_other, 0);
+  InvalidateFdCache(fd_other);
+  EXPECT_EQ(id2, GlobalIdForFileLock(fd_other, GlobalLockKind::kFlock, 0));
+
+  ::close(fd_reused);
+  InvalidateFdCache(fd_reused);
+  ::close(fd_other);
+  InvalidateFdCache(fd_other);
+  std::filesystem::remove(path1);
+  std::filesystem::remove(path2);
+}
+
+TEST(GlobalIdTest, AddressCacheInvalidationAfterRemap) {
+  const std::string path1 = TempPath("remap_a");
+  const std::string path2 = TempPath("remap_b");
+  const int fd1 = ::open(path1.c_str(), O_RDWR | O_CREAT, 0644);
+  const int fd2 = ::open(path2.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd1, 0);
+  ASSERT_GE(fd2, 0);
+  ASSERT_EQ(::ftruncate(fd1, 4096), 0);
+  ASSERT_EQ(::ftruncate(fd2, 4096), 0);
+
+  // Pin one virtual address, map file 1 there, and cache its resolution.
+  void* probe = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE, MAP_SHARED, fd1, 0);
+  ASSERT_NE(probe, MAP_FAILED);
+  InvalidateMapsCache();
+  const LockId id1 = GlobalIdForSharedAddress(probe);
+  ASSERT_EQ(id1, GlobalIdForSharedAddress(probe));  // hot in the thread cache
+
+  // Remap the SAME address to file 2 (MAP_FIXED implies the munmap). The
+  // shim's munmap wrapper would call InvalidateMapsCache; do it by hand
+  // here. A stale cache would keep handing out file 1's identity for an
+  // address now backed by file 2 — a cross-process misidentification.
+  void* remapped =
+      ::mmap(probe, 4096, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_FIXED, fd2, 0);
+  ASSERT_EQ(remapped, probe);
+  InvalidateMapsCache();
+  const LockId id2 = GlobalIdForSharedAddress(probe);
+  EXPECT_NE(id2, id1) << "remapped address must resolve to the new backing file";
+
+  // Cross-check: the same byte of file 2 through a second mapping at a
+  // different address must agree with the re-resolved identity.
+  void* other = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE, MAP_SHARED, fd2, 0);
+  ASSERT_NE(other, MAP_FAILED);
+  InvalidateMapsCache();
+  EXPECT_EQ(id2, GlobalIdForSharedAddress(other));
+
+  ::munmap(probe, 4096);
+  ::munmap(other, 4096);
+  InvalidateMapsCache();
+  ::close(fd1);
+  ::close(fd2);
+  std::filesystem::remove(path1);
+  std::filesystem::remove(path2);
+}
+
+TEST(GlobalIdTest, SingleStripeEngineTortureWithCacheChurn) {
+  // A single-stripe engine (DIMMUNIX_STRIPES=1, the pre-striping topology)
+  // hammered with global-lock cycles whose ids resolve through the
+  // per-thread cache on every iteration, while a churn thread keeps
+  // invalidating the maps epoch. The property under test: a cache hit or a
+  // racing invalidation never yields a wrong identity, so every thread
+  // always locks the same engine-level lock for the same address.
+  const std::string path = TempPath("torture");
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::ftruncate(fd, 4096), 0);
+  void* map = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ASSERT_NE(map, MAP_FAILED);
+  InvalidateMapsCache();
+
+  Config config;
+  config.start_monitor = false;
+  config.engine_stripes = 1;
+  StackTable stacks(config.max_match_depth);
+  History history(&stacks);
+  EventQueue queue;
+  AvoidanceEngine engine(config, &stacks, &history, &queue);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  const LockId expected = GlobalIdForSharedAddress(map);
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::thread churn([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      InvalidateMapsCache();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      ScopedFrame frame(FrameFromName("global_id::torture"));
+      const ThreadId self = engine.registry().RegisterCurrentThread();
+      for (int i = 0; i < kIters; ++i) {
+        const LockId id = GlobalIdForSharedAddress(map);
+        if (id != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (engine.Request(self, id) == RequestDecision::kGo) {
+          engine.Acquired(self, id);
+          engine.Release(self, id);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  churn.join();
+  EXPECT_EQ(mismatches.load(), 0) << "cache churn must never change an identity";
+
+  ::munmap(map, 4096);
+  InvalidateMapsCache();
+  ::close(fd);
+  std::filesystem::remove(path);
 }
 
 TEST(GlobalIdTest, ProcessIdentityFrameIsStable) {

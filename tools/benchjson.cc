@@ -333,14 +333,12 @@ struct Fig4Shared {
 void Fig4Child(Fig4Shared* shared, int index, bool instrumented,
                const std::string& arena_path) {
   Runtime* rt = nullptr;
-  LockId lock_id = 0;
   if (instrumented) {
     Config config = InstrumentedConfig();
     config.ipc_path = arena_path;
     rt = new Runtime(config);
     LoadSyntheticHistory(*rt);
     ipc::InvalidateMapsCache();  // the parent's mapping predates this fork
-    lock_id = ipc::GlobalIdForSharedAddress(&shared->mutex[index]);
   }
   // Annotated stack, like every other benchjson workload: the measurement
   // targets the protocol + arena publishing cost, not backtrace(3).
@@ -352,7 +350,12 @@ void Fig4Child(Fig4Shared* shared, int index, bool instrumented,
   while (shared->stop.load(std::memory_order_relaxed) == 0) {
     const bool sample = index == 0 && ops % kFig4SampleEvery == 0;
     const MonoTime t0 = sample ? Now() : MonoTime{};
+    // The id is resolved inside the loop on purpose: the real shim cannot
+    // hoist it either, so fig4 measures resolve (cache hit) + protocol +
+    // publication per acquisition, not just the protocol.
+    LockId lock_id = 0;
     if (instrumented) {
+      lock_id = ipc::GlobalIdForSharedAddress(&shared->mutex[index]);
       AcquireOp op = rt->BeginAcquire(lock_id, AcquireMode::kExclusive);
       pthread_mutex_lock(&shared->mutex[index]);
       op.Commit();
