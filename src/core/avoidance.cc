@@ -1361,12 +1361,6 @@ void AvoidanceEngine::NotifyHistoryChanged() {
 // --- Hot-event staging -------------------------------------------------------
 
 void AvoidanceEngine::BufferHotEvent(ThreadSlot& slot, Event&& ev) {
-  // Stamp at emission: the monitor re-sorts its drain batch by seq, so
-  // staged events interleave with directly-pushed ones (and with other
-  // threads' staged events) in true emission order. Without this, a
-  // buffered acquired(L) could drain after another thread's later
-  // acquired(L) and displace the live holder in the RAG.
-  ev.seq = queue_->Stamp();
   bool flush = false;
   {
     std::lock_guard<SpinLock> guard(slot.ev_m);
@@ -1392,6 +1386,20 @@ void AvoidanceEngine::BufferHotEvent(ThreadSlot& slot, Event&& ev) {
         return;
       }
     }
+    // Stamp at buffering time, INSIDE ev_m (coalesced-away events above
+    // need no stamp): the monitor re-sorts its drain batch by seq, so
+    // staged events interleave with directly-pushed ones (and with other
+    // threads' staged events) in true emission order — without the seq, a
+    // buffered acquired(L) could drain after another thread's later
+    // acquired(L) and displace the live holder in the RAG. Stamping under
+    // the same lock FlushAllThreadEvents takes per slot guarantees the
+    // sweep can never miss an already-stamped event (a thread preempted
+    // between stamp and push would otherwise hold a low seq hostage into a
+    // later batch, past where stable_sort can restore order). Events
+    // stamped after the sweep passes a slot drain one tick later; that
+    // one-tick convergence window is inherent to staging, and the RAG's
+    // additive kAcquired handling absorbs it.
+    ev.seq = queue_->Stamp();
     slot.ev_buf.push_back(std::move(ev));
     flush = slot.ev_buf.size() >= kEventBufCap;
   }

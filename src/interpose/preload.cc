@@ -86,6 +86,8 @@ using FlockFn = int (*)(int, int);
 using FcntlFn = int (*)(int, int, void*);
 using MunmapFn = int (*)(void*, size_t);
 using CloseFn = int (*)(int);
+using Dup2Fn = int (*)(int, int);
+using Dup3Fn = int (*)(int, int, int);
 
 MutexFn real_lock = nullptr;
 MutexFn real_trylock = nullptr;
@@ -108,6 +110,8 @@ FlockFn real_flock = nullptr;
 FcntlFn real_fcntl = nullptr;
 MunmapFn real_munmap = nullptr;
 CloseFn real_close = nullptr;
+Dup2Fn real_dup2 = nullptr;
+Dup3Fn real_dup3 = nullptr;
 
 std::atomic<bool> initialized{false};
 // Set while this thread is inside a wrapper (or inside runtime
@@ -141,6 +145,8 @@ void ResolveReal() {
   }
   real_munmap = reinterpret_cast<MunmapFn>(dlsym(RTLD_NEXT, "munmap"));
   real_close = reinterpret_cast<CloseFn>(dlsym(RTLD_NEXT, "close"));
+  real_dup2 = reinterpret_cast<Dup2Fn>(dlsym(RTLD_NEXT, "dup2"));
+  real_dup3 = reinterpret_cast<Dup3Fn>(dlsym(RTLD_NEXT, "dup3"));
 }
 
 __attribute__((constructor)) void PreloadInit() {
@@ -732,10 +738,12 @@ int FcntlLock(dimmunix::Runtime* runtime, int fd, int cmd, struct flock* fl) {
 // The per-thread global-ID caches (src/ipc/global_id.h) stay correct only
 // if mapping churn and fd reuse bump their stamps. These wrappers are the
 // bump sites: munmap retires cached address resolutions (the unmapped
-// region's pages may be remapped to a different backing object), close
-// retires cached (fd, range) resolutions (the descriptor number will be
-// reused). Both run AFTER the real call and cost one atomic bump — nothing
-// here can fail or block.
+// region's pages may be remapped to a different backing object); close,
+// dup2/dup3 (which implicitly close-and-reuse their target number in one
+// call), and F_DUPFD results (a fresh number that may have last been
+// closed through an unwrapped path) retire cached (fd, range) resolutions.
+// All run AFTER the real call and cost one atomic bump — nothing here can
+// fail or block.
 
 extern "C" int munmap(void* addr, size_t length) {
   if (real_munmap == nullptr) {
@@ -759,6 +767,45 @@ extern "C" int close(int fd) {
   return rc;
 }
 
+extern "C" int dup2(int oldfd, int newfd) {
+  if (real_dup2 == nullptr) {
+    ResolveReal();
+  }
+  const int rc = real_dup2(oldfd, newfd);
+  if (rc >= 0 && initialized.load(std::memory_order_acquire)) {
+    // newfd now refers to oldfd's file; any cached identity for the old
+    // object behind this number is stale (dup2(fd, fd) bumps harmlessly).
+    dimmunix::ipc::InvalidateFdCache(newfd);
+  }
+  return rc;
+}
+
+extern "C" int dup3(int oldfd, int newfd, int flags) {
+  if (real_dup3 == nullptr) {
+    ResolveReal();
+  }
+  const int rc = real_dup3(oldfd, newfd, flags);
+  if (rc >= 0 && initialized.load(std::memory_order_acquire)) {
+    dimmunix::ipc::InvalidateFdCache(newfd);
+  }
+  return rc;
+}
+
+namespace {
+
+// F_DUPFD / F_DUPFD_CLOEXEC hand back a fresh descriptor number. If that
+// number's last close went through an unwrapped path (raw syscall, closed
+// before the shim loaded), a cached identity could still be standing for
+// it — bump its generation so the next resolution re-fstats.
+void InvalidateIfDupResult(int cmd, int rc) {
+  if (rc >= 0 && (cmd == F_DUPFD || cmd == F_DUPFD_CLOEXEC) &&
+      initialized.load(std::memory_order_acquire)) {
+    dimmunix::ipc::InvalidateFdCache(rc);
+  }
+}
+
+}  // namespace
+
 extern "C" int fcntl(int fd, int cmd, ...) {
   if (real_fcntl == nullptr) {
     ResolveReal();
@@ -773,7 +820,9 @@ extern "C" int fcntl(int fd, int cmd, ...) {
       return FcntlLock(runtime, fd, cmd, static_cast<struct flock*>(arg));
     }
   }
-  return real_fcntl(fd, cmd, arg);
+  const int rc = real_fcntl(fd, cmd, arg);
+  InvalidateIfDupResult(cmd, rc);
+  return rc;
 }
 
 extern "C" int fcntl64(int fd, int cmd, ...) {
@@ -790,5 +839,7 @@ extern "C" int fcntl64(int fd, int cmd, ...) {
       return FcntlLock(runtime, fd, cmd, static_cast<struct flock*>(arg));
     }
   }
-  return real_fcntl(fd, cmd, arg);
+  const int rc = real_fcntl(fd, cmd, arg);
+  InvalidateIfDupResult(cmd, rc);
+  return rc;
 }

@@ -2,6 +2,8 @@
 
 #include "src/ipc/bridge.h"
 
+#include <algorithm>
+
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/ipc/global_id.h"
@@ -273,7 +275,8 @@ void IpcBridge::Append(ThreadId thread, LockId lock, OpKind kind, StackId stack,
   bool overflow = false;
   {
     std::lock_guard<SpinLock> guard(pending_m_);
-    std::vector<PendingOp>& ops = pending_[PendingKey{thread, lock}];
+    PendingEntry& entry = pending_[PendingKey{thread, lock}];
+    std::vector<PendingOp>& ops = entry.ops;
     // Coalesce against the trailing op of the same (thread, lock). The net
     // effect on the arena row is all that matters, so:
     //   Wait over trailing Wait         -> replace (mode/stack refresh)
@@ -284,6 +287,20 @@ void IpcBridge::Append(ThreadId thread, LockId lock, OpKind kind, StackId stack,
     //   ClearWait popping trailing Wait -> both vanish (canceled request)
     //   ClearHold popping trailing Hold -> both vanish (uncontended critical
     //                                      section: zero arena writes)
+    // Popping to an EMPTY log is only a true no-op when the arena holds no
+    // row for this key. If an earlier flush already published a wait, the
+    // popped pair was the very thing that would have cleared (ClearWait) or
+    // replaced (the grant's PublishHold) that row — so a compensating
+    // ClearWait is enqueued in its place; the arena-row shadow in the entry
+    // says when. (A standing hold row needs no compensation here: the
+    // popped Hold/ClearHold pair nets to zero on its reentrant count.)
+    const auto reconcile_flushed_wait = [&] {
+      if (ops.empty() && entry.arena_wait) {
+        ops.push_back(
+            PendingOp{OpKind::kClearWait, kInvalidStackId, AcquireMode::kExclusive});
+        ++pending_ops_;
+      }
+    };
     switch (kind) {
       case OpKind::kWait:
       case OpKind::kHold:
@@ -298,6 +315,7 @@ void IpcBridge::Append(ThreadId thread, LockId lock, OpKind kind, StackId stack,
         if (!ops.empty() && ops.back().kind == OpKind::kWait) {
           ops.pop_back();
           --pending_ops_;
+          reconcile_flushed_wait();
         } else {
           ops.push_back(PendingOp{kind, stack, mode});
           ++pending_ops_;
@@ -307,6 +325,7 @@ void IpcBridge::Append(ThreadId thread, LockId lock, OpKind kind, StackId stack,
         if (!ops.empty() && ops.back().kind == OpKind::kHold) {
           ops.pop_back();
           --pending_ops_;
+          reconcile_flushed_wait();
         } else {
           ops.push_back(PendingOp{kind, stack, mode});
           ++pending_ops_;
@@ -314,7 +333,8 @@ void IpcBridge::Append(ThreadId thread, LockId lock, OpKind kind, StackId stack,
         break;
     }
     // Emptied keys stay in the map: the next op on the same (thread, lock)
-    // reuses the node and the vector's capacity instead of re-allocating.
+    // reuses the node and the vector's capacity instead of re-allocating —
+    // and the arena-row shadow must outlive the ops it was advanced by.
     overflow = pending_ops_ >= kPendingFlushCap;
   }
   if (overflow) {
@@ -336,7 +356,7 @@ void IpcBridge::FlushPending() {
   const bool timing = recorder_ != nullptr && recorder_->timing();
   const std::uint64_t begin_ns = timing ? obs::NowNs() : 0;
   std::uint64_t ops_drained = 0;
-  std::uint16_t rows_written = 0;
+  std::uint64_t rows_written = 0;
   {
     // flush_m_ before detaching: a racing flusher that detached first could
     // otherwise replay a NEWER batch of some key's ops before ours. It also
@@ -346,11 +366,39 @@ void IpcBridge::FlushPending() {
     std::lock_guard<SpinLock> flush_guard(flush_m_);
     {
       std::lock_guard<SpinLock> guard(pending_m_);
-      for (auto& [key, ops] : pending_) {
-        for (const PendingOp& op : ops) {
+      for (auto& [key, entry] : pending_) {
+        for (const PendingOp& op : entry.ops) {
           flush_scratch_.emplace_back(key, op);
+          // Advance the arena-row shadow at staging time, not at the actual
+          // arena write below (which runs under flush_m_ only): an Append
+          // racing the replay lands in a later batch that flush_m_ orders
+          // strictly after this one, so a compensating ClearWait it decides
+          // to enqueue can never be replayed ahead of these ops.
+          switch (op.kind) {
+            case OpKind::kWait:
+              entry.arena_wait = true;
+              break;
+            case OpKind::kClearWait:
+              entry.arena_wait = false;
+              break;
+            case OpKind::kHold:
+              // PublishHold frees any standing wait/upgrade row.
+              entry.arena_wait = false;
+              ++entry.arena_holds;
+              break;
+            case OpKind::kClearHold:
+              if (entry.arena_holds > 0) {
+                --entry.arena_holds;
+              }
+              if (entry.arena_holds == 0) {
+                // Freeing the last hold frees the (defensive) upgrade wait
+                // row too; on a wait-state row ClearHold frees it outright.
+                entry.arena_wait = false;
+              }
+              break;
+          }
         }
-        ops.clear();
+        entry.ops.clear();
       }
       pending_ops_ = 0;
     }
@@ -385,7 +433,11 @@ void IpcBridge::FlushPending() {
   if (timing) {
     const std::uint64_t end_ns = obs::NowNs();
     recorder_->Latency(obs::HistoKind::kIpcFlush, end_ns - begin_ns);
-    recorder_->Span(obs::TraceEventType::kIpcFlush, end_ns, end_ns - begin_ns, rows_written,
+    // The span's aux field is 16 bits; saturate instead of wrapping for
+    // pathological drains (long timer stalls across many keys).
+    const auto aux_rows =
+        static_cast<std::uint16_t>(std::min<std::uint64_t>(rows_written, 0xFFFF));
+    recorder_->Span(obs::TraceEventType::kIpcFlush, end_ns, end_ns - begin_ns, aux_rows,
                     /*mode=*/0, ops_drained);
   }
 }

@@ -182,6 +182,18 @@ class IpcBridge : public GlobalEdgePublisher {
   struct PendingKeyHash {
     std::size_t operator()(const PendingKey& k) const;
   };
+  struct PendingEntry {
+    std::vector<PendingOp> ops;
+    // Arena-row shadow, advanced as ops are staged for replay: whether the
+    // arena currently shows a wait row for this key and how many published
+    // holds stand. Append consults it so pop-coalescing never nets the log
+    // to nothing while a flushed wait row is still standing — without it,
+    // a Wait flushed early (pre-park contention flush, epoch timer, backlog
+    // cap) followed by an in-log Hold/ClearHold annihilation would leave
+    // peers mirroring a phantom waiter forever.
+    bool arena_wait = false;
+    std::uint32_t arena_holds = 0;
+  };
 
   void Append(ThreadId thread, LockId lock, OpKind kind, StackId stack, AcquireMode mode);
 
@@ -200,7 +212,7 @@ class IpcBridge : public GlobalEdgePublisher {
   // racing flushers can never replay one key's ops out of order.
   SpinLock flush_m_;
   mutable SpinLock pending_m_;
-  std::unordered_map<PendingKey, std::vector<PendingOp>, PendingKeyHash> pending_;
+  std::unordered_map<PendingKey, PendingEntry, PendingKeyHash> pending_;
   std::size_t pending_ops_ = 0;  // total ops across pending_ (under pending_m_)
   // Drain staging buffer, reused across flushes (guarded by flush_m_).
   std::vector<std::pair<PendingKey, PendingOp>> flush_scratch_;

@@ -184,16 +184,72 @@ std::size_t FdSlot(int fd, GlobalLockKind kind, std::uint64_t offset, std::uint6
 }
 
 // --- fcntl range registry ---------------------------------------------------
+// Bounded and group-bucketed. All ranges of one file share a group (hash of
+// kind:dev:ino), so the bridge's overlap scan touches one bucket instead of
+// every range ever registered — the scan runs per foreign range edge on
+// every mirror tick, under the same spinlock application threads use to
+// register. Memory is bounded by least-recently-touched eviction at
+// kMaxRegisteredRanges: entries are touched on (re)registration and on
+// LookupLockRange (the publish path), so active locks stay resident, and an
+// evicted-but-live range re-registers on its next slow-path resolution
+// (close() cannot evict directly — ranges key on file identity, which a
+// bare descriptor number no longer has at close time).
+
+struct RangeEntry {
+  LockRange range;
+  std::uint64_t stamp = 0;  // last touch, from g_range_stamp
+};
 
 SpinLock g_range_lock;
-std::unordered_map<LockId, LockRange>* g_ranges = nullptr;  // leaked
+std::uint64_t g_range_stamp = 0;  // under g_range_lock
+std::unordered_map<LockId, RangeEntry>* g_ranges = nullptr;                        // leaked
+std::unordered_map<std::uint64_t, std::vector<LockId>>* g_range_groups = nullptr;  // leaked
+
+void EraseRangeLocked(LockId id) {
+  auto it = g_ranges->find(id);
+  if (it == g_ranges->end()) {
+    return;
+  }
+  if (auto group_it = g_range_groups->find(it->second.range.group);
+      group_it != g_range_groups->end()) {
+    auto& ids = group_it->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) {
+      g_range_groups->erase(group_it);
+    }
+  }
+  g_ranges->erase(it);
+}
 
 void RegisterRange(LockId id, const LockRange& range) {
   std::lock_guard<SpinLock> guard(g_range_lock);
   if (g_ranges == nullptr) {
-    g_ranges = new std::unordered_map<LockId, LockRange>();
+    g_ranges = new std::unordered_map<LockId, RangeEntry>();
+    g_range_groups = new std::unordered_map<std::uint64_t, std::vector<LockId>>();
   }
-  (*g_ranges)[id] = range;
+  auto [it, inserted] = g_ranges->try_emplace(id);
+  if (inserted) {
+    if (g_ranges->size() > kMaxRegisteredRanges) {
+      // Evict the least-recently-touched entry. The scan is O(capacity) but
+      // runs only on an over-cap insert, which the fd cache makes rare.
+      LockId victim = kInvalidLockId;
+      std::uint64_t oldest = ~std::uint64_t{0};
+      for (const auto& [rid, e] : *g_ranges) {
+        if (rid != id && e.stamp < oldest) {
+          oldest = e.stamp;
+          victim = rid;
+        }
+      }
+      if (victim != kInvalidLockId) {
+        EraseRangeLocked(victim);
+      }
+    }
+    (*g_range_groups)[range.group].push_back(id);
+  }
+  // Re-registration refreshes in place: the id is a hash of the same
+  // (kind, dev, ino, start, len) tuple, so its group cannot move.
+  it->second.range = range;
+  it->second.stamp = ++g_range_stamp;
 }
 
 }  // namespace
@@ -314,7 +370,8 @@ LockRange LookupLockRange(LockId id) {
   std::lock_guard<SpinLock> guard(g_range_lock);
   if (g_ranges != nullptr) {
     if (auto it = g_ranges->find(id); it != g_ranges->end()) {
-      return it->second;
+      it->second.stamp = ++g_range_stamp;  // publishing keeps a range resident
+      return it->second.range;
     }
   }
   return LockRange{};
@@ -326,11 +383,19 @@ std::vector<LockId> OverlappingLockIds(const LockRange& range, LockId exclude) {
     return out;
   }
   std::lock_guard<SpinLock> guard(g_range_lock);
-  if (g_ranges == nullptr) {
+  if (g_range_groups == nullptr) {
     return out;
   }
-  for (const auto& [id, local] : *g_ranges) {
-    if (id != exclude && local.Overlaps(range)) {
+  auto group_it = g_range_groups->find(range.group);
+  if (group_it == g_range_groups->end()) {
+    return out;  // no local ranges on this file at all
+  }
+  for (const LockId id : group_it->second) {
+    if (id == exclude) {
+      continue;
+    }
+    if (auto it = g_ranges->find(id); it != g_ranges->end() &&
+                                      it->second.range.Overlaps(range)) {
       out.push_back(id);
     }
   }

@@ -36,6 +36,7 @@
 #ifndef DIMMUNIX_IPC_GLOBAL_ID_H_
 #define DIMMUNIX_IPC_GLOBAL_ID_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -87,7 +88,14 @@ GlobalIdCacheStats GlobalIdCacheCounters();
 // Every fcntl-range resolution records its byte range here (process-wide,
 // keyed by the resulting LockId), so the bridge can publish ranges into the
 // arena and alias overlapping foreign ranges onto local ids. `l_len == 0`
-// (to EOF) is stored as LockRange::kWholeFileRangeLen.
+// (to EOF) is stored as LockRange::kWholeFileRangeLen. The registry is
+// bucketed by range group (one bucket per file) so overlap queries scan
+// only that file's ranges, and bounded at kMaxRegisteredRanges entries with
+// least-recently-touched eviction (touch = registration or LookupLockRange)
+// so a process cycling through distinct ranges cannot grow it without
+// bound. An evicted range re-registers on its next slow-path resolution.
+
+inline constexpr std::size_t kMaxRegisteredRanges = 4096;
 
 // The registered range of `id`, or an invalid (group 0) range for ids that
 // are not fcntl ranges.

@@ -289,6 +289,67 @@ TEST_F(BridgeTest, UncontendedAcquireReleaseCoalescesToNothing) {
   EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 0u);
 }
 
+TEST_F(BridgeTest, FlushedWaitIsClearedWhenGrantAndReleaseCoalesce) {
+  Side a(arena_path_);
+  Side b(arena_path_);
+  ASSERT_TRUE(a.started);
+  ASSERT_TRUE(b.started);
+
+  // The op-log leak regression: A's wait is flushed to the arena (the
+  // pre-park contention flush, the epoch timer, or the backlog cap all do
+  // this), and THEN the grant + release land in the log and annihilate
+  // (ClearHold pops Hold). Nothing in that pair reaches the arena — so the
+  // bridge must enqueue a compensating ClearWait, or the flushed wait row
+  // leaks and peers mirror a phantom waiter forever.
+  const ThreadId ta = a.engine->registry().RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("bridge::flushed_waiter"));
+  ASSERT_EQ(a.engine->Request(ta, kLock1), RequestDecision::kGo);
+  a.bridge->FlushPending();  // wait row is now arena-visible
+  b.bridge->Tick();
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 1u);
+
+  a.engine->Acquired(ta, kLock1);
+  a.engine->Release(ta, kLock1);
+  a.bridge->FlushPending();
+  b.bridge->Tick();
+  EXPECT_EQ(b.engine->LockOwner(kLock1), kInvalidThreadId);
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 0u)
+      << "a flushed wait whose grant/release pair coalesced away must not "
+         "leave a phantom wait row in the arena";
+}
+
+TEST_F(BridgeTest, ParkThenGrantPromotesFlushedWaitToHold) {
+  Side a(arena_path_);
+  Side b(arena_path_);
+  ASSERT_TRUE(a.started);
+  ASSERT_TRUE(b.started);
+
+  // The park-then-grant path: wait flushed first (as before parking), the
+  // grant's Hold flushed on a later epoch. The hold must replace — not
+  // stack beside — the published wait row, and the eventual release must
+  // retire everything.
+  const ThreadId ta = a.engine->registry().RegisterCurrentThread();
+  ScopedFrame frame(FrameFromName("bridge::parked_waiter"));
+  ASSERT_EQ(a.engine->Request(ta, kLock1), RequestDecision::kGo);
+  a.bridge->FlushPending();
+  b.bridge->Tick();
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 1u);
+  EXPECT_EQ(b.engine->LockOwner(kLock1), kInvalidThreadId) << "wait edge, not a hold";
+
+  a.engine->Acquired(ta, kLock1);
+  a.bridge->FlushPending();
+  b.bridge->Tick();
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 1u)
+      << "the grant must promote the wait row, not publish a second edge";
+  EXPECT_NE(b.engine->LockOwner(kLock1), kInvalidThreadId);
+
+  a.engine->Release(ta, kLock1);
+  a.bridge->FlushPending();
+  b.bridge->Tick();
+  EXPECT_EQ(b.engine->LockOwner(kLock1), kInvalidThreadId);
+  EXPECT_EQ(b.bridge->SnapshotStatus().foreign_edges_mirrored, 0u);
+}
+
 TEST_F(BridgeTest, OverlappingFcntlRangesConflictInTheMirror) {
   Side a(arena_path_);
   Side b(arena_path_);

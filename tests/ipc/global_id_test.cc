@@ -15,7 +15,9 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -299,6 +301,115 @@ TEST(GlobalIdTest, SingleStripeEngineTortureWithCacheChurn) {
   InvalidateMapsCache();
   ::close(fd);
   std::filesystem::remove(path);
+}
+
+TEST(GlobalIdTest, OverlapQueriesAreScopedToTheFilesGroup) {
+  const std::string path_a = TempPath("group_a");
+  const std::string path_b = TempPath("group_b");
+  const int fda = ::open(path_a.c_str(), O_RDWR | O_CREAT, 0644);
+  const int fdb = ::open(path_b.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fda, 0);
+  ASSERT_GE(fdb, 0);
+
+  const LockId low_a = GlobalIdForFileLock(fda, GlobalLockKind::kFcntlRange, 0, 16);
+  const LockId mid_a = GlobalIdForFileLock(fda, GlobalLockKind::kFcntlRange, 8, 24);
+  const LockId far_a = GlobalIdForFileLock(fda, GlobalLockKind::kFcntlRange, 64, 8);
+  // File B covers the same byte offsets — a different file must never
+  // alias, even though the intervals overlap numerically.
+  const LockId whole_b = GlobalIdForFileLock(fdb, GlobalLockKind::kFcntlRange, 0, 0);
+  ASSERT_NE(low_a, kInvalidLockId);
+  ASSERT_NE(whole_b, kInvalidLockId);
+
+  const std::vector<LockId> over = OverlappingLockIds(LookupLockRange(low_a), low_a);
+  EXPECT_NE(std::find(over.begin(), over.end(), mid_a), over.end())
+      << "[0,16) and [8,32) on one file must conflict";
+  EXPECT_EQ(std::find(over.begin(), over.end(), far_a), over.end())
+      << "disjoint ranges must not conflict";
+  EXPECT_EQ(std::find(over.begin(), over.end(), whole_b), over.end())
+      << "another file's ranges are another group entirely";
+
+  ::close(fda);
+  ::close(fdb);
+  InvalidateFdCache(fda);
+  InvalidateFdCache(fdb);
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(path_b);
+}
+
+TEST(GlobalIdTest, RangeRegistryIsBoundedWithLruEviction) {
+  const std::string path = TempPath("range_cap");
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+
+  // The registry must not grow without bound when a process cycles through
+  // distinct ranges (the open hole: ranges were registered forever). Flood
+  // it past the cap and check the oldest entry is evicted while fresh ones
+  // stay resident and still answer overlap queries.
+  const LockId first = GlobalIdForFileLock(fd, GlobalLockKind::kFcntlRange, 0, 8);
+  ASSERT_NE(first, kInvalidLockId);
+  ASSERT_TRUE(LookupLockRange(first).valid());
+
+  constexpr std::uint64_t kFlood = kMaxRegisteredRanges + 64;
+  LockId last = kInvalidLockId;
+  for (std::uint64_t i = 1; i <= kFlood; ++i) {
+    // Disjoint 8-byte ranges starting past `first`, so nothing overlaps it.
+    last = GlobalIdForFileLock(fd, GlobalLockKind::kFcntlRange, 1024 + 16 * i, 8);
+    ASSERT_NE(last, kInvalidLockId);
+  }
+  EXPECT_FALSE(LookupLockRange(first).valid())
+      << "the least-recently-touched range must have been evicted";
+  ASSERT_TRUE(LookupLockRange(last).valid()) << "fresh ranges must stay resident";
+
+  // An overlapping neighbor of the newest range is still found via its
+  // group bucket.
+  const LockId neighbor =
+      GlobalIdForFileLock(fd, GlobalLockKind::kFcntlRange, 1024 + 16 * kFlood + 4, 8);
+  const std::vector<LockId> over = OverlappingLockIds(LookupLockRange(neighbor), neighbor);
+  EXPECT_NE(std::find(over.begin(), over.end(), last), over.end());
+
+  // An evicted-but-live range re-registers on its next slow-path
+  // resolution (the fd cache was flooded past `first`'s slot too, or the
+  // caller re-resolves after close/reopen) — re-resolving restores it.
+  InvalidateFdCache(fd);
+  ASSERT_EQ(first, GlobalIdForFileLock(fd, GlobalLockKind::kFcntlRange, 0, 8));
+  EXPECT_TRUE(LookupLockRange(first).valid());
+
+  ::close(fd);
+  InvalidateFdCache(fd);
+  std::filesystem::remove(path);
+}
+
+TEST(GlobalIdTest, DupStyleInvalidationRetiresTheTargetDescriptor) {
+  // What the shim's dup2/dup3 wrappers (and F_DUPFD result bump) enforce:
+  // after a descriptor number is redirected to another file, the cached
+  // identity for that number must die. This exercises the same
+  // InvalidateFdCache path the wrappers call.
+  const std::string path1 = TempPath("dup_a");
+  const std::string path2 = TempPath("dup_b");
+  const int fd1 = ::open(path1.c_str(), O_RDWR | O_CREAT, 0644);
+  const int fd2 = ::open(path2.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd1, 0);
+  ASSERT_GE(fd2, 0);
+  InvalidateFdCache(fd1);
+  InvalidateFdCache(fd2);
+
+  const LockId id1 = GlobalIdForFileLock(fd1, GlobalLockKind::kFlock, 0);
+  ASSERT_EQ(id1, GlobalIdForFileLock(fd1, GlobalLockKind::kFlock, 0));  // cached
+
+  // dup2: fd1 now refers to file 2. Without the wrapper's bump the cache
+  // would keep serving file 1's identity for this number.
+  ASSERT_EQ(::dup2(fd2, fd1), fd1);
+  InvalidateFdCache(fd1);  // the dup2 wrapper's bump
+  const LockId id_redirected = GlobalIdForFileLock(fd1, GlobalLockKind::kFlock, 0);
+  EXPECT_NE(id_redirected, id1) << "redirected descriptor must resolve to the new file";
+  EXPECT_EQ(id_redirected, GlobalIdForFileLock(fd2, GlobalLockKind::kFlock, 0));
+
+  ::close(fd1);
+  ::close(fd2);
+  InvalidateFdCache(fd1);
+  InvalidateFdCache(fd2);
+  std::filesystem::remove(path1);
+  std::filesystem::remove(path2);
 }
 
 TEST(GlobalIdTest, ProcessIdentityFrameIsStable) {
