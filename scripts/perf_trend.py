@@ -17,7 +17,11 @@ What is *informational* vs what *fails the job*:
       - tail ratio: p99 / p50 of instrumented samples, but only where
         threads <= 2*cpus of the *fresh* run (see bench_gate.py and
         docs/performance.md for why oversubscribed points are scheduler
-        measurements, not engine measurements).
+        measurements, not engine measurements);
+      - retry rate: match_fast_retries per lock op (the churn signal the
+        match_churn health rule alerts on), diffed only when both the
+        committed and the fresh sample carry it — older committed reports
+        predate the field, and a missing side is not a regression.
 
 Usage:
   perf_trend.py --committed DIR --fresh DIR --out-json F --out-md F
@@ -70,6 +74,22 @@ def tail_ratios(report, cpus):
             continue
         ratios[(label, threads)] = s["p99_ns"] / s["p50_ns"]
     return ratios
+
+
+def retry_rates(report):
+    """retries_per_op of instrumented samples that measured it.
+
+    Absolute-delta semantics downstream: rates are often ~0, where a
+    percentage diff is meaningless.
+    """
+    rates = {}
+    for (label, threads), s in by_key(report).items():
+        if label not in INSTRUMENTED_LABELS:
+            continue
+        rate = s.get("retries_per_op")
+        if rate is not None and rate >= 0:
+            rates[(label, threads)] = rate
+    return rates
 
 
 def pct(old, new):
@@ -126,6 +146,24 @@ def main():
                         f"{bench} {label}: {old_m[key]:.2f} -> {new_m[key]:.2f} "
                         f"(+{delta:.0f}%)"
                     )
+        # Retry rate is gated on absolute growth (threshold retries/op), not
+        # percentage: the healthy value is ~0, where a relative diff divides
+        # by noise. Pairs missing on either side are skipped, so committed
+        # reports predating the field produce no metric and no breach.
+        old_r, new_r = retry_rates(old), retry_rates(new)
+        for key in sorted(old_r.keys() & new_r.keys()):
+            label = f"retry_rate:{key[0]}@{key[1]}t"
+            delta_abs = new_r[key] - old_r[key]
+            entry["normalized"][label] = {
+                "committed": round(old_r[key], 4),
+                "fresh": round(new_r[key], 4),
+                "delta_abs": round(delta_abs, 4),
+            }
+            if delta_abs > args.threshold:
+                diff["breaches"].append(
+                    f"{bench} {label}: {old_r[key]:.3f} -> {new_r[key]:.3f} "
+                    f"(+{delta_abs:.3f}/op)"
+                )
         diff["benches"][bench] = entry
 
     with open(args.out_json, "w") as f:

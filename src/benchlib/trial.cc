@@ -134,6 +134,9 @@ std::string BenchReport::ToJson() const {
     out += ", \"p99_ns\": " + std::to_string(s.p99_ns);
     out += ", \"p99_p50_ratio\": " + JsonDouble(s.TailRatio());
     out += ", \"yields\": " + std::to_string(s.yields);
+    if (s.retries_per_op >= 0) {
+      out += ", \"retries_per_op\": " + JsonDouble(s.retries_per_op);
+    }
     out += "}";
   }
   out += samples.empty() ? "],\n" : "\n  ],\n";

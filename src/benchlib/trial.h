@@ -62,6 +62,11 @@ struct BenchSample {
   std::uint64_t p50_ns = 0;  // sampled acquisition latency percentiles
   std::uint64_t p99_ns = 0;
   std::uint64_t yields = 0;
+  // Fast-path cover revalidations per lock op (match_fast_retries / ops).
+  // The churn signal the match_churn health rule alerts on; negative =
+  // not measured (baseline samples have no engine). Emitted in the JSON
+  // only when set, so committed pre-existing reports stay valid.
+  double retries_per_op = -1.0;
 
   // Tail ratio: how many medians deep the p99 sits. The number the
   // bench-smoke tail gate budgets — a convoy (epoch or otherwise) shows up

@@ -32,6 +32,19 @@ long EnvLong(const char* name, long fallback) {
   return parsed;
 }
 
+double EnvDouble(const char* name, double fallback) {
+  const char* v = Getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) {
+    return fallback;
+  }
+  return parsed;
+}
+
 }  // namespace
 
 Config Config::FromEnvironment() { return FromEnvironment(Config{}); }
@@ -85,6 +98,33 @@ Config Config::FromEnvironment(Config base) {
     base.trace_dump_path = td;
   }
   base.metrics_enabled = EnvBool("DIMMUNIX_METRICS", base.metrics_enabled);
+  base.health_enabled = EnvBool("DIMMUNIX_HEALTH", base.health_enabled);
+  base.health_period =
+      std::chrono::milliseconds(EnvLong("DIMMUNIX_HEALTH_MS", base.health_period.count()));
+  base.health_retry_ratio = EnvDouble("DIMMUNIX_HEALTH_RETRY_RATIO", base.health_retry_ratio);
+  base.health_epoch_stall_pct =
+      EnvDouble("DIMMUNIX_HEALTH_EPOCH_STALL_PCT", base.health_epoch_stall_pct);
+  base.health_ipc_backlog =
+      static_cast<int>(EnvLong("DIMMUNIX_HEALTH_IPC_BACKLOG", base.health_ipc_backlog));
+  base.health_ipc_flush_p99_us =
+      EnvLong("DIMMUNIX_HEALTH_IPC_FLUSH_P99_US", base.health_ipc_flush_p99_us);
+  base.health_arena_pct = EnvDouble("DIMMUNIX_HEALTH_ARENA_PCT", base.health_arena_pct);
+  base.health_ring_drops_per_s =
+      EnvDouble("DIMMUNIX_HEALTH_RING_DROPS", base.health_ring_drops_per_s);
+  base.health_store_queue =
+      static_cast<int>(EnvLong("DIMMUNIX_HEALTH_STORE_QUEUE", base.health_store_queue));
+  base.health_resync_stale_x =
+      EnvDouble("DIMMUNIX_HEALTH_RESYNC_STALE_X", base.health_resync_stale_x);
+  base.health_fire_ticks =
+      static_cast<int>(EnvLong("DIMMUNIX_HEALTH_FIRE_TICKS", base.health_fire_ticks));
+  base.health_resolve_ticks =
+      static_cast<int>(EnvLong("DIMMUNIX_HEALTH_RESOLVE_TICKS", base.health_resolve_ticks));
+  if (const char* inc = Getenv("DIMMUNIX_INCIDENT_DIR"); inc != nullptr && *inc != '\0') {
+    base.incident_dir = inc;
+  }
+  base.incident_max = static_cast<int>(EnvLong("DIMMUNIX_INCIDENT_MAX", base.incident_max));
+  base.incident_min_period = std::chrono::milliseconds(
+      EnvLong("DIMMUNIX_INCIDENT_MIN_MS", base.incident_min_period.count()));
   if (const char* st = Getenv("DIMMUNIX_STAGE"); st != nullptr) {
     std::string_view s(st);
     if (s == "instr") {

@@ -158,6 +158,35 @@ struct Config {
   // clock reads per acquisition they cost.
   bool metrics_enabled = true;
 
+  // --- Health rules / incident forensics (src/obs) ---------------------------
+  // Periodic self-diagnosis: an evaluator thread ticks the HealthEngine,
+  // deriving typed alerts (firing -> active -> resolved hysteresis) from the
+  // engine/bridge/store counters. Zero lock-path cost: it only reads the
+  // existing stats snapshots.
+  bool health_enabled = true;
+  // Evaluator cadence. 0 = tick on the monitor cadence (τ).
+  std::chrono::milliseconds health_period{0};
+  // Rule thresholds (see docs/observability.md for each rule's signal).
+  double health_retry_ratio = 0.5;        // match fast-path retries per request
+  double health_epoch_stall_pct = 5.0;    // % of wall time stalled entering epochs
+  int health_ipc_backlog = 256;           // IPC pending-op log depth
+  long health_ipc_flush_p99_us = 10000;   // IPC pending-log drain p99 (us)
+  double health_arena_pct = 80.0;         // arena slot/edge utilization %
+  double health_ring_drops_per_s = 100.0; // trace events dropped per second
+  int health_store_queue = 64;            // history store writer queue depth
+  double health_resync_stale_x = 3.0;     // resync age / resync period
+  int health_fire_ticks = 2;              // breaches before firing -> active
+  int health_resolve_ticks = 2;           // clears before active -> resolved
+  // Non-empty: when the monitor detects a cycle, avoids one, or breaks a
+  // starvation, write a structured JSON incident bundle (signature, RAG
+  // snapshot, victim's recent trace events, histogram percentiles, active
+  // alerts) into this directory. Empty = forensics off, zero overhead.
+  std::string incident_dir;
+  int incident_max = 16;  // bounded file ring; oldest bundles evicted
+  // Minimum spacing between bundles (an avoidance storm must not turn the
+  // incident directory into a write amplifier).
+  std::chrono::milliseconds incident_min_period{1000};
+
   // Reads DIMMUNIX_* environment variables over the current values:
   //   DIMMUNIX_HISTORY, DIMMUNIX_TAU_MS, DIMMUNIX_DEPTH, DIMMUNIX_MAX_DEPTH,
   //   DIMMUNIX_IMMUNITY (weak|strong), DIMMUNIX_CALIBRATION (0|1),
@@ -176,6 +205,14 @@ struct Config {
   //   DIMMUNIX_TRACE (0|1), DIMMUNIX_TRACE_RING (events per thread),
   //   DIMMUNIX_TRACE_DUMP (Chrome-JSON dump path, %p -> pid),
   //   DIMMUNIX_METRICS (0|1, default 1),
+  //   DIMMUNIX_HEALTH (0|1, default 1), DIMMUNIX_HEALTH_MS (0 = τ),
+  //   DIMMUNIX_HEALTH_RETRY_RATIO, DIMMUNIX_HEALTH_EPOCH_STALL_PCT,
+  //   DIMMUNIX_HEALTH_IPC_BACKLOG, DIMMUNIX_HEALTH_IPC_FLUSH_P99_US,
+  //   DIMMUNIX_HEALTH_ARENA_PCT, DIMMUNIX_HEALTH_RING_DROPS,
+  //   DIMMUNIX_HEALTH_STORE_QUEUE, DIMMUNIX_HEALTH_RESYNC_STALE_X,
+  //   DIMMUNIX_HEALTH_FIRE_TICKS, DIMMUNIX_HEALTH_RESOLVE_TICKS,
+  //   DIMMUNIX_INCIDENT_DIR (incident-bundle directory, empty = off),
+  //   DIMMUNIX_INCIDENT_MAX, DIMMUNIX_INCIDENT_MIN_MS,
   //   DIMMUNIX_PROC_TAG (process identity for proc-qualified signatures;
   //   defaults to the executable path — read by src/ipc/global_id.cc).
   static Config FromEnvironment();

@@ -6,12 +6,15 @@
 
 #include <charconv>
 #include <chrono>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "src/core/runtime.h"
 #include "src/fleet/net.h"
 #include "src/obs/export.h"
+#include "src/obs/health.h"
+#include "src/obs/incident.h"
 
 namespace dimmunix {
 namespace control {
@@ -93,6 +96,10 @@ std::string FleetLineFor(const Request& request) {
       return "fleet pull " + request.path;
     case CommandKind::kFleetExec:
       return "fleet exec " + request.rest;
+    case CommandKind::kFleetAlerts:
+      return "fleet alerts";
+    case CommandKind::kFleetAlertsReport:
+      return "fleet alerts-report " + request.rest;
     default:
       return {};
   }
@@ -152,6 +159,10 @@ std::string DoStatus(Runtime& rt) {
   out << "match_fast_path=" << engine.match_fast_path << "\n";
   out << "match_slow_path=" << engine.match_slow_path << "\n";
   out << "tracing=" << (rt.recorder().tracing() ? 1 : 0) << "\n";
+  // Self-diagnosis roll-up: raised (firing + active) over the rule count;
+  // `alerts` has the per-rule breakdown.
+  const obs::HealthEngine::Summary health = rt.health().GetSummary();
+  out << "alerts=" << health.raised() << "/" << health.total << "\n";
   if (persist::HistoryStore* store = rt.history_store(); store != nullptr) {
     // HistoryStore health: is persistence keeping up, and how stale is our
     // view of the shared file?
@@ -467,6 +478,35 @@ std::string DoMetrics(Runtime& rt) {
   obs::AppendPromGauge(&out, "dimmunix_tracing_active",
                        "1 while the flight-recorder rings are armed.",
                        rt.recorder().tracing() ? 1 : 0);
+  // Self-diagnosis plane: per-rule alert gauges plus incident-log counters.
+  const obs::HealthEngine::Summary health = rt.health().GetSummary();
+  obs::AppendPromCounter(&out, "dimmunix_health_ticks_total",
+                         "Health-rules evaluator passes.", health.ticks);
+  obs::AppendPromGauge(&out, "dimmunix_alerts_raised",
+                       "Health rules currently firing or active.",
+                       static_cast<std::uint64_t>(health.raised()));
+  const std::vector<obs::AlertSnapshot> alerts = rt.health().Snapshot();
+  obs::AppendPromFamily(&out, "dimmunix_alert_active",
+                        "1 while the labeled health rule is firing or active.", "gauge");
+  for (const obs::AlertSnapshot& a : alerts) {
+    const bool raised =
+        a.state == obs::AlertState::kFiring || a.state == obs::AlertState::kActive;
+    obs::AppendPromSample(&out, "dimmunix_alert_active",
+                          "rule=\"" + obs::PromLabelEscape(a.rule) + "\"", raised ? 1 : 0);
+  }
+  obs::AppendPromFamily(&out, "dimmunix_alert_fired_total",
+                        "Times the labeled health rule transitioned into firing.", "counter");
+  for (const obs::AlertSnapshot& a : alerts) {
+    obs::AppendPromSample(&out, "dimmunix_alert_fired_total",
+                          "rule=\"" + obs::PromLabelEscape(a.rule) + "\"", a.fired_count);
+  }
+  const obs::IncidentLog::Stats inc = rt.incident_log().GetStats();
+  obs::AppendPromCounter(&out, "dimmunix_incidents_captured_total",
+                         "Incident bundles written to the forensics ring.", inc.captured);
+  obs::AppendPromCounter(&out, "dimmunix_incidents_suppressed_total",
+                         "Incident captures skipped by the rate limit.", inc.suppressed);
+  obs::AppendPromCounter(&out, "dimmunix_incidents_errors_total",
+                         "Incident bundle write failures.", inc.errors);
   if (persist::HistoryStore* store = rt.history_store(); store != nullptr) {
     const persist::StoreStatsSnapshot s = store->stats();
     obs::AppendPromCounter(&out, "dimmunix_store_appends_total",
@@ -498,6 +538,26 @@ std::string DoMetrics(Runtime& rt) {
                            "Global-ID resolutions that ran the slow path.",
                            s.id_cache_misses);
   }
+  // Per-thread flight-recorder ring accounting. Labeled by the OS tid (the
+  // ring identity) plus the thread's registered name when it has one —
+  // `dropped_total` climbing on one thread is the churn locator.
+  const std::vector<obs::Recorder::RingTotals> rings = rt.recorder().SnapshotRingTotals();
+  obs::AppendPromFamily(&out, "dimmunix_trace_ring_written_total",
+                        "Trace events recorded per flight-recorder ring.", "counter");
+  for (const obs::Recorder::RingTotals& r : rings) {
+    obs::AppendPromSample(&out, "dimmunix_trace_ring_written_total",
+                          "thread=\"" + std::to_string(r.tid) + "\",name=\"" +
+                              obs::PromLabelEscape(r.name) + "\"",
+                          r.written);
+  }
+  obs::AppendPromFamily(&out, "dimmunix_trace_ring_dropped_total",
+                        "Trace events lost to ring overwrite per ring.", "counter");
+  for (const obs::Recorder::RingTotals& r : rings) {
+    obs::AppendPromSample(&out, "dimmunix_trace_ring_dropped_total",
+                          "thread=\"" + std::to_string(r.tid) + "\",name=\"" +
+                              obs::PromLabelEscape(r.name) + "\"",
+                          r.dropped);
+  }
   for (int kind = 0; kind < obs::kHistoKindCount; ++kind) {
     const obs::HistoKind k = static_cast<obs::HistoKind>(kind);
     obs::AppendPromHistogram(&out, std::string("dimmunix_") + obs::HistoName(k),
@@ -516,6 +576,60 @@ std::string DoHisto(Runtime& rt, const std::string& name) {
   }
   return "ok\n" +
          obs::HistoReadout(rt.recorder().histogram(static_cast<obs::HistoKind>(kind)).Snapshot());
+}
+
+std::string DoAlerts(Runtime& rt) {
+  const obs::HealthEngine::Summary summary = rt.health().GetSummary();
+  std::ostringstream out;
+  out << "ok\n";
+  out << "alerts_raised=" << summary.raised() << "\n";
+  out << "alerts_firing=" << summary.firing << "\n";
+  out << "alerts_active=" << summary.active << "\n";
+  out << "alerts_resolved=" << summary.resolved << "\n";
+  out << "alerts_total=" << summary.total << "\n";
+  out << "health_ticks=" << summary.ticks << "\n";
+  out << "fired_total=" << summary.fired_total << "\n";
+  for (const obs::AlertSnapshot& a : rt.health().Snapshot()) {
+    out << "alert " << a.rule << " state=" << obs::AlertStateName(a.state) << " value=" << a.value
+        << " threshold=" << a.threshold << " fired=" << a.fired_count << " signal=\"" << a.signal
+        << "\"\n";
+  }
+  return out.str();
+}
+
+std::string DoIncidents(Runtime& rt, int index) {
+  const obs::IncidentLog& log = rt.incident_log();
+  if (!log.enabled()) {
+    return Err("incident forensics disabled (set DIMMUNIX_INCIDENT_DIR)");
+  }
+  const std::vector<std::string> names = log.List();
+  if (index >= 0) {
+    if (static_cast<std::size_t>(index) >= names.size()) {
+      return Err("incident index out of range (have " + std::to_string(names.size()) + ")");
+    }
+    std::ifstream file(log.dir() + "/" + names[static_cast<std::size_t>(index)],
+                       std::ios::binary);
+    if (!file) {
+      return Err("cannot read " + names[static_cast<std::size_t>(index)]);
+    }
+    std::ostringstream body;
+    body << file.rdbuf();
+    // The payload *is* the bundle: `dimctl incidents show 0 | tail -n +2`
+    // pipes straight into a JSON tool.
+    return "ok\n" + body.str();
+  }
+  const obs::IncidentLog::Stats stats = log.GetStats();
+  std::ostringstream out;
+  out << "ok\n";
+  out << "dir=" << log.dir() << "\n";
+  out << "count=" << names.size() << "\n";
+  out << "captured=" << stats.captured << "\n";
+  out << "suppressed=" << stats.suppressed << "\n";
+  out << "errors=" << stats.errors << "\n";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out << "incident " << i << " " << names[i] << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace
@@ -541,11 +655,15 @@ std::string HelpText() {
       "trace dump              Chrome trace JSON of every ring (Perfetto-loadable)\n"
       "metrics                 counters + histograms, Prometheus text format\n"
       "histo <name>            percentile readout of one latency histogram\n"
+      "alerts                  health-rules state, one line per rule\n"
+      "incidents               list captured incident bundles\n"
+      "incidents show <n>      one bundle's JSON payload, verbatim\n"
       "fleet status            attached dimmunixd summary\n"
       "fleet peers             per-peer gossip statistics\n"
       "fleet push <addr>       sync with <addr> now, send-only\n"
       "fleet pull <addr>       sync with <addr> now, merge-only\n"
       "fleet exec <cmd...>     run <cmd> on the daemon and every peer\n"
+      "fleet alerts            fleet-wide health: per-host alert summaries\n"
       "help                    this text\n";
 }
 
@@ -628,13 +746,44 @@ std::optional<Request> ParseRequest(std::string_view line, std::string* error) {
         }
         return request;
       }
+      if (sub == "alerts" && tokens.size() == 2) {
+        request.kind = CommandKind::kFleetAlerts;
+        return request;
+      }
+      if (sub == "alerts-report" && tokens.size() >= 3) {
+        // Machine verb: runtimes pushing their alert summaries to the
+        // daemon. One record per token.
+        request.kind = CommandKind::kFleetAlertsReport;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          if (i > 2) {
+            request.rest += ' ';
+          }
+          request.rest += std::string(tokens[i]);
+        }
+        return request;
+      }
     }
     SetError(error,
              "usage: fleet status | fleet peers | fleet push <addr> | fleet pull <addr> | "
-             "fleet exec <cmd...>");
+             "fleet exec <cmd...> | fleet alerts");
     return std::nullopt;
   } else if (name == "metrics") {
     request.kind = CommandKind::kMetrics;
+  } else if (name == "alerts") {
+    request.kind = CommandKind::kAlerts;
+  } else if (name == "incidents") {
+    // "incidents" lists; "incidents show <n>" returns one bundle.
+    if (tokens.size() == 1) {
+      request.kind = CommandKind::kIncidents;
+      return request;
+    }
+    if (tokens.size() == 3 && tokens[1] == "show" && ParseInt(tokens[2], &request.index) &&
+        request.index >= 0) {
+      request.kind = CommandKind::kIncidents;
+      return request;
+    }
+    SetError(error, "usage: incidents | incidents show <n>");
+    return std::nullopt;
   } else if (name == "histo") {
     if (tokens.size() != 2) {
       SetError(error, "usage: histo <name>");
@@ -728,11 +877,17 @@ std::string ExecuteRequest(Runtime& runtime, const Request& request) {
       return DoMetrics(runtime);
     case CommandKind::kHisto:
       return DoHisto(runtime, request.path);
+    case CommandKind::kAlerts:
+      return DoAlerts(runtime);
+    case CommandKind::kIncidents:
+      return DoIncidents(runtime, request.index);
     case CommandKind::kFleetStatus:
     case CommandKind::kFleetPeers:
     case CommandKind::kFleetPush:
     case CommandKind::kFleetPull:
     case CommandKind::kFleetExec:
+    case CommandKind::kFleetAlerts:
+    case CommandKind::kFleetAlertsReport:
       return DoFleetProxy(runtime, request);
     case CommandKind::kHelp:
       return "ok\n" + HelpText();

@@ -40,13 +40,24 @@
 //   histo <name>            percentile readout of one latency histogram
 //                           (acquire_latency_ns | yield_duration_ns |
 //                           epoch_hold_ns)
+//   alerts                  health-rules engine state: one line per rule
+//                           (state/value/threshold/fired count)
+//   incidents               list captured incident bundles (newest last)
+//   incidents show <n>      payload of the n-th listed bundle, verbatim JSON
 //   fleet status            summary of the attached dimmunixd daemon
 //   fleet peers             per-peer gossip statistics
 //   fleet push <addr>       sync with <addr> now, sending our records only
 //   fleet pull <addr>       sync with <addr> now, merging its records only
 //   fleet exec <cmd...>     run <cmd> on the daemon and every peer, replies
 //                           prefixed per host
+//   fleet alerts            fleet-wide health: one line per reporting host
+//                           (which host is churning, and on which rules)
 //   help                    list commands
+//
+// `fleet alerts-report <record>` is the machine half of `fleet alerts`:
+// runtimes push their alert summaries to the attached daemon with it. It is
+// parsed here (so the daemon reuses this parser) but not listed in help —
+// operators read, runtimes write.
 //
 // The `fleet` verbs are executed by a dimmunixd daemon (src/fleet/daemon.h).
 // When a runtime receives one over its UDS control socket, it proxies the
@@ -94,21 +105,26 @@ enum class CommandKind {
   kTraceDump,
   kMetrics,
   kHisto,
+  kAlerts,
+  kIncidents,
   kFleetStatus,
   kFleetPeers,
   kFleetPush,
   kFleetPull,
   kFleetExec,
+  kFleetAlerts,
+  kFleetAlertsReport,
   kHelp,
 };
 
 struct Request {
   CommandKind kind = CommandKind::kStatus;
-  int index = -1;    // disable / enable / set-depth
+  int index = -1;    // disable / enable / set-depth; incidents show <n>
   int depth = -1;    // set-depth
   std::string path;  // history merge / history export; histogram name (histo);
                      // peer address (fleet push / fleet pull)
-  std::string rest;  // fleet exec: the command to fan out, verbatim
+  std::string rest;  // fleet exec: the command to fan out, verbatim;
+                     // fleet alerts-report: the alert record(s)
 };
 
 // Parses one request line (trailing "\r\n" tolerated). On failure returns

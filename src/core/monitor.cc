@@ -6,6 +6,8 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/obs/incident.h"
+#include "src/persist/image.h"
 
 namespace dimmunix {
 
@@ -141,6 +143,19 @@ void Monitor::DrainEvents() {
                               << new_depth;
         }
       }
+      // Forensics: an avoidance IS the immunity working, but the operator
+      // still wants to know why a thread was parked. The yielding thread
+      // leads the list (it is the bundle's "responsible thread").
+      if (incident_log_ != nullptr) {
+        std::vector<ThreadId> involved;
+        involved.push_back(event->thread);
+        for (const YieldCause& cause : event->causes) {
+          if (std::find(involved.begin(), involved.end(), cause.thread) == involved.end()) {
+            involved.push_back(cause.thread);
+          }
+        }
+        CaptureIncident("avoidance", event->signature_index, involved);
+      }
       continue;
     }
     if (event->type == EventType::kAcquired || event->type == EventType::kRelease) {
@@ -206,6 +221,7 @@ void Monitor::HandleDeadlocks() {
     if (deadlock_hook_) {
       deadlock_hook_(cycle, index);
     }
+    CaptureIncident("deadlock", index, cycle.threads);
     if (config_.deadlock_action == DeadlockAction::kBreakVictim && !cycle.threads.empty()) {
       // A cross-process cycle can contain foreign (bridge-mirrored)
       // threads; only a LOCAL thread's acquisition can be canceled from
@@ -231,6 +247,7 @@ void Monitor::HandleStarvations() {
     if (starvation_hook_) {
       starvation_hook_(cycle, index);
     }
+    CaptureIncident("starvation", index, cycle.threads);
     if (config_.immunity == ImmunityMode::kStrong) {
       // §5.4: "In strong immunity mode, the program is restarted every time
       // a starvation is encountered."
@@ -283,6 +300,42 @@ void Monitor::HandleCalibration() {
     }
   }
 }
+
+void Monitor::CaptureIncident(const char* kind, int signature_index,
+                              const std::vector<ThreadId>& threads) {
+  if (incident_log_ == nullptr || !incident_log_->enabled()) {
+    return;
+  }
+  obs::IncidentContext ctx;
+  ctx.kind = kind;
+  ctx.signature_index = signature_index;
+  if (signature_index >= 0 && static_cast<std::size_t>(signature_index) < history_->size()) {
+    const Signature sig = history_->Get(signature_index);
+    ctx.match_depth = sig.match_depth;
+    persist::SignatureRecord rec;
+    rec.kind = static_cast<std::uint8_t>(sig.kind);
+    rec.match_depth = sig.match_depth;
+    for (const StackId stack : sig.stacks) {
+      rec.stacks.push_back(stacks_->Get(stack).frames);
+      ctx.signature_stacks.push_back(stacks_->Describe(stack));
+    }
+    ctx.signature_hash = persist::SignatureHash(rec);
+  }
+  ctx.threads = threads;
+  // The responsible thread is the first LOCAL participant — foreign
+  // (bridge-mirrored) threads have no ring in this process.
+  for (const ThreadId thread : threads) {
+    if (engine_->registry().Contains(thread)) {
+      ctx.victim = thread;
+      ctx.victim_os_tid = engine_->registry().Slot(thread).os_tid;
+      break;
+    }
+  }
+  ctx.rag = rag_.Snapshot();
+  incident_log_->Capture(ctx);
+}
+
+void Monitor::SetIncidentLog(obs::IncidentLog* log) { incident_log_ = log; }
 
 void Monitor::SetDeadlockHook(DeadlockHook hook) { deadlock_hook_ = std::move(hook); }
 void Monitor::SetStarvationHook(StarvationHook hook) { starvation_hook_ = std::move(hook); }

@@ -25,6 +25,10 @@
 
 namespace dimmunix {
 
+namespace obs {
+class IncidentLog;
+}  // namespace obs
+
 class Monitor {
  public:
   // `store` (optional) is the asynchronous history writer: when present,
@@ -60,6 +64,12 @@ class Monitor {
   void SetStarvationHook(StarvationHook hook);
   void SetRestartHook(RestartHook hook);
 
+  // Incident forensics sink (src/obs/incident.h). Null (the default for
+  // hand-wired test monitors) disables capture; the Runtime wires its log
+  // before Start(). Captures happen at the detect/avoid/break sites inside
+  // RunOnce, with the iteration lock held.
+  void SetIncidentLog(obs::IncidentLog* log);
+
   // Control-plane snapshot hook: copies the RAG's observable state while the
   // monitor iteration lock is held, so it is safe to call from any thread
   // even while the background loop is running.
@@ -77,6 +87,10 @@ class Monitor {
   void HandleCalibration();
   int ArchiveSignature(SignatureKind kind, const std::vector<StackId>& stacks, bool* added);
   void PersistHistory(int signature_index);
+  // Snapshot one incident bundle (no-op without a log). `threads` leads
+  // with the responsible thread when the caller knows it.
+  void CaptureIncident(const char* kind, int signature_index,
+                       const std::vector<ThreadId>& threads);
 
   const Config config_;
   StackTable* stacks_;
@@ -85,6 +99,7 @@ class Monitor {
   AvoidanceEngine* engine_;
   persist::HistoryStore* store_;
   obs::Recorder* recorder_;
+  obs::IncidentLog* incident_log_ = nullptr;
   Rag rag_;
   Calibrator calibrator_;
   MonitorStats stats_;

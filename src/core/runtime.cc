@@ -5,9 +5,12 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
 #include <cstdlib>
 
 #include "src/common/logging.h"
+#include "src/fleet/net.h"
 #include "src/obs/export.h"
 #include "src/persist/file.h"
 
@@ -36,6 +39,28 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
       config_.trace_ring_size > 0 ? config_.trace_ring_size : 8192);
   rec_options.metrics_enabled = config_.metrics_enabled;
   recorder_ = std::make_unique<obs::Recorder>(rec_options);
+  obs::HealthThresholds health_thresholds;
+  health_thresholds.retry_ratio = config_.health_retry_ratio;
+  health_thresholds.epoch_stall_pct = config_.health_epoch_stall_pct;
+  health_thresholds.ipc_backlog = static_cast<std::uint64_t>(
+      config_.health_ipc_backlog > 0 ? config_.health_ipc_backlog : 0);
+  health_thresholds.ipc_flush_p99_us = static_cast<std::uint64_t>(
+      config_.health_ipc_flush_p99_us > 0 ? config_.health_ipc_flush_p99_us : 0);
+  health_thresholds.arena_pct = config_.health_arena_pct;
+  health_thresholds.ring_drops_per_s = config_.health_ring_drops_per_s;
+  health_thresholds.store_queue =
+      static_cast<std::uint64_t>(config_.health_store_queue > 0 ? config_.health_store_queue : 0);
+  health_thresholds.resync_stale_x = config_.health_resync_stale_x;
+  health_thresholds.fire_ticks = config_.health_fire_ticks;
+  health_thresholds.resolve_ticks = config_.health_resolve_ticks;
+  health_ = std::make_unique<obs::HealthEngine>(health_thresholds);
+  obs::IncidentLog::Options incident_options;
+  incident_options.dir = config_.incident_dir;
+  incident_options.max_files = config_.incident_max;
+  incident_options.min_period = config_.incident_min_period;
+  incidents_ =
+      std::make_unique<obs::IncidentLog>(incident_options, recorder_.get(), health_.get());
+  incidents_->SetRuntimeJsonProvider([this] { return RuntimeIncidentJson(); });
   stacks_ = std::make_unique<StackTable>(config_.max_match_depth);
   history_ = std::make_unique<History>(stacks_.get());
   queue_ = std::make_unique<EventQueue>();
@@ -74,8 +99,13 @@ Runtime::Runtime(Config config) : config_(std::move(config)) {
   }
   monitor_ = std::make_unique<Monitor>(config_, stacks_.get(), history_.get(), queue_.get(),
                                        engine_.get(), store_.get(), recorder_.get());
+  monitor_->SetIncidentLog(incidents_.get());
   if (config_.start_monitor) {
     monitor_->Start();
+  }
+  if (config_.health_enabled) {
+    health_running_ = true;
+    health_thread_ = std::thread([this] { HealthLoop(); });
   }
   if (!config_.control_socket_path.empty()) {
     control_ = std::make_unique<control::ControlServer>(this, config_.control_socket_path);
@@ -98,6 +128,10 @@ Runtime::~Runtime() {
   // stops after the monitor so the final drain's signatures still reach
   // disk.
   control_.reset();
+  // The health evaluator reads every other component's snapshots, so it
+  // stops right after the control plane (which reads *its* state) and
+  // before anything it samples is torn down.
+  StopHealthThread();
   if (ipc_) {
     ipc_->Stop();
   }
@@ -128,6 +162,156 @@ bool Runtime::DumpTraceNow() {
   }
   DIMMUNIX_LOG(kInfo) << "obs: trace dumped to " << path;
   return true;
+}
+
+obs::HealthSample Runtime::CollectHealthSample() {
+  obs::HealthSample sample;
+  sample.now_ns = obs::NowNs();
+  const EngineStatsSnapshot es = engine_->stats().Snapshot();
+  sample.requests = es.requests;
+  sample.match_fast_retries = es.match_fast_retries;
+  sample.epoch_stall_ns = es.epoch_stall_ns;
+  if (ipc_) {
+    const ipc::IpcStatus st = ipc_->SnapshotStatus();
+    sample.ipc_running = st.running;
+    sample.ipc_pending_ops = st.pending_ops;
+    sample.ipc_flush_p99_ns =
+        recorder_->histogram(obs::HistoKind::kIpcFlush).Snapshot().Percentile(99.0);
+    sample.arena_participants_cap = ipc::IpcArena::kParticipants;
+    sample.arena_edges_cap = ipc::IpcArena::kEdgesPerParticipant;
+    for (const ipc::ParticipantInfo& p : st.participants) {
+      if (p.alive) {
+        ++sample.arena_participants_used;
+      }
+      if (p.self) {
+        sample.arena_edges_used = p.edges;
+      }
+    }
+  }
+  for (const obs::Recorder::RingTotals& ring : recorder_->SnapshotRingTotals()) {
+    sample.ring_dropped += ring.dropped;
+  }
+  if (store_) {
+    const persist::StoreStatsSnapshot ss = store_->stats();
+    sample.store_running = true;
+    sample.store_queued = ss.queued;
+    sample.resync_period_ms =
+        static_cast<std::uint64_t>(config_.history_resync_period.count() > 0
+                                       ? config_.history_resync_period.count()
+                                       : 0);
+    sample.last_resync_age_ms = ss.last_resync_age_ms;
+  }
+  return sample;
+}
+
+void Runtime::RunHealthCheckNow() { health_->Tick(CollectHealthSample()); }
+
+std::string Runtime::RuntimeIncidentJson() {
+  // The bundle fragment for state the obs layer cannot see: IPC/arena
+  // mirror stats and the history store. Everything here is a snapshot API.
+  std::string out = "{\"ipc\":";
+  if (ipc_) {
+    const ipc::IpcStatus st = ipc_->SnapshotStatus();
+    std::uint64_t alive = 0;
+    std::uint64_t self_edges = 0;
+    for (const ipc::ParticipantInfo& p : st.participants) {
+      if (p.alive) {
+        ++alive;
+      }
+      if (p.self) {
+        self_edges = p.edges;
+      }
+    }
+    out += "{\"running\":" + std::string(st.running ? "true" : "false") +
+           ",\"participant\":" + std::to_string(st.participant) +
+           ",\"participants_alive\":" + std::to_string(alive) +
+           ",\"self_edges\":" + std::to_string(self_edges) +
+           ",\"foreign_edges_mirrored\":" + std::to_string(st.foreign_edges_mirrored) +
+           ",\"pending_ops\":" + std::to_string(st.pending_ops) +
+           ",\"flushes\":" + std::to_string(st.flushes) +
+           ",\"dropped_publishes\":" + std::to_string(st.dropped_publishes) + "}";
+  } else {
+    out += "null";
+  }
+  out += ",\"store\":";
+  if (store_) {
+    const persist::StoreStatsSnapshot ss = store_->stats();
+    out += "{\"queued\":" + std::to_string(ss.queued) +
+           ",\"appends\":" + std::to_string(ss.appends) +
+           ",\"compactions\":" + std::to_string(ss.compactions) +
+           ",\"io_errors\":" + std::to_string(ss.io_errors) +
+           ",\"resyncs\":" + std::to_string(ss.resyncs) + "}";
+  } else {
+    out += "null";
+  }
+  out += ",\"signatures\":" + std::to_string(history_->size()) + "}";
+  return out;
+}
+
+void Runtime::HealthLoop() {
+  recorder_->NameThisThread("dimmunix-health");
+  const auto period = config_.health_period.count() > 0
+                          ? config_.health_period
+                          : (config_.monitor_period.count() > 0
+                                 ? config_.monitor_period
+                                 : std::chrono::milliseconds(100));
+  std::unique_lock<std::mutex> stop_guard(health_stop_m_);
+  while (!health_stop_requested_) {
+    stop_guard.unlock();
+    RunHealthCheckNow();
+    if (!config_.fleet_daemon.empty()) {
+      PushAlertsToFleet();
+    }
+    stop_guard.lock();
+    health_stop_cv_.wait_for(stop_guard, period, [this] { return health_stop_requested_; });
+  }
+}
+
+void Runtime::StopHealthThread() {
+  if (!health_running_) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(health_stop_m_);
+    health_stop_requested_ = true;
+  }
+  health_stop_cv_.notify_all();
+  health_thread_.join();
+  health_running_ = false;
+}
+
+void Runtime::PushAlertsToFleet() {
+  // One line per runtime: "reporter;active;total;age_ms;rule+rule" — pushed
+  // on every raised-count change and refreshed every few ticks so the
+  // daemon's table survives its staleness pruning. Health-thread only;
+  // failures are silent (the daemon may simply not be up yet).
+  const obs::HealthEngine::Summary summary = health_->GetSummary();
+  ++health_ticks_since_push_;
+  constexpr std::uint64_t kRefreshTicks = 10;
+  if (summary.raised() == last_pushed_raised_ && health_ticks_since_push_ < kRefreshTicks) {
+    return;
+  }
+  std::string rules;
+  for (const obs::AlertSnapshot& alert : health_->Snapshot()) {
+    if (alert.state == obs::AlertState::kFiring || alert.state == obs::AlertState::kActive) {
+      if (!rules.empty()) {
+        rules += '+';
+      }
+      rules += alert.rule;
+    }
+  }
+  char host[256] = "unknown";
+  ::gethostname(host, sizeof(host) - 1);
+  std::string record = std::string(host) + ":" + std::to_string(::getpid()) + ";" +
+                       std::to_string(summary.raised()) + ";" + std::to_string(summary.total) +
+                       ";0;" + (rules.empty() ? "-" : rules);
+  std::string reply;
+  std::string error;
+  if (fleet::QueryTcp(config_.fleet_daemon, "fleet alerts-report " + record,
+                      std::chrono::milliseconds(500), &reply, &error)) {
+    last_pushed_raised_ = summary.raised();
+    health_ticks_since_push_ = 0;
+  }
 }
 
 Runtime& Runtime::Global() {

@@ -23,8 +23,11 @@
 #ifndef DIMMUNIX_CORE_RUNTIME_H_
 #define DIMMUNIX_CORE_RUNTIME_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 
 #include "src/common/config.h"
 #include "src/control/server.h"
@@ -33,6 +36,8 @@
 #include "src/core/monitor.h"
 #include "src/event/event_queue.h"
 #include "src/ipc/bridge.h"
+#include "src/obs/health.h"
+#include "src/obs/incident.h"
 #include "src/obs/recorder.h"
 #include "src/persist/store.h"
 #include "src/signature/history.h"
@@ -127,6 +132,23 @@ class Runtime {
   obs::Recorder& recorder() { return *recorder_; }
   const obs::Recorder& recorder() const { return *recorder_; }
 
+  // Self-diagnosis (src/obs/health.h): always constructed, so `dimctl
+  // alerts` works even when the evaluator thread is off; the thread runs
+  // only while Config::health_enabled.
+  obs::HealthEngine& health() { return *health_; }
+  const obs::HealthEngine& health() const { return *health_; }
+
+  // Incident forensics (src/obs/incident.h); inert unless
+  // Config::incident_dir is set.
+  obs::IncidentLog& incident_log() { return *incidents_; }
+  const obs::IncidentLog& incident_log() const { return *incidents_; }
+
+  // One evaluator pass: assemble a HealthSample from the live snapshots and
+  // tick the HealthEngine. The background thread calls this every period;
+  // public so tests (and the control plane, on demand) can run it
+  // deterministically.
+  void RunHealthCheckNow();
+
   // Writes the Chrome-trace JSON for this process's rings to
   // Config::trace_dump_path (with %p expanded to the pid). Called
   // automatically at destruction and at process exit (the leaked Global()
@@ -150,11 +172,18 @@ class Runtime {
 
  private:
   void PersistHistory();
+  obs::HealthSample CollectHealthSample();
+  std::string RuntimeIncidentJson();
+  void HealthLoop();
+  void StopHealthThread();
+  void PushAlertsToFleet();
 
   Config config_;
   // First member after config_: constructed before and destroyed after every
   // component that records into it.
   std::unique_ptr<obs::Recorder> recorder_;
+  std::unique_ptr<obs::HealthEngine> health_;
+  std::unique_ptr<obs::IncidentLog> incidents_;
   std::unique_ptr<StackTable> stacks_;
   std::unique_ptr<History> history_;
   std::unique_ptr<EventQueue> queue_;
@@ -163,6 +192,17 @@ class Runtime {
   std::unique_ptr<ipc::IpcBridge> ipc_;
   std::unique_ptr<Monitor> monitor_;
   std::unique_ptr<control::ControlServer> control_;
+
+  // Health evaluator thread (never touches lock paths: it only reads the
+  // stats snapshots and, on alert transitions, talks TCP to dimmunixd).
+  std::mutex health_stop_m_;
+  std::condition_variable health_stop_cv_;
+  bool health_stop_requested_ = false;
+  std::thread health_thread_;
+  bool health_running_ = false;
+  // Fleet alert-push state (health thread only).
+  int last_pushed_raised_ = -1;
+  std::uint64_t health_ticks_since_push_ = 0;
 };
 
 }  // namespace dimmunix

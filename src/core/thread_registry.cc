@@ -2,6 +2,9 @@
 
 #include "src/core/thread_registry.h"
 
+#include <sys/syscall.h>
+#include <unistd.h>
+
 namespace dimmunix {
 namespace {
 
@@ -36,6 +39,7 @@ ThreadId ThreadRegistry::RegisterCurrentThread() {
     auto [slot, index] = slots_.Append();
     id = static_cast<ThreadId>(index);
     slot->id = id;
+    slot->os_tid = static_cast<std::uint64_t>(::syscall(SYS_gettid));
   }
   tls_ids.push_back(TlsEntry{uid_, id});
   return id;

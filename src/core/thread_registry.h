@@ -28,6 +28,10 @@ namespace dimmunix {
 
 struct ThreadSlot {
   ThreadId id = kInvalidThreadId;
+  // OS thread id at registration time — what maps an engine ThreadId onto
+  // its flight-recorder trace ring (incident forensics). Written once at
+  // registration, read by the monitor thread.
+  std::uint64_t os_tid = 0;
 
   // --- Parking lot (yield implementation; §6 yieldLock[T]) -----------------
   std::mutex park_m;

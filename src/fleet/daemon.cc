@@ -7,7 +7,9 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -90,10 +92,53 @@ std::string DaemonHelpText() {
       "fleet push <addr>       sync with <addr> now, send-only\n"
       "fleet pull <addr>       sync with <addr> now, merge-only\n"
       "fleet exec <cmd...>     run <cmd> here and on every configured peer\n"
+      "fleet alerts            per-host health-alert summaries (who is churning)\n"
       "config                  daemon configuration\n"
       "metrics                 counters + propagation histogram, Prometheus text\n"
       "trace start|stop|dump   flight-recorder control\n"
       "help                    this text\n";
+}
+
+// Reporters that stop refreshing fall out of the table: a crashed process
+// must not show as churning forever, and gossip must not resurrect it.
+constexpr std::chrono::milliseconds kAlertTtl{120000};
+
+// Decodes one wire record (see AlertReport in daemon.h). *age_ms receives
+// the sender-claimed age so the receiver can back-date last_update.
+bool ParseAlertRecord(const std::string& token, AlertReport* out, std::int64_t* age_ms) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (fields.size() < 4) {
+    const std::size_t semi = token.find(';', pos);
+    if (semi == std::string::npos) {
+      return false;
+    }
+    fields.push_back(token.substr(pos, semi - pos));
+    pos = semi + 1;
+  }
+  fields.push_back(token.substr(pos));  // rules (may itself hold no ';')
+  if (fields[0].empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long active = std::strtol(fields[1].c_str(), &end, 10);
+  if (end == fields[1].c_str() || *end != '\0' || active < 0) {
+    return false;
+  }
+  const long total = std::strtol(fields[2].c_str(), &end, 10);
+  if (end == fields[2].c_str() || *end != '\0' || total < 0) {
+    return false;
+  }
+  const long long age = std::strtoll(fields[3].c_str(), &end, 10);
+  if (end == fields[3].c_str() || *end != '\0' || age < 0) {
+    return false;
+  }
+  out->reporter = fields[0];
+  out->active = static_cast<int>(active);
+  out->total = static_cast<int>(total);
+  out->rules = fields[4] == "-" ? std::string() : fields[4];
+  *age_ms = age;
+  return true;
 }
 
 }  // namespace
@@ -234,6 +279,9 @@ void Daemon::GossipOnce() {
     std::string error;
     (void)SyncWith(address, /*do_send=*/true, /*do_merge=*/true, nullptr, nullptr, &error);
   }
+  // Alert summaries ride the same cadence, but out-of-band from the binary
+  // sync protocol: one text line per peer, best-effort.
+  PushAlertsToPeers(due);
 }
 
 bool Daemon::SourceAllowed(const std::string& source) const {
@@ -553,6 +601,118 @@ std::vector<PeerState> Daemon::peers() const {
   return out;
 }
 
+// --- Alert table -------------------------------------------------------------
+
+void Daemon::PruneAlertsLocked(SteadyClock::time_point now) {
+  for (auto it = alert_table_.begin(); it != alert_table_.end();) {
+    if (now - it->second.last_update > kAlertTtl) {
+      it = alert_table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<AlertReport> Daemon::alert_reports() const {
+  const auto now = SteadyClock::now();
+  std::vector<AlertReport> reports;
+  {
+    std::lock_guard<std::mutex> lock(state_m_);
+    // Prune on read in the const path too: a stale reporter must disappear
+    // from `fleet alerts` even when nothing is writing.
+    const_cast<Daemon*>(this)->PruneAlertsLocked(now);
+    reports.reserve(alert_table_.size());
+    for (const auto& [reporter, report] : alert_table_) {
+      reports.push_back(report);
+    }
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const AlertReport& a, const AlertReport& b) { return a.reporter < b.reporter; });
+  return reports;
+}
+
+std::size_t Daemon::IngestAlertRecords(const std::string& records) {
+  const auto now = SteadyClock::now();
+  std::size_t accepted = 0;
+  std::istringstream stream(records);
+  std::string token;
+  std::lock_guard<std::mutex> lock(state_m_);
+  while (stream >> token) {
+    AlertReport report;
+    std::int64_t age_ms = 0;
+    if (!ParseAlertRecord(token, &report, &age_ms)) {
+      continue;
+    }
+    report.last_update = now - std::chrono::milliseconds(age_ms);
+    auto [it, inserted] = alert_table_.emplace(report.reporter, report);
+    if (!inserted) {
+      // Freshest wins: a gossiped copy must never roll back a summary the
+      // reporter pushed to us directly.
+      if (report.last_update < it->second.last_update) {
+        continue;
+      }
+      it->second = report;
+    }
+    ++accepted;
+  }
+  PruneAlertsLocked(now);
+  return accepted;
+}
+
+std::string Daemon::BuildAlertRecords() {
+  const auto now = SteadyClock::now();
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(state_m_);
+  PruneAlertsLocked(now);
+  bool first = true;
+  for (const auto& [reporter, report] : alert_table_) {
+    out << (first ? "" : " ") << report.reporter << ';' << report.active << ';' << report.total
+        << ';' << AgeMs(report.last_update, now) << ';'
+        << (report.rules.empty() ? "-" : report.rules);
+    first = false;
+  }
+  return out.str();
+}
+
+void Daemon::PushAlertsToPeers(const std::vector<std::string>& addresses) {
+  const std::string records = BuildAlertRecords();
+  if (records.empty()) {
+    return;
+  }
+  for (const std::string& address : addresses) {
+    std::string reply;
+    std::string error;
+    (void)QueryTcp(address, "fleet alerts-report " + records, options_.io_timeout, &reply,
+                   &error);
+  }
+}
+
+std::string Daemon::DoFleetAlerts() {
+  const std::vector<AlertReport> reports = alert_reports();
+  const auto now = SteadyClock::now();
+  int active_sum = 0;
+  for (const AlertReport& r : reports) {
+    active_sum += r.active;
+  }
+  std::ostringstream out;
+  out << "ok\n";
+  out << "reporters=" << reports.size() << "\n";
+  out << "alerts_active=" << active_sum << "\n";
+  for (const AlertReport& r : reports) {
+    out << "alert " << r.reporter << " active=" << r.active << " total=" << r.total
+        << " age_ms=" << AgeMs(r.last_update, now)
+        << " rules=" << (r.rules.empty() ? "-" : r.rules) << "\n";
+  }
+  return out.str();
+}
+
+std::string Daemon::DoFleetAlertsReport(const std::string& records) {
+  const std::size_t accepted = IngestAlertRecords(records);
+  std::ostringstream out;
+  out << "ok\naccepted=" << accepted << "\n";
+  return out.str();
+}
+
 std::string Daemon::DoFleetStatus() {
   const DaemonStatsSnapshot s = stats();
   const obs::HistogramSnapshot prop = propagation_ms_.Snapshot();
@@ -581,6 +741,19 @@ std::string Daemon::DoFleetStatus() {
   out << "propagation_p50_ms=" << prop.Percentile(50) << "\n";
   out << "propagation_p99_ms=" << prop.Percentile(99) << "\n";
   out << "tracing=" << (recorder_.tracing() ? 1 : 0) << "\n";
+  // Fleet-wide self-diagnosis roll-up, one line per reporting host — the
+  // quick answer to "is anything in the fleet churning right now?".
+  const std::vector<AlertReport> reports = alert_reports();
+  int active_sum = 0;
+  for (const AlertReport& r : reports) {
+    active_sum += r.active;
+  }
+  out << "alert_reporters=" << reports.size() << "\n";
+  out << "alerts_active=" << active_sum << "\n";
+  for (const AlertReport& r : reports) {
+    out << "reporter " << r.reporter << " alerts=" << r.active << "/" << r.total
+        << " rules=" << (r.rules.empty() ? "-" : r.rules) << "\n";
+  }
   return out.str();
 }
 
@@ -670,6 +843,16 @@ std::string Daemon::DoMetrics() {
                        peer_table_.size());
   obs::AppendPromGauge(&out, "dimmunix_fleet_signatures",
                        "Signatures in the watched history union.", s.signatures);
+  const std::vector<AlertReport> reports = alert_reports();
+  std::uint64_t active_sum = 0;
+  for (const AlertReport& r : reports) {
+    active_sum += static_cast<std::uint64_t>(r.active);
+  }
+  obs::AppendPromGauge(&out, "dimmunix_fleet_alert_reporters",
+                       "Hosts with a live health-alert summary in the table.",
+                       reports.size());
+  obs::AppendPromGauge(&out, "dimmunix_fleet_alerts_active",
+                       "Raised health rules summed across reporting hosts.", active_sum);
   obs::AppendPromHistogram(&out, "dimmunix_fleet_propagation_ms",
                            "End-to-end propagation latency of records learned from peers "
                            "(milliseconds, ages accumulated across gossip hops).",
@@ -690,6 +873,10 @@ std::string Daemon::Execute(const control::Request& request) {
       return DoFleetSyncVerb(request.path, /*do_send=*/false, /*do_merge=*/true);
     case control::CommandKind::kFleetExec:
       return DoFleetExec(request.rest);
+    case control::CommandKind::kFleetAlerts:
+      return DoFleetAlerts();
+    case control::CommandKind::kFleetAlertsReport:
+      return DoFleetAlertsReport(request.rest);
     case control::CommandKind::kMetrics:
       return DoMetrics();
     case control::CommandKind::kTraceStart:

@@ -85,6 +85,20 @@ struct DaemonOptions {
   bool trace_enabled = false;  // arm the flight-recorder rings at start
 };
 
+// One runtime's health-alert summary, pushed by the runtime's evaluator
+// thread via `fleet alerts-report` and gossiped daemon-to-daemon so a hub's
+// `fleet alerts` names the host that is churning. `reporter` is host:pid.
+// Wire form (one line-protocol token, no spaces):
+//   <reporter>;<active>;<total>;<age_ms>;<rules>
+// where rules is a '+'-joined list of raised rule names, "-" when none.
+struct AlertReport {
+  std::string reporter;
+  int active = 0;  // raised (firing + active) rules
+  int total = 0;
+  std::string rules;  // '+'-joined raised rule names, "" when none
+  std::chrono::steady_clock::time_point last_update{};
+};
+
 // Point-in-time counters for `fleet status` / `metrics`.
 struct DaemonStatsSnapshot {
   std::uint64_t rounds_ok = 0;       // initiated rounds that completed
@@ -131,6 +145,9 @@ class Daemon {
   DaemonStatsSnapshot stats() const;
   std::vector<PeerState> peers() const;
 
+  // The live alert table (stale reporters pruned), sorted by reporter.
+  std::vector<AlertReport> alert_reports() const;
+
   // End-to-end propagation latency (ms) of records learned from peers:
   // time since the record was first seen by whichever daemon met it first,
   // accumulated across gossip hops via the per-record age in delta frames.
@@ -162,8 +179,18 @@ class Daemon {
   std::string DoFleetPeers();
   std::string DoFleetSyncVerb(const std::string& address, bool do_send, bool do_merge);
   std::string DoFleetExec(const std::string& command);
+  std::string DoFleetAlerts();
+  std::string DoFleetAlertsReport(const std::string& records);
   std::string DoMetrics();
   std::string Execute(const control::Request& request);
+
+  // Alert-table plumbing. Ingest parses space-separated wire records and
+  // keeps the freshest entry per reporter; gossip forwards the table so
+  // summaries reach the hub even from spokes it never dials directly.
+  std::size_t IngestAlertRecords(const std::string& records);
+  void PruneAlertsLocked(std::chrono::steady_clock::time_point now);
+  std::string BuildAlertRecords();
+  void PushAlertsToPeers(const std::vector<std::string>& addresses);
 
   const DaemonOptions options_;
   obs::Recorder recorder_;
@@ -187,9 +214,11 @@ class Daemon {
   // and that round retries next period.
   std::mutex sync_m_;
 
-  mutable std::mutex state_m_;  // stats_, peer table, first_seen_
+  mutable std::mutex state_m_;  // stats_, peer table, first_seen_, alert_table_
   DaemonStatsSnapshot stats_;
   PeerTable peer_table_;
+  // reporter -> freshest alert summary; entries expire after kAlertTtl.
+  std::unordered_map<std::string, AlertReport> alert_table_;
   std::chrono::steady_clock::time_point last_sync_{};
   // signature hash -> when this daemon first learned of the record; feeds
   // the age field of outgoing deltas and the propagation histogram.

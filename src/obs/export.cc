@@ -11,36 +11,6 @@ namespace dimmunix {
 namespace obs {
 namespace {
 
-const char* EventName(std::uint8_t type) {
-  switch (static_cast<TraceEventType>(type)) {
-    case TraceEventType::kAcquire:
-      return "acquire";
-    case TraceEventType::kAcquireCancel:
-      return "acquire_cancel";
-    case TraceEventType::kYield:
-      return "yield";
-    case TraceEventType::kEpoch:
-      return "epoch";
-    case TraceEventType::kCoverSearch:
-      return "cover_search";
-    case TraceEventType::kMonitorPass:
-      return "monitor_pass";
-    case TraceEventType::kBridgeFold:
-      return "bridge_fold";
-    case TraceEventType::kStoreFlush:
-      return "store_flush";
-    case TraceEventType::kStoreCompact:
-      return "store_compact";
-    case TraceEventType::kFleetSync:
-      return "fleet_sync";
-    case TraceEventType::kIpcFlush:
-      return "ipc_flush";
-    case TraceEventType::kNone:
-      break;
-  }
-  return "unknown";
-}
-
 // Type-specific args object. The data/aux words mean different things per
 // event type (src/obs/trace_event.h); naming them here keeps the Perfetto
 // side self-describing.
@@ -149,7 +119,7 @@ std::string ChromeTraceJson(const Recorder& recorder, std::uint64_t pid) {
       std::snprintf(line, sizeof(line),
                     "{\"name\":\"%s\",\"cat\":\"dimmunix\",\"ph\":\"X\",\"pid\":%" PRIu64
                     ",\"tid\":%" PRIu64 ",\"ts\":%.3f,\"dur\":%.3f,\"args\":%s}",
-                    EventName(e.type), pid, ring.tid, static_cast<double>(begin_ns) / 1000.0,
+                    TraceEventTypeName(e.type), pid, ring.tid, static_cast<double>(begin_ns) / 1000.0,
                     static_cast<double>(e.dur_ns) / 1000.0, EventArgs(e).c_str());
       if (!first) {
         out += ",\n";
@@ -260,6 +230,33 @@ void AppendPromGauge(std::string* out, const std::string& name, const std::strin
   *out += "# HELP " + name + " " + help + "\n";
   *out += "# TYPE " + name + " gauge\n";
   *out += name + " " + std::to_string(value) + "\n";
+}
+
+void AppendPromFamily(std::string* out, const std::string& name, const std::string& help,
+                      const char* type) {
+  *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " " + type + "\n";
+}
+
+void AppendPromSample(std::string* out, const std::string& name, const std::string& labels,
+                      std::uint64_t value) {
+  *out += name + "{" + labels + "} " + std::to_string(value) + "\n";
+}
+
+std::string PromLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
 }
 
 void AppendPromHistogram(std::string* out, const std::string& name, const std::string& help,

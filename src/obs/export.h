@@ -57,6 +57,16 @@ void AppendPromGauge(std::string* out, const std::string& name, const std::strin
 void AppendPromHistogram(std::string* out, const std::string& name, const std::string& help,
                          const HistogramSnapshot& snapshot);
 
+// Labeled families (alert gauges, per-thread ring series): one HELP/TYPE
+// header via AppendPromFamily, then any number of AppendPromSample rows.
+// `labels` is the rendered label body without braces, e.g.
+// `rule="match_churn"`; label values are escaped by PromLabelEscape.
+void AppendPromFamily(std::string* out, const std::string& name, const std::string& help,
+                      const char* type);
+void AppendPromSample(std::string* out, const std::string& name, const std::string& labels,
+                      std::uint64_t value);
+std::string PromLabelEscape(const std::string& value);
+
 // `dimctl histo <name>` payload: count/sum/mean + p50..p99.99 + bucket count.
 std::string HistoReadout(const HistogramSnapshot& snapshot);
 

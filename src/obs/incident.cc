@@ -1,0 +1,292 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+
+#include "src/obs/incident.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "src/obs/health.h"
+#include "src/obs/trace_event.h"
+
+namespace dimmunix {
+namespace obs {
+namespace {
+
+// Recent-history bound per bundle: enough ring context to see what the
+// victim was doing, small enough that a bundle stays a quick read.
+constexpr std::size_t kMaxTraceEvents = 64;
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string DoubleJson(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::uint64_t WallMs() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::system_clock::now().time_since_epoch())
+                                        .count());
+}
+
+void AppendRagJson(std::string* out, const RagSnapshot& rag) {
+  char buf[160];
+  *out += "{\"lock_count\":" + std::to_string(rag.lock_count) +
+          ",\"yield_edge_count\":" + std::to_string(rag.yield_edge_count) + ",\"threads\":[";
+  bool first = true;
+  for (const RagThreadInfo& t : rag.threads) {
+    if (!first) {
+      *out += ',';
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"id\":%d,\"foreign\":%s,\"waiting\":%s,\"yield_edges\":%zu", t.id,
+                  t.foreign ? "true" : "false", t.waiting ? "true" : "false", t.yield_edges);
+    *out += buf;
+    if (t.waiting) {
+      std::snprintf(buf, sizeof(buf), ",\"wait_lock\":\"0x%" PRIx64 "\",\"wait_mode\":\"%c\"",
+                    t.wait_lock, AcquireModeTag(t.wait_mode));
+      *out += buf;
+    }
+    *out += ",\"held\":[";
+    bool first_held = true;
+    for (const RagThreadInfo::HeldLock& h : t.held) {
+      if (!first_held) {
+        *out += ',';
+      }
+      first_held = false;
+      std::snprintf(buf, sizeof(buf), "{\"lock\":\"0x%" PRIx64 "\",\"mode\":\"%c\"}", h.lock,
+                    AcquireModeTag(h.mode));
+      *out += buf;
+    }
+    *out += "]}";
+  }
+  *out += "]}";
+}
+
+void AppendTraceJson(std::string* out, const Recorder* recorder, std::uint64_t os_tid) {
+  if (recorder == nullptr || os_tid == 0) {
+    *out += "null";
+    return;
+  }
+  for (const Recorder::RingDump& ring : recorder->SnapshotRings()) {
+    if (ring.tid != os_tid) {
+      continue;
+    }
+    *out += "{\"os_tid\":" + std::to_string(ring.tid) + ",\"written\":" +
+            std::to_string(ring.written) + ",\"dropped\":" + std::to_string(ring.dropped) +
+            ",\"events\":[";
+    const std::size_t begin =
+        ring.events.size() > kMaxTraceEvents ? ring.events.size() - kMaxTraceEvents : 0;
+    char buf[192];
+    for (std::size_t i = begin; i < ring.events.size(); ++i) {
+      const TraceEvent& e = ring.events[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"type\":\"%s\",\"end_ns\":%" PRIu64 ",\"dur_ns\":%u,\"aux\":%u,"
+                    "\"mode\":\"%c\",\"data\":\"0x%" PRIx64 "\"}",
+                    i == begin ? "" : ",", TraceEventTypeName(e.type), e.end_ns, e.dur_ns, e.aux,
+                    e.mode == 1 ? 'S' : 'X', e.data);
+      *out += buf;
+    }
+    *out += "]}";
+    return;
+  }
+  *out += "null";
+}
+
+void AppendHistogramsJson(std::string* out, const Recorder* recorder) {
+  *out += '[';
+  if (recorder != nullptr) {
+    for (int k = 0; k < kHistoKindCount; ++k) {
+      const HistogramSnapshot snap = recorder->histogram(static_cast<HistoKind>(k)).Snapshot();
+      if (k != 0) {
+        *out += ',';
+      }
+      *out += std::string("{\"name\":\"") + HistoName(static_cast<HistoKind>(k)) +
+              "\",\"count\":" + std::to_string(snap.count) +
+              ",\"mean_ns\":" + std::to_string(snap.Mean()) +
+              ",\"p50_ns\":" + std::to_string(snap.Percentile(50.0)) +
+              ",\"p99_ns\":" + std::to_string(snap.Percentile(99.0)) + "}";
+    }
+  }
+  *out += ']';
+}
+
+void AppendAlertsJson(std::string* out, const HealthEngine* health) {
+  *out += '[';
+  if (health != nullptr) {
+    bool first = true;
+    for (const AlertSnapshot& a : health->Snapshot()) {
+      if (a.state == AlertState::kInactive) {
+        continue;
+      }
+      if (!first) {
+        *out += ',';
+      }
+      first = false;
+      *out += "{\"rule\":\"" + JsonEscape(a.rule) + "\",\"state\":\"" + AlertStateName(a.state) +
+              "\",\"value\":" + DoubleJson(a.value) +
+              ",\"threshold\":" + DoubleJson(a.threshold) + "}";
+    }
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+IncidentLog::IncidentLog(Options options, const Recorder* recorder, const HealthEngine* health)
+    : options_(std::move(options)), recorder_(recorder), health_(health) {}
+
+void IncidentLog::SetRuntimeJsonProvider(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> guard(m_);
+  runtime_json_ = std::move(provider);
+}
+
+std::string IncidentLog::RenderJson(const IncidentContext& context, std::uint64_t wall_ms) const {
+  std::string out = "{\n";
+  out += "\"schema\":\"dimmunix-incident-v1\",\n";
+  out += "\"captured_ms\":" + std::to_string(wall_ms) + ",\n";
+  out += "\"pid\":" + std::to_string(static_cast<std::uint64_t>(::getpid())) + ",\n";
+  out += "\"kind\":\"" + JsonEscape(context.kind) + "\",\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"0x%" PRIx64 "\"", context.signature_hash);
+  out += "\"signature\":{\"index\":" + std::to_string(context.signature_index) +
+         ",\"hash\":" + buf + ",\"match_depth\":" + std::to_string(context.match_depth) +
+         ",\"stacks\":[";
+  for (std::size_t i = 0; i < context.signature_stacks.size(); ++i) {
+    out += (i == 0 ? "\"" : ",\"") + JsonEscape(context.signature_stacks[i]) + "\"";
+  }
+  out += "]},\n";
+  out += "\"threads\":[";
+  for (std::size_t i = 0; i < context.threads.size(); ++i) {
+    out += (i == 0 ? "" : ",") + std::to_string(context.threads[i]);
+  }
+  out += "],\n";
+  out += "\"victim\":{\"thread\":" + std::to_string(context.victim) +
+         ",\"os_tid\":" + std::to_string(context.victim_os_tid) + "},\n";
+  out += "\"rag\":";
+  AppendRagJson(&out, context.rag);
+  out += ",\n\"trace\":";
+  AppendTraceJson(&out, recorder_, context.victim_os_tid);
+  out += ",\n\"histograms\":";
+  AppendHistogramsJson(&out, recorder_);
+  out += ",\n\"alerts\":";
+  AppendAlertsJson(&out, health_);
+  out += ",\n\"runtime\":";
+  const std::string fragment = runtime_json_ ? runtime_json_() : std::string();
+  out += fragment.empty() ? "{}" : fragment;
+  out += "\n}\n";
+  return out;
+}
+
+std::string IncidentLog::Capture(const IncidentContext& context) {
+  if (!enabled()) {
+    return "";
+  }
+  std::uint64_t wall_ms = 0;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> guard(m_);
+    const std::uint64_t now_ns = NowNs();
+    const std::uint64_t min_ns =
+        static_cast<std::uint64_t>(options_.min_period.count()) * 1000000ULL;
+    if (last_capture_ns_ != 0 && now_ns - last_capture_ns_ < min_ns) {
+      ++stats_.suppressed;
+      return "";
+    }
+    last_capture_ns_ = now_ns;
+    seq = ++seq_;
+    wall_ms = WallMs();
+  }
+  // Render outside the lock: SnapshotRings / the runtime provider are the
+  // expensive parts, and List()/GetStats() must never wait on them.
+  const std::string body = RenderJson(context, wall_ms);
+  char name[96];
+  std::snprintf(name, sizeof(name), "%s%020" PRIu64 "-%04" PRIu64 ".json", kFilePrefix, wall_ms,
+                seq);
+  const std::string path = options_.dir + "/" + name;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    file << body;
+    file.flush();
+    if (!file) {
+      std::lock_guard<std::mutex> guard(m_);
+      ++stats_.errors;
+      return "";
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    std::lock_guard<std::mutex> guard(m_);
+    ++stats_.errors;
+    return "";
+  }
+  std::lock_guard<std::mutex> guard(m_);
+  ++stats_.captured;
+  EvictLocked();
+  return path;
+}
+
+std::vector<std::string> IncidentLog::List() const {
+  std::vector<std::string> names;
+  if (!enabled()) {
+    return names;
+  }
+  DIR* dir = ::opendir(options_.dir.c_str());
+  if (dir == nullptr) {
+    return names;
+  }
+  const std::string prefix = kFilePrefix;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.size() > prefix.size() + 5 && name.compare(0, prefix.size(), prefix) == 0 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(dir);
+  // Filenames embed zero-padded capture-time ms + sequence, so the
+  // lexicographic order is the chronological order.
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void IncidentLog::EvictLocked() {
+  if (options_.max_files <= 0) {
+    return;
+  }
+  std::vector<std::string> names = List();
+  while (names.size() > static_cast<std::size_t>(options_.max_files)) {
+    std::remove((options_.dir + "/" + names.front()).c_str());
+    names.erase(names.begin());
+  }
+}
+
+IncidentLog::Stats IncidentLog::GetStats() const {
+  std::lock_guard<std::mutex> guard(m_);
+  return stats_;
+}
+
+}  // namespace obs
+}  // namespace dimmunix

@@ -1,0 +1,110 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// IncidentLog — automatic deadlock forensics.
+//
+// When the monitor detects a cycle (or avoidance yields a thread, or a
+// starvation is broken), it calls Capture() with the facts it already holds
+// under its iteration lock: the signature, the RAG snapshot, the involved
+// threads. The IncidentLog fills in the observability context it owns —
+// the responsible thread's recent trace-ring events, histogram percentiles,
+// active health alerts, a runtime-provided stats fragment — and writes one
+// structured JSON bundle atomically (tmp + rename) into a bounded ring of
+// files under DIMMUNIX_INCIDENT_DIR. The bundle is the postmortem an
+// operator reads instead of reproducing the hang.
+//
+// Bundles are rate-limited (min_period) so an avoidance storm cannot turn
+// the incident directory into a write amplifier, and the directory is
+// bounded (max_files, oldest evicted) so it never grows without bound.
+// With no directory configured the log is entirely inert: Capture() is a
+// single branch, nothing else is touched.
+
+#ifndef DIMMUNIX_OBS_INCIDENT_H_
+#define DIMMUNIX_OBS_INCIDENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/recorder.h"
+#include "src/rag/rag.h"
+
+namespace dimmunix {
+namespace obs {
+
+class HealthEngine;
+
+// What the capture site (the monitor) supplies; everything else the
+// IncidentLog gathers itself at capture time.
+struct IncidentContext {
+  std::string kind;  // "deadlock" | "avoidance" | "starvation"
+  std::int32_t signature_index = -1;
+  std::uint64_t signature_hash = 0;  // persist::SignatureHash, 0 = unknown
+  std::int32_t match_depth = 0;
+  std::vector<std::string> signature_stacks;  // symbolized, "f0;f1;..."
+  std::vector<ThreadId> threads;              // cycle / involved threads
+  ThreadId victim = kInvalidThreadId;         // responsible local thread
+  std::uint64_t victim_os_tid = 0;            // its ring identity (0 = none)
+  RagSnapshot rag;
+};
+
+class IncidentLog {
+ public:
+  struct Options {
+    std::string dir;  // empty = disabled
+    int max_files = 16;
+    std::chrono::milliseconds min_period{1000};
+  };
+
+  // `recorder` and `health` (either may be null) must outlive the log.
+  IncidentLog(Options options, const Recorder* recorder, const HealthEngine* health);
+
+  IncidentLog(const IncidentLog&) = delete;
+  IncidentLog& operator=(const IncidentLog&) = delete;
+
+  bool enabled() const { return !options_.dir.empty(); }
+  const std::string& dir() const { return options_.dir; }
+
+  // Extra JSON *object* appended under "runtime" — the Runtime wires a
+  // provider rendering the IPC/arena/store stats this layer cannot see.
+  void SetRuntimeJsonProvider(std::function<std::string()> provider);
+
+  // Renders and atomically writes one bundle; evicts beyond max_files.
+  // Returns the bundle path, or "" when disabled, rate-limited, or the
+  // write failed. Thread-safe; called from the monitor thread in practice.
+  std::string Capture(const IncidentContext& context);
+
+  // Bundle filenames in `dir` (oldest first). Works cross-process: it is a
+  // directory scan, so `dimctl incidents` sees bundles from any run.
+  std::vector<std::string> List() const;
+
+  struct Stats {
+    std::uint64_t captured = 0;
+    std::uint64_t suppressed = 0;  // rate-limited
+    std::uint64_t errors = 0;      // write failures
+  };
+  Stats GetStats() const;
+
+  static constexpr const char* kFilePrefix = "incident-";
+
+ private:
+  std::string RenderJson(const IncidentContext& context, std::uint64_t wall_ms) const;
+  void EvictLocked();
+
+  const Options options_;
+  const Recorder* recorder_;
+  const HealthEngine* health_;
+  std::function<std::string()> runtime_json_;
+
+  mutable std::mutex m_;
+  std::uint64_t last_capture_ns_ = 0;
+  std::uint64_t seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace obs
+}  // namespace dimmunix
+
+#endif  // DIMMUNIX_OBS_INCIDENT_H_

@@ -122,5 +122,20 @@ std::vector<Recorder::RingDump> Recorder::SnapshotRings() const {
   return dumps;
 }
 
+std::vector<Recorder::RingTotals> Recorder::SnapshotRingTotals() const {
+  std::vector<RingTotals> totals;
+  std::lock_guard<SpinLock> guard(rings_m_);
+  totals.reserve(rings_.size());
+  for (const auto& entry : rings_) {
+    RingTotals t;
+    t.tid = entry->tid;
+    t.name = entry->name;
+    t.written = entry->ring.written();
+    t.dropped = entry->ring.dropped();
+    totals.push_back(std::move(t));
+  }
+  return totals;
+}
+
 }  // namespace obs
 }  // namespace dimmunix

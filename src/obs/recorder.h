@@ -120,6 +120,16 @@ class Recorder {
   // that have since exited — the flight recorder keeps their history).
   std::vector<RingDump> SnapshotRings() const;
 
+  // written/dropped accounting only, without copying event payloads — what
+  // the metrics exposition and the ring-drop health rule read every tick.
+  struct RingTotals {
+    std::uint64_t tid = 0;
+    std::string name;
+    std::uint64_t written = 0;
+    std::uint64_t dropped = 0;
+  };
+  std::vector<RingTotals> SnapshotRingTotals() const;
+
  private:
   struct RingEntry {
     std::uint64_t tid = 0;

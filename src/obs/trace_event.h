@@ -52,6 +52,37 @@ inline constexpr std::uint8_t kTraceEventTypeMax = 11;
 // aux value of a kCoverSearch that found no instantiation.
 inline constexpr std::uint16_t kNoMatchAux = 0xffff;
 
+// Stable lowercase event name (Chrome-trace export, incident bundles).
+inline const char* TraceEventTypeName(std::uint8_t type) {
+  switch (static_cast<TraceEventType>(type)) {
+    case TraceEventType::kAcquire:
+      return "acquire";
+    case TraceEventType::kAcquireCancel:
+      return "acquire_cancel";
+    case TraceEventType::kYield:
+      return "yield";
+    case TraceEventType::kEpoch:
+      return "epoch";
+    case TraceEventType::kCoverSearch:
+      return "cover_search";
+    case TraceEventType::kMonitorPass:
+      return "monitor_pass";
+    case TraceEventType::kBridgeFold:
+      return "bridge_fold";
+    case TraceEventType::kStoreFlush:
+      return "store_flush";
+    case TraceEventType::kStoreCompact:
+      return "store_compact";
+    case TraceEventType::kFleetSync:
+      return "fleet_sync";
+    case TraceEventType::kIpcFlush:
+      return "ipc_flush";
+    case TraceEventType::kNone:
+      break;
+  }
+  return "unknown";
+}
+
 struct TraceEvent {
   std::uint64_t end_ns = 0;
   std::uint64_t data = 0;

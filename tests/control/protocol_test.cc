@@ -11,12 +11,15 @@
 
 #include <unistd.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 #include <thread>
 
 #include "src/core/runtime.h"
 #include "src/fleet/daemon.h"
+#include "src/obs/health.h"
+#include "src/obs/incident.h"
 #include "src/persist/file.h"
 #include "src/stack/annotation.h"
 
@@ -301,8 +304,9 @@ TEST(ProtocolExecuteTest, HelpListsEveryCommand) {
   EXPECT_EQ(reply.rfind("ok\n", 0), 0u);
   for (const char* cmd : {"status", "stats", "history", "disable", "enable", "disable-last",
                           "reload", "set-depth", "rag", "config", "trace start", "trace stop",
-                          "trace dump", "metrics", "histo", "fleet status", "fleet peers",
-                          "fleet push", "fleet pull", "fleet exec"}) {
+                          "trace dump", "metrics", "histo", "alerts", "incidents",
+                          "incidents show", "fleet status", "fleet peers", "fleet push",
+                          "fleet pull", "fleet exec", "fleet alerts"}) {
     EXPECT_NE(reply.find(cmd), std::string::npos) << cmd;
   }
 }
@@ -323,6 +327,27 @@ TEST(ProtocolParseTest, ObservabilityCommands) {
   EXPECT_FALSE(ParseRequest("trace dump extra", &error).has_value());
   EXPECT_FALSE(ParseRequest("metrics extra", &error).has_value());
   EXPECT_FALSE(ParseRequest("histo", &error).has_value());  // missing name
+}
+
+TEST(ProtocolParseTest, AlertsAndIncidentCommands) {
+  std::string error;
+  EXPECT_EQ(ParseRequest("alerts", &error)->kind, CommandKind::kAlerts);
+
+  const auto list = ParseRequest("incidents", &error);
+  ASSERT_TRUE(list.has_value());
+  EXPECT_EQ(list->kind, CommandKind::kIncidents);
+  EXPECT_EQ(list->index, -1);  // -1 = list mode
+  const auto show = ParseRequest("incidents show 2", &error);
+  ASSERT_TRUE(show.has_value());
+  EXPECT_EQ(show->kind, CommandKind::kIncidents);
+  EXPECT_EQ(show->index, 2);
+
+  EXPECT_FALSE(ParseRequest("alerts extra", &error).has_value());
+  EXPECT_FALSE(ParseRequest("incidents show", &error).has_value());     // missing index
+  EXPECT_FALSE(ParseRequest("incidents show -1", &error).has_value());  // negative
+  EXPECT_FALSE(ParseRequest("incidents show x", &error).has_value());   // non-numeric
+  EXPECT_FALSE(ParseRequest("incidents frobnicate", &error).has_value());
+  EXPECT_NE(error.find("usage: incidents"), std::string::npos);
 }
 
 // Strict-enough Prometheus text-format check: every line is a HELP/TYPE
@@ -391,6 +416,114 @@ TEST(ProtocolExecuteTest, MetricsIsValidPrometheusExposition) {
   EXPECT_EQ(body.find("dimmunix_acquire_latency_ns_count 0\n"), std::string::npos)
       << "acquire-latency histogram must have recorded the acquisition";
   EXPECT_NE(body.find("dimmunix_acquire_latency_ns_bucket{le=\"+Inf\"}"), std::string::npos);
+  // The self-diagnosis plane is always exposed: one labeled gauge per health
+  // rule (0 while nothing is wrong) plus the incident-log counters and the
+  // per-thread flight-recorder ring families.
+  EXPECT_NE(body.find("dimmunix_alert_active{rule=\"match_churn\"} 0\n"), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("dimmunix_alert_fired_total{rule=\"resync_stale\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("dimmunix_incidents_captured_total 0\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE dimmunix_trace_ring_written_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE dimmunix_trace_ring_dropped_total counter\n"),
+            std::string::npos);
+}
+
+TEST(ProtocolExecuteTest, AlertsFollowSyntheticChurnThroughTheirLifecycle) {
+  Config config = TestConfig();
+  config.health_enabled = false;  // the test owns every Tick deterministically
+  Runtime rt(config);
+
+  // All quiet: every rule listed, nothing raised, status carries the count.
+  std::string reply = HandleLine(rt, "alerts");
+  ASSERT_EQ(reply.rfind("ok\n", 0), 0u) << reply;
+  EXPECT_NE(reply.find("alerts_raised=0\n"), std::string::npos);
+  EXPECT_NE(reply.find("alerts_total=8\n"), std::string::npos);
+  for (const char* rule : {"match_churn", "epoch_stall", "ipc_backlog", "ipc_flush_latency",
+                           "arena_exhaustion", "ring_drops", "store_backlog", "resync_stale"}) {
+    EXPECT_NE(reply.find(std::string("alert ") + rule + " state=inactive"), std::string::npos)
+        << rule << " missing from: " << reply;
+  }
+  EXPECT_NE(HandleLine(rt, "status").find("alerts=0/8\n"), std::string::npos);
+
+  // Synthetic retry churn: prime the deltas, then 80 retries / 100 requests.
+  obs::HealthSample s;
+  s.now_ns = 1'000'000'000ULL;
+  s.requests = 1000;
+  rt.health().Tick(s);
+  s.now_ns = 2'000'000'000ULL;
+  s.requests = 1100;
+  s.match_fast_retries = 80;
+  rt.health().Tick(s);
+
+  reply = HandleLine(rt, "alerts");
+  EXPECT_NE(reply.find("alerts_firing=1\n"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("alert match_churn state=firing"), std::string::npos);
+  EXPECT_NE(HandleLine(rt, "status").find("alerts=1/8\n"), std::string::npos);
+  std::string metrics = HandleLine(rt, "metrics");
+  EXPECT_NE(metrics.find("dimmunix_alert_active{rule=\"match_churn\"} 1\n"), std::string::npos);
+
+  // Confirm, then two quiet windows: active -> resolved (latched), and the
+  // Prometheus gauge drops back to zero while fired_total keeps the event.
+  s.now_ns = 3'000'000'000ULL;
+  s.requests = 1200;
+  s.match_fast_retries = 160;
+  rt.health().Tick(s);
+  EXPECT_NE(HandleLine(rt, "alerts").find("alert match_churn state=active"), std::string::npos);
+  s.now_ns = 4'000'000'000ULL;
+  s.requests = 1300;
+  rt.health().Tick(s);
+  s.now_ns = 5'000'000'000ULL;
+  s.requests = 1400;
+  rt.health().Tick(s);
+
+  reply = HandleLine(rt, "alerts");
+  EXPECT_NE(reply.find("alerts_raised=0\n"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("alerts_resolved=1\n"), std::string::npos);
+  EXPECT_NE(reply.find("alert match_churn state=resolved"), std::string::npos);
+  EXPECT_NE(HandleLine(rt, "status").find("alerts=0/8\n"), std::string::npos);
+  metrics = HandleLine(rt, "metrics");
+  EXPECT_NE(metrics.find("dimmunix_alert_active{rule=\"match_churn\"} 0\n"), std::string::npos);
+  EXPECT_NE(metrics.find("dimmunix_alert_fired_total{rule=\"match_churn\"} 1\n"),
+            std::string::npos);
+  ExpectValidPrometheusText(metrics.substr(3));
+}
+
+TEST(ProtocolExecuteTest, IncidentsVerbListsAndShowsBundles) {
+  char tmpl[] = "/tmp/dimmunix_proto_inc_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  Config config = TestConfig();
+  config.incident_dir = dir;
+  Runtime rt(config);
+
+  obs::IncidentContext ctx;
+  ctx.kind = "deadlock";
+  ctx.signature_hash = 0x1234ULL;
+  ctx.signature_stacks = {"protoA", "protoB"};
+  ASSERT_FALSE(rt.incident_log().Capture(ctx).empty());
+
+  const std::string list = HandleLine(rt, "incidents");
+  ASSERT_EQ(list.rfind("ok\n", 0), 0u) << list;
+  EXPECT_NE(list.find("count=1\n"), std::string::npos);
+  EXPECT_NE(list.find("incident 0 incident-"), std::string::npos);
+
+  const std::string shown = HandleLine(rt, "incidents show 0");
+  ASSERT_EQ(shown.rfind("ok\n", 0), 0u) << shown;
+  EXPECT_NE(shown.find("\"schema\":\"dimmunix-incident-v1\""), std::string::npos);
+  EXPECT_NE(shown.find("\"hash\":\"0x1234\""), std::string::npos);
+  EXPECT_NE(shown.find("protoA"), std::string::npos);
+
+  EXPECT_EQ(HandleLine(rt, "incidents show 5").rfind("err incident index out of range", 0), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProtocolExecuteTest, IncidentsVerbErrorsWhenForensicsDisabled) {
+  Runtime rt(TestConfig());  // no incident_dir
+  const std::string reply = HandleLine(rt, "incidents");
+  EXPECT_EQ(reply.rfind("err incident forensics disabled", 0), 0u) << reply;
+  EXPECT_NE(reply.find("DIMMUNIX_INCIDENT_DIR"), std::string::npos);
 }
 
 TEST(ProtocolExecuteTest, TraceStartDumpStopRoundTrip) {
@@ -413,6 +546,14 @@ TEST(ProtocolExecuteTest, TraceStartDumpStopRoundTrip) {
   EXPECT_NE(HandleLine(rt, "status").find("tracing=0\n"), std::string::npos);
   EXPECT_EQ(HandleLine(rt, "trace start"), "ok\ntracing=1\n");
   EXPECT_TRUE(rt.recorder().tracing());
+
+  // The traced threads above own flight-recorder rings, so `metrics` breaks
+  // the written/dropped totals out per thread.
+  const std::string metrics = HandleLine(rt, "metrics");
+  EXPECT_NE(metrics.find("dimmunix_trace_ring_written_total{thread=\""), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("dimmunix_trace_ring_dropped_total{thread=\""), std::string::npos);
+  ExpectValidPrometheusText(metrics.substr(3));
 }
 
 TEST(ProtocolParseTest, FleetCommands) {
@@ -439,6 +580,16 @@ TEST(ProtocolParseTest, FleetCommands) {
   ASSERT_TRUE(exec2.has_value());
   EXPECT_EQ(exec2->rest, "history merge /tmp/v.hist");
 
+  EXPECT_EQ(ParseRequest("fleet alerts", &error)->kind, CommandKind::kFleetAlerts);
+  // alerts-report is the machine half of alert gossip: records pass verbatim.
+  const auto report = ParseRequest("fleet alerts-report h:1;2;8;0;match_churn h:2;0;8;5;-",
+                                   &error);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->kind, CommandKind::kFleetAlertsReport);
+  EXPECT_EQ(report->rest, "h:1;2;8;0;match_churn h:2;0;8;5;-");
+  EXPECT_FALSE(ParseRequest("fleet alerts extra", &error).has_value());
+  EXPECT_FALSE(ParseRequest("fleet alerts-report", &error).has_value());  // missing record
+
   EXPECT_FALSE(ParseRequest("fleet", &error).has_value());
   EXPECT_NE(error.find("usage: fleet"), std::string::npos);
   EXPECT_FALSE(ParseRequest("fleet frobnicate", &error).has_value());
@@ -451,7 +602,7 @@ TEST(ProtocolParseTest, FleetCommands) {
 TEST(ProtocolExecuteTest, FleetVerbsRequireAnAttachedDaemon) {
   Runtime rt(TestConfig());  // no fleet_daemon configured
   for (const char* line : {"fleet status", "fleet peers", "fleet push h:1", "fleet pull h:1",
-                           "fleet exec status"}) {
+                           "fleet exec status", "fleet alerts"}) {
     const std::string reply = HandleLine(rt, line);
     EXPECT_EQ(reply.rfind("err no fleet daemon attached", 0), 0u) << line << ": " << reply;
     EXPECT_NE(reply.find("DIMMUNIX_FLEET"), std::string::npos) << reply;
@@ -487,6 +638,21 @@ TEST(ProtocolExecuteTest, FleetVerbsProxyToTheAttachedDaemon) {
       << status;
   // `config` reports the attachment.
   EXPECT_NE(HandleLine(rt, "config").find("fleet_daemon=" + daemon.listen_address() + "\n"),
+            std::string::npos);
+
+  // Alert gossip round-trips through the daemon: a report lands in its
+  // table and both `fleet alerts` and `fleet status` attribute it to the
+  // reporting host. (Counts are not asserted — this runtime's own health
+  // thread may report too.)
+  const std::string pushed =
+      HandleLine(rt, "fleet alerts-report peer9:42;2;8;0;match_churn+ring_drops");
+  ASSERT_EQ(pushed.rfind("ok\n", 0), 0u) << pushed;
+  EXPECT_NE(pushed.find("accepted=1\n"), std::string::npos);
+  const std::string alerts = HandleLine(rt, "fleet alerts");
+  ASSERT_EQ(alerts.rfind("ok\n", 0), 0u) << alerts;
+  EXPECT_NE(alerts.find("alert peer9:42 active=2 total=8"), std::string::npos) << alerts;
+  EXPECT_NE(alerts.find("rules=match_churn+ring_drops"), std::string::npos);
+  EXPECT_NE(HandleLine(rt, "fleet status").find("reporter peer9:42 alerts=2/8"),
             std::string::npos);
 
   daemon.Stop();

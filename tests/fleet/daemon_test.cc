@@ -339,6 +339,82 @@ TEST_F(DaemonTest, MetricsExposeFleetCounters) {
       << reply;
 }
 
+TEST_F(DaemonTest, AlertReportsIngestFreshestWinsAndPruneByAge) {
+  const std::string history = TempHistory("al");
+  Seed(history, persist::HistoryImage{});
+  Daemon daemon(ServeOnly(history));
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  // Two hosts report; malformed records are dropped, not fatal.
+  std::string reply = daemon.HandleCommandLine(
+      "fleet alerts-report h:1;2;8;5000;match_churn+ring_drops h:2;0;8;0;- bogus;;x");
+  ASSERT_EQ(reply.rfind("ok\n", 0), 0u) << reply;
+  EXPECT_NE(reply.find("accepted=2\n"), std::string::npos) << reply;
+
+  reply = daemon.HandleCommandLine("fleet alerts");
+  ASSERT_EQ(reply.rfind("ok\n", 0), 0u) << reply;
+  EXPECT_NE(reply.find("reporters=2\n"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("alerts_active=2\n"), std::string::npos);
+  EXPECT_NE(reply.find("alert h:1 active=2 total=8"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("rules=match_churn+ring_drops"), std::string::npos);
+  EXPECT_NE(reply.find("alert h:2 active=0 total=8"), std::string::npos);
+
+  // A staler record for h:1 (60s old vs the stored 5s) must not roll the
+  // table back; a fresher one replaces it.
+  daemon.HandleCommandLine("fleet alerts-report h:1;1;8;60000;stale_rule");
+  EXPECT_NE(daemon.HandleCommandLine("fleet alerts").find("alert h:1 active=2"),
+            std::string::npos);
+  daemon.HandleCommandLine("fleet alerts-report h:1;4;8;0;arena_exhaustion");
+  EXPECT_NE(daemon.HandleCommandLine("fleet alerts").find("alert h:1 active=4"),
+            std::string::npos);
+
+  // A report already older than the TTL at ingest time is pruned on sight —
+  // crashed processes age out instead of haunting the table.
+  daemon.HandleCommandLine("fleet alerts-report h:3;9;8;999000;ghost");
+  reply = daemon.HandleCommandLine("fleet alerts");
+  EXPECT_EQ(reply.find("h:3"), std::string::npos) << reply;
+
+  // `fleet status` and `metrics` carry the per-reporter rollup.
+  const std::string status = daemon.HandleCommandLine("fleet status");
+  EXPECT_NE(status.find("alert_reporters=2\n"), std::string::npos) << status;
+  EXPECT_NE(status.find("reporter h:1 alerts=4/8"), std::string::npos) << status;
+  const std::string metrics = daemon.HandleCommandLine("metrics");
+  EXPECT_NE(metrics.find("dimmunix_fleet_alert_reporters 2\n"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("dimmunix_fleet_alerts_active 4\n"), std::string::npos) << metrics;
+}
+
+TEST_F(DaemonTest, AlertReportsGossipToPeers) {
+  const std::string history_a = TempHistory("a");
+  const std::string history_b = TempHistory("b");
+  Seed(history_a, persist::HistoryImage{});
+  Seed(history_b, persist::HistoryImage{});
+
+  Daemon a(ServeOnly(history_a));
+  std::string error;
+  ASSERT_TRUE(a.Start(&error)) << error;
+
+  DaemonOptions options_b = ServeOnly(history_b);
+  options_b.peers.push_back(a.listen_address());
+  options_b.gossip_period = std::chrono::milliseconds(25);
+  Daemon b(options_b);
+  ASSERT_TRUE(b.Start(&error)) << error;
+
+  // A runtime reports to B; within a few gossip rounds A's hub view names
+  // the same reporter with its rule set intact.
+  ASSERT_EQ(b.HandleCommandLine("fleet alerts-report peer1:7;3;8;0;ring_drops")
+                .rfind("ok\n", 0),
+            0u);
+  ASSERT_TRUE(WaitFor([&] {
+    for (const AlertReport& r : a.alert_reports()) {
+      if (r.reporter == "peer1:7" && r.active == 3 && r.rules == "ring_drops") {
+        return true;
+      }
+    }
+    return false;
+  })) << "alert report never gossiped to A";
+}
+
 TEST_F(DaemonTest, AllowlistRejectsUnlistedSources) {
   const std::string history = TempHistory("x");
   Seed(history, persist::HistoryImage{});

@@ -1,0 +1,227 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// HealthEngine hysteresis: the state machine is driven with synthetic
+// counter samples (the same flat HealthSample the Runtime assembles), so
+// every transition — prime, fire, confirm, flap-suppress, resolve-latch,
+// re-fire — is deterministic and timed by the test, not by wall clocks.
+
+#include "src/obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dimmunix {
+namespace obs {
+namespace {
+
+AlertSnapshot Find(const HealthEngine& engine, const std::string& rule) {
+  for (const AlertSnapshot& a : engine.Snapshot()) {
+    if (a.rule == rule) {
+      return a;
+    }
+  }
+  ADD_FAILURE() << "rule '" << rule << "' missing from Snapshot()";
+  return {};
+}
+
+HealthThresholds FastThresholds() {
+  HealthThresholds t;
+  t.fire_ticks = 2;
+  t.resolve_ticks = 2;
+  return t;
+}
+
+// A quiet sample `seconds` into the run with `requests` total lock requests.
+HealthSample Quiet(std::uint64_t seconds, std::uint64_t requests) {
+  HealthSample s;
+  s.now_ns = seconds * 1'000'000'000ULL;
+  s.requests = requests;
+  return s;
+}
+
+TEST(HealthEngineTest, SnapshotListsEveryRuleWithStableNames) {
+  HealthEngine engine{HealthThresholds{}};
+  const std::vector<AlertSnapshot> snap = engine.Snapshot();
+  ASSERT_EQ(snap.size(), static_cast<std::size_t>(HealthEngine::kRuleCount));
+  const char* expected[] = {"match_churn",      "epoch_stall", "ipc_backlog",
+                            "ipc_flush_latency", "arena_exhaustion", "ring_drops",
+                            "store_backlog",    "resync_stale"};
+  for (int i = 0; i < HealthEngine::kRuleCount; ++i) {
+    EXPECT_EQ(snap[i].rule, expected[i]) << "rule order/name is API (Prometheus labels)";
+    EXPECT_EQ(snap[i].state, AlertState::kInactive);
+    EXPECT_GT(snap[i].threshold, 0.0) << snap[i].rule
+                                      << ": threshold must show before first evaluation";
+    EXPECT_FALSE(snap[i].signal.empty());
+  }
+  const HealthEngine::Summary summary = engine.GetSummary();
+  EXPECT_EQ(summary.raised(), 0);
+  EXPECT_EQ(summary.total, HealthEngine::kRuleCount);
+}
+
+TEST(HealthEngineTest, MatchChurnFiresConfirmsResolvesAndRefires) {
+  HealthEngine engine{FastThresholds()};
+
+  // Tick 1 primes the deltas; rate rules cannot evaluate yet.
+  engine.Tick(Quiet(1, 1000));
+  EXPECT_EQ(Find(engine, "match_churn").state, AlertState::kInactive);
+
+  // 80 retries over 100 requests = 0.8 > 0.5: first breach -> firing.
+  HealthSample s = Quiet(2, 1100);
+  s.match_fast_retries = 80;
+  engine.Tick(s);
+  AlertSnapshot churn = Find(engine, "match_churn");
+  EXPECT_EQ(churn.state, AlertState::kFiring);
+  EXPECT_EQ(churn.fired_count, 1u);
+  EXPECT_DOUBLE_EQ(churn.value, 0.8);
+  EXPECT_EQ(engine.GetSummary().raised(), 1);
+
+  // Second consecutive breach confirms: firing -> active.
+  s = Quiet(3, 1200);
+  s.match_fast_retries = 160;
+  engine.Tick(s);
+  EXPECT_EQ(Find(engine, "match_churn").state, AlertState::kActive);
+  EXPECT_EQ(engine.GetSummary().active, 1);
+
+  // Quiet windows: the first clear leaves it active, the second resolves.
+  s = Quiet(4, 1300);
+  s.match_fast_retries = 160;
+  engine.Tick(s);
+  EXPECT_EQ(Find(engine, "match_churn").state, AlertState::kActive);
+  s = Quiet(5, 1400);
+  s.match_fast_retries = 160;
+  engine.Tick(s);
+  churn = Find(engine, "match_churn");
+  EXPECT_EQ(churn.state, AlertState::kResolved) << "resolved is latched, not inactive";
+  EXPECT_EQ(engine.GetSummary().raised(), 0);
+  EXPECT_EQ(engine.GetSummary().resolved, 1);
+
+  // A new storm re-fires from resolved and bumps the fired counter.
+  s = Quiet(6, 1500);
+  s.match_fast_retries = 260;
+  engine.Tick(s);
+  churn = Find(engine, "match_churn");
+  EXPECT_EQ(churn.state, AlertState::kFiring);
+  EXPECT_EQ(churn.fired_count, 2u);
+}
+
+TEST(HealthEngineTest, OneTickFlapNeverReachesActiveOrResolved) {
+  HealthEngine engine{FastThresholds()};
+  engine.Tick(Quiet(1, 1000));
+
+  HealthSample s = Quiet(2, 1100);
+  s.match_fast_retries = 90;
+  engine.Tick(s);
+  EXPECT_EQ(Find(engine, "match_churn").state, AlertState::kFiring);
+
+  // Clears before fire_ticks confirmations: suppressed back to inactive.
+  engine.Tick(Quiet(3, 1200));
+  const AlertSnapshot churn = Find(engine, "match_churn");
+  EXPECT_EQ(churn.state, AlertState::kInactive);
+  EXPECT_EQ(engine.GetSummary().resolved, 0);
+  EXPECT_EQ(churn.fired_count, 1u) << "the flap still counts as a fire event";
+}
+
+TEST(HealthEngineTest, ChurnWindowBelowMinRequestsDoesNotEvaluate) {
+  HealthEngine engine{FastThresholds()};
+  engine.Tick(Quiet(1, 1000));
+  // 10 requests with 10 retries is a 1.0 ratio — but over a window too small
+  // to mean anything, so the rule must not fire.
+  HealthSample s = Quiet(2, 1010);
+  s.match_fast_retries = 10;
+  engine.Tick(s);
+  EXPECT_EQ(Find(engine, "match_churn").state, AlertState::kInactive);
+}
+
+TEST(HealthEngineTest, EpochStallAndRingDropRatesUseElapsedTime) {
+  HealthEngine engine{FastThresholds()};
+  engine.Tick(Quiet(1, 0));
+
+  // 100ms of stall in a 1s window = 10% > 5%; 1000 drops/s > 100/s.
+  HealthSample s = Quiet(2, 0);
+  s.epoch_stall_ns = 100'000'000;
+  s.ring_dropped = 1000;
+  engine.Tick(s);
+  const AlertSnapshot stall = Find(engine, "epoch_stall");
+  EXPECT_EQ(stall.state, AlertState::kFiring);
+  EXPECT_DOUBLE_EQ(stall.value, 10.0);
+  const AlertSnapshot drops = Find(engine, "ring_drops");
+  EXPECT_EQ(drops.state, AlertState::kFiring);
+  EXPECT_DOUBLE_EQ(drops.value, 1000.0);
+
+  // Same totals a second later: rates fall to zero, both flaps suppress.
+  s = Quiet(3, 0);
+  s.epoch_stall_ns = 100'000'000;
+  s.ring_dropped = 1000;
+  engine.Tick(s);
+  EXPECT_EQ(Find(engine, "epoch_stall").state, AlertState::kInactive);
+  EXPECT_EQ(Find(engine, "ring_drops").state, AlertState::kInactive);
+}
+
+TEST(HealthEngineTest, SubsystemGatesKeepRulesUnevaluated) {
+  HealthEngine engine{FastThresholds()};
+  // Huge backlog numbers, but neither the IPC bridge nor the store is
+  // running: every gated rule must stay inactive.
+  HealthSample s = Quiet(1, 0);
+  s.ipc_running = false;
+  s.ipc_pending_ops = 100000;
+  s.store_running = false;
+  s.store_queued = 100000;
+  s.resync_period_ms = 100;
+  s.last_resync_age_ms = 100000;
+  engine.Tick(s);
+  engine.Tick(s);
+  EXPECT_EQ(Find(engine, "ipc_backlog").state, AlertState::kInactive);
+  EXPECT_EQ(Find(engine, "store_backlog").state, AlertState::kInactive);
+  EXPECT_EQ(Find(engine, "resync_stale").state, AlertState::kInactive);
+}
+
+TEST(HealthEngineTest, GaugeRulesFireAndActiveAlertVanishesWhenSubsystemStops) {
+  HealthEngine engine{FastThresholds()};
+  HealthSample s = Quiet(1, 0);
+  s.ipc_running = true;
+  s.ipc_pending_ops = 500;  // > 256
+  s.arena_participants_used = 60;
+  s.arena_participants_cap = 64;  // 93.75% > 80%
+  s.arena_edges_used = 1;
+  s.arena_edges_cap = 128;
+  s.store_running = true;
+  s.store_queued = 100;  // > 64
+  s.resync_period_ms = 100;
+  s.last_resync_age_ms = 1000;  // 10x > 3x
+  engine.Tick(s);
+  s.now_ns = Quiet(2, 0).now_ns;
+  engine.Tick(s);
+  EXPECT_EQ(Find(engine, "ipc_backlog").state, AlertState::kActive);
+  EXPECT_EQ(Find(engine, "arena_exhaustion").state, AlertState::kActive);
+  EXPECT_EQ(Find(engine, "store_backlog").state, AlertState::kActive);
+  EXPECT_EQ(Find(engine, "resync_stale").state, AlertState::kActive);
+  EXPECT_EQ(engine.GetSummary().active, 4);
+
+  // Subsystems shut down: unevaluable counts as clear, actives resolve.
+  HealthSample off = Quiet(3, 0);
+  engine.Tick(off);
+  off = Quiet(4, 0);
+  engine.Tick(off);
+  EXPECT_EQ(engine.GetSummary().raised(), 0);
+  EXPECT_EQ(engine.GetSummary().resolved, 4);
+}
+
+TEST(HealthEngineTest, IpcFlushLatencyConvertsToMicroseconds) {
+  HealthThresholds t = FastThresholds();
+  t.fire_ticks = 1;
+  HealthEngine engine{t};
+  HealthSample s = Quiet(1, 0);
+  s.ipc_running = true;
+  s.ipc_flush_p99_ns = 20'000'000ULL;  // 20ms -> 20000us > 10000us
+  engine.Tick(s);
+  const AlertSnapshot flush = Find(engine, "ipc_flush_latency");
+  EXPECT_EQ(flush.state, AlertState::kActive) << "fire_ticks=1 confirms immediately";
+  EXPECT_DOUBLE_EQ(flush.value, 20'000.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dimmunix

@@ -1,0 +1,301 @@
+// Copyright (c) dimmunix-cpp authors. MIT license.
+//
+// IncidentLog forensics: bundles must be strictly parseable JSON (a tiny
+// recursive-descent validator here — CI additionally runs python's
+// json.tool over a real deadlock bundle), the file ring must stay bounded
+// with oldest-first eviction, and the rate limiter must suppress storms.
+
+#include "src/obs/incident.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/health.h"
+
+namespace dimmunix {
+namespace obs {
+namespace {
+
+// --- Minimal strict JSON validator (syntax only, no external deps) -----------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // unescaped control character
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() && (std::isdigit(text_[pos_]) || text_[pos_] == '.' ||
+                                   text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                                   text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(text_[pos_ - 1]));
+  }
+
+  bool Literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) {
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/dimmunix_incident_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+IncidentContext SampleContext() {
+  IncidentContext ctx;
+  ctx.kind = "deadlock";
+  ctx.signature_index = 3;
+  ctx.signature_hash = 0xdeadbeefULL;
+  ctx.match_depth = 4;
+  ctx.signature_stacks = {"lock_a;outer", "lock_b;\"quoted\"\nframe"};
+  ctx.threads = {1, 2};
+  ctx.victim = 1;
+  ctx.victim_os_tid = 0;  // no ring: "trace":null must still parse
+  RagThreadInfo t;
+  t.id = 1;
+  t.waiting = true;
+  t.wait_lock = 0xabc;
+  t.held.push_back({0xdef, AcquireMode::kExclusive});
+  ctx.rag.threads.push_back(t);
+  ctx.rag.lock_count = 2;
+  return ctx;
+}
+
+TEST(IncidentLogTest, DisabledLogIsInert) {
+  IncidentLog log(IncidentLog::Options{}, nullptr, nullptr);
+  EXPECT_FALSE(log.enabled());
+  EXPECT_EQ(log.Capture(SampleContext()), "");
+  EXPECT_TRUE(log.List().empty());
+  EXPECT_EQ(log.GetStats().captured, 0u);
+}
+
+TEST(IncidentLogTest, BundleIsStrictJsonAndNamesTheSignature) {
+  const std::string dir = MakeTempDir();
+  IncidentLog::Options options;
+  options.dir = dir;
+  options.min_period = std::chrono::milliseconds(0);
+  HealthEngine health{HealthThresholds{}};
+  IncidentLog log(options, nullptr, &health);
+  log.SetRuntimeJsonProvider([] { return std::string("{\"signatures\":7}"); });
+
+  const std::string path = log.Capture(SampleContext());
+  ASSERT_FALSE(path.empty());
+  const std::string body = ReadFile(path);
+  ASSERT_FALSE(body.empty());
+  EXPECT_TRUE(JsonChecker(body).Valid()) << body;
+  EXPECT_NE(body.find("\"schema\":\"dimmunix-incident-v1\""), std::string::npos);
+  EXPECT_NE(body.find("\"kind\":\"deadlock\""), std::string::npos);
+  EXPECT_NE(body.find("\"hash\":\"0xdeadbeef\""), std::string::npos);
+  EXPECT_NE(body.find("lock_a;outer"), std::string::npos);
+  EXPECT_NE(body.find("\"signatures\":7"), std::string::npos);
+  EXPECT_NE(body.find("\"trace\":null"), std::string::npos);
+  EXPECT_EQ(log.GetStats().captured, 1u);
+  EXPECT_EQ(log.GetStats().errors, 0u);
+}
+
+TEST(IncidentLogTest, RingEvictsOldestBeyondMaxFiles) {
+  const std::string dir = MakeTempDir();
+  IncidentLog::Options options;
+  options.dir = dir;
+  options.max_files = 3;
+  options.min_period = std::chrono::milliseconds(0);
+  IncidentLog log(options, nullptr, nullptr);
+
+  std::vector<std::string> paths;
+  for (int i = 0; i < 7; ++i) {
+    const std::string path = log.Capture(SampleContext());
+    ASSERT_FALSE(path.empty()) << "capture " << i;
+    paths.push_back(path);
+  }
+  const std::vector<std::string> names = log.List();
+  ASSERT_EQ(names.size(), 3u);
+  // The survivors are the newest three, oldest first (lexicographic ==
+  // chronological via the zero-padded wall-ms + seq filename).
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(dir + "/" + names[i], paths[paths.size() - 3 + i]);
+  }
+  EXPECT_EQ(log.GetStats().captured, 7u);
+}
+
+TEST(IncidentLogTest, RateLimiterSuppressesStorms) {
+  const std::string dir = MakeTempDir();
+  IncidentLog::Options options;
+  options.dir = dir;
+  options.min_period = std::chrono::minutes(10);
+  IncidentLog log(options, nullptr, nullptr);
+
+  EXPECT_FALSE(log.Capture(SampleContext()).empty());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(log.Capture(SampleContext()).empty());
+  }
+  EXPECT_EQ(log.GetStats().captured, 1u);
+  EXPECT_EQ(log.GetStats().suppressed, 5u);
+  EXPECT_EQ(log.List().size(), 1u);
+}
+
+TEST(IncidentLogTest, UnwritableDirectoryCountsErrors) {
+  IncidentLog::Options options;
+  options.dir = "/nonexistent/dimmunix-incidents";
+  options.min_period = std::chrono::milliseconds(0);
+  IncidentLog log(options, nullptr, nullptr);
+  EXPECT_EQ(log.Capture(SampleContext()), "");
+  EXPECT_EQ(log.GetStats().errors, 1u);
+  EXPECT_TRUE(log.List().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dimmunix

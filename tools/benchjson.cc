@@ -186,6 +186,10 @@ int RunFig5(const Options& opts) {
       // near zero (one per history load) and slow path at zero are the
       // structural proof the incremental matcher is carrying the decisions.
       const EngineStatsSnapshot es = rt.engine().stats().Snapshot();
+      if (dimx.lock_ops > 0) {
+        report.samples.back().retries_per_op =
+            static_cast<double>(es.match_fast_retries) / static_cast<double>(dimx.lock_ops);
+      }
       std::printf("  matcher: fast=%llu slow=%llu retries=%llu epochs=%llu hold_us=%llu\n",
                   static_cast<unsigned long long>(es.match_fast_path),
                   static_cast<unsigned long long>(es.match_slow_path),
@@ -261,6 +265,11 @@ int RunFig8(const Options& opts) {
       params.runtime = &rt;
       const WorkloadResult result = RunWorkload(params);
       report.samples.push_back(ToSample(stage.label, threads, result));
+      if (result.lock_ops > 0) {
+        const EngineStatsSnapshot es = rt.engine().stats().Snapshot();
+        report.samples.back().retries_per_op =
+            static_cast<double>(es.match_fast_retries) / static_cast<double>(result.lock_ops);
+      }
       std::printf("fig8 threads=%3d %12s=%10.0f ops/s\n", threads, stage.label,
                   result.ops_per_sec);
       if (stage.stage == EngineStage::kFull) {
